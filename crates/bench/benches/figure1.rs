@@ -1,0 +1,62 @@
+//! Bench: regenerate Figure 1 — time type inference over the paper's
+//! example corpus, per section and end-to-end (parse + well-scope + infer
+//! + compare).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezeml_core::{infer_program, parse_term, Options};
+use freezeml_corpus::{figure1, runner, EXAMPLES};
+use std::time::Duration;
+
+fn bench_sections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/section");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for section in ['A', 'B', 'C', 'D', 'E', 'F'] {
+        let examples: Vec<_> = figure1::section(section).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(section),
+            &examples,
+            |b, examples| {
+                b.iter(|| {
+                    for e in examples {
+                        let env = runner::env_for(e);
+                        let opts = runner::options_for(e);
+                        let _ = std::hint::black_box(infer_program(&env, e.src, &opts));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_whole_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group.bench_function("full-table-regeneration", |b| {
+        b.iter(|| {
+            let results = freezeml_corpus::run_all();
+            assert!(results.iter().all(|r| r.pass));
+            std::hint::black_box(results)
+        });
+    });
+    // Parsing alone, to separate front-end from inference cost.
+    group.bench_function("parse-only", |b| {
+        b.iter(|| {
+            for e in EXAMPLES {
+                let _ = std::hint::black_box(parse_term(e.src).unwrap());
+            }
+        });
+    });
+    // The most involved single examples.
+    for id in ["E2⋆", "F9", "A12⋆", "C10"] {
+        let e = figure1::by_id(id).unwrap();
+        let env = runner::env_for(e);
+        group.bench_with_input(BenchmarkId::new("single", id), &e.src, |b, src| {
+            b.iter(|| std::hint::black_box(infer_program(&env, src, &Options::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sections, bench_whole_corpus);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Bench: inference scaling and the W-vs-FreezeML ablation.
+//!
+//! FreezeML's algorithm is Algorithm W plus kind bookkeeping, so on the ML
+//! fragment the two should scale the same shape (conservativity, Theorem
+//! 1); the FreezeML-only features (freezing, generalisation chains) are
+//! measured separately. The classic exponential `pair` chain is included
+//! to confirm the well-known W worst case survives intact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezeml_bench::{app_chain, freeze_let_chain, infer_ok, prelude};
+use freezeml_core::Options;
+use freezeml_miniml::generator::{let_chain, pair_chain, random_term, GenConfig};
+use freezeml_miniml::w_infer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_app_chains(c: &mut Criterion) {
+    let env = prelude();
+    let mut group = c.benchmark_group("infer/app-chain");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [8usize, 32, 128] {
+        let term = app_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(infer_ok(&env, &term)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_let_chains_w_vs_freezeml(c: &mut Criterion) {
+    let env = prelude();
+    let mut group = c.benchmark_group("infer/let-chain");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [4usize, 16, 64] {
+        let ml = let_chain(n);
+        let fz = ml.to_freezeml();
+        group.bench_with_input(BenchmarkId::new("algorithm-w", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(w_infer(&env, &ml).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("freezeml", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    freezeml_core::infer_term(&env, &fz, &Options::default()).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_chain_exponential(c: &mut Criterion) {
+    let env = prelude();
+    let mut group = c.benchmark_group("infer/pair-chain-exponential");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for n in [4usize, 8, 12] {
+        let ml = pair_chain(n);
+        let fz = ml.to_freezeml();
+        group.bench_with_input(BenchmarkId::new("algorithm-w", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(w_infer(&env, &ml).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("freezeml", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    freezeml_core::infer_term(&env, &fz, &Options::default()).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_freeze_chains(c: &mut Criterion) {
+    let env = prelude();
+    let mut group = c.benchmark_group("infer/freeze-let-chain");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [4usize, 16, 64] {
+        let term = freeze_let_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(infer_ok(&env, &term)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_corpus(c: &mut Criterion) {
+    let env = prelude();
+    let cfg = GenConfig::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    // Pre-generate a fixed batch of W-typeable terms.
+    let mut batch = Vec::new();
+    while batch.len() < 100 {
+        let t = random_term(&mut rng, &cfg);
+        if w_infer(&env, &t).is_ok() {
+            batch.push(t);
+        }
+    }
+    let mut group = c.benchmark_group("infer/random-ml-batch");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("algorithm-w", |b| {
+        b.iter(|| {
+            for t in &batch {
+                std::hint::black_box(w_infer(&env, t).unwrap());
+            }
+        });
+    });
+    group.bench_function("freezeml", |b| {
+        let embedded: Vec<_> = batch.iter().map(|t| t.to_freezeml()).collect();
+        b.iter(|| {
+            for t in &embedded {
+                std::hint::black_box(
+                    freezeml_core::infer_term(&env, t, &Options::default()).unwrap(),
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_app_chains,
+    bench_let_chains_w_vs_freezeml,
+    bench_pair_chain_exponential,
+    bench_freeze_chains,
+    bench_random_corpus
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: regenerate Table 1 — the computed FreezeML row (running every
+//! admissible variant of the 32 base examples at all three annotation
+//! budgets through the checker) and the plain-ML baseline row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezeml_corpus::table1::{freezeml_row, full_table, hmf_approx_row, ml_row};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("freezeml-row", |b| {
+        b.iter(|| {
+            let row = freezeml_row();
+            assert_eq!(row.failures, [4, 2, 2]);
+            std::hint::black_box(row)
+        });
+    });
+    group.bench_function("ml-baseline-row", |b| {
+        b.iter(|| std::hint::black_box(ml_row()));
+    });
+    group.bench_function("hmf-approx-row", |b| {
+        b.iter(|| std::hint::black_box(hmf_approx_row()));
+    });
+    group.bench_function("full-table", |b| {
+        b.iter(|| std::hint::black_box(full_table()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

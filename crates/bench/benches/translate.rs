@@ -1,0 +1,99 @@
+//! Bench: the §4 translations — `C⟦−⟧` elaboration over the corpus,
+//! `E⟦−⟧` back-translation, full round trips, and evaluation of the
+//! translated images.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezeml_core::{infer_term, parse_term, KindEnv, Options};
+use freezeml_corpus::{runner, Expected, Mode, EXAMPLES};
+use freezeml_systemf::{eval, prelude::runtime_env, typecheck};
+use freezeml_translate::{elaborate, f_to_freeze};
+use std::time::Duration;
+
+fn well_typed_examples() -> Vec<&'static freezeml_corpus::Example> {
+    EXAMPLES
+        .iter()
+        .filter(|e| e.expected != Expected::Ill && e.mode == Mode::Standard)
+        .collect()
+}
+
+fn bench_c_translation(c: &mut Criterion) {
+    let examples = well_typed_examples();
+    // Pre-infer the derivations so we measure translation alone.
+    let derivations: Vec<_> = examples
+        .iter()
+        .map(|e| {
+            let env = runner::env_for(e);
+            let term = parse_term(e.src).unwrap();
+            let out = infer_term(&env, &term, &Options::default()).unwrap();
+            (env, out)
+        })
+        .collect();
+    let mut group = c.benchmark_group("translate");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.bench_function("c-translation-corpus", |b| {
+        b.iter(|| {
+            for (_, out) in &derivations {
+                std::hint::black_box(elaborate(out));
+            }
+        });
+    });
+    group.bench_function("c-translation-plus-f-typecheck", |b| {
+        b.iter(|| {
+            for (env, out) in &derivations {
+                let e = elaborate(out);
+                std::hint::black_box(typecheck(&KindEnv::new(), env, &e.term).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let examples = well_typed_examples();
+    let mut group = c.benchmark_group("translate");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("full-round-trip-corpus", |b| {
+        b.iter(|| {
+            for e in &examples {
+                let env = runner::env_for(e);
+                let term = parse_term(e.src).unwrap();
+                let out = infer_term(&env, &term, &Options::default()).unwrap();
+                let elab = elaborate(&out);
+                let back = f_to_freeze(&KindEnv::new(), &env, &elab.term).unwrap();
+                std::hint::black_box(
+                    infer_term(&env, &back, &Options::default()).unwrap(),
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    // Ground-typed examples, elaborated once; measure evaluation.
+    let ground = ["A10⋆", "A11⋆", "D1⋆", "D3⋆", "F7⋆", "F9"];
+    let images: Vec<_> = ground
+        .iter()
+        .map(|id| {
+            let e = freezeml_corpus::figure1::by_id(id).unwrap();
+            let env = runner::env_for(e);
+            let term = parse_term(e.src).unwrap();
+            let out = infer_term(&env, &term, &Options::default()).unwrap();
+            elaborate(&out).term
+        })
+        .collect();
+    let renv = runtime_env();
+    let mut group = c.benchmark_group("translate");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.bench_function("evaluate-translated-images", |b| {
+        b.iter(|| {
+            for f in &images {
+                std::hint::black_box(eval(&renv, f).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_c_translation, bench_round_trip, bench_evaluation);
+criterion_main!(benches);

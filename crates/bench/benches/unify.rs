@@ -1,0 +1,121 @@
+//! Bench: unification scaling (Figure 15's algorithm).
+//!
+//! Measures how `unify` scales in type depth, width, quantifier count, and
+//! the kind-demotion path — the ingredients whose interplay distinguishes
+//! FreezeML's unifier from plain first-order unification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezeml_bench::{deep_arrow, deep_list, quantified};
+use freezeml_core::{unify, Kind, KindEnv, RefinedEnv, TyVar, Type};
+use std::time::Duration;
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/deep-arrow");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for depth in [8usize, 32, 128, 512] {
+        let l = deep_arrow(depth);
+        let r = deep_arrow(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                unify(&KindEnv::new(), &RefinedEnv::new(), &l, &r).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solving_variables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/solve-chain");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    // a₁ → a₂ → … → Int against the same shape shifted by one: solves a
+    // chain of n variables one at a time, composing substitutions.
+    for n in [4usize, 16, 64] {
+        let vars: Vec<TyVar> = (0..=n).map(|_| TyVar::fresh()).collect();
+        let theta: RefinedEnv = vars.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        let left = vars[..n]
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        let right = vars[1..]
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                unify(&KindEnv::new(), &theta, &left, &right).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/quantified");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    // ∀a₁…aₙ.… ≟ ∀b₁…bₙ.… — n skolemisations plus n rigid-variable checks.
+    for n in [2usize, 8, 32] {
+        let l = quantified(n);
+        let r = quantified(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                unify(&KindEnv::new(), &RefinedEnv::new(), &l, &r).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_demotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/demotion");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    // A •-variable against a type containing n ⋆-variables: the demote
+    // path must rewrite the whole refined environment.
+    for n in [4usize, 16, 64] {
+        let mono = TyVar::fresh();
+        let polys: Vec<TyVar> = (0..n).map(|_| TyVar::fresh()).collect();
+        let mut theta: RefinedEnv = polys.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        theta.insert(mono.clone(), Kind::Mono);
+        let target = polys
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                unify(&KindEnv::new(), &theta, &Type::Var(mono.clone()), &target).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_list_mismatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/failure-detection");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    // Failure at the bottom of a deep type: cost of walking before failing.
+    for depth in [16usize, 128] {
+        let l = deep_list(depth);
+        let r = {
+            let mut t = Type::bool();
+            for _ in 0..depth {
+                t = Type::list(t);
+            }
+            t
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(unify(&KindEnv::new(), &RefinedEnv::new(), &l, &r).is_err());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_depth,
+    bench_solving_variables,
+    bench_quantifiers,
+    bench_demotion,
+    bench_deep_list_mismatch
+);
+criterion_main!(benches);

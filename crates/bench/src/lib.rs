@@ -1,0 +1,112 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's artefacts:
+//!
+//! * `benches/figure1.rs` — Figure 1: per-section and whole-corpus
+//!   inference (the paper's qualitative table, timed);
+//! * `benches/table1.rs` — Table 1: the computed FreezeML and ML rows;
+//! * `benches/unify.rs` — unification scaling (depth, width, quantifier
+//!   nesting, demotion);
+//! * `benches/inference_scaling.rs` — Algorithm W vs FreezeML inference on
+//!   let-chains, application chains, and the classic exponential pair
+//!   chain (the substitution-based-algorithm ablation from DESIGN.md);
+//! * `benches/translate.rs` — `C⟦−⟧`/`E⟦−⟧` translation round trips.
+//!
+//! The paper reports no performance numbers (its evaluation is
+//! qualitative), so these benches record the *shape* of our
+//! implementation's behaviour; `EXPERIMENTS.md` keeps the measured
+//! numbers.
+
+use freezeml_core::{Options, Term, Type, TypeEnv};
+
+/// The Figure 2 prelude (re-exported for benches).
+pub fn prelude() -> TypeEnv {
+    freezeml_corpus::figure2()
+}
+
+/// Infer a parsed term against the prelude, panicking on failure.
+pub fn infer_ok(env: &TypeEnv, term: &Term) -> Type {
+    freezeml_core::infer_term(env, term, &Options::default())
+        .expect("benchmark term must be well-typed")
+        .ty
+}
+
+/// A deep arrow type `Int -> Int -> … -> Int` of the given depth.
+pub fn deep_arrow(depth: usize) -> Type {
+    let mut t = Type::int();
+    for _ in 0..depth {
+        t = Type::arrow(Type::int(), t);
+    }
+    t
+}
+
+/// A nested list type `List (List (… Int))` of the given depth.
+pub fn deep_list(depth: usize) -> Type {
+    let mut t = Type::int();
+    for _ in 0..depth {
+        t = Type::list(t);
+    }
+    t
+}
+
+/// `∀a₁…aₙ. a₁ → … → aₙ → Int` — a type with `n` quantifiers.
+pub fn quantified(n: usize) -> Type {
+    let vars: Vec<freezeml_core::TyVar> = (0..n)
+        .map(|i| freezeml_core::TyVar::named(format!("q{i}")))
+        .collect();
+    let body = vars.iter().rev().fold(Type::int(), |acc, v| {
+        Type::arrow(Type::Var(v.clone()), acc)
+    });
+    Type::foralls(vars, body)
+}
+
+/// A FreezeML application chain `id (id (… (id 1)))`.
+pub fn app_chain(n: usize) -> Term {
+    let mut t = Term::int(1);
+    for _ in 0..n {
+        t = Term::app(Term::var("id"), t);
+    }
+    t
+}
+
+/// A FreezeML `let`-chain with freezing — stresses the environment and
+/// generalisation machinery.
+pub fn freeze_let_chain(n: usize) -> Term {
+    let mut body = Term::app(Term::var("poly"), Term::frozen(format!("f{n}").as_str()));
+    for i in (1..=n).rev() {
+        let rhs = if i == 1 {
+            Term::lam("x", Term::var("x"))
+        } else {
+            Term::lam(
+                "x",
+                Term::app(Term::var(format!("f{}", i - 1).as_str()), Term::var("x")),
+            )
+        };
+        body = Term::let_(format!("f{i}").as_str(), rhs, body);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_what_they_say() {
+        assert_eq!(deep_arrow(0), Type::int());
+        assert_eq!(deep_arrow(2).size(), 5);
+        assert_eq!(deep_list(3).size(), 4);
+        let q = quantified(3);
+        assert_eq!(q.split_foralls().0.len(), 3);
+    }
+
+    #[test]
+    fn bench_terms_typecheck() {
+        let env = prelude();
+        assert_eq!(infer_ok(&env, &app_chain(10)).to_string(), "Int");
+        assert_eq!(
+            infer_ok(&env, &freeze_let_chain(5)).to_string(),
+            "Int * Bool"
+        );
+    }
+}

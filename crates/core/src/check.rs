@@ -1,0 +1,228 @@
+//! The declarative typing relation, decided via the algorithm.
+//!
+//! The paper's typing rules (Figure 7) contain a negative occurrence of the
+//! typing relation inside the `principal` side-condition; Appendix C shows
+//! the relation is nevertheless well-defined by stratification (`J⟦−⟧`).
+//! Computationally, Theorem 7 characterises the derivable judgements
+//! exactly:
+//!
+//! > `∆, Θ′; θ(Γ) ⊢ M : A` holds iff `infer` succeeds with `(Θ′′, θ′, A′)`
+//! > and `A = θ′′(A′)` for some kind-respecting `θ′′ : Θ′′ ⇒ Θ′`.
+//!
+//! So [`check_typing`] runs inference and then *matches* the candidate type
+//! against the inferred one with a one-sided, kind-respecting substitution
+//! ([`matches()`](matches())): `•`-kinded flexible variables may only be instantiated by
+//! monotypes, and quantifier-bound variables must not escape.
+
+use crate::env::{KindEnv, RefinedEnv, TypeEnv};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::names::TyVar;
+use crate::options::Options;
+use crate::subst::Subst;
+use crate::term::Term;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// One-sided matching: find a substitution `θ` on the flexible variables of
+/// `Θ` with `θ(pattern) = target` (up to α-equivalence), respecting kinds.
+/// Returns `None` if no such substitution exists.
+///
+/// Variables free in `target` but unknown to `∆`/`Θ` are treated as rigid
+/// constants (they play the role of the target typing's own environment).
+pub fn matches(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    pattern: &Type,
+    target: &Type,
+) -> Option<Subst> {
+    let _ = delta; // rigidity is implied by absence from Θ
+    let mut bindings: HashMap<TyVar, Type> = HashMap::new();
+    let mut scope: Vec<TyVar> = Vec::new();
+    if go(pattern, target, theta, &mut bindings, &mut scope) {
+        Some(Subst::from_pairs(bindings))
+    } else {
+        None
+    }
+}
+
+fn go(
+    pattern: &Type,
+    target: &Type,
+    theta: &RefinedEnv,
+    bindings: &mut HashMap<TyVar, Type>,
+    scope: &mut Vec<TyVar>,
+) -> bool {
+    match (pattern, target) {
+        (Type::Var(x), t) if theta.contains(x) && !scope.contains(x) => {
+            if let Some(prev) = bindings.get(x) {
+                return prev.alpha_eq(t);
+            }
+            // A binding may not capture quantifier-bound (skolemised)
+            // variables of the enclosing scope.
+            if t.ftv().iter().any(|v| scope.contains(v)) {
+                return false;
+            }
+            if theta.kind_of(x) == Some(Kind::Mono) && !t.is_monotype() {
+                return false;
+            }
+            bindings.insert(x.clone(), t.clone());
+            true
+        }
+        (Type::Var(x), Type::Var(y)) => x == y,
+        (Type::Con(c, xs), Type::Con(d, ys)) => {
+            c == d
+                && xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|(x, y)| go(x, y, theta, bindings, scope))
+        }
+        (Type::Forall(x, pb), Type::Forall(y, tb)) => {
+            let c = TyVar::skolem();
+            let p2 = pb.rename_free(x, &Type::Var(c.clone()));
+            let t2 = tb.rename_free(y, &Type::Var(c.clone()));
+            scope.push(c);
+            let r = go(&p2, &t2, theta, bindings, scope);
+            scope.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+/// Decide the declarative judgement `∆; Γ ⊢ M : A` (Figure 7, via the
+/// stratified definition of Appendix C and Theorem 7).
+///
+/// Free variables of `ty` that are not in `delta` are treated as rigid.
+///
+/// # Errors
+///
+/// Returns an error only for ill-*scoped* terms or malformed environments;
+/// an ill-typed term yields `Ok(false)`.
+pub fn check_typing(
+    delta: &KindEnv,
+    gamma: &TypeEnv,
+    term: &Term,
+    ty: &Type,
+    opts: &Options,
+) -> Result<bool, TypeError> {
+    crate::scope::well_scoped(delta, term, opts)?;
+    let theta0 = RefinedEnv::new();
+    crate::kinding::check_env(delta, &theta0, gamma)?;
+    let (theta, subst, inferred, _) = match crate::infer::infer(delta, &theta0, gamma, term, opts)
+    {
+        Ok(r) => r,
+        Err(_) => return Ok(false), // complete: no inference ⇒ no typing
+    };
+    let resolved = subst.apply(&inferred);
+    Ok(matches(delta, &theta, &resolved, ty).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_term, parse_type};
+
+    fn env() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        g.push_str("id", "forall a. a -> a").unwrap();
+        g.push_str("choose", "forall a. a -> a -> a").unwrap();
+        g.push_str("ids", "List (forall a. a -> a)").unwrap();
+        g.push_str("single", "forall a. a -> List a").unwrap();
+        g
+    }
+
+    fn holds(src: &str, ty: &str) -> bool {
+        let term = parse_term(src).unwrap();
+        let ty = parse_type(ty).unwrap();
+        let delta: KindEnv = ty
+            .ftv()
+            .into_iter()
+            .filter(|v| v.is_named())
+            .collect();
+        check_typing(&delta, &env(), &term, &ty, &Options::default()).unwrap()
+    }
+
+    #[test]
+    fn instances_of_principal_type_are_derivable() {
+        assert!(holds("fun x -> x", "a -> a"));
+        assert!(holds("fun x -> x", "Int -> Int"));
+        assert!(holds("fun x -> x", "List Int -> List Int"));
+        assert!(!holds("fun x -> x", "Int -> Bool"));
+        assert!(!holds("fun x -> x", "a -> b"));
+    }
+
+    #[test]
+    fn mono_flexibles_only_take_monotypes() {
+        // λx.x : (∀a.a→a) → (∀a.a→a) is NOT derivable — the parameter
+        // variable has kind • (never guess polymorphism).
+        assert!(!holds(
+            "fun x -> x",
+            "(forall a. a -> a) -> forall a. a -> a"
+        ));
+    }
+
+    #[test]
+    fn frozen_variable_type_is_exact() {
+        assert!(holds("~id", "forall a. a -> a"));
+        assert!(!holds("~id", "Int -> Int"));
+        assert!(!holds("~id", "forall a b. a -> a"));
+    }
+
+    #[test]
+    fn poly_flexibles_take_polytypes() {
+        // single id : List (a → a) for any a, and the var is ⋆-kinded...
+        assert!(holds("single ~id", "List (forall a. a -> a)"));
+        assert!(holds("single id", "List (Int -> Int)"));
+    }
+
+    #[test]
+    fn value_restriction_blocks_poly_instances() {
+        // single id's element var is ⋆-kinded *during* inference, but the
+        // derivable types instantiate a → a; List (∀a.a→a) needs the frozen
+        // form.
+        assert!(!holds("single id", "List (forall a. a -> a)"));
+    }
+
+    #[test]
+    fn bound_variables_do_not_escape_into_bindings() {
+        // choose id : (b→b) → (b→b); matching against ∀b.(b→b)→(b→b)
+        // would require the flexible var to capture the bound b.
+        assert!(!holds("choose id", "forall b. (b -> b) -> b -> b"));
+        assert!(holds("choose id", "(b -> b) -> b -> b"));
+        assert!(holds("choose id", "(Int -> Int) -> Int -> Int"));
+    }
+
+    #[test]
+    fn matches_is_consistent_on_repeats() {
+        let a = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let pat = Type::arrow(Type::Var(a.clone()), Type::Var(a.clone()));
+        let t_ok = Type::arrow(Type::int(), Type::int());
+        let t_bad = Type::arrow(Type::int(), Type::bool());
+        assert!(matches(&KindEnv::new(), &th, &pat, &t_ok).is_some());
+        assert!(matches(&KindEnv::new(), &th, &pat, &t_bad).is_none());
+    }
+
+    #[test]
+    fn matches_respects_kinds() {
+        let a = TyVar::fresh();
+        let poly_ty = parse_type("forall b. b -> b").unwrap();
+        let th_mono: RefinedEnv = [(a.clone(), Kind::Mono)].into_iter().collect();
+        let th_poly: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let pat = Type::Var(a.clone());
+        assert!(matches(&KindEnv::new(), &th_mono, &pat, &poly_ty).is_none());
+        assert!(matches(&KindEnv::new(), &th_poly, &pat, &poly_ty).is_some());
+    }
+
+    #[test]
+    fn matched_substitution_proves_equality() {
+        let a = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let pat = Type::list(Type::Var(a));
+        let tgt = parse_type("List (forall a. a -> a)").unwrap();
+        let s = matches(&KindEnv::new(), &th, &pat, &tgt).unwrap();
+        assert!(s.apply(&pat).alpha_eq(&tgt));
+    }
+}

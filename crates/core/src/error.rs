@@ -1,0 +1,178 @@
+//! Type errors produced by kinding, unification, and inference.
+
+use crate::names::{TyVar, Var};
+use crate::tycon::TyCon;
+use crate::types::Type;
+use std::fmt;
+
+/// An error from the FreezeML type checker.
+///
+/// Every failure mode of Figures 15 and 16 has a dedicated variant so that
+/// tests can assert *why* a program is ill-typed, not merely that it is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeError {
+    /// A term variable is not bound in `Γ`.
+    UnboundVar(Var),
+    /// A type variable is not bound in `∆` or `Θ` (also raised by the
+    /// well-scopedness judgement `∆ ⊩ M`, Figure 9).
+    UnboundTyVar(TyVar),
+    /// A constructor is applied to the wrong number of arguments.
+    ConArity {
+        /// The constructor.
+        con: TyCon,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments found.
+        found: usize,
+    },
+    /// Unification failed on incompatible head constructors (including
+    /// `∀` vs. non-`∀` and distinct rigid variables).
+    Mismatch {
+        /// Left type at the point of failure.
+        left: Type,
+        /// Right type at the point of failure.
+        right: Type,
+    },
+    /// The occurs check failed: `a` would have to contain itself.
+    Occurs {
+        /// The flexible variable.
+        var: TyVar,
+        /// The type it was being unified with.
+        ty: Type,
+    },
+    /// A polymorphic type was required where only a monotype is allowed —
+    /// the kind-`•` check that enforces "never guess polymorphism" (§3.2).
+    PolyNotAllowed {
+        /// The offending polymorphic type.
+        ty: Type,
+    },
+    /// A skolem introduced when unifying quantified types escaped its scope
+    /// (the `c ∉ ftv(θ′)` assertion of Figure 15).
+    SkolemEscape {
+        /// The escaping skolem.
+        var: TyVar,
+    },
+    /// Quantified variables of a `let` annotation leaked into the ambient
+    /// substitution (the `ftv(θ₂) # ∆′` assertion of Figure 16).
+    AnnotationEscape {
+        /// The escaping annotation variables.
+        vars: Vec<TyVar>,
+    },
+    /// Environment formation `Θ ⊢ Γ` was violated: a type in `Γ` mentions a
+    /// polymorphic flexible variable (Figure 12, Extend).
+    PolyVarInEnv {
+        /// The polymorphic flexible variable.
+        var: TyVar,
+    },
+    /// A `let` annotation binds a type variable that is already in scope
+    /// (concatenation `∆,∆′` requires disjointness, §3 Notations).
+    ShadowedTyVar {
+        /// The re-bound variable.
+        var: TyVar,
+    },
+    /// Explicit type application `M@[A]` (§6 extension) applied to a term
+    /// whose type has no outermost quantifier.
+    CannotTypeApply {
+        /// The non-quantified type of `M`.
+        ty: Type,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::UnboundTyVar(a) => write!(f, "unbound type variable `{a}`"),
+            TypeError::ConArity {
+                con,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type constructor `{con}` expects {expected} argument(s) but got {found}"
+            ),
+            TypeError::Mismatch { left, right } => {
+                write!(f, "cannot unify `{left}` with `{right}`")
+            }
+            TypeError::Occurs { var, ty } => {
+                write!(f, "occurs check: `{var}` would be infinite in `{ty}`")
+            }
+            TypeError::PolyNotAllowed { ty } => write!(
+                f,
+                "polymorphic type `{ty}` not allowed here (monomorphic context)"
+            ),
+            TypeError::SkolemEscape { var } => {
+                write!(f, "rigid type variable `{var}` escapes its scope")
+            }
+            TypeError::AnnotationEscape { vars } => {
+                write!(f, "annotation type variable(s) ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{v}`")?;
+                }
+                write!(f, " escape into the enclosing context")
+            }
+            TypeError::PolyVarInEnv { var } => write!(
+                f,
+                "flexible type variable `{var}` in the environment must be monomorphic"
+            ),
+            TypeError::ShadowedTyVar { var } => write!(
+                f,
+                "type variable `{var}` is already bound in an enclosing annotation"
+            ),
+            TypeError::CannotTypeApply { ty } => write!(
+                f,
+                "cannot type-apply a term of non-quantified type `{ty}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TypeError> = vec![
+            TypeError::UnboundVar(Var::named("x")),
+            TypeError::UnboundTyVar(TyVar::named("a")),
+            TypeError::ConArity {
+                con: TyCon::List,
+                expected: 1,
+                found: 2,
+            },
+            TypeError::Mismatch {
+                left: Type::int(),
+                right: Type::bool(),
+            },
+            TypeError::Occurs {
+                var: TyVar::named("a"),
+                ty: Type::int(),
+            },
+            TypeError::PolyNotAllowed { ty: Type::int() },
+            TypeError::SkolemEscape {
+                var: TyVar::named("s"),
+            },
+            TypeError::AnnotationEscape {
+                vars: vec![TyVar::named("a"), TyVar::named("b")],
+            },
+            TypeError::PolyVarInEnv {
+                var: TyVar::named("a"),
+            },
+            TypeError::ShadowedTyVar {
+                var: TyVar::named("a"),
+            },
+            TypeError::CannotTypeApply { ty: Type::int() },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The type inference algorithm (Figure 16) — an extension of Algorithm W
+//! that is sound (Theorem 6), complete, and principal (Theorem 7).
+//!
+//! `infer(∆, Θ, Γ, M)` returns `(Θ′, θ, A)` with `∆ ⊢ θ : Θ ⇒ Θ′` and
+//! `∆, Θ′; θ(Γ) ⊢ M : A`; we additionally return a [`TypedTerm`]
+//! derivation tree for the translation to System F (Figure 11).
+//!
+//! The cases follow the paper line by line:
+//!
+//! * **frozen variables** are looked up verbatim;
+//! * **variables** have their top-level quantifiers instantiated with fresh
+//!   `⋆`-kinded flexible variables;
+//! * **unannotated λ** binds its parameter to a fresh `•`-kinded flexible
+//!   variable — parameters are never guessed polymorphic;
+//! * **let** generalises guarded values over `∆′′′ = ftv(A) − ∆ − ftv(θ₁)`;
+//!   for non-values the same variables are instead *demoted* to kind `•`,
+//!   realising the value restriction's monomorphic instantiation (§3.2);
+//! * **annotated let** `split`s its annotation, scopes the bound variables
+//!   into the right-hand side, and checks that none of them escape.
+
+use crate::env::{KindEnv, RefinedEnv, TypeEnv};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::kinding;
+use crate::names::TyVar;
+use crate::options::{InstantiationStrategy, Options};
+use crate::parser::ParseError;
+use crate::scope::{split, well_scoped};
+use crate::subst::Subst;
+use crate::term::Term;
+use crate::typed::{TypedNode, TypedTerm};
+use crate::types::Type;
+use crate::unify::unify;
+use std::fmt;
+
+/// The result of a top-level inference run.
+#[derive(Clone, Debug)]
+pub struct InferOutput {
+    /// The inferred (principal) type, with the final substitution applied.
+    pub ty: Type,
+    /// The derivation tree, fully resolved.
+    pub typed: TypedTerm,
+    /// The residual flexible environment `Θ′`.
+    pub theta: RefinedEnv,
+    /// The final composed substitution.
+    pub subst: Subst,
+}
+
+/// The core algorithm: `infer(∆, Θ, Γ, M) = (Θ′, θ, A)` plus the derivation.
+///
+/// Preconditions (checked by the public drivers, maintained by recursion):
+/// `∆, Θ ⊢ Γ` and `∆ ⊩ M`.
+///
+/// # Errors
+///
+/// Any [`TypeError`]; inference is complete, so an error means the program
+/// has no type (Theorem 7).
+pub fn infer(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    term: &Term,
+    opts: &Options,
+) -> Result<(RefinedEnv, Subst, Type, TypedTerm), TypeError> {
+    match term {
+        // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x))
+        Term::FrozenVar(x) => {
+            let ty = gamma
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::FrozenVar { name: x.clone() },
+            };
+            Ok((theta.clone(), Subst::identity(), ty, typed))
+        }
+
+        // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
+        Term::Var(x) => {
+            let scheme = gamma
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let (vars, h) = scheme.split_foralls();
+            let mut theta1 = theta.clone();
+            let mut inst = Vec::with_capacity(vars.len());
+            for a in &vars {
+                let b = TyVar::fresh();
+                theta1.insert(b.clone(), Kind::Poly);
+                inst.push((a.clone(), Type::Var(b)));
+            }
+            let ty = Subst::from_pairs(inst.clone()).apply(h);
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::Var {
+                    name: x.clone(),
+                    scheme,
+                    inst,
+                },
+            };
+            Ok((theta1, Subst::identity(), ty, typed))
+        }
+
+        Term::Lit(l) => {
+            let ty = l.ty();
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::Lit { lit: *l },
+            };
+            Ok((theta.clone(), Subst::identity(), ty, typed))
+        }
+
+        // infer(∆, Θ, Γ, λx.M): fresh a : •; decompose θ[a ↦ S].
+        Term::Lam(x, body) => {
+            let a = TyVar::fresh();
+            let theta_in = theta.inserted(a.clone(), Kind::Mono);
+            let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let (theta1, s, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
+            let param_ty = s.image_of(&a);
+            let s_out = s.without(&a);
+            let ty = Type::arrow(param_ty.clone(), bty);
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::Lam {
+                    param: x.clone(),
+                    param_ty,
+                    body: Box::new(tbody),
+                },
+            };
+            Ok((theta1, s_out, ty, typed))
+        }
+
+        // infer(∆, Θ, Γ, λ(x:A).M).
+        Term::LamAnn(x, ann, body) => {
+            let gamma_in = gamma.extended(x.clone(), ann.clone());
+            let (theta1, s, bty, tbody) = infer(delta, theta, &gamma_in, body, opts)?;
+            let ty = Type::arrow(ann.clone(), bty);
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::LamAnn {
+                    param: x.clone(),
+                    ann: ann.clone(),
+                    body: Box::new(tbody),
+                },
+            };
+            Ok((theta1, s, ty, typed))
+        }
+
+        // infer(∆, Θ, Γ, M N): unify θ₂(A′) with A → b for fresh b : ⋆.
+        Term::App(f, arg) => {
+            let (theta1, s1, fty0, tf) = infer(delta, theta, gamma, f, opts)?;
+            let gamma1 = s1.apply_env(gamma);
+            let (theta2, s2, aty, ta) = infer(delta, &theta1, &gamma1, arg, opts)?;
+            let mut fty = s2.apply(&fty0);
+            let mut tf = {
+                let mut tf = tf;
+                tf.apply_subst(&s2);
+                tf
+            };
+            let mut theta2 = theta2;
+
+            // Eliminator instantiation (§3.2): implicitly instantiate a
+            // quantified head before matching it against `A → b`.
+            if opts.instantiation == InstantiationStrategy::Eliminator {
+                if let Type::Forall(_, _) = fty {
+                    let (vars, h) = fty.split_foralls();
+                    let mut inst = Vec::with_capacity(vars.len());
+                    for a in &vars {
+                        let b = TyVar::fresh();
+                        theta2.insert(b.clone(), Kind::Poly);
+                        inst.push((a.clone(), Type::Var(b)));
+                    }
+                    let inst_ty = Subst::from_pairs(inst.clone()).apply(h);
+                    tf = TypedTerm {
+                        ty: inst_ty.clone(),
+                        node: TypedNode::ImplicitInst {
+                            inner: Box::new(tf),
+                            inst,
+                        },
+                    };
+                    fty = inst_ty;
+                }
+            }
+
+            let b = TyVar::fresh();
+            let theta2b = theta2.inserted(b.clone(), Kind::Poly);
+            let expected = Type::arrow(aty, Type::Var(b.clone()));
+            let (theta3, s3_all) = unify(delta, &theta2b, &fty, &expected)?;
+            let bty = s3_all.image_of(&b);
+            let s3 = s3_all.without(&b);
+            let s_out = s3.compose(&s2).compose(&s1);
+            let typed = TypedTerm {
+                ty: bty.clone(),
+                node: TypedNode::App {
+                    func: Box::new(tf),
+                    arg: Box::new(ta),
+                },
+            };
+            Ok((theta3, s_out, bty, typed))
+        }
+
+        // infer(∆, Θ, Γ, let x = M in N).
+        Term::Let(x, rhs, body) => {
+            let (theta1, s1, aty, trhs) = infer(delta, theta, gamma, rhs, opts)?;
+            // ∆′ = ftv(θ₁) − ∆, relative to the incoming domain Θ.
+            let delta_prime: Vec<TyVar> = s1
+                .range_ftv(theta)
+                .into_iter()
+                .filter(|v| !delta.contains(v))
+                .collect();
+            // (∆′′, ∆′′′) = gen((∆, ∆′), A, M).
+            let d3: Vec<TyVar> = aty
+                .ftv()
+                .into_iter()
+                .filter(|v| !delta.contains(v) && !delta_prime.contains(v))
+                .collect();
+            let gval = rhs.is_gval(opts);
+            let d2: Vec<TyVar> = if gval { d3.clone() } else { Vec::new() };
+            // Θ′₁ = demote(•, Θ₁, ∆′′′): under the value restriction the
+            // ungeneralised variables become monomorphic.
+            let theta1p = theta1.demoted(&d3);
+            let theta_in = theta1p.minus(&d2);
+            let bound_ty = Type::foralls(d2.clone(), aty);
+            let gamma_in = s1.apply_env(gamma).extended(x.clone(), bound_ty.clone());
+            let (theta2, s2, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
+            let s_out = s2.compose(&s1);
+            let typed = TypedTerm {
+                ty: bty.clone(),
+                node: TypedNode::Let {
+                    name: x.clone(),
+                    gen_vars: d2,
+                    mono_vars: if gval { Vec::new() } else { d3 },
+                    bound_ty,
+                    rhs_gval: gval,
+                    rhs: Box::new(trhs),
+                    body: Box::new(tbody),
+                },
+            };
+            Ok((theta2, s_out, bty, typed))
+        }
+
+        // Explicit type application M@[A] (§6 extension): instantiate the
+        // outermost quantifier of M's type with A. The argument's kinding
+        // (∆ ⊢ A : ⋆) is established by well-scopedness.
+        Term::TyApp(m, arg) => {
+            let (theta1, s1, mty, tm) = infer(delta, theta, gamma, m, opts)?;
+            match mty {
+                Type::Forall(a, body) => {
+                    let ty = body.rename_free(&a, arg);
+                    let typed = TypedTerm {
+                        ty: ty.clone(),
+                        node: TypedNode::TyApp {
+                            inner: Box::new(tm),
+                            bound: a,
+                            arg: arg.clone(),
+                        },
+                    };
+                    Ok((theta1, s1, ty, typed))
+                }
+                other => Err(TypeError::CannotTypeApply { ty: other }),
+            }
+        }
+
+        // infer(∆, Θ, Γ, let (x:A) = M in N).
+        Term::LetAnn(x, ann, rhs, body) => {
+            let (split_vars, a_prime) = split(ann, rhs, opts);
+            let delta2 = delta.extended(split_vars.clone())?;
+            let (theta1, s1, a1, trhs) = infer(&delta2, theta, gamma, rhs, opts)?;
+            let (theta2, s2p) = unify(&delta2, &theta1, &a_prime, &a1)?;
+            let s2 = s2p.compose(&s1);
+            // assert ftv(θ₂) # ∆′ — annotation variables must not escape.
+            let escaping: Vec<TyVar> = s2
+                .range_ftv(theta)
+                .into_iter()
+                .filter(|v| split_vars.contains(v))
+                .collect();
+            if !escaping.is_empty() {
+                return Err(TypeError::AnnotationEscape { vars: escaping });
+            }
+            let gamma_in = s2.apply_env(gamma).extended(x.clone(), ann.clone());
+            let (theta3, s3, bty, tbody) = infer(delta, &theta2, &gamma_in, body, opts)?;
+            let s_out = s3.compose(&s2);
+            let typed = TypedTerm {
+                ty: bty.clone(),
+                node: TypedNode::LetAnn {
+                    name: x.clone(),
+                    ann: ann.clone(),
+                    split_vars,
+                    rhs_gval: rhs.is_gval(opts),
+                    rhs: Box::new(trhs),
+                    body: Box::new(tbody),
+                },
+            };
+            Ok((theta3, s_out, bty, typed))
+        }
+    }
+}
+
+/// Infer the type of a closed-context term: checks well-scopedness and
+/// environment formation, runs [`infer`] with empty `∆`/`Θ`, and resolves
+/// the derivation with the final substitution.
+///
+/// # Errors
+///
+/// Any [`TypeError`].
+pub fn infer_term(gamma: &TypeEnv, term: &Term, opts: &Options) -> Result<InferOutput, TypeError> {
+    let delta = KindEnv::new();
+    let theta0 = RefinedEnv::new();
+    well_scoped(&delta, term, opts)?;
+    kinding::check_env(&delta, &theta0, gamma)?;
+    let (theta, subst, ty, mut typed) = infer(&delta, &theta0, gamma, term, opts)?;
+    typed.apply_subst(&subst);
+    let ty = subst.apply(&ty);
+    Ok(InferOutput {
+        ty,
+        typed,
+        theta,
+        subst,
+    })
+}
+
+/// An error from [`infer_program`]: either a parse error or a type error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgramError {
+    /// The source text did not parse.
+    Parse(ParseError),
+    /// The program is ill-scoped or ill-typed.
+    Type(TypeError),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Parse(e) => write!(f, "{e}"),
+            ProgramError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<ParseError> for ProgramError {
+    fn from(e: ParseError) -> Self {
+        ProgramError::Parse(e)
+    }
+}
+
+impl From<TypeError> for ProgramError {
+    fn from(e: TypeError) -> Self {
+        ProgramError::Type(e)
+    }
+}
+
+/// Parse and infer, returning the canonicalised principal type — leftover
+/// flexible variables are renamed to `a, b, c, …` exactly as Figure 1
+/// prints them.
+///
+/// ```
+/// use freezeml_core::{infer_program, Options, TypeEnv};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut env = TypeEnv::new();
+/// env.push_str("choose", "forall a. a -> a -> a")?;
+/// env.push_str("id", "forall a. a -> a")?;
+/// let ty = infer_program(&env, "choose id", &Options::default())?;
+/// assert_eq!(ty.to_string(), "(a -> a) -> a -> a");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// A [`ProgramError`] wrapping the parse or type error.
+pub fn infer_program(gamma: &TypeEnv, src: &str, opts: &Options) -> Result<Type, ProgramError> {
+    let term = crate::parser::parse_term(src)?;
+    let out = infer_term(gamma, &term, opts)?;
+    Ok(out.ty.canonicalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        for (name, ty) in [
+            ("id", "forall a. a -> a"),
+            ("ids", "List (forall a. a -> a)"),
+            ("choose", "forall a. a -> a -> a"),
+            ("head", "forall a. List a -> a"),
+            ("single", "forall a. a -> List a"),
+            ("auto", "(forall a. a -> a) -> forall a. a -> a"),
+            ("auto'", "forall b. (forall a. a -> a) -> b -> b"),
+            ("poly", "(forall a. a -> a) -> Int * Bool"),
+            ("inc", "Int -> Int"),
+            ("plus", "Int -> Int -> Int"),
+            ("nil", "forall a. List a"),
+        ] {
+            g.push_str(name, ty).unwrap();
+        }
+        g
+    }
+
+    fn ty_of(src: &str) -> Result<String, ProgramError> {
+        infer_program(&env(), src, &Options::default()).map(|t| t.to_string())
+    }
+
+    #[test]
+    fn frozen_variable_keeps_scheme() {
+        assert_eq!(ty_of("~id").unwrap(), "forall a. a -> a");
+    }
+
+    #[test]
+    fn plain_variable_instantiates() {
+        assert_eq!(ty_of("id").unwrap(), "a -> a");
+    }
+
+    #[test]
+    fn lambda_infers_monotype_param() {
+        assert_eq!(ty_of("fun x -> x").unwrap(), "a -> a");
+        assert_eq!(ty_of("fun x y -> y").unwrap(), "a -> b -> b");
+    }
+
+    #[test]
+    fn application_works() {
+        assert_eq!(ty_of("inc 41").unwrap(), "Int");
+        assert_eq!(ty_of("id 41").unwrap(), "Int");
+    }
+
+    #[test]
+    fn choose_id_specialises() {
+        // A2: choose id : (a → a) → (a → a)
+        assert_eq!(ty_of("choose id").unwrap(), "(a -> a) -> a -> a");
+        // A2•: choose ⌈id⌉ keeps the polytype.
+        assert_eq!(
+            ty_of("choose ~id").unwrap(),
+            "(forall a. a -> a) -> forall a. a -> a"
+        );
+    }
+
+    #[test]
+    fn generalisation_operator() {
+        assert_eq!(ty_of("$(fun x -> x)").unwrap(), "forall a. a -> a");
+        assert_eq!(ty_of("poly $(fun x -> x)").unwrap(), "Int * Bool");
+        assert_eq!(ty_of("poly ~id").unwrap(), "Int * Bool");
+    }
+
+    #[test]
+    fn auto_requires_frozen_argument() {
+        assert!(ty_of("auto id").is_err());
+        assert_eq!(ty_of("auto ~id").unwrap(), "forall a. a -> a");
+    }
+
+    #[test]
+    fn instantiation_operator() {
+        // head ids : ∀a.a→a, must be explicitly instantiated to apply it.
+        assert_eq!(ty_of("head ids").unwrap(), "forall a. a -> a");
+        assert!(ty_of("head ids 3").is_err());
+        assert_eq!(ty_of("(head ids)@ 3").unwrap(), "Int");
+    }
+
+    #[test]
+    fn unannotated_lambda_cannot_be_polymorphic() {
+        // bad = λf.(f 42, f True) — f gets a monotype.
+        let mut g = env();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        let r = infer_program(&g, "fun f -> (f 42, f true)", &Options::default());
+        assert!(r.is_err());
+        // With an annotation it works (B1).
+        let r2 = infer_program(
+            &g,
+            "fun (f : forall a. a -> a) -> (f 42, f true)",
+            &Options::default(),
+        );
+        assert_eq!(r2.unwrap().to_string(), "(forall a. a -> a) -> Int * Bool");
+    }
+
+    #[test]
+    fn let_generalises_values() {
+        assert_eq!(
+            ty_of("let f = fun x -> x in poly ~f").unwrap(),
+            "Int * Bool"
+        );
+    }
+
+    #[test]
+    fn let_does_not_generalise_applications() {
+        // bad5: let f = λx.x in ⌈f⌉ 42 — f : ∀a.a→a cannot be applied.
+        assert!(ty_of("let f = fun x -> x in ~f 42").is_err());
+        // choose (head ids) has a flexible mono var; F8.
+        assert_eq!(
+            ty_of("choose (head ids)").unwrap(),
+            "(forall a. a -> a) -> forall a. a -> a"
+        );
+    }
+
+    #[test]
+    fn value_restriction_monomorphises() {
+        // F9: let f = revapp ⌈id⌉ in f poly — f's residual var is demoted
+        // but still solvable with the *monotype* Int × Bool.
+        let mut g = env();
+        g.push_str("revapp", "forall a b. a -> (a -> b) -> b").unwrap();
+        let r = infer_program(&g, "let f = revapp ~id in f poly", &Options::default());
+        assert_eq!(r.unwrap().to_string(), "Int * Bool");
+    }
+
+    #[test]
+    fn value_restriction_rejects_poly_solution() {
+        // let xs = single id in ⌈xs⌉ : the element var is demoted to •;
+        // freezing exposes List (a → a) — fine. But unifying xs's element
+        // with a polytype afterwards must fail:
+        // let xs = single id in choose ids xs.
+        let mut g = env();
+        let r = infer_program(&g, "let xs = single id in choose ids xs", &Options::default());
+        assert!(r.is_err(), "demoted var must not take a polytype: {r:?}");
+        g.push_str("append", "forall a. List a -> List a -> List a")
+            .unwrap();
+        let ok = infer_program(&g, "let xs = single id in append xs xs", &Options::default());
+        assert_eq!(ok.unwrap().to_string(), "List (a -> a)");
+    }
+
+    #[test]
+    fn annotated_let_accepts_non_principal_types() {
+        // The annotation Int → Int is a non-principal instance of λx.x.
+        assert_eq!(
+            ty_of("let (f : Int -> Int) = fun x -> x in f 3").unwrap(),
+            "Int"
+        );
+    }
+
+    #[test]
+    fn annotated_let_scoped_tyvars() {
+        assert_eq!(
+            ty_of("let (f : forall a. a -> a) = fun (x : a) -> x in f 3").unwrap(),
+            "Int"
+        );
+    }
+
+    #[test]
+    fn annotated_let_rejects_wrong_annotation() {
+        assert!(ty_of("let (f : Int -> Bool) = fun x -> x in f 3").is_err());
+        // Quantifiers must originate from the rhs for non-values:
+        // id id : b → b for flexible b; the annotation ∀a.a→a does not match.
+        assert!(ty_of("let (f : forall a. a -> a) = id id in f").is_err());
+    }
+
+    #[test]
+    fn annotation_escape_is_caught() {
+        // λy. let (f : ∀a. a → a) = λ(x:a). y in f — solving y's type with
+        // the annotation-bound `a` must be rejected.
+        let r = ty_of("fun y -> let (f : forall a. a -> a) = fun (x : a) -> y in f");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn eliminator_strategy_instantiates_heads() {
+        let opts = Options::eliminator();
+        let r = infer_program(&env(), "head ids 3", &opts);
+        assert_eq!(r.unwrap().to_string(), "Int");
+        // F7 without the explicit @:
+        let r2 = infer_program(&env(), "(head ids) 3", &opts);
+        assert_eq!(r2.unwrap().to_string(), "Int");
+    }
+
+    #[test]
+    fn pure_mode_generalises_applications() {
+        // F10† needs gen of an application.
+        let r = infer_program(&env(), "$(auto' ~id)", &Options::pure_freezeml());
+        assert_eq!(r.unwrap().to_string(), "forall a. a -> a");
+        // Default mode: the flexible var is demoted, no generalisation.
+        let r2 = infer_program(&env(), "$(auto' ~id)", &Options::default());
+        assert_eq!(r2.unwrap().to_string(), "a -> a");
+    }
+
+    #[test]
+    fn left_to_right_order_is_irrelevant_for_bad_examples() {
+        // bad1/bad2 (§2): both must fail regardless of inference order.
+        let mut g = env();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        for src in [
+            "fun f -> (poly ~f, f 42 + 1)",
+            "fun f -> (f 42 + 1, poly ~f)",
+        ] {
+            assert!(
+                infer_program(&g, src, &Options::default()).is_err(),
+                "{src} should be ill-typed"
+            );
+        }
+    }
+
+    #[test]
+    fn bad3_bad4_fail_via_monomorphic_instantiation() {
+        // §3.2: let f = bot bot in … — f's type variable is demoted, so
+        // poly ⌈f⌉ fails in both argument orders.
+        let mut g = env();
+        g.push_str("bot", "forall a. a").unwrap();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        for src in [
+            "fun (b : forall a. a) -> let f = bot bot in (poly ~f, f 42 + 1)",
+            "fun (b : forall a. a) -> let f = bot bot in (f 42 + 1, poly ~f)",
+        ] {
+            assert!(
+                infer_program(&g, src, &Options::default()).is_err(),
+                "{src} should be ill-typed"
+            );
+        }
+    }
+
+    #[test]
+    fn infer_term_resolves_derivation() {
+        let term = crate::parser::parse_term("fun x -> inc x").unwrap();
+        let out = infer_term(&env(), &term, &Options::default()).unwrap();
+        assert_eq!(out.ty.to_string(), "Int -> Int");
+        match &out.typed.node {
+            TypedNode::Lam { param_ty, .. } => assert_eq!(param_ty, &Type::int()),
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_variable_reports_cleanly() {
+        assert_eq!(
+            infer_program(&env(), "nope", &Options::default()),
+            Err(ProgramError::Type(TypeError::UnboundVar(
+                crate::names::Var::named("nope")
+            )))
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Kinds `•` (monomorphic) and `⋆` (polymorphic), Figure 3.
+//!
+//! FreezeML's kind system has exactly two kinds. A type has kind [`Kind::Mono`]
+//! when it is entirely free of quantifiers; every type has kind
+//! [`Kind::Poly`] (the upcast rule of Figure 4). Inference additionally uses
+//! kinds on *flexible* variables to record whether a unification variable may
+//! be solved with a polymorphic type (§5.1) — this is the mechanism that
+//! enforces the paper's "never guess polymorphism" principle.
+
+use std::fmt;
+
+/// A FreezeML kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub enum Kind {
+    /// `•` — monomorphic types (no quantifiers anywhere).
+    #[default]
+    Mono,
+    /// `⋆` — all types, including polymorphic ones.
+    Poly,
+}
+
+impl Kind {
+    /// The join `⊔` of the two-point kind lattice (`• ⊑ ⋆`), used by the
+    /// admissible instantiation rule in §3.1.
+    pub fn join(self, other: Kind) -> Kind {
+        match (self, other) {
+            (Kind::Mono, Kind::Mono) => Kind::Mono,
+            _ => Kind::Poly,
+        }
+    }
+
+    /// Lattice order: `K ≤ K'` iff `K ⊔ K' = K'`.
+    pub fn le(self, other: Kind) -> bool {
+        self.join(other) == other
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Mono => write!(f, "*mono"),
+            Kind::Poly => write!(f, "*poly"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_lattice_join() {
+        assert_eq!(Kind::Mono.join(Kind::Mono), Kind::Mono);
+        assert_eq!(Kind::Mono.join(Kind::Poly), Kind::Poly);
+        assert_eq!(Kind::Poly.join(Kind::Mono), Kind::Poly);
+        assert_eq!(Kind::Poly.join(Kind::Poly), Kind::Poly);
+    }
+
+    #[test]
+    fn order_matches_join() {
+        assert!(Kind::Mono.le(Kind::Poly));
+        assert!(Kind::Mono.le(Kind::Mono));
+        assert!(Kind::Poly.le(Kind::Poly));
+        assert!(!Kind::Poly.le(Kind::Mono));
+    }
+
+    #[test]
+    fn default_is_mono() {
+        assert_eq!(Kind::default(), Kind::Mono);
+    }
+}

@@ -1,0 +1,226 @@
+//! Kinding judgements.
+//!
+//! * Figure 4 — object-language kinding `∆ ⊢ A : K` (rigid variables only);
+//! * Figure 12 — refined kinding `Θ ⊢ A : K` where flexible variables carry
+//!   their own kinds, plus environment formation `Θ ⊢ Γ` whose `Extend`
+//!   rule demands that every free variable of a type in `Γ` is monomorphic —
+//!   the invariant that prevents guessing polymorphism (§5.1).
+//!
+//! Both are implemented by [`kind_of`], which computes the *minimal* kind of
+//! a type (`•` if derivable, else `⋆`); the upcast rule then gives
+//! [`has_kind`] for free.
+
+use crate::env::{KindEnv, RefinedEnv, TypeEnv};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::names::TyVar;
+use crate::types::Type;
+
+/// Compute the minimal kind of `ty` under rigid environment `∆` and refined
+/// environment `Θ` (Figures 4 and 12; pass an empty `Θ` for the
+/// object-language judgement).
+///
+/// # Errors
+///
+/// [`TypeError::UnboundTyVar`] if a free variable of `ty` is in neither
+/// environment, and [`TypeError::ConArity`] on arity mismatches.
+pub fn kind_of(delta: &KindEnv, theta: &RefinedEnv, ty: &Type) -> Result<Kind, TypeError> {
+    let mut bound = Vec::new();
+    go(delta, theta, ty, &mut bound)
+}
+
+fn go(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    ty: &Type,
+    bound: &mut Vec<TyVar>,
+) -> Result<Kind, TypeError> {
+    match ty {
+        Type::Var(a) => {
+            if bound.contains(a) {
+                // ForAll-bound variables have kind • (Figure 12, ForAll).
+                Ok(Kind::Mono)
+            } else if let Some(k) = theta.kind_of(a) {
+                Ok(k)
+            } else if delta.contains(a) {
+                Ok(Kind::Mono)
+            } else {
+                Err(TypeError::UnboundTyVar(a.clone()))
+            }
+        }
+        Type::Con(c, args) => {
+            if args.len() != c.arity() {
+                return Err(TypeError::ConArity {
+                    con: c.clone(),
+                    expected: c.arity(),
+                    found: args.len(),
+                });
+            }
+            let mut k = Kind::Mono;
+            for arg in args {
+                k = k.join(go(delta, theta, arg, bound)?);
+            }
+            Ok(k)
+        }
+        Type::Forall(a, body) => {
+            bound.push(a.clone());
+            let r = go(delta, theta, body, bound);
+            bound.pop();
+            r?;
+            Ok(Kind::Poly)
+        }
+    }
+}
+
+/// Check `∆, Θ ⊢ A : K` (using the upcast rule).
+///
+/// # Errors
+///
+/// Propagates [`kind_of`] errors; returns [`TypeError::PolyNotAllowed`] when
+/// the minimal kind exceeds `k`.
+pub fn has_kind(delta: &KindEnv, theta: &RefinedEnv, ty: &Type, k: Kind) -> Result<(), TypeError> {
+    let actual = kind_of(delta, theta, ty)?;
+    if actual.le(k) {
+        Ok(())
+    } else {
+        Err(TypeError::PolyNotAllowed { ty: ty.clone() })
+    }
+}
+
+/// Environment formation `∆, Θ ⊢ Γ` (Figure 12, Empty/Extend): every type in
+/// `Γ` must be well-kinded and all of its free type variables monomorphic.
+///
+/// # Errors
+///
+/// [`TypeError::PolyVarInEnv`] if a type in `Γ` mentions a `⋆`-kinded
+/// flexible variable; kinding errors otherwise.
+pub fn check_env(delta: &KindEnv, theta: &RefinedEnv, gamma: &TypeEnv) -> Result<(), TypeError> {
+    for (_, ty) in gamma.iter() {
+        has_kind(delta, theta, ty, Kind::Poly)?;
+        for v in ty.ftv() {
+            if theta.kind_of(&v) == Some(Kind::Poly) {
+                return Err(TypeError::PolyVarInEnv { var: v });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(vars: &[&str]) -> KindEnv {
+        vars.iter().map(TyVar::named).collect()
+    }
+
+    #[test]
+    fn rigid_vars_are_mono() {
+        let d = delta(&["a"]);
+        let th = RefinedEnv::new();
+        assert_eq!(kind_of(&d, &th, &Type::var("a")).unwrap(), Kind::Mono);
+    }
+
+    #[test]
+    fn unbound_var_errors() {
+        let e = kind_of(&KindEnv::new(), &RefinedEnv::new(), &Type::var("a"));
+        assert_eq!(e, Err(TypeError::UnboundTyVar(TyVar::named("a"))));
+    }
+
+    #[test]
+    fn flexible_kind_from_theta() {
+        let th: RefinedEnv = [(TyVar::named("a"), Kind::Poly)].into_iter().collect();
+        assert_eq!(
+            kind_of(&KindEnv::new(), &th, &Type::var("a")).unwrap(),
+            Kind::Poly
+        );
+    }
+
+    #[test]
+    fn forall_is_poly_and_binds_mono() {
+        let t = Type::foralls(
+            [TyVar::named("a")],
+            Type::arrow(Type::var("a"), Type::var("a")),
+        );
+        assert_eq!(
+            kind_of(&KindEnv::new(), &RefinedEnv::new(), &t).unwrap(),
+            Kind::Poly
+        );
+    }
+
+    #[test]
+    fn constructor_kind_is_join_of_args() {
+        let d = delta(&["a"]);
+        let th = RefinedEnv::new();
+        let id = Type::foralls(
+            [TyVar::named("b")],
+            Type::arrow(Type::var("b"), Type::var("b")),
+        );
+        // List a : •, List (∀b.b→b) : ⋆ only.
+        assert_eq!(
+            kind_of(&d, &th, &Type::list(Type::var("a"))).unwrap(),
+            Kind::Mono
+        );
+        assert_eq!(kind_of(&d, &th, &Type::list(id.clone())).unwrap(), Kind::Poly);
+        assert!(has_kind(&d, &th, &Type::list(id.clone()), Kind::Poly).is_ok());
+        assert_eq!(
+            has_kind(&d, &th, &Type::list(id.clone()), Kind::Mono),
+            Err(TypeError::PolyNotAllowed {
+                ty: Type::list(id)
+            })
+        );
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let t = Type::Con(crate::tycon::TyCon::List, vec![Type::int(), Type::int()]);
+        assert!(matches!(
+            kind_of(&KindEnv::new(), &RefinedEnv::new(), &t),
+            Err(TypeError::ConArity { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowed_binder_is_mono_inside() {
+        // Θ = a:⋆ but ∀a. … rebinds a at kind •.
+        let th: RefinedEnv = [(TyVar::named("a"), Kind::Poly)].into_iter().collect();
+        let t = Type::foralls([TyVar::named("a")], Type::list(Type::var("a")));
+        assert_eq!(kind_of(&KindEnv::new(), &th, &t).unwrap(), Kind::Poly);
+        // And the inner List a is mono with respect to the binder.
+        if let Type::Forall(_, body) = &t {
+            let mut bound = vec![TyVar::named("a")];
+            assert_eq!(
+                super::go(&KindEnv::new(), &th, body, &mut bound).unwrap(),
+                Kind::Mono
+            );
+        }
+    }
+
+    #[test]
+    fn env_formation_rejects_poly_flexibles() {
+        let a = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let mut g = TypeEnv::new();
+        g.push("x", Type::Var(a.clone()));
+        assert_eq!(
+            check_env(&KindEnv::new(), &th, &g),
+            Err(TypeError::PolyVarInEnv { var: a })
+        );
+    }
+
+    #[test]
+    fn env_formation_accepts_mono_flexibles_and_closed_polytypes() {
+        let a = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Mono)].into_iter().collect();
+        let mut g = TypeEnv::new();
+        g.push("x", Type::Var(a));
+        g.push(
+            "id",
+            Type::foralls(
+                [TyVar::named("b")],
+                Type::arrow(Type::var("b"), Type::var("b")),
+            ),
+        );
+        assert!(check_env(&KindEnv::new(), &th, &g).is_ok());
+    }
+}

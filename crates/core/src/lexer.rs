@@ -1,0 +1,380 @@
+//! Lexer for the ASCII surface syntax.
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_']*` (primes allowed, so `auto'`
+//! and `pair'` from Figure 2 lex as single identifiers). Comments run from
+//! `--` to end of line. The freeze, generalisation, and instantiation
+//! operators lex as `~`, `$`, and `@`.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// The kinds of token in the surface syntax.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// `fun`
+    Fun,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `forall`
+    Forall,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `->`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `,`
+    Comma,
+    /// `~`
+    Tilde,
+    /// `$`
+    Dollar,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `++`
+    PlusPlus,
+    /// `=`
+    Eq,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Fun => write!(f, "fun"),
+            TokenKind::Let => write!(f, "let"),
+            TokenKind::In => write!(f, "in"),
+            TokenKind::Forall => write!(f, "forall"),
+            TokenKind::True => write!(f, "true"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::ColonColon => write!(f, "::"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Dollar => write!(f, "$"),
+            TokenKind::At => write!(f, "@"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A lexing failure: an unexpected character.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// A human-readable message.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub pos: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise the input.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on characters outside the surface syntax.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token {
+                    kind: TokenKind::Arrow,
+                    pos,
+                });
+                i += 2;
+            }
+            '(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                out.push(Token {
+                    kind: TokenKind::ColonColon,
+                    pos,
+                });
+                i += 2;
+            }
+            ':' => {
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    pos,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            '~' => {
+                out.push(Token {
+                    kind: TokenKind::Tilde,
+                    pos,
+                });
+                i += 1;
+            }
+            '$' => {
+                out.push(Token {
+                    kind: TokenKind::Dollar,
+                    pos,
+                });
+                i += 1;
+            }
+            '@' => {
+                out.push(Token {
+                    kind: TokenKind::At,
+                    pos,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
+                i += 1;
+            }
+            '+' if bytes.get(i + 1) == Some(&b'+') => {
+                out.push(Token {
+                    kind: TokenKind::PlusPlus,
+                    pos,
+                });
+                i += 2;
+            }
+            '+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text.parse::<i64>().map_err(|_| LexError {
+                    msg: format!("integer literal `{text}` out of range"),
+                    pos,
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Int(n),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                let kind = match text {
+                    "fun" => TokenKind::Fun,
+                    "let" => TokenKind::Let,
+                    "in" => TokenKind::In,
+                    "forall" => TokenKind::Forall,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                out.push(Token { kind, pos });
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    pos,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fun let in forall xs auto'"),
+            vec![
+                TokenKind::Fun,
+                TokenKind::Let,
+                TokenKind::In,
+                TokenKind::Forall,
+                TokenKind::Ident("xs".into()),
+                TokenKind::Ident("auto'".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("-> :: : ++ + * ~ $ @ = . ,"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::ColonColon,
+                TokenKind::Colon,
+                TokenKind::PlusPlus,
+                TokenKind::Plus,
+                TokenKind::Star,
+                TokenKind::Tilde,
+                TokenKind::Dollar,
+                TokenKind::At,
+                TokenKind::Eq,
+                TokenKind::Dot,
+                TokenKind::Comma,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals_and_brackets() {
+        assert_eq!(
+            kinds("[1, 42] (true false)"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(42),
+                TokenKind::RBracket,
+                TokenKind::LParen,
+                TokenKind::True,
+                TokenKind::False,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("x -- comment -> ignored\ny"), kinds("x y"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x ? y").is_err());
+        assert!(lex("x # y").is_err());
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+    }
+}

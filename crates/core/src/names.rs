@@ -1,0 +1,205 @@
+//! Type- and term-variable names.
+//!
+//! The paper works with a single namespace of type variables, distinguishing
+//! *rigid* (eigen-) variables from *flexible* (unification) variables by the
+//! environment they live in (`∆` vs `Θ`, §5.1). We additionally distinguish
+//! them syntactically so that fresh names can never collide with source
+//! names:
+//!
+//! * [`TyVar::named`] — variables written by the programmer (`a`, `b`, `s`);
+//! * [`TyVar::fresh`] — flexible variables invented by inference, printed
+//!   `%0`, `%1`, …;
+//! * [`TyVar::skolem`] — rigid variables invented by unification of
+//!   quantified types (Figure 15), printed `!0`, `!1`, ….
+//!
+//! `%` and `!` are not identifier characters in the surface syntax, so
+//! invented names are unparseable and capture-free by construction.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A type variable.
+///
+/// Cheap to clone (named variables share an [`Arc`]); ordered and hashable so
+/// it can key environment maps.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TyVar(Repr);
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Repr {
+    Named(Arc<str>),
+    Fresh(u64),
+    Skolem(u64),
+}
+
+impl TyVar {
+    /// A source-level type variable with the given name.
+    pub fn named(name: impl AsRef<str>) -> Self {
+        TyVar(Repr::Named(Arc::from(name.as_ref())))
+    }
+
+    /// A globally fresh flexible type variable (used by inference, §5.1).
+    pub fn fresh() -> Self {
+        TyVar(Repr::Fresh(next_id()))
+    }
+
+    /// A globally fresh rigid (skolem) type variable (used when unifying
+    /// quantified types, Figure 15).
+    pub fn skolem() -> Self {
+        TyVar(Repr::Skolem(next_id()))
+    }
+
+    /// `true` for variables created by [`TyVar::named`].
+    pub fn is_named(&self) -> bool {
+        matches!(self.0, Repr::Named(_))
+    }
+
+    /// `true` for variables created by [`TyVar::fresh`].
+    pub fn is_fresh(&self) -> bool {
+        matches!(self.0, Repr::Fresh(_))
+    }
+
+    /// `true` for variables created by [`TyVar::skolem`].
+    pub fn is_skolem(&self) -> bool {
+        matches!(self.0, Repr::Skolem(_))
+    }
+
+    /// The source name, if this is a named variable.
+    pub fn name(&self) -> Option<&str> {
+        match &self.0 {
+            Repr::Named(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Repr::Named(s) => write!(f, "{s}"),
+            Repr::Fresh(n) => write!(f, "%{n}"),
+            Repr::Skolem(n) => write!(f, "!{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TyVar({self})")
+    }
+}
+
+impl From<&str> for TyVar {
+    fn from(s: &str) -> Self {
+        TyVar::named(s)
+    }
+}
+
+/// A term variable.
+///
+/// Fresh term variables (printed `$0`, `$1`, …) are used when desugaring the
+/// generalisation (`$V`) and instantiation (`M@`) operators of §2.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(VRepr);
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum VRepr {
+    Named(Arc<str>),
+    Fresh(u64),
+}
+
+impl Var {
+    /// A source-level term variable.
+    pub fn named(name: impl AsRef<str>) -> Self {
+        Var(VRepr::Named(Arc::from(name.as_ref())))
+    }
+
+    /// A globally fresh term variable for desugaring.
+    pub fn fresh() -> Self {
+        Var(VRepr::Fresh(next_id()))
+    }
+
+    /// The source name, if any.
+    pub fn name(&self) -> Option<&str> {
+        match &self.0 {
+            VRepr::Named(s) => Some(s),
+            VRepr::Fresh(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            VRepr::Named(s) => write!(f, "{s}"),
+            VRepr::Fresh(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({self})")
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::named(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_tyvars_equal_by_name() {
+        assert_eq!(TyVar::named("a"), TyVar::named("a"));
+        assert_ne!(TyVar::named("a"), TyVar::named("b"));
+    }
+
+    #[test]
+    fn fresh_tyvars_are_distinct() {
+        assert_ne!(TyVar::fresh(), TyVar::fresh());
+        assert_ne!(TyVar::skolem(), TyVar::skolem());
+    }
+
+    #[test]
+    fn fresh_never_equals_named() {
+        let f = TyVar::fresh();
+        let n = TyVar::named(format!("{f}"));
+        assert_ne!(f, n);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(TyVar::named("abc").to_string(), "abc");
+        assert!(TyVar::fresh().to_string().starts_with('%'));
+        assert!(TyVar::skolem().to_string().starts_with('!'));
+        assert!(Var::fresh().to_string().starts_with('$'));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(TyVar::named("a").is_named());
+        assert!(TyVar::fresh().is_fresh());
+        assert!(TyVar::skolem().is_skolem());
+        assert_eq!(TyVar::named("a").name(), Some("a"));
+        assert_eq!(TyVar::fresh().name(), None);
+    }
+
+    #[test]
+    fn var_basics() {
+        assert_eq!(Var::named("x"), Var::named("x"));
+        assert_ne!(Var::fresh(), Var::fresh());
+        assert_eq!(Var::named("x").name(), Some("x"));
+    }
+}

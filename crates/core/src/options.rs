@@ -1,0 +1,89 @@
+//! Checker options: the value restriction and the instantiation strategy.
+//!
+//! The paper's formal system (Figures 7–16) adopts the ML value restriction
+//! and instantiates *variables only*. §3.2 and §6 describe two variations
+//! which the Links implementation supports and which we reproduce here:
+//!
+//! * **"Pure" FreezeML** — no value restriction. Needed for example F10† of
+//!   Figure 1, which generalises an application.
+//! * **Eliminator instantiation** — terms in application head position are
+//!   implicitly instantiated, so e.g. `(head ids) 42` typechecks without an
+//!   explicit `@`.
+
+/// How implicit instantiation is performed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum InstantiationStrategy {
+    /// Only variable occurrences are implicitly instantiated (the paper's
+    /// formal system).
+    #[default]
+    Variable,
+    /// Additionally instantiate terms in application head position (§3.2
+    /// "Instantiation strategies"; supported by the Links implementation).
+    Eliminator,
+}
+
+/// Configuration for well-scopedness checking and type inference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Options {
+    /// Apply the ML value restriction (default `true`). When `false`, every
+    /// term may be generalised — the hypothetical "pure" FreezeML of §3.2.
+    pub value_restriction: bool,
+    /// The implicit instantiation strategy.
+    pub instantiation: InstantiationStrategy,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            value_restriction: true,
+            instantiation: InstantiationStrategy::Variable,
+        }
+    }
+}
+
+impl Options {
+    /// The paper's formal system: value restriction on, variable
+    /// instantiation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// "Pure" FreezeML: no value restriction (§3.2).
+    pub fn pure_freezeml() -> Self {
+        Options {
+            value_restriction: false,
+            ..Self::default()
+        }
+    }
+
+    /// Eliminator instantiation (§3.2, §6).
+    pub fn eliminator() -> Self {
+        Options {
+            instantiation: InstantiationStrategy::Eliminator,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_system() {
+        let o = Options::default();
+        assert!(o.value_restriction);
+        assert_eq!(o.instantiation, InstantiationStrategy::Variable);
+        assert_eq!(Options::new(), Options::default());
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!Options::pure_freezeml().value_restriction);
+        assert_eq!(
+            Options::eliminator().instantiation,
+            InstantiationStrategy::Eliminator
+        );
+        assert!(Options::eliminator().value_restriction);
+    }
+}

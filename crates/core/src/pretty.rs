@@ -1,0 +1,318 @@
+//! Pretty-printing in the ASCII surface syntax (§6: Links renders `⌈x⌉` as
+//! `~x`; we additionally render `∀` as `forall`, `×` as `*`).
+//!
+//! Invented variables (`%3`, `!7`) are given readable letter names on the
+//! fly — binders and free invented variables alike — choosing letters that
+//! do not clash with any source-named variable in the same type. Printing is
+//! therefore stable under α-renaming of invented binders.
+//!
+//! The grammar printed here is exactly the grammar accepted by
+//! [`crate::parser`], so `parse_type(ty.to_string())` round-trips (up to
+//! α-equivalence and canonical naming); this is checked by property tests.
+
+use crate::names::TyVar;
+use crate::term::Term;
+use crate::tycon::TyCon;
+use crate::types::{letter_supply, Type};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Format a type (used by `Type`'s `Display` impl).
+pub fn fmt_type(ty: &Type, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut taken = HashSet::new();
+    collect_named_names(ty, &mut taken);
+    let mut names = HashMap::new();
+    let mut supply = letter_supply(taken);
+    assign_names(ty, &mut names, &mut supply);
+    fmt_ty(ty, 1, &names, f)
+}
+
+fn collect_named_names(ty: &Type, out: &mut HashSet<String>) {
+    match ty {
+        Type::Var(a) => {
+            if let Some(n) = a.name() {
+                out.insert(n.to_string());
+            }
+        }
+        Type::Con(_, args) => args.iter().for_each(|t| collect_named_names(t, out)),
+        Type::Forall(a, body) => {
+            if let Some(n) = a.name() {
+                out.insert(n.to_string());
+            }
+            collect_named_names(body, out);
+        }
+    }
+}
+
+fn assign_names(
+    ty: &Type,
+    names: &mut HashMap<TyVar, String>,
+    supply: &mut impl Iterator<Item = String>,
+) {
+    match ty {
+        Type::Var(a) => {
+            if !a.is_named() && !names.contains_key(a) {
+                names.insert(a.clone(), supply.next().expect("infinite supply"));
+            }
+        }
+        Type::Con(_, args) => args.iter().for_each(|t| assign_names(t, names, supply)),
+        Type::Forall(a, body) => {
+            if !a.is_named() && !names.contains_key(a) {
+                names.insert(a.clone(), supply.next().expect("infinite supply"));
+            }
+            assign_names(body, names, supply);
+        }
+    }
+}
+
+fn var_name(a: &TyVar, names: &HashMap<TyVar, String>) -> String {
+    match a.name() {
+        Some(n) => n.to_string(),
+        None => names
+            .get(a)
+            .cloned()
+            .unwrap_or_else(|| a.to_string()),
+    }
+}
+
+/// Precedence levels: 1 = forall/arrow position, 2 = product operand,
+/// 3 = constructor-application argument position (atoms only).
+fn fmt_ty(
+    ty: &Type,
+    prec: u8,
+    names: &HashMap<TyVar, String>,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match ty {
+        Type::Var(a) => write!(f, "{}", var_name(a, names)),
+        Type::Forall(_, _) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            write!(f, "forall")?;
+            let mut t = ty;
+            while let Type::Forall(a, body) = t {
+                write!(f, " {}", var_name(a, names))?;
+                t = body;
+            }
+            write!(f, ". ")?;
+            fmt_ty(t, 1, names, f)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Con(TyCon::Arrow, args) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_ty(&args[0], 2, names, f)?;
+            write!(f, " -> ")?;
+            fmt_ty(&args[1], 1, names, f)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Con(TyCon::Prod, args) => {
+            if prec > 2 {
+                write!(f, "(")?;
+            }
+            fmt_ty(&args[0], 3, names, f)?;
+            write!(f, " * ")?;
+            fmt_ty(&args[1], 3, names, f)?;
+            if prec > 2 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Con(c, args) if args.is_empty() => write!(f, "{}", c.name()),
+        Type::Con(c, args) => {
+            if prec > 3 {
+                write!(f, "(")?;
+            }
+            write!(f, "{}", c.name())?;
+            for a in args {
+                write!(f, " ")?;
+                fmt_ty(a, 4, names, f)?;
+            }
+            if prec > 3 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Format a term (used by `Term`'s `Display` impl).
+pub fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_tm(t, 0, f)
+}
+
+/// Precedence: 0 = open (let/fun bodies), 1 = application head/argument
+/// context requires atoms for complex terms.
+fn fmt_tm(t: &Term, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        Term::Var(x) => write!(f, "{x}"),
+        Term::FrozenVar(x) => write!(f, "~{x}"),
+        Term::Lit(l) => write!(f, "{l}"),
+        Term::Lam(x, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "fun {x} -> ")?;
+            fmt_tm(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::LamAnn(x, ann, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "fun ({x} : {ann}) -> ")?;
+            fmt_tm(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::App(func, arg) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_tm(func, 1, f)?;
+            write!(f, " ")?;
+            fmt_tm(arg, 2, f)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::Let(x, rhs, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "let {x} = ")?;
+            fmt_tm(rhs, 0, f)?;
+            write!(f, " in ")?;
+            fmt_tm(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::TyApp(m, ty) => {
+            fmt_tm(m, 2, f)?;
+            write!(f, "@[{ty}]")
+        }
+        Term::LetAnn(x, ann, rhs, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "let ({x} : {ann}) = ")?;
+            fmt_tm(rhs, 0, f)?;
+            write!(f, " in ")?;
+            fmt_tm(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::TyVar;
+
+    fn fa(vars: &[&str], body: Type) -> Type {
+        Type::foralls(vars.iter().map(TyVar::named), body)
+    }
+
+    #[test]
+    fn simple_types() {
+        assert_eq!(Type::int().to_string(), "Int");
+        assert_eq!(Type::arrow(Type::int(), Type::bool()).to_string(), "Int -> Bool");
+        assert_eq!(Type::list(Type::int()).to_string(), "List Int");
+        assert_eq!(Type::prod(Type::int(), Type::bool()).to_string(), "Int * Bool");
+    }
+
+    #[test]
+    fn arrow_right_assoc() {
+        let t = Type::arrow(Type::int(), Type::arrow(Type::int(), Type::int()));
+        assert_eq!(t.to_string(), "Int -> Int -> Int");
+        let u = Type::arrow(Type::arrow(Type::int(), Type::int()), Type::int());
+        assert_eq!(u.to_string(), "(Int -> Int) -> Int");
+    }
+
+    #[test]
+    fn forall_collects_binders() {
+        let t = fa(&["a", "b"], Type::arrow(Type::var("a"), Type::var("b")));
+        assert_eq!(t.to_string(), "forall a b. a -> b");
+    }
+
+    #[test]
+    fn nested_forall_parenthesised() {
+        let id = fa(&["a"], Type::arrow(Type::var("a"), Type::var("a")));
+        let t = Type::arrow(id.clone(), id.clone());
+        // The right-hand side of an arrow needs no parentheses.
+        assert_eq!(t.to_string(), "(forall a. a -> a) -> forall a. a -> a");
+        assert_eq!(Type::list(id).to_string(), "List (forall a. a -> a)");
+    }
+
+    #[test]
+    fn invented_vars_get_letters() {
+        let v = TyVar::fresh();
+        let t = Type::arrow(Type::Var(v.clone()), Type::Var(v));
+        assert_eq!(t.to_string(), "a -> a");
+        // Letters avoid clashes with named variables.
+        let w = TyVar::fresh();
+        let u = Type::arrow(Type::var("a"), Type::Var(w));
+        assert_eq!(u.to_string(), "a -> b");
+    }
+
+    #[test]
+    fn invented_binders_get_letters() {
+        let v = TyVar::fresh();
+        let t = Type::Forall(
+            v.clone(),
+            Box::new(Type::arrow(Type::Var(v.clone()), Type::Var(v))),
+        );
+        assert_eq!(t.to_string(), "forall a. a -> a");
+    }
+
+    #[test]
+    fn terms_print_in_surface_syntax() {
+        let t = Term::lam("x", Term::app(Term::var("f"), Term::frozen("x")));
+        assert_eq!(t.to_string(), "fun x -> f ~x");
+        let l = Term::let_("y", Term::int(1), Term::var("y"));
+        assert_eq!(l.to_string(), "let y = 1 in y");
+        let app2 = Term::apps(Term::var("f"), [Term::var("x"), Term::var("y")]);
+        assert_eq!(app2.to_string(), "f x y");
+        let nested = Term::app(Term::var("f"), Term::app(Term::var("g"), Term::var("x")));
+        assert_eq!(nested.to_string(), "f (g x)");
+    }
+
+    #[test]
+    fn annotated_forms() {
+        let t = Term::lam_ann(
+            "x",
+            fa(&["a"], Type::arrow(Type::var("a"), Type::var("a"))),
+            Term::var("x"),
+        );
+        assert_eq!(t.to_string(), "fun (x : forall a. a -> a) -> x");
+        let l = Term::let_ann("y", Type::int(), Term::int(1), Term::var("y"));
+        assert_eq!(l.to_string(), "let (y : Int) = 1 in y");
+    }
+
+    #[test]
+    fn st_prints_applied() {
+        let t = Type::st(Type::var("s"), Type::int());
+        assert_eq!(t.to_string(), "ST s Int");
+        let u = Type::list(Type::st(Type::var("s"), Type::int()));
+        assert_eq!(u.to_string(), "List (ST s Int)");
+    }
+}

@@ -1,0 +1,175 @@
+//! Well-scopedness of terms, `∆ ⊩ M` (Figure 9).
+//!
+//! A prerequisite for inference: every type annotation must be well-kinded
+//! with respect to the type variables in scope. FreezeML's scoped type
+//! variables (§3.2 "Type Variable Scoping") mean that the top-level
+//! quantifiers of a `let` annotation are bound *inside* the right-hand side
+//! — but only in the generalising case, i.e. when the right-hand side is a
+//! guarded value, as computed by `split`.
+
+use crate::env::KindEnv;
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::kinding;
+use crate::names::TyVar;
+use crate::options::Options;
+use crate::term::Term;
+use crate::types::Type;
+
+/// `split(∀∆.H, M)` (Figure 8): if `M` is a guarded value the annotation's
+/// top-level quantifiers are bound in `M` and the body is exposed;
+/// otherwise all quantifiers must originate from `M` itself.
+pub fn split(ann: &Type, m: &Term, opts: &Options) -> (Vec<TyVar>, Type) {
+    if m.is_gval(opts) {
+        let (vars, body) = ann.split_foralls();
+        (vars, body.clone())
+    } else {
+        (Vec::new(), ann.clone())
+    }
+}
+
+/// Check `∆ ⊩ M` (Figure 9).
+///
+/// # Errors
+///
+/// [`TypeError::UnboundTyVar`] for annotation variables not in scope,
+/// [`TypeError::ShadowedTyVar`] when a `let` annotation re-binds an
+/// in-scope variable, and kinding errors for malformed annotations.
+pub fn well_scoped(delta: &KindEnv, term: &Term, opts: &Options) -> Result<(), TypeError> {
+    let theta = crate::env::RefinedEnv::new();
+    match term {
+        Term::Var(_) | Term::FrozenVar(_) | Term::Lit(_) => Ok(()),
+        Term::Lam(_, body) => well_scoped(delta, body, opts),
+        Term::TyApp(m, ann) => {
+            kinding::has_kind(delta, &theta, ann, Kind::Poly)?;
+            well_scoped(delta, m, opts)
+        }
+        Term::LamAnn(_, ann, body) => {
+            kinding::has_kind(delta, &theta, ann, Kind::Poly)?;
+            well_scoped(delta, body, opts)
+        }
+        Term::App(f, a) => {
+            well_scoped(delta, f, opts)?;
+            well_scoped(delta, a, opts)
+        }
+        Term::Let(_, rhs, body) => {
+            well_scoped(delta, rhs, opts)?;
+            well_scoped(delta, body, opts)
+        }
+        Term::LetAnn(_, ann, rhs, body) => {
+            kinding::has_kind(delta, &theta, ann, Kind::Poly)?;
+            let (vars, _) = split(ann, rhs, opts);
+            let delta2 = delta.extended(vars)?;
+            well_scoped(&delta2, rhs, opts)?;
+            well_scoped(delta, body, opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    fn check(src: &str) -> Result<(), TypeError> {
+        let t = parse_term(src).unwrap();
+        well_scoped(&KindEnv::new(), &t, &Options::default())
+    }
+
+    #[test]
+    fn closed_annotations_are_fine() {
+        assert!(check("fun (x : forall a. a -> a) -> x x").is_ok());
+        assert!(check("let (f : forall a. a -> a) = fun x -> x in f").is_ok());
+    }
+
+    #[test]
+    fn unannotated_terms_are_fine() {
+        assert!(check("fun x -> let y = x in y y").is_ok());
+    }
+
+    #[test]
+    fn free_annotation_var_is_rejected() {
+        // `a` is not bound anywhere.
+        assert_eq!(
+            check("fun (x : a -> a) -> x"),
+            Err(TypeError::UnboundTyVar(TyVar::named("a")))
+        );
+    }
+
+    #[test]
+    fn let_annotation_scopes_over_rhs() {
+        // §3.2: let (f : ∀a.a→a) = λ(x:a).x in N — the `a` on x is bound by
+        // the annotation on f.
+        assert!(check("let (f : forall a. a -> a) = fun (x : a) -> x in f 3").is_ok());
+    }
+
+    #[test]
+    fn let_annotation_does_not_scope_over_body() {
+        assert_eq!(
+            check("let (f : forall a. a -> a) = fun (x : a) -> x in fun (y : a) -> y"),
+            Err(TypeError::UnboundTyVar(TyVar::named("a")))
+        );
+    }
+
+    #[test]
+    fn unannotated_let_does_not_bind_type_vars() {
+        // Dropping the annotation on f leaves `a` unbound (paper §3.2).
+        assert_eq!(
+            check("let f = fun (x : a) -> x in f 3"),
+            Err(TypeError::UnboundTyVar(TyVar::named("a")))
+        );
+    }
+
+    #[test]
+    fn non_value_rhs_does_not_bind_annotation_vars() {
+        // split on a non-guarded-value rhs binds nothing, so `a` is unbound
+        // inside the rhs annotation.
+        assert_eq!(
+            check("let (f : forall a. a -> a) = (fun (x : a) -> x) id in f"),
+            Err(TypeError::UnboundTyVar(TyVar::named("a")))
+        );
+    }
+
+    #[test]
+    fn pure_mode_always_binds() {
+        // Without the value restriction the same program is well-scoped.
+        let t = parse_term("let (f : forall a. a -> a) = (fun (x : a) -> x) id in f").unwrap();
+        assert!(well_scoped(&KindEnv::new(), &t, &Options::pure_freezeml()).is_ok());
+    }
+
+    #[test]
+    fn shadowing_annotation_binder_is_rejected() {
+        // Both rhs's are guarded values, so both annotations bind their
+        // top-level quantifiers — and the inner one re-binds `a`, which
+        // violates the disjointness required by `∆,∆′`.
+        let t = parse_term(
+            "let (f : forall a. a -> a) = (let (g : forall a. a -> a) = fun x -> x in g) in f",
+        )
+        .unwrap();
+        assert_eq!(
+            well_scoped(&KindEnv::new(), &t, &Options::default()),
+            Err(TypeError::ShadowedTyVar {
+                var: TyVar::named("a")
+            })
+        );
+    }
+
+    #[test]
+    fn frozen_tail_rhs_binds_nothing() {
+        // With a frozen variable in tail position the outer rhs is *not* a
+        // guarded value, so its annotation binds nothing inside it and the
+        // inner ∀a is a fresh, unproblematic binder (§3.2).
+        assert!(check(
+            "let (f : forall a. a -> a) = let (g : forall a. a -> a) = fun x -> x in ~g in f"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn nested_distinct_binders_are_fine() {
+        assert!(check(
+            "let (f : forall a. a -> a) = (let (g : forall b. b -> b) = fun x -> x in g) in f"
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,251 @@
+//! Type substitutions `θ` (Figure 13) and type instantiations `δ` (Figure 5).
+//!
+//! Both are finite maps from type variables to types; they differ only in
+//! which variables they may touch (flexible `Θ`-variables vs. rigid
+//! `∆`-variables) and what kinds they must respect — properties that are
+//! maintained by the algorithms, not by this data type. Application is
+//! capture-avoiding (Figure 6) and composition satisfies
+//! `(θ ∘ θ′)(A) = θ(θ′(A))`.
+
+use crate::env::{RefinedEnv, TypeEnv};
+use crate::names::TyVar;
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finite map from type variables to types, acting as the identity
+/// elsewhere.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Subst {
+    map: HashMap<TyVar, Type>,
+}
+
+impl Subst {
+    /// The identity substitution `ι`.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// The substitution `[a ↦ A]`.
+    pub fn singleton(a: TyVar, ty: Type) -> Self {
+        let mut map = HashMap::new();
+        map.insert(a, ty);
+        Subst { map }
+    }
+
+    /// Build a substitution from pairs. Later pairs overwrite earlier ones.
+    pub fn from_pairs<I: IntoIterator<Item = (TyVar, Type)>>(pairs: I) -> Self {
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Is this (extensionally) the identity map?
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().all(|(a, t)| matches!(t, Type::Var(b) if b == a))
+    }
+
+    /// The binding for `a`, if explicitly present.
+    pub fn get(&self, a: &TyVar) -> Option<&Type> {
+        self.map.get(a)
+    }
+
+    /// `θ(a)` — the image of a variable (the variable itself if unmapped).
+    pub fn image_of(&self, a: &TyVar) -> Type {
+        self.map
+            .get(a)
+            .cloned()
+            .unwrap_or_else(|| Type::Var(a.clone()))
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the map empty (definitely the identity)?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The explicit domain, in no particular order.
+    pub fn domain(&self) -> impl Iterator<Item = &TyVar> {
+        self.map.keys()
+    }
+
+    /// A copy with the binding for `a` removed. Used to realise the
+    /// pattern-match `θ[a ↦ S]` of Figure 16 (λ and application cases).
+    pub fn without(&self, a: &TyVar) -> Self {
+        let mut out = self.clone();
+        out.map.remove(a);
+        out
+    }
+
+    /// `θ(A)` — capture-avoiding application (Figure 6).
+    pub fn apply(&self, t: &Type) -> Type {
+        if self.map.is_empty() {
+            return t.clone();
+        }
+        match t {
+            Type::Var(a) => self.image_of(a),
+            Type::Con(c, args) => {
+                Type::Con(c.clone(), args.iter().map(|t| self.apply(t)).collect())
+            }
+            Type::Forall(a, body) => {
+                let captures = self.map.contains_key(a)
+                    || self
+                        .map
+                        .iter()
+                        .any(|(k, v)| v.occurs_free(a) && body.occurs_free(k));
+                if captures {
+                    let c = TyVar::fresh();
+                    let body2 = body.rename_free(a, &Type::Var(c.clone()));
+                    Type::Forall(c, Box::new(self.apply(&body2)))
+                } else {
+                    Type::Forall(a.clone(), Box::new(self.apply(body)))
+                }
+            }
+        }
+    }
+
+    /// `θ(Γ)` — apply to every type in a type environment.
+    pub fn apply_env(&self, g: &TypeEnv) -> TypeEnv {
+        if self.map.is_empty() {
+            return g.clone();
+        }
+        g.map_types(|t| self.apply(t))
+    }
+
+    /// `self ∘ inner` — composition: `(self ∘ inner)(A) = self(inner(A))`.
+    pub fn compose(&self, inner: &Subst) -> Subst {
+        let mut map: HashMap<TyVar, Type> = inner
+            .map
+            .iter()
+            .map(|(a, t)| (a.clone(), self.apply(t)))
+            .collect();
+        for (a, t) in &self.map {
+            map.entry(a.clone()).or_insert_with(|| t.clone());
+        }
+        Subst { map }
+    }
+
+    /// `ftv(θ)` relative to a domain environment `Θ` (paper Appendix G):
+    /// the ordered distinct free variables of `θ(a₁) → … → θ(aₙ)` for
+    /// `Θ = a₁:K₁, …, aₙ:Kₙ`. Unmapped variables contribute themselves.
+    pub fn range_ftv(&self, domain: &RefinedEnv) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for a in domain.vars() {
+            for v in self.image_of(a).ftv() {
+                if seen.insert(v.clone()) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does any *mapped* image mention `v`? (Used for the skolem-escape
+    /// check of Figure 15; identity images cannot mention a fresh skolem.)
+    pub fn range_mentions(&self, v: &TyVar) -> bool {
+        self.map.values().any(|t| t.occurs_free(v))
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(a, _)| *a);
+        write!(f, "{{")?;
+        for (i, (a, t)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a} ↦ {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> TyVar {
+        TyVar::named("a")
+    }
+    fn b() -> TyVar {
+        TyVar::named("b")
+    }
+
+    #[test]
+    fn identity_applies_as_identity() {
+        let t = Type::arrow(Type::var("a"), Type::int());
+        assert_eq!(Subst::identity().apply(&t), t);
+        assert!(Subst::identity().is_identity());
+    }
+
+    #[test]
+    fn singleton_applies() {
+        let s = Subst::singleton(a(), Type::int());
+        let t = Type::arrow(Type::var("a"), Type::var("b"));
+        assert_eq!(s.apply(&t), Type::arrow(Type::int(), Type::var("b")));
+    }
+
+    #[test]
+    fn bound_occurrences_untouched() {
+        let s = Subst::singleton(a(), Type::int());
+        let t = Type::foralls([a()], Type::var("a"));
+        assert!(s.apply(&t).alpha_eq(&t));
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // [b ↦ a](∀a. b → a)  must be  ∀c. a → c, not ∀a. a → a.
+        let s = Subst::singleton(b(), Type::var("a"));
+        let t = Type::foralls([a()], Type::arrow(Type::var("b"), Type::var("a")));
+        let r = s.apply(&t);
+        let expect = Type::foralls(
+            [TyVar::named("c")],
+            Type::arrow(Type::var("a"), Type::var("c")),
+        );
+        assert!(r.alpha_eq(&expect));
+    }
+
+    #[test]
+    fn compose_is_application_composition() {
+        // θ = [b ↦ Int], θ' = [a ↦ b → b]; (θ ∘ θ')(a) = Int → Int.
+        let th = Subst::singleton(b(), Type::int());
+        let thp = Subst::singleton(a(), Type::arrow(Type::var("b"), Type::var("b")));
+        let c = th.compose(&thp);
+        let t = Type::var("a");
+        assert_eq!(c.apply(&t), th.apply(&thp.apply(&t)));
+        assert_eq!(c.apply(&t), Type::arrow(Type::int(), Type::int()));
+        // θ's own binding is kept for vars outside θ''s domain.
+        assert_eq!(c.apply(&Type::var("b")), Type::int());
+    }
+
+    #[test]
+    fn range_ftv_ordered_with_identity_entries() {
+        use crate::kind::Kind;
+        let th: RefinedEnv = [(a(), Kind::Mono), (b(), Kind::Mono)].into_iter().collect();
+        let s = Subst::singleton(b(), Type::arrow(Type::var("c"), Type::var("a")));
+        let names: Vec<String> = s.range_ftv(&th).iter().map(|v| v.to_string()).collect();
+        // θ(a) = a contributes a first; θ(b) contributes c (a already seen).
+        assert_eq!(names, ["a", "c"]);
+    }
+
+    #[test]
+    fn without_removes_binding() {
+        let s = Subst::singleton(a(), Type::int());
+        assert!(s.without(&a()).is_empty());
+        assert_eq!(s.without(&b()).len(), 1);
+    }
+
+    #[test]
+    fn range_mentions_only_mapped() {
+        let s = Subst::singleton(a(), Type::arrow(Type::var("c"), Type::int()));
+        assert!(s.range_mentions(&TyVar::named("c")));
+        assert!(!s.range_mentions(&b()));
+    }
+}

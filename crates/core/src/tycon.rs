@@ -1,0 +1,92 @@
+//! Type constructors `D` (Figure 3): `Int | Bool | List | → | × | ST | …`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A type constructor with a fixed arity.
+///
+/// The constructors used by the paper's examples are built in; arbitrary
+/// additional constructors can be introduced with [`TyCon::other`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TyCon {
+    /// `Int`, arity 0.
+    Int,
+    /// `Bool`, arity 0.
+    Bool,
+    /// `List`, arity 1.
+    List,
+    /// The function arrow `→`, arity 2.
+    Arrow,
+    /// The product `×`, arity 2.
+    Prod,
+    /// The state-thread constructor `ST`, arity 2 (used by `runST`/`argST`).
+    St,
+    /// A user-defined constructor with the given name and arity.
+    Other(Arc<str>, usize),
+}
+
+impl TyCon {
+    /// Introduce a user-defined constructor.
+    pub fn other(name: impl AsRef<str>, arity: usize) -> Self {
+        TyCon::Other(Arc::from(name.as_ref()), arity)
+    }
+
+    /// `arity(D)` — the number of type arguments the constructor takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            TyCon::Int | TyCon::Bool => 0,
+            TyCon::List => 1,
+            TyCon::Arrow | TyCon::Prod | TyCon::St => 2,
+            TyCon::Other(_, n) => *n,
+        }
+    }
+
+    /// The constructor's surface name.
+    pub fn name(&self) -> &str {
+        match self {
+            TyCon::Int => "Int",
+            TyCon::Bool => "Bool",
+            TyCon::List => "List",
+            TyCon::Arrow => "->",
+            TyCon::Prod => "*",
+            TyCon::St => "ST",
+            TyCon::Other(s, _) => s,
+        }
+    }
+}
+
+impl fmt::Display for TyCon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(TyCon::Int.arity(), 0);
+        assert_eq!(TyCon::Bool.arity(), 0);
+        assert_eq!(TyCon::List.arity(), 1);
+        assert_eq!(TyCon::Arrow.arity(), 2);
+        assert_eq!(TyCon::Prod.arity(), 2);
+        assert_eq!(TyCon::St.arity(), 2);
+        assert_eq!(TyCon::other("Tree", 3).arity(), 3);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(TyCon::List.name(), "List");
+        assert_eq!(TyCon::other("Tree", 1).name(), "Tree");
+        assert_eq!(TyCon::Arrow.to_string(), "->");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(TyCon::other("T", 1), TyCon::other("T", 1));
+        assert_ne!(TyCon::other("T", 1), TyCon::other("T", 2));
+        assert_ne!(TyCon::Int, TyCon::Bool);
+    }
+}

@@ -1,0 +1,419 @@
+//! Typed derivation trees.
+//!
+//! Inference (Figure 16) produces, alongside the result type, a tree that
+//! mirrors the term with every node annotated by its (final) type and the
+//! extra information a FreezeML typing derivation carries:
+//!
+//! * variable occurrences record the instantiation `δ(∆′)` chosen for their
+//!   top-level quantifiers (the Var rule of Figure 7);
+//! * `let` nodes record the generalised variables `∆′` and the type given
+//!   to the bound variable (the `gen`/`⇕` data of Figure 8);
+//! * annotated `let` nodes record the `split` of their annotation.
+//!
+//! This is exactly the information the translation `C⟦−⟧` to System F
+//! (Figure 11) consumes, and it realises the paper's observation (Appendix
+//! C) that recursion over derivations is sound as long as the principality
+//! side-condition is not inspected.
+//!
+//! Types inside the tree may mention flexible variables that were solved
+//! *later* during inference; [`TypedTerm::apply_subst`] with the final
+//! composed substitution resolves them (composed substitutions map every
+//! variable to its fully resolved image). [`TypedTerm::default_residuals`]
+//! grounds any remaining flexible variables, which is needed before
+//! elaborating an open typing into System F.
+
+use crate::names::{TyVar, Var};
+use crate::subst::Subst;
+use crate::term::Lit;
+use crate::types::Type;
+
+/// A term annotated with its type and derivation data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypedTerm {
+    /// The type of this node.
+    pub ty: Type,
+    /// The node itself.
+    pub node: TypedNode,
+}
+
+/// The node forms of a typed derivation tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypedNode {
+    /// A plain variable occurrence, implicitly instantiated.
+    Var {
+        /// The variable.
+        name: Var,
+        /// Its type scheme in `Γ` at the occurrence.
+        scheme: Type,
+        /// The instantiation of the scheme's top-level quantifiers, in
+        /// quantifier order: `(a, δ(a))`.
+        inst: Vec<(TyVar, Type)>,
+    },
+    /// A frozen variable occurrence `⌈x⌉`.
+    FrozenVar {
+        /// The variable.
+        name: Var,
+    },
+    /// A literal.
+    Lit {
+        /// The literal.
+        lit: Lit,
+    },
+    /// `λx.M` — the parameter type is the monotype inference chose.
+    Lam {
+        /// The parameter.
+        param: Var,
+        /// Its inferred (mono)type `S`.
+        param_ty: Type,
+        /// The body.
+        body: Box<TypedTerm>,
+    },
+    /// `λ(x : A).M`.
+    LamAnn {
+        /// The parameter.
+        param: Var,
+        /// The annotation `A`.
+        ann: Type,
+        /// The body.
+        body: Box<TypedTerm>,
+    },
+    /// Application.
+    App {
+        /// The function.
+        func: Box<TypedTerm>,
+        /// The argument.
+        arg: Box<TypedTerm>,
+    },
+    /// Explicit type application `M@[A]` (§6 extension): the outermost
+    /// quantifier `∀a` of the inner term's type is instantiated with `A`.
+    TyApp {
+        /// The type-applied term.
+        inner: Box<TypedTerm>,
+        /// The instantiated quantifier variable.
+        bound: TyVar,
+        /// The type argument `A`.
+        arg: Type,
+    },
+    /// An implicit instantiation inserted by the *eliminator* strategy
+    /// (§3.2); absent under the paper's variable-only strategy.
+    ImplicitInst {
+        /// The instantiated term.
+        inner: Box<TypedTerm>,
+        /// The instantiation of its top-level quantifiers.
+        inst: Vec<(TyVar, Type)>,
+    },
+    /// `let x = M in N`.
+    Let {
+        /// The bound variable.
+        name: Var,
+        /// `∆′` — the variables generalised over (empty if the rhs is not a
+        /// guarded value).
+        gen_vars: Vec<TyVar>,
+        /// `∆′′′` minus the generalised ones: flexible variables of the rhs
+        /// type that the value restriction forced to be monomorphic.
+        mono_vars: Vec<TyVar>,
+        /// The type `∀∆′.A` given to `x` in the body.
+        bound_ty: Type,
+        /// Was the rhs treated as a guarded value?
+        rhs_gval: bool,
+        /// The right-hand side.
+        rhs: Box<TypedTerm>,
+        /// The body.
+        body: Box<TypedTerm>,
+    },
+    /// `let (x : A) = M in N`.
+    LetAnn {
+        /// The bound variable.
+        name: Var,
+        /// The annotation `A`.
+        ann: Type,
+        /// `split(A, M)`'s bound variables (scoped into the rhs).
+        split_vars: Vec<TyVar>,
+        /// Was the rhs treated as a guarded value?
+        rhs_gval: bool,
+        /// The right-hand side.
+        rhs: Box<TypedTerm>,
+        /// The body.
+        body: Box<TypedTerm>,
+    },
+}
+
+impl TypedTerm {
+    /// Apply a substitution to every type in the tree (including recorded
+    /// instantiations and parameter types).
+    pub fn apply_subst(&mut self, s: &Subst) {
+        self.ty = s.apply(&self.ty);
+        match &mut self.node {
+            TypedNode::Var { scheme, inst, .. } => {
+                *scheme = s.apply(scheme);
+                for (_, t) in inst {
+                    *t = s.apply(t);
+                }
+            }
+            TypedNode::FrozenVar { .. } | TypedNode::Lit { .. } => {}
+            TypedNode::Lam { param_ty, body, .. } => {
+                *param_ty = s.apply(param_ty);
+                body.apply_subst(s);
+            }
+            TypedNode::LamAnn { body, .. } => body.apply_subst(s),
+            TypedNode::App { func, arg } => {
+                func.apply_subst(s);
+                arg.apply_subst(s);
+            }
+            TypedNode::TyApp { inner, arg, .. } => {
+                inner.apply_subst(s);
+                *arg = s.apply(arg);
+            }
+            TypedNode::ImplicitInst { inner, inst } => {
+                inner.apply_subst(s);
+                for (_, t) in inst {
+                    *t = s.apply(t);
+                }
+            }
+            TypedNode::Let {
+                bound_ty,
+                rhs,
+                body,
+                ..
+            } => {
+                *bound_ty = s.apply(bound_ty);
+                rhs.apply_subst(s);
+                body.apply_subst(s);
+            }
+            TypedNode::LetAnn { rhs, body, .. } => {
+                rhs.apply_subst(s);
+                body.apply_subst(s);
+            }
+        }
+    }
+
+    /// Collect every flexible (fresh) variable still free in the tree's
+    /// types, in first-appearance order. Variables generalised by a `let`
+    /// (`gen_vars`) or bound by an annotation's `split` are *not* residual
+    /// — they are bound by the `Λ` the translation inserts. (Fresh names
+    /// are globally unique, so a generalised variable cannot also occur
+    /// free elsewhere.)
+    pub fn residual_flexibles(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut bound = std::collections::HashSet::new();
+        self.collect_bound(&mut bound);
+        self.visit_types(&mut |t| {
+            for v in t.ftv() {
+                if v.is_fresh() && !bound.contains(&v) && seen.insert(v.clone()) {
+                    out.push(v);
+                }
+            }
+        });
+        out
+    }
+
+    fn collect_bound(&self, out: &mut std::collections::HashSet<TyVar>) {
+        match &self.node {
+            TypedNode::Var { .. } | TypedNode::FrozenVar { .. } | TypedNode::Lit { .. } => {}
+            TypedNode::Lam { body, .. } | TypedNode::LamAnn { body, .. } => {
+                body.collect_bound(out)
+            }
+            TypedNode::App { func, arg } => {
+                func.collect_bound(out);
+                arg.collect_bound(out);
+            }
+            TypedNode::TyApp { inner, .. } => inner.collect_bound(out),
+            TypedNode::ImplicitInst { inner, .. } => inner.collect_bound(out),
+            TypedNode::Let {
+                gen_vars,
+                rhs,
+                body,
+                ..
+            } => {
+                out.extend(gen_vars.iter().cloned());
+                rhs.collect_bound(out);
+                body.collect_bound(out);
+            }
+            TypedNode::LetAnn {
+                split_vars,
+                rhs,
+                body,
+                ..
+            } => {
+                out.extend(split_vars.iter().cloned());
+                rhs.collect_bound(out);
+                body.collect_bound(out);
+            }
+        }
+    }
+
+    /// Ground any remaining flexible variables by substituting `default`
+    /// (typically `Int`). The result is a fully resolved derivation suitable
+    /// for elaboration into System F.
+    pub fn default_residuals(&mut self, default: &Type) {
+        let residuals = self.residual_flexibles();
+        if residuals.is_empty() {
+            return;
+        }
+        let s = Subst::from_pairs(residuals.into_iter().map(|v| (v, default.clone())));
+        self.apply_subst(&s);
+    }
+
+    fn visit_types(&self, f: &mut impl FnMut(&Type)) {
+        f(&self.ty);
+        match &self.node {
+            TypedNode::Var { scheme, inst, .. } => {
+                f(scheme);
+                inst.iter().for_each(|(_, t)| f(t));
+            }
+            TypedNode::FrozenVar { .. } | TypedNode::Lit { .. } => {}
+            TypedNode::Lam { param_ty, body, .. } => {
+                f(param_ty);
+                body.visit_types(f);
+            }
+            TypedNode::LamAnn { ann, body, .. } => {
+                f(ann);
+                body.visit_types(f);
+            }
+            TypedNode::App { func, arg } => {
+                func.visit_types(f);
+                arg.visit_types(f);
+            }
+            TypedNode::TyApp { inner, arg, .. } => {
+                inner.visit_types(f);
+                f(arg);
+            }
+            TypedNode::ImplicitInst { inner, inst } => {
+                inner.visit_types(f);
+                inst.iter().for_each(|(_, t)| f(t));
+            }
+            TypedNode::Let {
+                bound_ty,
+                rhs,
+                body,
+                ..
+            } => {
+                f(bound_ty);
+                rhs.visit_types(f);
+                body.visit_types(f);
+            }
+            TypedNode::LetAnn {
+                ann, rhs, body, ..
+            } => {
+                f(ann);
+                rhs.visit_types(f);
+                body.visit_types(f);
+            }
+        }
+    }
+
+    /// Erase back to the plain term.
+    pub fn erase(&self) -> crate::term::Term {
+        use crate::term::Term;
+        match &self.node {
+            TypedNode::Var { name, .. } => Term::Var(name.clone()),
+            TypedNode::FrozenVar { name } => Term::FrozenVar(name.clone()),
+            TypedNode::Lit { lit } => Term::Lit(*lit),
+            TypedNode::Lam { param, body, .. } => {
+                Term::Lam(param.clone(), Box::new(body.erase()))
+            }
+            TypedNode::LamAnn { param, ann, body } => {
+                Term::LamAnn(param.clone(), ann.clone(), Box::new(body.erase()))
+            }
+            TypedNode::App { func, arg } => {
+                Term::App(Box::new(func.erase()), Box::new(arg.erase()))
+            }
+            TypedNode::TyApp { inner, arg, .. } => {
+                Term::TyApp(Box::new(inner.erase()), arg.clone())
+            }
+            TypedNode::ImplicitInst { inner, .. } => inner.erase(),
+            TypedNode::Let {
+                name, rhs, body, ..
+            } => Term::Let(name.clone(), Box::new(rhs.erase()), Box::new(body.erase())),
+            TypedNode::LetAnn {
+                name,
+                ann,
+                rhs,
+                body,
+                ..
+            } => Term::LetAnn(
+                name.clone(),
+                ann.clone(),
+                Box::new(rhs.erase()),
+                Box::new(body.erase()),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_subst_reaches_all_types() {
+        let a = TyVar::fresh();
+        let mut t = TypedTerm {
+            ty: Type::Var(a.clone()),
+            node: TypedNode::Lam {
+                param: Var::named("x"),
+                param_ty: Type::Var(a.clone()),
+                body: Box::new(TypedTerm {
+                    ty: Type::Var(a.clone()),
+                    node: TypedNode::Var {
+                        name: Var::named("x"),
+                        scheme: Type::Var(a.clone()),
+                        inst: vec![(TyVar::named("q"), Type::Var(a.clone()))],
+                    },
+                }),
+            },
+        };
+        t.apply_subst(&Subst::singleton(a, Type::int()));
+        assert_eq!(t.ty, Type::int());
+        match &t.node {
+            TypedNode::Lam { param_ty, body, .. } => {
+                assert_eq!(*param_ty, Type::int());
+                match &body.node {
+                    TypedNode::Var { scheme, inst, .. } => {
+                        assert_eq!(*scheme, Type::int());
+                        assert_eq!(inst[0].1, Type::int());
+                    }
+                    other => panic!("unexpected node {other:?}"),
+                }
+            }
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residuals_and_defaulting() {
+        let a = TyVar::fresh();
+        let mut t = TypedTerm {
+            ty: Type::list(Type::Var(a.clone())),
+            node: TypedNode::Lit { lit: Lit::Int(1) },
+        };
+        assert_eq!(t.residual_flexibles(), vec![a]);
+        t.default_residuals(&Type::int());
+        assert_eq!(t.ty, Type::list(Type::int()));
+        assert!(t.residual_flexibles().is_empty());
+    }
+
+    #[test]
+    fn erase_round_trips() {
+        let t = TypedTerm {
+            ty: Type::int(),
+            node: TypedNode::App {
+                func: Box::new(TypedTerm {
+                    ty: Type::arrow(Type::int(), Type::int()),
+                    node: TypedNode::Var {
+                        name: Var::named("f"),
+                        scheme: Type::arrow(Type::int(), Type::int()),
+                        inst: vec![],
+                    },
+                }),
+                arg: Box::new(TypedTerm {
+                    ty: Type::int(),
+                    node: TypedNode::Lit { lit: Lit::Int(3) },
+                }),
+            },
+        };
+        use crate::term::Term;
+        assert_eq!(t.erase(), Term::app(Term::var("f"), Term::int(3)));
+    }
+}

@@ -1,0 +1,435 @@
+//! System F types (Figure 3): `A, B ::= a | D A̅ | ∀a.A`.
+//!
+//! FreezeML uses *exactly* the type language of System F — one of the paper's
+//! four design goals. Three syntactic classes matter:
+//!
+//! * **types** `A` — anything;
+//! * **monotypes** `S` — no quantifier anywhere ([`Type::is_monotype`]);
+//! * **guarded types** `H` — no *top-level* quantifier; any polymorphism is
+//!   guarded by a constructor ([`Type::is_guarded`]).
+//!
+//! Unlike ML, the **order of quantifiers matters** (§2 "Ordered
+//! Quantifiers"); [`Type::ftv`] therefore returns free variables in order of
+//! first appearance, which is the order generalisation quantifies them.
+
+use crate::names::TyVar;
+use crate::tycon::TyCon;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A System F / FreezeML type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// A type variable `a`.
+    Var(TyVar),
+    /// A fully applied constructor `D A₁ … Aₙ` (the vector length always
+    /// equals `D`'s arity).
+    Con(TyCon, Vec<Type>),
+    /// A quantified type `∀a.A`.
+    Forall(TyVar, Box<Type>),
+}
+
+impl Type {
+    /// The type variable `a`.
+    pub fn var(v: impl Into<TyVar>) -> Type {
+        Type::Var(v.into())
+    }
+
+    /// `Int`.
+    pub fn int() -> Type {
+        Type::Con(TyCon::Int, vec![])
+    }
+
+    /// `Bool`.
+    pub fn bool() -> Type {
+        Type::Con(TyCon::Bool, vec![])
+    }
+
+    /// The function type `A -> B`.
+    pub fn arrow(a: Type, b: Type) -> Type {
+        Type::Con(TyCon::Arrow, vec![a, b])
+    }
+
+    /// The product type `A * B`.
+    pub fn prod(a: Type, b: Type) -> Type {
+        Type::Con(TyCon::Prod, vec![a, b])
+    }
+
+    /// The list type `List A`.
+    pub fn list(a: Type) -> Type {
+        Type::Con(TyCon::List, vec![a])
+    }
+
+    /// The state-thread type `ST S A`.
+    pub fn st(s: Type, a: Type) -> Type {
+        Type::Con(TyCon::St, vec![s, a])
+    }
+
+    /// `∀a₁.…∀aₙ.A` — identifying `∀·.A` with `A` (paper "Notations").
+    pub fn foralls<I>(vars: I, body: Type) -> Type
+    where
+        I: IntoIterator<Item = TyVar>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Type::Forall(v, Box::new(acc)))
+    }
+
+    /// Split off all top-level quantifiers: `∀∆.H ↦ (∆, H)` with `H` guarded.
+    pub fn split_foralls(&self) -> (Vec<TyVar>, &Type) {
+        let mut vars = Vec::new();
+        let mut t = self;
+        while let Type::Forall(a, body) = t {
+            vars.push(a.clone());
+            t = body;
+        }
+        (vars, t)
+    }
+
+    /// `ftv(A)`: the sequence of distinct free type variables in order of
+    /// first appearance (paper "Notations": `ftv((a→b)→(a→c)) = a,b,c`).
+    pub fn ftv(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut bound = Vec::new();
+        self.ftv_into(&mut out, &mut seen, &mut bound);
+        out
+    }
+
+    fn ftv_into(&self, out: &mut Vec<TyVar>, seen: &mut HashSet<TyVar>, bound: &mut Vec<TyVar>) {
+        match self {
+            Type::Var(a) => {
+                if !bound.contains(a) && seen.insert(a.clone()) {
+                    out.push(a.clone());
+                }
+            }
+            Type::Con(_, args) => {
+                for arg in args {
+                    arg.ftv_into(out, seen, bound);
+                }
+            }
+            Type::Forall(a, body) => {
+                bound.push(a.clone());
+                body.ftv_into(out, seen, bound);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Does `a` occur free in this type?
+    pub fn occurs_free(&self, a: &TyVar) -> bool {
+        match self {
+            Type::Var(b) => a == b,
+            Type::Con(_, args) => args.iter().any(|t| t.occurs_free(a)),
+            Type::Forall(b, body) => a != b && body.occurs_free(a),
+        }
+    }
+
+    /// Is this a monotype `S` (no quantifier anywhere)?
+    pub fn is_monotype(&self) -> bool {
+        match self {
+            Type::Var(_) => true,
+            Type::Con(_, args) => args.iter().all(Type::is_monotype),
+            Type::Forall(_, _) => false,
+        }
+    }
+
+    /// Is this a guarded type `H` (no top-level quantifier)?
+    pub fn is_guarded(&self) -> bool {
+        !matches!(self, Type::Forall(_, _))
+    }
+
+    /// Does any quantifier occur anywhere in the type?
+    pub fn has_quantifier(&self) -> bool {
+        !self.is_monotype()
+    }
+
+    /// α-equivalence. Free variables must agree exactly; bound variables may
+    /// differ.
+    ///
+    /// ```
+    /// use freezeml_core::parse_type;
+    /// let s = parse_type("forall a. a -> a").unwrap();
+    /// let t = parse_type("forall b. b -> b").unwrap();
+    /// assert!(s.alpha_eq(&t));
+    /// ```
+    pub fn alpha_eq(&self, other: &Type) -> bool {
+        fn go(a: &Type, b: &Type, env: &mut Vec<(TyVar, TyVar)>) -> bool {
+            match (a, b) {
+                (Type::Var(x), Type::Var(y)) => {
+                    for (l, r) in env.iter().rev() {
+                        if l == x || r == y {
+                            return l == x && r == y;
+                        }
+                    }
+                    x == y
+                }
+                (Type::Con(c, xs), Type::Con(d, ys)) => {
+                    c == d
+                        && xs.len() == ys.len()
+                        && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
+                }
+                (Type::Forall(x, bx), Type::Forall(y, by)) => {
+                    env.push((x.clone(), y.clone()));
+                    let r = go(bx, by, env);
+                    env.pop();
+                    r
+                }
+                _ => false,
+            }
+        }
+        go(self, other, &mut Vec::new())
+    }
+
+    /// Rename *free* occurrences of invented variables (fresh flexibles and
+    /// skolems) to readable, unused source names `a, b, c, …` in order of
+    /// first appearance. Source-named variables (free or bound) are never
+    /// touched. This is how inference results are presented, matching the
+    /// paper's Figure 1 (e.g. `choose id : (a → a) → (a → a)`).
+    pub fn canonicalize(&self) -> Type {
+        let mut taken: HashSet<String> = HashSet::new();
+        collect_named(self, &mut taken);
+        let mut supply = letter_supply(taken);
+        let mut map: Vec<(TyVar, TyVar)> = Vec::new();
+        for v in self.ftv() {
+            if !v.is_named() {
+                map.push((v, TyVar::named(supply.next().expect("infinite supply"))));
+            }
+        }
+        let mut out = self.clone();
+        for (from, to) in map {
+            out = out.rename_free(&from, &Type::Var(to));
+        }
+        out
+    }
+
+    /// Replace free occurrences of `from` by `to`, renaming binders where
+    /// needed to avoid capture (Figure 6 discipline).
+    pub fn rename_free(&self, from: &TyVar, to: &Type) -> Type {
+        match self {
+            Type::Var(a) => {
+                if a == from {
+                    to.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Type::Con(c, args) => Type::Con(
+                c.clone(),
+                args.iter().map(|t| t.rename_free(from, to)).collect(),
+            ),
+            Type::Forall(a, body) => {
+                if a == from {
+                    self.clone()
+                } else if to.occurs_free(a) {
+                    // Capture: α-rename the binder first.
+                    let c = TyVar::fresh();
+                    let body2 = body.rename_free(a, &Type::Var(c.clone()));
+                    Type::Forall(c, Box::new(body2.rename_free(from, to)))
+                } else {
+                    Type::Forall(a.clone(), Box::new(body.rename_free(from, to)))
+                }
+            }
+        }
+    }
+
+    /// The size of the type (number of AST nodes); used by benchmarks and to
+    /// bound property-test shrinking.
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Var(_) => 1,
+            Type::Con(_, args) => 1 + args.iter().map(Type::size).sum::<usize>(),
+            Type::Forall(_, body) => 1 + body.size(),
+        }
+    }
+}
+
+fn collect_named(t: &Type, out: &mut HashSet<String>) {
+    match t {
+        Type::Var(a) => {
+            if let Some(n) = a.name() {
+                out.insert(n.to_string());
+            }
+        }
+        Type::Con(_, args) => args.iter().for_each(|t| collect_named(t, out)),
+        Type::Forall(a, body) => {
+            if let Some(n) = a.name() {
+                out.insert(n.to_string());
+            }
+            collect_named(body, out);
+        }
+    }
+}
+
+/// An endless supply of letter names `a..z, a1..z1, a2..`, skipping `taken`.
+pub(crate) fn letter_supply(taken: HashSet<String>) -> impl Iterator<Item = String> {
+    (0u32..).flat_map(move |round| {
+        let taken = taken.clone();
+        (b'a'..=b'z').filter_map(move |c| {
+            let name = if round == 0 {
+                (c as char).to_string()
+            } else {
+                format!("{}{round}", c as char)
+            };
+            if taken.contains(&name) {
+                None
+            } else {
+                Some(name)
+            }
+        })
+    })
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_type(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> TyVar {
+        TyVar::named("a")
+    }
+    fn b() -> TyVar {
+        TyVar::named("b")
+    }
+
+    #[test]
+    fn ftv_is_ordered_and_distinct() {
+        // ftv((a→b)→(a→c)) = a,b,c
+        let t = Type::arrow(
+            Type::arrow(Type::var("a"), Type::var("b")),
+            Type::arrow(Type::var("a"), Type::var("c")),
+        );
+        let names: Vec<String> = t.ftv().iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ftv_skips_bound() {
+        let t = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("b")));
+        let names: Vec<String> = t.ftv().iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["b"]);
+    }
+
+    #[test]
+    fn monotype_and_guarded() {
+        let id = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("a")));
+        assert!(!id.is_monotype());
+        assert!(!id.is_guarded());
+        let l = Type::list(id.clone());
+        assert!(!l.is_monotype());
+        assert!(l.is_guarded()); // polymorphism guarded by List
+        assert!(Type::arrow(Type::int(), Type::bool()).is_monotype());
+    }
+
+    #[test]
+    fn split_foralls_strips_prefix_only() {
+        let t = Type::foralls([a(), b()], Type::arrow(Type::var("a"), Type::var("b")));
+        let (vs, body) = t.split_foralls();
+        assert_eq!(vs, vec![a(), b()]);
+        assert!(body.is_guarded());
+        // Inner quantifiers are not stripped.
+        let t2 = Type::arrow(Type::int(), Type::foralls([a()], Type::var("a")));
+        assert!(t2.split_foralls().0.is_empty());
+    }
+
+    #[test]
+    fn alpha_eq_binders_may_differ() {
+        let s = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("a")));
+        let t = Type::foralls([b()], Type::arrow(Type::var("b"), Type::var("b")));
+        assert!(s.alpha_eq(&t));
+    }
+
+    #[test]
+    fn alpha_eq_free_vars_must_match() {
+        assert!(!Type::var("a").alpha_eq(&Type::var("b")));
+        assert!(Type::var("a").alpha_eq(&Type::var("a")));
+    }
+
+    #[test]
+    fn alpha_eq_respects_quantifier_order() {
+        // ∀a b. a → b  vs  ∀b a. a → b  — differ (§2 Ordered Quantifiers).
+        let s = Type::foralls([a(), b()], Type::arrow(Type::var("a"), Type::var("b")));
+        let t = Type::foralls([b(), a()], Type::arrow(Type::var("a"), Type::var("b")));
+        assert!(!s.alpha_eq(&t));
+    }
+
+    #[test]
+    fn alpha_eq_shadowing() {
+        // ∀a.∀a.a  ≡  ∀b.∀c.c
+        let s = Type::foralls([a(), a()], Type::var("a"));
+        let t = Type::foralls([b(), TyVar::named("c")], Type::var("c"));
+        assert!(s.alpha_eq(&t));
+        // ∀a.∀a.a  ≢  ∀b.∀c.b
+        let u = Type::foralls([b(), TyVar::named("c")], Type::var("b"));
+        assert!(!s.alpha_eq(&u));
+    }
+
+    #[test]
+    fn rename_free_avoids_capture() {
+        // (∀a. a → b)[b := a]  must not capture: result ≡ ∀c. c → a.
+        let t = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("b")));
+        let r = t.rename_free(&b(), &Type::var("a"));
+        let expect = Type::foralls(
+            [TyVar::named("c")],
+            Type::arrow(Type::var("c"), Type::var("a")),
+        );
+        assert!(r.alpha_eq(&expect));
+    }
+
+    #[test]
+    fn rename_free_respects_shadowing() {
+        // (∀a. a)[a := Int] = ∀a. a
+        let t = Type::foralls([a()], Type::var("a"));
+        let r = t.rename_free(&a(), &Type::int());
+        assert!(r.alpha_eq(&t));
+    }
+
+    #[test]
+    fn canonicalize_picks_unused_letters() {
+        let f = TyVar::fresh();
+        // (∀a.a→a) → (%f → %f)   ⇒   (∀a.a→a) → (b → b)
+        let t = Type::arrow(
+            Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("a"))),
+            Type::arrow(Type::Var(f.clone()), Type::Var(f)),
+        );
+        let c = t.canonicalize();
+        let expect = Type::arrow(
+            Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("a"))),
+            Type::arrow(Type::var("b"), Type::var("b")),
+        );
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn canonicalize_orders_by_first_appearance() {
+        let f1 = TyVar::fresh();
+        let f2 = TyVar::fresh();
+        let t = Type::arrow(Type::Var(f2.clone()), Type::arrow(Type::Var(f1), Type::Var(f2)));
+        let c = t.canonicalize();
+        let expect = Type::arrow(
+            Type::var("a"),
+            Type::arrow(Type::var("b"), Type::var("a")),
+        );
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn occurs_free_works() {
+        let t = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("b")));
+        assert!(!t.occurs_free(&a()));
+        assert!(t.occurs_free(&b()));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Type::int().size(), 1);
+        assert_eq!(Type::arrow(Type::int(), Type::bool()).size(), 3);
+        assert_eq!(Type::foralls([a()], Type::var("a")).size(), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! The unification algorithm (Figure 15).
+//!
+//! `unify(∆, Θ, A, B)` takes rigid environment `∆`, flexible environment
+//! `Θ`, and two types well-kinded under them, and produces a new flexible
+//! environment `Θ′` together with a most general substitution `θ` with
+//! `∆ ⊢ θ : Θ ⇒ Θ′` and `θ(A) = θ(B)` (Theorems 4 and 5).
+//!
+//! Salient points, all from the paper:
+//!
+//! * **No separate occurs check** — solving `a ↦ A` removes `a` from `Θ` and
+//!   then re-kinds `A` in the smaller environment; a recursive occurrence
+//!   shows up as an unbound variable, which we report as
+//!   [`TypeError::Occurs`].
+//! * **Kind-directed demotion** — a monomorphic flexible variable may only
+//!   be solved with a type whose flexible variables can all be *demoted* to
+//!   kind `•`; a polymorphic flexible variable unifies with any type,
+//!   including `∀`-types. This is how first-class polymorphism coexists with
+//!   "never guess polymorphism".
+//! * **Skolemisation** — `∀a.A ≟ ∀b.B` unifies the bodies against a shared
+//!   fresh *rigid* variable `c`, and fails if `c` leaks into the resulting
+//!   substitution (`c ∉ ftv(θ′)`).
+
+use crate::env::{KindEnv, RefinedEnv};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::kinding;
+use crate::names::TyVar;
+use crate::subst::Subst;
+use crate::types::Type;
+
+/// `demote(K, Θ, ∆′)` (Figure 15): when `K = •`, demote the listed
+/// variables to kind `•`; when `K = ⋆`, leave `Θ` unchanged.
+pub fn demote(k: Kind, theta: &RefinedEnv, vars: &[TyVar]) -> RefinedEnv {
+    match k {
+        Kind::Poly => theta.clone(),
+        Kind::Mono => theta.demoted(vars),
+    }
+}
+
+/// Unify two types. See the module documentation.
+///
+/// # Errors
+///
+/// * [`TypeError::Mismatch`] — incompatible heads (including `∀` vs non-`∀`
+///   and distinct rigid variables);
+/// * [`TypeError::Occurs`] — the infinite-type check;
+/// * [`TypeError::PolyNotAllowed`] — a `•`-kinded variable against a
+///   quantified type;
+/// * [`TypeError::SkolemEscape`] — a quantifier-bound variable escaping.
+pub fn unify(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    a: &Type,
+    b: &Type,
+) -> Result<(RefinedEnv, Subst), TypeError> {
+    match (a, b) {
+        (Type::Var(x), Type::Var(y)) if x == y => Ok((theta.clone(), Subst::identity())),
+        (Type::Var(x), _) if theta.contains(x) => bind(delta, theta, x, b),
+        (_, Type::Var(y)) if theta.contains(y) => bind(delta, theta, y, a),
+        (Type::Con(c, xs), Type::Con(d, ys)) => {
+            if c != d || xs.len() != ys.len() {
+                return Err(TypeError::Mismatch {
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+            let mut th = theta.clone();
+            let mut s = Subst::identity();
+            for (x, y) in xs.iter().zip(ys) {
+                let (th2, s2) = unify(delta, &th, &s.apply(x), &s.apply(y))?;
+                s = s2.compose(&s);
+                th = th2;
+            }
+            Ok((th, s))
+        }
+        (Type::Forall(x, bx), Type::Forall(y, by)) => {
+            let c = TyVar::skolem();
+            let delta2 = delta.extended([c.clone()]).expect("skolem is fresh");
+            let a2 = bx.rename_free(x, &Type::Var(c.clone()));
+            let b2 = by.rename_free(y, &Type::Var(c.clone()));
+            let (th, s) = unify(&delta2, theta, &a2, &b2)?;
+            if s.range_mentions(&c) {
+                return Err(TypeError::SkolemEscape { var: c });
+            }
+            Ok((th, s))
+        }
+        _ => Err(TypeError::Mismatch {
+            left: a.clone(),
+            right: b.clone(),
+        }),
+    }
+}
+
+/// Solve a flexible variable: the `unify(∆, (Θ, a:K), a, A)` cases of
+/// Figure 15.
+fn bind(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    x: &TyVar,
+    t: &Type,
+) -> Result<(RefinedEnv, Subst), TypeError> {
+    let k = theta.kind_of(x).expect("bind requires a flexible variable");
+    let theta0 = theta.without(x);
+    let flex_fvs: Vec<TyVar> = t
+        .ftv()
+        .into_iter()
+        .filter(|v| !delta.contains(v))
+        .collect();
+    let theta1 = demote(k, &theta0, &flex_fvs);
+    match kinding::kind_of(delta, &theta1, t) {
+        Ok(kt) if kt.le(k) => Ok((theta1, Subst::singleton(x.clone(), t.clone()))),
+        Ok(_) => Err(TypeError::PolyNotAllowed { ty: t.clone() }),
+        Err(TypeError::UnboundTyVar(v)) if v == *x => Err(TypeError::Occurs {
+            var: x.clone(),
+            ty: t.clone(),
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_type;
+
+    fn poly_env(vars: &[&TyVar]) -> RefinedEnv {
+        vars.iter().map(|v| ((*v).clone(), Kind::Poly)).collect()
+    }
+
+    fn mono_env(vars: &[&TyVar]) -> RefinedEnv {
+        vars.iter().map(|v| ((*v).clone(), Kind::Mono)).collect()
+    }
+
+    fn id_ty() -> Type {
+        parse_type("forall a. a -> a").unwrap()
+    }
+
+    #[test]
+    fn unifies_equal_ground_types() {
+        let (th, s) = unify(
+            &KindEnv::new(),
+            &RefinedEnv::new(),
+            &Type::int(),
+            &Type::int(),
+        )
+        .unwrap();
+        assert!(th.is_empty());
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn solves_flexible_variable() {
+        let a = TyVar::fresh();
+        let th = poly_env(&[&a]);
+        let t = Type::arrow(Type::int(), Type::bool());
+        let (th1, s) = unify(&KindEnv::new(), &th, &Type::Var(a.clone()), &t).unwrap();
+        assert!(!th1.contains(&a));
+        assert_eq!(s.apply(&Type::Var(a)), t);
+    }
+
+    #[test]
+    fn poly_flexible_takes_polytype() {
+        // The crucial capability: b : ⋆ unifies with ∀a.a→a (impredicative
+        // instantiation, e.g. example A3 `choose [] ids`).
+        let b = TyVar::fresh();
+        let th = poly_env(&[&b]);
+        let (_, s) = unify(&KindEnv::new(), &th, &Type::Var(b.clone()), &id_ty()).unwrap();
+        assert!(s.apply(&Type::Var(b)).alpha_eq(&id_ty()));
+    }
+
+    #[test]
+    fn mono_flexible_rejects_polytype() {
+        let b = TyVar::fresh();
+        let th = mono_env(&[&b]);
+        let r = unify(&KindEnv::new(), &th, &Type::Var(b), &id_ty());
+        assert!(matches!(r, Err(TypeError::PolyNotAllowed { .. })));
+    }
+
+    #[test]
+    fn mono_flexible_demotes_poly_flexibles() {
+        // a : •  ≟  List b  with  b : ⋆   ⇒   b is demoted to •.
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
+            .into_iter()
+            .collect();
+        let t = Type::list(Type::Var(b.clone()));
+        let (th1, _) = unify(&KindEnv::new(), &th, &Type::Var(a), &t).unwrap();
+        assert_eq!(th1.kind_of(&b), Some(Kind::Mono));
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let a = TyVar::fresh();
+        let th = poly_env(&[&a]);
+        let t = Type::arrow(Type::Var(a.clone()), Type::int());
+        let r = unify(&KindEnv::new(), &th, &Type::Var(a), &t);
+        assert!(matches!(r, Err(TypeError::Occurs { .. })));
+    }
+
+    #[test]
+    fn rigid_vars_unify_only_with_themselves() {
+        let d: KindEnv = [TyVar::named("a"), TyVar::named("b")].into_iter().collect();
+        let th = RefinedEnv::new();
+        assert!(unify(&d, &th, &Type::var("a"), &Type::var("a")).is_ok());
+        assert!(matches!(
+            unify(&d, &th, &Type::var("a"), &Type::var("b")),
+            Err(TypeError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            unify(&d, &th, &Type::var("a"), &Type::int()),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_mismatch() {
+        let r = unify(
+            &KindEnv::new(),
+            &RefinedEnv::new(),
+            &Type::int(),
+            &Type::bool(),
+        );
+        assert!(matches!(r, Err(TypeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn unifies_under_constructor_threading_substitution() {
+        // (a, a) ≟ (Int, b) — second component forces b ↦ Int via θ-threading.
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        let th: RefinedEnv = [(a.clone(), Kind::Poly), (b.clone(), Kind::Poly)]
+            .into_iter()
+            .collect();
+        let l = Type::prod(Type::Var(a.clone()), Type::Var(a.clone()));
+        let r = Type::prod(Type::int(), Type::Var(b.clone()));
+        let (_, s) = unify(&KindEnv::new(), &th, &l, &r).unwrap();
+        assert_eq!(s.apply(&Type::Var(a)), Type::int());
+        assert_eq!(s.apply(&Type::Var(b)), Type::int());
+    }
+
+    #[test]
+    fn alpha_equivalent_foralls_unify() {
+        let s = parse_type("forall a. a -> a").unwrap();
+        let t = parse_type("forall b. b -> b").unwrap();
+        let (_, subst) = unify(&KindEnv::new(), &RefinedEnv::new(), &s, &t).unwrap();
+        assert!(subst.is_identity());
+    }
+
+    #[test]
+    fn quantifier_order_matters() {
+        // ∀a b. a → b → a×b  vs  ∀b a. a → b → a×b  must NOT unify (§2).
+        let s = parse_type("forall a b. a -> b -> a * b").unwrap();
+        let t = parse_type("forall b a. a -> b -> a * b").unwrap();
+        assert!(unify(&KindEnv::new(), &RefinedEnv::new(), &s, &t).is_err());
+    }
+
+    #[test]
+    fn foralls_solve_inner_flexibles() {
+        // ∀s. ST s b  ≟  ∀s. ST s Int   ⇒  b ↦ Int  (example D3 runST ⌈argST⌉).
+        let b = TyVar::fresh();
+        let th = poly_env(&[&b]);
+        let s = Type::Forall(
+            TyVar::named("s"),
+            Box::new(Type::st(Type::var("s"), Type::Var(b.clone()))),
+        );
+        let t = parse_type("forall s. ST s Int").unwrap();
+        let (_, subst) = unify(&KindEnv::new(), &th, &s, &t).unwrap();
+        assert_eq!(subst.apply(&Type::Var(b)), Type::int());
+    }
+
+    #[test]
+    fn skolem_escape_is_rejected() {
+        // ∀a. a → b  ≟  ∀a. a → a   would need b ↦ skolem — escape.
+        let b = TyVar::fresh();
+        let th = poly_env(&[&b]);
+        let s = Type::Forall(
+            TyVar::named("a"),
+            Box::new(Type::arrow(Type::var("a"), Type::Var(b.clone()))),
+        );
+        let t = parse_type("forall a. a -> a").unwrap();
+        let r = unify(&KindEnv::new(), &th, &s, &t);
+        assert!(matches!(r, Err(TypeError::SkolemEscape { .. })));
+    }
+
+    #[test]
+    fn forall_vs_arrow_fails() {
+        // E1 `k h l` fails exactly here: Int → ∀a.a→a  ≟  ∀a.Int → a → a.
+        let s = parse_type("Int -> forall a. a -> a").unwrap();
+        let t = parse_type("forall a. Int -> a -> a").unwrap();
+        assert!(matches!(
+            unify(&KindEnv::new(), &RefinedEnv::new(), &s, &t),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn two_flexibles_unify_and_demote() {
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        // a : •, b : ⋆ — unifying them must demote b.
+        let th: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
+            .into_iter()
+            .collect();
+        let (th1, s) = unify(
+            &KindEnv::new(),
+            &th,
+            &Type::Var(a.clone()),
+            &Type::Var(b.clone()),
+        )
+        .unwrap();
+        assert_eq!(s.apply(&Type::Var(a)), Type::Var(b.clone()));
+        assert_eq!(th1.kind_of(&b), Some(Kind::Mono));
+    }
+
+    #[test]
+    fn unifier_equalises_both_sides() {
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        let th = poly_env(&[&a, &b]);
+        let l = Type::arrow(Type::Var(a.clone()), Type::list(Type::Var(b.clone())));
+        let r = Type::arrow(Type::list(Type::Var(b.clone())), Type::Var(a.clone()));
+        let (_, s) = unify(&KindEnv::new(), &th, &l, &r).unwrap();
+        assert!(s.apply(&l).alpha_eq(&s.apply(&r)));
+    }
+}

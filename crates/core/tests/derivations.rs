@@ -1,0 +1,220 @@
+//! White-box tests of the typed derivation trees produced by inference —
+//! the data the `C⟦−⟧` translation consumes (Figure 11). Each test checks
+//! that the recorded judgement components (instantiations at Var nodes,
+//! generalised variables at Let nodes, split variables at LetAnn nodes)
+//! are exactly what the paper's rules prescribe.
+
+use freezeml_core::{infer_term, parse_term, Options, Type, TypeEnv, TypedNode, TypedTerm};
+
+fn env() -> TypeEnv {
+    let mut g = TypeEnv::new();
+    for (n, t) in [
+        ("id", "forall a. a -> a"),
+        ("inc", "Int -> Int"),
+        ("choose", "forall a. a -> a -> a"),
+        ("poly", "(forall a. a -> a) -> Int * Bool"),
+        ("pair", "forall a b. a -> b -> a * b"),
+        ("ids", "List (forall a. a -> a)"),
+        ("head", "forall a. List a -> a"),
+        ("revapp", "forall a b. a -> (a -> b) -> b"),
+    ] {
+        g.push_str(n, t).unwrap();
+    }
+    g
+}
+
+fn derivation(src: &str) -> TypedTerm {
+    let term = parse_term(src).unwrap();
+    infer_term(&env(), &term, &Options::default()).unwrap().typed
+}
+
+#[test]
+fn frozen_var_nodes_have_no_instantiation() {
+    let d = derivation("~id");
+    match &d.node {
+        TypedNode::FrozenVar { name } => assert_eq!(name.to_string(), "id"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(d.ty.to_string(), "forall a. a -> a");
+}
+
+#[test]
+fn var_nodes_record_resolved_instantiations() {
+    // In `inc (id 3)`, id's quantifier must be recorded as instantiated at
+    // Int after resolution.
+    let d = derivation("inc (id 3)");
+    fn find_id(t: &TypedTerm) -> Option<&TypedTerm> {
+        match &t.node {
+            TypedNode::Var { name, .. } if name.to_string() == "id" => Some(t),
+            TypedNode::App { func, arg } => find_id(func).or_else(|| find_id(arg)),
+            _ => None,
+        }
+    }
+    let id_node = find_id(&d).expect("id occurrence");
+    match &id_node.node {
+        TypedNode::Var { inst, scheme, .. } => {
+            assert_eq!(inst.len(), 1, "one quantifier");
+            assert_eq!(inst[0].1, Type::int(), "instantiated at Int");
+            assert_eq!(scheme.to_string(), "forall a. a -> a");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(id_node.ty, Type::arrow(Type::int(), Type::int()));
+}
+
+#[test]
+fn monomorphic_vars_record_empty_instantiations() {
+    let d = derivation("inc 1");
+    match &d.node {
+        TypedNode::App { func, .. } => match &func.node {
+            TypedNode::Var { inst, .. } => assert!(inst.is_empty()),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn generalising_let_records_gen_vars() {
+    // $(fun x -> x) = let v = λx.x in ⌈v⌉ — the Let generalises one var.
+    let d = derivation("$(fun x -> x)");
+    match &d.node {
+        TypedNode::Let {
+            gen_vars,
+            mono_vars,
+            rhs_gval,
+            bound_ty,
+            ..
+        } => {
+            assert!(rhs_gval);
+            assert_eq!(gen_vars.len(), 1);
+            assert!(mono_vars.is_empty());
+            assert_eq!(bound_ty.split_foralls().0.len(), 1);
+            assert!(bound_ty.alpha_eq(
+                &freezeml_core::parse_type("forall a. a -> a").unwrap()
+            ));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn non_value_let_records_demoted_vars() {
+    // let f = revapp ~id in f poly — the rhs is an application, so its
+    // residual variable is demoted, not generalised.
+    let d = derivation("let f = revapp ~id in f poly");
+    match &d.node {
+        TypedNode::Let {
+            gen_vars,
+            mono_vars,
+            rhs_gval,
+            ..
+        } => {
+            assert!(!rhs_gval);
+            assert!(gen_vars.is_empty());
+            assert_eq!(mono_vars.len(), 1, "the b in ((∀a.a→a)→b)→b");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn lam_nodes_record_the_resolved_parameter_type() {
+    let d = derivation("fun x -> inc x");
+    match &d.node {
+        TypedNode::Lam { param_ty, .. } => assert_eq!(*param_ty, Type::int()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn let_ann_records_split_vars() {
+    // Generalising case: annotation quantifiers are split into the rhs.
+    let d = derivation("let (f : forall a. a -> a) = fun x -> x in f 1");
+    match &d.node {
+        TypedNode::LetAnn {
+            split_vars,
+            rhs_gval,
+            ann,
+            ..
+        } => {
+            assert!(rhs_gval);
+            assert_eq!(split_vars.len(), 1);
+            assert_eq!(ann.to_string(), "forall a. a -> a");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Non-value case: nothing splits.
+    let d2 = derivation("let (g : forall a. a -> a) = ~id in g 2");
+    match &d2.node {
+        TypedNode::LetAnn {
+            split_vars,
+            rhs_gval,
+            ..
+        } => {
+            assert!(!rhs_gval);
+            assert!(split_vars.is_empty());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn erase_recovers_the_source_term() {
+    for src in [
+        "fun x -> inc x",
+        "let f = fun x -> x in poly ~f",
+        "choose ~id",
+        "let (f : Int -> Int) = fun x -> x in f 1",
+    ] {
+        let term = parse_term(src).unwrap();
+        let d = derivation(src);
+        assert_eq!(d.erase(), term, "{src}");
+    }
+}
+
+#[test]
+fn derivations_are_fully_resolved_for_closed_types() {
+    // After infer_term the tree's types reflect the final substitution:
+    // no node of `poly ~id` mentions an unresolved variable.
+    let d = derivation("poly ~id");
+    let mut ok = true;
+    fn visit(t: &TypedTerm, ok: &mut bool) {
+        if !t.ty.ftv().is_empty() {
+            *ok = false;
+        }
+        match &t.node {
+            TypedNode::App { func, arg } => {
+                visit(func, ok);
+                visit(arg, ok);
+            }
+            TypedNode::Lam { body, .. } | TypedNode::LamAnn { body, .. } => visit(body, ok),
+            TypedNode::Let { rhs, body, .. } | TypedNode::LetAnn { rhs, body, .. } => {
+                visit(rhs, ok);
+                visit(body, ok);
+            }
+            _ => {}
+        }
+    }
+    visit(&d, &mut ok);
+    assert!(ok, "unresolved flexible variables in the derivation");
+}
+
+#[test]
+fn eliminator_nodes_only_under_eliminator_mode() {
+    let term = parse_term("(head ids) 3").unwrap();
+    assert!(infer_term(&env(), &term, &Options::default()).is_err());
+    let out = infer_term(&env(), &term, &Options::eliminator()).unwrap();
+    fn has_implicit(t: &TypedTerm) -> bool {
+        match &t.node {
+            TypedNode::ImplicitInst { .. } => true,
+            TypedNode::App { func, arg } => has_implicit(func) || has_implicit(arg),
+            TypedNode::Lam { body, .. } | TypedNode::LamAnn { body, .. } => has_implicit(body),
+            TypedNode::Let { rhs, body, .. } | TypedNode::LetAnn { rhs, body, .. } => {
+                has_implicit(rhs) || has_implicit(body)
+            }
+            _ => false,
+        }
+    }
+    assert!(has_implicit(&out.typed));
+}

@@ -1,0 +1,482 @@
+//! Property-based tests for the core data structures and the metatheory.
+//!
+//! The paper's Theorems 4–7 (unification and inference soundness,
+//! completeness, and principality) are exercised here as executable
+//! properties over randomly generated types, substitutions, and terms.
+
+use freezeml_core::kinding;
+use freezeml_core::{
+    check_typing, infer_term, matches, parse_type, unify, Kind, KindEnv, Options, RefinedEnv,
+    Subst, Term, TyVar, Type, TypeEnv,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- strategies
+
+/// Flexible variable pool (placed in `Θ` by tests that need them).
+fn flex_pool() -> Vec<TyVar> {
+    ["f0", "f1", "f2", "f3"].iter().map(TyVar::named).collect()
+}
+
+/// Closed monotypes.
+fn arb_closed_mono() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![Just(Type::int()), Just(Type::bool())];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::arrow(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::prod(a, b)),
+            inner.prop_map(Type::list),
+        ]
+    })
+}
+
+/// Closed types, possibly polymorphic (quantifiers from a fixed pool).
+fn arb_closed_type() -> impl Strategy<Value = Type> {
+    arb_open_type(Vec::new())
+}
+
+/// Types whose free variables are drawn from `free`; binders come from a
+/// disjoint pool.
+fn arb_open_type(free: Vec<TyVar>) -> impl Strategy<Value = Type> {
+    let mut leaves = vec![Just(Type::int()).boxed(), Just(Type::bool()).boxed()];
+    for v in &free {
+        leaves.push(Just(Type::Var(v.clone())).boxed());
+    }
+    let leaf = proptest::strategy::Union::new(leaves);
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        prop_oneof![
+            4 => (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::arrow(a, b)),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::prod(a, b)),
+            2 => inner.clone().prop_map(Type::list),
+            1 => inner.clone().prop_map(|body| {
+                // Close over a bound variable that may occur via the leaf
+                // pool or not at all.
+                let b = TyVar::named("q");
+                Type::Forall(b, Box::new(body))
+            }),
+            1 => inner.prop_map(|body| Type::Forall(
+                TyVar::named("q"),
+                Box::new(Type::arrow(Type::var("q"), body)),
+            )),
+        ]
+    })
+}
+
+/// Types over the flexible pool (no quantifiers at flexible positions is
+/// not required — unify handles ∀ bodies too).
+fn arb_flex_type() -> impl Strategy<Value = Type> {
+    arb_open_type(flex_pool())
+}
+
+/// A substitution from the flexible pool to closed types.
+fn arb_ground_subst() -> impl Strategy<Value = Subst> {
+    proptest::collection::vec(arb_closed_type(), 4).prop_map(|tys| {
+        Subst::from_pairs(flex_pool().into_iter().zip(tys))
+    })
+}
+
+/// The flexible environment for the pool, all at kind ⋆.
+fn flex_env() -> RefinedEnv {
+    flex_pool().into_iter().map(|v| (v, Kind::Poly)).collect()
+}
+
+// ------------------------------------------------------------- type algebra
+
+proptest! {
+    #[test]
+    fn alpha_eq_is_reflexive(t in arb_closed_type()) {
+        prop_assert!(t.alpha_eq(&t));
+    }
+
+    #[test]
+    fn alpha_eq_respects_fresh_renaming(t in arb_closed_type()) {
+        // Renaming a bound variable does not change the α-class. We rename
+        // the outermost binder if there is one.
+        if let Type::Forall(a, body) = &t {
+            let c = TyVar::named("zz");
+            let renamed = Type::Forall(
+                c.clone(),
+                Box::new(body.rename_free(a, &Type::Var(c))),
+            );
+            prop_assert!(t.alpha_eq(&renamed));
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(t in arb_flex_type()) {
+        let once = t.canonicalize();
+        let twice = once.canonicalize();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ftv_has_no_duplicates(t in arb_flex_type()) {
+        let ftv = t.ftv();
+        let mut dedup = ftv.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(ftv.len(), dedup.len());
+    }
+
+    #[test]
+    fn monotypes_have_no_quantifiers(t in arb_closed_mono()) {
+        prop_assert!(t.is_monotype());
+        prop_assert!(t.is_guarded());
+        prop_assert_eq!(
+            kinding::kind_of(&KindEnv::new(), &RefinedEnv::new(), &t).unwrap(),
+            Kind::Mono
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trip(t in arb_flex_type()) {
+        // Free variables in the pool are Named, so printing is faithful.
+        let printed = t.to_string();
+        let reparsed = parse_type(&printed).unwrap();
+        prop_assert!(
+            t.alpha_eq(&reparsed),
+            "{} reparsed as {}", printed, reparsed
+        );
+    }
+
+    #[test]
+    fn size_positive_and_stable_under_alpha(t in arb_closed_type()) {
+        prop_assert!(t.size() >= 1);
+        prop_assert_eq!(t.size(), t.canonicalize().size());
+    }
+}
+
+// ------------------------------------------------------------ substitutions
+
+proptest! {
+    #[test]
+    fn identity_subst_is_identity(t in arb_flex_type()) {
+        prop_assert_eq!(Subst::identity().apply(&t), t);
+    }
+
+    #[test]
+    fn subst_composition_law(
+        t in arb_flex_type(),
+        s1 in arb_ground_subst(),
+        s2 in arb_ground_subst(),
+    ) {
+        // (s2 ∘ s1)(t) = s2(s1(t))  (Lemma G.13)
+        let lhs = s2.compose(&s1).apply(&t);
+        let rhs = s2.apply(&s1.apply(&t));
+        prop_assert!(lhs.alpha_eq(&rhs), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn subst_preserves_alpha_classes(t in arb_flex_type(), s in arb_ground_subst()) {
+        let canon = t.canonicalize();
+        // Canonicalisation only renames invented vars, of which the pool
+        // has none, so this is the same type; substitution must agree.
+        prop_assert!(s.apply(&t).alpha_eq(&s.apply(&canon)));
+    }
+
+    #[test]
+    fn ground_subst_grounds(t in arb_flex_type(), s in arb_ground_subst()) {
+        // Every pool variable is mapped to a closed type, so the image is
+        // closed.
+        prop_assert!(s.apply(&t).ftv().is_empty());
+    }
+
+    #[test]
+    fn subst_respects_kinding(t in arb_flex_type(), s in arb_ground_subst()) {
+        // Lemma G.5: a well-kinded type stays well-kinded (at ⋆) after a
+        // well-kinded substitution.
+        let delta = KindEnv::new();
+        prop_assert!(kinding::kind_of(&delta, &flex_env(), &t).is_ok());
+        prop_assert!(kinding::kind_of(&delta, &RefinedEnv::new(), &s.apply(&t)).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------- unification
+
+proptest! {
+    /// Theorem 4 (soundness): a successful unifier equalises.
+    #[test]
+    fn unifier_equalises(a in arb_flex_type(), b in arb_flex_type()) {
+        let delta = KindEnv::new();
+        if let Ok((_, s)) = unify(&delta, &flex_env(), &a, &b) {
+            prop_assert!(
+                s.apply(&a).alpha_eq(&s.apply(&b)),
+                "unifier {} does not equalise {} and {}", s, a, b
+            );
+        }
+    }
+
+    /// Theorem 5 (completeness) on instance pairs: `A` unifies with any
+    /// substitution instance of itself.
+    #[test]
+    fn unify_succeeds_on_instances(a in arb_flex_type(), s in arb_ground_subst()) {
+        let delta = KindEnv::new();
+        let b = s.apply(&a);
+        let r = unify(&delta, &flex_env(), &a, &b);
+        prop_assert!(r.is_ok(), "{} should unify with its instance {}", a, b);
+    }
+
+    /// Theorem 5 (most generality) on instance pairs: the computed unifier
+    /// factors the instantiating substitution.
+    #[test]
+    fn unifier_is_most_general_on_instances(a in arb_flex_type(), s in arb_ground_subst()) {
+        let delta = KindEnv::new();
+        let b = s.apply(&a);
+        let (theta_out, mgu) = unify(&delta, &flex_env(), &a, &b).unwrap();
+        // Find θ'' with θ''(mgu(v)) = s(v) for all pool variables — i.e.
+        // match the tuple of images one-sidedly.
+        let tuple = flex_pool()
+            .into_iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v), acc));
+        let pattern = mgu.apply(&tuple);
+        let target = s.apply(&tuple);
+        prop_assert!(
+            matches(&delta, &theta_out, &pattern, &target).is_some(),
+            "mgu {} does not factor {} (pattern {}, target {})",
+            mgu, s, pattern, target
+        );
+    }
+
+    /// Unification is symmetric up to success.
+    #[test]
+    fn unify_is_symmetric(a in arb_flex_type(), b in arb_flex_type()) {
+        let delta = KindEnv::new();
+        let fwd = unify(&delta, &flex_env(), &a, &b).is_ok();
+        let bwd = unify(&delta, &flex_env(), &b, &a).is_ok();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Unifying a type with itself yields an environment-preserving result.
+    #[test]
+    fn unify_reflexive(a in arb_flex_type()) {
+        let delta = KindEnv::new();
+        let (theta, s) = unify(&delta, &flex_env(), &a, &a).unwrap();
+        prop_assert!(s.apply(&a).alpha_eq(&a));
+        // No variable may be *promoted*; demotion is allowed (e.g.
+        // unifying f0 → f0 with itself may demote nothing, but nested
+        // occurrences never gain polymorphism).
+        for (v, k) in theta.iter() {
+            prop_assert!(k.le(flex_env().kind_of(v).unwrap()));
+        }
+    }
+
+    /// Occurs check: `v` never unifies with a type strictly containing it.
+    #[test]
+    fn occurs_check_rejects(t in arb_flex_type()) {
+        let delta = KindEnv::new();
+        let v = TyVar::named("f0");
+        // Ensure strict containment.
+        let container = Type::arrow(Type::Var(v.clone()), t);
+        let r = unify(&delta, &flex_env(), &Type::Var(v), &container);
+        prop_assert!(r.is_err());
+    }
+
+    /// Mono-kinded variables never pick up quantifiers.
+    #[test]
+    fn mono_vars_stay_mono(t in arb_flex_type()) {
+        let delta = KindEnv::new();
+        let mut theta = flex_env().demoted(&[TyVar::named("f0")]);
+        theta.insert(TyVar::named("m"), Kind::Mono);
+        let r = unify(&delta, &theta, &Type::var("m"), &t);
+        if let Ok((_, s)) = r {
+            prop_assert!(
+                s.apply(&Type::var("m")).is_monotype()
+                    || !s.apply(&Type::var("m")).ftv().is_empty(),
+                "mono var bound to polytype {}", s.apply(&Type::var("m"))
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- one-sided matching
+
+proptest! {
+    /// `matches` is sound: the witness substitution proves the equality.
+    #[test]
+    fn matches_witness_is_sound(p in arb_flex_type(), t in arb_closed_type()) {
+        let delta = KindEnv::new();
+        if let Some(s) = matches(&delta, &flex_env(), &p, &t) {
+            prop_assert!(s.apply(&p).alpha_eq(&t));
+        }
+    }
+
+    /// `matches` is complete on instances.
+    #[test]
+    fn matches_succeeds_on_instances(p in arb_flex_type(), s in arb_ground_subst()) {
+        let delta = KindEnv::new();
+        let t = s.apply(&p);
+        prop_assert!(
+            matches(&delta, &flex_env(), &p, &t).is_some(),
+            "{} should match its instance {}", p, t
+        );
+    }
+}
+
+// -------------------------------------------------- inference (Theorems 6/7)
+
+/// A small generator of FreezeML terms over a fixed prelude. Most are
+/// ill-typed; the well-typed ones exercise soundness and principality.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        Just(Term::var("id")),
+        Just(Term::frozen("id")),
+        Just(Term::var("inc")),
+        Just(Term::var("choose")),
+        Just(Term::var("single")),
+        Just(Term::var("x")),
+        Just(Term::int(1)),
+        Just(Term::bool(true)),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(f, a)| Term::app(f, a)),
+            2 => inner.clone().prop_map(|b| Term::lam("x", b)),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(r, b)| Term::let_("x", r, b)),
+            1 => inner.clone().prop_map(Term::gen),
+            1 => inner.prop_map(Term::inst),
+        ]
+    })
+}
+
+fn test_env() -> TypeEnv {
+    let mut g = TypeEnv::new();
+    g.push_str("id", "forall a. a -> a").unwrap();
+    g.push_str("inc", "Int -> Int").unwrap();
+    g.push_str("choose", "forall a. a -> a -> a").unwrap();
+    g.push_str("single", "forall a. a -> List a").unwrap();
+    g
+}
+
+/// Does the term contain any frozen variable (including the ones the
+/// `$`-sugar introduces)?
+fn contains_frozen(t: &Term) -> bool {
+    match t {
+        Term::FrozenVar(_) => true,
+        Term::Var(_) | Term::Lit(_) => false,
+        Term::Lam(_, b) | Term::LamAnn(_, _, b) => contains_frozen(b),
+        Term::App(f, a) => contains_frozen(f) || contains_frozen(a),
+        Term::Let(_, r, b) | Term::LetAnn(_, _, r, b) => {
+            contains_frozen(r) || contains_frozen(b)
+        }
+        Term::TyApp(m, _) => contains_frozen(m),
+    }
+}
+
+/// A counterexample found by property testing: *with* freezing, dropping
+/// the value restriction is observable and can even reject programs the
+/// standard system accepts. `$(id id)` has type `b → b` (demoted) under
+/// the value restriction — applicable to `choose` — but generalises to
+/// `∀b.b→b` in pure mode, which is not a function type.
+#[test]
+fn pure_mode_is_observably_different() {
+    let env = test_env();
+    let term = Term::app(
+        Term::app(Term::gen(Term::app(Term::var("id"), Term::var("id"))), Term::var("choose")),
+        Term::var("inc"),
+    );
+    assert!(infer_term(&env, &term, &Options::default()).is_ok());
+    assert!(infer_term(&env, &term, &Options::pure_freezeml()).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 6 (soundness): inferred types are well-kinded and accepted
+    /// by the declarative relation.
+    #[test]
+    fn inferred_types_are_declaratively_derivable(term in arb_term()) {
+        let env = test_env();
+        let opts = Options::default();
+        // Close the term: wrap free occurrences of x in a λ.
+        let term = Term::lam("x", term);
+        if let Ok(out) = infer_term(&env, &term, &opts) {
+            let canon = out.ty.canonicalize();
+            let delta: KindEnv = canon
+                .ftv()
+                .into_iter()
+                .collect();
+            prop_assert!(
+                check_typing(&delta, &env, &term, &canon, &opts).unwrap(),
+                "inferred {} not derivable for {}", canon, term
+            );
+        }
+    }
+
+    /// Theorem 7 (principality): every ground instance of the inferred
+    /// type is also derivable.
+    #[test]
+    fn ground_instances_of_inferred_types_are_derivable(term in arb_term()) {
+        let env = test_env();
+        let opts = Options::default();
+        let term = Term::lam("x", term);
+        if let Ok(out) = infer_term(&env, &term, &opts) {
+            let canon = out.ty.canonicalize();
+            // Substitute Int for every free variable. This is an instance
+            // of the principal type, hence derivable — *provided* the
+            // variables are mono-kinded, which free residuals always are
+            // or can be (⋆ instances include mono ones).
+            let mut ground = canon.clone();
+            for v in canon.ftv() {
+                ground = ground.rename_free(&v, &Type::int());
+            }
+            let delta = KindEnv::new();
+            prop_assert!(
+                check_typing(&delta, &env, &term, &ground, &opts).unwrap(),
+                "ground instance {} of {} not derivable for {}",
+                ground, canon, term
+            );
+        }
+    }
+
+    /// Inference is deterministic up to α-equivalence.
+    #[test]
+    fn inference_is_deterministic(term in arb_term()) {
+        let env = test_env();
+        let opts = Options::default();
+        let term = Term::lam("x", term);
+        let a = infer_term(&env, &term, &opts);
+        let b = infer_term(&env, &term, &opts);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert!(x.ty.canonicalize().alpha_eq(&y.ty.canonicalize()))
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "non-deterministic: {:?}", other),
+        }
+    }
+
+    /// On *freeze-free* terms, pure mode accepts everything the standard
+    /// mode accepts. (With freezing the modes are incomparable — see
+    /// `pure_mode_is_observably_different` below, a counterexample this
+    /// very property discovered.)
+    #[test]
+    fn pure_mode_is_no_stricter_without_freezing(term in arb_term()) {
+        prop_assume!(!contains_frozen(&term));
+        let env = test_env();
+        let term = Term::lam("x", term);
+        let std_ok = infer_term(&env, &term, &Options::default()).is_ok();
+        let pure_ok = infer_term(&env, &term, &Options::pure_freezeml()).is_ok();
+        prop_assert!(!std_ok || pure_ok, "pure mode rejected {}", term);
+    }
+
+    /// The eliminator strategy accepts everything the variable strategy
+    /// accepts.
+    #[test]
+    fn eliminator_is_no_stricter(term in arb_term()) {
+        let env = test_env();
+        let term = Term::lam("x", term);
+        let std_ok = infer_term(&env, &term, &Options::default()).is_ok();
+        let elim_ok = infer_term(&env, &term, &Options::eliminator()).is_ok();
+        prop_assert!(!std_ok || elim_ok, "eliminator mode rejected {}", term);
+    }
+
+    /// Guarded values are values (Figure 3's syntactic inclusion).
+    #[test]
+    fn guarded_values_are_values(term in arb_term()) {
+        if term.is_guarded_value() {
+            prop_assert!(term.is_value());
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge-case tests for the surface syntax (lexer, parser, pretty-printer)
+//! and for shadowing/scoping behaviour of inference.
+
+use freezeml_core::{
+    infer_program, parse_term, parse_type, Options, Term, TypeEnv,
+};
+
+fn env() -> TypeEnv {
+    let mut g = TypeEnv::new();
+    for (n, t) in [
+        ("id", "forall a. a -> a"),
+        ("inc", "Int -> Int"),
+        ("poly", "(forall a. a -> a) -> Int * Bool"),
+        ("pair", "forall a b. a -> b -> a * b"),
+        ("cons", "forall a. a -> List a -> List a"),
+        ("nil", "forall a. List a"),
+        ("plus", "Int -> Int -> Int"),
+        ("append", "forall a. List a -> List a -> List a"),
+    ] {
+        g.push_str(n, t).unwrap();
+    }
+    g
+}
+
+fn ty_of(src: &str) -> Result<String, String> {
+    infer_program(&env(), src, &Options::default())
+        .map(|t| t.to_string())
+        .map_err(|e| e.to_string())
+}
+
+// ------------------------------------------------------------------ parser
+
+#[test]
+fn deeply_nested_parens() {
+    assert_eq!(ty_of("((((id)))) ((((1))))").unwrap(), "Int");
+    let t = parse_type("((((Int))))").unwrap();
+    assert_eq!(t.to_string(), "Int");
+}
+
+#[test]
+fn lambda_with_many_params_mixed_annotations() {
+    let t = parse_term("fun a (b : Int) c (d : forall x. x -> x) -> a").unwrap();
+    // Four nested lambdas.
+    let mut count = 0;
+    let mut cur = &t;
+    loop {
+        match cur {
+            Term::Lam(_, b) => {
+                count += 1;
+                cur = b;
+            }
+            Term::LamAnn(_, _, b) => {
+                count += 1;
+                cur = b;
+            }
+            _ => break,
+        }
+    }
+    assert_eq!(count, 4);
+}
+
+#[test]
+fn operator_precedence_mixes() {
+    // 1 + 2 :: [3] ++ []  ≡  cons (plus 1 2) (append (cons 3 nil) nil)
+    let t = parse_term("1 + 2 :: [3] ++ []").unwrap();
+    let printed = t.to_string();
+    assert!(printed.contains("cons"), "{printed}");
+    assert!(printed.contains("plus"), "{printed}");
+    assert!(printed.contains("append"), "{printed}");
+    assert_eq!(ty_of("1 + 2 :: [3] ++ []").unwrap(), "List Int");
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = "-- leading comment\nlet x = 1 -- trailing\n in -- middle\n x";
+    assert_eq!(ty_of(src).unwrap(), "Int");
+}
+
+#[test]
+fn parse_errors_carry_position_and_message() {
+    let e = parse_term("fun -> x").unwrap_err();
+    assert!(e.msg.contains("parameter"), "{e}");
+    let e2 = parse_term("let x 1 in x").unwrap_err();
+    assert!(e2.to_string().contains("="), "{e2}");
+    let e3 = parse_type("forall . Int").unwrap_err();
+    assert!(e3.msg.contains("type variable"), "{e3}");
+    // Positions point into the source.
+    let e4 = parse_term("id ?").unwrap_err();
+    assert_eq!(e4.pos, 3);
+}
+
+#[test]
+fn keywords_are_not_identifiers() {
+    assert!(parse_term("let let = 1 in let").is_err());
+    assert!(parse_term("fun in -> in").is_err());
+}
+
+#[test]
+fn primes_and_underscores_in_identifiers() {
+    let mut g = env();
+    g.push_str("f_1'", "Int -> Int").unwrap();
+    assert_eq!(
+        infer_program(&g, "f_1' 1", &Options::default())
+            .unwrap()
+            .to_string(),
+        "Int"
+    );
+}
+
+#[test]
+fn unicode_is_rejected_cleanly() {
+    assert!(parse_term("λx.x").is_err());
+    assert!(parse_term("∀a.a").is_err());
+}
+
+#[test]
+fn empty_input_is_an_error() {
+    assert!(parse_term("").is_err());
+    assert!(parse_type("").is_err());
+    assert!(parse_term("   -- just a comment").is_err());
+}
+
+#[test]
+fn big_integer_literals() {
+    assert_eq!(ty_of("9223372036854775807").unwrap(), "Int");
+    assert!(parse_term("99999999999999999999999999").is_err());
+}
+
+#[test]
+fn gen_of_tuple_shorthand() {
+    // `$(M, N)` generalises the pair application.
+    assert_eq!(ty_of("$(id, inc)").unwrap(), "(a -> a) * (Int -> Int)");
+}
+
+// --------------------------------------------------------------- printing
+
+#[test]
+fn printed_types_reparse_to_alpha_equal() {
+    for src in [
+        "forall a. (forall b. b -> a) -> List a",
+        "(Int -> Int) * (Bool -> Bool)",
+        "forall a b c. a -> (b -> c) -> a * b * c",
+        "List (List (forall a. a -> a))",
+        "ST (forall a. a) Int",
+    ] {
+        let t = parse_type(src).unwrap();
+        let back = parse_type(&t.to_string()).unwrap();
+        assert!(t.alpha_eq(&back), "{src} → {t}");
+    }
+}
+
+#[test]
+fn printed_terms_reparse_to_equal_terms() {
+    for src in [
+        "fun x -> x",
+        "fun (x : forall a. a -> a) -> x ~x",
+        "let f = fun x -> x in poly ~f",
+        "let (g : Int -> Int) = fun y -> y in g 1",
+        "~id@[Int] 3",
+    ] {
+        let t = parse_term(src).unwrap();
+        let back = parse_term(&t.to_string()).unwrap_or_else(|e| {
+            panic!("{src} printed as `{t}` which does not reparse: {e}")
+        });
+        assert_eq!(t, back, "{src}");
+    }
+}
+
+// ------------------------------------------------------------- shadowing
+
+#[test]
+fn term_variable_shadowing_in_lets() {
+    assert_eq!(
+        ty_of("let x = 1 in let x = true in x").unwrap(),
+        "Bool"
+    );
+    assert_eq!(
+        ty_of("let x = 1 in let x = inc x in x").unwrap(),
+        "Int"
+    );
+}
+
+#[test]
+fn lambda_shadows_let() {
+    assert_eq!(
+        ty_of("let x = 1 in (fun x -> x) true").unwrap(),
+        "Bool"
+    );
+}
+
+#[test]
+fn frozen_occurrences_see_the_innermost_binding() {
+    // Inner x : Int → Int shadows the outer polymorphic one.
+    assert_eq!(
+        ty_of("let x = fun y -> y in let (x : Int -> Int) = fun y -> y in ~x").unwrap(),
+        "Int -> Int"
+    );
+}
+
+#[test]
+fn prelude_shadowing() {
+    // A local `id` at a more specific type shadows the prelude's.
+    assert_eq!(
+        ty_of("let (id : Int -> Int) = fun x -> x in ~id").unwrap(),
+        "Int -> Int"
+    );
+}
+
+#[test]
+fn deep_nesting_of_generalisation() {
+    // $($($(fun x -> x))) — inner gens freeze and rebind; idempotent here.
+    assert_eq!(ty_of("$(fun x -> x)").unwrap(), "forall a. a -> a");
+    assert!(ty_of("$$(fun x -> x)").is_ok());
+}
+
+#[test]
+fn at_chains() {
+    // ~id@@@ — freeze, then instantiate repeatedly: each @ re-instantiates.
+    assert_eq!(ty_of("~id@").unwrap(), "a -> a");
+    assert_eq!(ty_of("~id@@").unwrap(), "a -> a");
+    assert_eq!(ty_of("(~id@) 1").unwrap(), "Int");
+}
+
+#[test]
+fn canonicalize_survives_more_than_26_variables() {
+    use freezeml_core::{TyVar, Type};
+    // 30 distinct fresh variables: letters wrap to a1, b1, … without
+    // collisions.
+    let vars: Vec<TyVar> = (0..30).map(|_| TyVar::fresh()).collect();
+    let ty = vars
+        .iter()
+        .rev()
+        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+    let canon = ty.canonicalize();
+    let names: Vec<String> = canon.ftv().iter().map(|v| v.to_string()).collect();
+    assert_eq!(names.len(), 30);
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 30, "collision in {names:?}");
+    assert_eq!(names[0], "a");
+    assert!(names.contains(&"a1".to_string()));
+    // And it still round-trips through the printer.
+    let back = freezeml_core::parse_type(&canon.to_string()).unwrap();
+    assert!(canon.alpha_eq(&back));
+}
+
+#[test]
+fn display_of_errors_uses_surface_syntax() {
+    let err = infer_program(
+        &env(),
+        "poly inc",
+        &Options::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Int -> Int") || msg.contains("forall"), "{msg}");
+}

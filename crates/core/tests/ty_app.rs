@@ -1,0 +1,134 @@
+//! Tests for the explicit type application extension `M@[A]` (§6).
+//!
+//! "Given that FreezeML is explicit about the order of quantifiers, adding
+//! support for explicit type application is straightforward. We have
+//! implemented this feature in Links."
+
+use freezeml_core::{infer_program, parse_term, Options, Term, TypeEnv, TypeError};
+
+fn env() -> TypeEnv {
+    let mut g = TypeEnv::new();
+    g.push_str("id", "forall a. a -> a").unwrap();
+    g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+    g.push_str("pair'", "forall b a. a -> b -> a * b").unwrap();
+    g.push_str("ids", "List (forall a. a -> a)").unwrap();
+    g.push_str("head", "forall a. List a -> a").unwrap();
+    g
+}
+
+fn ty_of(src: &str) -> Result<String, String> {
+    infer_program(&env(), src, &Options::default())
+        .map(|t| t.to_string())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn parses_as_type_application() {
+    let t = parse_term("~id@[Int]").unwrap();
+    assert!(matches!(t, Term::TyApp(_, _)));
+    // And pretty-prints back.
+    assert_eq!(t.to_string(), "~id@[Int]");
+}
+
+#[test]
+fn instantiates_outermost_quantifier() {
+    assert_eq!(ty_of("~id@[Int]").unwrap(), "Int -> Int");
+    assert_eq!(ty_of("~id@[Bool] true").unwrap(), "Bool");
+}
+
+#[test]
+fn respects_quantifier_order() {
+    // pair : ∀a b. a → b → a × b — first argument instantiates a.
+    assert_eq!(
+        ty_of("~pair@[Int]").unwrap(),
+        "forall b. Int -> b -> Int * b"
+    );
+    // pair' : ∀b a. a → b → a × b — first argument instantiates b.
+    assert_eq!(
+        ty_of("~pair'@[Int]").unwrap(),
+        "forall a. a -> Int -> a * Int"
+    );
+}
+
+#[test]
+fn chains_left_to_right() {
+    assert_eq!(ty_of("~pair@[Int]@[Bool]").unwrap(), "Int -> Bool -> Int * Bool");
+    assert_eq!(
+        ty_of("~pair@[Int]@[Bool] 1 false").unwrap(),
+        "Int * Bool"
+    );
+}
+
+#[test]
+fn impredicative_type_arguments_are_allowed() {
+    assert_eq!(
+        ty_of("~id@[forall a. a -> a]").unwrap(),
+        "(forall a. a -> a) -> forall a. a -> a"
+    );
+    // The result of applying it to ~id is again the full polytype; a
+    // further application needs explicit instantiation.
+    assert_eq!(
+        ty_of("~id@[forall a. a -> a] ~id").unwrap(),
+        "forall a. a -> a"
+    );
+    assert!(ty_of("~id@[forall a. a -> a] ~id 3").is_err());
+    assert_eq!(ty_of("(~id@[forall a. a -> a] ~id)@ 3").unwrap(), "Int");
+}
+
+#[test]
+fn works_on_arbitrary_quantified_terms() {
+    // head ids : ∀a.a→a — a quantified non-variable term.
+    assert_eq!(ty_of("(head ids)@[Int] 3").unwrap(), "Int");
+}
+
+#[test]
+fn rejects_unquantified_terms() {
+    let e = infer_program(&env(), "~id@[Int]@[Bool]", &Options::default());
+    assert!(matches!(
+        e,
+        Err(freezeml_core::ProgramError::Type(
+            TypeError::CannotTypeApply { .. }
+        ))
+    ));
+    // A plain variable occurrence is already instantiated.
+    assert!(ty_of("id@[Int]").is_err());
+    assert!(ty_of("3@[Int]").is_err());
+}
+
+#[test]
+fn type_argument_must_be_well_scoped() {
+    assert!(ty_of("~id@[a]").is_err());
+    // But annotation-bound variables are in scope.
+    assert_eq!(
+        ty_of("let (f : forall a. a -> a) = (fun (x : a) -> ~id@[a] x) in f 3").unwrap(),
+        "Int"
+    );
+}
+
+#[test]
+fn ty_app_is_not_a_value() {
+    // Conservative choice: M@[A] is never generalised by `let`.
+    let t = parse_term("~id@[Int]").unwrap();
+    assert!(!t.is_value());
+    assert!(!t.is_guarded_value());
+    // let f = ~id@[Int] in ... does not generalise (nothing to generalise
+    // here anyway, but the classification matters for the value
+    // restriction).
+    assert_eq!(
+        ty_of("let f = ~id@[Int] in f 3").unwrap(),
+        "Int"
+    );
+}
+
+#[test]
+fn equivalent_to_the_annotated_let_idiom() {
+    // ~id@[Int] agrees with the pre-extension idiom of binding an
+    // instantiating occurrence at an annotated type.
+    let a = ty_of("~id@[Int]").unwrap();
+    let b = ty_of("let (f : Int -> Int) = id in ~f").unwrap();
+    assert_eq!(a, b);
+    // Note the frozen form `let (f : Int -> Int) = ~id in ~f` is
+    // *ill-typed*: a frozen variable is not a guarded value, so the
+    // annotation must match its polytype exactly (split, Figure 8).
+    assert!(ty_of("let (f : Int -> Int) = ~id in ~f").is_err());
+}

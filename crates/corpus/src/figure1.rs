@@ -1,0 +1,237 @@
+//! Figure 1: the 50 example FreezeML terms and their types.
+//!
+//! Sections A–E are taken from Serrano et al. (2018); section F contains
+//! the paper's additional FreezeML programs. Conventions from the paper:
+//!
+//! * a `•`-suffixed id is a variant with extra freeze/generalisation
+//!   operators that changes the inferred type;
+//! * a `⋆`-suffixed id means explicit freeze/generalise/instantiate is
+//!   *mandatory* — only the decorated form typechecks;
+//! * `†` (example F10) typechecks only without the value restriction
+//!   ([`Mode::Pure`]).
+//!
+//! Source text is in the ASCII surface syntax: `~x` for `⌈x⌉`, `$( … )`
+//! for `$(…)`, postfix `@` for instantiation.
+
+/// Expected outcome of type inference on an example.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// Well typed, with this (α-equivalence class of) type.
+    Type(&'static str),
+    /// Ill typed (`✕` in Figure 1).
+    Ill,
+}
+
+/// Which checker configuration the example needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's formal system (value restriction, variable
+    /// instantiation).
+    Standard,
+    /// "Pure" FreezeML — no value restriction (example F10†).
+    Pure,
+}
+
+/// One row of Figure 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Example {
+    /// The paper's identifier (`A1`, `A1•`, `A9⋆`, `F10†`, …).
+    pub id: &'static str,
+    /// Section letter `A`–`F`.
+    pub section: char,
+    /// The base example this is a variant of (used by the Table 1 grouping).
+    pub base: &'static str,
+    /// Source text in the surface syntax.
+    pub src: &'static str,
+    /// Expected outcome.
+    pub expected: Expected,
+    /// Checker configuration.
+    pub mode: Mode,
+    /// Extra signatures beyond Figure 2 (`where f : …` side conditions).
+    pub extra_env: &'static [(&'static str, &'static str)],
+    /// Does the source contain a *type* annotation? (Freezes, `$`, and `@`
+    /// do not count — Appendix A.)
+    pub has_type_annotation: bool,
+}
+
+const NO_EXTRA: &[(&str, &str)] = &[];
+const ENV_A9: &[(&str, &str)] = &[("f", "forall a. (a -> a) -> List a -> a")];
+const ENV_C8: &[(&str, &str)] = &[("g", "forall a. List a -> List a -> a")];
+const ENV_E: &[(&str, &str)] = &[
+    ("k", "forall a. a -> List a -> a"),
+    ("h", "Int -> forall a. a -> a"),
+    ("l", "List (forall a. Int -> a -> a)"),
+];
+const ENV_E3: &[(&str, &str)] = &[("r", "(forall a. a -> forall b. b -> b) -> Int")];
+
+macro_rules! ex {
+    ($id:literal, $section:literal, $base:literal, $src:literal, $expected:expr,
+     $mode:expr, $extra:expr, $ann:literal) => {
+        Example {
+            id: $id,
+            section: $section,
+            base: $base,
+            src: $src,
+            expected: $expected,
+            mode: $mode,
+            extra_env: $extra,
+            has_type_annotation: $ann,
+        }
+    };
+}
+
+use Expected::{Ill, Type};
+use Mode::{Pure, Standard};
+
+/// Every row of Figure 1, in paper order.
+///
+/// Transcription note: in F10† the argument of `auto'` is the *frozen*
+/// `⌈x⌉` — only a frozen variable can be passed at the polytype
+/// `∀a.a→a` that `auto'` demands (the Var rule always instantiates, §3.1),
+/// and the example's reported type arises from generalising `auto' ⌈x⌉`'s
+/// result, which is what the † (no value restriction) enables.
+pub const EXAMPLES: &[Example] = &[
+    // ---------------------------------------- A: polymorphic instantiation
+    ex!("A1", 'A', "A1", "fun x y -> y", Type("a -> b -> b"), Standard, NO_EXTRA, false),
+    ex!("A1•", 'A', "A1", "$(fun x y -> y)", Type("forall a b. a -> b -> b"), Standard, NO_EXTRA, false),
+    ex!("A2", 'A', "A2", "choose id", Type("(a -> a) -> a -> a"), Standard, NO_EXTRA, false),
+    ex!("A2•", 'A', "A2", "choose ~id", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("A3", 'A', "A3", "choose [] ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("A4", 'A', "A4", "fun (x : forall a. a -> a) -> x x", Type("(forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, true),
+    ex!("A4•", 'A', "A4", "fun (x : forall a. a -> a) -> x ~x", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, true),
+    ex!("A5", 'A', "A5", "id auto", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("A6", 'A', "A6", "id auto'", Type("(forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, false),
+    ex!("A6•", 'A', "A6", "id ~auto'", Type("forall b. (forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, false),
+    ex!("A7", 'A', "A7", "choose id auto", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("A8", 'A', "A8", "choose id auto'", Ill, Standard, NO_EXTRA, false),
+    ex!("A9⋆", 'A', "A9", "f (choose ~id) ids", Type("forall a. a -> a"), Standard, ENV_A9, false),
+    ex!("A10⋆", 'A', "A10", "poly ~id", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!("A11⋆", 'A', "A11", "poly $(fun x -> x)", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!("A12⋆", 'A', "A12", "id poly $(fun x -> x)", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    // ------------------------------ B: inference with polymorphic arguments
+    ex!("B1⋆", 'B', "B1", "fun (f : forall a. a -> a) -> (f 1, f true)", Type("(forall a. a -> a) -> Int * Bool"), Standard, NO_EXTRA, true),
+    ex!("B2⋆", 'B', "B2", "fun (xs : List (forall a. a -> a)) -> poly (head xs)", Type("List (forall a. a -> a) -> Int * Bool"), Standard, NO_EXTRA, true),
+    // ---------------------------------------- C: functions on polymorphic lists
+    ex!("C1", 'C', "C1", "length ids", Type("Int"), Standard, NO_EXTRA, false),
+    ex!("C2", 'C', "C2", "tail ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("C3", 'C', "C3", "head ids", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("C4", 'C', "C4", "single id", Type("List (a -> a)"), Standard, NO_EXTRA, false),
+    ex!("C4•", 'C', "C4", "single ~id", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("C5⋆", 'C', "C5", "~id :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("C6⋆", 'C', "C6", "$(fun x -> x) :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("C7", 'C', "C7", "(single inc) ++ (single id)", Type("List (Int -> Int)"), Standard, NO_EXTRA, false),
+    ex!("C8⋆", 'C', "C8", "g (single ~id) ids", Type("forall a. a -> a"), Standard, ENV_C8, false),
+    ex!("C9⋆", 'C', "C9", "map poly (single ~id)", Type("List (Int * Bool)"), Standard, NO_EXTRA, false),
+    ex!("C10", 'C', "C10", "map head (single ids)", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    // ---------------------------------------- D: application functions
+    ex!("D1⋆", 'D', "D1", "app poly ~id", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!("D2⋆", 'D', "D2", "revapp ~id poly", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!("D3⋆", 'D', "D3", "runST ~argST", Type("Int"), Standard, NO_EXTRA, false),
+    ex!("D4⋆", 'D', "D4", "app runST ~argST", Type("Int"), Standard, NO_EXTRA, false),
+    ex!("D5⋆", 'D', "D5", "revapp ~argST runST", Type("Int"), Standard, NO_EXTRA, false),
+    // ---------------------------------------- E: η-expansion
+    ex!("E1", 'E', "E1", "k h l", Ill, Standard, ENV_E, false),
+    ex!("E2⋆", 'E', "E2", "k $(fun x -> (h x)@) l", Type("forall a. Int -> a -> a"), Standard, ENV_E, false),
+    ex!("E3", 'E', "E3", "r (fun x y -> y)", Ill, Standard, ENV_E3, false),
+    ex!("E3•", 'E', "E3", "r $(fun x -> $(fun y -> y))", Type("Int"), Standard, ENV_E3, false),
+    // ---------------------------------------- F: FreezeML programs
+    ex!("F1", 'F', "F1", "$(fun x -> x)", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("F2", 'F', "F2", "[~id]", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("F3", 'F', "F3", "$(fun (x : forall a. a -> a) -> x ~x)", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, true),
+    ex!("F4", 'F', "F4", "$(fun (x : forall a. a -> a) -> x x)", Type("forall b. (forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, true),
+    ex!("F5⋆", 'F', "F5", "auto ~id", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("F6", 'F', "F6", "(head ids) :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!("F7⋆", 'F', "F7", "(head ids)@ 3", Type("Int"), Standard, NO_EXTRA, false),
+    ex!("F8", 'F', "F8", "choose (head ids)", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
+    ex!("F8•", 'F', "F8", "choose (head ids)@", Type("(a -> a) -> a -> a"), Standard, NO_EXTRA, false),
+    ex!("F9", 'F', "F9", "let f = revapp ~id in f poly", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!("F10†", 'F', "F10", "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))", Type("(forall a. a -> a) -> forall a. a -> a"), Pure, NO_EXTRA, true),
+];
+
+/// Look up an example by its paper id.
+pub fn by_id(id: &str) -> Option<&'static Example> {
+    EXAMPLES.iter().find(|e| e.id == id)
+}
+
+/// All examples in a section.
+pub fn section(letter: char) -> impl Iterator<Item = &'static Example> {
+    EXAMPLES.iter().filter(move |e| e.section == letter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_forty_nine_rows() {
+        assert_eq!(EXAMPLES.len(), 49);
+    }
+
+    #[test]
+    fn sections_have_paper_counts() {
+        assert_eq!(section('A').count(), 16);
+        assert_eq!(section('B').count(), 2);
+        assert_eq!(section('C').count(), 11);
+        assert_eq!(section('D').count(), 5);
+        assert_eq!(section('E').count(), 4);
+        assert_eq!(section('F').count(), 11);
+    }
+
+    #[test]
+    fn thirty_two_base_examples_in_a_to_e() {
+        let mut bases: Vec<&str> = EXAMPLES
+            .iter()
+            .filter(|e| e.section != 'F')
+            .map(|e| e.base)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 32, "Appendix A counts 32 examples");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = EXAMPLES.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXAMPLES.len());
+    }
+
+    #[test]
+    fn all_sources_parse() {
+        for e in EXAMPLES {
+            freezeml_core::parse_term(e.src)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+        }
+    }
+
+    #[test]
+    fn all_expected_types_parse() {
+        for e in EXAMPLES {
+            if let Expected::Type(t) = e.expected {
+                freezeml_core::parse_type(t)
+                    .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            }
+        }
+    }
+
+    #[test]
+    fn extra_envs_parse() {
+        for e in EXAMPLES {
+            for (name, ty) in e.extra_env {
+                freezeml_core::parse_type(ty)
+                    .unwrap_or_else(|err| panic!("{} ({name}): {err}", e.id));
+            }
+        }
+    }
+
+    #[test]
+    fn only_f10_needs_pure_mode() {
+        let pure: Vec<&str> = EXAMPLES
+            .iter()
+            .filter(|e| e.mode == Mode::Pure)
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(pure, ["F10†"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Run Figure 1 examples through the real checker and compare against the
+//! paper's expectations.
+
+use crate::figure1::{Example, Expected, Mode, EXAMPLES};
+use crate::prelude::figure2;
+use freezeml_core::{infer_program, Options, ProgramError, Type, TypeEnv};
+
+/// The outcome of checking one example.
+#[derive(Clone, Debug)]
+pub struct ExampleResult {
+    /// The example's paper id.
+    pub id: &'static str,
+    /// What inference produced.
+    pub inferred: Result<Type, ProgramError>,
+    /// What the paper reports.
+    pub expected: Expected,
+    /// Did we reproduce the paper's row?
+    pub pass: bool,
+}
+
+impl ExampleResult {
+    /// Render the inferred side like Figure 1 renders it (`✕` for errors).
+    pub fn inferred_display(&self) -> String {
+        match &self.inferred {
+            Ok(t) => t.to_string(),
+            Err(_) => "✕".to_string(),
+        }
+    }
+}
+
+/// The environment an example runs in: Figure 2 plus its `where` clauses.
+pub fn env_for(example: &Example) -> TypeEnv {
+    let mut env = figure2();
+    for (name, ty) in example.extra_env {
+        env.push_str(name, ty)
+            .unwrap_or_else(|e| panic!("bad extra signature {name}: {e}"));
+    }
+    env
+}
+
+/// The checker options an example needs.
+pub fn options_for(example: &Example) -> Options {
+    match example.mode {
+        Mode::Standard => Options::default(),
+        Mode::Pure => Options::pure_freezeml(),
+    }
+}
+
+/// Check one example against its expected outcome.
+pub fn run_example(example: &Example) -> ExampleResult {
+    let env = env_for(example);
+    let opts = options_for(example);
+    let inferred = infer_program(&env, example.src, &opts);
+    let pass = match (&inferred, &example.expected) {
+        (Ok(t), Expected::Type(want)) => {
+            let want = freezeml_core::parse_type(want).expect("expected type parses");
+            t.alpha_eq(&want)
+        }
+        (Err(_), Expected::Ill) => true,
+        _ => false,
+    };
+    ExampleResult {
+        id: example.id,
+        inferred,
+        expected: example.expected,
+        pass,
+    }
+}
+
+/// Check the whole corpus, in paper order.
+pub fn run_all() -> Vec<ExampleResult> {
+    EXAMPLES.iter().map(run_example).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline reproduction: every row of Figure 1.
+    #[test]
+    fn figure1_reproduces() {
+        let mut failures = Vec::new();
+        for r in run_all() {
+            if !r.pass {
+                failures.push(format!(
+                    "{}: expected {:?}, inferred {}",
+                    r.id,
+                    r.expected,
+                    r.inferred_display()
+                ));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "Figure 1 mismatches:\n{}",
+            failures.join("\n")
+        );
+    }
+
+    #[test]
+    fn ill_typed_examples_fail_for_type_reasons() {
+        for e in EXAMPLES {
+            if e.expected == Expected::Ill {
+                let r = run_example(e);
+                match r.inferred {
+                    Err(ProgramError::Type(_)) => {}
+                    other => panic!("{}: expected a type error, got {other:?}", e.id),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f10_fails_under_the_value_restriction() {
+        // F10† is marked †: it must NOT typecheck in the standard system.
+        let e = crate::figure1::by_id("F10†").unwrap();
+        let env = env_for(e);
+        assert!(infer_program(&env, e.src, &Options::default()).is_err());
+    }
+
+    #[test]
+    fn starred_examples_need_their_operators() {
+        // A10⋆: poly id (without the freeze) must fail.
+        let env = figure2();
+        assert!(infer_program(&env, "poly id", &Options::default()).is_err());
+        // C5⋆: id :: ids (without the freeze) must fail.
+        assert!(infer_program(&env, "id :: ids", &Options::default()).is_err());
+        // F7⋆: head ids 3 (without the @) must fail.
+        assert!(infer_program(&env, "(head ids) 3", &Options::default()).is_err());
+        // D3⋆: runST argST (without the freeze) must fail.
+        assert!(infer_program(&env, "runST argST", &Options::default()).is_err());
+    }
+}

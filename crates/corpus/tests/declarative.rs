@@ -1,0 +1,91 @@
+//! Declarative cross-validation of Figure 1: every reported type is
+//! *derivable* in the declarative system of Figure 7 (decided via the
+//! Appendix C stratification), independently of how the inference harness
+//! compares results. This closes the loop between the algorithmic and
+//! declarative presentations on the paper's own corpus.
+
+use freezeml_core::{check_typing, parse_term, parse_type, KindEnv};
+use freezeml_corpus::{runner, Expected, Mode, EXAMPLES};
+
+#[test]
+fn every_reported_type_is_declaratively_derivable() {
+    for e in EXAMPLES {
+        if e.mode != Mode::Standard {
+            continue;
+        }
+        let Expected::Type(want) = e.expected else {
+            continue;
+        };
+        let env = runner::env_for(e);
+        let opts = runner::options_for(e);
+        let term = parse_term(e.src).unwrap();
+        let ty = parse_type(want).unwrap();
+        // Free variables of the reported type act as rigid eigenvariables.
+        let delta: KindEnv = ty.ftv().into_iter().collect();
+        assert!(
+            check_typing(&delta, &env, &term, &ty, &opts).unwrap(),
+            "{}: reported type {want} is not derivable",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn ill_typed_rows_have_no_derivation_at_plausible_types() {
+    // For the ✕ rows, even generous candidate types are not derivable.
+    let candidates = [
+        "Int",
+        "a",
+        "a -> a",
+        "forall a. a -> a",
+        "(forall a. a -> a) -> forall a. a -> a",
+    ];
+    for e in EXAMPLES {
+        if e.expected != Expected::Ill || e.mode != Mode::Standard {
+            continue;
+        }
+        let env = runner::env_for(e);
+        let opts = runner::options_for(e);
+        let term = parse_term(e.src).unwrap();
+        for cand in candidates {
+            let ty = parse_type(cand).unwrap();
+            let delta: KindEnv = ty.ftv().into_iter().collect();
+            assert!(
+                !check_typing(&delta, &env, &term, &ty, &opts).unwrap(),
+                "{}: ✕ row unexpectedly derivable at {cand}",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn reported_types_are_principal_among_candidates() {
+    // For a few rows with interesting free variables, the ground instance
+    // is derivable (principality downwards) but a *more general* made-up
+    // type is not (the reported type is a ceiling).
+    let cases = [
+        // (id, ground instance, over-general candidate)
+        ("A2", "(Int -> Int) -> Int -> Int", "forall a. (a -> a) -> a -> a"),
+        ("C4", "List (Bool -> Bool)", "forall a. List (a -> a)"),
+        ("A4", "(forall a. a -> a) -> Int -> Int", "(forall a. a -> a) -> forall b. b -> b"),
+    ];
+    for (id, ground, over) in cases {
+        let e = freezeml_corpus::figure1::by_id(id).unwrap();
+        let env = runner::env_for(e);
+        let opts = runner::options_for(e);
+        let term = parse_term(e.src).unwrap();
+        let g = parse_type(ground).unwrap();
+        let delta: KindEnv = g.ftv().into_iter().collect();
+        assert!(
+            check_typing(&delta, &env, &term, &g, &opts).unwrap(),
+            "{id}: ground instance {ground} should be derivable"
+        );
+        let o = parse_type(over).unwrap();
+        let delta2: KindEnv = o.ftv().into_iter().collect();
+        assert!(
+            !check_typing(&delta2, &env, &term, &o, &opts).unwrap(),
+            "{id}: over-general {over} should NOT be derivable"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! HMF-style inference (see the crate docs for the approximation notes).
+//!
+//! The algorithm reuses `freezeml-core`'s kinded unifier: unannotated
+//! λ-parameters are `•`-kinded metas (monomorphic, as in HMF), while
+//! instantiation metas are `⋆`-kinded and may pick up polytypes through
+//! unification (how `head ids` works in HMF).
+
+use crate::term::HmfTerm;
+use freezeml_core::{
+    unify, Kind, KindEnv, RefinedEnv, Subst, TyVar, Type, TypeEnv, TypeError,
+};
+
+/// Instantiate all top-level quantifiers with fresh `⋆` metas.
+fn instantiate(theta: &mut RefinedEnv, ty: &Type) -> Type {
+    let (vars, body) = ty.split_foralls();
+    if vars.is_empty() {
+        return ty.clone();
+    }
+    let pairs: Vec<(TyVar, Type)> = vars
+        .into_iter()
+        .map(|a| {
+            let m = TyVar::fresh();
+            theta.insert(m.clone(), Kind::Poly);
+            (a, Type::Var(m))
+        })
+        .collect();
+    Subst::from_pairs(pairs).apply(body)
+}
+
+/// Generalise `ty` over its metas not free in `gamma`, removing them from
+/// `theta`. Quantifier order is first-appearance order, like FreezeML.
+fn generalize(theta: &RefinedEnv, gamma: &TypeEnv, ty: &Type) -> (RefinedEnv, Type) {
+    let env_ftv = gamma.ftv();
+    let gens: Vec<TyVar> = ty
+        .ftv()
+        .into_iter()
+        .filter(|v| theta.contains(v) && !env_ftv.contains(v))
+        .collect();
+    let theta2 = theta.minus(&gens);
+    (theta2, Type::foralls(gens, ty.clone()))
+}
+
+/// The inference algorithm. Returns the residual meta environment, the
+/// composed substitution, and the (ungeneralised) type.
+///
+/// # Errors
+///
+/// Any [`TypeError`] from unification or lookup.
+pub fn hmf_infer(
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    term: &HmfTerm,
+) -> Result<(RefinedEnv, Subst, Type), TypeError> {
+    let delta = KindEnv::new();
+    match term {
+        HmfTerm::Var(x) => {
+            let scheme = gamma
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let mut theta1 = theta.clone();
+            let ty = instantiate(&mut theta1, &scheme);
+            Ok((theta1, Subst::identity(), ty))
+        }
+        HmfTerm::Lit(l) => Ok((theta.clone(), Subst::identity(), l.ty())),
+        HmfTerm::Lam(x, body) => {
+            let a = TyVar::fresh();
+            let theta_in = theta.inserted(a.clone(), Kind::Mono);
+            let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let (theta1, s, bty) = hmf_infer(&theta_in, &gamma_in, body)?;
+            let param = s.image_of(&a);
+            Ok((theta1, s.without(&a), Type::arrow(param, bty)))
+        }
+        HmfTerm::LamAnn(x, ann, body) => {
+            let gamma_in = gamma.extended(x.clone(), ann.clone());
+            let (theta1, s, bty) = hmf_infer(theta, &gamma_in, body)?;
+            Ok((theta1, s, Type::arrow(ann.clone(), bty)))
+        }
+        HmfTerm::App(f, arg) => {
+            let (mut theta1, s1, fty0) = hmf_infer(theta, gamma, f)?;
+            // HMF instantiates function types by default.
+            let fty = instantiate(&mut theta1, &fty0);
+            // Expose the arrow.
+            let (dom, cod, theta1, s_arrow) = match &fty {
+                Type::Con(freezeml_core::TyCon::Arrow, args) => (
+                    args[0].clone(),
+                    args[1].clone(),
+                    theta1,
+                    Subst::identity(),
+                ),
+                _ => {
+                    let d = TyVar::fresh();
+                    let c = TyVar::fresh();
+                    let theta_arrow = theta1
+                        .inserted(d.clone(), Kind::Poly)
+                        .inserted(c.clone(), Kind::Poly);
+                    let expected =
+                        Type::arrow(Type::Var(d.clone()), Type::Var(c.clone()));
+                    let (th, s) = unify(&delta, &theta_arrow, &fty, &expected)?;
+                    (s.apply(&Type::Var(d)), s.apply(&Type::Var(c)), th, s)
+                }
+            };
+            let s1 = s_arrow.compose(&s1);
+            let gamma1 = s1.apply_env(gamma);
+            let (theta2, s2, aty) = hmf_infer(&theta1, &gamma1, arg)?;
+            let dom2 = s2.apply(&dom);
+            // The HMF heuristic: generalise the argument's type when the
+            // expected parameter type is polymorphic.
+            let (theta2, aty2) = if matches!(dom2, Type::Forall(_, _)) {
+                let gamma2 = s2.apply_env(&gamma1);
+                let (th, t) = generalize(&theta2, &gamma2, &aty);
+                (th, t)
+            } else {
+                (theta2, aty)
+            };
+            let (theta3, s3) = unify(&delta, &theta2, &dom2, &aty2)?;
+            let cod_final = s3.apply(&s2.apply(&cod));
+            Ok((theta3, s3.compose(&s2).compose(&s1), cod_final))
+        }
+        HmfTerm::Let(x, rhs, body) => {
+            let (theta1, s1, aty) = hmf_infer(theta, gamma, rhs)?;
+            let gamma1 = s1.apply_env(gamma);
+            // No value restriction: always generalise (HMF is
+            // Haskell-flavoured).
+            let (theta1, scheme) = generalize(&theta1, &gamma1, &aty);
+            let gamma_in = gamma1.extended(x.clone(), scheme);
+            let (theta2, s2, bty) = hmf_infer(&theta1, &gamma_in, body)?;
+            Ok((theta2, s2.compose(&s1), bty))
+        }
+    }
+}
+
+/// Infer and fully generalise the principal-for-HMF type of a closed-
+/// context term, canonicalised for display.
+///
+/// # Errors
+///
+/// Any [`TypeError`].
+pub fn hmf_infer_type(gamma: &TypeEnv, term: &HmfTerm) -> Result<Type, TypeError> {
+    let (theta, s, ty) = hmf_infer(&RefinedEnv::new(), gamma, term)?;
+    let ty = s.apply(&ty);
+    let (_, gen) = generalize(&theta, &TypeEnv::new(), &ty);
+    Ok(gen.canonicalize())
+}
+
+/// Parse a surface program and run it through the HMF-style checker.
+/// Returns `None` if the program is outside the HMF fragment (uses
+/// freezing), `Some(result)` otherwise.
+pub fn hmf_accepts_src(gamma: &TypeEnv, src: &str) -> Option<bool> {
+    let term = freezeml_core::parse_term(src).ok()?;
+    let hmf = HmfTerm::from_freezeml(&term)?;
+    Some(hmf_infer_type(gamma, &hmf).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        for (n, t) in [
+            ("id", "forall a. a -> a"),
+            ("ids", "List (forall a. a -> a)"),
+            ("inc", "Int -> Int"),
+            ("choose", "forall a. a -> a -> a"),
+            ("single", "forall a. a -> List a"),
+            ("head", "forall a. List a -> a"),
+            ("poly", "(forall a. a -> a) -> Int * Bool"),
+            ("auto", "(forall a. a -> a) -> forall a. a -> a"),
+            ("pair", "forall a b. a -> b -> a * b"),
+            ("app", "forall a b. (a -> b) -> a -> b"),
+            ("revapp", "forall a b. a -> (a -> b) -> b"),
+            ("runST", "forall a. (forall s. ST s a) -> a"),
+            ("argST", "forall s. ST s Int"),
+            ("nil", "forall a. List a"),
+        ] {
+            g.push_str(n, t).unwrap();
+        }
+        g
+    }
+
+    fn ty_of(src: &str) -> Result<String, TypeError> {
+        let term = freezeml_core::parse_term(src).unwrap();
+        let hmf = HmfTerm::from_freezeml(&term).expect("must be in the HMF fragment");
+        hmf_infer_type(&env(), &hmf).map(|t| t.to_string())
+    }
+
+    #[test]
+    fn hm_core_works() {
+        assert_eq!(ty_of("fun x -> x").unwrap(), "forall a. a -> a");
+        assert_eq!(ty_of("inc 1").unwrap(), "Int");
+        assert_eq!(ty_of("let i = fun x -> x in i 1").unwrap(), "Int");
+    }
+
+    #[test]
+    fn minimal_polymorphism_on_choose_id() {
+        // HMF's signature behaviour: choose id gets the *least* polymorphic
+        // type (§7: "uses weights to select between less and more
+        // polymorphic types").
+        assert_eq!(
+            ty_of("choose id").unwrap(),
+            "forall a. (a -> a) -> a -> a"
+        );
+    }
+
+    #[test]
+    fn argument_generalisation_types_poly_lambda() {
+        // poly (λx.x) — no annotation, no $ — typechecks in HMF because the
+        // expected parameter type ∀a.a→a triggers argument generalisation.
+        // FreezeML deliberately requires poly $(λx.x) here.
+        assert_eq!(ty_of("poly (fun x -> x)").unwrap(), "Int * Bool");
+        assert_eq!(ty_of("poly id").unwrap(), "Int * Bool");
+        assert_eq!(ty_of("id poly (fun x -> x)").unwrap(), "Int * Bool");
+    }
+
+    #[test]
+    fn impredicative_metas_type_polymorphic_lists() {
+        assert_eq!(ty_of("head ids").unwrap(), "forall a. a -> a");
+        assert_eq!(ty_of("head ids 3").unwrap(), "Int");
+        assert_eq!(ty_of("choose [] ids").unwrap(), "List (forall a. a -> a)");
+    }
+
+    #[test]
+    fn monomorphic_parameters_still_fail() {
+        // The λ-bound f is monomorphic in HMF too.
+        assert!(ty_of("fun f -> (f 1, f true)").is_err());
+    }
+
+    #[test]
+    fn annotated_parameters_work() {
+        assert_eq!(
+            ty_of("fun (f : forall a. a -> a) -> (f 1, f true)").unwrap(),
+            "(forall a. a -> a) -> Int * Bool"
+        );
+        assert_eq!(
+            ty_of("fun (x : forall a. a -> a) -> x x").unwrap(),
+            "forall b. (forall a. a -> a) -> b -> b"
+        );
+    }
+
+    #[test]
+    fn runst_argst_works_via_argument_generalisation() {
+        assert_eq!(ty_of("runST argST").unwrap(), "Int");
+        assert_eq!(ty_of("app runST argST").unwrap(), "Int");
+    }
+
+    #[test]
+    fn binary_application_is_order_sensitive() {
+        // The documented approximation: without n-ary minimal-polymorphism
+        // weighting, the flipped argument order fails (real HMF's n-ary
+        // rule handles it; FreezeML handles it with a freeze).
+        assert_eq!(ty_of("app poly id").unwrap(), "Int * Bool");
+        assert!(ty_of("revapp id poly").is_err());
+        assert!(ty_of("revapp argST runST").is_err());
+    }
+
+    #[test]
+    fn no_value_restriction() {
+        // let xs = single id in … generalises even though the rhs is an
+        // application — HMF has no value restriction.
+        assert_eq!(
+            ty_of("let f = choose id in (f inc 1, f id true)").unwrap(),
+            "Int * Bool"
+        );
+    }
+
+    #[test]
+    fn lambda_result_polymorphism_is_kept() {
+        // λx. head ids : the body keeps its polytype under the arrow.
+        assert_eq!(
+            ty_of("fun x -> head ids").unwrap(),
+            "forall b. b -> forall a. a -> a"
+        );
+    }
+}

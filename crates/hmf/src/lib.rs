@@ -1,0 +1,39 @@
+//! # An HMF-style baseline checker
+//!
+//! HMF (Leijen, *"HMF: simple type inference for first-class
+//! polymorphism"*, ICFP 2008) is the system the FreezeML paper contrasts
+//! most directly (§7): like FreezeML it uses plain System F types and an
+//! Algorithm-W-style inference algorithm, but instead of explicit freezing
+//! it relies on *heuristics* — instantiate by default, generalise argument
+//! types when the expected parameter type is polymorphic, prefer "minimal
+//! polymorphism".
+//!
+//! This crate implements the heart of that recipe so the Table 1
+//! comparison can include a *computed* HMF-style row next to the recorded
+//! one. It is a documented **approximation** (see `DESIGN.md`):
+//!
+//! * applications are inferred binarily, left to right — we do not
+//!   implement the n-ary application rule with minimal-polymorphism
+//!   weights that makes real HMF argument-order independent (so our
+//!   checker fails `revapp ⌈id⌉ poly`-style examples that real HMF
+//!   accepts, and the paper's D-section order-insensitivity remark shows
+//!   up as measurable failures);
+//! * rigid term annotations are not supported, only parameter annotations.
+//!
+//! What *is* faithfully HMF-like:
+//!
+//! * unannotated λ-parameters are monomorphic unification variables;
+//! * variable occurrences are instantiated eagerly (no freeze operator);
+//! * `let` generalises (no value restriction — HMF is Haskell-flavoured);
+//! * when a function's parameter type is a quantified type, the argument's
+//!   type is generalised before unification — this is how `poly (λx.x)`
+//!   typechecks without any annotation, which FreezeML deliberately
+//!   refuses to do ("never guess polymorphism");
+//! * results are generalised at the top, giving minimal-polymorphism
+//!   types such as `choose id : ∀a.(a→a)→a→a`.
+
+pub mod infer;
+pub mod term;
+
+pub use infer::{hmf_accepts_src, hmf_infer, hmf_infer_type};
+pub use term::HmfTerm;

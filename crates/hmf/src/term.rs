@@ -1,0 +1,136 @@
+//! HMF terms: ML terms plus annotated λ-parameters. No freeze operator —
+//! that is FreezeML's contribution; HMF controls instantiation with
+//! heuristics instead.
+
+use freezeml_core::{Lit, Term, Type, Var};
+use std::fmt;
+
+/// An HMF term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HmfTerm {
+    /// A variable (always implicitly instantiated).
+    Var(Var),
+    /// `λx.M` — monomorphic parameter.
+    Lam(Var, Box<HmfTerm>),
+    /// `λ(x:σ).M` — annotated (possibly polymorphic) parameter.
+    LamAnn(Var, Type, Box<HmfTerm>),
+    /// Application.
+    App(Box<HmfTerm>, Box<HmfTerm>),
+    /// `let x = M in N` — generalising (no value restriction).
+    Let(Var, Box<HmfTerm>, Box<HmfTerm>),
+    /// A literal.
+    Lit(Lit),
+}
+
+impl HmfTerm {
+    /// The variable `x`.
+    pub fn var(x: impl Into<Var>) -> HmfTerm {
+        HmfTerm::Var(x.into())
+    }
+
+    /// `λx.M`.
+    pub fn lam(x: impl Into<Var>, body: HmfTerm) -> HmfTerm {
+        HmfTerm::Lam(x.into(), Box::new(body))
+    }
+
+    /// `λ(x:σ).M`.
+    pub fn lam_ann(x: impl Into<Var>, ann: Type, body: HmfTerm) -> HmfTerm {
+        HmfTerm::LamAnn(x.into(), ann, Box::new(body))
+    }
+
+    /// `M N`.
+    pub fn app(f: HmfTerm, a: HmfTerm) -> HmfTerm {
+        HmfTerm::App(Box::new(f), Box::new(a))
+    }
+
+    /// `let x = M in N`.
+    pub fn let_(x: impl Into<Var>, rhs: HmfTerm, body: HmfTerm) -> HmfTerm {
+        HmfTerm::Let(x.into(), Box::new(rhs), Box::new(body))
+    }
+
+    /// Convert from a FreezeML term if it is in the HMF fragment (no
+    /// freezing — and hence none of the `$`/`@` sugar, which desugars to
+    /// frozen variables; no annotated `let`; no explicit type application).
+    pub fn from_freezeml(t: &Term) -> Option<HmfTerm> {
+        match t {
+            Term::Var(x) => Some(HmfTerm::Var(x.clone())),
+            Term::Lam(x, b) => Some(HmfTerm::Lam(x.clone(), Box::new(Self::from_freezeml(b)?))),
+            Term::LamAnn(x, ann, b) => Some(HmfTerm::LamAnn(
+                x.clone(),
+                ann.clone(),
+                Box::new(Self::from_freezeml(b)?),
+            )),
+            Term::App(f, a) => Some(HmfTerm::App(
+                Box::new(Self::from_freezeml(f)?),
+                Box::new(Self::from_freezeml(a)?),
+            )),
+            Term::Let(x, r, b) => Some(HmfTerm::Let(
+                x.clone(),
+                Box::new(Self::from_freezeml(r)?),
+                Box::new(Self::from_freezeml(b)?),
+            )),
+            Term::Lit(l) => Some(HmfTerm::Lit(*l)),
+            Term::FrozenVar(_)
+            | Term::LetAnn(_, _, _, _)
+            | Term::TyApp(_, _) => None,
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            HmfTerm::Var(_) | HmfTerm::Lit(_) => 1,
+            HmfTerm::Lam(_, b) | HmfTerm::LamAnn(_, _, b) => 1 + b.size(),
+            HmfTerm::App(f, a) => 1 + f.size() + a.size(),
+            HmfTerm::Let(_, r, b) => 1 + r.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for HmfTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmfTerm::Var(x) => write!(f, "{x}"),
+            HmfTerm::Lit(l) => write!(f, "{l}"),
+            HmfTerm::Lam(x, b) => write!(f, "(fun {x} -> {b})"),
+            HmfTerm::LamAnn(x, t, b) => write!(f, "(fun ({x} : {t}) -> {b})"),
+            HmfTerm::App(m, n) => write!(f, "({m} {n})"),
+            HmfTerm::Let(x, r, b) => write!(f, "(let {x} = {r} in {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiation_sugar_is_in_the_hmf_fragment() {
+        // `M@` desugars to `let x = M in x` with *plain* variables, so it
+        // stays in the HMF fragment (HMF instantiates eagerly anyway).
+        let t = freezeml_core::parse_term("(head ids)@ 3").unwrap();
+        assert!(HmfTerm::from_freezeml(&t).is_some());
+    }
+
+    #[test]
+    fn freeze_free_terms_convert() {
+        let t = freezeml_core::parse_term("let i = fun x -> x in poly i").unwrap();
+        assert!(HmfTerm::from_freezeml(&t).is_some());
+        let ann = freezeml_core::parse_term("fun (f : forall a. a -> a) -> f 1").unwrap();
+        assert!(HmfTerm::from_freezeml(&ann).is_some());
+    }
+
+    #[test]
+    fn frozen_terms_do_not_convert() {
+        for src in ["~id", "poly $(fun x -> x)", "~id@[Int]"] {
+            let t = freezeml_core::parse_term(src).unwrap();
+            assert!(HmfTerm::from_freezeml(&t).is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let t = HmfTerm::lam("x", HmfTerm::app(HmfTerm::var("f"), HmfTerm::var("x")));
+        assert_eq!(t.to_string(), "(fun x -> (f x))");
+    }
+}

@@ -1,0 +1,221 @@
+//! ML → System F elaboration (Figure 22, Theorem 8).
+//!
+//! The translation is defined on typing derivations; operationally we run
+//! Algorithm W and record, at each node, the data the translation needs —
+//! instantiations at variables and generalised variables at `let` — then
+//! resolve all recorded types with the final composed substitution (which
+//! maps every variable to its fully resolved image).
+//!
+//! `C⟦x⟧ = x δ(∆′)`, `C⟦λx.M⟧ = λx^S.C⟦M⟧`, `C⟦M N⟧` homomorphic, and
+//! `C⟦let x = M in N⟧ = let x^∀∆′.S = Λ∆′.C⟦M⟧ in C⟦N⟧`.
+
+use crate::infer::{generalize, instantiate, unify_mono};
+use crate::term::MlTerm;
+use freezeml_core::{Subst, TyVar, Type, TypeEnv, TypeError};
+use freezeml_systemf::FTerm;
+
+/// Elaborate an ML term into System F, returning the System F term and its
+/// type. Residual unification variables (e.g. the `a` in `λx.x : a → a`)
+/// are grounded to `Int` so the result typechecks in a closed context.
+///
+/// # Errors
+///
+/// Same as [`crate::w_infer`].
+pub fn elaborate(gamma: &TypeEnv, term: &MlTerm) -> Result<(FTerm, Type), TypeError> {
+    let (s, ty, f) = go(gamma, term)?;
+    let f = apply_scoped(&f, &s);
+    let ty = s.apply(&ty);
+    // Ground residual flexibles.
+    let residuals: Vec<TyVar> = collect_flexibles(&f, &ty);
+    let ground = Subst::from_pairs(residuals.into_iter().map(|v| (v, Type::int())));
+    Ok((apply_scoped(&f, &ground), ground.apply(&ty)))
+}
+
+/// Apply a substitution to every annotation, respecting term-level `Λ`
+/// binders: a variable bound by an enclosing `TyLam` is rigid inside it.
+fn apply_scoped(f: &FTerm, s: &Subst) -> FTerm {
+    match f {
+        FTerm::Var(_) | FTerm::Lit(_) => f.clone(),
+        FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), s.apply(t), Box::new(apply_scoped(b, s))),
+        FTerm::App(m, n) => FTerm::App(
+            Box::new(apply_scoped(m, s)),
+            Box::new(apply_scoped(n, s)),
+        ),
+        FTerm::TyLam(a, b) => {
+            let inner = s.without(a);
+            FTerm::TyLam(a.clone(), Box::new(apply_scoped(b, &inner)))
+        }
+        FTerm::TyApp(m, t) => FTerm::TyApp(Box::new(apply_scoped(m, s)), s.apply(t)),
+    }
+}
+
+/// Free flexible variables of all types in the term, respecting `Λ` binders.
+fn collect_flexibles(f: &FTerm, ty: &Type) -> Vec<TyVar> {
+    fn push(t: &Type, bound: &[TyVar], out: &mut Vec<TyVar>) {
+        for v in t.ftv() {
+            if v.is_fresh() && !bound.contains(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    fn walk(f: &FTerm, bound: &mut Vec<TyVar>, out: &mut Vec<TyVar>) {
+        match f {
+            FTerm::Var(_) | FTerm::Lit(_) => {}
+            FTerm::Lam(_, t, b) => {
+                push(t, bound, out);
+                walk(b, bound, out);
+            }
+            FTerm::App(m, n) => {
+                walk(m, bound, out);
+                walk(n, bound, out);
+            }
+            FTerm::TyLam(a, b) => {
+                bound.push(a.clone());
+                walk(b, bound, out);
+                bound.pop();
+            }
+            FTerm::TyApp(m, t) => {
+                walk(m, bound, out);
+                push(t, bound, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    push(ty, &[], &mut out);
+    let mut bound = Vec::new();
+    walk(f, &mut bound, &mut out);
+    out
+}
+
+fn go(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type, FTerm), TypeError> {
+    match term {
+        MlTerm::Var(x) => {
+            let scheme = gamma
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let (pairs, ty) = instantiate(&scheme);
+            let f = FTerm::tyapps(FTerm::var(x.clone()), pairs.into_iter().map(|(_, t)| t));
+            Ok((Subst::identity(), ty, f))
+        }
+        MlTerm::Lit(l) => Ok((Subst::identity(), l.ty(), FTerm::Lit(*l))),
+        MlTerm::Lam(x, body) => {
+            let a = TyVar::fresh();
+            let g2 = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let (s1, t1, fb) = go(&g2, body)?;
+            let param = s1.apply(&Type::Var(a));
+            let f = FTerm::lam(x.clone(), param.clone(), fb);
+            Ok((s1, Type::arrow(param, t1), f))
+        }
+        MlTerm::App(m, n) => {
+            let (s1, t1, fm) = go(gamma, m)?;
+            let (s2, t2, fn_) = go(&s1.apply_env(gamma), n)?;
+            let b = TyVar::fresh();
+            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b.clone())))?;
+            let ty = s3.apply(&Type::Var(b));
+            Ok((s3.compose(&s2).compose(&s1), ty, FTerm::app(fm, fn_)))
+        }
+        MlTerm::Let(x, rhs, body) => {
+            let (s1, t1, fr) = go(gamma, rhs)?;
+            let g1 = s1.apply_env(gamma);
+            let scheme = generalize(&g1, &t1, rhs);
+            let (gen_vars, _) = scheme.split_foralls();
+            let g2 = g1.extended(x.clone(), scheme.clone());
+            let (s2, t2, fb) = go(&g2, body)?;
+            let f = FTerm::let_(
+                x.clone(),
+                scheme,
+                FTerm::tylams(gen_vars, fr),
+                fb,
+            );
+            Ok((s2.compose(&s1), t2, f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::KindEnv;
+    use freezeml_systemf::typecheck;
+
+    fn prelude() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        g.push_str("inc", "Int -> Int").unwrap();
+        g.push_str("single", "forall a. a -> List a").unwrap();
+        g.push_str("choose", "forall a. a -> a -> a").unwrap();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        g
+    }
+
+    fn elaborates_and_preserves(src: &str) {
+        let g = prelude();
+        let term = MlTerm::from_freezeml(&freezeml_core::parse_term(src).unwrap()).unwrap();
+        let (f, ty) = elaborate(&g, &term).unwrap();
+        let fty = typecheck(&KindEnv::new(), &g, &f)
+            .unwrap_or_else(|e| panic!("elaboration of `{src}` ill-typed: {e}\n  {f}"));
+        assert!(
+            fty.alpha_eq(&ty),
+            "type preservation failed for `{src}`: {fty} vs {ty}"
+        );
+    }
+
+    #[test]
+    fn theorem8_on_basic_programs() {
+        for src in [
+            "fun x -> x",
+            "inc 1",
+            "let i = fun x -> x in i 1",
+            "let i = fun x -> x in (i 1, i true)",
+            "single choose",
+            "let s = fun x -> single x in s 3",
+            "fun f x -> f (f x)",
+            "let k = fun x y -> x in (k 1 true, k true 1)",
+        ] {
+            elaborates_and_preserves(src);
+        }
+    }
+
+    #[test]
+    fn let_elaborates_to_type_abstraction() {
+        let g = prelude();
+        let term = MlTerm::from_freezeml(
+            &freezeml_core::parse_term("let i = fun x -> x in i 1").unwrap(),
+        )
+        .unwrap();
+        let (f, ty) = elaborate(&g, &term).unwrap();
+        assert_eq!(ty, Type::int());
+        // Shape: (λi^∀a.a→a. i [Int] 1) (Λa. λx^a. x)
+        let printed = f.to_string();
+        assert!(printed.contains("tyfun"), "expected a Λ in {printed}");
+        assert!(printed.contains("[Int]"), "expected a type application in {printed}");
+    }
+
+    #[test]
+    fn non_value_let_has_no_type_abstraction() {
+        let g = prelude();
+        let term = MlTerm::from_freezeml(
+            &freezeml_core::parse_term("let y = inc 1 in y").unwrap(),
+        )
+        .unwrap();
+        let (f, ty) = elaborate(&g, &term).unwrap();
+        assert_eq!(ty, Type::int());
+        assert!(!f.to_string().contains("tyfun"));
+    }
+
+    #[test]
+    fn elaborated_programs_evaluate() {
+        use freezeml_systemf::{eval, prelude::runtime_env, Value};
+        let g = prelude();
+        let term = MlTerm::from_freezeml(
+            &freezeml_core::parse_term("let i = fun x -> x in (i 1, i true)").unwrap(),
+        )
+        .unwrap();
+        let (f, _) = elaborate(&g, &term).unwrap();
+        let v = eval(&runtime_env(), &f).unwrap();
+        assert_eq!(
+            v,
+            Value::Pair(Box::new(Value::Int(1)), Box::new(Value::Bool(true)))
+        );
+    }
+}

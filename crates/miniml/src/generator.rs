@@ -1,0 +1,201 @@
+//! Random well-scoped ML term generation.
+//!
+//! Used by the conservativity tests (Theorem 1: FreezeML agrees with
+//! Algorithm W on every ML program) and by the scaling benchmarks. The
+//! generator produces closed terms over a configurable prelude; terms are
+//! well-scoped by construction but not necessarily well-typed — callers
+//! filter with [`crate::w_infer`], and the typed fraction is large enough
+//! to be useful (lambdas and lets dominate).
+
+use crate::term::MlTerm;
+use freezeml_core::Var;
+use rand::Rng;
+
+/// Configuration for the term generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum depth of the generated tree.
+    pub max_depth: usize,
+    /// Names of prelude constants the generator may reference.
+    pub prelude: Vec<String>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 6,
+            prelude: ["id", "inc", "plus", "single", "choose"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Generate a random closed ML term.
+pub fn random_term<R: Rng>(rng: &mut R, config: &GenConfig) -> MlTerm {
+    let mut scope: Vec<Var> = Vec::new();
+    let mut counter = 0usize;
+    gen(rng, config, config.max_depth, &mut scope, &mut counter)
+}
+
+fn fresh_name(counter: &mut usize) -> Var {
+    let v = Var::named(format!("x{counter}"));
+    *counter += 1;
+    v
+}
+
+fn gen<R: Rng>(
+    rng: &mut R,
+    config: &GenConfig,
+    depth: usize,
+    scope: &mut Vec<Var>,
+    counter: &mut usize,
+) -> MlTerm {
+    if depth == 0 {
+        return leaf(rng, config, scope);
+    }
+    match rng.gen_range(0..10) {
+        0 | 1 => leaf(rng, config, scope),
+        2..=4 => {
+            let x = fresh_name(counter);
+            scope.push(x.clone());
+            let body = gen(rng, config, depth - 1, scope, counter);
+            scope.pop();
+            MlTerm::lam(x, body)
+        }
+        5..=7 => {
+            let f = gen(rng, config, depth - 1, scope, counter);
+            let a = gen(rng, config, depth - 1, scope, counter);
+            MlTerm::app(f, a)
+        }
+        _ => {
+            let x = fresh_name(counter);
+            let rhs = gen(rng, config, depth - 1, scope, counter);
+            scope.push(x.clone());
+            let body = gen(rng, config, depth - 1, scope, counter);
+            scope.pop();
+            MlTerm::let_(x, rhs, body)
+        }
+    }
+}
+
+fn leaf<R: Rng>(rng: &mut R, config: &GenConfig, scope: &[Var]) -> MlTerm {
+    let n_scope = scope.len();
+    let n_prelude = config.prelude.len();
+    let total = n_scope + n_prelude + 2;
+    let i = rng.gen_range(0..total);
+    if i < n_scope {
+        MlTerm::Var(scope[i].clone())
+    } else if i < n_scope + n_prelude {
+        MlTerm::var(config.prelude[i - n_scope].as_str())
+    } else if i == n_scope + n_prelude {
+        MlTerm::int(rng.gen_range(0..100))
+    } else {
+        MlTerm::bool(rng.gen_bool(0.5))
+    }
+}
+
+/// Deterministic worst-case ML program: the classic exponential-type
+/// let-chain `let x₁ = (x₀, x₀) in … let xₙ = (xₙ₋₁, xₙ₋₁) in xₙ`,
+/// used by the scaling benchmarks.
+pub fn pair_chain(n: usize) -> MlTerm {
+    let mut body = MlTerm::var(format!("p{n}").as_str());
+    for i in (0..n).rev() {
+        let prev = if i == 0 {
+            MlTerm::int(0)
+        } else {
+            MlTerm::var(format!("p{i}").as_str())
+        };
+        body = MlTerm::let_(
+            format!("p{}", i + 1).as_str(),
+            MlTerm::app(
+                MlTerm::app(MlTerm::var("pair"), prev.clone()),
+                prev,
+            ),
+            body,
+        );
+    }
+    body
+}
+
+/// A right-nested chain of `n` `let`-bound identity compositions — the
+/// friendly (linear) counterpart to [`pair_chain`].
+pub fn let_chain(n: usize) -> MlTerm {
+    let mut body = MlTerm::app(MlTerm::var(format!("f{n}").as_str()), MlTerm::int(1));
+    for i in (1..=n).rev() {
+        let prev = if i == 1 {
+            MlTerm::lam("x", MlTerm::var("x"))
+        } else {
+            MlTerm::lam(
+                "x",
+                MlTerm::app(MlTerm::var(format!("f{}", i - 1).as_str()), MlTerm::var("x")),
+            )
+        };
+        body = MlTerm::let_(format!("f{i}").as_str(), prev, body);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::TypeEnv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prelude() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        g.push_str("id", "forall a. a -> a").unwrap();
+        g.push_str("inc", "Int -> Int").unwrap();
+        g.push_str("plus", "Int -> Int -> Int").unwrap();
+        g.push_str("single", "forall a. a -> List a").unwrap();
+        g.push_str("choose", "forall a. a -> a -> a").unwrap();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        g
+    }
+
+    #[test]
+    fn generated_terms_are_closed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GenConfig::default();
+        for _ in 0..200 {
+            let t = random_term(&mut rng, &cfg);
+            // Closed over the prelude: inference may fail, but never with
+            // an unbound-variable error.
+            if let Err(freezeml_core::TypeError::UnboundVar(x)) =
+                crate::w_infer(&prelude(), &t)
+            {
+                panic!("generator produced unbound variable {x} in {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_decent_fraction_typechecks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GenConfig::default();
+        let mut ok = 0;
+        for _ in 0..500 {
+            if crate::w_infer(&prelude(), &random_term(&mut rng, &cfg)).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 50, "only {ok}/500 generated terms typed");
+    }
+
+    #[test]
+    fn pair_chain_types_exponentially() {
+        let t = pair_chain(6);
+        let (_, ty) = crate::w_infer(&prelude(), &t).unwrap();
+        // Type size is exponential in the chain length.
+        assert!(ty.size() > 2usize.pow(6));
+    }
+
+    #[test]
+    fn let_chain_types_linearly() {
+        let t = let_chain(30);
+        let (_, ty) = crate::w_infer(&prelude(), &t).unwrap();
+        assert_eq!(ty.canonicalize().to_string(), "Int");
+    }
+}

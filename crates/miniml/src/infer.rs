@@ -1,0 +1,279 @@
+//! Algorithm W with the value restriction (Figure 21).
+//!
+//! The classic Damas–Milner algorithm over monotypes and type schemes.
+//! Every type variable in play is a unification variable; schemes arise
+//! only by `gen` at `let` (and only for syntactic values — Wright's value
+//! restriction, which the paper builds in).
+
+use crate::term::MlTerm;
+use freezeml_core::{Subst, Term, TyVar, Type, TypeEnv, TypeError};
+
+/// First-order unification on monotypes.
+///
+/// # Errors
+///
+/// [`TypeError::Mismatch`] on constructor clashes, [`TypeError::Occurs`] on
+/// the occurs check, and [`TypeError::PolyNotAllowed`] if a quantified type
+/// leaks in (which would indicate a caller bug — ML types are monotypes).
+pub fn unify_mono(a: &Type, b: &Type) -> Result<Subst, TypeError> {
+    match (a, b) {
+        (Type::Var(x), Type::Var(y)) if x == y => Ok(Subst::identity()),
+        (Type::Var(x), t) | (t, Type::Var(x)) => {
+            if t.occurs_free(x) {
+                Err(TypeError::Occurs {
+                    var: x.clone(),
+                    ty: t.clone(),
+                })
+            } else if !t.is_monotype() {
+                Err(TypeError::PolyNotAllowed { ty: t.clone() })
+            } else {
+                Ok(Subst::singleton(x.clone(), t.clone()))
+            }
+        }
+        (Type::Con(c, xs), Type::Con(d, ys)) => {
+            if c != d || xs.len() != ys.len() {
+                return Err(TypeError::Mismatch {
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+            let mut s = Subst::identity();
+            for (x, y) in xs.iter().zip(ys) {
+                let s2 = unify_mono(&s.apply(x), &s.apply(y))?;
+                s = s2.compose(&s);
+            }
+            Ok(s)
+        }
+        _ => Err(TypeError::PolyNotAllowed { ty: a.clone() }),
+    }
+}
+
+/// `gen(∆, S, M)` (Figure 21): quantify the free variables of `S` not free
+/// in `Γ`, in order of first appearance — but only for syntactic values.
+pub fn generalize(gamma: &TypeEnv, ty: &Type, term: &MlTerm) -> Type {
+    if !term.is_value() {
+        return ty.clone();
+    }
+    let env_ftv = gamma.ftv();
+    let vars: Vec<TyVar> = ty
+        .ftv()
+        .into_iter()
+        .filter(|v| !env_ftv.contains(v))
+        .collect();
+    Type::foralls(vars, ty.clone())
+}
+
+/// Instantiate a type scheme's quantifiers with fresh variables
+/// (rule ML-Var), returning the instantiation pairs for elaboration.
+pub fn instantiate(scheme: &Type) -> (Vec<(TyVar, Type)>, Type) {
+    let (vars, body) = scheme.split_foralls();
+    let pairs: Vec<(TyVar, Type)> = vars
+        .into_iter()
+        .map(|a| (a, Type::Var(TyVar::fresh())))
+        .collect();
+    let ty = Subst::from_pairs(pairs.clone()).apply(body);
+    (pairs, ty)
+}
+
+/// Algorithm W: infer the monotype of an ML term.
+///
+/// # Errors
+///
+/// [`TypeError::UnboundVar`] and unification failures.
+pub fn w_infer(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type), TypeError> {
+    match term {
+        MlTerm::Var(x) => {
+            let scheme = gamma
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let (_, ty) = instantiate(&scheme);
+            Ok((Subst::identity(), ty))
+        }
+        MlTerm::Lit(l) => Ok((Subst::identity(), l.ty())),
+        MlTerm::Lam(x, body) => {
+            let a = TyVar::fresh();
+            let g2 = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let (s1, t1) = w_infer(&g2, body)?;
+            let param = s1.apply(&Type::Var(a));
+            Ok((s1, Type::arrow(param, t1)))
+        }
+        MlTerm::App(f, arg) => {
+            let (s1, t1) = w_infer(gamma, f)?;
+            let (s2, t2) = w_infer(&s1.apply_env(gamma), arg)?;
+            let b = TyVar::fresh();
+            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b.clone())))?;
+            let ty = s3.apply(&Type::Var(b));
+            Ok((s3.compose(&s2).compose(&s1), ty))
+        }
+        MlTerm::Let(x, rhs, body) => {
+            let (s1, t1) = w_infer(gamma, rhs)?;
+            let g1 = s1.apply_env(gamma);
+            let scheme = generalize(&g1, &t1, rhs);
+            let g2 = g1.extended(x.clone(), scheme);
+            let (s2, t2) = w_infer(&g2, body)?;
+            Ok((s2.compose(&s1), t2))
+        }
+    }
+}
+
+/// Convenience: infer against a prelude given as a FreezeML [`Term`]-free
+/// environment, returning the canonicalised type.
+///
+/// # Errors
+///
+/// Same as [`w_infer`].
+pub fn w_infer_type(gamma: &TypeEnv, term: &MlTerm) -> Result<Type, TypeError> {
+    let (_, ty) = w_infer(gamma, term)?;
+    Ok(ty.canonicalize())
+}
+
+/// Check whether a FreezeML term lies in the ML fragment and types under W.
+/// Used by the Table 1 harness's plain-ML baseline.
+pub fn ml_accepts(gamma: &TypeEnv, term: &Term) -> bool {
+    match MlTerm::from_freezeml(term) {
+        Some(ml) => w_infer(gamma, &ml).is_ok(),
+        None => false,
+    }
+}
+
+/// The outcome of running a surface-syntax program through plain ML.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MlOutcome {
+    /// In the ML fragment and well-typed under Algorithm W.
+    Typed,
+    /// In the ML fragment but ill-typed.
+    IllTyped,
+    /// Uses FreezeML-only constructs (freeze or annotations) — not an ML
+    /// program at all.
+    NotMl,
+}
+
+/// Parse a surface program and classify it under plain ML (the Table 1
+/// baseline). Freeze/`$`/`@` forms make a program [`MlOutcome::NotMl`]
+/// because their desugarings use frozen variables.
+pub fn ml_accepts_src(gamma: &TypeEnv, src: &str) -> MlOutcome {
+    let term = match freezeml_core::parse_term(src) {
+        Ok(t) => t,
+        Err(_) => return MlOutcome::NotMl,
+    };
+    match MlTerm::from_freezeml(&term) {
+        Some(ml) => {
+            if w_infer(gamma, &ml).is_ok() {
+                MlOutcome::Typed
+            } else {
+                MlOutcome::IllTyped
+            }
+        }
+        None => MlOutcome::NotMl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infer_str(gamma: &TypeEnv, src: &str) -> Result<String, TypeError> {
+        let t = freezeml_core::parse_term(src).unwrap();
+        let ml = MlTerm::from_freezeml(&t).expect("test term must be in the ML fragment");
+        w_infer_type(gamma, &ml).map(|t| t.to_string())
+    }
+
+    fn prelude() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        g.push_str("inc", "Int -> Int").unwrap();
+        g.push_str("plus", "Int -> Int -> Int").unwrap();
+        g.push_str("single", "forall a. a -> List a").unwrap();
+        g.push_str("choose", "forall a. a -> a -> a").unwrap();
+        g.push_str("id", "forall a. a -> a").unwrap();
+        g
+    }
+
+    #[test]
+    fn basic_inference() {
+        let g = prelude();
+        assert_eq!(infer_str(&g, "fun x -> x").unwrap(), "a -> a");
+        assert_eq!(infer_str(&g, "inc 1").unwrap(), "Int");
+        assert_eq!(infer_str(&g, "fun f x -> f (f x)").unwrap(), "(a -> a) -> a -> a");
+    }
+
+    #[test]
+    fn let_poly_with_pair() {
+        let mut g = prelude();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        assert_eq!(
+            infer_str(&g, "let i = fun x -> x in (i 1, i true)").unwrap(),
+            "Int * Bool"
+        );
+    }
+
+    #[test]
+    fn lambda_bound_vars_are_monomorphic() {
+        let mut g = prelude();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        assert!(infer_str(&g, "fun i -> (i 1, i true)").is_err());
+    }
+
+    #[test]
+    fn occurs_check() {
+        let g = prelude();
+        // λx. x x — classic occurs failure.
+        assert!(matches!(
+            infer_str(&g, "fun x -> x x"),
+            Err(TypeError::Occurs { .. })
+        ));
+    }
+
+    #[test]
+    fn value_restriction_blocks_generalising_applications() {
+        let mut g = prelude();
+        g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+        // let i = choose id id (a non-value) in (i 1, i true) — must fail.
+        assert!(infer_str(&g, "let i = choose id id in (i 1, i true)").is_err());
+        // The value version is fine.
+        assert!(infer_str(&g, "let i = id in (i 1, i true)").is_ok());
+    }
+
+    #[test]
+    fn single_choose_is_the_ml_classic() {
+        // single choose : List (a → a → a) — §1's motivating example.
+        let g = prelude();
+        assert_eq!(
+            infer_str(&g, "single choose").unwrap(),
+            "List (a -> a -> a)"
+        );
+    }
+
+    #[test]
+    fn unify_mono_rejects_polytypes() {
+        let poly = freezeml_core::parse_type("forall a. a -> a").unwrap();
+        let v = Type::Var(TyVar::fresh());
+        assert!(matches!(
+            unify_mono(&v, &poly),
+            Err(TypeError::PolyNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn unify_mono_solves_systems() {
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        let l = Type::arrow(Type::Var(a.clone()), Type::Var(b.clone()));
+        let r = Type::arrow(Type::list(Type::Var(b.clone())), Type::list(Type::int()));
+        let s = unify_mono(&l, &r).unwrap();
+        assert_eq!(s.apply(&Type::Var(a)), Type::list(Type::list(Type::int())));
+        assert_eq!(s.apply(&Type::Var(b)), Type::list(Type::int()));
+    }
+
+    #[test]
+    fn generalize_respects_env_and_values() {
+        let g = TypeEnv::new().extended("y", Type::Var(TyVar::named("a")));
+        let ty = Type::arrow(Type::var("a"), Type::var("b"));
+        let v = MlTerm::lam("x", MlTerm::var("x"));
+        let gen = generalize(&g, &ty, &v);
+        // Only b is generalised; a is free in Γ.
+        assert_eq!(gen.to_string(), "forall b. a -> b");
+        let nv = MlTerm::app(MlTerm::var("f"), MlTerm::var("x"));
+        assert_eq!(generalize(&g, &ty, &nv), ty);
+    }
+}

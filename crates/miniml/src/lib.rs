@@ -1,0 +1,41 @@
+//! # mini-ML (paper Appendix B.2)
+//!
+//! The ML core language FreezeML extends: unannotated lambda calculus with
+//! `let`, Damas–Milner typing split into monotypes and type schemes, and
+//! the value restriction (Figures 20–21). This crate provides:
+//!
+//! * [`MlTerm`] — the term syntax, embeddable into FreezeML
+//!   ([`MlTerm::to_freezeml`]) since every ML term *is* a FreezeML term;
+//! * [`w_infer`] — classic Algorithm W with the value restriction, the
+//!   baseline FreezeML's inference is compared against (Theorem 1:
+//!   agreement on all ML programs);
+//! * [`elaborate`] — the type-directed translation into System F
+//!   (Figure 22, Theorem 8);
+//! * [`generator`] — a random well-scoped term generator used by the
+//!   conservativity property tests and the benchmarks.
+//!
+//! ```
+//! use freezeml_miniml::{w_infer, MlTerm};
+//! use freezeml_core::TypeEnv;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // let id = λx.x in id id
+//! let term = MlTerm::let_(
+//!     "id",
+//!     MlTerm::lam("x", MlTerm::var("x")),
+//!     MlTerm::app(MlTerm::var("id"), MlTerm::var("id")),
+//! );
+//! let (_, ty) = w_infer(&TypeEnv::new(), &term)?;
+//! assert_eq!(ty.canonicalize().to_string(), "a -> a");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod elab;
+pub mod generator;
+pub mod infer;
+pub mod term;
+
+pub use elab::elaborate;
+pub use infer::{ml_accepts, ml_accepts_src, unify_mono, w_infer, MlOutcome};
+pub use term::MlTerm;

@@ -1,0 +1,161 @@
+//! mini-ML terms (Figure 20): `M, N ::= x | λx.M | M N | let x = M in N`
+//! plus literals, and the value class of the value restriction.
+
+use freezeml_core::{Lit, Term, Var};
+use std::fmt;
+
+/// A mini-ML term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MlTerm {
+    /// A variable.
+    Var(Var),
+    /// `λx.M` — no annotation; ML never needs one.
+    Lam(Var, Box<MlTerm>),
+    /// Application.
+    App(Box<MlTerm>, Box<MlTerm>),
+    /// `let x = M in N` — the only source of polymorphism.
+    Let(Var, Box<MlTerm>, Box<MlTerm>),
+    /// A literal.
+    Lit(Lit),
+}
+
+impl MlTerm {
+    /// The variable `x`.
+    pub fn var(x: impl Into<Var>) -> MlTerm {
+        MlTerm::Var(x.into())
+    }
+
+    /// `λx.M`.
+    pub fn lam(x: impl Into<Var>, body: MlTerm) -> MlTerm {
+        MlTerm::Lam(x.into(), Box::new(body))
+    }
+
+    /// `M N`.
+    pub fn app(f: MlTerm, a: MlTerm) -> MlTerm {
+        MlTerm::App(Box::new(f), Box::new(a))
+    }
+
+    /// `let x = M in N`.
+    pub fn let_(x: impl Into<Var>, rhs: MlTerm, body: MlTerm) -> MlTerm {
+        MlTerm::Let(x.into(), Box::new(rhs), Box::new(body))
+    }
+
+    /// An integer literal.
+    pub fn int(n: i64) -> MlTerm {
+        MlTerm::Lit(Lit::Int(n))
+    }
+
+    /// A boolean literal.
+    pub fn bool(b: bool) -> MlTerm {
+        MlTerm::Lit(Lit::Bool(b))
+    }
+
+    /// Is this a syntactic value (Figure 20: `x | λx.M | let x = V in W`)?
+    pub fn is_value(&self) -> bool {
+        match self {
+            MlTerm::Var(_) | MlTerm::Lam(_, _) | MlTerm::Lit(_) => true,
+            MlTerm::Let(_, r, b) => r.is_value() && b.is_value(),
+            MlTerm::App(_, _) => false,
+        }
+    }
+
+    /// The identity embedding into FreezeML (every ML term is a FreezeML
+    /// term; Theorem 1).
+    pub fn to_freezeml(&self) -> Term {
+        match self {
+            MlTerm::Var(x) => Term::Var(x.clone()),
+            MlTerm::Lam(x, b) => Term::Lam(x.clone(), Box::new(b.to_freezeml())),
+            MlTerm::App(f, a) => {
+                Term::App(Box::new(f.to_freezeml()), Box::new(a.to_freezeml()))
+            }
+            MlTerm::Let(x, r, b) => Term::Let(
+                x.clone(),
+                Box::new(r.to_freezeml()),
+                Box::new(b.to_freezeml()),
+            ),
+            MlTerm::Lit(l) => Term::Lit(*l),
+        }
+    }
+
+    /// Convert a FreezeML term back to ML, if it is in the ML fragment
+    /// (no freezing, no annotations).
+    pub fn from_freezeml(t: &Term) -> Option<MlTerm> {
+        match t {
+            Term::Var(x) => Some(MlTerm::Var(x.clone())),
+            Term::Lam(x, b) => Some(MlTerm::Lam(x.clone(), Box::new(Self::from_freezeml(b)?))),
+            Term::App(f, a) => Some(MlTerm::App(
+                Box::new(Self::from_freezeml(f)?),
+                Box::new(Self::from_freezeml(a)?),
+            )),
+            Term::Let(x, r, b) => Some(MlTerm::Let(
+                x.clone(),
+                Box::new(Self::from_freezeml(r)?),
+                Box::new(Self::from_freezeml(b)?),
+            )),
+            Term::Lit(l) => Some(MlTerm::Lit(*l)),
+            Term::FrozenVar(_)
+            | Term::LamAnn(_, _, _)
+            | Term::LetAnn(_, _, _, _)
+            | Term::TyApp(_, _) => None,
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            MlTerm::Var(_) | MlTerm::Lit(_) => 1,
+            MlTerm::Lam(_, b) => 1 + b.size(),
+            MlTerm::App(f, a) => 1 + f.size() + a.size(),
+            MlTerm::Let(_, r, b) => 1 + r.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for MlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_freezeml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_classification() {
+        assert!(MlTerm::var("x").is_value());
+        assert!(MlTerm::lam("x", MlTerm::var("x")).is_value());
+        assert!(!MlTerm::app(MlTerm::var("f"), MlTerm::var("x")).is_value());
+        assert!(MlTerm::let_("x", MlTerm::int(1), MlTerm::var("x")).is_value());
+        assert!(!MlTerm::let_(
+            "x",
+            MlTerm::app(MlTerm::var("f"), MlTerm::int(1)),
+            MlTerm::var("x")
+        )
+        .is_value());
+    }
+
+    #[test]
+    fn embedding_round_trips() {
+        let t = MlTerm::let_(
+            "id",
+            MlTerm::lam("x", MlTerm::var("x")),
+            MlTerm::app(MlTerm::var("id"), MlTerm::int(1)),
+        );
+        let f = t.to_freezeml();
+        assert_eq!(MlTerm::from_freezeml(&f), Some(t));
+    }
+
+    #[test]
+    fn non_ml_terms_do_not_embed_back() {
+        assert_eq!(MlTerm::from_freezeml(&Term::frozen("x")), None);
+        let ann = freezeml_core::parse_term("fun (x : Int) -> x").unwrap();
+        assert_eq!(MlTerm::from_freezeml(&ann), None);
+    }
+
+    #[test]
+    fn display_uses_surface_syntax() {
+        let t = MlTerm::lam("x", MlTerm::app(MlTerm::var("f"), MlTerm::var("x")));
+        assert_eq!(t.to_string(), "fun x -> f x");
+    }
+}

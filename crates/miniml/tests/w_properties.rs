@@ -1,0 +1,105 @@
+//! Property tests for the Algorithm W baseline (Appendix B.2): mono
+//! unification laws and generalisation/instantiation round trips.
+
+use freezeml_miniml::{unify_mono, w_infer, MlTerm};
+use freezeml_core::{Subst, TyVar, Type, TypeEnv};
+use proptest::prelude::*;
+
+fn flex_pool() -> Vec<TyVar> {
+    ["f0", "f1", "f2"].iter().map(TyVar::named).collect()
+}
+
+/// Monotypes over the flexible pool.
+fn arb_mono() -> impl Strategy<Value = Type> {
+    let mut leaves = vec![Just(Type::int()).boxed(), Just(Type::bool()).boxed()];
+    for v in flex_pool() {
+        leaves.push(Just(Type::Var(v)).boxed());
+    }
+    let leaf = proptest::strategy::Union::new(leaves);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::arrow(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::prod(a, b)),
+            inner.prop_map(Type::list),
+        ]
+    })
+}
+
+/// Ground (closed) monotypes.
+fn arb_ground_mono() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![Just(Type::int()), Just(Type::bool())];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::arrow(a, b)),
+            inner.prop_map(Type::list),
+        ]
+    })
+}
+
+fn arb_ground_subst() -> impl Strategy<Value = Subst> {
+    proptest::collection::vec(arb_ground_mono(), 3)
+        .prop_map(|tys| Subst::from_pairs(flex_pool().into_iter().zip(tys)))
+}
+
+proptest! {
+    /// A successful mono-unifier equalises the two sides.
+    #[test]
+    fn unify_mono_equalises(a in arb_mono(), b in arb_mono()) {
+        if let Ok(s) = unify_mono(&a, &b) {
+            prop_assert_eq!(s.apply(&a), s.apply(&b));
+        }
+    }
+
+    /// Mono unification succeeds on substitution instances.
+    #[test]
+    fn unify_mono_complete_on_instances(a in arb_mono(), s in arb_ground_subst()) {
+        let b = s.apply(&a);
+        prop_assert!(unify_mono(&a, &b).is_ok(), "{} vs {}", a, b);
+    }
+
+    /// Mono unification is symmetric in success.
+    #[test]
+    fn unify_mono_symmetric(a in arb_mono(), b in arb_mono()) {
+        prop_assert_eq!(unify_mono(&a, &b).is_ok(), unify_mono(&b, &a).is_ok());
+    }
+
+    /// Unifying a type with itself is the identity (no bindings needed).
+    #[test]
+    fn unify_mono_reflexive(a in arb_mono()) {
+        let s = unify_mono(&a, &a).unwrap();
+        prop_assert_eq!(s.apply(&a), a);
+    }
+}
+
+#[test]
+fn w_is_deterministic_up_to_alpha() {
+    let mut g = TypeEnv::new();
+    g.push_str("single", "forall a. a -> List a").unwrap();
+    let t = MlTerm::let_(
+        "s",
+        MlTerm::lam("x", MlTerm::app(MlTerm::var("single"), MlTerm::var("x"))),
+        MlTerm::app(MlTerm::var("s"), MlTerm::int(1)),
+    );
+    let (_, t1) = w_infer(&g, &t).unwrap();
+    let (_, t2) = w_infer(&g, &t).unwrap();
+    assert!(t1.canonicalize().alpha_eq(&t2.canonicalize()));
+}
+
+#[test]
+fn w_types_are_always_monotypes() {
+    // W never produces a quantified result type (schemes live in Γ only).
+    let mut g = TypeEnv::new();
+    g.push_str("id", "forall a. a -> a").unwrap();
+    g.push_str("single", "forall a. a -> List a").unwrap();
+    for src in [
+        "fun x -> x",
+        "let i = fun x -> x in i",
+        "single id",
+        "let s = single in s",
+    ] {
+        let term = freezeml_core::parse_term(src).unwrap();
+        let ml = MlTerm::from_freezeml(&term).unwrap();
+        let (_, ty) = w_infer(&g, &ml).unwrap();
+        assert!(ty.is_monotype(), "{src} gave {ty}");
+    }
+}

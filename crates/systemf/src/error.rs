@@ -1,0 +1,110 @@
+//! Errors for System F typing and evaluation.
+
+use freezeml_core::{TyVar, Type, TypeError, Var};
+use std::fmt;
+
+/// A System F typing error (Figure 18 plus the value restriction).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FTypeError {
+    /// A term variable is unbound.
+    Unbound(Var),
+    /// Application of a non-function.
+    NotAFunction(Type),
+    /// Type application of a non-quantified term.
+    NotAForall(Type),
+    /// Function argument type mismatch.
+    Mismatch {
+        /// What the function expects.
+        expected: Type,
+        /// What the argument has.
+        found: Type,
+    },
+    /// `Λa.M` where `M` is not a syntactic value (the value restriction).
+    ValueRestriction,
+    /// A type abstraction re-binds an in-scope variable or an annotation is
+    /// ill-kinded.
+    Kind(TypeError),
+    /// A type abstraction shadows an enclosing type variable.
+    ShadowedTyVar(TyVar),
+}
+
+impl fmt::Display for FTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FTypeError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            FTypeError::NotAFunction(t) => write!(f, "cannot apply a term of type `{t}`"),
+            FTypeError::NotAForall(t) => {
+                write!(f, "cannot type-apply a term of type `{t}`")
+            }
+            FTypeError::Mismatch { expected, found } => {
+                write!(f, "argument type `{found}` does not match expected `{expected}`")
+            }
+            FTypeError::ValueRestriction => {
+                write!(f, "type abstraction over a non-value (value restriction)")
+            }
+            FTypeError::Kind(e) => write!(f, "{e}"),
+            FTypeError::ShadowedTyVar(a) => {
+                write!(f, "type abstraction shadows type variable `{a}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FTypeError {}
+
+impl From<TypeError> for FTypeError {
+    fn from(e: TypeError) -> Self {
+        FTypeError::Kind(e)
+    }
+}
+
+/// A runtime error from the evaluator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A variable had no runtime binding.
+    Unbound(Var),
+    /// Application of a non-functional value.
+    NotAFunction(String),
+    /// A builtin received an argument of the wrong shape (indicates a bug —
+    /// well-typed programs don't go wrong).
+    BuiltinMisuse {
+        /// The builtin's name.
+        builtin: String,
+        /// A description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(x) => write!(f, "unbound variable `{x}` at runtime"),
+            EvalError::NotAFunction(v) => write!(f, "cannot apply non-function value {v}"),
+            EvalError::BuiltinMisuse { builtin, message } => {
+                write!(f, "builtin `{builtin}` misused: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FTypeError::Mismatch {
+            expected: Type::int(),
+            found: Type::bool(),
+        };
+        assert!(e.to_string().contains("Int"));
+        assert!(e.to_string().contains("Bool"));
+        let ev = EvalError::BuiltinMisuse {
+            builtin: "head".into(),
+            message: "empty list".into(),
+        };
+        assert!(ev.to_string().contains("head"));
+    }
+}

@@ -1,0 +1,275 @@
+//! A call-by-value, type-erasing evaluator for System F.
+//!
+//! Under the value restriction, type abstraction and application have no
+//! operational content — `(Λa.V) A ≃ V[A/a]` and erasure is sound — so the
+//! evaluator simply skips them. Prelude constants (Figure 2) are realised as
+//! [`Value::Builtin`]s that accumulate arguments until saturated; see
+//! [`crate::prelude`].
+
+use crate::error::EvalError;
+use crate::term::FTerm;
+use freezeml_core::{Lit, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A closure.
+    Closure {
+        /// The captured environment.
+        env: Env,
+        /// The parameter.
+        param: Var,
+        /// The body.
+        body: FTerm,
+    },
+    /// A list value.
+    List(Vec<Value>),
+    /// A pair value.
+    Pair(Box<Value>, Box<Value>),
+    /// A (possibly partially applied) builtin.
+    Builtin {
+        /// The builtin's name.
+        name: String,
+        /// Its total arity.
+        arity: usize,
+        /// Arguments received so far.
+        args: Vec<Value>,
+    },
+    /// A suspended state-thread computation (`runST`/`argST`): we model an
+    /// `ST s a` action as the value it produces.
+    St(Box<Value>),
+}
+
+impl Value {
+    /// Is this a first-order value (no closures/builtins inside)? Only
+    /// ground values are meaningfully comparable across evaluations.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Value::Int(_) | Value::Bool(_) => true,
+            Value::List(vs) => vs.iter().all(Value::is_ground),
+            Value::Pair(a, b) => a.is_ground() && b.is_ground(),
+            Value::St(v) => v.is_ground(),
+            Value::Closure { .. } | Value::Builtin { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Closure { param, .. } => write!(f, "<fun {param}>"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Builtin { name, args, .. } => {
+                if args.is_empty() {
+                    write!(f, "<{name}>")
+                } else {
+                    write!(f, "<{name}/{}>", args.len())
+                }
+            }
+            Value::St(v) => write!(f, "<st {v}>"),
+        }
+    }
+}
+
+/// A runtime environment mapping term variables to values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    map: HashMap<Var, Value>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a variable.
+    pub fn lookup(&self, x: &Var) -> Option<&Value> {
+        self.map.get(x)
+    }
+
+    /// Bind a variable.
+    pub fn push(&mut self, x: impl Into<Var>, v: Value) {
+        self.map.insert(x.into(), v);
+    }
+
+    /// A copy extended with a binding.
+    pub fn extended(&self, x: impl Into<Var>, v: Value) -> Self {
+        let mut out = self.clone();
+        out.push(x, v);
+        out
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the environment empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Big-step call-by-value evaluation.
+///
+/// # Errors
+///
+/// [`EvalError`] on unbound variables or ill-shaped applications (cannot
+/// happen for well-typed closed programs — types are erased but sound).
+pub fn eval(env: &Env, term: &FTerm) -> Result<Value, EvalError> {
+    match term {
+        FTerm::Var(x) => env
+            .lookup(x)
+            .cloned()
+            .ok_or_else(|| EvalError::Unbound(x.clone())),
+        FTerm::Lit(Lit::Int(n)) => Ok(Value::Int(*n)),
+        FTerm::Lit(Lit::Bool(b)) => Ok(Value::Bool(*b)),
+        FTerm::Lam(x, _, body) => Ok(Value::Closure {
+            env: env.clone(),
+            param: x.clone(),
+            body: (**body).clone(),
+        }),
+        FTerm::App(m, n) => {
+            let f = eval(env, m)?;
+            let a = eval(env, n)?;
+            apply_value(f, a)
+        }
+        // Type erasure: the body of Λ is a syntactic value, so evaluating it
+        // eagerly is safe and terminating.
+        FTerm::TyLam(_, body) => eval(env, body),
+        FTerm::TyApp(m, _) => eval(env, m),
+    }
+}
+
+/// Apply one runtime value to another.
+///
+/// # Errors
+///
+/// [`EvalError::NotAFunction`] when `f` is not applicable.
+pub fn apply_value(f: Value, arg: Value) -> Result<Value, EvalError> {
+    match f {
+        Value::Closure { env, param, body } => {
+            let env2 = env.extended(param, arg);
+            eval(&env2, &body)
+        }
+        Value::Builtin {
+            name,
+            arity,
+            mut args,
+        } => {
+            args.push(arg);
+            if args.len() == arity {
+                crate::prelude::apply_builtin(&name, args)
+            } else {
+                Ok(Value::Builtin { name, arity, args })
+            }
+        }
+        other => Err(EvalError::NotAFunction(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::runtime_env;
+    use freezeml_core::Type;
+
+    #[test]
+    fn literals_and_lambdas() {
+        let env = Env::new();
+        assert_eq!(eval(&env, &FTerm::int(3)).unwrap(), Value::Int(3));
+        let id = FTerm::lam("x", Type::int(), FTerm::var("x"));
+        let v = eval(&env, &FTerm::app(id, FTerm::int(7))).unwrap();
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn type_abstraction_is_erased() {
+        let env = Env::new();
+        let t = FTerm::app(
+            FTerm::tyapp(
+                FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x"))),
+                Type::int(),
+            ),
+            FTerm::int(5),
+        );
+        assert_eq!(eval(&env, &t).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        // (λx. λy. x) 1 2 ⇓ 1
+        let env = Env::new();
+        let t = FTerm::apps(
+            FTerm::lam(
+                "x",
+                Type::int(),
+                FTerm::lam("y", Type::int(), FTerm::var("x")),
+            ),
+            [FTerm::int(1), FTerm::int(2)],
+        );
+        assert_eq!(eval(&env, &t).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn builtins_curry() {
+        let env = runtime_env();
+        let t = FTerm::app(FTerm::var("plus"), FTerm::int(1));
+        let v = eval(&env, &t).unwrap();
+        assert!(matches!(v, Value::Builtin { ref args, .. } if args.len() == 1));
+        let t2 = FTerm::apps(FTerm::var("plus"), [FTerm::int(1), FTerm::int(2)]);
+        assert_eq!(eval(&env, &t2).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        assert!(matches!(
+            eval(&Env::new(), &FTerm::var("ghost")),
+            Err(EvalError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn applying_an_int_fails() {
+        let t = FTerm::app(FTerm::int(1), FTerm::int(2));
+        assert!(matches!(
+            eval(&Env::new(), &t),
+            Err(EvalError::NotAFunction(_))
+        ));
+    }
+
+    #[test]
+    fn ground_values() {
+        assert!(Value::Int(1).is_ground());
+        assert!(Value::List(vec![Value::Pair(
+            Box::new(Value::Int(1)),
+            Box::new(Value::Bool(true))
+        )])
+        .is_ground());
+        assert!(!Value::Builtin {
+            name: "id".into(),
+            arity: 1,
+            args: vec![]
+        }
+        .is_ground());
+    }
+}

@@ -1,0 +1,50 @@
+//! # Call-by-value System F (paper Appendix B.1)
+//!
+//! The substrate FreezeML is measured against: explicitly typed polymorphic
+//! lambda calculus with the ML value restriction (type abstractions may only
+//! enclose syntactic values), Figures 17–19 of the paper.
+//!
+//! This crate provides:
+//!
+//! * [`FTerm`] — the term syntax, with `let` as sugar (`let x^A = M in N ≡
+//!   (λx:A.N) M`) and n-ary type abstraction/application helpers;
+//! * [`typecheck`] — the typing judgement `∆; Γ ⊢ M : A` (Figure 18),
+//!   including the value restriction on `Λ`;
+//! * [`eval()`](eval()) — a type-erasing, environment-based call-by-value evaluator,
+//!   with runtime implementations of every Figure 2 prelude constant
+//!   ([`prelude::runtime_env`]);
+//! * equational smoke tests for the β/η rules of Figure 19.
+//!
+//! Types are shared with [`freezeml_core`] — FreezeML uses *exactly* the
+//! System F type language, which is one of the paper's design goals.
+//!
+//! ```
+//! use freezeml_systemf::{FTerm, typecheck, eval, prelude};
+//! use freezeml_core::{KindEnv, TypeEnv, Type};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Λa. λ(x:a). x  :  ∀a. a → a
+//! let id = FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")));
+//! let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &id)?;
+//! assert_eq!(ty.to_string(), "forall a. a -> a");
+//!
+//! // (Λa.λ(x:a).x) [Int] 42  ⇓  42
+//! let app = FTerm::app(FTerm::tyapp(id, Type::int()), FTerm::int(42));
+//! let v = eval(&prelude::runtime_env(), &app)?;
+//! assert_eq!(v, freezeml_systemf::Value::Int(42));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod prelude;
+pub mod smallstep;
+pub mod term;
+pub mod typing;
+
+pub use error::{EvalError, FTypeError};
+pub use eval::{apply_value, eval, Env, Value};
+pub use smallstep::{normalize, step, Outcome};
+pub use term::FTerm;
+pub use typing::typecheck;

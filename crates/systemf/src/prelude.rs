@@ -1,0 +1,316 @@
+//! Runtime implementations of the Figure 2 prelude.
+//!
+//! The paper's examples are stated against a signature of list/function
+//! combinators (`head`, `single`, `choose`, `poly`, `runST`, …). Their
+//! *types* live in `freezeml-corpus` (the authoritative Figure 2 table);
+//! this module provides matching *runtime* values so that translated
+//! programs can actually be run, which the equational tests of §4.3 rely
+//! on.
+//!
+//! Semantics chosen for the underdetermined constants:
+//!
+//! * `choose x y = x` (any definition of type `∀a.a→a→a` must return one of
+//!   its arguments; we pick the first);
+//! * `poly f = (f 42, f true)` — the standard reading of
+//!   `poly : (∀a.a→a) → Int × Bool`;
+//! * `auto x = x x`, `auto' x = x x` (their defining equations, F3/F4);
+//! * `argST` is the `ST` action returning `0`; `runST` runs it.
+
+use crate::error::EvalError;
+use crate::eval::{apply_value, Env, Value};
+
+/// The names and arities of all builtin functions (arity ≥ 1).
+pub const BUILTIN_FUNCTIONS: &[(&str, usize)] = &[
+    ("head", 1),
+    ("tail", 1),
+    ("cons", 2),
+    ("single", 1),
+    ("append", 2),
+    ("length", 1),
+    ("map", 2),
+    ("id", 1),
+    ("inc", 1),
+    ("plus", 2),
+    ("choose", 2),
+    ("poly", 1),
+    ("auto", 1),
+    ("auto'", 1),
+    ("app", 2),
+    ("revapp", 2),
+    ("runST", 1),
+    ("pair", 2),
+    ("pair'", 2),
+    ("fst", 1),
+    ("snd", 1),
+];
+
+/// A runtime environment binding every Figure 2 constant.
+pub fn runtime_env() -> Env {
+    let mut env = Env::new();
+    for (name, arity) in BUILTIN_FUNCTIONS {
+        env.push(
+            *name,
+            Value::Builtin {
+                name: (*name).to_string(),
+                arity: *arity,
+                args: Vec::new(),
+            },
+        );
+    }
+    env.push("nil", Value::List(Vec::new()));
+    env.push(
+        "ids",
+        Value::List(vec![Value::Builtin {
+            name: "id".to_string(),
+            arity: 1,
+            args: Vec::new(),
+        }]),
+    );
+    env.push("argST", Value::St(Box::new(Value::Int(0))));
+    env
+}
+
+fn misuse(builtin: &str, message: impl Into<String>) -> EvalError {
+    EvalError::BuiltinMisuse {
+        builtin: builtin.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Apply a saturated builtin to its arguments.
+///
+/// # Errors
+///
+/// [`EvalError::BuiltinMisuse`] when arguments have the wrong shape — which
+/// cannot happen for well-typed programs.
+pub fn apply_builtin(name: &str, mut args: Vec<Value>) -> Result<Value, EvalError> {
+    match (name, args.len()) {
+        ("head", 1) => match args.remove(0) {
+            Value::List(vs) if !vs.is_empty() => Ok(vs.into_iter().next().unwrap()),
+            Value::List(_) => Err(misuse(name, "empty list")),
+            other => Err(misuse(name, format!("expected a list, got {other}"))),
+        },
+        ("tail", 1) => match args.remove(0) {
+            Value::List(vs) if !vs.is_empty() => Ok(Value::List(vs[1..].to_vec())),
+            Value::List(_) => Err(misuse(name, "empty list")),
+            other => Err(misuse(name, format!("expected a list, got {other}"))),
+        },
+        ("cons", 2) => {
+            let tl = args.remove(1);
+            let hd = args.remove(0);
+            match tl {
+                Value::List(mut vs) => {
+                    vs.insert(0, hd);
+                    Ok(Value::List(vs))
+                }
+                other => Err(misuse(name, format!("expected a list, got {other}"))),
+            }
+        }
+        ("single", 1) => Ok(Value::List(vec![args.remove(0)])),
+        ("append", 2) => {
+            let r = args.remove(1);
+            let l = args.remove(0);
+            match (l, r) {
+                (Value::List(mut a), Value::List(b)) => {
+                    a.extend(b);
+                    Ok(Value::List(a))
+                }
+                _ => Err(misuse(name, "expected two lists")),
+            }
+        }
+        ("length", 1) => match args.remove(0) {
+            Value::List(vs) => Ok(Value::Int(vs.len() as i64)),
+            other => Err(misuse(name, format!("expected a list, got {other}"))),
+        },
+        ("map", 2) => {
+            let xs = args.remove(1);
+            let f = args.remove(0);
+            match xs {
+                Value::List(vs) => {
+                    let mut out = Vec::with_capacity(vs.len());
+                    for v in vs {
+                        out.push(apply_value(f.clone(), v)?);
+                    }
+                    Ok(Value::List(out))
+                }
+                other => Err(misuse(name, format!("expected a list, got {other}"))),
+            }
+        }
+        ("id", 1) => Ok(args.remove(0)),
+        ("inc", 1) => match args.remove(0) {
+            Value::Int(n) => Ok(Value::Int(n + 1)),
+            other => Err(misuse(name, format!("expected an Int, got {other}"))),
+        },
+        ("plus", 2) => match (args.remove(0), args.remove(0)) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+            _ => Err(misuse(name, "expected two Ints")),
+        },
+        ("choose", 2) => Ok(args.remove(0)),
+        ("poly", 1) => {
+            let f = args.remove(0);
+            let a = apply_value(f.clone(), Value::Int(42))?;
+            let b = apply_value(f, Value::Bool(true))?;
+            Ok(Value::Pair(Box::new(a), Box::new(b)))
+        }
+        ("auto", 1) | ("auto'", 1) => {
+            let x = args.remove(0);
+            apply_value(x.clone(), x)
+        }
+        ("app", 2) => {
+            let x = args.remove(1);
+            let f = args.remove(0);
+            apply_value(f, x)
+        }
+        ("revapp", 2) => {
+            let f = args.remove(1);
+            let x = args.remove(0);
+            apply_value(f, x)
+        }
+        ("runST", 1) => match args.remove(0) {
+            Value::St(v) => Ok(*v),
+            other => Err(misuse(name, format!("expected an ST action, got {other}"))),
+        },
+        ("pair", 2) | ("pair'", 2) => {
+            let b = args.remove(1);
+            let a = args.remove(0);
+            Ok(Value::Pair(Box::new(a), Box::new(b)))
+        }
+        ("fst", 1) => match args.remove(0) {
+            Value::Pair(a, _) => Ok(*a),
+            other => Err(misuse(name, format!("expected a pair, got {other}"))),
+        },
+        ("snd", 1) => match args.remove(0) {
+            Value::Pair(_, b) => Ok(*b),
+            other => Err(misuse(name, format!("expected a pair, got {other}"))),
+        },
+        _ => Err(misuse(name, "unknown builtin or wrong arity")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::term::FTerm;
+
+    fn run(t: &FTerm) -> Value {
+        eval(&runtime_env(), t).unwrap()
+    }
+
+    #[test]
+    fn list_operations() {
+        // length (cons 1 (single 2)) = 2
+        let t = FTerm::app(
+            FTerm::var("length"),
+            FTerm::apps(
+                FTerm::var("cons"),
+                [
+                    FTerm::int(1),
+                    FTerm::app(FTerm::var("single"), FTerm::int(2)),
+                ],
+            ),
+        );
+        assert_eq!(run(&t), Value::Int(2));
+        // head (append (single 1) (single 2)) = 1
+        let t2 = FTerm::app(
+            FTerm::var("head"),
+            FTerm::apps(
+                FTerm::var("append"),
+                [
+                    FTerm::app(FTerm::var("single"), FTerm::int(1)),
+                    FTerm::app(FTerm::var("single"), FTerm::int(2)),
+                ],
+            ),
+        );
+        assert_eq!(run(&t2), Value::Int(1));
+        // tail (single 9) = []
+        let t3 = FTerm::app(
+            FTerm::var("tail"),
+            FTerm::app(FTerm::var("single"), FTerm::int(9)),
+        );
+        assert_eq!(run(&t3), Value::List(vec![]));
+    }
+
+    #[test]
+    fn poly_produces_int_bool_pair() {
+        let t = FTerm::app(FTerm::var("poly"), FTerm::var("id"));
+        assert_eq!(
+            run(&t),
+            Value::Pair(Box::new(Value::Int(42)), Box::new(Value::Bool(true)))
+        );
+    }
+
+    #[test]
+    fn choose_takes_first() {
+        let t = FTerm::apps(FTerm::var("choose"), [FTerm::int(1), FTerm::int(2)]);
+        assert_eq!(run(&t), Value::Int(1));
+    }
+
+    #[test]
+    fn map_applies() {
+        // map inc ids? — map inc (single 1) = [2]
+        let t = FTerm::apps(
+            FTerm::var("map"),
+            [
+                FTerm::var("inc"),
+                FTerm::app(FTerm::var("single"), FTerm::int(1)),
+            ],
+        );
+        assert_eq!(run(&t), Value::List(vec![Value::Int(2)]));
+    }
+
+    #[test]
+    fn runst_runs() {
+        let t = FTerm::app(FTerm::var("runST"), FTerm::var("argST"));
+        assert_eq!(run(&t), Value::Int(0));
+    }
+
+    #[test]
+    fn auto_self_applies() {
+        // auto id = id id = id; (auto id) 3 = 3.
+        let t = FTerm::app(
+            FTerm::app(FTerm::var("auto"), FTerm::var("id")),
+            FTerm::int(3),
+        );
+        assert_eq!(run(&t), Value::Int(3));
+    }
+
+    #[test]
+    fn revapp_reverses() {
+        let t = FTerm::apps(FTerm::var("revapp"), [FTerm::int(1), FTerm::var("inc")]);
+        assert_eq!(run(&t), Value::Int(2));
+    }
+
+    #[test]
+    fn head_of_ids_is_identity() {
+        let t = FTerm::app(
+            FTerm::app(FTerm::var("head"), FTerm::var("ids")),
+            FTerm::int(11),
+        );
+        assert_eq!(run(&t), Value::Int(11));
+    }
+
+    #[test]
+    fn misuse_is_reported() {
+        let t = FTerm::app(FTerm::var("head"), FTerm::int(1));
+        assert!(matches!(
+            eval(&runtime_env(), &t),
+            Err(EvalError::BuiltinMisuse { .. })
+        ));
+        let t2 = FTerm::app(FTerm::var("head"), FTerm::var("nil"));
+        assert!(matches!(
+            eval(&runtime_env(), &t2),
+            Err(EvalError::BuiltinMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn pairs_project() {
+        let p = FTerm::apps(FTerm::var("pair"), [FTerm::int(1), FTerm::bool(false)]);
+        assert_eq!(
+            run(&FTerm::app(FTerm::var("fst"), p.clone())),
+            Value::Int(1)
+        );
+        assert_eq!(run(&FTerm::app(FTerm::var("snd"), p)), Value::Bool(false));
+    }
+}

@@ -1,0 +1,316 @@
+//! A small-step call-by-value semantics for (pure) System F, with the
+//! β-rules of Figure 19:
+//!
+//! ```text
+//! (λx^A.M) V  ⟶  M[V/x]         (V a value)
+//! (Λa.V) A    ⟶  V[A/a]
+//! ```
+//!
+//! plus the usual left-to-right evaluation contexts. Together with
+//! [`crate::typing::typecheck`] this gives *executable* type soundness:
+//! the test suite checks preservation (each step keeps the type) and
+//! progress (closed well-typed terms are values or step) on hand-written
+//! and Church-encoded programs.
+//!
+//! The small-step semantics covers the *pure* fragment (no prelude
+//! builtins — a free variable in function position is stuck); use
+//! [`crate::eval()`](crate::eval()) for programs over the Figure 2 runtime.
+
+use crate::term::FTerm;
+
+/// One reduction step, or `None` if the term is a value or stuck.
+pub fn step(t: &FTerm) -> Option<FTerm> {
+    match t {
+        FTerm::Var(_) | FTerm::Lit(_) | FTerm::Lam(_, _, _) => None,
+        // Under the value restriction Λ-bodies are syntactic values; there
+        // is nothing to reduce inside.
+        FTerm::TyLam(_, _) => None,
+        FTerm::App(f, a) => {
+            if let Some(f2) = step(f) {
+                return Some(FTerm::App(Box::new(f2), a.clone()));
+            }
+            if let Some(a2) = step(a) {
+                return Some(FTerm::App(f.clone(), Box::new(a2)));
+            }
+            match f.as_ref() {
+                FTerm::Lam(x, _, body) if a.is_value() => Some(body.subst_var(x, a)),
+                _ => None,
+            }
+        }
+        FTerm::TyApp(m, ty) => {
+            if let Some(m2) = step(m) {
+                return Some(FTerm::TyApp(Box::new(m2), ty.clone()));
+            }
+            match m.as_ref() {
+                FTerm::TyLam(a, v) => Some(v.subst_ty(a, ty)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// The outcome of running the small-step machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Reached a value.
+    Value(FTerm),
+    /// No rule applies but the term is not a value (only possible for open
+    /// or ill-typed terms — progress).
+    Stuck(FTerm),
+    /// Fuel ran out.
+    OutOfFuel(FTerm),
+}
+
+/// Iterate [`step`] up to `fuel` times.
+pub fn normalize(t: &FTerm, fuel: usize) -> Outcome {
+    let mut cur = t.clone();
+    for _ in 0..fuel {
+        match step(&cur) {
+            Some(next) => cur = next,
+            None => {
+                return if cur.is_value() {
+                    Outcome::Value(cur)
+                } else {
+                    Outcome::Stuck(cur)
+                };
+            }
+        }
+    }
+    Outcome::OutOfFuel(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typing::typecheck;
+    use freezeml_core::{KindEnv, TyVar, Type, TypeEnv};
+
+    fn id_poly() -> FTerm {
+        FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")))
+    }
+
+    /// Church numeral `n` : ∀a.(a→a)→a→a.
+    fn church(n: usize) -> FTerm {
+        let a = Type::var("a");
+        let mut body = FTerm::var("z");
+        for _ in 0..n {
+            body = FTerm::app(FTerm::var("s"), body);
+        }
+        FTerm::tylam(
+            "a",
+            FTerm::lam(
+                "s",
+                Type::arrow(a.clone(), a.clone()),
+                FTerm::lam("z", a, body),
+            ),
+        )
+    }
+
+    /// Church successor.
+    fn church_succ() -> FTerm {
+        let nat = freezeml_core::parse_type("forall a. (a -> a) -> a -> a").unwrap();
+        let a = Type::var("a");
+        FTerm::lam(
+            "n",
+            nat,
+            FTerm::tylam(
+                "a",
+                FTerm::lam(
+                    "s",
+                    Type::arrow(a.clone(), a.clone()),
+                    FTerm::lam(
+                        "z",
+                        a.clone(),
+                        FTerm::app(
+                            FTerm::var("s"),
+                            FTerm::apps(
+                                FTerm::tyapp(FTerm::var("n"), a),
+                                [FTerm::var("s"), FTerm::var("z")],
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    /// Convert a Church numeral to an Int by instantiating at Int and
+    /// applying the successor/zero of the meta-level.
+    fn church_to_int(n: FTerm) -> FTerm {
+        FTerm::apps(
+            FTerm::tyapp(n, Type::int()),
+            [
+                FTerm::lam(
+                    "k",
+                    Type::int(),
+                    // We have no primitive + in pure F; observe shape only.
+                    FTerm::var("k"),
+                ),
+                FTerm::int(0),
+            ],
+        )
+    }
+
+    fn check_preservation(mut t: FTerm, fuel: usize) {
+        let delta = KindEnv::new();
+        let env = TypeEnv::new();
+        let ty = typecheck(&delta, &env, &t).expect("initial term must be typed");
+        for _ in 0..fuel {
+            match step(&t) {
+                Some(next) => {
+                    let ty2 = typecheck(&delta, &env, &next)
+                        .unwrap_or_else(|e| panic!("preservation: {next} ill-typed: {e}"));
+                    assert!(
+                        ty2.alpha_eq(&ty),
+                        "type changed from {ty} to {ty2} at {next}"
+                    );
+                    t = next;
+                }
+                None => return,
+            }
+        }
+        panic!("out of fuel");
+    }
+
+    #[test]
+    fn beta_steps() {
+        let t = FTerm::app(
+            FTerm::lam("x", Type::int(), FTerm::var("x")),
+            FTerm::int(7),
+        );
+        assert_eq!(step(&t), Some(FTerm::int(7)));
+    }
+
+    #[test]
+    fn type_beta_steps() {
+        let t = FTerm::tyapp(id_poly(), Type::int());
+        assert_eq!(
+            step(&t),
+            Some(FTerm::lam("x", Type::int(), FTerm::var("x")))
+        );
+    }
+
+    #[test]
+    fn normalizes_nested_redexes() {
+        // (id [Int→Int] (λy.y)) 3 ⇓ 3
+        let t = FTerm::app(
+            FTerm::app(
+                FTerm::tyapp(id_poly(), Type::arrow(Type::int(), Type::int())),
+                FTerm::lam("y", Type::int(), FTerm::var("y")),
+            ),
+            FTerm::int(3),
+        );
+        assert_eq!(normalize(&t, 100), Outcome::Value(FTerm::int(3)));
+    }
+
+    #[test]
+    fn preservation_on_polymorphic_programs() {
+        let poly_ty = freezeml_core::parse_type("forall a. a -> a").unwrap();
+        let progs = [
+            FTerm::app(
+                FTerm::tyapp(id_poly(), Type::int()),
+                FTerm::int(1),
+            ),
+            // Impredicative: id [∀a.a→a] id 5 — steps through polytypes.
+            FTerm::app(
+                FTerm::tyapp(
+                    FTerm::app(FTerm::tyapp(id_poly(), poly_ty), id_poly()),
+                    Type::int(),
+                ),
+                FTerm::int(5),
+            ),
+            church_to_int(church(3)),
+            church_to_int(FTerm::app(church_succ(), church(2))),
+        ];
+        for p in progs {
+            check_preservation(p, 1000);
+        }
+    }
+
+    #[test]
+    fn progress_on_closed_programs() {
+        // Every closed well-typed term either is a value or steps, and
+        // normalisation never gets stuck.
+        let progs = [
+            church_to_int(church(5)),
+            church_to_int(FTerm::app(church_succ(), FTerm::app(church_succ(), church(0)))),
+            FTerm::app(FTerm::tyapp(id_poly(), Type::int()), FTerm::int(0)),
+        ];
+        for p in progs {
+            assert!(
+                typecheck(&KindEnv::new(), &TypeEnv::new(), &p).is_ok(),
+                "test premise: {p} must be well-typed"
+            );
+            match normalize(&p, 10_000) {
+                Outcome::Value(_) => {}
+                other => panic!("{p}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn church_arithmetic_agrees_with_bigstep() {
+        use crate::eval::{eval, Env, Value};
+        // succ (succ 1) normalises to the Church numeral 3 — observe by
+        // converting to Int with inc-like counting in the big-step world.
+        let three = FTerm::app(church_succ(), FTerm::app(church_succ(), church(1)));
+        let normal = match normalize(&three, 10_000) {
+            Outcome::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        // Apply to the *runtime* successor via big-step: n [Int] inc 0 = 3.
+        let observed = FTerm::apps(
+            FTerm::tyapp(normal, Type::int()),
+            [FTerm::var("inc"), FTerm::int(0)],
+        );
+        let env: Env = crate::prelude::runtime_env();
+        assert_eq!(eval(&env, &observed).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn smallstep_and_bigstep_agree_on_pure_programs() {
+        use crate::eval::{eval, Env, Value};
+        let progs = [
+            FTerm::app(FTerm::tyapp(id_poly(), Type::int()), FTerm::int(42)),
+            church_to_int(church(4)),
+        ];
+        for p in progs {
+            let small = match normalize(&p, 10_000) {
+                Outcome::Value(v) => v,
+                other => panic!("{other:?}"),
+            };
+            let big = eval(&Env::new(), &p).unwrap();
+            if let (FTerm::Lit(l), Value::Int(n)) = (&small, &big) {
+                assert_eq!(*l, freezeml_core::Lit::Int(*n));
+            }
+        }
+    }
+
+    #[test]
+    fn open_application_is_stuck() {
+        let t = FTerm::app(FTerm::var("mystery"), FTerm::int(1));
+        assert!(matches!(normalize(&t, 10), Outcome::Stuck(_)));
+    }
+
+    #[test]
+    fn subst_var_avoids_capture() {
+        // (λy. x) with x := y  must not capture the binder.
+        let body = FTerm::lam("y", Type::int(), FTerm::var("x"));
+        let r = body.subst_var(&freezeml_core::Var::named("x"), &FTerm::var("y"));
+        match r {
+            FTerm::Lam(param, _, inner) => {
+                assert_ne!(param, freezeml_core::Var::named("y"));
+                assert_eq!(*inner, FTerm::var("y"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn subst_ty_respects_shadowing() {
+        // (Λa. λx:a. x)[Int/a] — the Λ shadows, nothing changes.
+        let t = FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")));
+        let r = t.subst_ty(&TyVar::named("a"), &Type::int());
+        assert_eq!(r, t);
+    }
+}

@@ -1,0 +1,333 @@
+//! System F terms (Figure 17):
+//!
+//! ```text
+//! M, N ::= x | λx^A.M | M N | Λa.V | M A
+//! V, W ::= I | λx^A.M | Λa.V          (values)
+//! I    ::= x | I A                    (instantiations)
+//! ```
+//!
+//! plus literals. `let x^A = M in N` is sugar for `(λx^A.N) M`; n-ary
+//! `Λā.V` and `M Ā` are provided as folds.
+
+use freezeml_core::{Lit, TyVar, Type, Var};
+use std::fmt;
+
+/// A System F term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FTerm {
+    /// A variable.
+    Var(Var),
+    /// `λx^A.M` — term abstraction with annotated parameter.
+    Lam(Var, Type, Box<FTerm>),
+    /// Term application.
+    App(Box<FTerm>, Box<FTerm>),
+    /// `Λa.V` — type abstraction (body must be a value; checked by typing).
+    TyLam(TyVar, Box<FTerm>),
+    /// `M A` — type application.
+    TyApp(Box<FTerm>, Type),
+    /// A literal constant.
+    Lit(Lit),
+}
+
+impl FTerm {
+    /// The variable `x`.
+    pub fn var(x: impl Into<Var>) -> FTerm {
+        FTerm::Var(x.into())
+    }
+
+    /// `λx^A.M`.
+    pub fn lam(x: impl Into<Var>, ty: Type, body: FTerm) -> FTerm {
+        FTerm::Lam(x.into(), ty, Box::new(body))
+    }
+
+    /// `M N`.
+    pub fn app(f: FTerm, a: FTerm) -> FTerm {
+        FTerm::App(Box::new(f), Box::new(a))
+    }
+
+    /// `M N₁ … Nₙ`.
+    pub fn apps<I: IntoIterator<Item = FTerm>>(f: FTerm, args: I) -> FTerm {
+        args.into_iter().fold(f, FTerm::app)
+    }
+
+    /// `Λa.M`.
+    pub fn tylam(a: impl Into<TyVar>, body: FTerm) -> FTerm {
+        FTerm::TyLam(a.into(), Box::new(body))
+    }
+
+    /// `Λa₁.…Λaₙ.M`.
+    pub fn tylams<I>(vars: I, body: FTerm) -> FTerm
+    where
+        I: IntoIterator<Item = TyVar>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, a| FTerm::TyLam(a, Box::new(acc)))
+    }
+
+    /// `M A`.
+    pub fn tyapp(m: FTerm, ty: Type) -> FTerm {
+        FTerm::TyApp(Box::new(m), ty)
+    }
+
+    /// `M A₁ … Aₙ`.
+    pub fn tyapps<I: IntoIterator<Item = Type>>(m: FTerm, tys: I) -> FTerm {
+        tys.into_iter().fold(m, FTerm::tyapp)
+    }
+
+    /// `let x^A = M in N ≡ (λx^A.N) M` (paper Appendix B.1).
+    pub fn let_(x: impl Into<Var>, ty: Type, rhs: FTerm, body: FTerm) -> FTerm {
+        FTerm::app(FTerm::lam(x, ty, body), rhs)
+    }
+
+    /// An integer literal.
+    pub fn int(n: i64) -> FTerm {
+        FTerm::Lit(Lit::Int(n))
+    }
+
+    /// A boolean literal.
+    pub fn bool(b: bool) -> FTerm {
+        FTerm::Lit(Lit::Bool(b))
+    }
+
+    /// Is this an *instantiation* `I ::= x | I A`?
+    pub fn is_instantiation(&self) -> bool {
+        match self {
+            FTerm::Var(_) => true,
+            FTerm::TyApp(m, _) => m.is_instantiation(),
+            _ => false,
+        }
+    }
+
+    /// Is this a syntactic value `V ::= I | λx^A.M | Λa.V` (plus literals)?
+    pub fn is_value(&self) -> bool {
+        match self {
+            FTerm::Lam(_, _, _) | FTerm::Lit(_) => true,
+            FTerm::TyLam(_, v) => v.is_value(),
+            _ => self.is_instantiation(),
+        }
+    }
+
+    /// Apply a function to every type annotation in the term (used to
+    /// resolve substitutions after elaboration).
+    pub fn map_types(&self, f: &mut impl FnMut(&Type) -> Type) -> FTerm {
+        match self {
+            FTerm::Var(_) | FTerm::Lit(_) => self.clone(),
+            FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), f(t), Box::new(b.map_types(f))),
+            FTerm::App(m, n) => {
+                FTerm::App(Box::new(m.map_types(f)), Box::new(n.map_types(f)))
+            }
+            FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(b.map_types(f))),
+            FTerm::TyApp(m, t) => FTerm::TyApp(Box::new(m.map_types(f)), f(t)),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            FTerm::Var(_) | FTerm::Lit(_) => 1,
+            FTerm::Lam(_, _, b) | FTerm::TyLam(_, b) | FTerm::TyApp(b, _) => 1 + b.size(),
+            FTerm::App(m, n) => 1 + m.size() + n.size(),
+        }
+    }
+
+    /// Is `x` free in this term?
+    pub fn free_in(&self, x: &Var) -> bool {
+        match self {
+            FTerm::Var(y) => y == x,
+            FTerm::Lit(_) => false,
+            FTerm::Lam(y, _, b) => y != x && b.free_in(x),
+            FTerm::App(f, a) => f.free_in(x) || a.free_in(x),
+            FTerm::TyLam(_, b) => b.free_in(x),
+            FTerm::TyApp(m, _) => m.free_in(x),
+        }
+    }
+
+    /// Capture-avoiding term substitution `self[v/x]` (for the β-rule of
+    /// Figure 19).
+    pub fn subst_var(&self, x: &Var, v: &FTerm) -> FTerm {
+        match self {
+            FTerm::Var(y) => {
+                if y == x {
+                    v.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            FTerm::Lit(_) => self.clone(),
+            FTerm::Lam(y, a, b) => {
+                if y == x {
+                    self.clone()
+                } else if v.free_in(y) {
+                    let fresh = Var::fresh();
+                    let renamed = b.subst_var(y, &FTerm::Var(fresh.clone()));
+                    FTerm::Lam(fresh, a.clone(), Box::new(renamed.subst_var(x, v)))
+                } else {
+                    FTerm::Lam(y.clone(), a.clone(), Box::new(b.subst_var(x, v)))
+                }
+            }
+            FTerm::App(f, a) => FTerm::app(f.subst_var(x, v), a.subst_var(x, v)),
+            FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(b.subst_var(x, v))),
+            FTerm::TyApp(m, ty) => FTerm::TyApp(Box::new(m.subst_var(x, v)), ty.clone()),
+        }
+    }
+
+    /// Type substitution `self[A/a]` throughout annotations, respecting
+    /// term-level `Λ` shadowing (for the type-β rule `(Λa.V) A ≃ V[A/a]`).
+    pub fn subst_ty(&self, a: &TyVar, ty: &Type) -> FTerm {
+        match self {
+            FTerm::Var(_) | FTerm::Lit(_) => self.clone(),
+            FTerm::Lam(x, ann, b) => FTerm::Lam(
+                x.clone(),
+                ann.rename_free(a, ty),
+                Box::new(b.subst_ty(a, ty)),
+            ),
+            FTerm::App(m, n) => FTerm::app(m.subst_ty(a, ty), n.subst_ty(a, ty)),
+            FTerm::TyLam(b, v) => {
+                if b == a {
+                    self.clone() // shadowed
+                } else {
+                    FTerm::TyLam(b.clone(), Box::new(v.subst_ty(a, ty)))
+                }
+            }
+            FTerm::TyApp(m, t2) => {
+                FTerm::TyApp(Box::new(m.subst_ty(a, ty)), t2.rename_free(a, ty))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_f(self, 0, f)
+    }
+}
+
+/// Precedence: 0 open, 1 application operand (head), 2 atom.
+fn fmt_f(t: &FTerm, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        FTerm::Var(x) => write!(f, "{x}"),
+        FTerm::Lit(l) => write!(f, "{l}"),
+        FTerm::Lam(x, ty, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "fun ({x} : {ty}) -> ")?;
+            fmt_f(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        FTerm::TyLam(a, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "tyfun {a} -> ")?;
+            fmt_f(body, 0, f)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        FTerm::App(m, n) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_f(m, 1, f)?;
+            write!(f, " ")?;
+            fmt_f(n, 2, f)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        FTerm::TyApp(m, ty) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_f(m, 1, f)?;
+            write!(f, " [{ty}]")?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_classification() {
+        let x = FTerm::var("x");
+        assert!(x.is_value() && x.is_instantiation());
+        let inst = FTerm::tyapp(FTerm::var("x"), Type::int());
+        assert!(inst.is_value() && inst.is_instantiation());
+        let lam = FTerm::lam("x", Type::int(), FTerm::var("x"));
+        assert!(lam.is_value() && !lam.is_instantiation());
+        let tylam_val = FTerm::tylam("a", FTerm::var("x"));
+        assert!(tylam_val.is_value());
+        // Λa.(f x) is NOT a value — the value restriction will reject it.
+        let tylam_app = FTerm::tylam("a", FTerm::app(FTerm::var("f"), FTerm::var("x")));
+        assert!(!tylam_app.is_value());
+        let app = FTerm::app(FTerm::var("f"), FTerm::var("x"));
+        assert!(!app.is_value());
+    }
+
+    #[test]
+    fn let_is_sugar() {
+        let t = FTerm::let_("x", Type::int(), FTerm::int(1), FTerm::var("x"));
+        assert_eq!(
+            t,
+            FTerm::app(
+                FTerm::lam("x", Type::int(), FTerm::var("x")),
+                FTerm::int(1)
+            )
+        );
+    }
+
+    #[test]
+    fn tylams_and_tyapps_fold() {
+        let t = FTerm::tylams(
+            [TyVar::named("a"), TyVar::named("b")],
+            FTerm::var("x"),
+        );
+        assert_eq!(
+            t,
+            FTerm::tylam("a", FTerm::tylam("b", FTerm::var("x")))
+        );
+        let u = FTerm::tyapps(FTerm::var("x"), [Type::int(), Type::bool()]);
+        assert_eq!(
+            u,
+            FTerm::tyapp(FTerm::tyapp(FTerm::var("x"), Type::int()), Type::bool())
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let id = FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")));
+        assert_eq!(id.to_string(), "tyfun a -> fun (x : a) -> x");
+        let app = FTerm::app(FTerm::tyapp(FTerm::var("f"), Type::int()), FTerm::int(3));
+        assert_eq!(app.to_string(), "f [Int] 3");
+    }
+
+    #[test]
+    fn map_types_reaches_annotations() {
+        let t = FTerm::lam("x", Type::var("a"), FTerm::tyapp(FTerm::var("x"), Type::var("a")));
+        let u = t.map_types(&mut |ty| {
+            if ty == &Type::var("a") {
+                Type::int()
+            } else {
+                ty.clone()
+            }
+        });
+        assert_eq!(
+            u,
+            FTerm::lam("x", Type::int(), FTerm::tyapp(FTerm::var("x"), Type::int()))
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! System F typing, `∆; Γ ⊢ M : A` (Figure 18), with the value restriction
+//! on type abstraction (only values under `Λ`).
+
+use crate::error::FTypeError;
+use crate::term::FTerm;
+use freezeml_core::kinding;
+use freezeml_core::{Kind, KindEnv, RefinedEnv, TypeEnv, Type};
+
+/// Type-check a System F term.
+///
+/// # Errors
+///
+/// Any [`FTypeError`]; in particular [`FTypeError::ValueRestriction`] for a
+/// `Λ` over a non-value and [`FTypeError::Mismatch`] when an application's
+/// argument type is not α-equal to the function's parameter type.
+pub fn typecheck(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Type, FTypeError> {
+    let theta = RefinedEnv::new();
+    match term {
+        FTerm::Var(x) => gamma
+            .lookup(x)
+            .cloned()
+            .ok_or_else(|| FTypeError::Unbound(x.clone())),
+        FTerm::Lit(l) => Ok(l.ty()),
+        FTerm::Lam(x, ann, body) => {
+            kinding::has_kind(delta, &theta, ann, Kind::Poly)?;
+            let g2 = gamma.extended(x.clone(), ann.clone());
+            let b = typecheck(delta, &g2, body)?;
+            Ok(Type::arrow(ann.clone(), b))
+        }
+        FTerm::App(m, n) => {
+            let fty = typecheck(delta, gamma, m)?;
+            let aty = typecheck(delta, gamma, n)?;
+            match fty {
+                Type::Con(freezeml_core::TyCon::Arrow, args) => {
+                    let (dom, cod) = (&args[0], &args[1]);
+                    if dom.alpha_eq(&aty) {
+                        Ok(cod.clone())
+                    } else {
+                        Err(FTypeError::Mismatch {
+                            expected: dom.clone(),
+                            found: aty,
+                        })
+                    }
+                }
+                other => Err(FTypeError::NotAFunction(other)),
+            }
+        }
+        FTerm::TyLam(a, body) => {
+            if !body.is_value() {
+                return Err(FTypeError::ValueRestriction);
+            }
+            // α-rename a binder that shadows an enclosing one — substitution
+            // (subject reduction!) creates such nestings, e.g. reducing
+            // Church-numeral arithmetic.
+            let (a2, body2) = if delta.contains(a) {
+                let c = freezeml_core::TyVar::fresh();
+                (c.clone(), body.subst_ty(a, &Type::Var(c)))
+            } else {
+                (a.clone(), (**body).clone())
+            };
+            let delta2 = delta
+                .extended([a2.clone()])
+                .expect("binder is fresh for delta");
+            let b = typecheck(&delta2, gamma, &body2)?;
+            Ok(Type::Forall(a2, Box::new(b)))
+        }
+        FTerm::TyApp(m, ty) => {
+            kinding::has_kind(delta, &theta, ty, Kind::Poly)?;
+            let mty = typecheck(delta, gamma, m)?;
+            match mty {
+                Type::Forall(a, body) => Ok(body.rename_free(&a, ty)),
+                other => Err(FTypeError::NotAForall(other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::parse_type;
+
+    fn id_term() -> FTerm {
+        FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")))
+    }
+
+    #[test]
+    fn polymorphic_identity() {
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &id_term()).unwrap();
+        assert!(ty.alpha_eq(&parse_type("forall a. a -> a").unwrap()));
+    }
+
+    #[test]
+    fn type_application_substitutes() {
+        let t = FTerm::tyapp(id_term(), Type::int());
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &t).unwrap();
+        assert_eq!(ty, parse_type("Int -> Int").unwrap());
+    }
+
+    #[test]
+    fn impredicative_type_application() {
+        // id [∀a.a→a] : (∀a.a→a) → (∀a.a→a) — System F is impredicative.
+        let poly = parse_type("forall a. a -> a").unwrap();
+        let t = FTerm::tyapp(id_term(), poly.clone());
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &t).unwrap();
+        assert!(ty.alpha_eq(&Type::arrow(poly.clone(), poly)));
+    }
+
+    #[test]
+    fn application_requires_alpha_equal_argument() {
+        let mut g = TypeEnv::new();
+        g.push_str("f", "(forall a. a -> a) -> Int").unwrap();
+        g.push_str("v", "forall b. b -> b").unwrap();
+        g.push_str("w", "Int -> Int").unwrap();
+        let ok = FTerm::app(FTerm::var("f"), FTerm::var("v"));
+        assert_eq!(
+            typecheck(&KindEnv::new(), &g, &ok).unwrap(),
+            Type::int()
+        );
+        let bad = FTerm::app(FTerm::var("f"), FTerm::var("w"));
+        assert!(matches!(
+            typecheck(&KindEnv::new(), &g, &bad),
+            Err(FTypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn value_restriction_rejects_tylam_over_application() {
+        let mut g = TypeEnv::new();
+        g.push_str("f", "Int -> Int").unwrap();
+        let t = FTerm::tylam("a", FTerm::app(FTerm::var("f"), FTerm::int(1)));
+        assert_eq!(
+            typecheck(&KindEnv::new(), &g, &t),
+            Err(FTypeError::ValueRestriction)
+        );
+    }
+
+    #[test]
+    fn tylam_over_instantiation_is_fine() {
+        // Λa. x [a] — an instantiation, hence a value.
+        let mut g = TypeEnv::new();
+        g.push_str("x", "forall b. List b").unwrap();
+        let t = FTerm::tylam("a", FTerm::tyapp(FTerm::var("x"), Type::var("a")));
+        let ty = typecheck(&KindEnv::new(), &g, &t).unwrap();
+        assert!(ty.alpha_eq(&parse_type("forall a. List a").unwrap()));
+    }
+
+    #[test]
+    fn let_sugar_types_like_beta_redex() {
+        let t = FTerm::let_(
+            "x",
+            Type::int(),
+            FTerm::int(1),
+            FTerm::var("x"),
+        );
+        assert_eq!(
+            typecheck(&KindEnv::new(), &TypeEnv::new(), &t).unwrap(),
+            Type::int()
+        );
+    }
+
+    #[test]
+    fn unbound_type_variable_in_annotation() {
+        let t = FTerm::lam("x", Type::var("a"), FTerm::var("x"));
+        assert!(matches!(
+            typecheck(&KindEnv::new(), &TypeEnv::new(), &t),
+            Err(FTypeError::Kind(_))
+        ));
+    }
+
+    #[test]
+    fn shadowing_tylam_is_alpha_renamed() {
+        // Λa.Λa.λx:a.x — the inner binder shadows; typing α-renames and the
+        // inner `a` refers to the inner Λ. Substitution during reduction
+        // creates exactly these shapes, so rejecting them would break
+        // subject reduction.
+        let t = FTerm::tylam(
+            "a",
+            FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x"))),
+        );
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &t).unwrap();
+        let expect = parse_type("forall a b. b -> b").unwrap();
+        assert!(ty.alpha_eq(&expect), "got {ty}");
+    }
+
+    #[test]
+    fn appendix_d_example() {
+        // (λapp^∀ab.(a→b)→a→b. app [∀a.a→a] [∀a.a→a] auto id)
+        //   (Λa b. λf^(a→b). λz^a. f z)  :  ∀a. a → a
+        let mut g = TypeEnv::new();
+        g.push_str("auto", "(forall a. a -> a) -> forall a. a -> a")
+            .unwrap();
+        g.push_str("id", "forall a. a -> a").unwrap();
+        let app_ty = parse_type("forall a b. (a -> b) -> a -> b").unwrap();
+        let id_ty = parse_type("forall a. a -> a").unwrap();
+        let app_impl = FTerm::tylams(
+            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            FTerm::lam(
+                "f",
+                Type::arrow(Type::var("a"), Type::var("b")),
+                FTerm::lam(
+                    "z",
+                    Type::var("a"),
+                    FTerm::app(FTerm::var("f"), FTerm::var("z")),
+                ),
+            ),
+        );
+        let body = FTerm::apps(
+            FTerm::tyapps(FTerm::var("app"), [id_ty.clone(), id_ty.clone()]),
+            [FTerm::var("auto"), FTerm::var("id")],
+        );
+        let whole = FTerm::app(FTerm::lam("app", app_ty, body), app_impl);
+        let ty = typecheck(&KindEnv::new(), &g, &whole).unwrap();
+        assert!(ty.alpha_eq(&id_ty));
+    }
+}

@@ -1,0 +1,179 @@
+//! Type-soundness fuzzing for pure System F: generate random *well-typed*
+//! terms by construction, then check preservation and progress along every
+//! reduction path, and agreement between the small-step and big-step
+//! semantics.
+
+use freezeml_core::{KindEnv, Type, TypeEnv, Var};
+use freezeml_systemf::smallstep::{normalize, step, Outcome};
+use freezeml_systemf::{eval, typecheck, Env, FTerm, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random closed, well-typed term of a random type, by
+/// construction: pick a goal type, then build a term of that type.
+fn gen_term<R: Rng>(rng: &mut R, goal: &Type, scope: &[(Var, Type)], depth: usize) -> FTerm {
+    // Try a variable of the right type.
+    if depth == 0 || rng.gen_bool(0.3) {
+        let candidates: Vec<&(Var, Type)> =
+            scope.iter().filter(|(_, t)| t.alpha_eq(goal)).collect();
+        if let Some((x, _)) = candidates.first() {
+            return FTerm::Var(x.clone());
+        }
+    }
+    match goal {
+        Type::Var(_) => {
+            // Only reachable under a binder of this type: use the scope.
+            let (x, _) = scope
+                .iter()
+                .find(|(_, t)| t.alpha_eq(goal))
+                .expect("variable-typed goal must have a witness in scope");
+            FTerm::Var(x.clone())
+        }
+        Type::Con(freezeml_core::TyCon::Int, _) => {
+            if depth > 0 && rng.gen_bool(0.5) {
+                // (λx:Int.x) n — a redex of type Int.
+                let inner = gen_term(rng, goal, scope, depth - 1);
+                FTerm::app(FTerm::lam("x", Type::int(), FTerm::var("x")), inner)
+            } else {
+                FTerm::int(rng.gen_range(0..100))
+            }
+        }
+        Type::Con(freezeml_core::TyCon::Bool, _) => FTerm::bool(rng.gen_bool(0.5)),
+        Type::Con(freezeml_core::TyCon::Arrow, args) => {
+            let x = Var::named(format!("x{}", scope.len()));
+            let mut scope2 = scope.to_vec();
+            scope2.push((x.clone(), args[0].clone()));
+            let body = gen_term(rng, &args[1], &scope2, depth.saturating_sub(1));
+            FTerm::lam(x, args[0].clone(), body)
+        }
+        Type::Forall(a, body) => {
+            // Λa. V — body must be a value; generate one (lambdas and
+            // variables are values; Int redexes are not, so restrict).
+            let inner = gen_value(rng, body, scope, depth.saturating_sub(1), a);
+            FTerm::tylam(a.clone(), inner)
+        }
+        // Fall back for other constructors: not generated.
+        other => panic!("generator does not target {other}"),
+    }
+}
+
+/// Generate a syntactic *value* of the goal type (for Λ bodies).
+fn gen_value<R: Rng>(
+    rng: &mut R,
+    goal: &Type,
+    scope: &[(Var, Type)],
+    depth: usize,
+    _bound: &freezeml_core::TyVar,
+) -> FTerm {
+    match goal {
+        Type::Con(freezeml_core::TyCon::Arrow, args) => {
+            let x = Var::named(format!("x{}", scope.len()));
+            let mut scope2 = scope.to_vec();
+            scope2.push((x.clone(), args[0].clone()));
+            let body = gen_term(rng, &args[1], &scope2, depth);
+            FTerm::lam(x, args[0].clone(), body)
+        }
+        Type::Forall(a, body) => {
+            let inner = gen_value(rng, body, scope, depth, a);
+            FTerm::tylam(a.clone(), inner)
+        }
+        Type::Con(freezeml_core::TyCon::Int, _) => FTerm::int(rng.gen_range(0..100)),
+        Type::Con(freezeml_core::TyCon::Bool, _) => FTerm::bool(true),
+        Type::Var(a) => {
+            // A value of variable type: must come from scope.
+            scope
+                .iter()
+                .find(|(_, t)| matches!(t, Type::Var(b) if b == a))
+                .map(|(x, _)| FTerm::Var(x.clone()))
+                .unwrap_or(FTerm::int(0)) // unreachable for our goals
+        }
+        other => panic!("generator does not target value type {other}"),
+    }
+}
+
+/// Random goal types: arrows/foralls over Int/Bool.
+fn gen_goal<R: Rng>(rng: &mut R, depth: usize) -> Type {
+    if depth == 0 {
+        return if rng.gen_bool(0.7) {
+            Type::int()
+        } else {
+            Type::bool()
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Type::int(),
+        1 | 2 => Type::arrow(gen_goal(rng, depth - 1), gen_goal(rng, depth - 1)),
+        _ => {
+            let a = freezeml_core::TyVar::named(format!("g{depth}"));
+            Type::Forall(
+                a.clone(),
+                Box::new(Type::arrow(Type::Var(a.clone()), Type::Var(a))),
+            )
+        }
+    }
+}
+
+#[test]
+fn generated_terms_are_well_typed_by_construction() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for i in 0..500 {
+        let goal = gen_goal(&mut rng, 3);
+        let term = gen_term(&mut rng, &goal, &[], 3);
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &term)
+            .unwrap_or_else(|e| panic!("sample #{i} `{term}` : {e}"));
+        assert!(ty.alpha_eq(&goal), "#{i}: wanted {goal}, got {ty}");
+    }
+}
+
+#[test]
+fn preservation_along_every_reduction() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for i in 0..300 {
+        let goal = gen_goal(&mut rng, 3);
+        let mut term = gen_term(&mut rng, &goal, &[], 3);
+        let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &term).unwrap();
+        for _ in 0..200 {
+            match step(&term) {
+                Some(next) => {
+                    let ty2 = typecheck(&KindEnv::new(), &TypeEnv::new(), &next)
+                        .unwrap_or_else(|e| panic!("#{i}: step broke typing: {e}\n  {next}"));
+                    assert!(ty2.alpha_eq(&ty), "#{i}: {ty} became {ty2}");
+                    term = next;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn progress_never_gets_stuck() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF2);
+    for i in 0..300 {
+        let goal = gen_goal(&mut rng, 3);
+        let term = gen_term(&mut rng, &goal, &[], 3);
+        match normalize(&term, 10_000) {
+            Outcome::Value(_) => {}
+            other => panic!("#{i} `{term}`: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn smallstep_agrees_with_bigstep_on_ints() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut compared = 0usize;
+    for _ in 0..500 {
+        let term = gen_term(&mut rng, &Type::int(), &[], 3);
+        let small = match normalize(&term, 10_000) {
+            Outcome::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let big = eval(&Env::new(), &term).unwrap();
+        if let (FTerm::Lit(freezeml_core::Lit::Int(a)), Value::Int(b)) = (&small, &big) {
+            assert_eq!(a, b, "{term}");
+            compared += 1;
+        }
+    }
+    assert!(compared > 400, "only {compared} Int comparisons");
+}

@@ -1,0 +1,256 @@
+//! `E⟦−⟧`: System F → FreezeML (Figure 10).
+//!
+//! ```text
+//! E⟦x⟧        = ⌈x⌉
+//! E⟦λx^A.M⟧   = λ(x : A). E⟦M⟧
+//! E⟦M N⟧      = E⟦M⟧ E⟦N⟧
+//! E⟦Λa.V⟧     = let (x : ∀a.B) = (E⟦V⟧)@ in ⌈x⌉     where V : B
+//! E⟦M A⟧      = let (x : B[A/a]) = (E⟦M⟧)@ in ⌈x⌉   where M : ∀a.B
+//! ```
+//!
+//! The translation is type-directed (it needs the types of `Λ`/type-
+//! application subterms), so it runs the System F typechecker as it goes.
+//! The explicit instantiation `(E⟦V⟧)@` is necessary: binding `E⟦V⟧`
+//! directly would freeze a possibly-unguarded value whose type cannot then
+//! be re-generalised (§4.1 discusses the failed simpler translation).
+
+use freezeml_core::{KindEnv, Term, TyVar, Type, TypeEnv, Var};
+use freezeml_systemf::{typecheck, FTerm, FTypeError};
+
+/// Translate a System F term into FreezeML (Theorem 2: type-preserving).
+///
+/// Every `Λ`-binder is freshened on the way in (the paper's implicit
+/// α-convention): FreezeML's scoped type variables require the top-level
+/// binders of nested `let` annotations to be pairwise distinct, and the
+/// translation of nested `Λa.Λb.…` would otherwise re-bind the outer
+/// annotation's variables.
+///
+/// # Errors
+///
+/// [`FTypeError`] if the input is not well-typed — the translation is only
+/// defined on typing derivations.
+pub fn f_to_freeze(
+    delta: &KindEnv,
+    gamma: &TypeEnv,
+    term: &FTerm,
+) -> Result<Term, FTypeError> {
+    // The translation is defined on derivations: validate up front.
+    typecheck(delta, gamma, term)?;
+    go(delta, gamma, term)
+}
+
+fn go(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Term, FTypeError> {
+    match term {
+        FTerm::Var(x) => Ok(Term::FrozenVar(x.clone())),
+        FTerm::Lit(l) => Ok(Term::Lit(*l)),
+        FTerm::Lam(x, ann, body) => {
+            let g2 = gamma.extended(x.clone(), ann.clone());
+            Ok(Term::lam_ann(x.clone(), ann.clone(), go(delta, &g2, body)?))
+        }
+        FTerm::App(m, n) => Ok(Term::app(go(delta, gamma, m)?, go(delta, gamma, n)?)),
+        FTerm::TyLam(a, v) => {
+            // α-freshen the binder (see function docs).
+            let c = TyVar::fresh();
+            let v2 = rename_tyvar(v, a, &c);
+            let delta2 = delta
+                .extended([c.clone()])
+                .expect("fresh type variable cannot clash");
+            let b = typecheck(&delta2, gamma, &v2)?;
+            let ann = Type::Forall(c, Box::new(b));
+            let x = Var::fresh();
+            Ok(Term::let_ann(
+                x.clone(),
+                ann,
+                Term::inst(go(&delta2, gamma, &v2)?),
+                Term::FrozenVar(x),
+            ))
+        }
+        FTerm::TyApp(m, ty) => {
+            let mty = typecheck(delta, gamma, m)?;
+            match mty {
+                Type::Forall(a, body) => {
+                    let ann = body.rename_free(&a, ty);
+                    let x = Var::fresh();
+                    Ok(Term::let_ann(
+                        x.clone(),
+                        ann,
+                        Term::inst(go(delta, gamma, m)?),
+                        Term::FrozenVar(x),
+                    ))
+                }
+                other => Err(FTypeError::NotAForall(other)),
+            }
+        }
+    }
+}
+
+/// Rename a rigid type variable throughout a term's annotations,
+/// respecting term-level `Λ` shadowing.
+fn rename_tyvar(t: &FTerm, from: &TyVar, to: &TyVar) -> FTerm {
+    match t {
+        FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
+        FTerm::Lam(x, a, b) => FTerm::Lam(
+            x.clone(),
+            a.rename_free(from, &Type::Var(to.clone())),
+            Box::new(rename_tyvar(b, from, to)),
+        ),
+        FTerm::App(m, n) => {
+            FTerm::app(rename_tyvar(m, from, to), rename_tyvar(n, from, to))
+        }
+        FTerm::TyLam(a, b) => {
+            if a == from {
+                t.clone() // shadowed
+            } else {
+                FTerm::TyLam(a.clone(), Box::new(rename_tyvar(b, from, to)))
+            }
+        }
+        FTerm::TyApp(m, ty) => FTerm::TyApp(
+            Box::new(rename_tyvar(m, from, to)),
+            ty.rename_free(from, &Type::Var(to.clone())),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::{infer, Options, RefinedEnv};
+
+    fn env() -> TypeEnv {
+        freezeml_corpus::figure2()
+    }
+
+    /// Theorem 2 harness: F-typecheck, translate, FreezeML-infer, compare.
+    fn check_preserves(f: &FTerm) {
+        let delta = KindEnv::new();
+        let fty = typecheck(&delta, &env(), f).expect("input must be F-typed");
+        let frz = f_to_freeze(&delta, &env(), f).unwrap();
+        let (theta, subst, ty, _) = infer(
+            &delta,
+            &RefinedEnv::new(),
+            &env(),
+            &frz,
+            &Options::default(),
+        )
+        .unwrap_or_else(|e| panic!("E⟦{f}⟧ = {frz} did not infer: {e}"));
+        let _ = theta;
+        let resolved = subst.apply(&ty);
+        assert!(
+            resolved.alpha_eq(&fty),
+            "type not preserved for {f}: FreezeML {resolved} vs F {fty}"
+        );
+    }
+
+    fn id_term() -> FTerm {
+        FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")))
+    }
+
+    #[test]
+    fn variables_become_frozen() {
+        let f = FTerm::var("id");
+        let t = f_to_freeze(&KindEnv::new(), &env(), &f).unwrap();
+        assert_eq!(t, Term::frozen("id"));
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn theorem2_on_type_abstraction() {
+        check_preserves(&id_term());
+    }
+
+    #[test]
+    fn theorem2_on_type_application() {
+        check_preserves(&FTerm::tyapp(id_term(), Type::int()));
+        // Impredicative instantiation.
+        let poly = freezeml_core::parse_type("forall a. a -> a").unwrap();
+        check_preserves(&FTerm::tyapp(id_term(), poly));
+        // Instantiation of a prelude constant.
+        check_preserves(&FTerm::tyapp(FTerm::var("id"), Type::bool()));
+    }
+
+    #[test]
+    fn theorem2_on_applications() {
+        // auto id? In F: auto (id) needs id at the polytype — auto expects
+        // ∀a.a→a, id : ∀a.a→a, direct application is fine in F.
+        check_preserves(&FTerm::app(FTerm::var("auto"), FTerm::var("id")));
+        // poly id.
+        check_preserves(&FTerm::app(FTerm::var("poly"), FTerm::var("id")));
+        // id [Int] 42.
+        check_preserves(&FTerm::app(
+            FTerm::tyapp(FTerm::var("id"), Type::int()),
+            FTerm::int(42),
+        ));
+    }
+
+    #[test]
+    fn theorem2_on_nested_tylams() {
+        // Λa.Λb. λ(f : a→b). λ(x : a). f x  :  ∀a b. (a→b) → a → b
+        let t = FTerm::tylams(
+            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            FTerm::lam(
+                "f",
+                Type::arrow(Type::var("a"), Type::var("b")),
+                FTerm::lam(
+                    "x",
+                    Type::var("a"),
+                    FTerm::app(FTerm::var("f"), FTerm::var("x")),
+                ),
+            ),
+        );
+        check_preserves(&t);
+    }
+
+    #[test]
+    fn appendix_d_round_trip() {
+        // let app = λf.λz.f z in app ⌈auto⌉ ⌈id⌉ — its C-image from
+        // Appendix D, translated back with E, must still have type ∀a.a→a.
+        let app_ty = freezeml_core::parse_type("forall a b. (a -> b) -> a -> b").unwrap();
+        let id_ty = freezeml_core::parse_type("forall a. a -> a").unwrap();
+        let app_impl = FTerm::tylams(
+            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            FTerm::lam(
+                "f",
+                Type::arrow(Type::var("a"), Type::var("b")),
+                FTerm::lam(
+                    "z",
+                    Type::var("a"),
+                    FTerm::app(FTerm::var("f"), FTerm::var("z")),
+                ),
+            ),
+        );
+        let body = FTerm::apps(
+            FTerm::tyapps(FTerm::var("app"), [id_ty.clone(), id_ty]),
+            [FTerm::var("auto"), FTerm::var("id")],
+        );
+        let whole = FTerm::app(FTerm::lam("app", app_ty, body), app_impl);
+        check_preserves(&whole);
+    }
+
+    #[test]
+    fn ill_typed_input_is_rejected() {
+        let bad = FTerm::app(FTerm::int(1), FTerm::int(2));
+        assert!(f_to_freeze(&KindEnv::new(), &env(), &bad).is_err());
+    }
+
+    #[test]
+    fn round_trip_f_to_freeze_to_f() {
+        // E then C: types must survive the full round trip.
+        let delta = KindEnv::new();
+        for f in [
+            id_term(),
+            FTerm::tyapp(FTerm::var("id"), Type::int()),
+            FTerm::app(FTerm::var("poly"), FTerm::var("id")),
+        ] {
+            let fty = typecheck(&delta, &env(), &f).unwrap();
+            let frz = f_to_freeze(&delta, &env(), &f).unwrap();
+            let out =
+                freezeml_core::infer_term(&env(), &frz, &Options::default()).unwrap();
+            let e = crate::freeze_to_f::elaborate(&out);
+            let back_ty = typecheck(&delta, &env(), &e.term).unwrap();
+            assert!(
+                back_ty.alpha_eq(&fty),
+                "round trip changed {fty} to {back_ty} for {f}"
+            );
+        }
+    }
+}

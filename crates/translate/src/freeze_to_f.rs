@@ -1,0 +1,258 @@
+//! `C⟦−⟧`: FreezeML → System F (Figure 11).
+//!
+//! The translation is defined on typing derivations; it consumes the
+//! [`TypedTerm`] trees produced by inference:
+//!
+//! ```text
+//! C⟦⌈x⌉⟧            = x
+//! C⟦x (at δ, ∆′)⟧   = x δ(∆′)
+//! C⟦λx.M⟧           = λx^S. C⟦M⟧
+//! C⟦λ(x:A).M⟧       = λx^A. C⟦M⟧
+//! C⟦M N⟧            = C⟦M⟧ C⟦N⟧
+//! C⟦let x = M in N⟧ = let x^A = Λ∆′. C⟦M⟧ in C⟦N⟧
+//! ```
+//!
+//! Derivations must be fully resolved before translation; any residual
+//! flexible variables (e.g. the `a` in `λx.x : a → a`) are grounded to
+//! `Int` by the [`elaborate`] driver so that the output typechecks in a
+//! closed context.
+
+use freezeml_core::{InferOutput, Type, TypedNode, TypedTerm};
+use freezeml_systemf::FTerm;
+
+/// The result of elaborating a FreezeML program into System F.
+#[derive(Clone, Debug)]
+pub struct Elaborated {
+    /// The System F term (administratively reduced — see
+    /// [`freeze_to_f_valuable`]).
+    pub term: FTerm,
+    /// Its type — equal to the FreezeML type of the source (Theorem 3),
+    /// after grounding of residual flexible variables.
+    pub ty: Type,
+}
+
+/// Elaborate an inference result into System F. Residual flexible
+/// variables are grounded to `Int`, and administrative `let`-redexes are
+/// reduced so the output satisfies System F's value restriction.
+pub fn elaborate(out: &InferOutput) -> Elaborated {
+    let mut typed = out.typed.clone();
+    typed.default_residuals(&Type::int());
+    Elaborated {
+        term: freeze_to_f_valuable(&typed),
+        ty: typed.ty.clone(),
+    }
+}
+
+/// The literal Figure 11 translation. The derivation must be fully
+/// resolved (no flexible variables).
+pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
+    match &typed.node {
+        TypedNode::FrozenVar { name } => FTerm::Var(name.clone()),
+        TypedNode::Var { name, inst, .. } => FTerm::tyapps(
+            FTerm::Var(name.clone()),
+            inst.iter().map(|(_, t)| t.clone()),
+        ),
+        TypedNode::Lit { lit } => FTerm::Lit(*lit),
+        TypedNode::Lam {
+            param,
+            param_ty,
+            body,
+        } => FTerm::lam(param.clone(), param_ty.clone(), freeze_to_f(body)),
+        TypedNode::LamAnn { param, ann, body } => {
+            FTerm::lam(param.clone(), ann.clone(), freeze_to_f(body))
+        }
+        TypedNode::App { func, arg } => FTerm::app(freeze_to_f(func), freeze_to_f(arg)),
+        TypedNode::TyApp { inner, arg, .. } => {
+            FTerm::tyapp(freeze_to_f(inner), arg.clone())
+        }
+        TypedNode::ImplicitInst { inner, inst } => FTerm::tyapps(
+            freeze_to_f(inner),
+            inst.iter().map(|(_, t)| t.clone()),
+        ),
+        TypedNode::Let {
+            name,
+            gen_vars,
+            bound_ty,
+            rhs,
+            body,
+            ..
+        } => FTerm::let_(
+            name.clone(),
+            bound_ty.clone(),
+            FTerm::tylams(gen_vars.iter().cloned(), freeze_to_f(rhs)),
+            freeze_to_f(body),
+        ),
+        TypedNode::LetAnn {
+            name,
+            ann,
+            split_vars,
+            rhs,
+            body,
+            ..
+        } => FTerm::let_(
+            name.clone(),
+            ann.clone(),
+            FTerm::tylams(split_vars.iter().cloned(), freeze_to_f(rhs)),
+            freeze_to_f(body),
+        ),
+    }
+}
+
+/// Figure 11 followed by administrative reduction of `let`-redexes whose
+/// right-hand side is already a value — the repair described in the crate
+/// docs. The reduction is plain β (type- and semantics-preserving) and
+/// terminates because each step removes one application node and values
+/// contain no redexes at their own top level.
+pub fn freeze_to_f_valuable(typed: &TypedTerm) -> FTerm {
+    admin_reduce(&freeze_to_f(typed))
+}
+
+/// Reduce `(λx^A.N) V` to `N[V/x]` wherever `V` is a syntactic value, and
+/// `(Λa.V) A` to `V[A/a]`, bottom-up. Both are β-steps of Figure 19 and
+/// therefore type- and semantics-preserving.
+pub fn admin_reduce(t: &FTerm) -> FTerm {
+    match t {
+        FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
+        FTerm::Lam(x, a, b) => FTerm::Lam(x.clone(), a.clone(), Box::new(admin_reduce(b))),
+        FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(admin_reduce(b))),
+        FTerm::TyApp(m, ty) => {
+            let m = admin_reduce(m);
+            if let FTerm::TyLam(a, v) = &m {
+                return admin_reduce(&v.subst_ty(a, ty));
+            }
+            FTerm::TyApp(Box::new(m), ty.clone())
+        }
+        FTerm::App(f, arg) => {
+            let f = admin_reduce(f);
+            let arg = admin_reduce(arg);
+            if let FTerm::Lam(x, _, body) = &f {
+                if arg.is_value() {
+                    return admin_reduce(&body.subst_var(x, &arg));
+                }
+            }
+            FTerm::app(f, arg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::{infer_term, parse_term, KindEnv, Options, TypeEnv, Var};
+    use freezeml_systemf::typecheck;
+
+    fn env() -> TypeEnv {
+        freezeml_corpus::figure2()
+    }
+
+    fn elaborate_src(src: &str) -> (FTerm, Type) {
+        let term = parse_term(src).unwrap();
+        let out = infer_term(&env(), &term, &Options::default()).unwrap();
+        let e = elaborate(&out);
+        (e.term, e.ty)
+    }
+
+    fn check_preserves(src: &str) {
+        let (f, ty) = elaborate_src(src);
+        let fty = typecheck(&KindEnv::new(), &env(), &f)
+            .unwrap_or_else(|e| panic!("C⟦{src}⟧ ill-typed: {e}\n  {f}"));
+        assert!(
+            fty.alpha_eq(&ty),
+            "type not preserved for `{src}`: {fty} vs {ty}"
+        );
+    }
+
+    #[test]
+    fn theorem3_on_representative_programs() {
+        for src in [
+            "~id",
+            "id",
+            "choose id",
+            "choose ~id",
+            "poly ~id",
+            "poly $(fun x -> x)",
+            "single ~id",
+            "fun (x : forall a. a -> a) -> x ~x",
+            "let f = fun x -> x in poly ~f",
+            "let (f : Int -> Int) = fun x -> x in f 3",
+            "(head ids)@ 3",
+            "runST ~argST",
+            "auto ~id",
+        ] {
+            check_preserves(src);
+        }
+    }
+
+    #[test]
+    fn frozen_var_translates_to_plain_var() {
+        let (f, _) = elaborate_src("~id");
+        assert_eq!(f, FTerm::var("id"));
+    }
+
+    #[test]
+    fn plain_var_translates_to_type_application() {
+        let (f, _) = elaborate_src("id");
+        // id [Int] after grounding of the residual instantiation variable.
+        assert_eq!(f, FTerm::tyapp(FTerm::var("id"), Type::int()));
+    }
+
+    #[test]
+    fn generalising_let_produces_tylam() {
+        let (f, ty) = elaborate_src("$(fun x -> x)");
+        assert!(ty.alpha_eq(&freezeml_core::parse_type("forall a. a -> a").unwrap()));
+        // let x^∀a.a→a = Λa.λx:a.x in x — after admin reduction just the Λ.
+        assert!(matches!(f, FTerm::TyLam(_, _)), "got {f}");
+    }
+
+    #[test]
+    fn nested_let_values_satisfy_the_value_restriction() {
+        // The Theorem 3 repair: generalising over a let-value.
+        let src = "let g = (let y = fun x -> x in y) in poly ~g";
+        let term = parse_term(src).unwrap();
+        let out = infer_term(&env(), &term, &Options::default()).unwrap();
+        // The literal Figure 11 image violates the value restriction...
+        let mut typed = out.typed.clone();
+        typed.default_residuals(&Type::int());
+        let literal = freeze_to_f(&typed);
+        assert!(
+            typecheck(&KindEnv::new(), &env(), &literal).is_err(),
+            "expected the literal translation to trip the value restriction"
+        );
+        // ...and the administratively reduced image repairs it.
+        let e = elaborate(&out);
+        let fty = typecheck(&KindEnv::new(), &env(), &e.term).unwrap();
+        assert!(fty.alpha_eq(&e.ty));
+    }
+
+    #[test]
+    fn admin_reduce_is_capture_avoiding() {
+        // (λx. λy. x) y  — substituting y for x must not capture.
+        let inner = FTerm::lam(
+            "x",
+            Type::int(),
+            FTerm::lam("y", Type::int(), FTerm::var("x")),
+        );
+        let t = FTerm::app(inner, FTerm::var("y"));
+        let r = admin_reduce(&t);
+        match r {
+            FTerm::Lam(param, _, body) => {
+                assert_ne!(param, Var::named("y"));
+                assert_eq!(*body, FTerm::var("y"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn translated_programs_evaluate() {
+        use freezeml_systemf::{eval, prelude::runtime_env, Value};
+        let (f, _) = elaborate_src("poly $(fun x -> x)");
+        let v = eval(&runtime_env(), &f).unwrap();
+        assert_eq!(
+            v,
+            Value::Pair(Box::new(Value::Int(42)), Box::new(Value::Bool(true)))
+        );
+        let (f2, _) = elaborate_src("(head ids)@ 3");
+        assert_eq!(eval(&runtime_env(), &f2).unwrap(), Value::Int(3));
+    }
+}

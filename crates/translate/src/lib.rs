@@ -1,0 +1,48 @@
+//! # Translations between FreezeML and System F (paper §4)
+//!
+//! * [`freeze_to_f()`](freeze_to_f()) — `C⟦−⟧` (Figure 11): FreezeML typing derivations to
+//!   System F terms; type-preserving (Theorem 3).
+//! * [`f_to_freeze()`](f_to_freeze()) — `E⟦−⟧` (Figure 10): System F terms to FreezeML;
+//!   type-preserving (Theorem 2). Together they exhibit FreezeML as exactly
+//!   as expressive as System F.
+//! * [`freeze_to_poly_ml`] — the Appendix E translation into Poly-ML's
+//!   boxed-polymorphism style, inserting no new type annotations.
+//!
+//! ## A repaired corner of Theorem 3
+//!
+//! The paper's proof of Theorem 3 (case `Let`, `M ∈ GVal`) claims that
+//! `C⟦V⟧` is a System F *value* for every FreezeML value `V`. This is not
+//! quite true: FreezeML values include `let x = V in W`, and `C` translates
+//! `let` into a β-redex `(λx.W′) V′` — an application, which System F's
+//! value restriction does not allow under `Λ`. [`freeze_to_f_valuable`]
+//! repairs this by *administratively reducing* `let`-redexes whose argument
+//! is already a value — a type- and semantics-preserving step that restores
+//! the value form the proof assumes. The literal Figure 11 translation is
+//! kept as [`freeze_to_f()`](freeze_to_f()).
+//!
+//! ```
+//! use freezeml_core::{infer_term, parse_term, Options, TypeEnv};
+//! use freezeml_translate::elaborate;
+//! use freezeml_systemf::typecheck;
+//! use freezeml_core::KindEnv;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut env = TypeEnv::new();
+//! env.push_str("poly", "(forall a. a -> a) -> Int * Bool")?;
+//! let term = parse_term("poly $(fun x -> x)")?;
+//! let out = infer_term(&env, &term, &Options::default())?;
+//! let elab = elaborate(&out);
+//! // Theorem 3: the translation typechecks in System F at the same type.
+//! let fty = typecheck(&KindEnv::new(), &env, &elab.term)?;
+//! assert!(fty.alpha_eq(&elab.ty));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod f_to_freeze;
+pub mod freeze_to_f;
+pub mod poly_ml;
+
+pub use f_to_freeze::f_to_freeze;
+pub use freeze_to_f::{elaborate, freeze_to_f, freeze_to_f_valuable, Elaborated};
+pub use poly_ml::{freeze_to_poly_ml, PmlTerm, PmlType};

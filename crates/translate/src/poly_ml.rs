@@ -1,0 +1,411 @@
+//! The FreezeML → Poly-ML translation (paper Appendix E).
+//!
+//! Poly-ML (Garrigue & Rémy 1999) distinguishes ML type schemes from
+//! *boxed* polymorphic types `[σ]ε`; boxed terms must be explicitly
+//! `⟨opened⟩`. Appendix E shows FreezeML embeds into (a lightly extended)
+//! Poly-ML **without inserting any new type annotations**, which is the
+//! paper's argument that FreezeML matches Poly-ML's expressiveness with
+//! lighter syntax:
+//!
+//! ```text
+//! ⟦a⟧τ        = a
+//! ⟦A₁ → A₂⟧τ  = ⟦A₁⟧τ → ⟦A₂⟧τ
+//! ⟦∀∆.H⟧τ     = [∀∆.⟦H⟧τ]ε          (∆ ≠ ·)   — boxed
+//! ⟦∀∆.H⟧σ     = ∀∆.⟦H⟧τ             (∆ ≠ ·)   — top level stays unboxed
+//!
+//! ⟦⌈x⌉⟧       = x
+//! ⟦x⟧         = x   if the occurrence instantiates nothing, else ⟨x⟩
+//! ⟦λx.M⟧      = λx.⟦M⟧
+//! ⟦λ(x:A).M⟧  = λ(x : ⟦A⟧τ).⟦M⟧
+//! ⟦let x = M in N⟧ = let x = [⟦M⟧ : ⟦A⟧σ] in ⟦N⟧   if generalising
+//!                  = let x = ⟦M⟧ in ⟦N⟧            otherwise
+//! ```
+//!
+//! We implement the translation on [`TypedTerm`] derivations and verify its
+//! *structural* properties (where boxes and openings appear). Lemma E.1's
+//! type preservation into Poly-ML's own label-based type system would
+//! require implementing Garrigue–Rémy's checker, which is out of scope —
+//! recorded as a substitution in `DESIGN.md`.
+
+use freezeml_core::{Lit, TyCon, TyVar, Type, TypedNode, TypedTerm, Var};
+use std::fmt;
+
+/// A Poly-ML type: ML structure plus boxed polymorphic types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PmlType {
+    /// A type variable.
+    Var(TyVar),
+    /// A constructor application (including `→`).
+    Con(TyCon, Vec<PmlType>),
+    /// A boxed polymorphic type `[∀∆.τ]ε` (the label `ε` is fixed, as in
+    /// Appendix E).
+    Boxed(Vec<TyVar>, Box<PmlType>),
+    /// A top-level type scheme `∀∆.τ` (the image of `⟦−⟧σ`; only ever at
+    /// the top of an annotation).
+    Scheme(Vec<TyVar>, Box<PmlType>),
+}
+
+impl PmlType {
+    /// Count the boxes in the type.
+    pub fn box_count(&self) -> usize {
+        match self {
+            PmlType::Var(_) => 0,
+            PmlType::Con(_, args) => args.iter().map(PmlType::box_count).sum(),
+            PmlType::Boxed(_, inner) => 1 + inner.box_count(),
+            PmlType::Scheme(_, inner) => inner.box_count(),
+        }
+    }
+}
+
+impl fmt::Display for PmlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmlType::Var(a) => write!(f, "{a}"),
+            PmlType::Con(TyCon::Arrow, args) => {
+                write!(f, "({} -> {})", args[0], args[1])
+            }
+            PmlType::Con(c, args) if args.is_empty() => write!(f, "{c}"),
+            PmlType::Con(c, args) => {
+                write!(f, "({c}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            PmlType::Boxed(vars, inner) => {
+                write!(f, "[forall")?;
+                for v in vars {
+                    write!(f, " {v}")?;
+                }
+                write!(f, ". {inner}]e")
+            }
+            PmlType::Scheme(vars, inner) => {
+                write!(f, "forall")?;
+                for v in vars {
+                    write!(f, " {v}")?;
+                }
+                write!(f, ". {inner}")
+            }
+        }
+    }
+}
+
+/// A Poly-ML term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PmlTerm {
+    /// A variable used at its scheme (or monomorphic) type.
+    Var(Var),
+    /// An *opened* variable `⟨x⟩` — explicit unboxing/instantiation.
+    Open(Var),
+    /// `λx.M`, optionally with a (translated) annotation.
+    Lam(Var, Option<PmlType>, Box<PmlTerm>),
+    /// Application.
+    App(Box<PmlTerm>, Box<PmlTerm>),
+    /// `let x = M in N`.
+    Let(Var, Box<PmlTerm>, Box<PmlTerm>),
+    /// A boxing annotation `[M : σ]`.
+    BoxAnn(Box<PmlTerm>, PmlType),
+    /// A literal.
+    Lit(Lit),
+}
+
+impl PmlTerm {
+    /// Count `⟨−⟩` openings.
+    pub fn open_count(&self) -> usize {
+        match self {
+            PmlTerm::Var(_) | PmlTerm::Lit(_) => 0,
+            PmlTerm::Open(_) => 1,
+            PmlTerm::Lam(_, _, b) => b.open_count(),
+            PmlTerm::App(m, n) => m.open_count() + n.open_count(),
+            PmlTerm::Let(_, r, b) => r.open_count() + b.open_count(),
+            PmlTerm::BoxAnn(m, _) => m.open_count(),
+        }
+    }
+
+    /// Count `[− : σ]` boxing annotations.
+    pub fn box_ann_count(&self) -> usize {
+        match self {
+            PmlTerm::Var(_) | PmlTerm::Open(_) | PmlTerm::Lit(_) => 0,
+            PmlTerm::Lam(_, _, b) => b.box_ann_count(),
+            PmlTerm::App(m, n) => m.box_ann_count() + n.box_ann_count(),
+            PmlTerm::Let(_, r, b) => r.box_ann_count() + b.box_ann_count(),
+            PmlTerm::BoxAnn(m, _) => 1 + m.box_ann_count(),
+        }
+    }
+
+    /// Count explicit *type* annotations (λ-annotations and boxings) — the
+    /// quantity Appendix E argues stays at zero for new annotations.
+    pub fn annotation_count(&self) -> usize {
+        match self {
+            PmlTerm::Var(_) | PmlTerm::Open(_) | PmlTerm::Lit(_) => 0,
+            PmlTerm::Lam(_, ann, b) => {
+                usize::from(ann.is_some()) + b.annotation_count()
+            }
+            PmlTerm::App(m, n) => m.annotation_count() + n.annotation_count(),
+            PmlTerm::Let(_, r, b) => r.annotation_count() + b.annotation_count(),
+            PmlTerm::BoxAnn(m, _) => 1 + m.annotation_count(),
+        }
+    }
+}
+
+impl fmt::Display for PmlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmlTerm::Var(x) => write!(f, "{x}"),
+            PmlTerm::Open(x) => write!(f, "<{x}>"),
+            PmlTerm::Lam(x, None, b) => write!(f, "(fun {x} -> {b})"),
+            PmlTerm::Lam(x, Some(t), b) => write!(f, "(fun ({x} : {t}) -> {b})"),
+            PmlTerm::App(m, n) => write!(f, "({m} {n})"),
+            PmlTerm::Let(x, r, b) => write!(f, "(let {x} = {r} in {b})"),
+            PmlTerm::BoxAnn(m, t) => write!(f, "[{m} : {t}]"),
+            PmlTerm::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// An error from the Poly-ML translation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PmlError {
+    /// The derivation uses an extension form (explicit type application or
+    /// eliminator instantiation) that Appendix E does not cover.
+    UnsupportedExtension(&'static str),
+}
+
+impl fmt::Display for PmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmlError::UnsupportedExtension(what) => {
+                write!(f, "the Poly-ML translation does not cover {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmlError {}
+
+/// `⟦A⟧τ` — box every quantifier group.
+pub fn type_to_pml(ty: &Type) -> PmlType {
+    match ty {
+        Type::Var(a) => PmlType::Var(a.clone()),
+        Type::Con(c, args) => {
+            PmlType::Con(c.clone(), args.iter().map(type_to_pml).collect())
+        }
+        Type::Forall(_, _) => {
+            let (vars, body) = ty.split_foralls();
+            PmlType::Boxed(vars, Box::new(type_to_pml(body)))
+        }
+    }
+}
+
+/// `⟦A⟧σ` — like `⟦−⟧τ` but the *top-level* quantifiers stay unboxed.
+pub fn scheme_to_pml(ty: &Type) -> PmlType {
+    let (vars, body) = ty.split_foralls();
+    if vars.is_empty() {
+        type_to_pml(ty)
+    } else {
+        PmlType::Scheme(vars, Box::new(type_to_pml(body)))
+    }
+}
+
+/// `⟦−⟧` on typing derivations (Appendix E, "Terms").
+///
+/// # Errors
+///
+/// [`PmlError::UnsupportedExtension`] on `M@[A]` / eliminator-instantiation
+/// nodes, which Appendix E does not treat.
+pub fn freeze_to_poly_ml(typed: &TypedTerm) -> Result<PmlTerm, PmlError> {
+    match &typed.node {
+        TypedNode::FrozenVar { name } => Ok(PmlTerm::Var(name.clone())),
+        TypedNode::Var { name, inst, .. } => {
+            if inst.is_empty() {
+                Ok(PmlTerm::Var(name.clone()))
+            } else {
+                Ok(PmlTerm::Open(name.clone()))
+            }
+        }
+        TypedNode::Lit { lit } => Ok(PmlTerm::Lit(*lit)),
+        TypedNode::Lam { param, body, .. } => Ok(PmlTerm::Lam(
+            param.clone(),
+            None,
+            Box::new(freeze_to_poly_ml(body)?),
+        )),
+        TypedNode::LamAnn { param, ann, body } => Ok(PmlTerm::Lam(
+            param.clone(),
+            Some(type_to_pml(ann)),
+            Box::new(freeze_to_poly_ml(body)?),
+        )),
+        TypedNode::App { func, arg } => Ok(PmlTerm::App(
+            Box::new(freeze_to_poly_ml(func)?),
+            Box::new(freeze_to_poly_ml(arg)?),
+        )),
+        TypedNode::Let {
+            name,
+            gen_vars,
+            bound_ty,
+            rhs,
+            body,
+            ..
+        } => {
+            let rhs_pml = freeze_to_poly_ml(rhs)?;
+            let rhs_pml = if gen_vars.is_empty() {
+                rhs_pml
+            } else {
+                // Generalising let: box at the let-bound scheme. (The note
+                // in Appendix E: with a principal-type boxing operator the
+                // annotation could be omitted; we keep it, as the paper's
+                // translation does.)
+                PmlTerm::BoxAnn(Box::new(rhs_pml), scheme_to_pml(bound_ty))
+            };
+            Ok(PmlTerm::Let(
+                name.clone(),
+                Box::new(rhs_pml),
+                Box::new(freeze_to_poly_ml(body)?),
+            ))
+        }
+        TypedNode::LetAnn {
+            name,
+            ann,
+            split_vars,
+            rhs,
+            body,
+            ..
+        } => {
+            let rhs_pml = freeze_to_poly_ml(rhs)?;
+            let rhs_pml = if split_vars.is_empty() {
+                rhs_pml
+            } else {
+                PmlTerm::BoxAnn(Box::new(rhs_pml), scheme_to_pml(ann))
+            };
+            Ok(PmlTerm::Let(
+                name.clone(),
+                Box::new(rhs_pml),
+                Box::new(freeze_to_poly_ml(body)?),
+            ))
+        }
+        TypedNode::TyApp { .. } => Err(PmlError::UnsupportedExtension(
+            "explicit type application (§6 extension)",
+        )),
+        TypedNode::ImplicitInst { .. } => Err(PmlError::UnsupportedExtension(
+            "eliminator instantiation (§3.2 extension)",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::{infer_term, parse_term, parse_type, Options};
+
+    fn translate(src: &str) -> PmlTerm {
+        let env = freezeml_corpus::figure2();
+        let term = parse_term(src).unwrap();
+        let out = infer_term(&env, &term, &Options::default()).unwrap();
+        freeze_to_poly_ml(&out.typed).unwrap()
+    }
+
+    #[test]
+    fn types_box_nested_quantifiers_only() {
+        // ⟦List (∀a.a→a)⟧τ has one box; ⟦∀a. List (∀b.b→b) → a⟧σ keeps the
+        // top level unboxed and boxes the inner group.
+        let t = parse_type("List (forall a. a -> a)").unwrap();
+        assert_eq!(type_to_pml(&t).box_count(), 1);
+        let s = parse_type("forall a. List (forall b. b -> b) -> a").unwrap();
+        let pml = scheme_to_pml(&s);
+        assert_eq!(pml.box_count(), 1);
+        assert!(matches!(pml, PmlType::Scheme(_, _)));
+        // Whereas ⟦−⟧τ of the same type boxes both groups.
+        assert_eq!(type_to_pml(&s).box_count(), 2);
+    }
+
+    #[test]
+    fn monotypes_have_no_boxes() {
+        let t = parse_type("Int -> List Bool * Int").unwrap();
+        assert_eq!(type_to_pml(&t).box_count(), 0);
+    }
+
+    #[test]
+    fn frozen_variables_stay_plain() {
+        // ⟦⌈id⌉⟧ = id — no opening.
+        let p = translate("~id");
+        assert_eq!(p, PmlTerm::Var(Var::named("id")));
+    }
+
+    #[test]
+    fn instantiating_occurrences_open() {
+        // ⟦id⟧ = ⟨id⟩ — the occurrence instantiates a quantifier.
+        let p = translate("id");
+        assert_eq!(p, PmlTerm::Open(Var::named("id")));
+        // Monomorphic variables don't open.
+        let p2 = translate("inc");
+        assert_eq!(p2, PmlTerm::Var(Var::named("inc")));
+    }
+
+    #[test]
+    fn generalising_lets_box() {
+        // let f = λx.x in poly ⌈f⌉ — the let generalises, so its rhs boxes
+        // at the scheme ∀a.a→a.
+        let p = translate("let f = fun x -> x in poly ~f");
+        assert_eq!(p.box_ann_count(), 1);
+        match &p {
+            PmlTerm::Let(_, rhs, _) => match rhs.as_ref() {
+                PmlTerm::BoxAnn(_, t) => {
+                    assert!(matches!(t, PmlType::Scheme(vars, _) if vars.len() == 1))
+                }
+                other => panic!("expected a boxing, got {other}"),
+            },
+            other => panic!("expected a let, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_generalising_lets_do_not_box() {
+        // F9: let f = revapp ⌈id⌉ in f poly — no generalisation, no box.
+        let p = translate("let f = revapp ~id in f poly");
+        assert_eq!(p.box_ann_count(), 0);
+    }
+
+    #[test]
+    fn no_new_type_annotations_beyond_boxings() {
+        // The point of Appendix E: translating unannotated FreezeML inserts
+        // no λ-annotations; the only annotations are the let-boxings (which
+        // a principal-type boxing operator could drop).
+        for src in ["choose ~id", "poly $(fun x -> x)", "(head ids)@ 3", "single ~id"] {
+            let p = translate(src);
+            assert_eq!(
+                p.annotation_count(),
+                p.box_ann_count(),
+                "{src} produced a non-boxing annotation: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_annotations_are_translated() {
+        let p = translate("fun (x : forall a. a -> a) -> x ~x");
+        match &p {
+            PmlTerm::Lam(_, Some(t), _) => {
+                assert!(matches!(t, PmlType::Boxed(_, _)), "got {t}")
+            }
+            other => panic!("expected annotated λ, got {other}"),
+        }
+    }
+
+    #[test]
+    fn extension_nodes_are_rejected() {
+        let env = freezeml_corpus::figure2();
+        let term = parse_term("~id@[Int]").unwrap();
+        let out = infer_term(&env, &term, &Options::default()).unwrap();
+        assert!(matches!(
+            freeze_to_poly_ml(&out.typed),
+            Err(PmlError::UnsupportedExtension(_))
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = translate("poly ~id");
+        assert_eq!(p.to_string(), "(poly id)");
+        let p2 = translate("id 3");
+        assert_eq!(p2.to_string(), "(<id> 3)");
+    }
+}

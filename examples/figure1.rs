@@ -1,0 +1,43 @@
+//! Regenerate Figure 1: run all 49 example programs through the checker
+//! and print each row — inferred type (or ✕) next to the paper's.
+//!
+//! Run with `cargo run --example figure1`.
+
+use freezeml::corpus::{run_all, Expected};
+
+fn main() {
+    let results = run_all();
+    let mut failures = 0usize;
+    let mut current_section = ' ';
+
+    println!("Figure 1 — example FreezeML terms and types");
+    println!("{:=<78}", "");
+    for (example, result) in freezeml::corpus::EXAMPLES.iter().zip(&results) {
+        if example.section != current_section {
+            current_section = example.section;
+            println!("\n-- section {current_section} --");
+        }
+        let expected = match example.expected {
+            Expected::Type(t) => t.to_string(),
+            Expected::Ill => "✕".to_string(),
+        };
+        let status = if result.pass { "ok " } else { "FAIL" };
+        println!("[{status}] {:7} {}", example.id, example.src);
+        println!("            paper:    {expected}");
+        println!("            inferred: {}", result.inferred_display());
+        if !result.pass {
+            failures += 1;
+        }
+    }
+
+    println!("\n{:=<78}", "");
+    println!(
+        "{} / {} rows reproduce the paper exactly{}",
+        results.len() - failures,
+        results.len(),
+        if failures == 0 { " ✓" } else { "" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

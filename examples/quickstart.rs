@@ -1,0 +1,46 @@
+//! Quickstart: infer types for FreezeML programs against the paper's
+//! Figure 2 prelude, showing off freezing (`~x`), generalisation (`$`),
+//! and instantiation (`@`).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use freezeml::core::{infer_program, Options};
+use freezeml::corpus::figure2;
+
+fn main() {
+    let env = figure2();
+    let opts = Options::default();
+
+    let programs = [
+        // Plain ML-style inference still works (§1: no annotations needed).
+        "fun x y -> y",
+        "single choose",
+        // Freezing keeps a variable's polytype (§2, Explicit Freezing).
+        "choose id",
+        "choose ~id",
+        // auto needs its argument frozen (§2).
+        "auto ~id",
+        // Generalisation $V and instantiation M@ (§2).
+        "$(fun x -> x)",
+        "poly $(fun x -> x)",
+        "(head ids)@ 3",
+        // Annotated binders admit polymorphic parameters (§2, B1).
+        "fun (f : forall a. a -> a) -> (f 1, f true)",
+        // Annotated lets admit non-principal types (§3.1).
+        "let (f : Int -> Int) = fun x -> x in f 3",
+        // Scoped type variables (§3.2).
+        "let (f : forall a. a -> a) = fun (x : a) -> x in f 3",
+        // And some programs the paper rejects by design:
+        "auto id",                  // unfrozen id is instantiated
+        "fun f -> (f 1, f true)",   // never guess polymorphism
+        "let f = fun x -> x in ~f 42", // principal type of f is ∀a.a→a
+    ];
+
+    println!("FreezeML quickstart — inference against the Figure 2 prelude\n");
+    for src in programs {
+        match infer_program(&env, src, &opts) {
+            Ok(ty) => println!("  {src}\n    : {ty}\n"),
+            Err(e) => println!("  {src}\n    ✕ {e}\n"),
+        }
+    }
+}

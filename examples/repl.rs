@@ -1,0 +1,102 @@
+//! An interactive FreezeML type-checking REPL over the Figure 2 prelude.
+//!
+//! Run with `cargo run --example repl`, then type FreezeML terms:
+//!
+//! ```text
+//! > choose ~id
+//! (forall a. a -> a) -> forall a. a -> a
+//! > :let myid = $(fun x -> x)
+//! myid : forall a. a -> a
+//! > :pure on          -- toggle the value restriction (pure FreezeML)
+//! > :elim on          -- toggle eliminator instantiation
+//! > :env              -- show the environment
+//! > :quit
+//! ```
+
+use freezeml::core::{infer_program, infer_term, parse_term, Options};
+use freezeml::corpus::figure2;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut env = figure2();
+    let mut opts = Options::default();
+    let stdin = io::stdin();
+
+    println!("FreezeML REPL — Figure 2 prelude loaded ({} bindings).", env.len());
+    println!("Commands: :let x = M, :env, :pure on|off, :elim on|off, :quit");
+
+    loop {
+        print!("> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":env" {
+            for (name, ty) in env.iter() {
+                println!("{name} : {ty}");
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":pure") {
+            opts.value_restriction = rest.trim() != "on";
+            println!(
+                "value restriction {}",
+                if opts.value_restriction { "on" } else { "off (pure FreezeML)" }
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":elim") {
+            opts.instantiation = if rest.trim() == "on" {
+                freezeml::core::InstantiationStrategy::Eliminator
+            } else {
+                freezeml::core::InstantiationStrategy::Variable
+            };
+            println!("instantiation strategy: {:?}", opts.instantiation);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":let") {
+            let Some((name, body)) = rest.split_once('=') else {
+                println!("usage: :let x = M");
+                continue;
+            };
+            let name = name.trim();
+            // Reuse the actual `let` rule: the type of x in
+            // `let x = M in ⌈x⌉` is exactly the let-bound type (generalised
+            // for guarded values, monomorphised otherwise).
+            let probe = format!("let {name} = {} in ~{name}", body.trim());
+            match parse_term(&probe).map_err(|e| e.to_string()).and_then(|t| {
+                infer_term(&env, &t, &opts).map_err(|e| e.to_string())
+            }) {
+                Ok(out) => {
+                    let mut ty = out.ty.canonicalize();
+                    if !ty.ftv().is_empty() {
+                        // Residual monomorphic variables (value restriction):
+                        // ground them so the environment stays well-formed.
+                        for v in ty.ftv() {
+                            ty = ty.rename_free(&v, &freezeml::core::Type::int());
+                        }
+                        println!("note: residual monomorphic variables defaulted to Int");
+                    }
+                    println!("{name} : {ty}");
+                    env.push(name, ty);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match infer_program(&env, line, &opts) {
+            Ok(ty) => println!("{ty}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration test for Theorem 1: FreezeML conservatively extends ML.
+//!
+//! Every typing derivable in mini-ML is derivable in FreezeML — and since
+//! both have principal types, Algorithm W and FreezeML inference must
+//! produce α-equivalent principal types on every ML program. We check this
+//! on a hand-written corpus and on thousands of randomly generated terms.
+
+use freezeml::core::{infer_term, Options, TypeEnv};
+use freezeml::miniml::{
+    generator::{random_term, GenConfig},
+    w_infer, MlTerm,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prelude() -> TypeEnv {
+    let mut g = TypeEnv::new();
+    g.push_str("id", "forall a. a -> a").unwrap();
+    g.push_str("inc", "Int -> Int").unwrap();
+    g.push_str("plus", "Int -> Int -> Int").unwrap();
+    g.push_str("single", "forall a. a -> List a").unwrap();
+    g.push_str("choose", "forall a. a -> a -> a").unwrap();
+    g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+    g.push_str("cons", "forall a. a -> List a -> List a").unwrap();
+    g.push_str("nil", "forall a. List a").unwrap();
+    g
+}
+
+/// W and FreezeML agree (both succeed with α-equal canonical types, or
+/// both fail) on a given ML term.
+fn agree(g: &TypeEnv, ml: &MlTerm) -> Result<(), String> {
+    let w = w_infer(g, ml);
+    let fz = infer_term(g, &ml.to_freezeml(), &Options::default());
+    match (w, fz) {
+        (Ok((_, wt)), Ok(out)) => {
+            let wt = wt.canonicalize();
+            let ft = out.ty.canonicalize();
+            if wt.alpha_eq(&ft) {
+                Ok(())
+            } else {
+                Err(format!("types differ on {ml}: W gave {wt}, FreezeML gave {ft}"))
+            }
+        }
+        (Err(_), Err(_)) => Ok(()),
+        (Ok((_, wt)), Err(e)) => Err(format!(
+            "W typed {ml} at {wt} but FreezeML rejected it: {e}"
+        )),
+        (Err(e), Ok(out)) => Err(format!(
+            "FreezeML typed {ml} at {} but W rejected it: {e}",
+            out.ty
+        )),
+    }
+}
+
+#[test]
+fn hand_corpus_agrees() {
+    let g = prelude();
+    for src in [
+        "fun x -> x",
+        "fun x y -> y",
+        "fun f x -> f (f x)",
+        "inc 1",
+        "let i = fun x -> x in i 1",
+        "let i = fun x -> x in (i 1, i true)",
+        "let k = fun x y -> x in k 1 true",
+        "single choose",
+        "let s = single in (s 1, s true)",
+        "fun x -> single x",
+        "choose id inc",
+        "let c = choose in c 1 2",
+        "fun x -> x x",              // ill-typed in both
+        "let i = id id in (i 1, i true)", // value restriction: both reject
+        "inc true",                  // ill-typed in both
+        "let d = fun f -> f (fun x -> x) in d",
+    ] {
+        let term = freezeml::core::parse_term(src).unwrap();
+        let ml = MlTerm::from_freezeml(&term).unwrap();
+        if let Err(e) = agree(&g, &ml) {
+            panic!("{src}: {e}");
+        }
+    }
+}
+
+#[test]
+fn random_terms_agree() {
+    let g = prelude();
+    let cfg = GenConfig {
+        max_depth: 5,
+        prelude: ["id", "inc", "plus", "single", "choose", "pair"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xF5EE3E);
+    let mut typed = 0usize;
+    for i in 0..2000 {
+        let ml = random_term(&mut rng, &cfg);
+        if let Err(e) = agree(&g, &ml) {
+            panic!("random term #{i}: {e}");
+        }
+        if w_infer(&g, &ml).is_ok() {
+            typed += 1;
+        }
+    }
+    assert!(typed > 200, "only {typed}/2000 random terms typed — generator too weak");
+}
+
+#[test]
+fn random_deep_terms_agree() {
+    let g = prelude();
+    let cfg = GenConfig {
+        max_depth: 9,
+        prelude: ["id", "single", "choose"].iter().map(|s| s.to_string()).collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for i in 0..300 {
+        let ml = random_term(&mut rng, &cfg);
+        if let Err(e) = agree(&g, &ml) {
+            panic!("random deep term #{i}: {e}");
+        }
+    }
+}
+
+#[test]
+fn let_chains_agree() {
+    // Deep chains recurse once per `let` node; run on a large stack like
+    // any self-respecting compiler test suite.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let g = prelude();
+            for n in [1, 5, 20, 60, 150] {
+                let ml = freezeml::miniml::generator::let_chain(n);
+                if let Err(e) = agree(&g, &ml) {
+                    panic!("let_chain({n}): {e}");
+                }
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn pair_chains_agree() {
+    let g = prelude();
+    for n in [1, 3, 6, 9] {
+        let ml = freezeml::miniml::generator::pair_chain(n);
+        if let Err(e) = agree(&g, &ml) {
+            panic!("pair_chain({n}): {e}");
+        }
+    }
+}

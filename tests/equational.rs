@@ -1,0 +1,131 @@
+//! §4.3 Equational reasoning: check the β- and η-laws by translating both
+//! sides to System F with `C⟦−⟧` and evaluating them.
+//!
+//! The paper's laws (for values `V`, guarded values `U`):
+//!
+//! ```text
+//! let x = V in N         ≃  N[$V/⌈x⌉, ($V)@/x]
+//! let (x : A) = V in N   ≃  N[$A V/⌈x⌉, ($A V)@/x]
+//! (λx.M) V               ≃  M[V/⌈x⌉ … ]      (after type erasure: β)
+//! let x = U in x         ≃  U
+//! λx. M x                ≃  M
+//! ```
+//!
+//! Observational equivalence is undecidable in general; we check it on
+//! *ground observations* — both sides must evaluate to the same
+//! first-order value. (DESIGN.md records this substitution.)
+
+use freezeml::core::{infer_term, parse_term, Options};
+use freezeml::corpus::figure2;
+use freezeml::systemf::{eval, prelude::runtime_env, Value};
+use freezeml::translate::elaborate;
+
+/// Evaluate a FreezeML source program through C⟦−⟧.
+fn run(src: &str) -> Value {
+    let env = figure2();
+    let term = parse_term(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    let out = infer_term(&env, &term, &Options::default())
+        .unwrap_or_else(|e| panic!("{src}: {e}"));
+    let elab = elaborate(&out);
+    eval(&runtime_env(), &elab.term).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+/// Both sides must produce the same ground value.
+fn equate(lhs: &str, rhs: &str) {
+    let l = run(lhs);
+    let r = run(rhs);
+    assert!(l.is_ground(), "{lhs} gave non-ground {l}");
+    assert_eq!(l, r, "{lhs} ≠ {rhs}");
+}
+
+#[test]
+fn beta_for_unannotated_let() {
+    // let x = V in N  ≃  N[$V/⌈x⌉, ($V)@/x]  with V = λy.y,
+    // N = (poly ⌈x⌉, x 3).
+    equate(
+        "let x = fun y -> y in (poly ~x, x 3)",
+        "(poly $(fun y -> y), $(fun y -> y)@ 3)",
+    );
+}
+
+#[test]
+fn beta_for_annotated_let() {
+    equate(
+        "let (x : forall a. a -> a) = fun y -> y in poly ~x",
+        "poly $(fun y -> y : forall a. a -> a)",
+    );
+}
+
+#[test]
+fn beta_for_lambda() {
+    // (λx.M) V ≃ M[V@/x] on ground observations.
+    equate("(fun x -> x 3) id", "id@ 3");
+    equate("(fun x -> inc x) 41", "inc 41");
+}
+
+#[test]
+fn beta_for_annotated_lambda() {
+    equate(
+        "(fun (x : forall a. a -> a) -> (x 1, poly ~x)) ~id",
+        "(id 1, poly ~id)",
+    );
+}
+
+#[test]
+fn eta_for_let_of_guarded_value() {
+    // let x = U in x ≃ U, observed at ground type.
+    equate("(let x = inc in x) 1", "inc 1");
+    equate("(let x = fun y -> y in x) 7", "(fun y -> y) 7");
+}
+
+#[test]
+fn eta_for_frozen_let() {
+    // let x = ⌈y⌉ in x ≃ y (the x occurrence re-instantiates).
+    equate("(let x = ~id in x) 9", "id 9");
+}
+
+#[test]
+fn eta_for_lambda() {
+    // λx. M x ≃ M.
+    equate("(fun x -> inc x) 5", "inc 5");
+    equate("poly $(fun x -> id x)", "poly ~id");
+}
+
+#[test]
+fn eta_for_annotated_lambda() {
+    // λ(x:A). M ⌈x⌉ ≃ M.
+    equate(
+        "(fun (x : forall a. a -> a) -> poly ~x) ~id",
+        "poly ~id",
+    );
+}
+
+#[test]
+fn generalisation_and_instantiation_compose() {
+    // ($V)@ behaves like V on ground observations.
+    equate("$(fun x -> x)@ 3", "(fun x -> x) 3");
+    // Instantiation after freezing is the identity on behaviour.
+    equate("~id@ 4", "id 4");
+}
+
+#[test]
+fn quantifier_reordering_laws() {
+    // §2 Ordered Quantifiers: f ⌈pair⌉, f $pair, f $pair' agree at Int.
+    // (pair' has the quantifiers flipped; re-generalisation restores
+    // canonical order.)
+    let env = figure2();
+    let mut with_f = env.clone();
+    with_f
+        .push_str("f", "(forall a b. a -> b -> a * b) -> Int")
+        .unwrap();
+    let opts = Options::default();
+    for src in ["f ~pair", "f $pair", "f $pair'"] {
+        let term = parse_term(src).unwrap();
+        let out = infer_term(&with_f, &term, &opts)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        assert_eq!(out.ty.canonicalize().to_string(), "Int", "{src}");
+    }
+    // Whereas f ⌈pair'⌉ is ill-typed (quantifier order matters).
+    let bad = parse_term("f ~pair'").unwrap();
+    assert!(infer_term(&with_f, &bad, &opts).is_err());
+}

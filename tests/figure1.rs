@@ -1,0 +1,149 @@
+//! Integration test: the headline reproduction of the paper's Figure 1.
+//!
+//! Every one of the 49 example rows must produce exactly the type the
+//! paper reports (up to α-equivalence and canonical naming of free
+//! variables), or fail to typecheck exactly when the paper marks ✕.
+
+use freezeml::core::{infer_program, Options};
+use freezeml::corpus::{run_all, runner, Expected, EXAMPLES};
+
+#[test]
+fn every_figure1_row_reproduces() {
+    let results = run_all();
+    assert_eq!(results.len(), 49);
+    let failures: Vec<String> = results
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| format!("{}: expected {:?}, got {}", r.id, r.expected, r.inferred_display()))
+        .collect();
+    assert!(failures.is_empty(), "mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn variant_pairs_differ_as_the_paper_shows() {
+    // For every (base, •-variant) pair with different reported types, our
+    // checker must also distinguish them.
+    let pairs = [
+        ("A1", "A1•"),
+        ("A2", "A2•"),
+        ("A4", "A4•"),
+        ("A6", "A6•"),
+        ("C4", "C4•"),
+        ("F8", "F8•"),
+    ];
+    for (plain, dotted) in pairs {
+        let a = runner::run_example(freezeml::corpus::figure1::by_id(plain).unwrap());
+        let b = runner::run_example(freezeml::corpus::figure1::by_id(dotted).unwrap());
+        let (Ok(ta), Ok(tb)) = (&a.inferred, &b.inferred) else {
+            panic!("{plain}/{dotted} should both typecheck");
+        };
+        assert!(
+            !ta.alpha_eq(tb),
+            "{plain} and {dotted} should have different types, both gave {ta}"
+        );
+    }
+}
+
+#[test]
+fn starred_examples_fail_without_their_operators() {
+    // ⋆ means the freeze/gen/inst operators are mandatory: stripping them
+    // must break the example.
+    let env = freezeml::corpus::figure2();
+    let opts = Options::default();
+    let stripped = [
+        ("A10⋆", "poly id"),
+        ("A11⋆", "poly (fun x -> x)"),
+        ("A12⋆", "id poly (fun x -> x)"),
+        ("C5⋆", "id :: ids"),
+        ("C6⋆", "(fun x -> x) :: ids"),
+        ("D1⋆", "app poly id"),
+        ("D2⋆", "revapp id poly"),
+        ("D3⋆", "runST argST"),
+        ("D4⋆", "app runST argST"),
+        ("D5⋆", "revapp argST runST"),
+        ("F5⋆", "auto id"),
+        ("F7⋆", "head ids 3"),
+    ];
+    for (id, src) in stripped {
+        assert!(
+            infer_program(&env, src, &opts).is_err(),
+            "{id}: stripped form `{src}` should be ill-typed"
+        );
+    }
+}
+
+#[test]
+fn a9_and_c8_starred_examples_need_the_freeze() {
+    let opts = Options::default();
+    for (id, src, extra) in [
+        ("A9⋆", "f (choose id) ids", ("f", "forall a. (a -> a) -> List a -> a")),
+        ("C8⋆", "g (single id) ids", ("g", "forall a. List a -> List a -> a")),
+    ] {
+        let mut env = freezeml::corpus::figure2();
+        env.push_str(extra.0, extra.1).unwrap();
+        assert!(
+            infer_program(&env, src, &opts).is_err(),
+            "{id}: unfrozen form `{src}` should be ill-typed"
+        );
+    }
+}
+
+#[test]
+fn e2_needs_both_eta_expansion_and_regeneralisation() {
+    // E2⋆ k $(λx.(h x)@) l — dropping either the $ or the @ breaks it.
+    let mut env = freezeml::corpus::figure2();
+    env.push_str("k", "forall a. a -> List a -> a").unwrap();
+    env.push_str("h", "Int -> forall a. a -> a").unwrap();
+    env.push_str("l", "List (forall a. Int -> a -> a)").unwrap();
+    let opts = Options::default();
+    assert!(infer_program(&env, "k $(fun x -> (h x)@) l", &opts).is_ok());
+    assert!(infer_program(&env, "k (fun x -> (h x)@) l", &opts).is_err());
+    assert!(infer_program(&env, "k $(fun x -> h x) l", &opts).is_err());
+}
+
+#[test]
+fn examples_type_under_eliminator_strategy_too() {
+    // The eliminator strategy (§3.2) only fires on quantified types in
+    // application-head position, which no well-typed Figure 1 row has —
+    // so it is a conservative extension on the corpus: every well-typed
+    // example keeps its type.
+    let opts = Options::eliminator();
+    for e in EXAMPLES {
+        if e.expected == Expected::Ill || e.mode != freezeml::corpus::Mode::Standard {
+            continue;
+        }
+        let env = runner::env_for(e);
+        let got = infer_program(&env, e.src, &opts);
+        let Expected::Type(want) = e.expected else {
+            unreachable!()
+        };
+        let want = freezeml::core::parse_type(want).unwrap();
+        match got {
+            Ok(t) => assert!(
+                t.alpha_eq(&want),
+                "{}: eliminator strategy changed the type: {t} vs {want}",
+                e.id
+            ),
+            Err(err) => panic!("{}: eliminator strategy broke the example: {err}", e.id),
+        }
+    }
+}
+
+#[test]
+fn eliminator_strategy_types_bad5_and_f7_unannotated() {
+    // §3.2: eliminator instantiation types bad5 (`let f = λx.x in ⌈f⌉ 42`)
+    // — the frozen ⌈f⌉ : ∀a.a→a is implicitly instantiated in application
+    // position — and F7 without the explicit @.
+    let env = freezeml::corpus::figure2();
+    let opts = Options::eliminator();
+    assert_eq!(
+        infer_program(&env, "(head ids) 3", &opts).unwrap().to_string(),
+        "Int"
+    );
+    assert_eq!(
+        infer_program(&env, "let f = fun x -> x in ~f 42", &opts)
+            .unwrap()
+            .to_string(),
+        "Int"
+    );
+}

@@ -1,0 +1,155 @@
+//! End-to-end pipeline robustness: random *FreezeML* terms (with freezing
+//! and generalisation, not just the ML fragment) are pushed through the
+//! whole stack —
+//!
+//! ```text
+//! infer  →  C⟦−⟧ elaborate  →  System F typecheck  →  (evaluate)
+//! ```
+//!
+//! For every well-typed sample the System F image must typecheck at the
+//! same type (Theorem 3 at scale), and ground-typed samples must evaluate
+//! without runtime errors (types are erased but sound).
+
+use freezeml::core::{infer_term, KindEnv, Options, Term, TypeEnv, Var};
+use freezeml::systemf::{eval, prelude::runtime_env, typecheck};
+use freezeml::translate::elaborate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn env() -> TypeEnv {
+    freezeml::corpus::figure2()
+}
+
+/// A generator of random FreezeML terms over the Figure 2 prelude,
+/// including frozen variables, `$`, and `@` — forms the ML generator
+/// cannot produce.
+fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> Term {
+    const PRELUDE: &[&str] = &[
+        "id", "inc", "choose", "single", "head", "ids", "poly", "auto", "pair", "nil",
+    ];
+    if depth == 0 {
+        return match rng.gen_range(0..4) {
+            0 if !scope.is_empty() => {
+                Term::Var(scope[rng.gen_range(0..scope.len())].clone())
+            }
+            1 => Term::frozen(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
+            2 => Term::int(rng.gen_range(0..10)),
+            _ => Term::var(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
+        };
+    }
+    match rng.gen_range(0..12) {
+        0..=2 => {
+            let f = random_freezeml(rng, depth - 1, scope);
+            let a = random_freezeml(rng, depth - 1, scope);
+            Term::app(f, a)
+        }
+        3 | 4 => {
+            let x = Var::named(format!("v{}", scope.len()));
+            scope.push(x.clone());
+            let body = random_freezeml(rng, depth - 1, scope);
+            scope.pop();
+            Term::lam(x, body)
+        }
+        5 | 6 => {
+            let x = Var::named(format!("v{}", scope.len()));
+            let rhs = random_freezeml(rng, depth - 1, scope);
+            scope.push(x.clone());
+            let body = random_freezeml(rng, depth - 1, scope);
+            scope.pop();
+            Term::let_(x, rhs, body)
+        }
+        7 => Term::gen(random_freezeml(rng, depth - 1, scope)),
+        8 => Term::inst(random_freezeml(rng, depth - 1, scope)),
+        9 => {
+            // A frozen let: let x = V in ⌈x⌉-style shapes.
+            let x = Var::named(format!("v{}", scope.len()));
+            let rhs = random_freezeml(rng, depth - 1, scope);
+            Term::let_(x.clone(), rhs, Term::FrozenVar(x))
+        }
+        _ => random_freezeml(rng, 0, scope),
+    }
+}
+
+#[test]
+fn random_decorated_terms_round_trip_through_system_f() {
+    let env = env();
+    let opts = Options::default();
+    let mut rng = StdRng::seed_from_u64(0xFEED5EED);
+    let mut typed = 0usize;
+    let mut evaluated = 0usize;
+    for i in 0..1500 {
+        let term = random_freezeml(&mut rng, 4, &mut Vec::new());
+        let Ok(out) = infer_term(&env, &term, &opts) else {
+            continue;
+        };
+        typed += 1;
+        let elab = elaborate(&out);
+        let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap_or_else(|e| {
+            panic!("sample #{i} `{term}`: C-image ill-typed: {e}\n  {}", elab.term)
+        });
+        assert!(
+            fty.alpha_eq(&elab.ty),
+            "sample #{i} `{term}`: type {} vs {}",
+            fty,
+            elab.ty
+        );
+        // Ground results must evaluate cleanly (type soundness after
+        // erasure). Function-typed results evaluate to closures; skip.
+        if elab.ty.ftv().is_empty() && elab.ty.is_monotype() {
+            let v = eval(&runtime_env(), &elab.term).unwrap_or_else(|e| {
+                panic!("sample #{i} `{term}`: evaluation failed: {e}")
+            });
+            let _ = v;
+            evaluated += 1;
+        }
+    }
+    assert!(typed > 150, "only {typed}/1500 random terms typed");
+    assert!(evaluated > 20, "only {evaluated} samples were ground");
+}
+
+#[test]
+fn random_terms_never_panic_inference() {
+    // Inference is total: it returns Ok or Err, never panics, on arbitrary
+    // well-scoped input — including deeper terms.
+    let env = env();
+    let opts = Options::default();
+    let mut rng = StdRng::seed_from_u64(0xABCDEF);
+    for _ in 0..300 {
+        let term = random_freezeml(&mut rng, 6, &mut Vec::new());
+        let _ = infer_term(&env, &term, &opts);
+    }
+}
+
+#[test]
+fn pure_and_eliminator_modes_never_panic_either() {
+    let env = env();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for opts in [Options::pure_freezeml(), Options::eliminator()] {
+        for _ in 0..300 {
+            let term = random_freezeml(&mut rng, 5, &mut Vec::new());
+            let _ = infer_term(&env, &term, &opts);
+        }
+    }
+}
+
+#[test]
+fn eliminator_mode_images_still_translate() {
+    // The ImplicitInst nodes of the eliminator strategy elaborate to type
+    // applications; the images must still typecheck.
+    let env = env();
+    let opts = Options::eliminator();
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    let mut checked = 0usize;
+    for _ in 0..800 {
+        let term = random_freezeml(&mut rng, 4, &mut Vec::new());
+        let Ok(out) = infer_term(&env, &term, &opts) else {
+            continue;
+        };
+        let elab = elaborate(&out);
+        let fty = typecheck(&KindEnv::new(), &env, &elab.term)
+            .unwrap_or_else(|e| panic!("`{term}`: {e}\n  {}", elab.term));
+        assert!(fty.alpha_eq(&elab.ty), "`{term}`");
+        checked += 1;
+    }
+    assert!(checked > 100, "only {checked} samples typed");
+}

@@ -1,0 +1,99 @@
+//! Integration test: Table 1 (Appendix A) — FreezeML's position in the
+//! system comparison, with its row computed by the real checker.
+
+use freezeml::corpus::table1::{
+    base_ids, freezeml_failure_sets, freezeml_handles, freezeml_row, full_table, ml_row, Budget,
+};
+
+#[test]
+fn freezeml_fails_4_2_2() {
+    assert_eq!(freezeml_row().failures, [4, 2, 2]);
+}
+
+#[test]
+fn failure_sets_are_the_papers() {
+    let [nothing, binders, terms] = freezeml_failure_sets();
+    assert_eq!(nothing, ["A8", "B1", "B2", "E1"]);
+    assert_eq!(binders, ["A8", "E1"]);
+    assert_eq!(terms, ["A8", "E1"]);
+}
+
+#[test]
+fn full_table_matches_paper_counts() {
+    let table = full_table();
+    let get = |name: &str| {
+        table
+            .iter()
+            .find(|r| r.system == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .failures
+    };
+    assert_eq!(get("MLF"), [2, 1, 1]);
+    assert_eq!(get("HML"), [3, 2, 2]);
+    assert_eq!(get("FreezeML"), [4, 2, 2]);
+    assert_eq!(get("FPH"), [6, 4, 4]);
+    assert_eq!(get("GI"), [8, 6, 2]);
+    assert_eq!(get("HMF"), [11, 6, 6]);
+}
+
+#[test]
+fn computed_rows_are_labelled() {
+    let computed: Vec<&str> = full_table()
+        .iter()
+        .filter(|r| r.computed)
+        .map(|r| r.system)
+        .collect();
+    assert_eq!(
+        computed,
+        ["FreezeML", "HMF (ours, approx)", "ML (Algorithm W)"]
+    );
+}
+
+#[test]
+fn hmf_approx_sits_between_freezeml_and_ml() {
+    use freezeml::corpus::table1::hmf_approx_row;
+    let fz = freezeml_row().failures;
+    let hmf = hmf_approx_row().failures;
+    let ml = ml_row().failures;
+    for i in 0..3 {
+        assert!(fz[i] < hmf[i], "budget {i}: FreezeML {} vs HMF {}", fz[i], hmf[i]);
+        assert!(hmf[i] < ml[i], "budget {i}: HMF {} vs ML {}", hmf[i], ml[i]);
+    }
+}
+
+#[test]
+fn hmf_approx_differs_from_real_hmf_only_plausibly() {
+    use freezeml::corpus::table1::hmf_failure_sets;
+    let [nothing, _, _] = hmf_failure_sets();
+    // The order-sensitivity failures the n-ary rule would recover:
+    assert!(nothing.contains(&"D2"));
+    assert!(nothing.contains(&"D5"));
+    // The heuristics' headline successes hold:
+    for ok in ["A10", "A11", "A12", "D1", "D3", "D4", "C3", "C10"] {
+        assert!(!nothing.contains(&ok), "{ok} should be handled");
+    }
+}
+
+#[test]
+fn budgets_are_monotone() {
+    // More annotations can only help.
+    for base in base_ids() {
+        let n = freezeml_handles(base, Budget::Nothing);
+        let b = freezeml_handles(base, Budget::Binders);
+        let t = freezeml_handles(base, Budget::Terms);
+        assert!(!n || b, "{base}: handled at Nothing but not Binders");
+        assert!(!b || t, "{base}: handled at Binders but not Terms");
+    }
+}
+
+#[test]
+fn ml_handles_strictly_fewer_than_freezeml() {
+    // FreezeML is a conservative *extension*: everything ML handles,
+    // FreezeML handles — and FreezeML handles strictly more.
+    let ml = ml_row().failures[0];
+    let fz = freezeml_row().failures[0];
+    assert!(
+        fz < ml,
+        "FreezeML ({fz} failures) should beat plain ML ({ml} failures)"
+    );
+}

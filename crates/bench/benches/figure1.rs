@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_sections(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1/section");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for section in ['A', 'B', 'C', 'D', 'E', 'F'] {
         let examples: Vec<_> = figure1::section(section).collect();
         group.bench_with_input(
@@ -31,7 +33,9 @@ fn bench_sections(c: &mut Criterion) {
 
 fn bench_whole_corpus(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     group.bench_function("full-table-regeneration", |b| {
         b.iter(|| {
             let results = freezeml_corpus::run_all();

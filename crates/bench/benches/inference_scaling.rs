@@ -18,7 +18,9 @@ use std::time::Duration;
 fn bench_app_chains(c: &mut Criterion) {
     let env = prelude();
     let mut group = c.benchmark_group("infer/app-chain");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for n in [8usize, 32, 128] {
         let term = app_chain(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -31,7 +33,9 @@ fn bench_app_chains(c: &mut Criterion) {
 fn bench_let_chains_w_vs_freezeml(c: &mut Criterion) {
     let env = prelude();
     let mut group = c.benchmark_group("infer/let-chain");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for n in [4usize, 16, 64] {
         let ml = let_chain(n);
         let fz = ml.to_freezeml();
@@ -52,7 +56,9 @@ fn bench_let_chains_w_vs_freezeml(c: &mut Criterion) {
 fn bench_pair_chain_exponential(c: &mut Criterion) {
     let env = prelude();
     let mut group = c.benchmark_group("infer/pair-chain-exponential");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for n in [4usize, 8, 12] {
         let ml = pair_chain(n);
         let fz = ml.to_freezeml();
@@ -73,7 +79,9 @@ fn bench_pair_chain_exponential(c: &mut Criterion) {
 fn bench_freeze_chains(c: &mut Criterion) {
     let env = prelude();
     let mut group = c.benchmark_group("infer/freeze-let-chain");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for n in [4usize, 16, 64] {
         let term = freeze_let_chain(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -96,7 +104,9 @@ fn bench_random_corpus(c: &mut Criterion) {
         }
     }
     let mut group = c.benchmark_group("infer/random-ml-batch");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("algorithm-w", |b| {
         b.iter(|| {
             for t in &batch {

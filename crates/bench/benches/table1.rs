@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("freezeml-row", |b| {
         b.iter(|| {
             let row = freezeml_row();

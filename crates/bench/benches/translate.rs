@@ -29,7 +29,9 @@ fn bench_c_translation(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("translate");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     group.bench_function("c-translation-corpus", |b| {
         b.iter(|| {
             for (_, out) in &derivations {
@@ -51,7 +53,9 @@ fn bench_c_translation(c: &mut Criterion) {
 fn bench_round_trip(c: &mut Criterion) {
     let examples = well_typed_examples();
     let mut group = c.benchmark_group("translate");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("full-round-trip-corpus", |b| {
         b.iter(|| {
             for e in &examples {
@@ -60,9 +64,7 @@ fn bench_round_trip(c: &mut Criterion) {
                 let out = infer_term(&env, &term, &Options::default()).unwrap();
                 let elab = elaborate(&out);
                 let back = f_to_freeze(&KindEnv::new(), &env, &elab.term).unwrap();
-                std::hint::black_box(
-                    infer_term(&env, &back, &Options::default()).unwrap(),
-                );
+                std::hint::black_box(infer_term(&env, &back, &Options::default()).unwrap());
             }
         });
     });
@@ -84,7 +86,9 @@ fn bench_evaluation(c: &mut Criterion) {
         .collect();
     let renv = runtime_env();
     let mut group = c.benchmark_group("translate");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     group.bench_function("evaluate-translated-images", |b| {
         b.iter(|| {
             for f in &images {
@@ -95,5 +99,10 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_c_translation, bench_round_trip, bench_evaluation);
+criterion_group!(
+    benches,
+    bench_c_translation,
+    bench_round_trip,
+    bench_evaluation
+);
 criterion_main!(benches);

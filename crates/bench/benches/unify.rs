@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("unify/deep-arrow");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for depth in [8usize, 32, 128, 512] {
         let l = deep_arrow(depth);
         let r = deep_arrow(depth);
@@ -26,7 +28,9 @@ fn bench_depth(c: &mut Criterion) {
 
 fn bench_solving_variables(c: &mut Criterion) {
     let mut group = c.benchmark_group("unify/solve-chain");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     // a₁ → a₂ → … → Int against the same shape shifted by one: solves a
     // chain of n variables one at a time, composing substitutions.
     for n in [4usize, 16, 64] {
@@ -51,7 +55,9 @@ fn bench_solving_variables(c: &mut Criterion) {
 
 fn bench_quantifiers(c: &mut Criterion) {
     let mut group = c.benchmark_group("unify/quantified");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     // ∀a₁…aₙ.… ≟ ∀b₁…bₙ.… — n skolemisations plus n rigid-variable checks.
     for n in [2usize, 8, 32] {
         let l = quantified(n);
@@ -67,7 +73,9 @@ fn bench_quantifiers(c: &mut Criterion) {
 
 fn bench_demotion(c: &mut Criterion) {
     let mut group = c.benchmark_group("unify/demotion");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     // A •-variable against a type containing n ⋆-variables: the demote
     // path must rewrite the whole refined environment.
     for n in [4usize, 16, 64] {
@@ -90,7 +98,9 @@ fn bench_demotion(c: &mut Criterion) {
 
 fn bench_deep_list_mismatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("unify/failure-detection");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     // Failure at the bottom of a deep type: cost of walking before failing.
     for depth in [16usize, 128] {
         let l = deep_list(depth);

@@ -54,9 +54,10 @@ pub fn quantified(n: usize) -> Type {
     let vars: Vec<freezeml_core::TyVar> = (0..n)
         .map(|i| freezeml_core::TyVar::named(format!("q{i}")))
         .collect();
-    let body = vars.iter().rev().fold(Type::int(), |acc, v| {
-        Type::arrow(Type::Var(v.clone()), acc)
-    });
+    let body = vars
+        .iter()
+        .rev()
+        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
     Type::foralls(vars, body)
 }
 

@@ -1,0 +1,131 @@
+//! Regenerate the `.fml` golden corpus under `tests/conformance/` from the
+//! Figure 1 data in `freezeml_corpus`.
+//!
+//! ```text
+//! cargo run -p freezeml_conformance --example gen_corpus
+//! ```
+//!
+//! The `expect:` lines are the *paper's* reported types (Figure 1), not
+//! checker output — the golden files encode the paper as ground truth and
+//! the suite checks the implementation against them; this generator never
+//! lets checker output overwrite them. `expect-error:` lines for the ✕
+//! rows are taken from the current checker's message (the paper only
+//! records that the row fails), and the generator refuses to produce a
+//! corpus if the checker *accepts* a ✕ row. `differs-from:` obligations
+//! are added for every `•`-variant whose base row is also well typed. The
+//! derived `differential.fml` is regenerated wholesale.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use freezeml_conformance::differential;
+use freezeml_conformance::format::{parse_str, Case, Expectation, Mode};
+use freezeml_conformance::runner::{infer_case, Actual};
+use freezeml_corpus::{Example, Expected, EXAMPLES};
+
+fn section_blurb(section: char) -> &'static str {
+    match section {
+        'A' => "polymorphic instantiation",
+        'B' => "inference with polymorphic arguments",
+        'C' => "functions on polymorphic lists",
+        'D' => "application functions",
+        'E' => "η-expansion",
+        'F' => "FreezeML programs",
+        _ => unreachable!("Figure 1 has sections A-F"),
+    }
+}
+
+/// The `•`-variant distinctness partner: the base row, when it is itself
+/// well typed (E3's base is ✕, so E3• has no partner).
+fn differs_from(example: &Example) -> Option<&'static str> {
+    if !example.id.ends_with('•') {
+        return None;
+    }
+    EXAMPLES
+        .iter()
+        .find(|e| e.id == example.base && matches!(e.expected, Expected::Type(_)))
+        .map(|e| e.id)
+}
+
+/// The checker's error message for a ✕ row (never used for well-typed
+/// rows, whose golden types come from the paper).
+fn checker_error(e: &Example) -> String {
+    let case = Case {
+        name: e.id.to_owned(),
+        header_line: 0,
+        program: e.src.to_owned(),
+        program_line: 0,
+        mode: match e.mode {
+            freezeml_corpus::Mode::Pure => Mode::Pure,
+            freezeml_corpus::Mode::Standard => Mode::Standard,
+        },
+        env: e
+            .extra_env
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.to_string()))
+            .collect(),
+        expectation: Expectation::Unblessed,
+        expectation_line: None,
+        differs_from: None,
+    };
+    match infer_case(&case) {
+        Actual::Error(msg) => msg,
+        other => panic!(
+            "{}: the paper marks this row ✕ but the checker produced {}",
+            e.id,
+            other.display()
+        ),
+    }
+}
+
+fn render_section(section: char) -> String {
+    let mut s = format!(
+        "# Figure 1, section {section}: {blurb}.\n\
+         # Golden conformance cases — see README.md for the format and\n\
+         # UPDATE_EXPECT=1 for the bless workflow. `expect:` types are the\n\
+         # paper's reported types, up to α-equivalence.\n",
+        blurb = section_blurb(section),
+    );
+    for e in EXAMPLES.iter().filter(|e| e.section == section) {
+        let _ = write!(s, "\n## case {}\nprogram: {}\n", e.id, e.src);
+        if e.mode == freezeml_corpus::Mode::Pure {
+            s.push_str("mode: pure\n");
+        }
+        for (name, ty) in e.extra_env {
+            let _ = writeln!(s, "env: {name} : {ty}");
+        }
+        match e.expected {
+            Expected::Type(ty) => {
+                let _ = writeln!(s, "expect: {ty}");
+            }
+            Expected::Ill => {
+                let _ = writeln!(s, "expect-error: {}", checker_error(e));
+            }
+        }
+        if let Some(base_id) = differs_from(e) {
+            let _ = writeln!(s, "differs-from: {base_id}");
+        }
+    }
+    s
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/conformance");
+    std::fs::create_dir_all(&dir).expect("create tests/conformance");
+
+    for section in ['A', 'B', 'C', 'D', 'E', 'F'] {
+        let text = render_section(section);
+        let name = format!("section_{}.fml", section.to_ascii_lowercase());
+        let parsed = parse_str(dir.join(&name), &text).expect("generated file parses");
+        std::fs::write(dir.join(&name), &text).expect("write section file");
+        println!("wrote {name} ({} cases)", parsed.cases.len());
+    }
+
+    let diff_path = dir.join("differential.fml");
+    std::fs::write(
+        &diff_path,
+        differential::render(&differential::computed_rows()),
+    )
+    .expect("write differential.fml");
+    println!("wrote differential.fml (32 rows)");
+}

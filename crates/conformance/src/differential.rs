@@ -1,0 +1,326 @@
+//! Differential conformance: run the shared corpus subset through the
+//! FreezeML, HMF-style, and plain-ML checkers and pin the per-example
+//! agreement/disagreement pattern (the qualitative content of the paper's
+//! Table 1) in a golden file.
+//!
+//! The golden file (`differential.fml`) lists, for each of the 32 base
+//! examples of Figure 1 sections A–E, whether each system handles it with
+//! no annotation budget:
+//!
+//! ```text
+//! ## case A8
+//! program: choose id auto'
+//! freezeml: fail
+//! hmf: fail
+//! ml: fail
+//! ```
+//!
+//! * `freezeml` — does any admissible Figure 1 variant typecheck
+//!   (`freezeml_corpus::table1::freezeml_handles`, budget `Nothing`)?
+//! * `hmf` — does the HMF-style approximation accept the plain form
+//!   (`hmf_handles`, budget `Nothing`)?
+//! * `ml` — is the plain form in the ML fragment and typed by Algorithm W?
+//!
+//! `UPDATE_EXPECT=1` regenerates the file wholesale (it is fully derived,
+//! so regeneration is canonical rather than line-patching).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::format::FormatError;
+use freezeml_corpus::table1::{base_ids, freezeml_handles, hmf_handles, Budget, PLAIN_FORMS};
+use freezeml_corpus::{figure2, EXAMPLES};
+use freezeml_miniml::{ml_accepts_src, MlOutcome};
+
+/// One base example's verdicts under the three systems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Base id (`A1` … `E3`).
+    pub base: String,
+    /// The plain (Serrano et al.) form of the example.
+    pub program: String,
+    /// FreezeML handles it (some variant, budget `Nothing`).
+    pub freezeml: bool,
+    /// The HMF-style approximation handles the plain form.
+    pub hmf: bool,
+    /// Plain ML (Algorithm W) handles the plain form.
+    pub ml: bool,
+}
+
+/// The plain form of a base example (panics on an unknown base — the base
+/// list and `PLAIN_FORMS` are both derived from Figure 1).
+fn plain_form(base: &str) -> &'static str {
+    PLAIN_FORMS
+        .iter()
+        .find(|(b, _)| *b == base)
+        .map(|(_, src)| *src)
+        .unwrap_or_else(|| panic!("no plain form for base {base}"))
+}
+
+/// The environment for a base: Figure 2 plus the example's `where` clauses.
+fn env_for_base(base: &str) -> freezeml_core::TypeEnv {
+    let mut env = figure2();
+    if let Some(e) = EXAMPLES.iter().find(|e| e.base == base) {
+        for (name, ty) in e.extra_env {
+            env.push_str(name, ty).expect("extra signature parses");
+        }
+    }
+    env
+}
+
+/// Compute one row with the real checkers.
+pub fn computed_row(base: &str) -> DiffRow {
+    let program = plain_form(base);
+    DiffRow {
+        base: base.to_owned(),
+        program: program.to_owned(),
+        freezeml: freezeml_handles(base, Budget::Nothing),
+        hmf: hmf_handles(base, Budget::Nothing),
+        ml: matches!(
+            ml_accepts_src(&env_for_base(base), program),
+            MlOutcome::Typed
+        ),
+    }
+}
+
+/// All 32 rows, in paper order.
+pub fn computed_rows() -> Vec<DiffRow> {
+    base_ids().into_iter().map(computed_row).collect()
+}
+
+/// Render rows in the golden-file syntax.
+pub fn render(rows: &[DiffRow]) -> String {
+    let mut s = String::from(
+        "#! differential\n\
+         # Differential conformance (derived — regenerate with UPDATE_EXPECT=1).\n\
+         # For each Figure 1 base example: does each checker handle it with no\n\
+         # annotation budget? See crates/conformance/src/differential.rs.\n",
+    );
+    for row in rows {
+        let ok = |b: bool| if b { "ok" } else { "fail" };
+        let _ = write!(
+            s,
+            "\n## case {}\nprogram: {}\nfreezeml: {}\nhmf: {}\nml: {}\n",
+            row.base,
+            row.program,
+            ok(row.freezeml),
+            ok(row.hmf),
+            ok(row.ml)
+        );
+    }
+    s
+}
+
+/// Parse the golden-file syntax back into rows.
+pub fn parse(path: impl Into<PathBuf>, text: &str) -> Result<Vec<DiffRow>, FormatError> {
+    let path = path.into();
+    let err = |line: usize, message: String| FormatError {
+        path: path.clone(),
+        line,
+        message,
+    };
+    let mut rows: Vec<DiffRow> = Vec::new();
+    let mut current: Option<DiffRow> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.starts_with("#!") {
+            continue; // the file-kind marker `#! differential`
+        }
+        if line.trim().is_empty() || (line.starts_with('#') && !line.starts_with("##")) {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("## case ") {
+            if let Some(row) = current.take() {
+                rows.push(row);
+            }
+            current = Some(DiffRow {
+                base: name.trim().to_owned(),
+                program: String::new(),
+                freezeml: false,
+                hmf: false,
+                ml: false,
+            });
+            continue;
+        }
+        let Some(row) = current.as_mut() else {
+            return Err(err(lineno, format!("directive `{line}` before `## case`")));
+        };
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(err(
+                lineno,
+                format!("expected `key: value`, found `{line}`"),
+            ));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let flag = |v: &str| match v {
+            "ok" => Ok(true),
+            "fail" => Ok(false),
+            other => Err(format!("expected `ok` or `fail`, found `{other}`")),
+        };
+        match key {
+            "program" => row.program = value.to_owned(),
+            "freezeml" => row.freezeml = flag(value).map_err(|m| err(lineno, m))?,
+            "hmf" => row.hmf = flag(value).map_err(|m| err(lineno, m))?,
+            "ml" => row.ml = flag(value).map_err(|m| err(lineno, m))?,
+            other => return Err(err(lineno, format!("unknown directive `{other}:`"))),
+        }
+    }
+    if let Some(row) = current.take() {
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Compare the golden rows against freshly computed ones; returns a
+/// readable report of every disagreement (empty = pass).
+pub fn diff_against_golden(golden: &[DiffRow]) -> String {
+    let computed = computed_rows();
+    let mut report = String::new();
+    for want in &computed {
+        match golden.iter().find(|g| g.base == want.base) {
+            None => {
+                let _ = writeln!(report, "✗ {}: missing from the golden file", want.base);
+            }
+            Some(got) if got != want => {
+                let show = |r: &DiffRow| {
+                    format!(
+                        "freezeml={} hmf={} ml={} (program `{}`)",
+                        r.freezeml, r.hmf, r.ml, r.program
+                    )
+                };
+                let _ = writeln!(
+                    report,
+                    "✗ {}:\n  - golden   {}\n  + computed {}",
+                    want.base,
+                    show(got),
+                    show(want)
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for got in golden {
+        if !computed.iter().any(|w| w.base == got.base) {
+            let _ = writeln!(report, "✗ {}: not a Figure 1 base example", got.base);
+        }
+    }
+    report
+}
+
+/// The qualitative Table 1 pattern the paper reports, asserted over the
+/// computed rows. Returns a readable report of violations (empty = pass).
+pub fn table1_pattern_report(rows: &[DiffRow]) -> String {
+    let mut report = String::new();
+    let fails = |f: fn(&DiffRow) -> bool| -> Vec<&str> {
+        rows.iter()
+            .filter(|r| !f(r))
+            .map(|r| r.base.as_str())
+            .collect()
+    };
+    let fz = fails(|r| r.freezeml);
+    let hmf = fails(|r| r.hmf);
+    let ml = fails(|r| r.ml);
+
+    if fz != ["A8", "B1", "B2", "E1"] {
+        let _ = writeln!(
+            report,
+            "✗ FreezeML must fail exactly {{A8, B1, B2, E1}} at budget Nothing \
+             (paper §A), got {fz:?}"
+        );
+    }
+    if !(9..=15).contains(&hmf.len()) {
+        let _ = writeln!(
+            report,
+            "✗ the HMF approximation should fail ≈11 rows (paper Table 1), got {}: {hmf:?}",
+            hmf.len()
+        );
+    }
+    if !(fz.len() < hmf.len() && hmf.len() < ml.len()) {
+        let _ = writeln!(
+            report,
+            "✗ expected FreezeML ≪ HMF ≪ plain ML failure counts, got {} / {} / {}",
+            fz.len(),
+            hmf.len(),
+            ml.len()
+        );
+    }
+    // Every example FreezeML cannot handle defeats the heuristic systems
+    // too — explicit polymorphism never loses to guessing on this corpus.
+    for base in &fz {
+        if let Some(r) = rows.iter().find(|r| &r.base == base) {
+            if r.hmf || r.ml {
+                let _ = writeln!(
+                    report,
+                    "✗ {base}: FreezeML fails but a baseline succeeds — \
+                     disagreement pattern inverted"
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Check (or, under `UPDATE_EXPECT=1`, regenerate) the golden file.
+pub fn check_or_bless(path: &Path) -> Result<String, FormatError> {
+    if std::env::var("UPDATE_EXPECT").is_ok_and(|v| v == "1") {
+        std::fs::write(path, render(&computed_rows())).map_err(|e| FormatError {
+            path: path.to_owned(),
+            line: 0,
+            message: format!("cannot write blessed file: {e}"),
+        })?;
+        eprintln!("UPDATE_EXPECT: regenerated {}", path.display());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| FormatError {
+        path: path.to_owned(),
+        line: 0,
+        message: format!("cannot read (create it with UPDATE_EXPECT=1): {e}"),
+    })?;
+    let golden = parse(path, &text)?;
+    let mut report = diff_against_golden(&golden);
+    report.push_str(&table1_pattern_report(&computed_rows()));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_rows_cover_all_32_bases() {
+        let rows = computed_rows();
+        assert_eq!(rows.len(), 32);
+        assert_eq!(rows.first().map(|r| r.base.as_str()), Some("A1"));
+        assert_eq!(rows.last().map(|r| r.base.as_str()), Some("E3"));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let rows = computed_rows();
+        let parsed = parse("differential.fml", &render(&rows)).unwrap();
+        assert_eq!(rows, parsed);
+    }
+
+    #[test]
+    fn freshly_computed_rows_agree_with_themselves() {
+        let report = diff_against_golden(&computed_rows());
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn tampering_is_reported_readably() {
+        let mut golden = computed_rows();
+        golden[0].freezeml = !golden[0].freezeml;
+        golden.remove(5);
+        let report = diff_against_golden(&golden);
+        assert!(report.contains("✗ A1:"), "{report}");
+        assert!(report.contains("- golden"), "{report}");
+        assert!(report.contains("missing from the golden file"), "{report}");
+    }
+
+    #[test]
+    fn the_table1_pattern_holds() {
+        let report = table1_pattern_report(&computed_rows());
+        assert!(report.is_empty(), "{report}");
+    }
+}

@@ -1,0 +1,371 @@
+//! The `.fml` golden-test file format.
+//!
+//! A `.fml` file is a line-oriented list of conformance cases, modelled on
+//! the data-driven expect tests the Links implementation uses for this
+//! corpus (paper §6). Example:
+//!
+//! ```text
+//! # Anything after a single `#` at column zero is a comment.
+//!
+//! ## case A2•
+//! program: choose ~id
+//! expect: (forall a. a -> a) -> forall a. a -> a
+//! differs-from: A2
+//!
+//! ## case A8
+//! program: choose id auto'
+//! expect-error: cannot unify
+//! ```
+//!
+//! Directives (each `key: value` on its own line, after a `## case NAME`
+//! header):
+//!
+//! | directive | meaning |
+//! |-----------|---------|
+//! | `program:` | the FreezeML source to infer (required) |
+//! | `mode:` | `standard` (default) or `pure` (no value restriction) |
+//! | `env:` | `name : type` — extra binding beyond the Figure 2 prelude (repeatable) |
+//! | `expect:` | the principal type, up to α-equivalence |
+//! | `expect-error:` | inference must fail, and the error must contain this substring |
+//! | `differs-from:` | this case and the named one must infer *different* types (freeze/thaw pairs) |
+//!
+//! A case with neither `expect:` nor `expect-error:` is *unblessed*: it
+//! always fails with a diff showing the actual outcome, and
+//! `UPDATE_EXPECT=1` fills the expectation in (see [`crate::runner`]).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Checker configuration for a case (mirrors `freezeml_corpus::Mode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Value restriction on (the paper's formal system).
+    Standard,
+    /// "Pure" FreezeML: no value restriction (the paper's † examples).
+    Pure,
+}
+
+/// What a case expects from the checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Well typed at this type (α-equivalence).
+    Type(String),
+    /// Ill typed, with an error whose rendering contains this substring.
+    ErrorContains(String),
+    /// Not yet blessed: always fails, showing the actual outcome.
+    Unblessed,
+}
+
+/// One parsed conformance case.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Case name (`A2•`, `F10†`, …) — unique within a suite.
+    pub name: String,
+    /// 1-based line of the `## case` header in its file.
+    pub header_line: usize,
+    /// Source program in the surface syntax.
+    pub program: String,
+    /// 1-based line of the `program:` directive.
+    pub program_line: usize,
+    /// Checker configuration.
+    pub mode: Mode,
+    /// Extra `name : type` bindings layered over the Figure 2 prelude.
+    pub env: Vec<(String, String)>,
+    /// The golden expectation.
+    pub expectation: Expectation,
+    /// 1-based line of the `expect:`/`expect-error:` directive, if any
+    /// (bless mode rewrites this line in place).
+    pub expectation_line: Option<usize>,
+    /// Name of a case this one's inferred type must differ from.
+    pub differs_from: Option<String>,
+}
+
+/// A parsed `.fml` file, retaining the raw lines so bless mode can rewrite
+/// expectations in place without disturbing comments or layout.
+#[derive(Clone, Debug)]
+pub struct CaseFile {
+    /// Where the file lives (as given to [`parse_file`]).
+    pub path: PathBuf,
+    /// The cases, in file order.
+    pub cases: Vec<Case>,
+    /// The file's lines, verbatim.
+    pub lines: Vec<String>,
+}
+
+/// A parse failure, pinned to a file location.
+#[derive(Clone, Debug)]
+pub struct FormatError {
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.path.display(), self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Parse `.fml` source text. `path` is used only for error messages and
+/// [`CaseFile::path`].
+pub fn parse_str(path: impl Into<PathBuf>, text: &str) -> Result<CaseFile, FormatError> {
+    let path = path.into();
+    let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let err = |line: usize, message: String| FormatError {
+        path: path.clone(),
+        line,
+        message,
+    };
+
+    let mut cases: Vec<Case> = Vec::new();
+    let mut current: Option<Case> = None;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("## case ") {
+            if let Some(case) = current.take() {
+                finish_case(&path, case, &mut cases)?;
+            }
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "`## case` needs a name".into()));
+            }
+            current = Some(Case {
+                name: name.to_owned(),
+                header_line: lineno,
+                program: String::new(),
+                program_line: 0,
+                mode: Mode::Standard,
+                env: Vec::new(),
+                expectation: Expectation::Unblessed,
+                expectation_line: None,
+                differs_from: None,
+            });
+            continue;
+        }
+        if line.starts_with("##") {
+            return Err(err(
+                lineno,
+                format!("unrecognised header `{line}` (expected `## case NAME`)"),
+            ));
+        }
+        if line.starts_with('#') {
+            continue; // comment
+        }
+        let Some(case) = current.as_mut() else {
+            return Err(err(
+                lineno,
+                format!("directive `{line}` before any `## case` header"),
+            ));
+        };
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(err(
+                lineno,
+                format!("expected `key: value`, found `{line}`"),
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "program" => {
+                if !case.program.is_empty() {
+                    return Err(err(
+                        lineno,
+                        format!("case {}: duplicate `program:`", case.name),
+                    ));
+                }
+                case.program = value.to_owned();
+                case.program_line = lineno;
+            }
+            "mode" => {
+                case.mode = match value {
+                    "standard" => Mode::Standard,
+                    "pure" => Mode::Pure,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown mode `{other}` (expected `standard` or `pure`)"),
+                        ))
+                    }
+                };
+            }
+            "env" => {
+                let Some((name, ty)) = value.split_once(':') else {
+                    return Err(err(
+                        lineno,
+                        format!("`env:` wants `name : type`, found `{value}`"),
+                    ));
+                };
+                case.env
+                    .push((name.trim().to_owned(), ty.trim().to_owned()));
+            }
+            "expect" => {
+                set_expectation(case, Expectation::Type(value.to_owned()), lineno)
+                    .map_err(|m| err(lineno, m))?;
+            }
+            "expect-error" => {
+                set_expectation(case, Expectation::ErrorContains(value.to_owned()), lineno)
+                    .map_err(|m| err(lineno, m))?;
+            }
+            "differs-from" => {
+                case.differs_from = Some(value.to_owned());
+            }
+            other => {
+                return Err(err(lineno, format!("unknown directive `{other}:`")));
+            }
+        }
+    }
+    if let Some(case) = current.take() {
+        finish_case(&path, case, &mut cases)?;
+    }
+
+    Ok(CaseFile { path, cases, lines })
+}
+
+/// Read and parse a `.fml` file from disk.
+pub fn parse_file(path: &Path) -> Result<CaseFile, FormatError> {
+    let text = std::fs::read_to_string(path).map_err(|e| FormatError {
+        path: path.to_owned(),
+        line: 0,
+        message: format!("cannot read: {e}"),
+    })?;
+    parse_str(path, &text)
+}
+
+fn set_expectation(case: &mut Case, exp: Expectation, lineno: usize) -> Result<(), String> {
+    if case.expectation != Expectation::Unblessed {
+        return Err(format!(
+            "case {}: more than one `expect:`/`expect-error:`",
+            case.name
+        ));
+    }
+    case.expectation = exp;
+    case.expectation_line = Some(lineno);
+    Ok(())
+}
+
+fn finish_case(path: &Path, case: Case, cases: &mut Vec<Case>) -> Result<(), FormatError> {
+    if case.program.is_empty() {
+        return Err(FormatError {
+            path: path.to_owned(),
+            line: case.header_line,
+            message: format!("case {} has no `program:`", case.name),
+        });
+    }
+    if cases.iter().any(|c| c.name == case.name) {
+        return Err(FormatError {
+            path: path.to_owned(),
+            line: case.header_line,
+            message: format!("duplicate case name {}", case.name),
+        });
+    }
+    cases.push(case);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_case() {
+        let file = parse_str(
+            "t.fml",
+            "# header comment\n\
+             ## case A9⋆\n\
+             env: f : forall a. (a -> a) -> List a -> a\n\
+             program: f (choose ~id) ids\n\
+             expect: forall a. a -> a\n",
+        )
+        .unwrap();
+        assert_eq!(file.cases.len(), 1);
+        let c = &file.cases[0];
+        assert_eq!(c.name, "A9⋆");
+        assert_eq!(c.mode, Mode::Standard);
+        assert_eq!(
+            c.env,
+            vec![(
+                "f".to_owned(),
+                "forall a. (a -> a) -> List a -> a".to_owned()
+            )]
+        );
+        assert_eq!(c.program, "f (choose ~id) ids");
+        assert_eq!(c.expectation, Expectation::Type("forall a. a -> a".into()));
+        assert_eq!(c.expectation_line, Some(5));
+    }
+
+    #[test]
+    fn program_annotations_keep_their_colons() {
+        let file = parse_str(
+            "t.fml",
+            "## case B1⋆\nprogram: fun (f : forall a. a -> a) -> (f 1, f true)\nexpect: X\n",
+        )
+        .unwrap();
+        assert_eq!(
+            file.cases[0].program,
+            "fun (f : forall a. a -> a) -> (f 1, f true)"
+        );
+    }
+
+    #[test]
+    fn pure_mode_and_error_expectations() {
+        let file = parse_str(
+            "t.fml",
+            "## case F10†\nmode: pure\nprogram: x\nexpect-error: unbound\n",
+        )
+        .unwrap();
+        assert_eq!(file.cases[0].mode, Mode::Pure);
+        assert_eq!(
+            file.cases[0].expectation,
+            Expectation::ErrorContains("unbound".into())
+        );
+    }
+
+    #[test]
+    fn missing_expectation_is_unblessed() {
+        let file = parse_str("t.fml", "## case new\nprogram: id\n").unwrap();
+        assert_eq!(file.cases[0].expectation, Expectation::Unblessed);
+        assert_eq!(file.cases[0].expectation_line, None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (src, needle) in [
+            ("program: id\n", "before any `## case`"),
+            ("## case a\nexpect: T\n", "no `program:`"),
+            (
+                "## case a\nprogram: x\n## case a\nprogram: y\n",
+                "duplicate case name",
+            ),
+            (
+                "## case a\nprogram: x\nfrobnicate: y\n",
+                "unknown directive",
+            ),
+            ("## case a\nprogram: x\nmode: strict\n", "unknown mode"),
+            (
+                "## case a\nprogram: x\nexpect: A\nexpect-error: B\n",
+                "more than one",
+            ),
+            ("## kase a\n", "unrecognised header"),
+        ] {
+            let e = parse_str("t.fml", src).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "`{src}` gave `{e}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn error_locations_are_one_based() {
+        let e = parse_str("t.fml", "# c\n\nbad line\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().starts_with("t.fml:3:"));
+    }
+}

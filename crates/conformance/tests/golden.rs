@@ -1,0 +1,129 @@
+//! The headline conformance suite: every `.fml` golden file under
+//! `tests/conformance/` (repository root) must pass against the real
+//! checker, cover all 49 Figure 1 rows, and agree with the baselines'
+//! differential golden.
+//!
+//! Bless intended changes with `UPDATE_EXPECT=1 cargo test -p
+//! freezeml_conformance`.
+
+use std::path::PathBuf;
+
+use freezeml_conformance::{differential, format, runner};
+use freezeml_corpus::EXAMPLES;
+
+fn conformance_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/conformance")
+}
+
+#[test]
+fn golden_corpus_passes() {
+    let suite = runner::check_or_bless(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        suite.all_pass(),
+        "conformance failures:\n{}",
+        suite.render_failures()
+    );
+    assert_eq!(
+        suite.failed(),
+        0,
+        "0 of {} checks may fail",
+        suite.outcomes.len()
+    );
+}
+
+#[test]
+fn covers_every_figure1_row() {
+    let suite = runner::run_dir(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    let names = suite.case_names();
+    assert_eq!(EXAMPLES.len(), 49, "Figure 1 has 49 rows");
+    let missing: Vec<&str> = EXAMPLES
+        .iter()
+        .map(|e| e.id)
+        .filter(|id| !names.contains(id))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "Figure 1 rows without a golden case: {missing:?}"
+    );
+}
+
+#[test]
+fn covers_the_freeze_thaw_variant_pairs() {
+    let suite = runner::run_dir(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    let obligations: Vec<&str> = suite
+        .outcomes
+        .iter()
+        .filter(|o| o.name.contains('≠'))
+        .map(|o| o.name.as_str())
+        .collect();
+    // Every well-typed (base, •-variant) pair of Figure 1 must carry a
+    // distinctness obligation: A1, A2, A4, A6, C4, F8.
+    for pair in [
+        "A1• ≠ A1",
+        "A2• ≠ A2",
+        "A4• ≠ A4",
+        "A6• ≠ A6",
+        "C4• ≠ C4",
+        "F8• ≠ F8",
+    ] {
+        assert!(
+            obligations.contains(&pair),
+            "missing freeze/thaw obligation {pair}; have {obligations:?}"
+        );
+    }
+}
+
+#[test]
+fn differential_golden_matches_and_shows_the_table1_pattern() {
+    let path = conformance_dir().join("differential.fml");
+    let report = differential::check_or_bless(&path).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.is_empty(), "differential failures:\n{report}");
+}
+
+/// The acceptance check for diff readability: edit a golden expectation
+/// in memory and confirm the runner rejects it with a diff naming the
+/// case, its location, and both sides.
+#[test]
+fn edited_expectation_fails_with_a_readable_diff() {
+    let path = conformance_dir().join("section_a.fml");
+    let text = std::fs::read_to_string(&path).expect("section_a.fml exists");
+    let sabotage = "expect: (forall a. a -> a) -> forall a. a -> a";
+    assert!(text.contains(sabotage), "A2•'s golden line moved?");
+    let edited = text.replace(sabotage, "expect: Int -> Bool");
+    let file = format::parse_str(&path, &edited).expect("edited file still parses");
+    let suite = runner::run_files(&[file]);
+    assert!(!suite.all_pass(), "sabotaged expectation must fail");
+    let report = suite.render_failures();
+    for needle in [
+        "✗ A2•",
+        "section_a.fml",
+        "program    choose ~id",
+        "- expected   Int -> Bool",
+        "+ actual     (forall a. a -> a) -> forall a. a -> a",
+        "UPDATE_EXPECT=1",
+    ] {
+        assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+    }
+}
+
+/// The generator example and the checked-in corpus must not drift: the
+/// checked-in files contain exactly the Figure 1 case set (names and
+/// per-section counts).
+#[test]
+fn sections_have_paper_counts() {
+    let files = runner::parse_dir(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    let count = |name: &str| {
+        files
+            .iter()
+            .find(|f| f.path.file_name().is_some_and(|n| n == name))
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .cases
+            .len()
+    };
+    assert_eq!(count("section_a.fml"), 16);
+    assert_eq!(count("section_b.fml"), 2);
+    assert_eq!(count("section_c.fml"), 11);
+    assert_eq!(count("section_d.fml"), 5);
+    assert_eq!(count("section_e.fml"), 4);
+    assert_eq!(count("section_f.fml"), 11);
+}

@@ -1,0 +1,76 @@
+//! Property: every Figure 1 example's *inferred* type survives a
+//! `pretty → parse → pretty` round trip unchanged — the printer and parser
+//! are mutually faithful on exactly the types the corpus produces.
+//!
+//! Checked two ways: exhaustively over all well-typed rows (the corpus is
+//! small enough), and as a sampled property over random rows so the
+//! statement also holds under the proptest harness conventions.
+
+use freezeml_core::parse_type;
+use freezeml_corpus::{runner, Expected, EXAMPLES};
+use proptest::prelude::*;
+
+/// The round trip itself; panics with context on any mismatch.
+fn check_roundtrip(idx: usize) {
+    let example = &EXAMPLES[idx];
+    let result = runner::run_example(example);
+    let Ok(ty) = &result.inferred else {
+        assert!(
+            matches!(example.expected, Expected::Ill),
+            "{}: unexpectedly ill-typed",
+            example.id
+        );
+        return;
+    };
+
+    // pretty → parse: the printed form must parse back to the same
+    // α-equivalence class…
+    let printed = ty.to_string();
+    let reparsed = parse_type(&printed).unwrap_or_else(|e| {
+        panic!(
+            "{}: printed type `{printed}` does not parse: {e}",
+            example.id
+        )
+    });
+    assert!(
+        ty.alpha_eq(&reparsed),
+        "{}: `{printed}` reparsed into a different type `{reparsed}`",
+        example.id
+    );
+
+    // …and printing the reparse must be *literally* identical (the printer
+    // is deterministic on a parse of its own output).
+    assert_eq!(
+        printed,
+        reparsed.to_string(),
+        "{}: second print differs",
+        example.id
+    );
+
+    // The canonicalized form round-trips the same way (it is what bless
+    // mode writes into golden files).
+    let canon = ty.canonicalize();
+    let canon_printed = canon.to_string();
+    let canon_reparsed = parse_type(&canon_printed)
+        .unwrap_or_else(|e| panic!("{}: `{canon_printed}` does not parse: {e}", example.id));
+    assert!(
+        canon.alpha_eq(&canon_reparsed),
+        "{}: canonical `{canon_printed}` drifted",
+        example.id
+    );
+}
+
+#[test]
+fn every_figure1_inferred_type_round_trips() {
+    for idx in 0..EXAMPLES.len() {
+        check_roundtrip(idx);
+    }
+}
+
+proptest! {
+    /// The same statement as a sampled property (random corpus rows).
+    #[test]
+    fn sampled_figure1_types_round_trip(idx in 0..EXAMPLES.len()) {
+        check_roundtrip(idx);
+    }
+}

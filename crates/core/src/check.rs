@@ -110,8 +110,7 @@ pub fn check_typing(
     crate::scope::well_scoped(delta, term, opts)?;
     let theta0 = RefinedEnv::new();
     crate::kinding::check_env(delta, &theta0, gamma)?;
-    let (theta, subst, inferred, _) = match crate::infer::infer(delta, &theta0, gamma, term, opts)
-    {
+    let (theta, subst, inferred, _) = match crate::infer::infer(delta, &theta0, gamma, term, opts) {
         Ok(r) => r,
         Err(_) => return Ok(false), // complete: no inference ⇒ no typing
     };
@@ -136,11 +135,7 @@ mod tests {
     fn holds(src: &str, ty: &str) -> bool {
         let term = parse_term(src).unwrap();
         let ty = parse_type(ty).unwrap();
-        let delta: KindEnv = ty
-            .ftv()
-            .into_iter()
-            .filter(|v| v.is_named())
-            .collect();
+        let delta: KindEnv = ty.ftv().into_iter().filter(|v| v.is_named()).collect();
         check_typing(&delta, &env(), &term, &ty, &Options::default()).unwrap()
     }
 

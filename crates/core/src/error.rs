@@ -122,10 +122,9 @@ impl fmt::Display for TypeError {
                 f,
                 "type variable `{var}` is already bound in an enclosing annotation"
             ),
-            TypeError::CannotTypeApply { ty } => write!(
-                f,
-                "cannot type-apply a term of non-quantified type `{ty}`"
-            ),
+            TypeError::CannotTypeApply { ty } => {
+                write!(f, "cannot type-apply a term of non-quantified type `{ty}`")
+            }
         }
     }
 }

@@ -500,7 +500,8 @@ mod tests {
         // F9: let f = revapp ⌈id⌉ in f poly — f's residual var is demoted
         // but still solvable with the *monotype* Int × Bool.
         let mut g = env();
-        g.push_str("revapp", "forall a b. a -> (a -> b) -> b").unwrap();
+        g.push_str("revapp", "forall a b. a -> (a -> b) -> b")
+            .unwrap();
         let r = infer_program(&g, "let f = revapp ~id in f poly", &Options::default());
         assert_eq!(r.unwrap().to_string(), "Int * Bool");
     }
@@ -512,11 +513,19 @@ mod tests {
         // with a polytype afterwards must fail:
         // let xs = single id in choose ids xs.
         let mut g = env();
-        let r = infer_program(&g, "let xs = single id in choose ids xs", &Options::default());
+        let r = infer_program(
+            &g,
+            "let xs = single id in choose ids xs",
+            &Options::default(),
+        );
         assert!(r.is_err(), "demoted var must not take a polytype: {r:?}");
         g.push_str("append", "forall a. List a -> List a -> List a")
             .unwrap();
-        let ok = infer_program(&g, "let xs = single id in append xs xs", &Options::default());
+        let ok = infer_program(
+            &g,
+            "let xs = single id in append xs xs",
+            &Options::default(),
+        );
         assert_eq!(ok.unwrap().to_string(), "List (a -> a)");
     }
 

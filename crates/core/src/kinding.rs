@@ -161,13 +161,14 @@ mod tests {
             kind_of(&d, &th, &Type::list(Type::var("a"))).unwrap(),
             Kind::Mono
         );
-        assert_eq!(kind_of(&d, &th, &Type::list(id.clone())).unwrap(), Kind::Poly);
+        assert_eq!(
+            kind_of(&d, &th, &Type::list(id.clone())).unwrap(),
+            Kind::Poly
+        );
         assert!(has_kind(&d, &th, &Type::list(id.clone()), Kind::Poly).is_ok());
         assert_eq!(
             has_kind(&d, &th, &Type::list(id.clone()), Kind::Mono),
-            Err(TypeError::PolyNotAllowed {
-                ty: Type::list(id)
-            })
+            Err(TypeError::PolyNotAllowed { ty: Type::list(id) })
         );
     }
 

@@ -240,9 +240,9 @@ impl Parser {
                 match s.as_str() {
                     "Int" => Ok(Type::int()),
                     "Bool" => Ok(Type::bool()),
-                    "List" | "ST" => {
-                        self.err(format!("type constructor `{s}` needs arguments (parenthesise)"))
-                    }
+                    "List" | "ST" => self.err(format!(
+                        "type constructor `{s}` needs arguments (parenthesise)"
+                    )),
                     _ if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
                         Ok(Type::Con(TyCon::other(&s, 0), vec![]))
                     }
@@ -292,10 +292,13 @@ impl Parser {
                 }
                 self.expect(TokenKind::Arrow)?;
                 let body = self.term()?;
-                Ok(params.into_iter().rev().fold(body, |acc, (x, ann)| match ann {
-                    None => Term::lam(x.as_str(), acc),
-                    Some(ty) => Term::lam_ann(x.as_str(), ty, acc),
-                }))
+                Ok(params
+                    .into_iter()
+                    .rev()
+                    .fold(body, |acc, (x, ann)| match ann {
+                        None => Term::lam(x.as_str(), acc),
+                        Some(ty) => Term::lam_ann(x.as_str(), ty, acc),
+                    }))
             }
             Some(TokenKind::Let) => {
                 self.pos += 1;
@@ -427,9 +430,9 @@ impl Parser {
                         self.expect(TokenKind::RParen)?;
                         Ok(Term::apps(Term::var("pair"), [t, u]))
                     }
-                    Some(TokenKind::Colon) => self.err(
-                        "type ascription `(M : A)` is only allowed directly under `$`",
-                    ),
+                    Some(TokenKind::Colon) => {
+                        self.err("type ascription `(M : A)` is only allowed directly under `$`")
+                    }
                     _ => self.err("expected `)`, `,` or end of parenthesised term"),
                 }
             }
@@ -497,9 +500,18 @@ mod tests {
     fn parses_figure2_types() {
         for (src, expect) in [
             ("forall a. List a -> a", "forall a. List a -> a"),
-            ("forall a b. (a -> b) -> List a -> List b", "forall a b. (a -> b) -> List a -> List b"),
-            ("(forall a. a -> a) -> Int * Bool", "(forall a. a -> a) -> Int * Bool"),
-            ("forall a. (forall s. ST s a) -> a", "forall a. (forall s. ST s a) -> a"),
+            (
+                "forall a b. (a -> b) -> List a -> List b",
+                "forall a b. (a -> b) -> List a -> List b",
+            ),
+            (
+                "(forall a. a -> a) -> Int * Bool",
+                "(forall a. a -> a) -> Int * Bool",
+            ),
+            (
+                "forall a. (forall s. ST s a) -> a",
+                "forall a. (forall s. ST s a) -> a",
+            ),
             ("forall b a. a -> b -> a * b", "forall b a. a -> b -> a * b"),
             ("List (forall a. a -> a)", "List (forall a. a -> a)"),
         ] {
@@ -513,10 +525,7 @@ mod tests {
         let t = parse_type("a -> b -> c").unwrap();
         assert_eq!(
             t,
-            Type::arrow(
-                Type::var("a"),
-                Type::arrow(Type::var("b"), Type::var("c"))
-            )
+            Type::arrow(Type::var("a"), Type::arrow(Type::var("b"), Type::var("c")))
         );
     }
 

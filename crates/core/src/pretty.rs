@@ -68,10 +68,7 @@ fn assign_names(
 fn var_name(a: &TyVar, names: &HashMap<TyVar, String>) -> String {
     match a.name() {
         Some(n) => n.to_string(),
-        None => names
-            .get(a)
-            .cloned()
-            .unwrap_or_else(|| a.to_string()),
+        None => names.get(a).cloned().unwrap_or_else(|| a.to_string()),
     }
 }
 
@@ -235,9 +232,15 @@ mod tests {
     #[test]
     fn simple_types() {
         assert_eq!(Type::int().to_string(), "Int");
-        assert_eq!(Type::arrow(Type::int(), Type::bool()).to_string(), "Int -> Bool");
+        assert_eq!(
+            Type::arrow(Type::int(), Type::bool()).to_string(),
+            "Int -> Bool"
+        );
         assert_eq!(Type::list(Type::int()).to_string(), "List Int");
-        assert_eq!(Type::prod(Type::int(), Type::bool()).to_string(), "Int * Bool");
+        assert_eq!(
+            Type::prod(Type::int(), Type::bool()).to_string(),
+            "Int * Bool"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl Subst {
 
     /// Is this (extensionally) the identity map?
     pub fn is_identity(&self) -> bool {
-        self.map.iter().all(|(a, t)| matches!(t, Type::Var(b) if b == a))
+        self.map
+            .iter()
+            .all(|(a, t)| matches!(t, Type::Var(b) if b == a))
     }
 
     /// The binding for `a`, if explicitly present.

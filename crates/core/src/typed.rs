@@ -211,9 +211,7 @@ impl TypedTerm {
     fn collect_bound(&self, out: &mut std::collections::HashSet<TyVar>) {
         match &self.node {
             TypedNode::Var { .. } | TypedNode::FrozenVar { .. } | TypedNode::Lit { .. } => {}
-            TypedNode::Lam { body, .. } | TypedNode::LamAnn { body, .. } => {
-                body.collect_bound(out)
-            }
+            TypedNode::Lam { body, .. } | TypedNode::LamAnn { body, .. } => body.collect_bound(out),
             TypedNode::App { func, arg } => {
                 func.collect_bound(out);
                 arg.collect_bound(out);
@@ -293,9 +291,7 @@ impl TypedTerm {
                 rhs.visit_types(f);
                 body.visit_types(f);
             }
-            TypedNode::LetAnn {
-                ann, rhs, body, ..
-            } => {
+            TypedNode::LetAnn { ann, rhs, body, .. } => {
                 f(ann);
                 rhs.visit_types(f);
                 body.visit_types(f);
@@ -310,9 +306,7 @@ impl TypedTerm {
             TypedNode::Var { name, .. } => Term::Var(name.clone()),
             TypedNode::FrozenVar { name } => Term::FrozenVar(name.clone()),
             TypedNode::Lit { lit } => Term::Lit(*lit),
-            TypedNode::Lam { param, body, .. } => {
-                Term::Lam(param.clone(), Box::new(body.erase()))
-            }
+            TypedNode::Lam { param, body, .. } => Term::Lam(param.clone(), Box::new(body.erase())),
             TypedNode::LamAnn { param, ann, body } => {
                 Term::LamAnn(param.clone(), ann.clone(), Box::new(body.erase()))
             }

@@ -166,9 +166,7 @@ impl Type {
                     x == y
                 }
                 (Type::Con(c, xs), Type::Con(d, ys)) => {
-                    c == d
-                        && xs.len() == ys.len()
-                        && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
+                    c == d && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
                 }
                 (Type::Forall(x, bx), Type::Forall(y, by)) => {
                     env.push((x.clone(), y.clone()));
@@ -410,12 +408,12 @@ mod tests {
     fn canonicalize_orders_by_first_appearance() {
         let f1 = TyVar::fresh();
         let f2 = TyVar::fresh();
-        let t = Type::arrow(Type::Var(f2.clone()), Type::arrow(Type::Var(f1), Type::Var(f2)));
-        let c = t.canonicalize();
-        let expect = Type::arrow(
-            Type::var("a"),
-            Type::arrow(Type::var("b"), Type::var("a")),
+        let t = Type::arrow(
+            Type::Var(f2.clone()),
+            Type::arrow(Type::Var(f1), Type::Var(f2)),
         );
+        let c = t.canonicalize();
+        let expect = Type::arrow(Type::var("a"), Type::arrow(Type::var("b"), Type::var("a")));
         assert_eq!(c, expect);
     }
 

@@ -101,11 +101,7 @@ fn bind(
 ) -> Result<(RefinedEnv, Subst), TypeError> {
     let k = theta.kind_of(x).expect("bind requires a flexible variable");
     let theta0 = theta.without(x);
-    let flex_fvs: Vec<TyVar> = t
-        .ftv()
-        .into_iter()
-        .filter(|v| !delta.contains(v))
-        .collect();
+    let flex_fvs: Vec<TyVar> = t.ftv().into_iter().filter(|v| !delta.contains(v)).collect();
     let theta1 = demote(k, &theta0, &flex_fvs);
     match kinding::kind_of(delta, &theta1, t) {
         Ok(kt) if kt.le(k) => Ok((theta1, Subst::singleton(x.clone(), t.clone()))),

@@ -25,7 +25,9 @@ fn env() -> TypeEnv {
 
 fn derivation(src: &str) -> TypedTerm {
     let term = parse_term(src).unwrap();
-    infer_term(&env(), &term, &Options::default()).unwrap().typed
+    infer_term(&env(), &term, &Options::default())
+        .unwrap()
+        .typed
 }
 
 #[test]
@@ -90,9 +92,7 @@ fn generalising_let_records_gen_vars() {
             assert_eq!(gen_vars.len(), 1);
             assert!(mono_vars.is_empty());
             assert_eq!(bound_ty.split_foralls().0.len(), 1);
-            assert!(bound_ty.alpha_eq(
-                &freezeml_core::parse_type("forall a. a -> a").unwrap()
-            ));
+            assert!(bound_ty.alpha_eq(&freezeml_core::parse_type("forall a. a -> a").unwrap()));
         }
         other => panic!("{other:?}"),
     }

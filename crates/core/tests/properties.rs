@@ -70,9 +70,8 @@ fn arb_flex_type() -> impl Strategy<Value = Type> {
 
 /// A substitution from the flexible pool to closed types.
 fn arb_ground_subst() -> impl Strategy<Value = Subst> {
-    proptest::collection::vec(arb_closed_type(), 4).prop_map(|tys| {
-        Subst::from_pairs(flex_pool().into_iter().zip(tys))
-    })
+    proptest::collection::vec(arb_closed_type(), 4)
+        .prop_map(|tys| Subst::from_pairs(flex_pool().into_iter().zip(tys)))
 }
 
 /// The flexible environment for the pool, all at kind ⋆.
@@ -357,9 +356,7 @@ fn contains_frozen(t: &Term) -> bool {
         Term::Var(_) | Term::Lit(_) => false,
         Term::Lam(_, b) | Term::LamAnn(_, _, b) => contains_frozen(b),
         Term::App(f, a) => contains_frozen(f) || contains_frozen(a),
-        Term::Let(_, r, b) | Term::LetAnn(_, _, r, b) => {
-            contains_frozen(r) || contains_frozen(b)
-        }
+        Term::Let(_, r, b) | Term::LetAnn(_, _, r, b) => contains_frozen(r) || contains_frozen(b),
         Term::TyApp(m, _) => contains_frozen(m),
     }
 }
@@ -373,7 +370,10 @@ fn contains_frozen(t: &Term) -> bool {
 fn pure_mode_is_observably_different() {
     let env = test_env();
     let term = Term::app(
-        Term::app(Term::gen(Term::app(Term::var("id"), Term::var("id"))), Term::var("choose")),
+        Term::app(
+            Term::gen(Term::app(Term::var("id"), Term::var("id"))),
+            Term::var("choose"),
+        ),
         Term::var("inc"),
     );
     assert!(infer_term(&env, &term, &Options::default()).is_ok());

@@ -1,9 +1,7 @@
 //! Edge-case tests for the surface syntax (lexer, parser, pretty-printer)
 //! and for shadowing/scoping behaviour of inference.
 
-use freezeml_core::{
-    infer_program, parse_term, parse_type, Options, Term, TypeEnv,
-};
+use freezeml_core::{infer_program, parse_term, parse_type, Options, Term, TypeEnv};
 
 fn env() -> TypeEnv {
     let mut g = TypeEnv::new();
@@ -159,9 +157,8 @@ fn printed_terms_reparse_to_equal_terms() {
         "~id@[Int] 3",
     ] {
         let t = parse_term(src).unwrap();
-        let back = parse_term(&t.to_string()).unwrap_or_else(|e| {
-            panic!("{src} printed as `{t}` which does not reparse: {e}")
-        });
+        let back = parse_term(&t.to_string())
+            .unwrap_or_else(|e| panic!("{src} printed as `{t}` which does not reparse: {e}"));
         assert_eq!(t, back, "{src}");
     }
 }
@@ -170,22 +167,13 @@ fn printed_terms_reparse_to_equal_terms() {
 
 #[test]
 fn term_variable_shadowing_in_lets() {
-    assert_eq!(
-        ty_of("let x = 1 in let x = true in x").unwrap(),
-        "Bool"
-    );
-    assert_eq!(
-        ty_of("let x = 1 in let x = inc x in x").unwrap(),
-        "Int"
-    );
+    assert_eq!(ty_of("let x = 1 in let x = true in x").unwrap(), "Bool");
+    assert_eq!(ty_of("let x = 1 in let x = inc x in x").unwrap(), "Int");
 }
 
 #[test]
 fn lambda_shadows_let() {
-    assert_eq!(
-        ty_of("let x = 1 in (fun x -> x) true").unwrap(),
-        "Bool"
-    );
+    assert_eq!(ty_of("let x = 1 in (fun x -> x) true").unwrap(), "Bool");
 }
 
 #[test]
@@ -247,12 +235,10 @@ fn canonicalize_survives_more_than_26_variables() {
 
 #[test]
 fn display_of_errors_uses_surface_syntax() {
-    let err = infer_program(
-        &env(),
-        "poly inc",
-        &Options::default(),
-    )
-    .unwrap_err();
+    let err = infer_program(&env(), "poly inc", &Options::default()).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("Int -> Int") || msg.contains("forall"), "{msg}");
+    assert!(
+        msg.contains("Int -> Int") || msg.contains("forall"),
+        "{msg}"
+    );
 }

@@ -52,11 +52,11 @@ fn respects_quantifier_order() {
 
 #[test]
 fn chains_left_to_right() {
-    assert_eq!(ty_of("~pair@[Int]@[Bool]").unwrap(), "Int -> Bool -> Int * Bool");
     assert_eq!(
-        ty_of("~pair@[Int]@[Bool] 1 false").unwrap(),
-        "Int * Bool"
+        ty_of("~pair@[Int]@[Bool]").unwrap(),
+        "Int -> Bool -> Int * Bool"
     );
+    assert_eq!(ty_of("~pair@[Int]@[Bool] 1 false").unwrap(), "Int * Bool");
 }
 
 #[test]
@@ -114,10 +114,7 @@ fn ty_app_is_not_a_value() {
     // let f = ~id@[Int] in ... does not generalise (nothing to generalise
     // here anyway, but the classification matters for the value
     // restriction).
-    assert_eq!(
-        ty_of("let f = ~id@[Int] in f 3").unwrap(),
-        "Int"
-    );
+    assert_eq!(ty_of("let f = ~id@[Int] in f 3").unwrap(), "Int");
 }
 
 #[test]

@@ -92,60 +92,492 @@ use Mode::{Pure, Standard};
 /// result, which is what the † (no value restriction) enables.
 pub const EXAMPLES: &[Example] = &[
     // ---------------------------------------- A: polymorphic instantiation
-    ex!("A1", 'A', "A1", "fun x y -> y", Type("a -> b -> b"), Standard, NO_EXTRA, false),
-    ex!("A1•", 'A', "A1", "$(fun x y -> y)", Type("forall a b. a -> b -> b"), Standard, NO_EXTRA, false),
-    ex!("A2", 'A', "A2", "choose id", Type("(a -> a) -> a -> a"), Standard, NO_EXTRA, false),
-    ex!("A2•", 'A', "A2", "choose ~id", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("A3", 'A', "A3", "choose [] ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("A4", 'A', "A4", "fun (x : forall a. a -> a) -> x x", Type("(forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, true),
-    ex!("A4•", 'A', "A4", "fun (x : forall a. a -> a) -> x ~x", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, true),
-    ex!("A5", 'A', "A5", "id auto", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("A6", 'A', "A6", "id auto'", Type("(forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, false),
-    ex!("A6•", 'A', "A6", "id ~auto'", Type("forall b. (forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, false),
-    ex!("A7", 'A', "A7", "choose id auto", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("A8", 'A', "A8", "choose id auto'", Ill, Standard, NO_EXTRA, false),
-    ex!("A9⋆", 'A', "A9", "f (choose ~id) ids", Type("forall a. a -> a"), Standard, ENV_A9, false),
-    ex!("A10⋆", 'A', "A10", "poly ~id", Type("Int * Bool"), Standard, NO_EXTRA, false),
-    ex!("A11⋆", 'A', "A11", "poly $(fun x -> x)", Type("Int * Bool"), Standard, NO_EXTRA, false),
-    ex!("A12⋆", 'A', "A12", "id poly $(fun x -> x)", Type("Int * Bool"), Standard, NO_EXTRA, false),
+    ex!(
+        "A1",
+        'A',
+        "A1",
+        "fun x y -> y",
+        Type("a -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A1•",
+        'A',
+        "A1",
+        "$(fun x y -> y)",
+        Type("forall a b. a -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A2",
+        'A',
+        "A2",
+        "choose id",
+        Type("(a -> a) -> a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A2•",
+        'A',
+        "A2",
+        "choose ~id",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A3",
+        'A',
+        "A3",
+        "choose [] ids",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A4",
+        'A',
+        "A4",
+        "fun (x : forall a. a -> a) -> x x",
+        Type("(forall a. a -> a) -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
+    ex!(
+        "A4•",
+        'A',
+        "A4",
+        "fun (x : forall a. a -> a) -> x ~x",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
+    ex!(
+        "A5",
+        'A',
+        "A5",
+        "id auto",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A6",
+        'A',
+        "A6",
+        "id auto'",
+        Type("(forall a. a -> a) -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A6•",
+        'A',
+        "A6",
+        "id ~auto'",
+        Type("forall b. (forall a. a -> a) -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A7",
+        'A',
+        "A7",
+        "choose id auto",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A8",
+        'A',
+        "A8",
+        "choose id auto'",
+        Ill,
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A9⋆",
+        'A',
+        "A9",
+        "f (choose ~id) ids",
+        Type("forall a. a -> a"),
+        Standard,
+        ENV_A9,
+        false
+    ),
+    ex!(
+        "A10⋆",
+        'A',
+        "A10",
+        "poly ~id",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A11⋆",
+        'A',
+        "A11",
+        "poly $(fun x -> x)",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "A12⋆",
+        'A',
+        "A12",
+        "id poly $(fun x -> x)",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
     // ------------------------------ B: inference with polymorphic arguments
-    ex!("B1⋆", 'B', "B1", "fun (f : forall a. a -> a) -> (f 1, f true)", Type("(forall a. a -> a) -> Int * Bool"), Standard, NO_EXTRA, true),
-    ex!("B2⋆", 'B', "B2", "fun (xs : List (forall a. a -> a)) -> poly (head xs)", Type("List (forall a. a -> a) -> Int * Bool"), Standard, NO_EXTRA, true),
+    ex!(
+        "B1⋆",
+        'B',
+        "B1",
+        "fun (f : forall a. a -> a) -> (f 1, f true)",
+        Type("(forall a. a -> a) -> Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
+    ex!(
+        "B2⋆",
+        'B',
+        "B2",
+        "fun (xs : List (forall a. a -> a)) -> poly (head xs)",
+        Type("List (forall a. a -> a) -> Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
     // ---------------------------------------- C: functions on polymorphic lists
-    ex!("C1", 'C', "C1", "length ids", Type("Int"), Standard, NO_EXTRA, false),
-    ex!("C2", 'C', "C2", "tail ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("C3", 'C', "C3", "head ids", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("C4", 'C', "C4", "single id", Type("List (a -> a)"), Standard, NO_EXTRA, false),
-    ex!("C4•", 'C', "C4", "single ~id", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("C5⋆", 'C', "C5", "~id :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("C6⋆", 'C', "C6", "$(fun x -> x) :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("C7", 'C', "C7", "(single inc) ++ (single id)", Type("List (Int -> Int)"), Standard, NO_EXTRA, false),
-    ex!("C8⋆", 'C', "C8", "g (single ~id) ids", Type("forall a. a -> a"), Standard, ENV_C8, false),
-    ex!("C9⋆", 'C', "C9", "map poly (single ~id)", Type("List (Int * Bool)"), Standard, NO_EXTRA, false),
-    ex!("C10", 'C', "C10", "map head (single ids)", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
+    ex!(
+        "C1",
+        'C',
+        "C1",
+        "length ids",
+        Type("Int"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C2",
+        'C',
+        "C2",
+        "tail ids",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C3",
+        'C',
+        "C3",
+        "head ids",
+        Type("forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C4",
+        'C',
+        "C4",
+        "single id",
+        Type("List (a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C4•",
+        'C',
+        "C4",
+        "single ~id",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C5⋆",
+        'C',
+        "C5",
+        "~id :: ids",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C6⋆",
+        'C',
+        "C6",
+        "$(fun x -> x) :: ids",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C7",
+        'C',
+        "C7",
+        "(single inc) ++ (single id)",
+        Type("List (Int -> Int)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C8⋆",
+        'C',
+        "C8",
+        "g (single ~id) ids",
+        Type("forall a. a -> a"),
+        Standard,
+        ENV_C8,
+        false
+    ),
+    ex!(
+        "C9⋆",
+        'C',
+        "C9",
+        "map poly (single ~id)",
+        Type("List (Int * Bool)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "C10",
+        'C',
+        "C10",
+        "map head (single ids)",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
     // ---------------------------------------- D: application functions
-    ex!("D1⋆", 'D', "D1", "app poly ~id", Type("Int * Bool"), Standard, NO_EXTRA, false),
-    ex!("D2⋆", 'D', "D2", "revapp ~id poly", Type("Int * Bool"), Standard, NO_EXTRA, false),
-    ex!("D3⋆", 'D', "D3", "runST ~argST", Type("Int"), Standard, NO_EXTRA, false),
-    ex!("D4⋆", 'D', "D4", "app runST ~argST", Type("Int"), Standard, NO_EXTRA, false),
-    ex!("D5⋆", 'D', "D5", "revapp ~argST runST", Type("Int"), Standard, NO_EXTRA, false),
+    ex!(
+        "D1⋆",
+        'D',
+        "D1",
+        "app poly ~id",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "D2⋆",
+        'D',
+        "D2",
+        "revapp ~id poly",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "D3⋆",
+        'D',
+        "D3",
+        "runST ~argST",
+        Type("Int"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "D4⋆",
+        'D',
+        "D4",
+        "app runST ~argST",
+        Type("Int"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "D5⋆",
+        'D',
+        "D5",
+        "revapp ~argST runST",
+        Type("Int"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
     // ---------------------------------------- E: η-expansion
     ex!("E1", 'E', "E1", "k h l", Ill, Standard, ENV_E, false),
-    ex!("E2⋆", 'E', "E2", "k $(fun x -> (h x)@) l", Type("forall a. Int -> a -> a"), Standard, ENV_E, false),
-    ex!("E3", 'E', "E3", "r (fun x y -> y)", Ill, Standard, ENV_E3, false),
-    ex!("E3•", 'E', "E3", "r $(fun x -> $(fun y -> y))", Type("Int"), Standard, ENV_E3, false),
+    ex!(
+        "E2⋆",
+        'E',
+        "E2",
+        "k $(fun x -> (h x)@) l",
+        Type("forall a. Int -> a -> a"),
+        Standard,
+        ENV_E,
+        false
+    ),
+    ex!(
+        "E3",
+        'E',
+        "E3",
+        "r (fun x y -> y)",
+        Ill,
+        Standard,
+        ENV_E3,
+        false
+    ),
+    ex!(
+        "E3•",
+        'E',
+        "E3",
+        "r $(fun x -> $(fun y -> y))",
+        Type("Int"),
+        Standard,
+        ENV_E3,
+        false
+    ),
     // ---------------------------------------- F: FreezeML programs
-    ex!("F1", 'F', "F1", "$(fun x -> x)", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("F2", 'F', "F2", "[~id]", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("F3", 'F', "F3", "$(fun (x : forall a. a -> a) -> x ~x)", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, true),
-    ex!("F4", 'F', "F4", "$(fun (x : forall a. a -> a) -> x x)", Type("forall b. (forall a. a -> a) -> b -> b"), Standard, NO_EXTRA, true),
-    ex!("F5⋆", 'F', "F5", "auto ~id", Type("forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("F6", 'F', "F6", "(head ids) :: ids", Type("List (forall a. a -> a)"), Standard, NO_EXTRA, false),
-    ex!("F7⋆", 'F', "F7", "(head ids)@ 3", Type("Int"), Standard, NO_EXTRA, false),
-    ex!("F8", 'F', "F8", "choose (head ids)", Type("(forall a. a -> a) -> forall a. a -> a"), Standard, NO_EXTRA, false),
-    ex!("F8•", 'F', "F8", "choose (head ids)@", Type("(a -> a) -> a -> a"), Standard, NO_EXTRA, false),
-    ex!("F9", 'F', "F9", "let f = revapp ~id in f poly", Type("Int * Bool"), Standard, NO_EXTRA, false),
-    ex!("F10†", 'F', "F10", "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))", Type("(forall a. a -> a) -> forall a. a -> a"), Pure, NO_EXTRA, true),
+    ex!(
+        "F1",
+        'F',
+        "F1",
+        "$(fun x -> x)",
+        Type("forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F2",
+        'F',
+        "F2",
+        "[~id]",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F3",
+        'F',
+        "F3",
+        "$(fun (x : forall a. a -> a) -> x ~x)",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
+    ex!(
+        "F4",
+        'F',
+        "F4",
+        "$(fun (x : forall a. a -> a) -> x x)",
+        Type("forall b. (forall a. a -> a) -> b -> b"),
+        Standard,
+        NO_EXTRA,
+        true
+    ),
+    ex!(
+        "F5⋆",
+        'F',
+        "F5",
+        "auto ~id",
+        Type("forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F6",
+        'F',
+        "F6",
+        "(head ids) :: ids",
+        Type("List (forall a. a -> a)"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F7⋆",
+        'F',
+        "F7",
+        "(head ids)@ 3",
+        Type("Int"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F8",
+        'F',
+        "F8",
+        "choose (head ids)",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F8•",
+        'F',
+        "F8",
+        "choose (head ids)@",
+        Type("(a -> a) -> a -> a"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F9",
+        'F',
+        "F9",
+        "let f = revapp ~id in f poly",
+        Type("Int * Bool"),
+        Standard,
+        NO_EXTRA,
+        false
+    ),
+    ex!(
+        "F10†",
+        'F',
+        "F10",
+        "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))",
+        Type("(forall a. a -> a) -> forall a. a -> a"),
+        Pure,
+        NO_EXTRA,
+        true
+    ),
 ];
 
 /// Look up an example by its paper id.
@@ -200,8 +632,7 @@ mod tests {
     #[test]
     fn all_sources_parse() {
         for e in EXAMPLES {
-            freezeml_core::parse_term(e.src)
-                .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            freezeml_core::parse_term(e.src).unwrap_or_else(|err| panic!("{}: {err}", e.id));
         }
     }
 
@@ -209,8 +640,7 @@ mod tests {
     fn all_expected_types_parse() {
         for e in EXAMPLES {
             if let Expected::Type(t) = e.expected {
-                freezeml_core::parse_type(t)
-                    .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+                freezeml_core::parse_type(t).unwrap_or_else(|err| panic!("{}: {err}", e.id));
             }
         }
     }

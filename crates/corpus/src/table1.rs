@@ -65,9 +65,7 @@ fn variants_for(base: &str, budget: Budget) -> Vec<&'static crate::figure1::Exam
         .iter()
         .filter(|e| e.section != 'F' && e.base == base && e.mode == Mode::Standard)
         .filter(|e| match budget {
-            Budget::Nothing => {
-                !e.has_type_annotation || STATED_WITH_ANNOTATION.contains(&e.base)
-            }
+            Budget::Nothing => !e.has_type_annotation || STATED_WITH_ANNOTATION.contains(&e.base),
             Budget::Binders | Budget::Terms => true,
         })
         .collect()
@@ -161,12 +159,7 @@ pub fn ml_row() -> SystemRow {
         let ok = EXAMPLES
             .iter()
             .filter(|e| e.section != 'F' && e.base == *base)
-            .any(|e| {
-                matches!(
-                    ml_accepts_src(&env_for(e), e.src),
-                    MlOutcome::Typed
-                )
-            })
+            .any(|e| matches!(ml_accepts_src(&env_for(e), e.src), MlOutcome::Typed))
             || UNANNOTATED_FORMS.iter().any(|(b, src)| {
                 *b == *base
                     && matches!(
@@ -295,11 +288,31 @@ pub fn hmf_approx_row() -> SystemRow {
 /// see `DESIGN.md`, "Substitutions").
 pub fn recorded_rows() -> Vec<SystemRow> {
     vec![
-        SystemRow { system: "MLF", failures: [2, 1, 1], computed: false },
-        SystemRow { system: "HML", failures: [3, 2, 2], computed: false },
-        SystemRow { system: "FPH", failures: [6, 4, 4], computed: false },
-        SystemRow { system: "GI", failures: [8, 6, 2], computed: false },
-        SystemRow { system: "HMF", failures: [11, 6, 6], computed: false },
+        SystemRow {
+            system: "MLF",
+            failures: [2, 1, 1],
+            computed: false,
+        },
+        SystemRow {
+            system: "HML",
+            failures: [3, 2, 2],
+            computed: false,
+        },
+        SystemRow {
+            system: "FPH",
+            failures: [6, 4, 4],
+            computed: false,
+        },
+        SystemRow {
+            system: "GI",
+            failures: [8, 6, 2],
+            computed: false,
+        },
+        SystemRow {
+            system: "HMF",
+            failures: [11, 6, 6],
+            computed: false,
+        },
     ]
 }
 
@@ -337,10 +350,7 @@ mod tests {
     #[test]
     fn freezeml_ranks_third_at_nothing() {
         let table = full_table();
-        let position = table
-            .iter()
-            .position(|r| r.system == "FreezeML")
-            .unwrap();
+        let position = table.iter().position(|r| r.system == "FreezeML").unwrap();
         assert_eq!(position, 2, "paper: MLF first, HML second, FreezeML third");
     }
 
@@ -377,7 +387,9 @@ mod tests {
         // The examples §7 credits HMF with: minimal polymorphism and
         // argument generalisation (A10–A12 "all other five systems can
         // handle without annotations").
-        for base in ["A1", "A2", "A5", "A10", "A11", "A12", "C3", "D1", "D3", "D4"] {
+        for base in [
+            "A1", "A2", "A5", "A10", "A11", "A12", "C3", "D1", "D3", "D4",
+        ] {
             assert!(
                 hmf_handles(base, Budget::Nothing),
                 "HMF-approx should handle {base}"

@@ -66,9 +66,17 @@ fn reported_types_are_principal_among_candidates() {
     // type is not (the reported type is a ceiling).
     let cases = [
         // (id, ground instance, over-general candidate)
-        ("A2", "(Int -> Int) -> Int -> Int", "forall a. (a -> a) -> a -> a"),
+        (
+            "A2",
+            "(Int -> Int) -> Int -> Int",
+            "forall a. (a -> a) -> a -> a",
+        ),
         ("C4", "List (Bool -> Bool)", "forall a. List (a -> a)"),
-        ("A4", "(forall a. a -> a) -> Int -> Int", "(forall a. a -> a) -> forall b. b -> b"),
+        (
+            "A4",
+            "(forall a. a -> a) -> Int -> Int",
+            "(forall a. a -> a) -> forall b. b -> b",
+        ),
     ];
     for (id, ground, over) in cases {
         let e = freezeml_corpus::figure1::by_id(id).unwrap();

@@ -6,9 +6,7 @@
 //! unification (how `head ids` works in HMF).
 
 use crate::term::HmfTerm;
-use freezeml_core::{
-    unify, Kind, KindEnv, RefinedEnv, Subst, TyVar, Type, TypeEnv, TypeError,
-};
+use freezeml_core::{unify, Kind, KindEnv, RefinedEnv, Subst, TyVar, Type, TypeEnv, TypeError};
 
 /// Instantiate all top-level quantifiers with fresh `⋆` metas.
 fn instantiate(theta: &mut RefinedEnv, ty: &Type) -> Type {
@@ -82,20 +80,16 @@ pub fn hmf_infer(
             let fty = instantiate(&mut theta1, &fty0);
             // Expose the arrow.
             let (dom, cod, theta1, s_arrow) = match &fty {
-                Type::Con(freezeml_core::TyCon::Arrow, args) => (
-                    args[0].clone(),
-                    args[1].clone(),
-                    theta1,
-                    Subst::identity(),
-                ),
+                Type::Con(freezeml_core::TyCon::Arrow, args) => {
+                    (args[0].clone(), args[1].clone(), theta1, Subst::identity())
+                }
                 _ => {
                     let d = TyVar::fresh();
                     let c = TyVar::fresh();
                     let theta_arrow = theta1
                         .inserted(d.clone(), Kind::Poly)
                         .inserted(c.clone(), Kind::Poly);
-                    let expected =
-                        Type::arrow(Type::Var(d.clone()), Type::Var(c.clone()));
+                    let expected = Type::arrow(Type::Var(d.clone()), Type::Var(c.clone()));
                     let (th, s) = unify(&delta, &theta_arrow, &fty, &expected)?;
                     (s.apply(&Type::Var(d)), s.apply(&Type::Var(c)), th, s)
                 }
@@ -197,10 +191,7 @@ mod tests {
         // HMF's signature behaviour: choose id gets the *least* polymorphic
         // type (§7: "uses weights to select between less and more
         // polymorphic types").
-        assert_eq!(
-            ty_of("choose id").unwrap(),
-            "forall a. (a -> a) -> a -> a"
-        );
+        assert_eq!(ty_of("choose id").unwrap(), "forall a. (a -> a) -> a -> a");
     }
 
     #[test]

@@ -70,9 +70,7 @@ impl HmfTerm {
                 Box::new(Self::from_freezeml(b)?),
             )),
             Term::Lit(l) => Some(HmfTerm::Lit(*l)),
-            Term::FrozenVar(_)
-            | Term::LetAnn(_, _, _, _)
-            | Term::TyApp(_, _) => None,
+            Term::FrozenVar(_) | Term::LetAnn(_, _, _, _) | Term::TyApp(_, _) => None,
         }
     }
 

@@ -37,10 +37,7 @@ fn apply_scoped(f: &FTerm, s: &Subst) -> FTerm {
     match f {
         FTerm::Var(_) | FTerm::Lit(_) => f.clone(),
         FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), s.apply(t), Box::new(apply_scoped(b, s))),
-        FTerm::App(m, n) => FTerm::App(
-            Box::new(apply_scoped(m, s)),
-            Box::new(apply_scoped(n, s)),
-        ),
+        FTerm::App(m, n) => FTerm::App(Box::new(apply_scoped(m, s)), Box::new(apply_scoped(n, s))),
         FTerm::TyLam(a, b) => {
             let inner = s.without(a);
             FTerm::TyLam(a.clone(), Box::new(apply_scoped(b, &inner)))
@@ -122,12 +119,7 @@ fn go(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type, FTerm), TypeError>
             let (gen_vars, _) = scheme.split_foralls();
             let g2 = g1.extended(x.clone(), scheme.clone());
             let (s2, t2, fb) = go(&g2, body)?;
-            let f = FTerm::let_(
-                x.clone(),
-                scheme,
-                FTerm::tylams(gen_vars, fr),
-                fb,
-            );
+            let f = FTerm::let_(x.clone(), scheme, FTerm::tylams(gen_vars, fr), fb);
             Ok((s2.compose(&s1), t2, f))
         }
     }
@@ -179,25 +171,25 @@ mod tests {
     #[test]
     fn let_elaborates_to_type_abstraction() {
         let g = prelude();
-        let term = MlTerm::from_freezeml(
-            &freezeml_core::parse_term("let i = fun x -> x in i 1").unwrap(),
-        )
-        .unwrap();
+        let term =
+            MlTerm::from_freezeml(&freezeml_core::parse_term("let i = fun x -> x in i 1").unwrap())
+                .unwrap();
         let (f, ty) = elaborate(&g, &term).unwrap();
         assert_eq!(ty, Type::int());
         // Shape: (λi^∀a.a→a. i [Int] 1) (Λa. λx^a. x)
         let printed = f.to_string();
         assert!(printed.contains("tyfun"), "expected a Λ in {printed}");
-        assert!(printed.contains("[Int]"), "expected a type application in {printed}");
+        assert!(
+            printed.contains("[Int]"),
+            "expected a type application in {printed}"
+        );
     }
 
     #[test]
     fn non_value_let_has_no_type_abstraction() {
         let g = prelude();
-        let term = MlTerm::from_freezeml(
-            &freezeml_core::parse_term("let y = inc 1 in y").unwrap(),
-        )
-        .unwrap();
+        let term = MlTerm::from_freezeml(&freezeml_core::parse_term("let y = inc 1 in y").unwrap())
+            .unwrap();
         let (f, ty) = elaborate(&g, &term).unwrap();
         assert_eq!(ty, Type::int());
         assert!(!f.to_string().contains("tyfun"));

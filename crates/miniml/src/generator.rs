@@ -109,10 +109,7 @@ pub fn pair_chain(n: usize) -> MlTerm {
         };
         body = MlTerm::let_(
             format!("p{}", i + 1).as_str(),
-            MlTerm::app(
-                MlTerm::app(MlTerm::var("pair"), prev.clone()),
-                prev,
-            ),
+            MlTerm::app(MlTerm::app(MlTerm::var("pair"), prev.clone()), prev),
             body,
         );
     }
@@ -129,7 +126,10 @@ pub fn let_chain(n: usize) -> MlTerm {
         } else {
             MlTerm::lam(
                 "x",
-                MlTerm::app(MlTerm::var(format!("f{}", i - 1).as_str()), MlTerm::var("x")),
+                MlTerm::app(
+                    MlTerm::var(format!("f{}", i - 1).as_str()),
+                    MlTerm::var("x"),
+                ),
             )
         };
         body = MlTerm::let_(format!("f{i}").as_str(), prev, body);
@@ -163,9 +163,7 @@ mod tests {
             let t = random_term(&mut rng, &cfg);
             // Closed over the prelude: inference may fail, but never with
             // an unbound-variable error.
-            if let Err(freezeml_core::TypeError::UnboundVar(x)) =
-                crate::w_infer(&prelude(), &t)
-            {
+            if let Err(freezeml_core::TypeError::UnboundVar(x)) = crate::w_infer(&prelude(), &t) {
                 panic!("generator produced unbound variable {x} in {t}");
             }
         }

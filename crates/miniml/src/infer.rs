@@ -194,7 +194,10 @@ mod tests {
         let g = prelude();
         assert_eq!(infer_str(&g, "fun x -> x").unwrap(), "a -> a");
         assert_eq!(infer_str(&g, "inc 1").unwrap(), "Int");
-        assert_eq!(infer_str(&g, "fun f x -> f (f x)").unwrap(), "(a -> a) -> a -> a");
+        assert_eq!(
+            infer_str(&g, "fun f x -> f (f x)").unwrap(),
+            "(a -> a) -> a -> a"
+        );
     }
 
     #[test]

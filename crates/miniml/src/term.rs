@@ -65,9 +65,7 @@ impl MlTerm {
         match self {
             MlTerm::Var(x) => Term::Var(x.clone()),
             MlTerm::Lam(x, b) => Term::Lam(x.clone(), Box::new(b.to_freezeml())),
-            MlTerm::App(f, a) => {
-                Term::App(Box::new(f.to_freezeml()), Box::new(a.to_freezeml()))
-            }
+            MlTerm::App(f, a) => Term::App(Box::new(f.to_freezeml()), Box::new(a.to_freezeml())),
             MlTerm::Let(x, r, b) => Term::Let(
                 x.clone(),
                 Box::new(r.to_freezeml()),

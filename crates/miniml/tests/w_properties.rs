@@ -1,8 +1,8 @@
 //! Property tests for the Algorithm W baseline (Appendix B.2): mono
 //! unification laws and generalisation/instantiation round trips.
 
-use freezeml_miniml::{unify_mono, w_infer, MlTerm};
 use freezeml_core::{Subst, TyVar, Type, TypeEnv};
+use freezeml_miniml::{unify_mono, w_infer, MlTerm};
 use proptest::prelude::*;
 
 fn flex_pool() -> Vec<TyVar> {

@@ -1,0 +1,323 @@
+//! A vendored, dependency-free stand-in for the parts of [`criterion`]
+//! this workspace uses (the build environment is offline; see
+//! `crates/shims/README.md`).
+//!
+//! It reproduces the *interface* of `Criterion`/`BenchmarkGroup`/`Bencher`
+//! and the wall-clock measurement loop, not the statistics: each benchmark
+//! is warmed up, then timed over `sample_size` samples with a per-sample
+//! iteration count calibrated from the warm-up, and the mean / min / max
+//! nanoseconds per iteration are printed. There are no plots, no saved
+//! baselines, and no outlier analysis.
+//!
+//! Runtime budget: the configured `measurement_time` is honoured up to the
+//! cap in `CRITERION_SHIM_BUDGET_MS` (default 250 ms per benchmark) so
+//! `cargo bench` stays fast; raise it for real measurements. Under
+//! `cargo test` (the harness receives `--test`) every benchmark runs
+//! exactly one iteration, mirroring the real crate's test mode.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test` invokes custom-harness bench binaries with
+        // `--test`; `cargo bench` passes `--bench`. Any bare argument is a
+        // name filter, as with the real harness.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        let budget_ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(250);
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(budget_ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups whose name already identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target measurement time (capped by the shim's budget).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Mark the group complete (a no-op here; kept for API fidelity).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measurement_time: self.measurement_time.min(self.criterion.budget),
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            _ if bencher.test_mode => println!("test-mode {full}: ok (1 iteration)"),
+            Some(r) => println!(
+                "bench {full}: mean {} (min {}, max {}) over {} samples x {} iters",
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.samples,
+                r.iters_per_sample,
+            ),
+            None => println!("bench {full}: no measurement (b.iter never called)"),
+        }
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Time the routine. The return value is passed through
+    /// `std::hint::black_box` so the computation is not optimised away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warmup_budget = self.measurement_time / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters == 0 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Calibrate so `sample_size` samples fill the measurement budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / est_ns).floor() as u64).max(1);
+
+        let mut sample_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let min_ns = sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_ns = sample_ns.iter().copied().fold(0.0, f64::max);
+        self.report = Some(Report {
+            mean_ns,
+            min_ns,
+            max_ns,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_a_report() {
+        let mut c = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "routine never executed");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            budget: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("id", 1), &3u64, |b, x| {
+            b.iter(|| {
+                ran += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("deep").id, "deep");
+    }
+}

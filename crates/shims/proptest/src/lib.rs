@@ -1,0 +1,343 @@
+//! A vendored, dependency-free stand-in for the parts of [`proptest`] this
+//! workspace uses (the build environment is offline; see
+//! `crates/shims/README.md`).
+//!
+//! Semantics relative to the real crate:
+//!
+//! * **Generation** is supported: [`strategy::Strategy`], [`strategy::Just`],
+//!   tuples, [`strategy::Union`] (weighted unions / `prop_oneof!`),
+//!   `prop_map`, `prop_recursive`, `boxed`, [`collection::vec`], and
+//!   `usize` ranges as strategies.
+//! * **Shrinking is not implemented.** A failing case reports the seed,
+//!   case number, and the `Debug` rendering of every generated input, but
+//!   does not minimise it.
+//! * Each `proptest!` test runs a **deterministic** stream seeded from the
+//!   test's name, so failures reproduce exactly across runs and machines.
+//!   Set `PROPTEST_SEED=<u64>` to explore a different stream, and
+//!   `PROPTEST_CASES=<n>` to override the case count globally.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections (only `vec` with an exact length is
+    //! needed here).
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of exactly `len` elements of `element`.
+    ///
+    /// (The real crate accepts any size range; the workspace only uses
+    /// exact lengths.)
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — try another input.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: repeatedly generate inputs and run the body until
+/// `config.cases` cases pass. Called by the `proptest!` macro — not public
+/// API in the real crate, but harmless here.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (Result<(), TestCaseError>, String),
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    while passed < cases {
+        let attempt = passed + rejected;
+        match case(&mut rng) {
+            (Ok(()), _) => passed += 1,
+            (Err(TestCaseError::Reject(_)), _) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}`: `prop_assume!` rejected {rejected} \
+                     inputs before {cases} cases passed (seed {seed})"
+                );
+            }
+            (Err(TestCaseError::Fail(msg)), inputs) => panic!(
+                "property `{name}` failed at case {attempt} (seed {seed}):\n\
+                 {msg}\nminimal failing input not computed (no shrinking); \
+                 generated inputs were:\n{inputs}"
+            ),
+        }
+    }
+}
+
+/// Assert a boolean condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body (values must be `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    lhs,
+                    rhs
+                ),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declare property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running [`run_property`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)*
+                    s
+                };
+                let body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                (body(), inputs)
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2u32), Just(3u32)]
+    }
+
+    proptest! {
+        #[test]
+        fn union_stays_in_pool(x in small()) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (small(), small()).prop_map(|(a, b)| a + b)) {
+            prop_assert!((2..=6).contains(&p), "sum out of range: {}", p);
+        }
+
+        #[test]
+        fn assume_filters(x in small()) {
+            prop_assume!(x != 2);
+            prop_assert!(x == 1 || x == 3);
+        }
+
+        #[test]
+        fn ranges_are_strategies(i in 0..7usize) {
+            prop_assert!(i < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_parses(x in small()) {
+            prop_assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_varies() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let depths: Vec<usize> = (0..200).map(|_| depth(&strat.generate(&mut rng))).collect();
+        assert!(depths.contains(&0), "never generated a leaf");
+        assert!(depths.iter().any(|d| *d >= 2), "never recursed twice");
+        assert!(depths.iter().all(|d| *d <= 4), "exceeded recursion depth");
+    }
+
+    #[test]
+    fn collection_vec_has_exact_len() {
+        let strat = crate::collection::vec(small(), 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 5);
+        }
+    }
+
+    proptest! {
+        // Deliberately not `#[test]`: driven by the `should_panic` wrapper
+        // below to check the failure report.
+        fn always_fails(x in small()) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_inputs() {
+        always_fails();
+    }
+
+    use rand::SeedableRng;
+}

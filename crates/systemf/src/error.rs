@@ -37,7 +37,10 @@ impl fmt::Display for FTypeError {
                 write!(f, "cannot type-apply a term of type `{t}`")
             }
             FTypeError::Mismatch { expected, found } => {
-                write!(f, "argument type `{found}` does not match expected `{expected}`")
+                write!(
+                    f,
+                    "argument type `{found}` does not match expected `{expected}`"
+                )
             }
             FTypeError::ValueRestriction => {
                 write!(f, "type abstraction over a non-value (value restriction)")

@@ -174,10 +174,7 @@ mod tests {
 
     #[test]
     fn beta_steps() {
-        let t = FTerm::app(
-            FTerm::lam("x", Type::int(), FTerm::var("x")),
-            FTerm::int(7),
-        );
+        let t = FTerm::app(FTerm::lam("x", Type::int(), FTerm::var("x")), FTerm::int(7));
         assert_eq!(step(&t), Some(FTerm::int(7)));
     }
 
@@ -207,10 +204,7 @@ mod tests {
     fn preservation_on_polymorphic_programs() {
         let poly_ty = freezeml_core::parse_type("forall a. a -> a").unwrap();
         let progs = [
-            FTerm::app(
-                FTerm::tyapp(id_poly(), Type::int()),
-                FTerm::int(1),
-            ),
+            FTerm::app(FTerm::tyapp(id_poly(), Type::int()), FTerm::int(1)),
             // Impredicative: id [∀a.a→a] id 5 — steps through polytypes.
             FTerm::app(
                 FTerm::tyapp(
@@ -233,7 +227,10 @@ mod tests {
         // normalisation never gets stuck.
         let progs = [
             church_to_int(church(5)),
-            church_to_int(FTerm::app(church_succ(), FTerm::app(church_succ(), church(0)))),
+            church_to_int(FTerm::app(
+                church_succ(),
+                FTerm::app(church_succ(), church(0)),
+            )),
             FTerm::app(FTerm::tyapp(id_poly(), Type::int()), FTerm::int(0)),
         ];
         for p in progs {

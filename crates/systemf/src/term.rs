@@ -115,9 +115,7 @@ impl FTerm {
         match self {
             FTerm::Var(_) | FTerm::Lit(_) => self.clone(),
             FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), f(t), Box::new(b.map_types(f))),
-            FTerm::App(m, n) => {
-                FTerm::App(Box::new(m.map_types(f)), Box::new(n.map_types(f)))
-            }
+            FTerm::App(m, n) => FTerm::App(Box::new(m.map_types(f)), Box::new(n.map_types(f))),
             FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(b.map_types(f))),
             FTerm::TyApp(m, t) => FTerm::TyApp(Box::new(m.map_types(f)), f(t)),
         }
@@ -191,9 +189,7 @@ impl FTerm {
                     FTerm::TyLam(b.clone(), Box::new(v.subst_ty(a, ty)))
                 }
             }
-            FTerm::TyApp(m, t2) => {
-                FTerm::TyApp(Box::new(m.subst_ty(a, ty)), t2.rename_free(a, ty))
-            }
+            FTerm::TyApp(m, t2) => FTerm::TyApp(Box::new(m.subst_ty(a, ty)), t2.rename_free(a, ty)),
         }
     }
 }
@@ -283,23 +279,14 @@ mod tests {
         let t = FTerm::let_("x", Type::int(), FTerm::int(1), FTerm::var("x"));
         assert_eq!(
             t,
-            FTerm::app(
-                FTerm::lam("x", Type::int(), FTerm::var("x")),
-                FTerm::int(1)
-            )
+            FTerm::app(FTerm::lam("x", Type::int(), FTerm::var("x")), FTerm::int(1))
         );
     }
 
     #[test]
     fn tylams_and_tyapps_fold() {
-        let t = FTerm::tylams(
-            [TyVar::named("a"), TyVar::named("b")],
-            FTerm::var("x"),
-        );
-        assert_eq!(
-            t,
-            FTerm::tylam("a", FTerm::tylam("b", FTerm::var("x")))
-        );
+        let t = FTerm::tylams([TyVar::named("a"), TyVar::named("b")], FTerm::var("x"));
+        assert_eq!(t, FTerm::tylam("a", FTerm::tylam("b", FTerm::var("x"))));
         let u = FTerm::tyapps(FTerm::var("x"), [Type::int(), Type::bool()]);
         assert_eq!(
             u,
@@ -317,7 +304,11 @@ mod tests {
 
     #[test]
     fn map_types_reaches_annotations() {
-        let t = FTerm::lam("x", Type::var("a"), FTerm::tyapp(FTerm::var("x"), Type::var("a")));
+        let t = FTerm::lam(
+            "x",
+            Type::var("a"),
+            FTerm::tyapp(FTerm::var("x"), Type::var("a")),
+        );
         let u = t.map_types(&mut |ty| {
             if ty == &Type::var("a") {
                 Type::int()

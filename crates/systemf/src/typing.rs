@@ -4,7 +4,7 @@
 use crate::error::FTypeError;
 use crate::term::FTerm;
 use freezeml_core::kinding;
-use freezeml_core::{Kind, KindEnv, RefinedEnv, TypeEnv, Type};
+use freezeml_core::{Kind, KindEnv, RefinedEnv, Type, TypeEnv};
 
 /// Type-check a System F term.
 ///
@@ -113,10 +113,7 @@ mod tests {
         g.push_str("v", "forall b. b -> b").unwrap();
         g.push_str("w", "Int -> Int").unwrap();
         let ok = FTerm::app(FTerm::var("f"), FTerm::var("v"));
-        assert_eq!(
-            typecheck(&KindEnv::new(), &g, &ok).unwrap(),
-            Type::int()
-        );
+        assert_eq!(typecheck(&KindEnv::new(), &g, &ok).unwrap(), Type::int());
         let bad = FTerm::app(FTerm::var("f"), FTerm::var("w"));
         assert!(matches!(
             typecheck(&KindEnv::new(), &g, &bad),
@@ -147,12 +144,7 @@ mod tests {
 
     #[test]
     fn let_sugar_types_like_beta_redex() {
-        let t = FTerm::let_(
-            "x",
-            Type::int(),
-            FTerm::int(1),
-            FTerm::var("x"),
-        );
+        let t = FTerm::let_("x", Type::int(), FTerm::int(1), FTerm::var("x"));
         assert_eq!(
             typecheck(&KindEnv::new(), &TypeEnv::new(), &t).unwrap(),
             Type::int()
@@ -194,7 +186,10 @@ mod tests {
         let app_ty = parse_type("forall a b. (a -> b) -> a -> b").unwrap();
         let id_ty = parse_type("forall a. a -> a").unwrap();
         let app_impl = FTerm::tylams(
-            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            [
+                freezeml_core::TyVar::named("a"),
+                freezeml_core::TyVar::named("b"),
+            ],
             FTerm::lam(
                 "f",
                 Type::arrow(Type::var("a"), Type::var("b")),

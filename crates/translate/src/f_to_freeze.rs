@@ -29,11 +29,7 @@ use freezeml_systemf::{typecheck, FTerm, FTypeError};
 ///
 /// [`FTypeError`] if the input is not well-typed — the translation is only
 /// defined on typing derivations.
-pub fn f_to_freeze(
-    delta: &KindEnv,
-    gamma: &TypeEnv,
-    term: &FTerm,
-) -> Result<Term, FTypeError> {
+pub fn f_to_freeze(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Term, FTypeError> {
     // The translation is defined on derivations: validate up front.
     typecheck(delta, gamma, term)?;
     go(delta, gamma, term)
@@ -94,9 +90,7 @@ fn rename_tyvar(t: &FTerm, from: &TyVar, to: &TyVar) -> FTerm {
             a.rename_free(from, &Type::Var(to.clone())),
             Box::new(rename_tyvar(b, from, to)),
         ),
-        FTerm::App(m, n) => {
-            FTerm::app(rename_tyvar(m, from, to), rename_tyvar(n, from, to))
-        }
+        FTerm::App(m, n) => FTerm::app(rename_tyvar(m, from, to), rename_tyvar(n, from, to)),
         FTerm::TyLam(a, b) => {
             if a == from {
                 t.clone() // shadowed
@@ -186,7 +180,10 @@ mod tests {
     fn theorem2_on_nested_tylams() {
         // Λa.Λb. λ(f : a→b). λ(x : a). f x  :  ∀a b. (a→b) → a → b
         let t = FTerm::tylams(
-            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            [
+                freezeml_core::TyVar::named("a"),
+                freezeml_core::TyVar::named("b"),
+            ],
             FTerm::lam(
                 "f",
                 Type::arrow(Type::var("a"), Type::var("b")),
@@ -207,7 +204,10 @@ mod tests {
         let app_ty = freezeml_core::parse_type("forall a b. (a -> b) -> a -> b").unwrap();
         let id_ty = freezeml_core::parse_type("forall a. a -> a").unwrap();
         let app_impl = FTerm::tylams(
-            [freezeml_core::TyVar::named("a"), freezeml_core::TyVar::named("b")],
+            [
+                freezeml_core::TyVar::named("a"),
+                freezeml_core::TyVar::named("b"),
+            ],
             FTerm::lam(
                 "f",
                 Type::arrow(Type::var("a"), Type::var("b")),
@@ -243,8 +243,7 @@ mod tests {
         ] {
             let fty = typecheck(&delta, &env(), &f).unwrap();
             let frz = f_to_freeze(&delta, &env(), &f).unwrap();
-            let out =
-                freezeml_core::infer_term(&env(), &frz, &Options::default()).unwrap();
+            let out = freezeml_core::infer_term(&env(), &frz, &Options::default()).unwrap();
             let e = crate::freeze_to_f::elaborate(&out);
             let back_ty = typecheck(&delta, &env(), &e.term).unwrap();
             assert!(

@@ -62,13 +62,10 @@ pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
             FTerm::lam(param.clone(), ann.clone(), freeze_to_f(body))
         }
         TypedNode::App { func, arg } => FTerm::app(freeze_to_f(func), freeze_to_f(arg)),
-        TypedNode::TyApp { inner, arg, .. } => {
-            FTerm::tyapp(freeze_to_f(inner), arg.clone())
+        TypedNode::TyApp { inner, arg, .. } => FTerm::tyapp(freeze_to_f(inner), arg.clone()),
+        TypedNode::ImplicitInst { inner, inst } => {
+            FTerm::tyapps(freeze_to_f(inner), inst.iter().map(|(_, t)| t.clone()))
         }
-        TypedNode::ImplicitInst { inner, inst } => FTerm::tyapps(
-            freeze_to_f(inner),
-            inst.iter().map(|(_, t)| t.clone()),
-        ),
         TypedNode::Let {
             name,
             gen_vars,

@@ -138,9 +138,7 @@ impl PmlTerm {
     pub fn annotation_count(&self) -> usize {
         match self {
             PmlTerm::Var(_) | PmlTerm::Open(_) | PmlTerm::Lit(_) => 0,
-            PmlTerm::Lam(_, ann, b) => {
-                usize::from(ann.is_some()) + b.annotation_count()
-            }
+            PmlTerm::Lam(_, ann, b) => usize::from(ann.is_some()) + b.annotation_count(),
             PmlTerm::App(m, n) => m.annotation_count() + n.annotation_count(),
             PmlTerm::Let(_, r, b) => r.annotation_count() + b.annotation_count(),
             PmlTerm::BoxAnn(m, _) => 1 + m.annotation_count(),
@@ -187,9 +185,7 @@ impl std::error::Error for PmlError {}
 pub fn type_to_pml(ty: &Type) -> PmlType {
     match ty {
         Type::Var(a) => PmlType::Var(a.clone()),
-        Type::Con(c, args) => {
-            PmlType::Con(c.clone(), args.iter().map(type_to_pml).collect())
-        }
+        Type::Con(c, args) => PmlType::Con(c.clone(), args.iter().map(type_to_pml).collect()),
         Type::Forall(_, _) => {
             let (vars, body) = ty.split_foralls();
             PmlType::Boxed(vars, Box::new(type_to_pml(body)))
@@ -369,7 +365,12 @@ mod tests {
         // The point of Appendix E: translating unannotated FreezeML inserts
         // no λ-annotations; the only annotations are the let-boxings (which
         // a principal-type boxing operator could drop).
-        for src in ["choose ~id", "poly $(fun x -> x)", "(head ids)@ 3", "single ~id"] {
+        for src in [
+            "choose ~id",
+            "poly $(fun x -> x)",
+            "(head ids)@ 3",
+            "single ~id",
+        ] {
             let p = translate(src);
             assert_eq!(
                 p.annotation_count(),

@@ -46,7 +46,10 @@ fn main() {
     use Row::{Program, Section};
     let rows = [
         Section("Explicitness vs. heuristics"),
-        Program("poly id", "HMF generalises the argument; FreezeML never guesses"),
+        Program(
+            "poly id",
+            "HMF generalises the argument; FreezeML never guesses",
+        ),
         Program("poly ~id", "FreezeML's explicit freeze"),
         Program("poly $(fun x -> x)", "FreezeML's explicit generalisation"),
         Program("poly (fun x -> x)", "HMF guesses; FreezeML refuses"),
@@ -55,7 +58,10 @@ fn main() {
         Program("choose ~id", "keeping the polytype needs the freeze"),
         Section("Argument-order (in)sensitivity"),
         Program("app poly id", "binary application suffices for HMF here"),
-        Program("revapp id poly", "…but not here (real HMF needs its n-ary rule)"),
+        Program(
+            "revapp id poly",
+            "…but not here (real HMF needs its n-ary rule)",
+        ),
         Program("revapp ~id poly", "the freeze is order-robust (example D2)"),
         Section("First-class polymorphic data"),
         Program("head ids", "impredicative instantiation of a ⋆-variable"),

@@ -31,8 +31,8 @@ fn main() {
         // Scoped type variables (§3.2).
         "let (f : forall a. a -> a) = fun (x : a) -> x in f 3",
         // And some programs the paper rejects by design:
-        "auto id",                  // unfrozen id is instantiated
-        "fun f -> (f 1, f true)",   // never guess polymorphism
+        "auto id",                     // unfrozen id is instantiated
+        "fun f -> (f 1, f true)",      // never guess polymorphism
         "let f = fun x -> x in ~f 42", // principal type of f is ∀a.a→a
     ];
 

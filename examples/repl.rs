@@ -22,7 +22,10 @@ fn main() {
     let mut opts = Options::default();
     let stdin = io::stdin();
 
-    println!("FreezeML REPL — Figure 2 prelude loaded ({} bindings).", env.len());
+    println!(
+        "FreezeML REPL — Figure 2 prelude loaded ({} bindings).",
+        env.len()
+    );
     println!("Commands: :let x = M, :env, :pure on|off, :elim on|off, :quit");
 
     loop {
@@ -51,7 +54,11 @@ fn main() {
             opts.value_restriction = rest.trim() != "on";
             println!(
                 "value restriction {}",
-                if opts.value_restriction { "on" } else { "off (pure FreezeML)" }
+                if opts.value_restriction {
+                    "on"
+                } else {
+                    "off (pure FreezeML)"
+                }
             );
             continue;
         }
@@ -74,9 +81,10 @@ fn main() {
             // `let x = M in ⌈x⌉` is exactly the let-bound type (generalised
             // for guarded values, monomorphised otherwise).
             let probe = format!("let {name} = {} in ~{name}", body.trim());
-            match parse_term(&probe).map_err(|e| e.to_string()).and_then(|t| {
-                infer_term(&env, &t, &opts).map_err(|e| e.to_string())
-            }) {
+            match parse_term(&probe)
+                .map_err(|e| e.to_string())
+                .and_then(|t| infer_term(&env, &t, &opts).map_err(|e| e.to_string()))
+            {
                 Ok(out) => {
                     let mut ty = out.ty.canonicalize();
                     if !ty.ftv().is_empty() {

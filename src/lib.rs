@@ -22,6 +22,10 @@
 //!   Table 1 comparison harness.
 //! * [`hmf`] — an HMF-style baseline checker (Leijen 2008, simplified),
 //!   giving Table 1 a second *computed* row.
+//! * [`conformance`] — the golden-file (`.fml`) conformance harness over
+//!   the Figure 1 corpus: loader, runner, readable diffs, a
+//!   `UPDATE_EXPECT=1` bless mode, and a differential mode against the
+//!   `hmf` and `miniml` baselines (golden files in `tests/conformance/`).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +45,7 @@
 //! See `README.md` for an architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+pub use freezeml_conformance as conformance;
 pub use freezeml_core as core;
 pub use freezeml_corpus as corpus;
 pub use freezeml_hmf as hmf;

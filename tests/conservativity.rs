@@ -21,7 +21,8 @@ fn prelude() -> TypeEnv {
     g.push_str("single", "forall a. a -> List a").unwrap();
     g.push_str("choose", "forall a. a -> a -> a").unwrap();
     g.push_str("pair", "forall a b. a -> b -> a * b").unwrap();
-    g.push_str("cons", "forall a. a -> List a -> List a").unwrap();
+    g.push_str("cons", "forall a. a -> List a -> List a")
+        .unwrap();
     g.push_str("nil", "forall a. List a").unwrap();
     g
 }
@@ -38,7 +39,9 @@ fn agree(g: &TypeEnv, ml: &MlTerm) -> Result<(), String> {
             if wt.alpha_eq(&ft) {
                 Ok(())
             } else {
-                Err(format!("types differ on {ml}: W gave {wt}, FreezeML gave {ft}"))
+                Err(format!(
+                    "types differ on {ml}: W gave {wt}, FreezeML gave {ft}"
+                ))
             }
         }
         (Err(_), Err(_)) => Ok(()),
@@ -68,9 +71,9 @@ fn hand_corpus_agrees() {
         "fun x -> single x",
         "choose id inc",
         "let c = choose in c 1 2",
-        "fun x -> x x",              // ill-typed in both
+        "fun x -> x x",                   // ill-typed in both
         "let i = id id in (i 1, i true)", // value restriction: both reject
-        "inc true",                  // ill-typed in both
+        "inc true",                       // ill-typed in both
         "let d = fun f -> f (fun x -> x) in d",
     ] {
         let term = freezeml::core::parse_term(src).unwrap();
@@ -102,7 +105,10 @@ fn random_terms_agree() {
             typed += 1;
         }
     }
-    assert!(typed > 200, "only {typed}/2000 random terms typed — generator too weak");
+    assert!(
+        typed > 200,
+        "only {typed}/2000 random terms typed — generator too weak"
+    );
 }
 
 #[test]
@@ -110,7 +116,10 @@ fn random_deep_terms_agree() {
     let g = prelude();
     let cfg = GenConfig {
         max_depth: 9,
-        prelude: ["id", "single", "choose"].iter().map(|s| s.to_string()).collect(),
+        prelude: ["id", "single", "choose"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     };
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     for i in 0..300 {

@@ -63,7 +63,10 @@ fn bad5_bad6_principality() {
     // binding, not the uses.
     assert_eq!(check("let f = fun x -> x in f 42").unwrap(), "Int");
     // And passing the frozen occurrence where the polytype is wanted works.
-    assert_eq!(check("let f = fun x -> x in poly ~f").unwrap(), "Int * Bool");
+    assert_eq!(
+        check("let f = fun x -> x in poly ~f").unwrap(),
+        "Int * Bool"
+    );
 }
 
 /// §3.2: the non-principal instance must be recoverable via annotation —
@@ -81,7 +84,8 @@ fn annotated_let_recovers_bad5() {
 #[test]
 fn quantifier_order_is_significant() {
     let mut g = env();
-    g.push_str("f", "(forall a b. a -> b -> a * b) -> Int").unwrap();
+    g.push_str("f", "(forall a b. a -> b -> a * b) -> Int")
+        .unwrap();
     let opts = Options::default();
     for src in ["f ~pair", "f $pair", "f $pair'"] {
         assert_eq!(

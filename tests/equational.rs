@@ -24,8 +24,7 @@ use freezeml::translate::elaborate;
 fn run(src: &str) -> Value {
     let env = figure2();
     let term = parse_term(src).unwrap_or_else(|e| panic!("{src}: {e}"));
-    let out = infer_term(&env, &term, &Options::default())
-        .unwrap_or_else(|e| panic!("{src}: {e}"));
+    let out = infer_term(&env, &term, &Options::default()).unwrap_or_else(|e| panic!("{src}: {e}"));
     let elab = elaborate(&out);
     eval(&runtime_env(), &elab.term).unwrap_or_else(|e| panic!("{src}: {e}"))
 }
@@ -94,10 +93,7 @@ fn eta_for_lambda() {
 #[test]
 fn eta_for_annotated_lambda() {
     // λ(x:A). M ⌈x⌉ ≃ M.
-    equate(
-        "(fun (x : forall a. a -> a) -> poly ~x) ~id",
-        "poly ~id",
-    );
+    equate("(fun (x : forall a. a -> a) -> poly ~x) ~id", "poly ~id");
 }
 
 #[test]
@@ -121,8 +117,7 @@ fn quantifier_reordering_laws() {
     let opts = Options::default();
     for src in ["f ~pair", "f $pair", "f $pair'"] {
         let term = parse_term(src).unwrap();
-        let out = infer_term(&with_f, &term, &opts)
-            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        let out = infer_term(&with_f, &term, &opts).unwrap_or_else(|e| panic!("{src}: {e}"));
         assert_eq!(out.ty.canonicalize().to_string(), "Int", "{src}");
     }
     // Whereas f ⌈pair'⌉ is ill-typed (quantifier order matters).

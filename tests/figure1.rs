@@ -14,7 +14,14 @@ fn every_figure1_row_reproduces() {
     let failures: Vec<String> = results
         .iter()
         .filter(|r| !r.pass)
-        .map(|r| format!("{}: expected {:?}, got {}", r.id, r.expected, r.inferred_display()))
+        .map(|r| {
+            format!(
+                "{}: expected {:?}, got {}",
+                r.id,
+                r.expected,
+                r.inferred_display()
+            )
+        })
         .collect();
     assert!(failures.is_empty(), "mismatches:\n{}", failures.join("\n"));
 }
@@ -76,8 +83,16 @@ fn starred_examples_fail_without_their_operators() {
 fn a9_and_c8_starred_examples_need_the_freeze() {
     let opts = Options::default();
     for (id, src, extra) in [
-        ("A9⋆", "f (choose id) ids", ("f", "forall a. (a -> a) -> List a -> a")),
-        ("C8⋆", "g (single id) ids", ("g", "forall a. List a -> List a -> a")),
+        (
+            "A9⋆",
+            "f (choose id) ids",
+            ("f", "forall a. (a -> a) -> List a -> a"),
+        ),
+        (
+            "C8⋆",
+            "g (single id) ids",
+            ("g", "forall a. List a -> List a -> a"),
+        ),
     ] {
         let mut env = freezeml::corpus::figure2();
         env.push_str(extra.0, extra.1).unwrap();
@@ -137,7 +152,9 @@ fn eliminator_strategy_types_bad5_and_f7_unannotated() {
     let env = freezeml::corpus::figure2();
     let opts = Options::eliminator();
     assert_eq!(
-        infer_program(&env, "(head ids) 3", &opts).unwrap().to_string(),
+        infer_program(&env, "(head ids) 3", &opts)
+            .unwrap()
+            .to_string(),
         "Int"
     );
     assert_eq!(

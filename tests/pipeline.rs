@@ -29,9 +29,7 @@ fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> T
     ];
     if depth == 0 {
         return match rng.gen_range(0..4) {
-            0 if !scope.is_empty() => {
-                Term::Var(scope[rng.gen_range(0..scope.len())].clone())
-            }
+            0 if !scope.is_empty() => Term::Var(scope[rng.gen_range(0..scope.len())].clone()),
             1 => Term::frozen(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
             2 => Term::int(rng.gen_range(0..10)),
             _ => Term::var(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
@@ -85,7 +83,10 @@ fn random_decorated_terms_round_trip_through_system_f() {
         typed += 1;
         let elab = elaborate(&out);
         let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap_or_else(|e| {
-            panic!("sample #{i} `{term}`: C-image ill-typed: {e}\n  {}", elab.term)
+            panic!(
+                "sample #{i} `{term}`: C-image ill-typed: {e}\n  {}",
+                elab.term
+            )
         });
         assert!(
             fty.alpha_eq(&elab.ty),
@@ -96,9 +97,8 @@ fn random_decorated_terms_round_trip_through_system_f() {
         // Ground results must evaluate cleanly (type soundness after
         // erasure). Function-typed results evaluate to closures; skip.
         if elab.ty.ftv().is_empty() && elab.ty.is_monotype() {
-            let v = eval(&runtime_env(), &elab.term).unwrap_or_else(|e| {
-                panic!("sample #{i} `{term}`: evaluation failed: {e}")
-            });
+            let v = eval(&runtime_env(), &elab.term)
+                .unwrap_or_else(|e| panic!("sample #{i} `{term}`: evaluation failed: {e}"));
             let _ = v;
             evaluated += 1;
         }

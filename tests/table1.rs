@@ -56,7 +56,12 @@ fn hmf_approx_sits_between_freezeml_and_ml() {
     let hmf = hmf_approx_row().failures;
     let ml = ml_row().failures;
     for i in 0..3 {
-        assert!(fz[i] < hmf[i], "budget {i}: FreezeML {} vs HMF {}", fz[i], hmf[i]);
+        assert!(
+            fz[i] < hmf[i],
+            "budget {i}: FreezeML {} vs HMF {}",
+            fz[i],
+            hmf[i]
+        );
         assert!(hmf[i] < ml[i], "budget {i}: HMF {} vs ML {}", hmf[i], ml[i]);
     }
 }

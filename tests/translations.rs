@@ -21,12 +21,10 @@ fn theorem3_holds_on_the_whole_corpus() {
         }
         let env = runner::env_for(e);
         let term = parse_term(e.src).unwrap();
-        let out = infer_term(&env, &term, &opts)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+        let out = infer_term(&env, &term, &opts).unwrap_or_else(|err| panic!("{}: {err}", e.id));
         let elab = elaborate(&out);
-        let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap_or_else(|err| {
-            panic!("{}: C-image ill-typed: {err}\n  {}", e.id, elab.term)
-        });
+        let fty = typecheck(&KindEnv::new(), &env, &elab.term)
+            .unwrap_or_else(|err| panic!("{}: C-image ill-typed: {err}\n  {}", e.id, elab.term));
         assert!(
             fty.alpha_eq(&elab.ty),
             "{}: C-image type {fty} differs from FreezeML type {}",

@@ -1,0 +1,88 @@
+//! Workspace smoke test: every umbrella re-export is present, usable, and
+//! wired to the right crate. Each block goes through `freezeml::<module>`
+//! only, so a broken re-export fails here even if the underlying crate's
+//! own tests pass.
+
+use freezeml::core::{infer_program, parse_term, parse_type, Options, TypeEnv};
+
+#[test]
+fn core_infers_against_a_hand_built_env() {
+    let mut env = TypeEnv::new();
+    env.push_str("id", "forall a. a -> a").unwrap();
+    let ty = infer_program(&env, "~id", &Options::default()).unwrap();
+    assert!(ty.alpha_eq(&parse_type("forall b. b -> b").unwrap()));
+    assert!(parse_term("$(fun x -> x)").is_ok());
+}
+
+#[test]
+fn corpus_exposes_figure1_figure2_and_table1() {
+    let env = freezeml::corpus::figure2();
+    assert_eq!(
+        env.len(),
+        freezeml::corpus::prelude::FIGURE2_SIGNATURES.len()
+    );
+    assert_eq!(freezeml::corpus::EXAMPLES.len(), 49);
+    let results = freezeml::corpus::run_all();
+    assert!(results.iter().all(|r| r.pass));
+    assert_eq!(freezeml::corpus::table1::freezeml_row().failures, [4, 2, 2]);
+}
+
+#[test]
+fn systemf_typechecks_and_evaluates() {
+    use freezeml::core::{KindEnv, Type};
+    use freezeml::systemf::{eval, prelude, typecheck, FTerm, Value};
+    let id = FTerm::tylam("a", FTerm::lam("x", Type::var("a"), FTerm::var("x")));
+    let ty = typecheck(&KindEnv::new(), &TypeEnv::new(), &id).unwrap();
+    assert_eq!(ty.to_string(), "forall a. a -> a");
+    let app = FTerm::app(FTerm::tyapp(id, Type::int()), FTerm::int(42));
+    assert_eq!(eval(&prelude::runtime_env(), &app).unwrap(), Value::Int(42));
+}
+
+#[test]
+fn miniml_runs_algorithm_w() {
+    use freezeml::miniml::{w_infer, MlTerm};
+    let term = MlTerm::let_(
+        "i",
+        MlTerm::lam("x", MlTerm::var("x")),
+        MlTerm::app(MlTerm::var("i"), MlTerm::int(7)),
+    );
+    let (_, ty) = w_infer(&TypeEnv::new(), &term).unwrap();
+    assert_eq!(ty.canonicalize().to_string(), "Int");
+}
+
+#[test]
+fn hmf_accepts_the_headline_heuristic_example() {
+    let env = freezeml::corpus::figure2();
+    // `poly (fun x -> x)`: HMF generalises the argument; FreezeML refuses.
+    assert_eq!(
+        freezeml::hmf::hmf_accepts_src(&env, "poly (fun x -> x)"),
+        Some(true)
+    );
+    assert!(infer_program(&env, "poly (fun x -> x)", &Options::default()).is_err());
+}
+
+#[test]
+fn translate_elaborates_into_well_typed_system_f() {
+    use freezeml::core::{infer_term, KindEnv};
+    use freezeml::systemf::typecheck;
+    use freezeml::translate::elaborate;
+    let env = freezeml::corpus::figure2();
+    let term = parse_term("poly $(fun x -> x)").unwrap();
+    let out = infer_term(&env, &term, &Options::default()).unwrap();
+    let elab = elaborate(&out);
+    let fty = typecheck(&KindEnv::new(), &env, &elab.term).unwrap();
+    assert!(fty.alpha_eq(&elab.ty));
+}
+
+#[test]
+fn conformance_runs_an_inline_case() {
+    use freezeml::conformance::{format, runner};
+    let file = format::parse_str(
+        "smoke.fml",
+        "## case smoke\nprogram: choose ~id\n\
+         expect: (forall a. a -> a) -> forall a. a -> a\n",
+    )
+    .unwrap();
+    let suite = runner::run_files(&[file]);
+    assert!(suite.all_pass(), "{}", suite.render_failures());
+}

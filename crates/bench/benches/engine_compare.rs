@@ -1,0 +1,347 @@
+//! Bench: the paper-literal engine vs the union-find engine, side by
+//! side, on the same workloads as `unify.rs` and `inference_scaling.rs`.
+//!
+//! Methodology (see `crates/shims/README.md`): each benchmark id is
+//! `<workload>/<engine>/<n>` with `core` the Figure 15–16 transcription
+//! and `uf` the union-find store. The union-find unification benches
+//! intern the inputs once and roll the store's trail back after every
+//! iteration, so each iteration unifies from identical unsolved state —
+//! the mutable-state analogue of `core`'s persistent inputs. The
+//! inference benches run each engine's full driver (well-scopedness,
+//! environment formation, inference, zonk), so both sides pay their
+//! whole pipeline. Numbers are recorded in `EXPERIMENTS.md`;
+//! min-of-samples is the comparison figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezeml_bench::{app_chain, deep_arrow, deep_list, freeze_let_chain, prelude, quantified};
+use freezeml_core::{Kind, KindEnv, Options, RefinedEnv, Term, TyVar, Type};
+use freezeml_engine::Store;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+// ------------------------------------------------------------ unification
+
+fn bench_unify_deep_arrow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/deep-arrow");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for depth in [8usize, 32, 128, 512] {
+        let l = deep_arrow(depth);
+        let r = deep_arrow(depth);
+        group.bench_with_input(BenchmarkId::new("core", depth), &depth, |b, _| {
+            b.iter(|| unify_core(&RefinedEnv::new(), &l, &r).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("uf", depth), &depth, |b, _| {
+            let mut s = Store::new();
+            let lid = s.intern_type(&l);
+            let rid = s.intern_type(&r);
+            let mark = s.mark();
+            b.iter(|| {
+                freezeml_engine::unify(&mut s, lid, rid).unwrap();
+                s.undo_to(mark);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unify_solve_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/solve-chain");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for n in [4usize, 16, 64] {
+        let vars: Vec<TyVar> = (0..=n).map(|_| TyVar::fresh()).collect();
+        let theta: Vec<(TyVar, Kind)> = vars.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        let left = vars[..n]
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        let right = vars[1..]
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        let renv: RefinedEnv = theta.iter().cloned().collect();
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| unify_core(&renv, &left, &right).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
+            let mut s = Store::new();
+            let mut map = HashMap::new();
+            for (v, k) in &theta {
+                let (_, node) = s.fresh_var(*k);
+                map.insert(v.clone(), node);
+            }
+            let lid = s.intern_type_with(&left, &map);
+            let rid = s.intern_type_with(&right, &map);
+            let mark = s.mark();
+            b.iter(|| {
+                freezeml_engine::unify(&mut s, lid, rid).unwrap();
+                s.undo_to(mark);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unify_quantified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/quantified");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for n in [2usize, 8, 32] {
+        let l = quantified(n);
+        let r = quantified(n);
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| unify_core(&RefinedEnv::new(), &l, &r).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
+            // Interning freshens binders, so the two sides are distinct
+            // ids and every iteration performs all n skolemisations.
+            let mut s = Store::new();
+            let lid = s.intern_type(&l);
+            let rid = s.intern_type(&r);
+            let mark = s.mark();
+            b.iter(|| {
+                freezeml_engine::unify(&mut s, lid, rid).unwrap();
+                s.undo_to(mark);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unify_demotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/demotion");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for n in [4usize, 16, 64] {
+        let mono = TyVar::fresh();
+        let polys: Vec<TyVar> = (0..n).map(|_| TyVar::fresh()).collect();
+        let mut theta: Vec<(TyVar, Kind)> = polys.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        theta.push((mono.clone(), Kind::Mono));
+        let target = polys
+            .iter()
+            .rev()
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        let lhs = Type::Var(mono);
+        let renv: RefinedEnv = theta.iter().cloned().collect();
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| unify_core(&renv, &lhs, &target).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
+            let mut s = Store::new();
+            let mut map = HashMap::new();
+            for (v, k) in &theta {
+                let (_, node) = s.fresh_var(*k);
+                map.insert(v.clone(), node);
+            }
+            let lid = s.intern_type_with(&lhs, &map);
+            let rid = s.intern_type_with(&target, &map);
+            let mark = s.mark();
+            b.iter(|| {
+                freezeml_engine::unify(&mut s, lid, rid).unwrap();
+                s.undo_to(mark);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unify_failure_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify/failure-detection");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for depth in [16usize, 128] {
+        let l = deep_list(depth);
+        let r = {
+            let mut t = Type::bool();
+            for _ in 0..depth {
+                t = Type::list(t);
+            }
+            t
+        };
+        group.bench_with_input(BenchmarkId::new("core", depth), &depth, |b, _| {
+            b.iter(|| assert!(unify_core(&RefinedEnv::new(), &l, &r).is_err()));
+        });
+        group.bench_with_input(BenchmarkId::new("uf", depth), &depth, |b, _| {
+            let mut s = Store::new();
+            let lid = s.intern_type(&l);
+            let rid = s.intern_type(&r);
+            let mark = s.mark();
+            b.iter(|| {
+                assert!(freezeml_engine::unify(&mut s, lid, rid).is_err());
+                s.undo_to(mark);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn unify_core(
+    theta: &RefinedEnv,
+    a: &Type,
+    b: &Type,
+) -> Result<(RefinedEnv, freezeml_core::Subst), freezeml_core::TypeError> {
+    freezeml_core::unify(&KindEnv::new(), theta, a, b)
+}
+
+// -------------------------------------------------------------- inference
+
+fn bench_infer_pair(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    term_of: impl Fn(usize) -> Term,
+) {
+    let env = prelude();
+    let opts = Options::default();
+    let mut group = c.benchmark_group(group_name);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for &n in sizes {
+        let term = term_of(n);
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(freezeml_core::infer_term(&env, &term, &opts).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(freezeml_engine::infer_term(&env, &term, &opts).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_infer_app_chain(c: &mut Criterion) {
+    bench_infer_pair(c, "infer/app-chain", &[8, 32, 128], app_chain);
+}
+
+fn bench_infer_let_chain(c: &mut Criterion) {
+    bench_infer_pair(c, "infer/let-chain", &[4, 16, 64], |n| {
+        freezeml_miniml::generator::let_chain(n).to_freezeml()
+    });
+}
+
+fn bench_infer_pair_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer/pair-chain-exponential");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let env = prelude();
+    let opts = Options::default();
+    for n in [4usize, 8, 12] {
+        let term = freezeml_miniml::generator::pair_chain(n).to_freezeml();
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(freezeml_core::infer_term(&env, &term, &opts).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(freezeml_engine::infer_term(&env, &term, &opts).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_infer_freeze_chain(c: &mut Criterion) {
+    bench_infer_pair(c, "infer/freeze-let-chain", &[4, 16, 64], freeze_let_chain);
+}
+
+fn bench_infer_random_batch(c: &mut Criterion) {
+    let env = prelude();
+    let opts = Options::default();
+    let cfg = freezeml_miniml::generator::GenConfig::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut batch = Vec::new();
+    while batch.len() < 100 {
+        let t = freezeml_miniml::generator::random_term(&mut rng, &cfg);
+        if freezeml_miniml::w_infer(&env, &t).is_ok() {
+            batch.push(t.to_freezeml());
+        }
+    }
+    let mut group = c.benchmark_group("infer/random-ml-batch");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
+    group.bench_function("core", |b| {
+        b.iter(|| {
+            for t in &batch {
+                std::hint::black_box(freezeml_core::infer_term(&env, t, &opts).unwrap());
+            }
+        });
+    });
+    group.bench_function("uf", |b| {
+        b.iter(|| {
+            for t in &batch {
+                std::hint::black_box(freezeml_engine::infer_term(&env, t, &opts).unwrap());
+            }
+        });
+    });
+    // The serving shape: intern the prelude once, stream the batch
+    // through one session (no per-term environment setup).
+    group.bench_function("uf-session", |b| {
+        b.iter(|| {
+            let mut session = freezeml_engine::Session::new(&env, &opts).unwrap();
+            for t in &batch {
+                std::hint::black_box(session.infer(t).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_infer_corpus(c: &mut Criterion) {
+    // The whole Figure 1 corpus, end to end, on each engine.
+    let mut group = c.benchmark_group("infer/figure1-corpus");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let rows: Vec<(freezeml_core::TypeEnv, Term, Options)> = freezeml_corpus::EXAMPLES
+        .iter()
+        .map(|e| {
+            (
+                freezeml_corpus::runner::env_for(e),
+                freezeml_core::parse_term(e.src).expect("corpus parses"),
+                freezeml_corpus::runner::options_for(e),
+            )
+        })
+        .collect();
+    group.bench_function("core", |b| {
+        b.iter(|| {
+            for (env, term, opts) in &rows {
+                std::hint::black_box(freezeml_core::infer_term(env, term, opts).ok());
+            }
+        });
+    });
+    group.bench_function("uf", |b| {
+        b.iter(|| {
+            for (env, term, opts) in &rows {
+                std::hint::black_box(freezeml_engine::infer_term(env, term, opts).ok());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unify_deep_arrow,
+    bench_unify_solve_chain,
+    bench_unify_quantified,
+    bench_unify_demotion,
+    bench_unify_failure_detection,
+    bench_infer_app_chain,
+    bench_infer_let_chain,
+    bench_infer_pair_chain,
+    bench_infer_freeze_chain,
+    bench_infer_random_batch,
+    bench_infer_corpus
+);
+criterion_main!(benches);

@@ -41,4 +41,6 @@ pub mod format;
 pub mod runner;
 
 pub use format::{Case, CaseFile, Expectation, FormatError, Mode};
-pub use runner::{bless_dir, check_or_bless, run_dir, run_files, CaseOutcome, SuiteOutcome};
+pub use runner::{
+    bless_dir, check_or_bless, run_dir, run_files, CaseOutcome, Engine, SuiteOutcome,
+};

@@ -12,6 +12,45 @@ use std::path::{Path, PathBuf};
 use crate::format::{self, Case, CaseFile, Expectation, FormatError, Mode};
 use freezeml_core::{infer_program, parse_type, Options, Type, TypeEnv};
 use freezeml_corpus::figure2;
+use freezeml_engine::differential;
+
+/// Which inference engine(s) the runner drives.
+///
+/// Selected by the `ENGINE` environment variable: `core` (the
+/// paper-literal Figure 15–16 engine), `uf` (the union-find engine), or
+/// `both` (the default — run the union-find engine against the oracle and
+/// fail any case on which they disagree, so `cargo test -q` exercises the
+/// new engine on every golden file).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Paper-literal engine only.
+    Core,
+    /// Union-find engine only.
+    Uf,
+    /// Both, with an agreement obligation per case.
+    #[default]
+    Both,
+}
+
+impl Engine {
+    /// Read the selection from `ENGINE` (defaults to [`Engine::Both`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value — a misspelt selector silently
+    /// running the wrong engine would defeat the differential harness.
+    pub fn from_env() -> Engine {
+        match std::env::var("ENGINE") {
+            Err(_) => Engine::default(),
+            Ok(v) => match v.as_str() {
+                "core" => Engine::Core,
+                "uf" => Engine::Uf,
+                "both" | "" => Engine::Both,
+                other => panic!("ENGINE must be core|uf|both, got `{other}`"),
+            },
+        }
+    }
+}
 
 /// What the checker actually produced for a case.
 #[derive(Clone, Debug)]
@@ -128,15 +167,38 @@ fn options_for(case: &Case) -> Options {
     }
 }
 
-/// Run inference for a case, independent of its expectation.
+/// Run inference for a case with the engine selected by `ENGINE`,
+/// independent of its expectation.
 pub fn infer_case(case: &Case) -> Actual {
+    infer_case_with(case, Engine::from_env())
+}
+
+/// Run inference for a case on a specific engine. In [`Engine::Both`]
+/// mode the union-find engine must agree with the oracle (α-equivalent
+/// type, or same error class); a disagreement renders the case invalid,
+/// which fails it with a readable diff naming both verdicts.
+pub fn infer_case_with(case: &Case, engine: Engine) -> Actual {
     let env = match env_for(case) {
         Ok(env) => env,
         Err(e) => return Actual::Invalid(e),
     };
-    match infer_program(&env, &case.program, &options_for(case)) {
+    let opts = options_for(case);
+    let to_actual = |r: Result<Type, freezeml_core::ProgramError>| match r {
         Ok(ty) => Actual::Type(ty),
         Err(e) => Actual::Error(e.to_string()),
+    };
+    match engine {
+        Engine::Core => to_actual(infer_program(&env, &case.program, &opts)),
+        Engine::Uf => to_actual(freezeml_engine::infer_program(&env, &case.program, &opts)),
+        Engine::Both => match differential::compare_program(&env, &case.program, &opts) {
+            // Expectations (golden types and error wording) are checked
+            // against the oracle's output.
+            Ok(oracle) => to_actual(oracle),
+            Err(d) => Actual::Invalid(format!(
+                "engines disagree: core gave {}, union-find gave {}",
+                d.core, d.uf
+            )),
+        },
     }
 }
 
@@ -445,6 +507,32 @@ mod tests {
             "## case A2•\nprogram: choose ~id\nexpect: (forall a. a -> a) -> forall a. a -> a\n",
         );
         assert!(s.all_pass(), "{}", s.render_failures());
+    }
+
+    #[test]
+    fn every_engine_selection_handles_a_case() {
+        let file = parse_str(
+            "mem.fml",
+            "## case A2•\nprogram: choose ~id\n\
+             ## case A8\nprogram: choose id auto'\n",
+        )
+        .unwrap();
+        for engine in [Engine::Core, Engine::Uf, Engine::Both] {
+            let ok = infer_case_with(&file.cases[0], engine);
+            assert!(
+                matches!(&ok, Actual::Type(t)
+                    if t.to_string() == "(forall a. a -> a) -> forall a. a -> a"),
+                "{engine:?}: {}",
+                ok.display()
+            );
+            let err = infer_case_with(&file.cases[1], engine);
+            assert!(matches!(err, Actual::Error(_)), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engine_default_is_both() {
+        assert_eq!(Engine::default(), Engine::Both);
     }
 
     #[test]

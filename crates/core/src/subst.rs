@@ -88,23 +88,45 @@ impl Subst {
         if self.map.is_empty() {
             return t.clone();
         }
+        self.apply_under(t, &mut Vec::new())
+    }
+
+    /// Application with the listed domain variables *shadowed* (they are
+    /// binders of enclosing `∀`s, so their mappings are inert here).
+    fn apply_under<'s>(&'s self, t: &Type, shadowed: &mut Vec<&'s TyVar>) -> Type {
         match t {
-            Type::Var(a) => self.image_of(a),
-            Type::Con(c, args) => {
-                Type::Con(c.clone(), args.iter().map(|t| self.apply(t)).collect())
+            Type::Var(a) => {
+                if shadowed.contains(&a) {
+                    t.clone()
+                } else {
+                    self.image_of(a)
+                }
             }
+            Type::Con(c, args) => Type::Con(
+                c.clone(),
+                args.iter().map(|t| self.apply_under(t, shadowed)).collect(),
+            ),
             Type::Forall(a, body) => {
-                let captures = self.map.contains_key(a)
-                    || self
-                        .map
-                        .iter()
-                        .any(|(k, v)| v.occurs_free(a) && body.occurs_free(k));
+                // A capture threatens only when some *other*, unshadowed
+                // mapping's image mentions the binder while its domain
+                // variable is free in the body; a binding *for* the
+                // binder itself is simply shadowed (keep the binder's
+                // name — gratuitous renaming here would leak into
+                // canonicalised output).
+                let captures = self.map.iter().any(|(k, v)| {
+                    k != a && !shadowed.contains(&k) && v.occurs_free(a) && body.occurs_free(k)
+                });
                 if captures {
                     let c = TyVar::fresh();
                     let body2 = body.rename_free(a, &Type::Var(c.clone()));
-                    Type::Forall(c, Box::new(self.apply(&body2)))
+                    Type::Forall(c, Box::new(self.apply_under(&body2, shadowed)))
+                } else if let Some((key, _)) = self.map.get_key_value(a) {
+                    shadowed.push(key);
+                    let out = Type::Forall(a.clone(), Box::new(self.apply_under(body, shadowed)));
+                    shadowed.pop();
+                    out
                 } else {
-                    Type::Forall(a.clone(), Box::new(self.apply(body)))
+                    Type::Forall(a.clone(), Box::new(self.apply_under(body, shadowed)))
                 }
             }
         }

@@ -14,7 +14,7 @@
 
 use crate::names::TyVar;
 use crate::tycon::TyCon;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A System F / FreezeML type.
@@ -90,17 +90,25 @@ impl Type {
     /// `ftv(A)`: the sequence of distinct free type variables in order of
     /// first appearance (paper "Notations": `ftv((a→b)→(a→c)) = a,b,c`).
     pub fn ftv(&self) -> Vec<TyVar> {
+        // Binders are tracked in a scoped multiset of borrows (the count
+        // handles `∀a.∀a.…` shadowing) and `seen` borrows too, so the
+        // only clones are the variables actually returned.
         let mut out = Vec::new();
-        let mut seen = HashSet::new();
-        let mut bound = Vec::new();
+        let mut seen: HashSet<&TyVar> = HashSet::new();
+        let mut bound: HashMap<&TyVar, u32> = HashMap::new();
         self.ftv_into(&mut out, &mut seen, &mut bound);
         out
     }
 
-    fn ftv_into(&self, out: &mut Vec<TyVar>, seen: &mut HashSet<TyVar>, bound: &mut Vec<TyVar>) {
+    fn ftv_into<'a>(
+        &'a self,
+        out: &mut Vec<TyVar>,
+        seen: &mut HashSet<&'a TyVar>,
+        bound: &mut HashMap<&'a TyVar, u32>,
+    ) {
         match self {
             Type::Var(a) => {
-                if !bound.contains(a) && seen.insert(a.clone()) {
+                if bound.get(a).is_none_or(|&n| n == 0) && seen.insert(a) {
                     out.push(a.clone());
                 }
             }
@@ -110,9 +118,9 @@ impl Type {
                 }
             }
             Type::Forall(a, body) => {
-                bound.push(a.clone());
+                *bound.entry(a).or_insert(0) += 1;
                 body.ftv_into(out, seen, bound);
-                bound.pop();
+                *bound.get_mut(a).expect("binder entered above") -= 1;
             }
         }
     }
@@ -312,6 +320,22 @@ mod tests {
         let t = Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("b")));
         let names: Vec<String> = t.ftv().iter().map(|v| v.to_string()).collect();
         assert_eq!(names, ["b"]);
+    }
+
+    #[test]
+    fn ftv_scoped_set_handles_shadowing_and_re_exposure() {
+        // ∀a.(∀a. a) → a: both occurrences bound (inner exit must not
+        // unbind the outer a).
+        let t = Type::foralls(
+            [a()],
+            Type::arrow(Type::foralls([a()], Type::var("a")), Type::var("a")),
+        );
+        assert!(t.ftv().is_empty());
+        // (∀a. a) → a: the second occurrence is free again after the
+        // binder's scope closes.
+        let u = Type::arrow(Type::foralls([a()], Type::var("a")), Type::var("a"));
+        let names: Vec<String> = u.ftv().iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["a"]);
     }
 
     #[test]

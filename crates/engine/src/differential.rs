@@ -1,0 +1,401 @@
+//! Differential testing: the paper-literal `core` engine as oracle for
+//! the union-find engine.
+//!
+//! `core` is a line-by-line transcription of Figures 15–16 and is kept as
+//! the ground truth for soundness and principality; this module runs the
+//! same programs (the 49-row Figure 1 corpus, and property-generated
+//! terms and type pairs from the test suite) through both engines and
+//! demands agreement:
+//!
+//! * success/failure must coincide;
+//! * on success, the principal types must be α-equivalent;
+//! * on failure, the error *class* must coincide (payload types may be
+//!   rendered under different fresh names, so messages are not compared).
+
+use crate::store::Store;
+use freezeml_core::infer::ProgramError;
+use freezeml_core::{KindEnv, Options, RefinedEnv, TyVar, Type, TypeEnv, TypeError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The class of a type error — the paper's failure modes, stripped of
+/// payloads so that two engines reporting under different fresh names
+/// still compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorClass {
+    /// `TypeError::UnboundVar`.
+    UnboundVar,
+    /// `TypeError::UnboundTyVar`.
+    UnboundTyVar,
+    /// `TypeError::ConArity`.
+    ConArity,
+    /// `TypeError::Mismatch`.
+    Mismatch,
+    /// `TypeError::Occurs`.
+    Occurs,
+    /// `TypeError::PolyNotAllowed`.
+    PolyNotAllowed,
+    /// `TypeError::SkolemEscape`.
+    SkolemEscape,
+    /// `TypeError::AnnotationEscape`.
+    AnnotationEscape,
+    /// `TypeError::PolyVarInEnv`.
+    PolyVarInEnv,
+    /// `TypeError::ShadowedTyVar`.
+    ShadowedTyVar,
+    /// `TypeError::CannotTypeApply`.
+    CannotTypeApply,
+    /// A parse error (only reachable through `*_program` entry points;
+    /// both engines share the parser, so it always agrees).
+    Parse,
+}
+
+/// Classify a type error.
+pub fn class_of(e: &TypeError) -> ErrorClass {
+    match e {
+        TypeError::UnboundVar(_) => ErrorClass::UnboundVar,
+        TypeError::UnboundTyVar(_) => ErrorClass::UnboundTyVar,
+        TypeError::ConArity { .. } => ErrorClass::ConArity,
+        TypeError::Mismatch { .. } => ErrorClass::Mismatch,
+        TypeError::Occurs { .. } => ErrorClass::Occurs,
+        TypeError::PolyNotAllowed { .. } => ErrorClass::PolyNotAllowed,
+        TypeError::SkolemEscape { .. } => ErrorClass::SkolemEscape,
+        TypeError::AnnotationEscape { .. } => ErrorClass::AnnotationEscape,
+        TypeError::PolyVarInEnv { .. } => ErrorClass::PolyVarInEnv,
+        TypeError::ShadowedTyVar { .. } => ErrorClass::ShadowedTyVar,
+        TypeError::CannotTypeApply { .. } => ErrorClass::CannotTypeApply,
+    }
+}
+
+/// Classify a program error.
+pub fn class_of_program(e: &ProgramError) -> ErrorClass {
+    match e {
+        ProgramError::Parse(_) => ErrorClass::Parse,
+        ProgramError::Type(t) => class_of(t),
+    }
+}
+
+/// A recorded disagreement between the two engines.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// What was run (source text or a description of the unify problem).
+    pub input: String,
+    /// The oracle's verdict, rendered.
+    pub core: String,
+    /// The union-find engine's verdict, rendered.
+    pub uf: String,
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engines disagree on `{}`:\n  core: {}\n  uf:   {}",
+            self.input, self.core, self.uf
+        )
+    }
+}
+
+fn render(r: &Result<Type, ProgramError>) -> String {
+    match r {
+        Ok(t) => t.to_string(),
+        Err(e) => format!("✕ {:?} ({e})", class_of_program(e)),
+    }
+}
+
+/// α-equivalence up to a bijective renaming of *invented* free variables
+/// (leftover flexibles, printed `%n`). The two engines draw fresh
+/// variables from the same global counter but at different moments, so
+/// their residual flexibles never carry the same `%n`; the principal
+/// types are nevertheless the same, because the identity of a residual
+/// flexible is arbitrary. Source-named free variables must still match
+/// exactly, and bound variables follow ordinary α-equivalence.
+pub fn types_equivalent(a: &Type, b: &Type) -> bool {
+    fn go(
+        a: &Type,
+        b: &Type,
+        env: &mut Vec<(TyVar, TyVar)>,
+        flex: &mut Vec<(TyVar, TyVar)>,
+    ) -> bool {
+        match (a, b) {
+            (Type::Var(x), Type::Var(y)) => {
+                for (l, r) in env.iter().rev() {
+                    if l == x || r == y {
+                        return l == x && r == y;
+                    }
+                }
+                if x.is_named() || y.is_named() {
+                    return x == y;
+                }
+                // Both invented and free: bijection.
+                for (l, r) in flex.iter() {
+                    if l == x || r == y {
+                        return l == x && r == y;
+                    }
+                }
+                flex.push((x.clone(), y.clone()));
+                true
+            }
+            (Type::Con(c, xs), Type::Con(d, ys)) => {
+                c == d
+                    && xs.len() == ys.len()
+                    && xs.iter().zip(ys).all(|(x, y)| go(x, y, env, flex))
+            }
+            (Type::Forall(x, bx), Type::Forall(y, by)) => {
+                env.push((x.clone(), y.clone()));
+                let r = go(bx, by, env, flex);
+                env.pop();
+                r
+            }
+            _ => false,
+        }
+    }
+    go(a, b, &mut Vec::new(), &mut Vec::new())
+}
+
+/// Do the two verdicts agree (equivalent types, or same error class)?
+/// Types are compared with [`types_equivalent`], so pass *uncanonicalised*
+/// outputs — canonicalisation bakes arbitrary letter choices into named
+/// variables, which this comparison deliberately ignores for invented
+/// variables only.
+pub fn verdicts_agree(core: &Result<Type, ProgramError>, uf: &Result<Type, ProgramError>) -> bool {
+    match (core, uf) {
+        (Ok(a), Ok(b)) => types_equivalent(a, b),
+        (Err(ea), Err(eb)) => class_of_program(ea) == class_of_program(eb),
+        _ => false,
+    }
+}
+
+/// Run one program through both engines and compare. On agreement,
+/// returns the oracle's canonicalised outcome (the one expectations are
+/// checked against).
+pub fn compare_program(
+    gamma: &TypeEnv,
+    src: &str,
+    opts: &Options,
+) -> Result<Result<Type, ProgramError>, Disagreement> {
+    let term = match freezeml_core::parse_term(src) {
+        Ok(t) => t,
+        // Shared parser: a parse failure is the same failure for both.
+        Err(e) => return Ok(Err(ProgramError::Parse(e))),
+    };
+    compare_term(gamma, &term, opts).map_err(|d| Disagreement {
+        input: src.to_string(),
+        ..d
+    })
+}
+
+/// Run one already-parsed term through both engines and compare
+/// (end-to-end: well-scopedness, environment formation, inference).
+/// Raw outputs are compared with [`types_equivalent`]; on agreement the
+/// oracle's canonicalised outcome is returned.
+pub fn compare_term(
+    gamma: &TypeEnv,
+    term: &freezeml_core::Term,
+    opts: &Options,
+) -> Result<Result<Type, ProgramError>, Disagreement> {
+    let core = freezeml_core::infer_term(gamma, term, opts)
+        .map(|o| o.ty)
+        .map_err(ProgramError::Type);
+    let uf = crate::infer::infer_term(gamma, term, opts)
+        .map(|o| o.ty)
+        .map_err(ProgramError::Type);
+    if verdicts_agree(&core, &uf) {
+        Ok(core.map(|t| t.canonicalize()))
+    } else {
+        let canon = |r: &Result<Type, ProgramError>| match r {
+            Ok(t) => Ok(t.canonicalize()),
+            Err(e) => Err(e.clone()),
+        };
+        Err(Disagreement {
+            input: term.to_string(),
+            core: render(&canon(&core)),
+            uf: render(&canon(&uf)),
+        })
+    }
+}
+
+/// Run the whole 49-row Figure 1 corpus through both engines; returns
+/// every disagreement (empty = the engines agree on the paper's entire
+/// evaluation, including which rows fail and with what error class).
+pub fn compare_corpus() -> Vec<Disagreement> {
+    let mut out = Vec::new();
+    for e in freezeml_corpus::EXAMPLES {
+        let env = freezeml_corpus::runner::env_for(e);
+        let opts = freezeml_corpus::runner::options_for(e);
+        if let Err(d) = compare_program(&env, e.src, &opts) {
+            out.push(Disagreement {
+                input: format!("{} · {}", e.id, d.input),
+                ..d
+            });
+        }
+    }
+    out
+}
+
+/// A unification problem over an explicit flexible environment, for
+/// property-based differential testing: `theta` gives each flexible
+/// variable its kind; every other free variable of the two types is
+/// rigid.
+pub fn compare_unify(theta: &RefinedEnv, a: &Type, b: &Type) -> Result<(), Disagreement> {
+    let describe = || format!("{a}  ≟  {b}   [Θ = {theta}]");
+    // Every free variable outside Θ is rigid.
+    let delta: KindEnv = a
+        .ftv()
+        .into_iter()
+        .chain(b.ftv())
+        .filter(|v| !theta.contains(v))
+        .collect();
+    // Oracle.
+    let core = freezeml_core::unify(&delta, theta, a, b);
+    // Union-find engine: route the Θ variables to fresh cells.
+    let mut store = Store::new();
+    let mut map = HashMap::new();
+    let mut cells = Vec::new();
+    for (v, k) in theta.iter() {
+        let (cell, node) = store.fresh_var(k);
+        map.insert(v.clone(), node);
+        cells.push((v.clone(), cell));
+    }
+    let aid = store.intern_type_with(a, &map);
+    let bid = store.intern_type_with(b, &map);
+    let uf = crate::unify::unify(&mut store, aid, bid);
+    match (&core, &uf) {
+        (Err(ce), Err(ue)) => {
+            if class_of(ce) == class_of(ue) {
+                Ok(())
+            } else {
+                Err(Disagreement {
+                    input: describe(),
+                    core: format!("✕ {:?}", class_of(ce)),
+                    uf: format!("✕ {:?}", class_of(ue)),
+                })
+            }
+        }
+        (Ok((th1, s)), Ok(())) => {
+            // The unified types must land in the same α-class. `core`'s
+            // unifier never invents variables (residual vars are Θ vars
+            // already); the union-find side zonks to cell names, which
+            // are mapped back to their Θ names for comparison.
+            let core_a = s.apply(a);
+            let uf_a = store.zonk(aid);
+            let uf_b = store.zonk(bid);
+            let (uf_a, uf_b) = (
+                rename_uf_solution(&uf_a, &mut store, &cells),
+                rename_uf_solution(&uf_b, &mut store, &cells),
+            );
+            if !(core_a.alpha_eq(&uf_a) && uf_a.alpha_eq(&uf_b)) {
+                return Err(Disagreement {
+                    input: describe(),
+                    core: core_a.to_string(),
+                    uf: format!("{uf_a} / {uf_b}"),
+                });
+            }
+            // …and the residual flexible environments must agree on which
+            // variables were solved and the kinds of the survivors.
+            for (v, cell) in &cells {
+                let solved_core = !th1.contains(v);
+                let solved_uf = store.is_solved(*cell);
+                if solved_core != solved_uf {
+                    // `core` removes a solved variable from Θ even when it
+                    // is solved *by* another variable; in the union-find
+                    // store the orientation of a var-var link is an
+                    // implementation detail. Only flag a disagreement if
+                    // the variable is solved to a non-variable.
+                    let vid = store.flex(*cell);
+                    let z = store.zonk(vid);
+                    if !matches!(z, Type::Var(_)) {
+                        return Err(Disagreement {
+                            input: describe(),
+                            core: format!("{v} solved: {solved_core}"),
+                            uf: format!("{v} solved: {solved_uf}"),
+                        });
+                    }
+                } else if !solved_core {
+                    let (ck, uk) = (th1.kind_of(v), Some(store.kind_of(*cell)));
+                    if ck != uk {
+                        return Err(Disagreement {
+                            input: describe(),
+                            core: format!("{v} : {ck:?}"),
+                            uf: format!("{v} : {uk:?}"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+        (ok, err) => Err(Disagreement {
+            input: describe(),
+            core: match ok {
+                Ok(_) => "unified".to_string(),
+                Err(e) => format!("✕ {:?}", class_of(e)),
+            },
+            uf: match err {
+                Ok(()) => "unified".to_string(),
+                Err(e) => format!("✕ {:?}", class_of(e)),
+            },
+        }),
+    }
+}
+
+/// Replace a zonked cell name by its Θ name.
+fn rename_uf_solution(t: &Type, store: &mut Store, cells: &[(TyVar, crate::store::VarId)]) -> Type {
+    let mut out = t.clone();
+    for (v, cell) in cells {
+        if !store.is_solved(*cell) {
+            let name = store.name_of(*cell);
+            out = out.rename_free(&name, &Type::Var(v.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::{parse_type, Kind};
+
+    #[test]
+    fn corpus_agrees() {
+        let ds = compare_corpus();
+        assert!(
+            ds.is_empty(),
+            "{} corpus disagreements:\n{}",
+            ds.len(),
+            ds.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn unify_comparison_catches_nothing_on_simple_cases() {
+        let a = TyVar::fresh();
+        let theta: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let l = Type::Var(a);
+        let r = parse_type("Int -> Bool").unwrap();
+        compare_unify(&theta, &l, &r).unwrap();
+        compare_unify(&theta, &r, &l).unwrap();
+        // Failure parity too.
+        compare_unify(
+            &RefinedEnv::new(),
+            &parse_type("Int").unwrap(),
+            &parse_type("Bool").unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn demotion_parity_is_checked() {
+        // a : • against List b with b : ⋆ demotes b in both engines.
+        let a = TyVar::fresh();
+        let b = TyVar::fresh();
+        let theta: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
+            .into_iter()
+            .collect();
+        let l = Type::Var(a);
+        let r = Type::list(Type::Var(b));
+        compare_unify(&theta, &l, &r).unwrap();
+    }
+}

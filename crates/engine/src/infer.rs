@@ -1,0 +1,622 @@
+//! Figure 16's inference algorithm on the mutable store.
+//!
+//! Same judgement shapes as `core::infer`, different machinery:
+//!
+//! * no `Subst` exists anywhere — `θ(Γ)`, `θ₂(A′)` and the composition
+//!   chains of Figure 16 are all the identity on the store, because types
+//!   are resolved through cells at the moment they are inspected;
+//! * the `let` rule's generalisation set `∆′′′ = ftv(A) − ∆ − ftv(θ₁)` is
+//!   computed from *levels*: a variable belongs to `ftv(θ₁)` (the image
+//!   of the environment that existed before the right-hand side) exactly
+//!   when binding has propagated an outer level into it, so the paper's
+//!   `range_ftv` sweep over `Θ` becomes one integer comparison per free
+//!   variable of `A`;
+//! * under the value restriction the non-value case's
+//!   `demote(•, Θ₁, ∆′′′)` is a kind-field write per variable;
+//! * the annotated-`let` escape assertion `ftv(θ₂) # ∆′` scans the trail
+//!   for variables that existed *before* the binding (`VarId` below the
+//!   scope's watermark) and were solved *inside* it — precisely the
+//!   variables on which `θ₂` restricted to the ambient `Θ` is not the
+//!   identity.
+//!
+//! The result is zonked back to a `core::Type`, so callers (conformance
+//! harness, pretty-printing, downstream crates) consume it unchanged.
+
+use crate::store::{Node, Shape, Store, TypeId, VarId};
+use crate::unify::unify;
+use freezeml_core::infer::ProgramError;
+use freezeml_core::scope::split;
+use freezeml_core::{
+    Kind, KindEnv, Options, RefinedEnv, Term, TyVar, Type, TypeEnv, TypeError, Var,
+};
+
+/// The result of a top-level union-find inference run.
+#[derive(Clone, Debug)]
+pub struct InferOutput {
+    /// The inferred (principal) type, fully zonked.
+    pub ty: Type,
+    /// The kinds of the flexible variables left unsolved in `ty` — the
+    /// residual `Θ′` of Figure 16, keyed by the zonked variable names.
+    pub theta: RefinedEnv,
+}
+
+struct InferCtx<'s> {
+    store: &'s mut Store,
+    opts: &'s Options,
+    gamma: &'s mut Vec<(Var, TypeId)>,
+    /// Annotation-bound rigid variables currently in scope (the `∆′`
+    /// extensions of the annotated-`let` rule).
+    rigid_scope: Vec<TyVar>,
+}
+
+impl<'s> InferCtx<'s> {
+    fn lookup(&self, x: &Var) -> Option<TypeId> {
+        self.gamma
+            .iter()
+            .rev()
+            .find(|(v, _)| v == x)
+            .map(|(_, t)| *t)
+    }
+
+    /// Instantiate every top-level quantifier with a fresh `⋆`-kinded
+    /// variable (the Var rule / eliminator instantiation).
+    fn instantiate(&mut self, ty: TypeId) -> TypeId {
+        let mut t = self.store.resolve(ty);
+        while let Shape::Forall(v, body) = self.store.shape(t) {
+            let (_, fresh) = self.store.fresh_var(Kind::Poly);
+            t = self.store.subst_rigid(body, &v, fresh);
+            t = self.store.resolve(t);
+        }
+        t
+    }
+
+    fn infer(&mut self, term: &Term) -> Result<TypeId, TypeError> {
+        match term {
+            // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)).
+            Term::FrozenVar(x) => self
+                .lookup(x)
+                .ok_or_else(|| TypeError::UnboundVar(x.clone())),
+
+            // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
+            Term::Var(x) => {
+                let scheme = self
+                    .lookup(x)
+                    .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+                Ok(self.instantiate(scheme))
+            }
+
+            Term::Lit(l) => Ok(self.store.intern_type(&l.ty())),
+
+            // infer(∆, Θ, Γ, λx.M): fresh a : •.
+            Term::Lam(x, body) => {
+                let (_, a) = self.store.fresh_var(Kind::Mono);
+                self.gamma.push((x.clone(), a));
+                let bty = self.infer(body);
+                self.gamma.pop();
+                Ok(self.store.arrow(a, bty?))
+            }
+
+            // infer(∆, Θ, Γ, λ(x:A).M).
+            Term::LamAnn(x, ann, body) => {
+                let ann_id = self.store.intern_type(ann);
+                self.gamma.push((x.clone(), ann_id));
+                let bty = self.infer(body);
+                self.gamma.pop();
+                Ok(self.store.arrow(ann_id, bty?))
+            }
+
+            // infer(∆, Θ, Γ, M N): unify A′ with A → b for fresh b : ⋆.
+            Term::App(f, arg) => {
+                let fty = self.infer(f)?;
+                let aty = self.infer(arg)?;
+                let mut fty = self.store.resolve(fty);
+                // Eliminator instantiation (§3.2): implicitly instantiate
+                // a quantified head before matching it against `A → b`.
+                if self.opts.instantiation == freezeml_core::InstantiationStrategy::Eliminator
+                    && matches!(self.store.node(fty), Node::Forall(_, _))
+                {
+                    fty = self.instantiate(fty);
+                }
+                let (_, b) = self.store.fresh_var(Kind::Poly);
+                let expected = self.store.arrow(aty, b);
+                unify(self.store, fty, expected)?;
+                Ok(b)
+            }
+
+            // infer(∆, Θ, Γ, let x = M in N).
+            Term::Let(x, rhs, body) => {
+                let outer = self.store.current_level();
+                self.store.enter_level();
+                let aty = self.infer(rhs);
+                self.store.leave_level();
+                let aty = aty?;
+                // ∆′′′ = ftv(A) − ∆ − ∆′: free variables of A not reachable
+                // from the pre-rhs environment — level > outer.
+                let d3: Vec<VarId> = self
+                    .store
+                    .free_flex(aty)
+                    .into_iter()
+                    .filter(|&v| self.store.level_of(v) > outer)
+                    .collect();
+                let gval = rhs.is_gval(self.opts);
+                let scheme = if gval {
+                    self.generalize(aty, &d3)
+                } else {
+                    // Value restriction: demote the ungeneralised
+                    // variables to `•` — one cell write each.
+                    for &v in &d3 {
+                        self.store.demote(v);
+                    }
+                    aty
+                };
+                self.gamma.push((x.clone(), scheme));
+                let bty = self.infer(body);
+                self.gamma.pop();
+                bty
+            }
+
+            // Explicit type application M@[A] (§6 extension).
+            Term::TyApp(m, arg) => {
+                let mty = self.infer(m)?;
+                let mty = self.store.resolve(mty);
+                match self.store.shape(mty) {
+                    Shape::Forall(v, body) => {
+                        let arg_id = self.store.intern_type(arg);
+                        Ok(self.store.subst_rigid(body, &v, arg_id))
+                    }
+                    _ => Err(TypeError::CannotTypeApply {
+                        ty: self.store.zonk(mty),
+                    }),
+                }
+            }
+
+            // infer(∆, Θ, Γ, let (x:A) = M in N).
+            Term::LetAnn(x, ann, rhs, body) => {
+                let (split_vars, a_prime) = split(ann, rhs, self.opts);
+                for v in &split_vars {
+                    if self.rigid_scope.contains(v) {
+                        return Err(TypeError::ShadowedTyVar { var: v.clone() });
+                    }
+                }
+                let watermark = self.store.var_count();
+                let mark = self.store.mark();
+                let depth = self.rigid_scope.len();
+                self.rigid_scope.extend(split_vars.iter().cloned());
+                let a_prime_id = self.store.intern_type(&a_prime);
+                let result = self
+                    .infer(rhs)
+                    .and_then(|a1| unify(self.store, a_prime_id, a1));
+                self.rigid_scope.truncate(depth);
+                result?;
+                // assert ftv(θ₂) # ∆′: a variable from the ambient Θ
+                // (below the watermark) solved inside this scope must not
+                // mention an annotation variable.
+                let mut escaping = Vec::new();
+                for v in self.store.bound_since(mark) {
+                    if v.index() < watermark {
+                        let vid = self.store.flex(v);
+                        for a in &split_vars {
+                            if !escaping.contains(a) && self.store.occurs_rigid(vid, a) {
+                                escaping.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                if !escaping.is_empty() {
+                    return Err(TypeError::AnnotationEscape { vars: escaping });
+                }
+                let ann_id = self.store.intern_type(ann);
+                self.gamma.push((x.clone(), ann_id));
+                let bty = self.infer(body);
+                self.gamma.pop();
+                bty
+            }
+        }
+    }
+
+    /// `(∆′′, ∆′′′) = gen((∆, ∆′), A, M)` in the value case: close `A`
+    /// over the given variables. Each cell is solved with a rigid carrying
+    /// its own (globally fresh) name, which then serves as the binder.
+    fn generalize(&mut self, aty: TypeId, d3: &[VarId]) -> TypeId {
+        let mut binders = Vec::with_capacity(d3.len());
+        for &v in d3 {
+            let name = self.store.name_of(v);
+            let rigid = self.store.rigid(name.clone());
+            self.store.solve(v, rigid);
+            binders.push(name);
+        }
+        binders
+            .into_iter()
+            .rev()
+            .fold(aty, |acc, name| self.store.forall(name, acc))
+    }
+}
+
+/// A reusable inference session over a fixed environment `Γ`.
+///
+/// The environment is kind-checked and interned **once**; each
+/// [`Session::infer`] call then only pays for the term at hand, and the
+/// previous term's store state (nodes, cells, trail, binder records) is
+/// reclaimed on the way in, so memory stays bounded by the environment
+/// plus one term. This is the serving shape the arena design exists for
+/// — checking a stream of programs against one prelude amortises all
+/// environment setup. Reuse is sound because the initial `Γ` is closed
+/// over flexible variables (environment formation, Figure 12), so no
+/// pre-term state can reference per-term state.
+pub struct Session {
+    store: Store,
+    gamma: Vec<(Var, TypeId)>,
+    opts: Options,
+    /// Store extent right after the environment was interned; everything
+    /// beyond it is per-term state, reclaimed between terms.
+    base: crate::store::StoreMark,
+}
+
+impl Session {
+    /// Check and intern the environment.
+    ///
+    /// # Errors
+    ///
+    /// Environment-formation errors (`∆, Θ ⊢ Γ`, Figure 12).
+    pub fn new(gamma: &TypeEnv, opts: &Options) -> Result<Session, TypeError> {
+        freezeml_core::kinding::check_env(&KindEnv::new(), &RefinedEnv::new(), gamma)?;
+        Ok(Session::unchecked(gamma, opts))
+    }
+
+    /// Intern the environment without re-running environment formation
+    /// (for callers that have already checked it, possibly under a
+    /// non-empty `∆` — see [`check_typing`]).
+    fn unchecked(gamma: &TypeEnv, opts: &Options) -> Session {
+        let mut store = Store::new();
+        let interned: Vec<(Var, TypeId)> = gamma
+            .iter()
+            .map(|(x, ty)| (x.clone(), store.intern_type(ty)))
+            .collect();
+        let base = store.checkpoint();
+        Session {
+            store,
+            gamma: interned,
+            opts: *opts,
+            base,
+        }
+    }
+
+    /// Infer one term: well-scopedness, inference, zonk.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TypeError`] classes as the `core` engine.
+    pub fn infer(&mut self, term: &Term) -> Result<InferOutput, TypeError> {
+        freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
+        self.infer_scoped(term)
+    }
+
+    /// Inference proper, for terms already scope-checked.
+    fn infer_scoped(&mut self, term: &Term) -> Result<InferOutput, TypeError> {
+        // The previous term's nodes, cells, binder records, and journal
+        // are dead weight once its output has been zonked — reclaim them
+        // so a long-lived session's store stays bounded by the
+        // environment plus one term.
+        self.store.reset_to(&self.base);
+        let depth = self.gamma.len();
+        let opts = self.opts;
+        let mut cx = InferCtx {
+            store: &mut self.store,
+            opts: &opts,
+            gamma: &mut self.gamma,
+            rigid_scope: Vec::new(),
+        };
+        let result = cx.infer(term);
+        // A failed inference may leave pushed bindings behind; restore Γ.
+        self.gamma.truncate(depth);
+        let ty_id = result?;
+        let theta: RefinedEnv = self
+            .store
+            .free_flex(ty_id)
+            .into_iter()
+            .map(|v| (self.store.name_of(v), self.store.kind_of(v)))
+            .collect();
+        let ty = self.store.zonk(ty_id);
+        Ok(InferOutput { ty, theta })
+    }
+}
+
+/// Infer the type of a closed-context term on a fresh union-find store.
+/// Mirrors `core::infer::infer_term`: checks well-scopedness and
+/// environment formation first, then runs inference and zonks. For a
+/// stream of terms against one environment, build a [`Session`] instead.
+///
+/// # Errors
+///
+/// The same [`TypeError`] classes as the `core` engine.
+pub fn infer_term(gamma: &TypeEnv, term: &Term, opts: &Options) -> Result<InferOutput, TypeError> {
+    // Scope-check before environment formation — the order `core`'s
+    // driver uses, so a term that fails both reports the same error.
+    freezeml_core::scope::well_scoped(&KindEnv::new(), term, opts)?;
+    Session::new(gamma, opts)?.infer_scoped(term)
+}
+
+/// Parse and infer on the union-find engine, returning the canonicalised
+/// principal type — the drop-in analogue of `core::infer_program`.
+///
+/// ```
+/// use freezeml_core::{Options, TypeEnv};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut env = TypeEnv::new();
+/// env.push_str("choose", "forall a. a -> a -> a")?;
+/// env.push_str("id", "forall a. a -> a")?;
+/// let ty = freezeml_engine::infer_program(&env, "choose id", &Options::default())?;
+/// assert_eq!(ty.to_string(), "(a -> a) -> a -> a");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// A [`ProgramError`] wrapping the parse or type error.
+pub fn infer_program(gamma: &TypeEnv, src: &str, opts: &Options) -> Result<Type, ProgramError> {
+    let term = freezeml_core::parse_term(src)?;
+    let out = infer_term(gamma, &term, opts)?;
+    Ok(out.ty.canonicalize())
+}
+
+/// Decide the declarative judgement `∆; Γ ⊢ M : A` via the union-find
+/// engine — the analogue of `core::check::check_typing` (Theorem 7: a
+/// typing is derivable iff the candidate matches the inferred principal
+/// type under a kind-respecting substitution).
+///
+/// # Errors
+///
+/// Returns an error only for ill-scoped terms or malformed environments;
+/// an ill-typed term yields `Ok(false)`.
+pub fn check_typing(
+    delta: &KindEnv,
+    gamma: &TypeEnv,
+    term: &Term,
+    ty: &Type,
+    opts: &Options,
+) -> Result<bool, TypeError> {
+    freezeml_core::scope::well_scoped(delta, term, opts)?;
+    freezeml_core::kinding::check_env(delta, &RefinedEnv::new(), gamma)?;
+    // Inference proper, with no re-checking: the checks above already ran
+    // under the caller's ∆, and the engine treats ∆-bound variables as
+    // rigid constants structurally, so it needs no environment of its own.
+    let out = match Session::unchecked(gamma, opts).infer_scoped(term) {
+        Ok(out) => out,
+        Err(_) => return Ok(false), // complete: no inference ⇒ no typing
+    };
+    Ok(freezeml_core::check::matches(delta, &out.theta, &out.ty, ty).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> TypeEnv {
+        let mut g = TypeEnv::new();
+        for (name, ty) in [
+            ("id", "forall a. a -> a"),
+            ("ids", "List (forall a. a -> a)"),
+            ("choose", "forall a. a -> a -> a"),
+            ("head", "forall a. List a -> a"),
+            ("single", "forall a. a -> List a"),
+            ("auto", "(forall a. a -> a) -> forall a. a -> a"),
+            ("auto'", "forall b. (forall a. a -> a) -> b -> b"),
+            ("poly", "(forall a. a -> a) -> Int * Bool"),
+            ("inc", "Int -> Int"),
+            ("nil", "forall a. List a"),
+        ] {
+            g.push_str(name, ty).unwrap();
+        }
+        g
+    }
+
+    fn ty_of(src: &str) -> Result<String, ProgramError> {
+        infer_program(&env(), src, &Options::default()).map(|t| t.to_string())
+    }
+
+    #[test]
+    fn frozen_variable_keeps_scheme() {
+        assert_eq!(ty_of("~id").unwrap(), "forall a. a -> a");
+    }
+
+    #[test]
+    fn plain_variable_instantiates() {
+        assert_eq!(ty_of("id").unwrap(), "a -> a");
+    }
+
+    #[test]
+    fn lambda_infers_monotype_param() {
+        assert_eq!(ty_of("fun x -> x").unwrap(), "a -> a");
+        assert_eq!(ty_of("fun x y -> y").unwrap(), "a -> b -> b");
+    }
+
+    #[test]
+    fn application_works() {
+        assert_eq!(ty_of("inc 41").unwrap(), "Int");
+        assert_eq!(ty_of("id 41").unwrap(), "Int");
+    }
+
+    #[test]
+    fn choose_id_specialises() {
+        assert_eq!(ty_of("choose id").unwrap(), "(a -> a) -> a -> a");
+        assert_eq!(
+            ty_of("choose ~id").unwrap(),
+            "(forall a. a -> a) -> forall a. a -> a"
+        );
+    }
+
+    #[test]
+    fn generalisation_operator() {
+        assert_eq!(ty_of("$(fun x -> x)").unwrap(), "forall a. a -> a");
+        assert_eq!(ty_of("poly $(fun x -> x)").unwrap(), "Int * Bool");
+        assert_eq!(ty_of("poly ~id").unwrap(), "Int * Bool");
+    }
+
+    #[test]
+    fn auto_requires_frozen_argument() {
+        assert!(ty_of("auto id").is_err());
+        assert_eq!(ty_of("auto ~id").unwrap(), "forall a. a -> a");
+    }
+
+    #[test]
+    fn instantiation_operator() {
+        assert_eq!(ty_of("head ids").unwrap(), "forall a. a -> a");
+        assert!(ty_of("head ids 3").is_err());
+        assert_eq!(ty_of("(head ids)@ 3").unwrap(), "Int");
+    }
+
+    #[test]
+    fn let_generalises_values() {
+        assert_eq!(
+            ty_of("let f = fun x -> x in poly ~f").unwrap(),
+            "Int * Bool"
+        );
+    }
+
+    #[test]
+    fn let_does_not_generalise_applications() {
+        assert!(ty_of("let f = fun x -> x in ~f 42").is_err());
+        assert_eq!(
+            ty_of("choose (head ids)").unwrap(),
+            "(forall a. a -> a) -> forall a. a -> a"
+        );
+    }
+
+    #[test]
+    fn value_restriction_rejects_poly_solution() {
+        let g = env();
+        let r = infer_program(
+            &g,
+            "let xs = single id in choose ids xs",
+            &Options::default(),
+        );
+        assert!(r.is_err(), "demoted var must not take a polytype: {r:?}");
+    }
+
+    #[test]
+    fn annotated_let_accepts_non_principal_types() {
+        assert_eq!(
+            ty_of("let (f : Int -> Int) = fun x -> x in f 3").unwrap(),
+            "Int"
+        );
+    }
+
+    #[test]
+    fn annotated_let_scoped_tyvars() {
+        assert_eq!(
+            ty_of("let (f : forall a. a -> a) = fun (x : a) -> x in f 3").unwrap(),
+            "Int"
+        );
+    }
+
+    #[test]
+    fn annotated_let_rejects_wrong_annotation() {
+        assert!(ty_of("let (f : Int -> Bool) = fun x -> x in f 3").is_err());
+        assert!(ty_of("let (f : forall a. a -> a) = id id in f").is_err());
+    }
+
+    #[test]
+    fn annotation_escape_is_caught() {
+        let r = ty_of("fun y -> let (f : forall a. a -> a) = fun (x : a) -> y in f");
+        assert!(matches!(
+            r,
+            Err(ProgramError::Type(TypeError::AnnotationEscape { .. }))
+        ));
+    }
+
+    #[test]
+    fn eliminator_strategy_instantiates_heads() {
+        let opts = Options::eliminator();
+        let r = infer_program(&env(), "head ids 3", &opts);
+        assert_eq!(r.unwrap().to_string(), "Int");
+    }
+
+    #[test]
+    fn pure_mode_generalises_applications() {
+        let r = infer_program(&env(), "$(auto' ~id)", &Options::pure_freezeml());
+        assert_eq!(r.unwrap().to_string(), "forall a. a -> a");
+        let r2 = infer_program(&env(), "$(auto' ~id)", &Options::default());
+        assert_eq!(r2.unwrap().to_string(), "a -> a");
+    }
+
+    #[test]
+    fn session_store_stays_bounded_across_terms() {
+        let mut session = Session::new(&env(), &Options::default()).unwrap();
+        let term = freezeml_core::parse_term("poly $(fun x -> x)").unwrap();
+        session.infer(&term).unwrap();
+        session.infer(&term).unwrap();
+        let after_two = session.store.checkpoint();
+        for _ in 0..50 {
+            session.infer(&term).unwrap();
+        }
+        // Per-term state is reclaimed: the extent after 52 terms equals
+        // the extent after 2 (environment + exactly one term in flight).
+        let after_many = session.store.checkpoint();
+        assert_eq!(format!("{after_two:?}"), format!("{after_many:?}"));
+    }
+
+    #[test]
+    fn check_typing_threads_a_nonempty_delta() {
+        use freezeml_core::{parse_term, parse_type, TyVar};
+        // ∆ = {a}, Γ = {x : a}: ⌈x⌉ : a is derivable; Int is not.
+        let delta: KindEnv = [TyVar::named("a")].into_iter().collect();
+        let mut gamma = TypeEnv::new();
+        gamma.push("x", Type::var("a"));
+        let term = parse_term("~x").unwrap();
+        let opts = Options::default();
+        assert!(check_typing(&delta, &gamma, &term, &parse_type("a").unwrap(), &opts).unwrap());
+        assert!(!check_typing(&delta, &gamma, &term, &Type::int(), &opts).unwrap());
+        // And it matches the oracle on the same judgement.
+        assert!(freezeml_core::check::check_typing(
+            &delta,
+            &gamma,
+            &term,
+            &parse_type("a").unwrap(),
+            &opts
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn session_reuses_the_environment_across_terms() {
+        let mut session = Session::new(&env(), &Options::default()).unwrap();
+        for (src, want) in [
+            ("choose id", "(a -> a) -> a -> a"),
+            ("~id", "forall a. a -> a"),
+            ("poly $(fun x -> x)", "Int * Bool"),
+            ("inc 41", "Int"),
+            ("fun x -> x", "a -> a"),
+        ] {
+            let term = freezeml_core::parse_term(src).unwrap();
+            let got = session.infer(&term).unwrap().ty.canonicalize();
+            assert_eq!(got.to_string(), want, "{src}");
+        }
+        // Errors leave the session usable.
+        let bad = freezeml_core::parse_term("auto id").unwrap();
+        assert!(session.infer(&bad).is_err());
+        let term = freezeml_core::parse_term("id 41").unwrap();
+        assert_eq!(session.infer(&term).unwrap().ty.to_string(), "Int");
+    }
+
+    #[test]
+    fn check_typing_agrees_with_core() {
+        use freezeml_core::{parse_term, parse_type};
+        for (src, ty, want) in [
+            ("fun x -> x", "Int -> Int", true),
+            ("fun x -> x", "Int -> Bool", false),
+            ("~id", "forall a. a -> a", true),
+            (
+                "fun x -> x",
+                "(forall a. a -> a) -> forall a. a -> a",
+                false,
+            ),
+        ] {
+            let term = parse_term(src).unwrap();
+            let ty = parse_type(ty).unwrap();
+            let got = check_typing(&KindEnv::new(), &env(), &term, &ty, &Options::default());
+            assert_eq!(got.unwrap(), want, "{src} : {ty}");
+        }
+    }
+}

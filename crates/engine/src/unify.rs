@@ -1,0 +1,351 @@
+//! Figure 15's unification algorithm on the mutable store.
+//!
+//! Semantically this is the same algorithm as `core::unify` — the
+//! differential suite holds the two to identical verdicts — but every
+//! piece of bookkeeping is a cell update instead of data-structure
+//! rebuilding:
+//!
+//! * solving `a ↦ A` writes `a`'s cell once (no `Θ − a` rebuild, no
+//!   substitution singleton/composition);
+//! * `demote(•, Θ, ∆′)` becomes one kind-field write per variable in
+//!   `ftv(A)` ([`Store::absorb`]), folded into the same walk as the
+//!   occurs check;
+//! * the occurs check is explicit (walk the resolved solution for the
+//!   cell being solved) rather than re-kinding in a shrunken environment,
+//!   but fires in exactly the cases `core` reports [`TypeError::Occurs`];
+//! * skolemisation allocates *nothing*: `∀a.A ≟ ∀b.B` pushes the binder
+//!   pair onto a scope stack with a shared fresh skolem name and unifies
+//!   the original bodies, comparing binder-bound rigids *through* the
+//!   stack (binder names are globally unique, so the side-agnostic
+//!   lookup is unambiguous). The escape assertion `c ∉ ftv(θ′)` is
+//!   checked by scanning the *trail* — the variables actually bound
+//!   inside the scope are precisely where `θ′` differs from the ambient
+//!   substitution, so scanning them is the whole check.
+//!
+//! Two types that are *identical* after resolution unify immediately:
+//! `unify(A, A)` always succeeds with the identity in Figure 15 (by
+//! induction on `A`, no case binds a variable), and hash-consing makes
+//! that test one pointer comparison.
+
+use crate::store::{Shape, Store, TypeId, VarId};
+use freezeml_core::{Kind, TyVar, TypeError};
+
+/// One open `∀ ≟ ∀` scope: both binders identify the same fresh skolem.
+struct ScopeEntry {
+    left: TyVar,
+    right: TyVar,
+    skolem: TyVar,
+}
+
+/// Map a rigid variable through the open scopes: a binder name (from
+/// either side) becomes its scope's skolem; anything else is itself.
+fn chase<'s>(scope: &'s [ScopeEntry], v: &'s TyVar) -> &'s TyVar {
+    for e in scope.iter().rev() {
+        if e.left == *v || e.right == *v {
+            return &e.skolem;
+        }
+    }
+    v
+}
+
+/// Unify two interned types, mutating the store's cells.
+///
+/// # Errors
+///
+/// The same classes as `core::unify`: [`TypeError::Mismatch`],
+/// [`TypeError::Occurs`], [`TypeError::PolyNotAllowed`],
+/// [`TypeError::SkolemEscape`] (error payloads are zonked snapshots).
+pub fn unify(store: &mut Store, a: TypeId, b: TypeId) -> Result<(), TypeError> {
+    let mut scope = Vec::new();
+    unify_in(store, a, b, &mut scope)
+}
+
+fn unify_in(
+    store: &mut Store,
+    a: TypeId,
+    b: TypeId,
+    scope: &mut Vec<ScopeEntry>,
+) -> Result<(), TypeError> {
+    let a = store.resolve(a);
+    let b = store.resolve(b);
+    if a == b {
+        // Hash-consed identity: unify(A, A) = (Θ, ι) for every A.
+        return Ok(());
+    }
+    match (store.shape(a), store.shape(b)) {
+        (Shape::Rigid(x), Shape::Rigid(y)) => {
+            if chase(scope, &x) == chase(scope, &y) {
+                Ok(())
+            } else {
+                Err(mismatch(store, a, b))
+            }
+        }
+        (Shape::Flex(x), _) => bind(store, x, b, scope),
+        (_, Shape::Flex(y)) => bind(store, y, a, scope),
+        (Shape::Con(c, n), Shape::Con(d, m)) => {
+            if c != d || n != m {
+                return Err(mismatch(store, a, b));
+            }
+            for i in 0..n {
+                let (x, y) = (store.con_child(a, i), store.con_child(b, i));
+                unify_in(store, x, y, scope)?;
+            }
+            Ok(())
+        }
+        (Shape::Forall(va, ba), Shape::Forall(vb, bb)) => {
+            let mark = store.mark();
+            scope.push(ScopeEntry {
+                left: va,
+                right: vb,
+                skolem: TyVar::skolem(),
+            });
+            let result = unify_in(store, ba, bb, scope);
+            let entry = scope.pop().expect("scope entry pushed above");
+            result?;
+            // Escape check `c ∉ ftv(θ′)` (Figure 15): every variable the
+            // scope solved is a variable of the ambient Θ (unification
+            // never creates variables), so θ′ differs from the ambient
+            // substitution exactly on the trail's bindings. A solution
+            // mentioning either binder denotes the skolem.
+            for v in store.bound_since(mark) {
+                let vid = store.flex(v);
+                if store.occurs_rigid(vid, &entry.left) || store.occurs_rigid(vid, &entry.right) {
+                    return Err(TypeError::SkolemEscape { var: entry.skolem });
+                }
+            }
+            Ok(())
+        }
+        _ => Err(mismatch(store, a, b)),
+    }
+}
+
+fn mismatch(store: &mut Store, a: TypeId, b: TypeId) -> TypeError {
+    TypeError::Mismatch {
+        left: store.zonk(a),
+        right: store.zonk(b),
+    }
+}
+
+/// Solve an unbound flexible variable — Figure 15's
+/// `unify(∆, (Θ, a:K), a, A)` cases, with `core::unify::bind`'s exact
+/// error order: the occurs check wins over the kind check (in `core`,
+/// `kind_of` fails on the unbound `a` before the `≤ K` comparison runs).
+fn bind(store: &mut Store, x: VarId, t: TypeId, _scope: &[ScopeEntry]) -> Result<(), TypeError> {
+    let k = store.kind_of(x);
+    let info = store.analyze(t, x);
+    if info.occurs {
+        return Err(TypeError::Occurs {
+            var: store.name_of(x),
+            ty: store.zonk(t),
+        });
+    }
+    if k == Kind::Mono && info.has_forall {
+        return Err(TypeError::PolyNotAllowed { ty: store.zonk(t) });
+    }
+    // Level propagation (always) and demotion (Figure 15's `demote(•, …)`,
+    // only when solving a •-kinded variable) in one pass.
+    let level = store.level_of(x);
+    store.absorb(&info.flex, level, k == Kind::Mono);
+    store.solve(x, t);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use freezeml_core::{parse_type, Type};
+
+    fn uvar(s: &mut Store, k: Kind) -> (crate::store::VarId, TypeId) {
+        s.fresh_var(k)
+    }
+
+    #[test]
+    fn unifies_equal_ground_types() {
+        let mut s = Store::new();
+        let a = s.int();
+        let b = s.int();
+        assert!(unify(&mut s, a, b).is_ok());
+    }
+
+    #[test]
+    fn solves_flexible_variable() {
+        let mut s = Store::new();
+        let (x, xid) = uvar(&mut s, Kind::Poly);
+        let t = parse_type("Int -> Bool").unwrap();
+        let tid = s.intern_type(&t);
+        unify(&mut s, xid, tid).unwrap();
+        assert!(s.is_solved(x));
+        assert_eq!(s.zonk(xid), t);
+    }
+
+    #[test]
+    fn poly_flexible_takes_polytype() {
+        let mut s = Store::new();
+        let (_, xid) = uvar(&mut s, Kind::Poly);
+        let id_ty = parse_type("forall a. a -> a").unwrap();
+        let tid = s.intern_type(&id_ty);
+        unify(&mut s, xid, tid).unwrap();
+        assert!(s.zonk(xid).alpha_eq(&id_ty));
+    }
+
+    #[test]
+    fn mono_flexible_rejects_polytype() {
+        let mut s = Store::new();
+        let (_, xid) = uvar(&mut s, Kind::Mono);
+        let id_ty = parse_type("forall a. a -> a").unwrap();
+        let tid = s.intern_type(&id_ty);
+        assert!(matches!(
+            unify(&mut s, xid, tid),
+            Err(TypeError::PolyNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn mono_flexible_demotes_poly_flexibles() {
+        let mut s = Store::new();
+        let (_, aid) = uvar(&mut s, Kind::Mono);
+        let (b, bid) = uvar(&mut s, Kind::Poly);
+        let t = s.con(freezeml_core::TyCon::List, vec![bid]);
+        unify(&mut s, aid, t).unwrap();
+        assert_eq!(s.kind_of(b), Kind::Mono);
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let mut s = Store::new();
+        let (_, aid) = uvar(&mut s, Kind::Poly);
+        let i = s.int();
+        let t = s.arrow(aid, i);
+        assert!(matches!(
+            unify(&mut s, aid, t),
+            Err(TypeError::Occurs { .. })
+        ));
+    }
+
+    #[test]
+    fn rigid_vars_unify_only_with_themselves() {
+        let mut s = Store::new();
+        let a1 = s.rigid(TyVar::named("a"));
+        let a2 = s.rigid(TyVar::named("a"));
+        let b = s.rigid(TyVar::named("b"));
+        assert!(unify(&mut s, a1, a2).is_ok());
+        assert!(matches!(
+            unify(&mut s, a1, b),
+            Err(TypeError::Mismatch { .. })
+        ));
+        let i = s.int();
+        assert!(matches!(
+            unify(&mut s, a1, i),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn alpha_equivalent_foralls_unify() {
+        let mut s = Store::new();
+        let l = parse_type("forall a. a -> a").unwrap();
+        let r = parse_type("forall b. b -> b").unwrap();
+        let lid = s.intern_type(&l);
+        let rid = s.intern_type(&r);
+        assert!(unify(&mut s, lid, rid).is_ok());
+    }
+
+    #[test]
+    fn quantifier_order_matters() {
+        let mut s = Store::new();
+        let l = parse_type("forall a b. a -> b -> a * b").unwrap();
+        let r = parse_type("forall b a. a -> b -> a * b").unwrap();
+        let lid = s.intern_type(&l);
+        let rid = s.intern_type(&r);
+        assert!(unify(&mut s, lid, rid).is_err());
+    }
+
+    #[test]
+    fn foralls_solve_inner_flexibles() {
+        // ∀s. ST s b ≟ ∀s. ST s Int ⇒ b ↦ Int.
+        let mut s = Store::new();
+        let (b, bid) = uvar(&mut s, Kind::Poly);
+        let sv = TyVar::named("s");
+        let s_rigid = s.rigid(sv.clone());
+        let st = s.con(freezeml_core::TyCon::St, vec![s_rigid, bid]);
+        let l = s.forall(sv, st);
+        let r_ty = parse_type("forall s. ST s Int").unwrap();
+        let r = s.intern_type(&r_ty);
+        unify(&mut s, l, r).unwrap();
+        let bid = s.flex(b);
+        assert_eq!(s.zonk(bid), Type::int());
+    }
+
+    #[test]
+    fn skolem_escape_is_rejected() {
+        // ∀a. a → b ≟ ∀a. a → a would need b ↦ skolem.
+        let mut s = Store::new();
+        let (_, bid) = uvar(&mut s, Kind::Poly);
+        let av = TyVar::named("a");
+        let a_rigid = s.rigid(av.clone());
+        let body = s.arrow(a_rigid, bid);
+        let l = s.forall(av, body);
+        let r_ty = parse_type("forall a. a -> a").unwrap();
+        let r = s.intern_type(&r_ty);
+        assert!(matches!(
+            unify(&mut s, l, r),
+            Err(TypeError::SkolemEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn forall_vs_arrow_fails() {
+        let mut s = Store::new();
+        let l = parse_type("Int -> forall a. a -> a").unwrap();
+        let r = parse_type("forall a. Int -> a -> a").unwrap();
+        let lid = s.intern_type(&l);
+        let rid = s.intern_type(&r);
+        assert!(matches!(
+            unify(&mut s, lid, rid),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn two_flexibles_unify_and_demote() {
+        let mut s = Store::new();
+        let (a, aid) = uvar(&mut s, Kind::Mono);
+        let (b, bid) = uvar(&mut s, Kind::Poly);
+        unify(&mut s, aid, bid).unwrap();
+        assert_eq!(s.kind_of(b), Kind::Mono);
+        assert!(s.is_solved(a) != s.is_solved(b), "one side is the root");
+    }
+
+    #[test]
+    fn unifier_equalises_both_sides() {
+        let mut s = Store::new();
+        let (_, aid) = uvar(&mut s, Kind::Poly);
+        let (_, bid) = uvar(&mut s, Kind::Poly);
+        let lb = s.con(freezeml_core::TyCon::List, vec![bid]);
+        let l = s.arrow(aid, lb);
+        let r = s.arrow(lb, aid);
+        unify(&mut s, l, r).unwrap();
+        let zl = s.zonk(l);
+        let zr = s.zonk(r);
+        assert!(zl.alpha_eq(&zr));
+    }
+
+    #[test]
+    fn undo_rolls_back_a_whole_unification() {
+        let mut s = Store::new();
+        let (x, xid) = uvar(&mut s, Kind::Poly);
+        let (y, yid) = uvar(&mut s, Kind::Poly);
+        let m = s.mark();
+        let i = s.int();
+        let l = s.arrow(xid, yid);
+        let r = s.arrow(i, i);
+        unify(&mut s, l, r).unwrap();
+        assert!(s.is_solved(x) && s.is_solved(y));
+        s.undo_to(m);
+        assert!(!s.is_solved(x) && !s.is_solved(y));
+        // And the same unification replays cleanly.
+        unify(&mut s, l, r).unwrap();
+        assert_eq!(s.zonk(xid), Type::int());
+    }
+}

@@ -1,0 +1,343 @@
+//! Property-based differential tests: the union-find engine against the
+//! paper-literal oracle on randomly generated inputs.
+//!
+//! Two generators:
+//!
+//! * **well-kinded type pairs** under a random flexible environment `Θ` —
+//!   both engines must produce the same unification verdict, the same
+//!   α-class of unified type, the same set of solved variables, and the
+//!   same kinds for the survivors (demotion parity);
+//! * **random FreezeML terms** over the Figure 2 prelude, covering the
+//!   full surface language (freeze `~x`, generalise `$M`, instantiate
+//!   `M@`, `let`, annotated binders) — both engines must agree end to end
+//!   on success/failure, error class, and principal type up to
+//!   α-equivalence.
+//!
+//! Streams are seeded deterministically; failures print the seed and the
+//! offending input.
+
+use freezeml_core::{Kind, Options, RefinedEnv, Term, TyVar, Type, TypeEnv};
+use freezeml_engine::differential::{compare_term, compare_unify};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run a test body on a thread with a generous stack: the *oracle* is the
+/// paper-literal engine, whose debug-build frames overflow the default
+/// 2 MiB test-thread stack on ~64-deep application chains (the union-find
+/// engine itself is fine — see `engine_compare` for the release-profile
+/// numbers).
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    let handle = std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn test thread");
+    if let Err(payload) = handle.join() {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------- types
+
+struct TypePool {
+    rigids: Vec<TyVar>,
+    flex: Vec<TyVar>,
+}
+
+fn random_type<R: Rng>(rng: &mut R, pool: &TypePool, depth: usize, bound: &mut Vec<TyVar>) -> Type {
+    let leaf = depth == 0 || rng.gen_range(0..10) < 3;
+    if leaf {
+        let n_choices = pool.rigids.len() + pool.flex.len() + bound.len() + 2;
+        let i = rng.gen_range(0..n_choices);
+        if i < pool.rigids.len() {
+            return Type::Var(pool.rigids[i].clone());
+        }
+        let i = i - pool.rigids.len();
+        if i < pool.flex.len() {
+            return Type::Var(pool.flex[i].clone());
+        }
+        let i = i - pool.flex.len();
+        if i < bound.len() {
+            return Type::Var(bound[i].clone());
+        }
+        return if i - bound.len() == 0 {
+            Type::int()
+        } else {
+            Type::bool()
+        };
+    }
+    match rng.gen_range(0..10) {
+        0..=3 => {
+            let a = random_type(rng, pool, depth - 1, bound);
+            let b = random_type(rng, pool, depth - 1, bound);
+            Type::arrow(a, b)
+        }
+        4 | 5 => {
+            let a = random_type(rng, pool, depth - 1, bound);
+            let b = random_type(rng, pool, depth - 1, bound);
+            Type::prod(a, b)
+        }
+        6 | 7 => Type::list(random_type(rng, pool, depth - 1, bound)),
+        8 => {
+            let a = random_type(rng, pool, depth - 1, bound);
+            let b = random_type(rng, pool, depth - 1, bound);
+            Type::st(a, b)
+        }
+        _ => {
+            let binder = TyVar::named(format!("q{}", rng.gen_range(0..3)));
+            bound.push(binder.clone());
+            let body = random_type(rng, pool, depth - 1, bound);
+            bound.pop();
+            Type::Forall(binder, Box::new(body))
+        }
+    }
+}
+
+/// Mutate a type: replace random subtrees by flexible variables or fresh
+/// random structure, so the pair is "related" and unification explores
+/// success paths, not just head mismatches.
+fn mutate<R: Rng>(rng: &mut R, pool: &TypePool, t: &Type, bound: &mut Vec<TyVar>) -> Type {
+    if rng.gen_range(0..10) < 2 {
+        // Swap this subtree out entirely.
+        return if rng.gen_bool(0.6) && !pool.flex.is_empty() {
+            Type::Var(pool.flex[rng.gen_range(0..pool.flex.len())].clone())
+        } else {
+            random_type(rng, pool, 2, bound)
+        };
+    }
+    match t {
+        Type::Var(_) => t.clone(),
+        Type::Con(c, args) => Type::Con(
+            c.clone(),
+            args.iter().map(|a| mutate(rng, pool, a, bound)).collect(),
+        ),
+        Type::Forall(a, body) => {
+            bound.push(a.clone());
+            let b = mutate(rng, pool, body, bound);
+            bound.pop();
+            Type::Forall(a.clone(), Box::new(b))
+        }
+    }
+}
+
+#[test]
+fn random_type_pairs_unify_identically() {
+    with_big_stack(random_type_pairs_unify_identically_body);
+}
+
+fn random_type_pairs_unify_identically_body() {
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF2EE2E);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let pool = TypePool {
+            rigids: vec![TyVar::named("ra"), TyVar::named("rb")],
+            flex: (0..4).map(|_| TyVar::fresh()).collect(),
+        };
+        let theta: RefinedEnv = pool
+            .flex
+            .iter()
+            .map(|v| {
+                (
+                    v.clone(),
+                    if rng.gen_bool(0.5) {
+                        Kind::Poly
+                    } else {
+                        Kind::Mono
+                    },
+                )
+            })
+            .collect();
+        let mut bound = Vec::new();
+        let a = random_type(&mut rng, &pool, 4, &mut bound);
+        let b = if rng.gen_bool(0.7) {
+            mutate(&mut rng, &pool, &a, &mut bound)
+        } else {
+            random_type(&mut rng, &pool, 4, &mut bound)
+        };
+        if let Err(d) = compare_unify(&theta, &a, &b) {
+            panic!("case {case} (seed {seed}): {d}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- terms
+
+fn annotation_pool() -> Vec<Type> {
+    [
+        "Int",
+        "Int -> Int",
+        "forall a. a -> a",
+        "forall a b. a -> b -> a",
+        "List (forall a. a -> a)",
+        "forall a. List a -> a",
+        "(forall a. a -> a) -> Int * Bool",
+    ]
+    .iter()
+    .map(|s| freezeml_core::parse_type(s).expect("pool type parses"))
+    .collect()
+}
+
+struct TermPool {
+    prelude: Vec<String>,
+    annotations: Vec<Type>,
+}
+
+fn random_term<R: Rng>(
+    rng: &mut R,
+    pool: &TermPool,
+    depth: usize,
+    scope: &mut Vec<String>,
+    counter: &mut usize,
+) -> Term {
+    if depth == 0 {
+        return leaf(rng, pool, scope);
+    }
+    match rng.gen_range(0..20) {
+        0..=3 => leaf(rng, pool, scope),
+        4..=6 => {
+            let x = fresh_name(counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::lam(x.as_str(), body)
+        }
+        7 => {
+            let x = fresh_name(counter);
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::lam_ann(x.as_str(), ann, body)
+        }
+        8..=12 => {
+            let f = random_term(rng, pool, depth - 1, scope, counter);
+            let a = random_term(rng, pool, depth - 1, scope, counter);
+            Term::app(f, a)
+        }
+        13..=15 => {
+            let x = fresh_name(counter);
+            let rhs = random_term(rng, pool, depth - 1, scope, counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::let_(x.as_str(), rhs, body)
+        }
+        16 => {
+            let x = fresh_name(counter);
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            let rhs = random_term(rng, pool, depth - 1, scope, counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::let_ann(x.as_str(), ann, rhs, body)
+        }
+        17 => Term::gen(random_term(rng, pool, depth - 1, scope, counter)),
+        18 => Term::inst(random_term(rng, pool, depth - 1, scope, counter)),
+        _ => {
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            Term::ty_app(random_term(rng, pool, depth - 1, scope, counter), ann)
+        }
+    }
+}
+
+fn fresh_name(counter: &mut usize) -> String {
+    let n = format!("x{counter}");
+    *counter += 1;
+    n
+}
+
+fn leaf<R: Rng>(rng: &mut R, pool: &TermPool, scope: &[String]) -> Term {
+    let n_scope = scope.len();
+    let n_prelude = pool.prelude.len();
+    let total = 2 * (n_scope + n_prelude) + 2;
+    let i = rng.gen_range(0..total);
+    let name_at = |i: usize| -> &str {
+        if i < n_scope {
+            scope[i].as_str()
+        } else {
+            pool.prelude[i - n_scope].as_str()
+        }
+    };
+    if i < n_scope + n_prelude {
+        Term::var(name_at(i))
+    } else if i < 2 * (n_scope + n_prelude) {
+        Term::frozen(name_at(i - n_scope - n_prelude))
+    } else if i == 2 * (n_scope + n_prelude) {
+        Term::int(rng.gen_range(0..100))
+    } else {
+        Term::bool(rng.gen_bool(0.5))
+    }
+}
+
+#[test]
+fn random_prelude_terms_infer_identically() {
+    with_big_stack(random_prelude_terms_infer_identically_body);
+}
+
+fn random_prelude_terms_infer_identically_body() {
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7E2A5);
+    let env: TypeEnv = freezeml_corpus::figure2();
+    let pool = TermPool {
+        prelude: env.iter().map(|(v, _)| v.to_string()).collect(),
+        annotations: annotation_pool(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut well_typed = 0usize;
+    for case in 0..cases {
+        let mut scope = Vec::new();
+        let mut counter = 0usize;
+        let term = random_term(&mut rng, &pool, 5, &mut scope, &mut counter);
+        let opts = if rng.gen_bool(0.2) {
+            Options::pure_freezeml()
+        } else if rng.gen_bool(0.2) {
+            Options::eliminator()
+        } else {
+            Options::default()
+        };
+        match compare_term(&env, &term, &opts) {
+            Ok(Ok(_)) => well_typed += 1,
+            Ok(Err(_)) => {}
+            Err(d) => panic!("case {case} (seed {seed}): {d}"),
+        }
+    }
+    // The generator must exercise the success path, not just errors.
+    assert!(
+        well_typed * 10 >= cases,
+        "only {well_typed}/{cases} generated terms were well-typed"
+    );
+}
+
+#[test]
+fn deterministic_worst_cases_agree() {
+    with_big_stack(deterministic_worst_cases_agree_body);
+}
+
+fn deterministic_worst_cases_agree_body() {
+    // The shapes `engine_compare` times (freeze chains, deep
+    // applications) are exactly where the two engines' bookkeeping
+    // differs most; pin agreement on the benchmark helpers themselves so
+    // this test can never drift from what the bench measures.
+    let env = freezeml_corpus::figure2();
+    let opts = Options::default();
+    for n in [1usize, 4, 16] {
+        if let Err(d) = compare_term(&env, &freezeml_bench::freeze_let_chain(n), &opts) {
+            panic!("freeze chain {n}: {d}");
+        }
+    }
+    if let Err(d) = compare_term(&env, &freezeml_bench::app_chain(64), &opts) {
+        panic!("app chain: {d}");
+    }
+}

@@ -5,9 +5,13 @@
 //! It reproduces the *interface* of `Criterion`/`BenchmarkGroup`/`Bencher`
 //! and the wall-clock measurement loop, not the statistics: each benchmark
 //! is warmed up, then timed over `sample_size` samples with a per-sample
-//! iteration count calibrated from the warm-up, and the mean / min / max
-//! nanoseconds per iteration are printed. There are no plots, no saved
-//! baselines, and no outlier analysis.
+//! iteration count calibrated from the warm-up, and the per-iteration
+//! mean, **min-of-samples**, median, max, and sample standard deviation
+//! are printed. The min-of-samples figure is the one to quote when
+//! comparing implementations: it is the least noise-contaminated estimate
+//! this shim can produce (any slower sample ran the same code plus
+//! interference), whereas the mean absorbs scheduler noise. There are no
+//! plots, no saved baselines, and no outlier analysis.
 //!
 //! Runtime budget: the configured `measurement_time` is honoured up to the
 //! cap in `CRITERION_SHIM_BUDGET_MS` (default 250 ms per benchmark) so
@@ -162,10 +166,13 @@ impl BenchmarkGroup<'_> {
         match bencher.report {
             _ if bencher.test_mode => println!("test-mode {full}: ok (1 iteration)"),
             Some(r) => println!(
-                "bench {full}: mean {} (min {}, max {}) over {} samples x {} iters",
-                fmt_ns(r.mean_ns),
+                "bench {full}: min {} (mean {}, median {}, max {}, stddev {}) \
+                 over {} samples x {} iters",
                 fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.median_ns),
                 fmt_ns(r.max_ns),
+                fmt_ns(r.stddev_ns),
                 r.samples,
                 r.iters_per_sample,
             ),
@@ -177,9 +184,39 @@ impl BenchmarkGroup<'_> {
 struct Report {
     mean_ns: f64,
     min_ns: f64,
+    median_ns: f64,
     max_ns: f64,
+    stddev_ns: f64,
     samples: usize,
     iters_per_sample: u64,
+}
+
+/// Per-sample statistics: `(mean, min, median, max, sample stddev)`.
+/// The min is the figure speedup claims should quote (see module docs).
+fn stats(samples: &[f64]) -> (f64, f64, f64, f64, f64) {
+    let n = samples.len();
+    assert!(n > 0, "stats over an empty sample set");
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0, f64::max);
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = if n.is_multiple_of(2) {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    } else {
+        sorted[n / 2]
+    };
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        (samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1) as f64)
+            .sqrt()
+    };
+    (mean, min, median, max, stddev)
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -236,13 +273,13 @@ impl Bencher {
             }
             sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
         }
-        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
-        let min_ns = sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
-        let max_ns = sample_ns.iter().copied().fold(0.0, f64::max);
+        let (mean_ns, min_ns, median_ns, max_ns, stddev_ns) = stats(&sample_ns);
         self.report = Some(Report {
             mean_ns,
             min_ns,
+            median_ns,
             max_ns,
+            stddev_ns,
             samples: self.sample_size,
             iters_per_sample,
         });
@@ -319,5 +356,22 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("deep").id, "deep");
+    }
+
+    #[test]
+    fn stats_report_min_of_samples_and_spread() {
+        let (mean, min, median, max, stddev) = stats(&[4.0, 2.0, 6.0, 8.0]);
+        assert_eq!(mean, 5.0);
+        assert_eq!(min, 2.0);
+        assert_eq!(median, 5.0);
+        assert_eq!(max, 8.0);
+        // Sample variance of {4,2,6,8} is 20/3.
+        assert!((stddev - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (_, min1, median1, _, stddev1) = stats(&[7.0, 3.0, 5.0]);
+        assert_eq!(min1, 3.0);
+        assert_eq!(median1, 5.0);
+        assert!(stddev1 > 0.0);
+        let (_, _, _, _, stddev_single) = stats(&[42.0]);
+        assert_eq!(stddev_single, 0.0);
     }
 }

@@ -20,6 +20,10 @@
 //!   FreezeML, Figure 10) and `C⟦−⟧` (FreezeML → System F, Figure 11).
 //! * [`corpus`] — the paper's evaluation: every row of Figure 1 and the
 //!   Table 1 comparison harness.
+//! * [`engine`] — the union-find inference engine: hash-consed type
+//!   arena, union-find cells with the paper's `•`/`⋆` kinds, levels for
+//!   generalisation, trail-checked escapes — the hot path, held to the
+//!   paper-literal [`core`] oracle by a differential layer.
 //! * [`hmf`] — an HMF-style baseline checker (Leijen 2008, simplified),
 //!   giving Table 1 a second *computed* row.
 //! * [`conformance`] — the golden-file (`.fml`) conformance harness over
@@ -48,6 +52,7 @@
 pub use freezeml_conformance as conformance;
 pub use freezeml_core as core;
 pub use freezeml_corpus as corpus;
+pub use freezeml_engine as engine;
 pub use freezeml_hmf as hmf;
 pub use freezeml_miniml as miniml;
 pub use freezeml_systemf as systemf;

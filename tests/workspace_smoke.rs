@@ -75,6 +75,21 @@ fn translate_elaborates_into_well_typed_system_f() {
 }
 
 #[test]
+fn engine_agrees_with_core_end_to_end() {
+    use freezeml::engine::{differential, infer_program as uf_infer, Session};
+    let env = freezeml::corpus::figure2();
+    let opts = Options::default();
+    let ty = uf_infer(&env, "choose ~id", &opts).unwrap();
+    assert_eq!(ty.to_string(), "(forall a. a -> a) -> forall a. a -> a");
+    let oracle = differential::compare_program(&env, "poly $(fun x -> x)", &opts)
+        .expect("engines must agree");
+    assert!(oracle.is_ok(), "poly $(fun x -> x) is well typed");
+    let mut session = Session::new(&env, &opts).unwrap();
+    let term = parse_term("id 41").unwrap();
+    assert_eq!(session.infer(&term).unwrap().ty.to_string(), "Int");
+}
+
+#[test]
 fn conformance_runs_an_inline_case() {
     use freezeml::conformance::{format, runner};
     let file = format::parse_str(

@@ -1,0 +1,102 @@
+//! Bench: the program-checking service — cold whole-program checks vs
+//! warm single-binding edits, and worker-pool scaling.
+//!
+//! Workloads are deterministic generated programs
+//! (`freezeml_service::load::GenProgram`) over the Figure 2 prelude.
+//! Benchmark ids:
+//!
+//! * `service/cold/<n>` — open an `n`-binding program on a cold cache
+//!   (every binding inferred);
+//! * `service/warm-edit/<n>` — one binding edited in place, recheck —
+//!   only the dirty dependency cone is re-inferred, the rest is served
+//!   from the scheme cache (this is the ≥10× headline; see
+//!   `EXPERIMENTS.md` for recorded numbers and the recheck-counter
+//!   assertions in `crates/service/tests/throughput.rs`);
+//! * `service/workers/<k>` — the same cold check with a `k`-worker pool
+//!   (topological-wave parallelism; single-CPU containers will show flat
+//!   numbers, the shape is recorded honestly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezeml_core::Options;
+use freezeml_service::{EngineSel, GenProgram, Service, ServiceConfig};
+use std::time::Duration;
+
+const SEED: u64 = 0x5EED;
+
+fn service(workers: usize) -> Service {
+    Service::new(ServiceConfig {
+        opts: Options::default(),
+        engine: EngineSel::Uf,
+        workers,
+    })
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/cold");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [30usize, 120, 480] {
+        let text = GenProgram::generate(n, SEED).text();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // A fresh service per iteration: genuinely cold cache.
+                let mut svc = service(1);
+                let r = svc.open("bench", &text).expect("generated program parses");
+                assert!(r.all_typed());
+                r.rechecked
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/warm-edit");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [30usize, 120, 480] {
+        let gen = GenProgram::generate(n, SEED);
+        let original = gen.text();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut svc = service(1);
+            svc.open("bench", &original).expect("parses");
+            // A fresh salt each iteration keeps the edited binding's key
+            // out of the cache, so every timed edit is a genuine edit
+            // (rendering the new text is part of the measured op, as it
+            // would be for a real client).
+            let mut salt = 0u64;
+            b.iter(|| {
+                salt += 1;
+                let next = gen.edited_text(n / 2, salt);
+                let r = svc.edit("bench", &next).expect("parses");
+                assert!(r.rechecked > 0, "the edit must dirty something");
+                r.rechecked
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/workers");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    let text = GenProgram::generate(240, SEED).text();
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut svc = service(k);
+                let r = svc.open("bench", &text).expect("parses");
+                assert!(r.all_typed());
+                r.waves
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold, bench_warm_edit, bench_worker_scaling);
+criterion_main!(benches);

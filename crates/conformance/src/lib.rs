@@ -18,6 +18,9 @@
 //! * [`differential`] — run the shared corpus subset through the
 //!   [`freezeml_hmf`] and [`freezeml_miniml`] baselines as well and pin
 //!   the Table 1 agreement/disagreement pattern in a derived golden file.
+//! * [`program`] — the `program` golden mode: multi-binding `.fml` files
+//!   (marker `#! program`) checked through the incremental service with
+//!   per-binding expectations, including error recovery and blocking.
 //!
 //! The golden files themselves live at `tests/conformance/*.fml` in the
 //! repository root (see the README there for the format and the bless
@@ -38,6 +41,7 @@
 
 pub mod differential;
 pub mod format;
+pub mod program;
 pub mod runner;
 
 pub use format::{Case, CaseFile, Expectation, FormatError, Mode};

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use freezeml_conformance::{differential, format, runner};
+use freezeml_conformance::{differential, format, program, runner};
 use freezeml_corpus::EXAMPLES;
 
 fn conformance_dir() -> PathBuf {
@@ -71,6 +71,50 @@ fn covers_the_freeze_thaw_variant_pairs() {
             "missing freeze/thaw obligation {pair}; have {obligations:?}"
         );
     }
+}
+
+#[test]
+fn program_golden_corpus_passes() {
+    let suite = program::run_dir(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        suite.all_pass(),
+        "program conformance failures:\n{}",
+        suite.render_failures()
+    );
+    assert!(
+        suite.outcomes.len() >= 15,
+        "expected the program corpus to hold at least 15 cases, found {}",
+        suite.outcomes.len()
+    );
+}
+
+#[test]
+fn program_golden_corpus_covers_the_required_shapes() {
+    let files = program::parse_dir(&conformance_dir()).unwrap_or_else(|e| panic!("{e}"));
+    assert!(files.len() >= 10, "want ≥ 10 program golden files");
+    let names: Vec<String> = files
+        .iter()
+        .flat_map(|f| f.cases.iter().map(|c| c.name.clone()))
+        .collect();
+    for required in [
+        "diamond_int",
+        "shadow_chain",
+        "recovery",
+        "frozen_reuse",
+        "wide",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "missing required program case {required}; have {names:?}"
+        );
+    }
+    // Almost every case is a genuine multi-binding program.
+    let multi = files
+        .iter()
+        .flat_map(|f| &f.cases)
+        .filter(|c| c.expects.len() >= 2)
+        .count();
+    assert!(multi >= 12, "want ≥ 12 multi-binding cases, found {multi}");
 }
 
 #[test]

@@ -62,239 +62,332 @@ pub fn infer(
     term: &Term,
     opts: &Options,
 ) -> Result<(RefinedEnv, Subst, Type, TypedTerm), TypeError> {
+    // One rule, one function. Besides mirroring the paper's rule-by-rule
+    // presentation, the split keeps the recursion frame small: debug
+    // builds give a function one frame holding every match arm's
+    // temporaries, and with all eight rules inline that frame was large
+    // enough to overflow a default 2 MiB test-thread stack on ~64-deep
+    // terms (deeply nested application *arguments* cannot be flattened
+    // away — only the spine can, see `infer_app_spine`).
     match term {
-        // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x))
-        Term::FrozenVar(x) => {
-            let ty = gamma
-                .lookup(x)
-                .cloned()
-                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
-            let typed = TypedTerm {
-                ty: ty.clone(),
-                node: TypedNode::FrozenVar { name: x.clone() },
-            };
-            Ok((theta.clone(), Subst::identity(), ty, typed))
-        }
-
-        // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
-        Term::Var(x) => {
-            let scheme = gamma
-                .lookup(x)
-                .cloned()
-                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
-            let (vars, h) = scheme.split_foralls();
-            let mut theta1 = theta.clone();
-            let mut inst = Vec::with_capacity(vars.len());
-            for a in &vars {
-                let b = TyVar::fresh();
-                theta1.insert(b.clone(), Kind::Poly);
-                inst.push((a.clone(), Type::Var(b)));
-            }
-            let ty = Subst::from_pairs(inst.clone()).apply(h);
-            let typed = TypedTerm {
-                ty: ty.clone(),
-                node: TypedNode::Var {
-                    name: x.clone(),
-                    scheme,
-                    inst,
-                },
-            };
-            Ok((theta1, Subst::identity(), ty, typed))
-        }
-
-        Term::Lit(l) => {
-            let ty = l.ty();
-            let typed = TypedTerm {
-                ty: ty.clone(),
-                node: TypedNode::Lit { lit: *l },
-            };
-            Ok((theta.clone(), Subst::identity(), ty, typed))
-        }
-
-        // infer(∆, Θ, Γ, λx.M): fresh a : •; decompose θ[a ↦ S].
-        Term::Lam(x, body) => {
-            let a = TyVar::fresh();
-            let theta_in = theta.inserted(a.clone(), Kind::Mono);
-            let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
-            let (theta1, s, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
-            let param_ty = s.image_of(&a);
-            let s_out = s.without(&a);
-            let ty = Type::arrow(param_ty.clone(), bty);
-            let typed = TypedTerm {
-                ty: ty.clone(),
-                node: TypedNode::Lam {
-                    param: x.clone(),
-                    param_ty,
-                    body: Box::new(tbody),
-                },
-            };
-            Ok((theta1, s_out, ty, typed))
-        }
-
-        // infer(∆, Θ, Γ, λ(x:A).M).
-        Term::LamAnn(x, ann, body) => {
-            let gamma_in = gamma.extended(x.clone(), ann.clone());
-            let (theta1, s, bty, tbody) = infer(delta, theta, &gamma_in, body, opts)?;
-            let ty = Type::arrow(ann.clone(), bty);
-            let typed = TypedTerm {
-                ty: ty.clone(),
-                node: TypedNode::LamAnn {
-                    param: x.clone(),
-                    ann: ann.clone(),
-                    body: Box::new(tbody),
-                },
-            };
-            Ok((theta1, s, ty, typed))
-        }
-
-        // infer(∆, Θ, Γ, M N): unify θ₂(A′) with A → b for fresh b : ⋆.
-        Term::App(f, arg) => {
-            let (theta1, s1, fty0, tf) = infer(delta, theta, gamma, f, opts)?;
-            let gamma1 = s1.apply_env(gamma);
-            let (theta2, s2, aty, ta) = infer(delta, &theta1, &gamma1, arg, opts)?;
-            let mut fty = s2.apply(&fty0);
-            let mut tf = {
-                let mut tf = tf;
-                tf.apply_subst(&s2);
-                tf
-            };
-            let mut theta2 = theta2;
-
-            // Eliminator instantiation (§3.2): implicitly instantiate a
-            // quantified head before matching it against `A → b`.
-            if opts.instantiation == InstantiationStrategy::Eliminator {
-                if let Type::Forall(_, _) = fty {
-                    let (vars, h) = fty.split_foralls();
-                    let mut inst = Vec::with_capacity(vars.len());
-                    for a in &vars {
-                        let b = TyVar::fresh();
-                        theta2.insert(b.clone(), Kind::Poly);
-                        inst.push((a.clone(), Type::Var(b)));
-                    }
-                    let inst_ty = Subst::from_pairs(inst.clone()).apply(h);
-                    tf = TypedTerm {
-                        ty: inst_ty.clone(),
-                        node: TypedNode::ImplicitInst {
-                            inner: Box::new(tf),
-                            inst,
-                        },
-                    };
-                    fty = inst_ty;
-                }
-            }
-
-            let b = TyVar::fresh();
-            let theta2b = theta2.inserted(b.clone(), Kind::Poly);
-            let expected = Type::arrow(aty, Type::Var(b.clone()));
-            let (theta3, s3_all) = unify(delta, &theta2b, &fty, &expected)?;
-            let bty = s3_all.image_of(&b);
-            let s3 = s3_all.without(&b);
-            let s_out = s3.compose(&s2).compose(&s1);
-            let typed = TypedTerm {
-                ty: bty.clone(),
-                node: TypedNode::App {
-                    func: Box::new(tf),
-                    arg: Box::new(ta),
-                },
-            };
-            Ok((theta3, s_out, bty, typed))
-        }
-
-        // infer(∆, Θ, Γ, let x = M in N).
-        Term::Let(x, rhs, body) => {
-            let (theta1, s1, aty, trhs) = infer(delta, theta, gamma, rhs, opts)?;
-            // ∆′ = ftv(θ₁) − ∆, relative to the incoming domain Θ.
-            let delta_prime: Vec<TyVar> = s1
-                .range_ftv(theta)
-                .into_iter()
-                .filter(|v| !delta.contains(v))
-                .collect();
-            // (∆′′, ∆′′′) = gen((∆, ∆′), A, M).
-            let d3: Vec<TyVar> = aty
-                .ftv()
-                .into_iter()
-                .filter(|v| !delta.contains(v) && !delta_prime.contains(v))
-                .collect();
-            let gval = rhs.is_gval(opts);
-            let d2: Vec<TyVar> = if gval { d3.clone() } else { Vec::new() };
-            // Θ′₁ = demote(•, Θ₁, ∆′′′): under the value restriction the
-            // ungeneralised variables become monomorphic.
-            let theta1p = theta1.demoted(&d3);
-            let theta_in = theta1p.minus(&d2);
-            let bound_ty = Type::foralls(d2.clone(), aty);
-            let gamma_in = s1.apply_env(gamma).extended(x.clone(), bound_ty.clone());
-            let (theta2, s2, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
-            let s_out = s2.compose(&s1);
-            let typed = TypedTerm {
-                ty: bty.clone(),
-                node: TypedNode::Let {
-                    name: x.clone(),
-                    gen_vars: d2,
-                    mono_vars: if gval { Vec::new() } else { d3 },
-                    bound_ty,
-                    rhs_gval: gval,
-                    rhs: Box::new(trhs),
-                    body: Box::new(tbody),
-                },
-            };
-            Ok((theta2, s_out, bty, typed))
-        }
-
-        // Explicit type application M@[A] (§6 extension): instantiate the
-        // outermost quantifier of M's type with A. The argument's kinding
-        // (∆ ⊢ A : ⋆) is established by well-scopedness.
-        Term::TyApp(m, arg) => {
-            let (theta1, s1, mty, tm) = infer(delta, theta, gamma, m, opts)?;
-            match mty {
-                Type::Forall(a, body) => {
-                    let ty = body.rename_free(&a, arg);
-                    let typed = TypedTerm {
-                        ty: ty.clone(),
-                        node: TypedNode::TyApp {
-                            inner: Box::new(tm),
-                            bound: a,
-                            arg: arg.clone(),
-                        },
-                    };
-                    Ok((theta1, s1, ty, typed))
-                }
-                other => Err(TypeError::CannotTypeApply { ty: other }),
-            }
-        }
-
-        // infer(∆, Θ, Γ, let (x:A) = M in N).
+        Term::FrozenVar(x) => infer_frozen_var(theta, gamma, x),
+        Term::Var(x) => infer_var(theta, gamma, x),
+        Term::Lit(l) => infer_lit(theta, l),
+        Term::Lam(x, body) => infer_lam(delta, theta, gamma, x, body, opts),
+        Term::LamAnn(x, ann, body) => infer_lam_ann(delta, theta, gamma, x, ann, body, opts),
+        Term::App(_, _) => infer_app_spine(delta, theta, gamma, term, opts),
+        Term::Let(x, rhs, body) => infer_let(delta, theta, gamma, x, rhs, body, opts),
+        Term::TyApp(m, arg) => infer_ty_app(delta, theta, gamma, m, arg, opts),
         Term::LetAnn(x, ann, rhs, body) => {
-            let (split_vars, a_prime) = split(ann, rhs, opts);
-            let delta2 = delta.extended(split_vars.clone())?;
-            let (theta1, s1, a1, trhs) = infer(&delta2, theta, gamma, rhs, opts)?;
-            let (theta2, s2p) = unify(&delta2, &theta1, &a_prime, &a1)?;
-            let s2 = s2p.compose(&s1);
-            // assert ftv(θ₂) # ∆′ — annotation variables must not escape.
-            let escaping: Vec<TyVar> = s2
-                .range_ftv(theta)
-                .into_iter()
-                .filter(|v| split_vars.contains(v))
-                .collect();
-            if !escaping.is_empty() {
-                return Err(TypeError::AnnotationEscape { vars: escaping });
-            }
-            let gamma_in = s2.apply_env(gamma).extended(x.clone(), ann.clone());
-            let (theta3, s3, bty, tbody) = infer(delta, &theta2, &gamma_in, body, opts)?;
-            let s_out = s3.compose(&s2);
-            let typed = TypedTerm {
-                ty: bty.clone(),
-                node: TypedNode::LetAnn {
-                    name: x.clone(),
-                    ann: ann.clone(),
-                    split_vars,
-                    rhs_gval: rhs.is_gval(opts),
-                    rhs: Box::new(trhs),
-                    body: Box::new(tbody),
-                },
-            };
-            Ok((theta3, s_out, bty, typed))
+            infer_let_ann(delta, theta, gamma, x, ann, rhs, body, opts)
         }
     }
+}
+
+type Judgement = Result<(RefinedEnv, Subst, Type, TypedTerm), TypeError>;
+
+/// infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)).
+#[inline(never)]
+fn infer_frozen_var(theta: &RefinedEnv, gamma: &TypeEnv, x: &crate::names::Var) -> Judgement {
+    let ty = gamma
+        .lookup(x)
+        .cloned()
+        .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+    let typed = TypedTerm {
+        ty: ty.clone(),
+        node: TypedNode::FrozenVar { name: x.clone() },
+    };
+    Ok((theta.clone(), Subst::identity(), ty, typed))
+}
+
+/// infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
+#[inline(never)]
+fn infer_var(theta: &RefinedEnv, gamma: &TypeEnv, x: &crate::names::Var) -> Judgement {
+    let scheme = gamma
+        .lookup(x)
+        .cloned()
+        .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+    let (vars, h) = scheme.split_foralls();
+    let mut theta1 = theta.clone();
+    let mut inst = Vec::with_capacity(vars.len());
+    for a in &vars {
+        let b = TyVar::fresh();
+        theta1.insert(b.clone(), Kind::Poly);
+        inst.push((a.clone(), Type::Var(b)));
+    }
+    let ty = Subst::from_pairs(inst.clone()).apply(h);
+    let typed = TypedTerm {
+        ty: ty.clone(),
+        node: TypedNode::Var {
+            name: x.clone(),
+            scheme,
+            inst,
+        },
+    };
+    Ok((theta1, Subst::identity(), ty, typed))
+}
+
+#[inline(never)]
+fn infer_lit(theta: &RefinedEnv, l: &crate::term::Lit) -> Judgement {
+    let ty = l.ty();
+    let typed = TypedTerm {
+        ty: ty.clone(),
+        node: TypedNode::Lit { lit: *l },
+    };
+    Ok((theta.clone(), Subst::identity(), ty, typed))
+}
+
+/// infer(∆, Θ, Γ, λx.M): fresh a : •; decompose θ[a ↦ S].
+#[inline(never)]
+fn infer_lam(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    x: &crate::names::Var,
+    body: &Term,
+    opts: &Options,
+) -> Judgement {
+    let a = TyVar::fresh();
+    let theta_in = theta.inserted(a.clone(), Kind::Mono);
+    let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
+    let (theta1, s, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
+    let param_ty = s.image_of(&a);
+    let s_out = s.without(&a);
+    let ty = Type::arrow(param_ty.clone(), bty);
+    let typed = TypedTerm {
+        ty: ty.clone(),
+        node: TypedNode::Lam {
+            param: x.clone(),
+            param_ty,
+            body: Box::new(tbody),
+        },
+    };
+    Ok((theta1, s_out, ty, typed))
+}
+
+/// infer(∆, Θ, Γ, λ(x:A).M).
+#[inline(never)]
+fn infer_lam_ann(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    x: &crate::names::Var,
+    ann: &Type,
+    body: &Term,
+    opts: &Options,
+) -> Judgement {
+    let gamma_in = gamma.extended(x.clone(), ann.clone());
+    let (theta1, s, bty, tbody) = infer(delta, theta, &gamma_in, body, opts)?;
+    let ty = Type::arrow(ann.clone(), bty);
+    let typed = TypedTerm {
+        ty: ty.clone(),
+        node: TypedNode::LamAnn {
+            param: x.clone(),
+            ann: ann.clone(),
+            body: Box::new(tbody),
+        },
+    };
+    Ok((theta1, s, ty, typed))
+}
+
+/// infer(∆, Θ, Γ, M N): unify θ₂(A′) with A → b for fresh b : ⋆.
+///
+/// Application spines are flattened and processed iteratively: a chain
+/// `M N₁ … Nₖ` is k nested `App` nodes, and recursing into the function
+/// position would use k stack frames. The loop unfolds the recursion
+/// exactly (same fresh-variable draw order, same substitution
+/// composition), so stack use is constant in the spine length.
+#[inline(never)]
+fn infer_app_spine(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    term: &Term,
+    opts: &Options,
+) -> Judgement {
+    let mut head = term;
+    let mut args = Vec::new();
+    while let Term::App(f, a) = head {
+        args.push(a.as_ref());
+        head = f;
+    }
+    args.reverse();
+
+    // θ₁, A′ for the spine head.
+    let (mut theta_cur, mut s_acc, mut fty, mut tf) = infer(delta, theta, gamma, head, opts)?;
+
+    for arg in args {
+        let gamma_cur = s_acc.apply_env(gamma);
+        let (theta2, s2, aty, ta) = infer(delta, &theta_cur, &gamma_cur, arg, opts)?;
+        fty = s2.apply(&fty);
+        tf.apply_subst(&s2);
+        let mut theta2 = theta2;
+
+        // Eliminator instantiation (§3.2): implicitly instantiate a
+        // quantified head before matching it against `A → b`.
+        if opts.instantiation == InstantiationStrategy::Eliminator {
+            if let Type::Forall(_, _) = fty {
+                let (vars, h) = fty.split_foralls();
+                let mut inst = Vec::with_capacity(vars.len());
+                for a in &vars {
+                    let b = TyVar::fresh();
+                    theta2.insert(b.clone(), Kind::Poly);
+                    inst.push((a.clone(), Type::Var(b)));
+                }
+                let inst_ty = Subst::from_pairs(inst.clone()).apply(h);
+                tf = TypedTerm {
+                    ty: inst_ty.clone(),
+                    node: TypedNode::ImplicitInst {
+                        inner: Box::new(tf),
+                        inst,
+                    },
+                };
+                fty = inst_ty;
+            }
+        }
+
+        let b = TyVar::fresh();
+        let theta2b = theta2.inserted(b.clone(), Kind::Poly);
+        let expected = Type::arrow(aty, Type::Var(b.clone()));
+        let (theta3, s3_all) = unify(delta, &theta2b, &fty, &expected)?;
+        let bty = s3_all.image_of(&b);
+        let s3 = s3_all.without(&b);
+        s_acc = s3.compose(&s2).compose(&s_acc);
+        theta_cur = theta3;
+        tf = TypedTerm {
+            ty: bty.clone(),
+            node: TypedNode::App {
+                func: Box::new(tf),
+                arg: Box::new(ta),
+            },
+        };
+        fty = bty;
+    }
+    Ok((theta_cur, s_acc, fty, tf))
+}
+
+/// infer(∆, Θ, Γ, let x = M in N).
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn infer_let(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    x: &crate::names::Var,
+    rhs: &Term,
+    body: &Term,
+    opts: &Options,
+) -> Judgement {
+    let (theta1, s1, aty, trhs) = infer(delta, theta, gamma, rhs, opts)?;
+    // ∆′ = ftv(θ₁) − ∆, relative to the incoming domain Θ.
+    let delta_prime: Vec<TyVar> = s1
+        .range_ftv(theta)
+        .into_iter()
+        .filter(|v| !delta.contains(v))
+        .collect();
+    // (∆′′, ∆′′′) = gen((∆, ∆′), A, M).
+    let d3: Vec<TyVar> = aty
+        .ftv()
+        .into_iter()
+        .filter(|v| !delta.contains(v) && !delta_prime.contains(v))
+        .collect();
+    let gval = rhs.is_gval(opts);
+    let d2: Vec<TyVar> = if gval { d3.clone() } else { Vec::new() };
+    // Θ′₁ = demote(•, Θ₁, ∆′′′): under the value restriction the
+    // ungeneralised variables become monomorphic.
+    let theta1p = theta1.demoted(&d3);
+    let theta_in = theta1p.minus(&d2);
+    let bound_ty = Type::foralls(d2.clone(), aty);
+    let gamma_in = s1.apply_env(gamma).extended(x.clone(), bound_ty.clone());
+    let (theta2, s2, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
+    let s_out = s2.compose(&s1);
+    let typed = TypedTerm {
+        ty: bty.clone(),
+        node: TypedNode::Let {
+            name: x.clone(),
+            gen_vars: d2,
+            mono_vars: if gval { Vec::new() } else { d3 },
+            bound_ty,
+            rhs_gval: gval,
+            rhs: Box::new(trhs),
+            body: Box::new(tbody),
+        },
+    };
+    Ok((theta2, s_out, bty, typed))
+}
+
+/// Explicit type application M@[A] (§6 extension): instantiate the
+/// outermost quantifier of M's type with A. The argument's kinding
+/// (∆ ⊢ A : ⋆) is established by well-scopedness.
+#[inline(never)]
+fn infer_ty_app(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    m: &Term,
+    arg: &Type,
+    opts: &Options,
+) -> Judgement {
+    let (theta1, s1, mty, tm) = infer(delta, theta, gamma, m, opts)?;
+    match mty {
+        Type::Forall(a, body) => {
+            let ty = body.rename_free(&a, arg);
+            let typed = TypedTerm {
+                ty: ty.clone(),
+                node: TypedNode::TyApp {
+                    inner: Box::new(tm),
+                    bound: a,
+                    arg: arg.clone(),
+                },
+            };
+            Ok((theta1, s1, ty, typed))
+        }
+        other => Err(TypeError::CannotTypeApply { ty: other }),
+    }
+}
+
+/// infer(∆, Θ, Γ, let (x:A) = M in N).
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn infer_let_ann(
+    delta: &KindEnv,
+    theta: &RefinedEnv,
+    gamma: &TypeEnv,
+    x: &crate::names::Var,
+    ann: &Type,
+    rhs: &Term,
+    body: &Term,
+    opts: &Options,
+) -> Judgement {
+    let (split_vars, a_prime) = split(ann, rhs, opts);
+    let delta2 = delta.extended(split_vars.clone())?;
+    let (theta1, s1, a1, trhs) = infer(&delta2, theta, gamma, rhs, opts)?;
+    let (theta2, s2p) = unify(&delta2, &theta1, &a_prime, &a1)?;
+    let s2 = s2p.compose(&s1);
+    // assert ftv(θ₂) # ∆′ — annotation variables must not escape.
+    let escaping: Vec<TyVar> = s2
+        .range_ftv(theta)
+        .into_iter()
+        .filter(|v| split_vars.contains(v))
+        .collect();
+    if !escaping.is_empty() {
+        return Err(TypeError::AnnotationEscape { vars: escaping });
+    }
+    let gamma_in = s2.apply_env(gamma).extended(x.clone(), ann.clone());
+    let (theta3, s3, bty, tbody) = infer(delta, &theta2, &gamma_in, body, opts)?;
+    let s_out = s3.compose(&s2);
+    let typed = TypedTerm {
+        ty: bty.clone(),
+        node: TypedNode::LetAnn {
+            name: x.clone(),
+            ann: ann.clone(),
+            split_vars,
+            rhs_gval: rhs.is_gval(opts),
+            rhs: Box::new(trhs),
+            body: Box::new(tbody),
+        },
+    };
+    Ok((theta3, s_out, bty, typed))
 }
 
 /// Infer the type of a closed-context term: checks well-scopedness and

@@ -67,6 +67,10 @@ pub enum TokenKind {
     PlusPlus,
     /// `=`
     Eq,
+    /// `;;` — top-level declaration terminator (program surface).
+    SemiSemi,
+    /// `#name` — a top-level pragma such as `#use` (program surface).
+    Pragma(String),
 }
 
 impl fmt::Display for TokenKind {
@@ -96,6 +100,8 @@ impl fmt::Display for TokenKind {
             TokenKind::Plus => write!(f, "+"),
             TokenKind::PlusPlus => write!(f, "++"),
             TokenKind::Eq => write!(f, "="),
+            TokenKind::SemiSemi => write!(f, ";;"),
+            TokenKind::Pragma(s) => write!(f, "#{s}"),
         }
     }
 }
@@ -250,6 +256,27 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 });
                 i += 1;
             }
+            ';' if bytes.get(i + 1) == Some(&b';') => {
+                out.push(Token {
+                    kind: TokenKind::SemiSemi,
+                    pos,
+                });
+                i += 2;
+            }
+            '#' if bytes
+                .get(i + 1)
+                .is_some_and(|b| (*b as char).is_ascii_alphabetic()) =>
+            {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphabetic() {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Pragma(src[start..i].to_string()),
+                    pos,
+                });
+            }
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -369,6 +396,24 @@ mod tests {
     fn rejects_garbage() {
         assert!(lex("x ? y").is_err());
         assert!(lex("x # y").is_err());
+        assert!(lex("x ; y").is_err(), "a lone `;` is not a token");
+        assert!(lex("#1").is_err(), "pragma names are alphabetic");
+    }
+
+    #[test]
+    fn lexes_program_surface_tokens() {
+        assert_eq!(
+            kinds("#use prelude let x = 1;;"),
+            vec![
+                TokenKind::Pragma("use".into()),
+                TokenKind::Ident("prelude".into()),
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::SemiSemi,
+            ]
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod names;
 pub mod options;
 pub mod parser;
 pub mod pretty;
+pub mod program;
 pub mod scope;
 pub mod subst;
 pub mod term;
@@ -64,7 +65,8 @@ pub use infer::{infer, infer_program, infer_term, InferOutput, ProgramError};
 pub use kind::Kind;
 pub use names::{TyVar, Var};
 pub use options::{InstantiationStrategy, Options};
-pub use parser::{parse_term, parse_type, ParseError};
+pub use parser::{parse_program, parse_term, parse_type, ParseError};
+pub use program::{Decl, Program, Span};
 pub use subst::Subst;
 pub use term::{Lit, Term};
 pub use tycon::TyCon;

@@ -35,6 +35,7 @@
 
 use crate::lexer::{lex, LexError, Token, TokenKind};
 use crate::names::TyVar;
+use crate::program::{Decl, Program, Span};
 use crate::term::Term;
 use crate::tycon::TyCon;
 use crate::types::Type;
@@ -100,6 +101,70 @@ pub fn parse_term(src: &str) -> Result<Term, ParseError> {
     let t = p.term()?;
     p.expect_end()?;
     Ok(t)
+}
+
+/// Parse a whole program — pragmas followed by `let …;;` declarations
+/// (see [`crate::program`] for the grammar and semantics).
+///
+/// ```
+/// use freezeml_core::parse_program;
+/// let p = parse_program("let f = fun x -> x;;\nlet g = f 1;;").unwrap();
+/// assert_eq!(p.decls.len(), 2);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut pragmas = Vec::new();
+    let mut decls = Vec::new();
+    loop {
+        match p.peek() {
+            None => break,
+            Some(TokenKind::Pragma(name)) => {
+                let name = name.clone();
+                let start = p.here();
+                p.pos += 1;
+                let arg_pos = p.here();
+                let arg = p.ident()?;
+                pragmas.push((
+                    name,
+                    arg.clone(),
+                    Span {
+                        start,
+                        end: arg_pos + arg.len(),
+                    },
+                ));
+            }
+            Some(TokenKind::Let) => {
+                let start = p.here();
+                p.pos += 1;
+                let (name, name_span, ann) = p.top_binder()?;
+                p.expect(TokenKind::Eq)?;
+                let term = p.term()?;
+                let semi_pos = p.here();
+                p.expect(TokenKind::SemiSemi)?;
+                decls.push(Decl {
+                    name,
+                    ann,
+                    term,
+                    span: Span {
+                        start,
+                        end: semi_pos + 2,
+                    },
+                    name_span,
+                });
+            }
+            Some(t) => {
+                let t = t.clone();
+                return p.err(format!(
+                    "expected a `let` declaration or pragma, found `{t}`"
+                ));
+            }
+        }
+    }
+    Ok(Program { pragmas, decls })
 }
 
 struct Parser {
@@ -172,6 +237,36 @@ impl Parser {
             }
             None => self.err("expected identifier, found end of input"),
         }
+    }
+
+    /// A top-level declaration binder: `x`, `x : A`, or `(x : A)`.
+    fn top_binder(&mut self) -> Result<(String, Span, Option<Type>), ParseError> {
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let pos = self.here();
+            let x = self.ident()?;
+            let name_span = Span {
+                start: pos,
+                end: pos + x.len(),
+            };
+            self.expect(TokenKind::Colon)?;
+            let ty = self.ty()?;
+            self.expect(TokenKind::RParen)?;
+            return Ok((x, name_span, Some(ty)));
+        }
+        let pos = self.here();
+        let x = self.ident()?;
+        let name_span = Span {
+            start: pos,
+            end: pos + x.len(),
+        };
+        let ann = if self.peek() == Some(&TokenKind::Colon) {
+            self.pos += 1;
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        Ok((x, name_span, ann))
     }
 
     // ---------------------------------------------------------- types

@@ -1,0 +1,274 @@
+//! Top-level programs: sequences of `let` declarations.
+//!
+//! The paper evaluates single expressions, but FreezeML's home (the Links
+//! implementation, §6) checks whole programs of top-level bindings. This
+//! module gives the Rust reproduction the same surface:
+//!
+//! ```text
+//! program ::= pragma* decl*
+//! pragma  ::= '#use' ident                      -- e.g. `#use prelude`
+//! decl    ::= 'let' binder '=' term ';;'
+//! binder  ::= ident (':' type)? | '(' ident ':' type ')'
+//! ```
+//!
+//! `--` comments are those of the expression surface. Every declaration
+//! carries byte-offset [`Span`]s (the whole declaration and the bound
+//! name) so downstream consumers — the program-checking service, the
+//! conformance harness — can attach diagnostics to source locations.
+//!
+//! A declaration `let x = M;;` binds `x` for the *rest of the program*
+//! with exactly the `let` rule's semantics: the scheme of `x` is the type
+//! of `x` in `let x = M in ⌈x⌉` (generalised for guarded values,
+//! monomorphised under the value restriction otherwise), and a later
+//! `let x = …;;` shadows an earlier one. [`Decl::probe_term`] builds that
+//! probe term.
+//!
+//! ```
+//! use freezeml_core::parse_program;
+//!
+//! let p = parse_program(
+//!     "#use prelude\n\
+//!      let f = fun x -> x;;  -- generalised\n\
+//!      let n : Int = f 3;;\n",
+//! )
+//! .unwrap();
+//! assert_eq!(p.decls.len(), 2);
+//! assert!(p.uses_prelude());
+//! assert_eq!(p.decls[1].name, "n");
+//! ```
+
+use crate::names::Var;
+use crate::term::Term;
+use crate::types::Type;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The `line:col` (both 1-based) of the span's start in `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.rfind('\n').map_or(self.start + 1, |i| self.start - i);
+        (line, col)
+    }
+}
+
+/// One top-level declaration `let x (: A)? = M;;`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decl {
+    /// The bound name.
+    pub name: String,
+    /// The annotation, for `let x : A = M;;` / `let (x : A) = M;;`.
+    pub ann: Option<Type>,
+    /// The right-hand side.
+    pub term: Term,
+    /// The whole declaration, `let` through `;;`.
+    pub span: Span,
+    /// Just the bound name.
+    pub name_span: Span,
+}
+
+impl Decl {
+    /// The probe term whose type *is* the declaration's scheme:
+    /// `let x = M in ⌈x⌉` (or the annotated form). Checking the probe
+    /// reuses the paper's `let` rule verbatim — generalisation for
+    /// guarded values, demotion under the value restriction, annotation
+    /// splitting and the escape check for annotated declarations.
+    pub fn probe_term(&self) -> Term {
+        let x = Var::named(&self.name);
+        match &self.ann {
+            None => Term::Let(
+                x.clone(),
+                Box::new(self.term.clone()),
+                Box::new(Term::FrozenVar(x)),
+            ),
+            Some(ann) => Term::LetAnn(
+                x.clone(),
+                ann.clone(),
+                Box::new(self.term.clone()),
+                Box::new(Term::FrozenVar(x)),
+            ),
+        }
+    }
+
+    /// The free term variables of the right-hand side — the names this
+    /// declaration depends on (to be resolved against earlier
+    /// declarations or the prelude).
+    pub fn deps(&self) -> Vec<Var> {
+        self.term.free_vars()
+    }
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.ann {
+            None => write!(f, "let {} = {};;", self.name, self.term),
+            Some(ann) => write!(f, "let {} : {} = {};;", self.name, ann, self.term),
+        }
+    }
+}
+
+/// A parsed program: pragmas followed by declarations.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// `#name arg` pragmas in order, with their spans.
+    pub pragmas: Vec<(String, String, Span)>,
+    /// The declarations, in order.
+    pub decls: Vec<Decl>,
+}
+
+impl Program {
+    /// Does the program request the Figure 2 prelude (`#use prelude`)?
+    pub fn uses_prelude(&self) -> bool {
+        self.pragmas
+            .iter()
+            .any(|(name, arg, _)| name == "use" && arg == "prelude")
+    }
+
+    /// Pragmas other than the ones the checker understands
+    /// (`#use prelude` is currently the only recognised pragma).
+    pub fn unknown_pragmas(&self) -> Vec<(String, String, Span)> {
+        self.pragmas
+            .iter()
+            .filter(|(name, arg, _)| !(name == "use" && arg == "prelude"))
+            .cloned()
+            .collect()
+    }
+
+    /// For each declaration, the index of the declaration each free
+    /// variable of its right-hand side resolves to — the latest *earlier*
+    /// declaration of that name (ML shadowing). Variables that resolve to
+    /// no earlier declaration are the prelude's (or unbound) and are
+    /// omitted. The result is deduplicated and sorted.
+    pub fn resolved_deps(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.decls.len());
+        for (i, d) in self.decls.iter().enumerate() {
+            let mut deps: Vec<usize> = d
+                .deps()
+                .into_iter()
+                .filter_map(|v| {
+                    self.decls[..i]
+                        .iter()
+                        .rposition(|e| v.name() == Some(e.name.as_str()))
+                })
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            out.push(deps);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, arg, _) in &self.pragmas {
+            writeln!(f, "#{name} {arg}")?;
+        }
+        for d in &self.decls {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn parses_a_program_with_spans() {
+        let src = "-- demo\nlet f = fun x -> x;;\nlet g : Int = f 3;;\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        let f = &p.decls[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(&src[f.span.start..f.span.end], "let f = fun x -> x;;");
+        assert_eq!(&src[f.name_span.start..f.name_span.end], "f");
+        assert_eq!(f.span.line_col(src), (2, 1));
+        let g = &p.decls[1];
+        assert_eq!(g.ann.as_ref().unwrap().to_string(), "Int");
+        assert_eq!(g.span.line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn parenthesised_annotation_form_is_accepted() {
+        let p = parse_program("let (f : forall a. a -> a) = fun x -> x;;").unwrap();
+        assert_eq!(
+            p.decls[0].ann.as_ref().unwrap().to_string(),
+            "forall a. a -> a"
+        );
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let p = parse_program("#use prelude\nlet x = 1;;").unwrap();
+        assert!(p.uses_prelude());
+        assert!(p.unknown_pragmas().is_empty());
+        let q = parse_program("#use mystery\nlet x = 1;;").unwrap();
+        assert!(!q.uses_prelude());
+        assert_eq!(q.unknown_pragmas().len(), 1);
+    }
+
+    #[test]
+    fn probe_terms_reuse_the_let_rule() {
+        let p = parse_program("let f = fun x -> x;;\nlet g : Int -> Int = fun x -> x;;").unwrap();
+        assert!(matches!(p.decls[0].probe_term(), Term::Let(_, _, _)));
+        assert!(matches!(p.decls[1].probe_term(), Term::LetAnn(_, _, _, _)));
+    }
+
+    #[test]
+    fn resolution_honours_shadowing() {
+        let p = parse_program("let x = 1;;\nlet x = plus x 1;;\nlet y = plus x x;;\nlet z = 9;;")
+            .unwrap();
+        let deps = p.resolved_deps();
+        assert_eq!(deps[0], Vec::<usize>::new());
+        assert_eq!(deps[1], vec![0], "rhs `x` is the *previous* x");
+        assert_eq!(deps[2], vec![1], "y sees the shadowing x");
+        assert_eq!(deps[3], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = "#use prelude\nlet f = fun x -> x;;\nlet g : Int = f 3;;\nlet h = poly ~f;;\n";
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p.pragmas.len(), p2.pragmas.len());
+        assert_eq!(p.decls.len(), p2.decls.len());
+        for (a, b) in p.decls.iter().zip(&p2.decls) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.term, b.term);
+            assert_eq!(a.ann, b.ann);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = parse_program("let = 3;;").unwrap_err();
+        assert!(e.to_string().contains("identifier"), "{e}");
+        let e = parse_program("let x = 3").unwrap_err();
+        assert!(e.to_string().contains(";;"), "{e}");
+        let e = parse_program("let x = 3;; junk x;;").unwrap_err();
+        assert!(e.to_string().contains("`let`"), "{e}");
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let s = Span { start: 0, end: 1 };
+        assert_eq!(s.line_col("abc"), (1, 1));
+        let s = Span { start: 4, end: 5 };
+        assert_eq!(s.line_col("ab\ncd\n"), (2, 2));
+        let s = Span { start: 6, end: 7 };
+        assert_eq!(s.line_col("ab\ncd\nef"), (3, 1));
+    }
+}

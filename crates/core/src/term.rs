@@ -26,6 +26,7 @@
 use crate::names::Var;
 use crate::options::Options;
 use crate::types::Type;
+use std::collections::HashSet;
 use std::fmt;
 
 /// A literal constant.
@@ -191,6 +192,41 @@ impl Term {
     /// FreezeML (§3.2) every term may be generalised.
     pub fn is_gval(&self, opts: &Options) -> bool {
         !opts.value_restriction || self.is_guarded_value()
+    }
+
+    /// The free term variables, ordered by first occurrence (plain and
+    /// frozen occurrences both count). Drives the dependency analysis of
+    /// top-level programs ([`crate::program`]).
+    pub fn free_vars(&self) -> Vec<Var> {
+        fn go(t: &Term, scope: &mut Vec<Var>, seen: &mut HashSet<Var>, out: &mut Vec<Var>) {
+            match t {
+                Term::Var(x) | Term::FrozenVar(x) => {
+                    if !scope.contains(x) && seen.insert(x.clone()) {
+                        out.push(x.clone());
+                    }
+                }
+                Term::Lam(x, b) | Term::LamAnn(x, _, b) => {
+                    scope.push(x.clone());
+                    go(b, scope, seen, out);
+                    scope.pop();
+                }
+                Term::App(f, a) => {
+                    go(f, scope, seen, out);
+                    go(a, scope, seen, out);
+                }
+                Term::Let(x, r, b) | Term::LetAnn(x, _, r, b) => {
+                    go(r, scope, seen, out);
+                    scope.push(x.clone());
+                    go(b, scope, seen, out);
+                    scope.pop();
+                }
+                Term::Lit(_) => {}
+                Term::TyApp(m, _) => go(m, scope, seen, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut HashSet::new(), &mut out);
+        out
     }
 
     /// Number of AST nodes.

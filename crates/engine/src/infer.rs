@@ -106,21 +106,36 @@ impl<'s> InferCtx<'s> {
             }
 
             // infer(∆, Θ, Γ, M N): unify A′ with A → b for fresh b : ⋆.
-            Term::App(f, arg) => {
-                let fty = self.infer(f)?;
-                let aty = self.infer(arg)?;
-                let mut fty = self.store.resolve(fty);
-                // Eliminator instantiation (§3.2): implicitly instantiate
-                // a quantified head before matching it against `A → b`.
-                if self.opts.instantiation == freezeml_core::InstantiationStrategy::Eliminator
-                    && matches!(self.store.node(fty), Node::Forall(_, _))
-                {
-                    fty = self.instantiate(fty);
+            //
+            // The spine is flattened and processed iteratively (mirroring
+            // `core::infer`), so stack use is constant in the length of an
+            // application chain.
+            Term::App(_, _) => {
+                let mut head = term;
+                let mut args = Vec::new();
+                while let Term::App(f, a) = head {
+                    args.push(a.as_ref());
+                    head = f;
                 }
-                let (_, b) = self.store.fresh_var(Kind::Poly);
-                let expected = self.store.arrow(aty, b);
-                unify(self.store, fty, expected)?;
-                Ok(b)
+                args.reverse();
+                let mut fty_id = self.infer(head)?;
+                for arg in args {
+                    let aty = self.infer(arg)?;
+                    let mut fty = self.store.resolve(fty_id);
+                    // Eliminator instantiation (§3.2): implicitly
+                    // instantiate a quantified head before matching it
+                    // against `A → b`.
+                    if self.opts.instantiation == freezeml_core::InstantiationStrategy::Eliminator
+                        && matches!(self.store.node(fty), Node::Forall(_, _))
+                    {
+                        fty = self.instantiate(fty);
+                    }
+                    let (_, b) = self.store.fresh_var(Kind::Poly);
+                    let expected = self.store.arrow(aty, b);
+                    unify(self.store, fty, expected)?;
+                    fty_id = b;
+                }
+                Ok(fty_id)
             }
 
             // infer(∆, Θ, Γ, let x = M in N).
@@ -291,6 +306,39 @@ impl Session {
         self.infer_scoped(term)
     }
 
+    /// Infer one term under `Γ, extra` — the session's environment
+    /// extended with per-call bindings. The extras are formation-checked
+    /// and interned for this call only; their nodes are reclaimed with
+    /// the rest of the term state on the next call, so the session's
+    /// store stays bounded by the base environment plus one term.
+    ///
+    /// This is the serving shape of the program-checking service: one
+    /// session per worker holds the interned prelude, and each binding
+    /// is checked under the schemes of the declarations it depends on.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TypeError`] classes as the `core` engine; additionally
+    /// environment-formation errors for the extra bindings.
+    pub fn infer_with(
+        &mut self,
+        extra: &[(Var, Type)],
+        term: &Term,
+    ) -> Result<InferOutput, TypeError> {
+        freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
+        let extra_env: TypeEnv = extra.iter().cloned().collect();
+        freezeml_core::kinding::check_env(&KindEnv::new(), &RefinedEnv::new(), &extra_env)?;
+        self.store.reset_to(&self.base);
+        let depth = self.gamma.len();
+        for (x, ty) in extra {
+            let id = self.store.intern_type(ty);
+            self.gamma.push((x.clone(), id));
+        }
+        let out = self.infer_reclaimed(term);
+        self.gamma.truncate(depth);
+        out
+    }
+
     /// Inference proper, for terms already scope-checked.
     fn infer_scoped(&mut self, term: &Term) -> Result<InferOutput, TypeError> {
         // The previous term's nodes, cells, binder records, and journal
@@ -298,6 +346,11 @@ impl Session {
         // so a long-lived session's store stays bounded by the
         // environment plus one term.
         self.store.reset_to(&self.base);
+        self.infer_reclaimed(term)
+    }
+
+    /// Inference on the already-reclaimed store (extras, if any, interned).
+    fn infer_reclaimed(&mut self, term: &Term) -> Result<InferOutput, TypeError> {
         let depth = self.gamma.len();
         let opts = self.opts;
         let mut cx = InferCtx {
@@ -598,6 +651,50 @@ mod tests {
         assert!(session.infer(&bad).is_err());
         let term = freezeml_core::parse_term("id 41").unwrap();
         assert_eq!(session.infer(&term).unwrap().ty.to_string(), "Int");
+    }
+
+    #[test]
+    fn infer_with_layers_extra_bindings() {
+        let mut session = Session::new(&env(), &Options::default()).unwrap();
+        let f = (
+            Var::named("f"),
+            freezeml_core::parse_type("forall a. a -> a").unwrap(),
+        );
+        let term = freezeml_core::parse_term("poly ~f").unwrap();
+        let got = session.infer_with(std::slice::from_ref(&f), &term).unwrap();
+        assert_eq!(got.ty.to_string(), "Int * Bool");
+        // Per-call extras keep the store bounded: the extent after one
+        // call equals the extent after many.
+        let before = session.store.checkpoint();
+        for _ in 0..50 {
+            session.infer_with(std::slice::from_ref(&f), &term).unwrap();
+        }
+        let after = session.store.checkpoint();
+        assert_eq!(format!("{before:?}"), format!("{after:?}"));
+        // The extra binding is gone again afterwards.
+        assert!(session.infer(&term).is_err());
+        // Ill-formed extras are rejected by environment formation.
+        let bad = (Var::named("g"), Type::Var(freezeml_core::TyVar::fresh()));
+        assert!(session.infer_with(&[bad], &term).is_err());
+    }
+
+    #[test]
+    fn session_hands_off_across_threads() {
+        // The store is built from owned data (`Arc<str>` names, vectors,
+        // hash maps), so a session moves between threads — the handoff
+        // the parallel program-checking service relies on.
+        fn assert_send<T: Send>(t: T) -> T {
+            t
+        }
+        let session = assert_send(Session::new(&env(), &Options::default()).unwrap());
+        let ty = std::thread::spawn(move || {
+            let mut session = session;
+            let term = freezeml_core::parse_term("poly $(fun x -> x)").unwrap();
+            session.infer(&term).unwrap().ty.to_string()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ty, "Int * Bool");
     }
 
     #[test]

@@ -21,21 +21,6 @@ use freezeml_engine::differential::{compare_term, compare_unify};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Run a test body on a thread with a generous stack: the *oracle* is the
-/// paper-literal engine, whose debug-build frames overflow the default
-/// 2 MiB test-thread stack on ~64-deep application chains (the union-find
-/// engine itself is fine — see `engine_compare` for the release-profile
-/// numbers).
-fn with_big_stack(f: impl FnOnce() + Send + 'static) {
-    let handle = std::thread::Builder::new()
-        .stack_size(32 * 1024 * 1024)
-        .spawn(f)
-        .expect("spawn test thread");
-    if let Err(payload) = handle.join() {
-        std::panic::resume_unwind(payload);
-    }
-}
-
 // ---------------------------------------------------------------- types
 
 struct TypePool {
@@ -121,10 +106,6 @@ fn mutate<R: Rng>(rng: &mut R, pool: &TypePool, t: &Type, bound: &mut Vec<TyVar>
 
 #[test]
 fn random_type_pairs_unify_identically() {
-    with_big_stack(random_type_pairs_unify_identically_body);
-}
-
-fn random_type_pairs_unify_identically_body() {
     let cases: usize = std::env::var("PROPTEST_CASES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -277,10 +258,6 @@ fn leaf<R: Rng>(rng: &mut R, pool: &TermPool, scope: &[String]) -> Term {
 
 #[test]
 fn random_prelude_terms_infer_identically() {
-    with_big_stack(random_prelude_terms_infer_identically_body);
-}
-
-fn random_prelude_terms_infer_identically_body() {
     let cases: usize = std::env::var("PROPTEST_CASES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -322,14 +299,12 @@ fn random_prelude_terms_infer_identically_body() {
 
 #[test]
 fn deterministic_worst_cases_agree() {
-    with_big_stack(deterministic_worst_cases_agree_body);
-}
-
-fn deterministic_worst_cases_agree_body() {
     // The shapes `engine_compare` times (freeze chains, deep
     // applications) are exactly where the two engines' bookkeeping
     // differs most; pin agreement on the benchmark helpers themselves so
-    // this test can never drift from what the bench measures.
+    // this test can never drift from what the bench measures. Both
+    // engines traverse application spines iteratively, so the 64-deep
+    // chain runs on the default test-thread stack.
     let env = freezeml_corpus::figure2();
     let opts = Options::default();
     for n in [1usize, 4, 16] {

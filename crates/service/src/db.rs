@@ -1,0 +1,602 @@
+//! The program database: bindings keyed by content hash, a resolved
+//! dependency graph with SCC condensation, and Merkle-style cache keys
+//! that make invalidation exact.
+//!
+//! ## Invalidation model
+//!
+//! Every declaration gets a **content hash** — the FNV-1a hash of its
+//! source slice (`let` through `;;`). Its **cache key** combines that
+//! hash with the cache keys of the declarations its free variables
+//! resolve to, plus the checker configuration:
+//!
+//! ```text
+//! key(d) = H(slice(d), key(dep₁), …, key(depₖ), opts, engine, #use)
+//! ```
+//!
+//! The key is therefore a fingerprint of *everything the binding's
+//! scheme can depend on*: edit a declaration and exactly that
+//! declaration and its transitive dependents change key; reorder,
+//! insert, or delete unrelated declarations and every untouched key is
+//! preserved, so the scheme cache keeps serving them. FreezeML's
+//! principal-types guarantee (paper Theorem 7) is what makes caching a
+//! binding's scheme sound at all: the scheme is a function of the
+//! binding and its dependencies' schemes, with no cross-binding
+//! inference state to leak.
+//!
+//! Name resolution follows ML shadowing — each free variable resolves to
+//! the *latest earlier* declaration of that name, so the dependency
+//! graph is a DAG; the condensation ([`crate::graph`]) is computed
+//! anyway and a genuine cycle would surface as an executor error, not a
+//! scheduling bug.
+
+use crate::graph::{condense, Condensation};
+use crate::hash::{hash_str, Fnv, U64Map};
+use freezeml_core::{
+    Decl, InstantiationStrategy, Options, ParseError, Program, Span, Term, Type, Var,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which inference engine(s) the service drives — mirroring the
+/// conformance harness's `ENGINE` selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineSel {
+    /// The paper-literal `core` engine only.
+    Core,
+    /// The union-find engine only — the production configuration.
+    Uf,
+    /// Both, with a per-binding agreement obligation (differential runs).
+    #[default]
+    Both,
+}
+
+impl EngineSel {
+    /// Read the selection from the `ENGINE` environment variable
+    /// (`core`, `uf`, or `both`; default [`EngineSel::Both`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value — a misspelt selector silently
+    /// running the wrong engine would defeat differential runs.
+    pub fn from_env() -> EngineSel {
+        match std::env::var("ENGINE") {
+            Err(_) => EngineSel::default(),
+            Ok(v) => match v.as_str() {
+                "core" => EngineSel::Core,
+                "uf" => EngineSel::Uf,
+                "both" | "" => EngineSel::Both,
+                other => panic!("ENGINE must be core|uf|both, got `{other}`"),
+            },
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            EngineSel::Core => 1,
+            EngineSel::Uf => 2,
+            EngineSel::Both => 3,
+        }
+    }
+}
+
+/// The verdict on one binding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Well typed at this (closed, canonicalised) scheme.
+    Typed {
+        /// The binding's scheme.
+        scheme: Type,
+        /// Residual monomorphic variables that were grounded to `Int`
+        /// to keep the environment closed (value restriction; same
+        /// defaulting the REPL performs), by canonical name.
+        defaulted: Vec<String>,
+    },
+    /// Ill typed.
+    Error {
+        /// The error class (Debug rendering of
+        /// [`freezeml_engine::ErrorClass`]).
+        class: String,
+        /// The rendered message.
+        message: String,
+    },
+    /// Not checked because a dependency failed.
+    Blocked {
+        /// The failing dependency's name.
+        on: String,
+    },
+    /// The two engines disagreed (only under [`EngineSel::Both`]) — a
+    /// checker bug, surfaced loudly rather than cached.
+    Disagreement {
+        /// The oracle's verdict, rendered.
+        core: String,
+        /// The union-find engine's verdict, rendered.
+        uf: String,
+    },
+}
+
+impl Outcome {
+    /// Is this a successful scheme?
+    pub fn is_typed(&self) -> bool {
+        matches!(self, Outcome::Typed { .. })
+    }
+
+    /// One-line rendering for reports and diffs.
+    pub fn display(&self) -> String {
+        match self {
+            Outcome::Typed { scheme, defaulted } if defaulted.is_empty() => scheme.to_string(),
+            Outcome::Typed { scheme, defaulted } => {
+                format!("{scheme}  (defaulted: {})", defaulted.join(", "))
+            }
+            Outcome::Error { message, .. } => format!("✕ ({message})"),
+            Outcome::Blocked { on } => format!("blocked on `{on}`"),
+            Outcome::Disagreement { core, uf } => {
+                format!("engines disagree: core gave {core}, union-find gave {uf}")
+            }
+        }
+    }
+}
+
+/// One analysed declaration: its position in the document plus a shared
+/// handle on the parsed chunk (term, annotation, free variables). The
+/// handle is an [`std::sync::Arc`] into the front-end's parse cache, so
+/// re-analysing a document after an edit clones no terms for the
+/// untouched declarations.
+#[derive(Clone, Debug)]
+pub struct DeclInfo {
+    /// The whole declaration, `let` through `;;` (absolute).
+    pub span: Span,
+    /// The bound name (absolute).
+    pub name_span: Span,
+    chunk: Arc<ParsedDecl>,
+}
+
+impl DeclInfo {
+    /// The bound name.
+    pub fn name(&self) -> &str {
+        &self.chunk.name
+    }
+
+    /// The annotation, if any.
+    pub fn ann(&self) -> Option<&Type> {
+        self.chunk.ann.as_ref()
+    }
+
+    /// The free term variables of the right-hand side.
+    pub fn free_vars(&self) -> &[Var] {
+        &self.chunk.fv
+    }
+
+    /// The probe term whose type is the declaration's scheme —
+    /// `let x (: A)? = M in ⌈x⌉` (see [`freezeml_core::Decl::probe_term`]).
+    pub fn probe_term(&self) -> Term {
+        let x = Var::named(&self.chunk.name);
+        match &self.chunk.ann {
+            None => Term::Let(
+                x.clone(),
+                Box::new(self.chunk.term.clone()),
+                Box::new(Term::FrozenVar(x)),
+            ),
+            Some(ann) => Term::LetAnn(
+                x.clone(),
+                ann.clone(),
+                Box::new(self.chunk.term.clone()),
+                Box::new(Term::FrozenVar(x)),
+            ),
+        }
+    }
+}
+
+/// A parsed program analysed for checking: resolved dependencies,
+/// condensation, and cache keys.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The source text the program was parsed from (spans index into it).
+    pub src: String,
+    /// Does the program request the Figure 2 prelude (`#use prelude`)?
+    pub uses_prelude: bool,
+    /// The declarations, in order.
+    pub decls: Vec<DeclInfo>,
+    /// `deps[i]` — indices of the declarations binding `i` depends on.
+    pub deps: Vec<Vec<usize>>,
+    /// The SCC condensation and its topological waves.
+    pub cond: Condensation,
+    /// `keys[i]` — the Merkle cache key of binding `i`.
+    pub keys: Vec<u64>,
+}
+
+/// A database build failure: the program did not parse.
+pub type AnalyzeError = ParseError;
+
+/// Parse and analyse a program under the given configuration.
+///
+/// # Errors
+///
+/// A [`ParseError`] when the text is not a well-formed program.
+pub fn analyze(src: &str, opts: &Options, engine: EngineSel) -> Result<Analysis, AnalyzeError> {
+    let program = freezeml_core::parse_program(src)?;
+    Ok(analyze_parsed(program, src, opts, engine))
+}
+
+// -------------------------------------------------- incremental front-end
+
+/// A parsed declaration, shared between the parse cache and analyses.
+#[derive(Debug)]
+struct ParsedDecl {
+    name: String,
+    ann: Option<Type>,
+    term: Term,
+    /// Slice-relative declaration span (`let` through `;;` — a chunk may
+    /// carry leading comments the declaration span excludes).
+    decl_rel: Span,
+    /// Slice-relative name span.
+    name_rel: Span,
+    /// Free term variables of the right-hand side.
+    fv: Vec<Var>,
+}
+
+impl ParsedDecl {
+    fn from_decl(d: Decl) -> (Arc<ParsedDecl>, Span) {
+        let fv = d.term.free_vars();
+        let span = d.span;
+        (
+            Arc::new(ParsedDecl {
+                name: d.name,
+                ann: d.ann,
+                term: d.term,
+                decl_rel: d.span,
+                name_rel: d.name_span,
+                fv,
+            }),
+            span,
+        )
+    }
+}
+
+/// One declaration chunk, cached by the hash of its source slice.
+#[derive(Clone)]
+struct CachedChunk {
+    /// The exact slice (collision guard for the 64-bit key).
+    slice: String,
+    /// Pragmas in the chunk, with slice-relative spans.
+    pragmas: Vec<(String, String, Span)>,
+    /// The declaration, if the chunk holds one.
+    decl: Option<Arc<ParsedDecl>>,
+}
+
+/// A declaration-level parse cache: the expensive parts of analysing a
+/// document — term construction and free-variable collection — are
+/// cached per declaration slice and shared by `Arc`, so an edit
+/// re-parses only the touched declaration(s) and clones no terms for
+/// the rest. This is what keeps a warm edit's fixed costs far below a
+/// cold check's (see `EXPERIMENTS.md` for numbers).
+#[derive(Default)]
+pub struct Frontend {
+    chunks: U64Map<CachedChunk>,
+}
+
+/// Split source text into declaration chunks: each chunk ends at a `;;`
+/// (comments are honoured — a `;;` after `--` on a line is text). The
+/// scan is exact for the surface language because `;;` cannot occur
+/// inside a term or type, and a final chunk without `;;` is returned
+/// too (it must be pragmas-only or a parse error, which the per-chunk
+/// parse reports at the right offset).
+fn chunk_spans(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b';' if bytes.get(i + 1) == Some(&b';') => {
+                out.push((start, i + 2));
+                i += 2;
+                start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    // Trim leading whitespace off every chunk (so a reindented but
+    // otherwise untouched declaration still hits the cache) and keep a
+    // non-empty trailer.
+    let mut trimmed: Vec<(usize, usize)> = Vec::with_capacity(out.len() + 1);
+    let shift = |s: usize, e: usize| -> (usize, usize) {
+        let skipped = src[s..e].len() - src[s..e].trim_start().len();
+        (s + skipped, e)
+    };
+    for (s, e) in out {
+        trimmed.push(shift(s, e));
+    }
+    if !src[start..].trim().is_empty() {
+        trimmed.push(shift(start, src.len()));
+    }
+    trimmed
+}
+
+/// Like [`analyze`], but with a declaration-level parse cache: only
+/// chunks whose source slice changed since the last call are re-parsed.
+///
+/// # Errors
+///
+/// A [`ParseError`] (positions are absolute into `src`).
+pub fn analyze_cached(
+    fe: &mut Frontend,
+    src: &str,
+    opts: &Options,
+    engine: EngineSel,
+) -> Result<Analysis, AnalyzeError> {
+    if fe.chunks.len() > 8192 {
+        fe.chunks.clear(); // crude cap; the scheme cache is what matters
+    }
+    let mut pragmas = Vec::new();
+    let mut decls = Vec::new();
+    let mut content = Vec::new();
+    for (start, end) in chunk_spans(src) {
+        let slice = &src[start..end];
+        let key = hash_str(slice);
+        let hit = matches!(fe.chunks.get(&key), Some(c) if c.slice == slice);
+        if !hit {
+            let parsed = freezeml_core::parse_program(slice).map_err(|e| ParseError {
+                msg: e.msg,
+                pos: e.pos + start,
+            })?;
+            debug_assert!(parsed.decls.len() <= 1, "one `;;` per chunk");
+            let chunk = CachedChunk {
+                slice: slice.to_string(),
+                pragmas: parsed.pragmas,
+                decl: parsed
+                    .decls
+                    .into_iter()
+                    .next()
+                    .map(|d| ParsedDecl::from_decl(d).0),
+            };
+            fe.chunks.insert(key, chunk);
+        }
+        let chunk = fe.chunks.get(&key).expect("present or just inserted");
+        for (name, arg, span) in &chunk.pragmas {
+            pragmas.push((
+                name.clone(),
+                arg.clone(),
+                Span {
+                    start: span.start + start,
+                    end: span.end + start,
+                },
+            ));
+        }
+        if let Some(parsed) = &chunk.decl {
+            let (decl_rel, name_rel) = (parsed.decl_rel, parsed.name_rel);
+            let span = Span {
+                start: decl_rel.start + start,
+                end: decl_rel.end + start,
+            };
+            decls.push(DeclInfo {
+                span,
+                name_span: Span {
+                    start: name_rel.start + start,
+                    end: name_rel.end + start,
+                },
+                chunk: Arc::clone(parsed),
+            });
+            // The Merkle content hash covers exactly the declaration
+            // (`let` through `;;`) — NOT the whole chunk, which may carry
+            // leading comments: a comment-only edit re-parses the chunk
+            // but must not invalidate the binding's scheme. This also
+            // keeps [`analyze`] and [`analyze_cached`] key-compatible.
+            content.push(hash_str(src.get(span.start..span.end).unwrap_or_default()));
+        }
+    }
+    Ok(build_analysis(pragmas, decls, content, src, opts, engine))
+}
+
+/// Analyse an already-parsed program (spans must index into `src`).
+pub fn analyze_parsed(program: Program, src: &str, opts: &Options, engine: EngineSel) -> Analysis {
+    let pragmas = program.pragmas;
+    let decls: Vec<DeclInfo> = program
+        .decls
+        .into_iter()
+        .map(|d| {
+            let name_span = d.name_span;
+            let (chunk, span) = ParsedDecl::from_decl(d);
+            DeclInfo {
+                span,
+                name_span,
+                chunk,
+            }
+        })
+        .collect();
+    let content = decls
+        .iter()
+        .map(|d| hash_str(src.get(d.span.start..d.span.end).unwrap_or_default()))
+        .collect();
+    build_analysis(pragmas, decls, content, src, opts, engine)
+}
+
+fn build_analysis(
+    pragmas: Vec<(String, String, Span)>,
+    decls: Vec<DeclInfo>,
+    content: Vec<u64>,
+    src: &str,
+    opts: &Options,
+    engine: EngineSel,
+) -> Analysis {
+    let n = decls.len();
+    let uses_prelude = pragmas
+        .iter()
+        .any(|(name, arg, _)| name == "use" && arg == "prelude");
+
+    // Resolve each free variable to the latest earlier declaration of
+    // that name (ML shadowing), via an incrementally maintained
+    // name → latest-index map — O(total free variables), not O(n²).
+    let mut latest: HashMap<&str, usize> = HashMap::with_capacity(n);
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (i, d) in decls.iter().enumerate() {
+        let mut ds: Vec<usize> = d
+            .free_vars()
+            .iter()
+            .filter_map(|v| v.name().and_then(|name| latest.get(name).copied()))
+            .collect();
+        ds.sort_unstable();
+        ds.dedup();
+        deps.push(ds);
+        latest.insert(d.name(), i);
+    }
+    let cond = condense(n, &deps);
+
+    // Configuration fingerprint, mixed into every key: the same binding
+    // under a different mode, engine, or prelude is a different cache
+    // entry.
+    let mut cfg = Fnv::new();
+    cfg.write_u64(u64::from(opts.value_restriction));
+    cfg.write_u64(match opts.instantiation {
+        InstantiationStrategy::Variable => 0,
+        InstantiationStrategy::Eliminator => 1,
+    });
+    cfg.write_u64(engine.tag());
+    cfg.write_u64(u64::from(uses_prelude));
+    let cfg = cfg.finish();
+
+    // Keys in declaration order: dependencies point backwards, so each
+    // key only needs earlier keys. The slice content enters through the
+    // already-computed per-chunk content hash (one pass over the text,
+    // not two).
+    let mut keys = vec![0u64; n];
+    for i in 0..n {
+        let mut h = Fnv::new();
+        h.write_u64(cfg);
+        h.write_u64(content[i]);
+        for &dep in &deps[i] {
+            h.write_u64(keys[dep]);
+        }
+        keys[i] = h.finish();
+    }
+
+    Analysis {
+        src: src.to_string(),
+        uses_prelude,
+        decls,
+        deps,
+        cond,
+        keys,
+    }
+}
+
+impl Analysis {
+    /// The transitive dependents of binding `i` (excluding `i` itself) —
+    /// exactly the set an edit to `i` invalidates beyond `i`.
+    pub fn dependents(&self, i: usize) -> Vec<usize> {
+        let n = self.decls.len();
+        let mut hit = vec![false; n];
+        hit[i] = true;
+        // deps point backwards, so one forward pass closes the set.
+        for j in i + 1..n {
+            if self.deps[j].iter().any(|&d| hit[d]) {
+                hit[j] = true;
+            }
+        }
+        (i + 1..n).filter(|&j| hit[j]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_analysis(src: &str) -> Analysis {
+        analyze(src, &Options::default(), EngineSel::Uf).unwrap()
+    }
+
+    const DIAMOND: &str = "#use prelude\n\
+        let base = 1;;\n\
+        let l = plus base 1;;\n\
+        let r = plus base 2;;\n\
+        let top = plus l r;;\n";
+
+    #[test]
+    fn diamond_waves_expose_parallelism() {
+        let a = std_analysis(DIAMOND);
+        assert_eq!(a.cond.waves.len(), 3);
+        assert_eq!(a.cond.waves[1].len(), 2, "l and r are independent");
+        assert_eq!(a.dependents(0), vec![1, 2, 3]);
+        assert_eq!(a.dependents(1), vec![3]);
+        assert_eq!(a.dependents(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn editing_a_binding_changes_its_key_and_its_dependents() {
+        let a = std_analysis(DIAMOND);
+        let b = std_analysis(&DIAMOND.replace("let l = plus base 1;;", "let l = plus base 7;;"));
+        assert_ne!(a.keys[1], b.keys[1], "edited binding");
+        assert_ne!(a.keys[3], b.keys[3], "transitive dependent");
+        assert_eq!(a.keys[0], b.keys[0], "untouched dependency");
+        assert_eq!(a.keys[2], b.keys[2], "untouched sibling");
+    }
+
+    #[test]
+    fn inserting_an_unrelated_binding_preserves_keys() {
+        let b = std_analysis(&DIAMOND.replace(
+            "let top = plus l r;;",
+            "let noise = 9;;\nlet top = plus l r;;",
+        ));
+        let a = std_analysis(DIAMOND);
+        for (name, i_a) in [("base", 0), ("l", 1), ("r", 2)] {
+            assert_eq!(a.decls[i_a].name(), name);
+            assert_eq!(a.keys[i_a], b.keys[i_a], "{name} key stable");
+        }
+        // `top` moved but its slice and dep keys are unchanged.
+        assert_eq!(a.keys[3], b.keys[4]);
+    }
+
+    #[test]
+    fn shadowing_redirects_keys() {
+        let a = std_analysis("let x = 1;;\nlet y = x;;\n");
+        let b = std_analysis("let x = 1;;\nlet x = true;;\nlet y = x;;\n");
+        // y's slice is identical but now resolves to the shadowing x.
+        assert_ne!(a.keys[1], b.keys[2]);
+    }
+
+    #[test]
+    fn comment_edits_do_not_invalidate_schemes() {
+        let mut fe = Frontend::default();
+        let opts = Options::default();
+        let with_note = "-- note\nlet x = 1;;\nlet y = x;;\n";
+        let a = analyze_cached(&mut fe, with_note, &opts, EngineSel::Uf).unwrap();
+        let b = analyze_cached(
+            &mut fe,
+            "-- a completely different note\nlet x = 1;;\nlet y = x;;\n",
+            &opts,
+            EngineSel::Uf,
+        )
+        .unwrap();
+        assert_eq!(a.keys, b.keys, "comment-only edits keep every key");
+        // …and the cached and plain analyses produce compatible keys.
+        let c = analyze(with_note, &opts, EngineSel::Uf).unwrap();
+        assert_eq!(a.keys, c.keys);
+        // A comment *inside* the declaration is part of its content.
+        let d = analyze_cached(
+            &mut fe,
+            "-- note\nlet x = 1 -- inline\n;;\nlet y = x;;\n",
+            &opts,
+            EngineSel::Uf,
+        )
+        .unwrap();
+        assert_ne!(a.keys[0], d.keys[0]);
+    }
+
+    #[test]
+    fn configuration_is_part_of_the_key() {
+        let a = std_analysis("let x = 1;;");
+        let b = analyze("let x = 1;;", &Options::default(), EngineSel::Core).unwrap();
+        let c = analyze("let x = 1;;", &Options::pure_freezeml(), EngineSel::Uf).unwrap();
+        assert_ne!(a.keys[0], b.keys[0]);
+        assert_ne!(a.keys[0], c.keys[0]);
+    }
+
+    #[test]
+    fn engine_sel_from_env_default_is_both() {
+        assert_eq!(EngineSel::default(), EngineSel::Both);
+    }
+}

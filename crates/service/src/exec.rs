@@ -1,0 +1,440 @@
+//! The parallel executor: a pool of workers, each owning reusable
+//! [`freezeml_engine::Session`]s, checking the dirty components of a
+//! program in topological waves.
+//!
+//! Scheduling is wave-by-wave over the condensation ([`crate::graph`]):
+//! all components in one wave are independent, so their bindings are
+//! checked concurrently on scoped threads — one worker per thread, each
+//! session handed off wholesale (the store is owned data, see the
+//! engine's `session_hands_off_across_threads` test). Within a pass:
+//!
+//! * a binding whose cache key hits the scheme cache is **reused** (no
+//!   inference at all);
+//! * a binding with a failed or blocked dependency is **blocked**, not
+//!   cascaded into a misleading unbound-variable error;
+//! * everything else is **rechecked** — under `ENGINE=core`, `uf`, or
+//!   `both` (per-binding differential agreement).
+//!
+//! Checking a binding `let x (: A)? = M;;` infers the probe term
+//! `let x (: A)? = M in ⌈x⌉`, so the scheme is produced by the paper's
+//! `let` rule itself. Residual monomorphic variables (value restriction)
+//! are grounded to `Int` — the same defaulting the REPL performs — so
+//! the scheme stored in the environment stays closed.
+
+use crate::db::{Analysis, DeclInfo, EngineSel, Outcome};
+use crate::hash::U64Map;
+
+/// One inference job: a declaration index plus the schemes of its
+/// dependencies.
+type Job = (usize, Vec<(Var, Type)>);
+use freezeml_core::{Options, Span, Type, TypeEnv, Var};
+use freezeml_engine::differential::{class_of, types_equivalent};
+use freezeml_engine::Session;
+
+/// One worker: lazily-built engine sessions (with and without the
+/// Figure 2 prelude) plus the core-engine environments.
+pub struct Worker {
+    opts: Options,
+    engine: EngineSel,
+    /// Lazily interned sessions, keyed by "uses the prelude".
+    sessions: [Option<Session>; 2],
+    /// Core-engine base environments, same keying.
+    envs: [Option<TypeEnv>; 2],
+}
+
+impl Worker {
+    /// A fresh worker for the given configuration.
+    pub fn new(opts: Options, engine: EngineSel) -> Worker {
+        Worker {
+            opts,
+            engine,
+            sessions: [None, None],
+            envs: [None, None],
+        }
+    }
+
+    fn base_env(use_prelude: bool) -> TypeEnv {
+        if use_prelude {
+            freezeml_corpus::figure2()
+        } else {
+            TypeEnv::new()
+        }
+    }
+
+    fn session(&mut self, use_prelude: bool) -> &mut Session {
+        let slot = &mut self.sessions[usize::from(use_prelude)];
+        if slot.is_none() {
+            *slot = Some(
+                Session::new(&Self::base_env(use_prelude), &self.opts)
+                    .expect("the Figure 2 prelude is well-formed"),
+            );
+        }
+        slot.as_mut().expect("just initialised")
+    }
+
+    fn env(&mut self, use_prelude: bool) -> &TypeEnv {
+        let slot = &mut self.envs[usize::from(use_prelude)];
+        if slot.is_none() {
+            *slot = Some(Self::base_env(use_prelude));
+        }
+        slot.as_ref().expect("just initialised")
+    }
+
+    /// Check one binding under the schemes of its dependencies.
+    pub fn check(
+        &mut self,
+        use_prelude: bool,
+        decl: &DeclInfo,
+        dep_env: &[(Var, Type)],
+    ) -> Outcome {
+        let term = decl.probe_term();
+        match self.engine {
+            EngineSel::Uf => {
+                let r = self.session(use_prelude).infer_with(dep_env, &term);
+                outcome_of(r.map(|o| o.ty))
+            }
+            EngineSel::Core => {
+                let mut env = self.env(use_prelude).clone();
+                for (x, t) in dep_env {
+                    env.push(x.clone(), t.clone());
+                }
+                let r = freezeml_core::infer_term(&env, &term, &self.opts);
+                outcome_of(r.map(|o| o.ty))
+            }
+            EngineSel::Both => {
+                let uf = self.session(use_prelude).infer_with(dep_env, &term);
+                let mut env = self.env(use_prelude).clone();
+                for (x, t) in dep_env {
+                    env.push(x.clone(), t.clone());
+                }
+                let core = freezeml_core::infer_term(&env, &term, &self.opts);
+                match (core, uf) {
+                    (Ok(c), Ok(u)) if types_equivalent(&c.ty, &u.ty) => outcome_of(Ok(c.ty)),
+                    (Err(ce), Err(ue)) if class_of(&ce) == class_of(&ue) => {
+                        outcome_of(Err::<Type, _>(ce))
+                    }
+                    (c, u) => Outcome::Disagreement {
+                        core: render(&c.map(|o| o.ty.canonicalize())),
+                        uf: render(&u.map(|o| o.ty.canonicalize())),
+                    },
+                }
+            }
+        }
+    }
+}
+
+fn render(r: &Result<Type, freezeml_core::TypeError>) -> String {
+    match r {
+        Ok(t) => t.to_string(),
+        Err(e) => format!("✕ {:?} ({e})", class_of(e)),
+    }
+}
+
+/// Canonicalise a successful scheme and ground residual monomorphic
+/// variables to `Int` (value restriction), or classify the error.
+fn outcome_of(r: Result<Type, freezeml_core::TypeError>) -> Outcome {
+    match r {
+        Ok(ty) => {
+            let mut scheme = ty.canonicalize();
+            let defaulted: Vec<String> = scheme.ftv().iter().map(|v| v.to_string()).collect();
+            for v in scheme.ftv() {
+                scheme = scheme.rename_free(&v, &Type::int());
+            }
+            Outcome::Typed { scheme, defaulted }
+        }
+        Err(e) => Outcome::Error {
+            class: format!("{:?}", class_of(&e)),
+            message: e.to_string(),
+        },
+    }
+}
+
+/// The verdict on one binding, located in its document.
+#[derive(Clone, Debug)]
+pub struct BindingReport {
+    /// The bound name.
+    pub name: String,
+    /// The declaration's source span.
+    pub span: Span,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+/// The result of one check pass over a program.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Per-binding verdicts, in declaration order.
+    pub bindings: Vec<BindingReport>,
+    /// Bindings actually re-inferred this pass (cache misses).
+    pub rechecked: usize,
+    /// Bindings served from the scheme cache.
+    pub reused: usize,
+    /// Topological waves that ran at least one inference job.
+    pub waves: usize,
+}
+
+impl CheckReport {
+    /// Did every binding type-check?
+    pub fn all_typed(&self) -> bool {
+        self.bindings.iter().all(|b| b.outcome.is_typed())
+    }
+
+    /// The latest binding of the given name (ML shadowing: the visible
+    /// one at the end of the program).
+    pub fn binding(&self, name: &str) -> Option<&BindingReport> {
+        self.bindings.iter().rev().find(|b| b.name == name)
+    }
+}
+
+/// The worker pool.
+pub struct Executor {
+    workers: Vec<Worker>,
+}
+
+impl Executor {
+    /// A pool of `n` workers (at least one).
+    pub fn new(n: usize, opts: Options, engine: EngineSel) -> Executor {
+        Executor {
+            workers: (0..n.max(1)).map(|_| Worker::new(opts, engine)).collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// One check pass: walk the waves, reuse cache hits, block on failed
+    /// dependencies, and run the remaining jobs concurrently. Fresh
+    /// verdicts are written back to `cache` (disagreements excepted —
+    /// those are bugs and must never be served warm).
+    pub fn run(&mut self, a: &Analysis, cache: &mut U64Map<Outcome>) -> CheckReport {
+        let n = a.decls.len();
+        let use_prelude = a.uses_prelude;
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
+        let (mut rechecked, mut reused, mut waves) = (0usize, 0usize, 0usize);
+
+        for wave in &a.cond.waves {
+            let mut jobs: Vec<Job> = Vec::new();
+            for &c in wave {
+                let members = &a.cond.comps[c];
+                if members.len() > 1 {
+                    // Unreachable through the current surface (resolution
+                    // points backwards), but the scheduler stays honest.
+                    let names: Vec<&str> = members.iter().map(|&i| a.decls[i].name()).collect();
+                    for &i in members {
+                        outcomes[i] = Some(Outcome::Error {
+                            class: "RecursiveBinding".to_string(),
+                            message: format!(
+                                "recursive binding group {{{}}} is not supported",
+                                names.join(", ")
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                let i = members[0];
+                if let Some(bad) = a.deps[i]
+                    .iter()
+                    .find(|&&d| !outcomes[d].as_ref().is_some_and(Outcome::is_typed))
+                {
+                    outcomes[i] = Some(Outcome::Blocked {
+                        on: a.decls[*bad].name().to_string(),
+                    });
+                    continue;
+                }
+                if let Some(hit) = cache.get(&a.keys[i]) {
+                    outcomes[i] = Some(hit.clone());
+                    reused += 1;
+                    continue;
+                }
+                let dep_env: Vec<(Var, Type)> = a.deps[i]
+                    .iter()
+                    .map(|&d| {
+                        let Some(Outcome::Typed { scheme, .. }) = outcomes[d].as_ref() else {
+                            unreachable!("checked typed above")
+                        };
+                        (Var::named(a.decls[d].name()), scheme.clone())
+                    })
+                    .collect();
+                jobs.push((i, dep_env));
+            }
+
+            if jobs.is_empty() {
+                continue;
+            }
+            waves += 1;
+            rechecked += jobs.len();
+
+            let k = self.workers.len().min(jobs.len());
+            let mut chunks: Vec<Vec<Job>> = (0..k).map(|_| Vec::new()).collect();
+            for (j, job) in jobs.into_iter().enumerate() {
+                chunks[j % k].push(job);
+            }
+            let decls = &a.decls;
+            let results: Vec<(usize, Outcome)> = if k == 1 {
+                let w = &mut self.workers[0];
+                chunks
+                    .pop()
+                    .expect("k == 1")
+                    .into_iter()
+                    .map(|(i, env)| (i, w.check(use_prelude, &decls[i], &env)))
+                    .collect()
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .workers
+                        .iter_mut()
+                        .zip(chunks)
+                        .map(|(w, chunk)| {
+                            s.spawn(move || {
+                                chunk
+                                    .into_iter()
+                                    .map(|(i, env)| (i, w.check(use_prelude, &decls[i], &env)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                })
+            };
+            for (i, o) in results {
+                if !matches!(o, Outcome::Disagreement { .. }) {
+                    cache.insert(a.keys[i], o.clone());
+                }
+                outcomes[i] = Some(o);
+            }
+        }
+
+        CheckReport {
+            bindings: outcomes
+                .into_iter()
+                .enumerate()
+                .map(|(i, o)| BindingReport {
+                    name: a.decls[i].name().to_string(),
+                    span: a.decls[i].span,
+                    outcome: o.expect("every wave member resolved"),
+                })
+                .collect(),
+            rechecked,
+            reused,
+            waves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::analyze;
+
+    fn check(src: &str, engine: EngineSel) -> CheckReport {
+        let a = analyze(src, &Options::default(), engine).unwrap();
+        Executor::new(2, Options::default(), engine).run(&a, &mut U64Map::default())
+    }
+
+    #[test]
+    fn a_small_program_checks_on_every_engine() {
+        let src = "#use prelude\n\
+            let f = fun x -> x;;\n\
+            let p = poly ~f;;\n\
+            let n = plus (fst p) 1;;\n";
+        for engine in [EngineSel::Core, EngineSel::Uf, EngineSel::Both] {
+            let r = check(src, engine);
+            assert!(r.all_typed(), "{engine:?}: {:?}", r.bindings);
+            assert_eq!(
+                r.binding("f").unwrap().outcome.display(),
+                "forall a. a -> a"
+            );
+            assert_eq!(r.binding("p").unwrap().outcome.display(), "Int * Bool");
+            assert_eq!(r.binding("n").unwrap().outcome.display(), "Int");
+            assert_eq!(r.rechecked, 3);
+            assert_eq!(r.reused, 0);
+        }
+    }
+
+    #[test]
+    fn errors_block_dependents_but_not_independents() {
+        let src = "#use prelude\n\
+            let bad = plus true 1;;\n\
+            let child = plus bad 1;;\n\
+            let fine = 42;;\n";
+        let r = check(src, EngineSel::Both);
+        assert!(matches!(
+            r.binding("bad").unwrap().outcome,
+            Outcome::Error { .. }
+        ));
+        assert!(matches!(
+            &r.binding("child").unwrap().outcome,
+            Outcome::Blocked { on } if on == "bad"
+        ));
+        assert_eq!(r.binding("fine").unwrap().outcome.display(), "Int");
+        assert_eq!(r.rechecked, 2, "the blocked binding is never inferred");
+    }
+
+    #[test]
+    fn value_restriction_defaults_are_reported() {
+        // `single id` has a demoted residual variable; the stored scheme
+        // grounds it to Int, mirroring the REPL.
+        let src = "#use prelude\nlet xs = single id;;\n";
+        let r = check(src, EngineSel::Both);
+        let Outcome::Typed { scheme, defaulted } = &r.binding("xs").unwrap().outcome else {
+            panic!("xs should type: {:?}", r.bindings)
+        };
+        assert_eq!(scheme.to_string(), "List (Int -> Int)");
+        assert_eq!(defaulted.len(), 1);
+    }
+
+    #[test]
+    fn the_cache_turns_a_second_pass_into_pure_reuse() {
+        let src = "#use prelude\nlet a = 1;;\nlet b = plus a 1;;\nlet c = plus b 1;;\n";
+        let a = analyze(src, &Options::default(), EngineSel::Uf).unwrap();
+        let mut cache = U64Map::default();
+        let mut exec = Executor::new(1, Options::default(), EngineSel::Uf);
+        let cold = exec.run(&a, &mut cache);
+        assert_eq!((cold.rechecked, cold.reused), (3, 0));
+        let warm = exec.run(&a, &mut cache);
+        assert_eq!((warm.rechecked, warm.reused), (0, 3));
+        assert_eq!(warm.waves, 0);
+    }
+
+    #[test]
+    fn an_edit_rechecks_exactly_the_dirty_cone() {
+        let src = "#use prelude\n\
+            let base = 1;;\n\
+            let l = plus base 1;;\n\
+            let r = plus base 2;;\n\
+            let top = plus l r;;\n\
+            let lone = 7;;\n";
+        let mut cache = U64Map::default();
+        let mut exec = Executor::new(2, Options::default(), EngineSel::Uf);
+        let a = analyze(src, &Options::default(), EngineSel::Uf).unwrap();
+        exec.run(&a, &mut cache);
+        // Edit `l`: dirties l and top; base, r, lone stay cached.
+        let edited = src.replace("let l = plus base 1;;", "let l = plus base 10;;");
+        let b = analyze(&edited, &Options::default(), EngineSel::Uf).unwrap();
+        let warm = exec.run(&b, &mut cache);
+        assert_eq!(warm.rechecked, 2);
+        assert_eq!(warm.reused, 3);
+        assert!(warm.all_typed());
+    }
+
+    #[test]
+    fn frozen_reuse_across_bindings() {
+        // A generalised binding's scheme survives freezing downstream.
+        let src = "#use prelude\n\
+            let myid = $(fun x -> x);;\n\
+            let a = auto ~myid;;\n\
+            let b = poly ~myid;;\n";
+        let r = check(src, EngineSel::Both);
+        assert!(r.all_typed(), "{:?}", r.bindings);
+        assert_eq!(
+            r.binding("a").unwrap().outcome.display(),
+            "forall a. a -> a"
+        );
+        assert_eq!(r.binding("b").unwrap().outcome.display(), "Int * Bool");
+    }
+}

@@ -1,0 +1,204 @@
+//! Dependency-graph condensation: strongly connected components
+//! (iterative Tarjan) and topological waves.
+//!
+//! The database's dependency graph has an edge `i → j` when binding `i`'s
+//! right-hand side mentions a name that resolves to binding `j`. Because
+//! resolution only ever points at *earlier* declarations (ML shadowing),
+//! the graph is a DAG in practice and every SCC is a singleton — but the
+//! condensation is computed honestly so the scheduler stays correct if a
+//! future surface (e.g. `let rec`) introduces genuine cycles; a
+//! multi-member SCC is surfaced as an error by the executor rather than
+//! checked.
+//!
+//! Waves realise the parallel schedule: wave 0 holds the components with
+//! no dependencies, wave `k+1` the components all of whose dependencies
+//! lie in waves `≤ k`. Components within one wave are independent and may
+//! be checked concurrently.
+
+/// The condensation of a dependency graph over nodes `0..n`.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Each component's member nodes, in dependency-respecting order
+    /// (a component appears after every component it depends on).
+    pub comps: Vec<Vec<usize>>,
+    /// `comp_of[node]` — index into [`Condensation::comps`].
+    pub comp_of: Vec<usize>,
+    /// Component indices grouped into topological waves: every
+    /// dependency of a component in wave `k` lives in a wave `< k`.
+    pub waves: Vec<Vec<usize>>,
+}
+
+/// Condense the graph with `n` nodes and `deps[i]` = the nodes `i`
+/// depends on. `deps` entries must be `< n`.
+pub fn condense(n: usize, deps: &[Vec<usize>]) -> Condensation {
+    assert_eq!(deps.len(), n);
+    let comps = tarjan(n, deps);
+    let mut comp_of = vec![0usize; n];
+    for (c, members) in comps.iter().enumerate() {
+        for &m in members {
+            comp_of[m] = c;
+        }
+    }
+    // Wave of a component: 1 + max wave among dependency components.
+    // `comps` is already topologically sorted (dependencies first), so a
+    // single left-to-right pass suffices.
+    let mut wave_of = vec![0usize; comps.len()];
+    for (c, members) in comps.iter().enumerate() {
+        let mut w = 0;
+        for &m in members {
+            for &d in &deps[m] {
+                let dc = comp_of[d];
+                if dc != c {
+                    w = w.max(wave_of[dc] + 1);
+                }
+            }
+        }
+        wave_of[c] = w;
+    }
+    let n_waves = wave_of.iter().map(|w| w + 1).max().unwrap_or(0);
+    let mut waves = vec![Vec::new(); n_waves];
+    for (c, &w) in wave_of.iter().enumerate() {
+        waves[w].push(c);
+    }
+    Condensation {
+        comps,
+        comp_of,
+        waves,
+    }
+}
+
+/// Iterative Tarjan SCC. Returns components in topological order
+/// (dependencies before dependents, for edges `node → dependency`).
+fn tarjan(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS stack of (node, next child position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        work.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < deps[v].len() {
+                let w = deps[v][*ci];
+                *ci += 1;
+                if index[w] == UNSEEN {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    // Tarjan emits a component only after everything it reaches (its
+    // dependencies) has been emitted, so `comps` is already dependencies-
+    // first for `node → dependency` edges.
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_gives_one_comp_per_node_in_waves() {
+        // 2 -> 1 -> 0
+        let deps = vec![vec![], vec![0], vec![1]];
+        let c = condense(3, &deps);
+        assert_eq!(c.comps.len(), 3);
+        assert_eq!(c.waves.len(), 3);
+        for (w, comps) in c.waves.iter().enumerate() {
+            assert_eq!(comps.len(), 1);
+            assert_eq!(c.comps[comps[0]], vec![w]);
+        }
+    }
+
+    #[test]
+    fn diamond_has_three_waves() {
+        // 3 depends on 1 and 2; both depend on 0.
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let c = condense(4, &deps);
+        assert_eq!(c.waves.len(), 3);
+        assert_eq!(c.waves[0].len(), 1);
+        assert_eq!(c.waves[1].len(), 2, "the two middles are independent");
+        assert_eq!(c.waves[2].len(), 1);
+    }
+
+    #[test]
+    fn independent_nodes_share_wave_zero() {
+        let deps = vec![vec![], vec![], vec![]];
+        let c = condense(3, &deps);
+        assert_eq!(c.waves.len(), 1);
+        assert_eq!(c.waves[0].len(), 3);
+    }
+
+    #[test]
+    fn cycles_condense_into_one_component() {
+        // 0 <-> 1, and 2 depends on the cycle.
+        let deps = vec![vec![1], vec![0], vec![0]];
+        let c = condense(3, &deps);
+        assert_eq!(c.comps.len(), 2);
+        let cycle = c
+            .comps
+            .iter()
+            .find(|m| m.len() == 2)
+            .expect("cycle component");
+        assert_eq!(cycle, &vec![0, 1]);
+        assert_eq!(c.waves.len(), 2);
+        assert_eq!(c.comp_of[0], c.comp_of[1]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // The DFS is iterative; a 100k chain must not blow the stack.
+        let n = 100_000;
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let c = condense(n, &deps);
+        assert_eq!(c.comps.len(), n);
+        assert_eq!(c.waves.len(), n);
+    }
+
+    #[test]
+    fn comps_are_dependencies_first() {
+        let deps = vec![vec![2], vec![0], vec![]];
+        let c = condense(3, &deps);
+        let pos: Vec<usize> = (0..3)
+            .map(|node| c.comps.iter().position(|m| m.contains(&node)).unwrap())
+            .collect();
+        assert!(pos[2] < pos[0] && pos[0] < pos[1]);
+    }
+}

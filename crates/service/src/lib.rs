@@ -1,0 +1,60 @@
+//! # FreezeML program-checking service
+//!
+//! The paper evaluates single expressions; FreezeML's home (the Links
+//! implementation, §6) checks whole programs of top-level bindings. This
+//! crate turns the workspace's checkers into a **long-lived,
+//! incrementally updating, parallel program-checking service** — the
+//! serving layer the union-find engine's `Session` API was built for.
+//!
+//! Four layers:
+//!
+//! * **surface** — programs (`let x = M;;` sequences with `#use prelude`
+//!   and span-carrying diagnostics) come from [`freezeml_core::program`];
+//! * [`db`] — the program database: bindings keyed by content hash, a
+//!   free-variable dependency graph with SCC condensation ([`graph`]),
+//!   and Merkle-style cache keys so an edit invalidates *exactly* the
+//!   dirty binding and its transitive dependents. FreezeML's principal
+//!   types (paper Theorem 7) are what make per-binding scheme caching
+//!   sound: a binding's scheme is a function of its text and its
+//!   dependencies' schemes, nothing else;
+//! * [`exec`] — the parallel executor: a pool of workers, each holding a
+//!   reusable [`freezeml_engine::Session`], checking independent dirty
+//!   components concurrently in topological waves (`ENGINE=core|uf|both`
+//!   respected, `both` = per-binding differential agreement);
+//! * [`protocol`] / [`server`] — a line-oriented JSON protocol
+//!   (`open` / `edit` / `check` / `type-of` / `close`) served over
+//!   stdin/stdout by the `freezeml` binary, plus [`load`], the
+//!   deterministic program generator and corpus-replay driver behind the
+//!   `service_throughput` bench and the CI smoke job.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use freezeml_service::{Service, ServiceConfig};
+//!
+//! let mut svc = Service::new(ServiceConfig::default());
+//! let report = svc
+//!     .open("demo", "#use prelude\nlet id' = $(fun x -> x);;\nlet p = poly ~id';;\n")
+//!     .unwrap();
+//! assert!(report.all_typed());
+//! assert_eq!(
+//!     svc.type_of("demo", "p").unwrap().unwrap().outcome.display(),
+//!     "Int * Bool"
+//! );
+//! ```
+
+pub mod db;
+pub mod exec;
+pub mod graph;
+pub mod hash;
+pub mod load;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use db::{analyze, analyze_cached, Analysis, EngineSel, Frontend, Outcome};
+pub use exec::{BindingReport, CheckReport, Executor, Worker};
+pub use load::{replay, GenProgram, ReplayStats};
+pub use protocol::{handle_line, Json, Request};
+pub use server::serve;
+pub use service::{Service, ServiceConfig, ServiceError};

@@ -1,0 +1,372 @@
+//! Load generation: deterministic random programs for throughput
+//! benchmarks, the incremental-vs-scratch property tests, and a
+//! corpus-replay driver for the CLI and CI.
+//!
+//! Programs are generated well-typed by construction: each binding is
+//! drawn from a small set of shapes over the Figure 2 prelude, and
+//! references only target earlier bindings of a compatible type class
+//! (`Int`, `List Int`, `Int * Bool`, or the identity scheme
+//! `∀a. a → a`). Edits ([`GenProgram::with_edit`]) replace one binding's
+//! right-hand side with a fresh same-class body, so the program stays
+//! well typed while the binding's content hash — and therefore exactly
+//! its dependency cone — changes.
+
+use crate::exec::CheckReport;
+use crate::service::Service;
+
+/// SplitMix64 — tiny, deterministic, dependency-free.
+#[derive(Clone, Copy, Debug)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The type class a generated binding lands in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Class {
+    /// `Int`
+    Int,
+    /// `∀a. a → a`
+    IdScheme,
+    /// `Int * Bool`
+    Pair,
+    /// `List Int`
+    ListInt,
+}
+
+/// A generated program: binding bodies plus their type classes, so
+/// same-class edits can be produced deterministically.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    rhs: Vec<String>,
+    classes: Vec<Class>,
+}
+
+impl GenProgram {
+    /// Generate `n` bindings from `seed`.
+    pub fn generate(n: usize, seed: u64) -> GenProgram {
+        let mut rng = Rng::new(seed);
+        let mut rhs: Vec<String> = Vec::with_capacity(n);
+        let mut classes: Vec<Class> = Vec::with_capacity(n);
+        let pick = |rng: &mut Rng, classes: &[Class], want: Class| -> Option<String> {
+            let candidates: Vec<usize> = classes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c == want)
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                None
+            } else {
+                Some(format!("b{}", candidates[rng.below(candidates.len())]))
+            }
+        };
+        for i in 0..n {
+            let (body, class) = loop {
+                match rng.below(10) {
+                    0 | 1 => break (format!("{}", rng.below(1000)), Class::Int),
+                    2 => break ("$(fun x -> x)".to_string(), Class::IdScheme),
+                    3 => {
+                        if let Some(j) = pick(&mut rng, &classes, Class::Int) {
+                            break (format!("plus {j} {}", rng.below(100)), Class::Int);
+                        }
+                    }
+                    4 => {
+                        if let Some(j) = pick(&mut rng, &classes, Class::IdScheme) {
+                            break (format!("auto ~{j}"), Class::IdScheme);
+                        }
+                    }
+                    5 => {
+                        if let Some(j) = pick(&mut rng, &classes, Class::IdScheme) {
+                            break (format!("poly ~{j}"), Class::Pair);
+                        }
+                    }
+                    6 => {
+                        if let Some(j) = pick(&mut rng, &classes, Class::Pair) {
+                            break (format!("plus (fst {j}) 1"), Class::Int);
+                        }
+                    }
+                    7 => {
+                        if let Some(j) = pick(&mut rng, &classes, Class::Int) {
+                            break (format!("single {j}"), Class::ListInt);
+                        }
+                    }
+                    8 => {
+                        if let (Some(j), Some(l)) = (
+                            pick(&mut rng, &classes, Class::Int),
+                            pick(&mut rng, &classes, Class::ListInt),
+                        ) {
+                            break (format!("{j} :: {l}"), Class::ListInt);
+                        }
+                    }
+                    _ => {
+                        if let Some(l) = pick(&mut rng, &classes, Class::ListInt) {
+                            break (format!("head {l}"), Class::Int);
+                        }
+                    }
+                }
+            };
+            let _ = i;
+            rhs.push(body);
+            classes.push(class);
+        }
+        GenProgram { rhs, classes }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// The binding name at index `i` (`b0`, `b1`, …).
+    pub fn name(&self, i: usize) -> String {
+        format!("b{i}")
+    }
+
+    /// Render the program text.
+    pub fn text(&self) -> String {
+        self.render(None)
+    }
+
+    /// Render the program with binding `i`'s body replaced — a
+    /// single-pass, allocation-light version of
+    /// `self.with_edit(i, salt).text()` for hot edit loops.
+    pub fn edited_text(&self, i: usize, salt: u64) -> String {
+        self.render(Some((i, Self::edit_body(self.classes[i], salt))))
+    }
+
+    fn render(&self, edit: Option<(usize, String)>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32 * (self.rhs.len() + 1));
+        out.push_str("#use prelude\n");
+        for (i, body) in self.rhs.iter().enumerate() {
+            let body = match &edit {
+                Some((j, replacement)) if *j == i => replacement.as_str(),
+                _ => body.as_str(),
+            };
+            let _ = writeln!(out, "let b{i} = {body};;");
+        }
+        out
+    }
+
+    /// A copy with binding `i`'s body replaced by a fresh body of the
+    /// same type class. Distinct salts give distinct bodies (no
+    /// wrap-around), so repeated edits never accidentally hit the
+    /// scheme cache. The program stays well typed; binding `i`'s
+    /// content hash changes.
+    pub fn with_edit(&self, i: usize, salt: u64) -> GenProgram {
+        let mut out = self.clone();
+        out.rhs[i] = Self::edit_body(self.classes[i], salt);
+        out
+    }
+
+    fn edit_body(class: Class, salt: u64) -> String {
+        // Literals live above 10⁹ — the generator's own literals stay
+        // below 1000, so an edit can never reproduce an original body.
+        let n = 1_000_000_000 + salt % 1_000_000_000;
+        match class {
+            Class::Int => format!("{n}"),
+            Class::IdScheme => format!("$(fun e{salt} -> e{salt})"),
+            Class::Pair => format!("({n}, false)"),
+            Class::ListInt => format!("single {n}"),
+        }
+    }
+}
+
+/// Aggregate statistics from a corpus replay.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayStats {
+    /// Programs replayed.
+    pub programs: usize,
+    /// Total bindings across all programs.
+    pub bindings: usize,
+    /// Bindings inferred during the cold opens.
+    pub cold_rechecked: usize,
+    /// Warm edits performed (two per binding: touch and restore).
+    pub edits: usize,
+    /// Bindings inferred across all warm edits.
+    pub warm_rechecked: usize,
+    /// Hard failures (disagreements, unexpected parse errors), rendered.
+    pub failures: Vec<String>,
+}
+
+impl ReplayStats {
+    /// A one-paragraph human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "replayed {} program(s), {} binding(s): cold rechecked {}, \
+             {} warm edit(s) rechecked {} ({:.2} bindings/edit); {} failure(s)",
+            self.programs,
+            self.bindings,
+            self.cold_rechecked,
+            self.edits,
+            self.warm_rechecked,
+            if self.edits == 0 {
+                0.0
+            } else {
+                self.warm_rechecked as f64 / self.edits as f64
+            },
+            self.failures.len(),
+        )
+    }
+}
+
+fn scan_report(stats: &mut ReplayStats, id: &str, report: &CheckReport) {
+    for b in &report.bindings {
+        if let crate::db::Outcome::Disagreement { core, uf } = &b.outcome {
+            stats.failures.push(format!(
+                "{id}: `{}` disagreement (core: {core}, uf: {uf})",
+                b.name
+            ));
+        }
+    }
+}
+
+/// Replay a corpus of `(id, program-text)` documents through a service:
+/// cold-open each, then touch every binding in place (append a `--`
+/// comment line inside its declaration, before the `;;`) and recheck
+/// warm, then restore. Collects the recheck counters that the
+/// throughput claims are made of and flags engine disagreements.
+pub fn replay(svc: &mut Service, programs: &[(String, String)]) -> ReplayStats {
+    let mut stats = ReplayStats::default();
+    for (id, text) in programs {
+        let report = match svc.open(id, text) {
+            Ok(r) => r.clone(),
+            Err(e) => {
+                stats.failures.push(format!("{id}: {e}"));
+                continue;
+            }
+        };
+        stats.programs += 1;
+        stats.bindings += report.bindings.len();
+        stats.cold_rechecked += report.rechecked;
+        scan_report(&mut stats, id, &report);
+
+        // Touch each binding: a `--` comment inside the declaration
+        // slice changes its content hash without changing its meaning
+        // (and exercises the chunk scanner's comment handling — the
+        // comment itself contains a `;;`).
+        let Ok(program) = freezeml_core::parse_program(text) else {
+            continue; // unreachable: the open above parsed
+        };
+        for d in &program.decls {
+            let end = d.span.end - 2; // before the `;;`
+            let touched = format!("{} -- touch ;;\n{}", &text[..end], &text[end..]);
+            match svc.edit(id, &touched) {
+                Ok(r) => {
+                    stats.edits += 1;
+                    stats.warm_rechecked += r.rechecked;
+                    let r = r.clone();
+                    scan_report(&mut stats, id, &r);
+                }
+                Err(e) => stats.failures.push(format!("{id} (touch {}): {e}", d.name)),
+            }
+            match svc.edit(id, text) {
+                Ok(r) => {
+                    stats.edits += 1;
+                    stats.warm_rechecked += r.rechecked;
+                }
+                Err(e) => stats
+                    .failures
+                    .push(format!("{id} (restore {}): {e}", d.name)),
+            }
+        }
+        svc.close(id);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::EngineSel;
+    use crate::service::ServiceConfig;
+    use freezeml_core::Options;
+
+    fn svc(engine: EngineSel) -> Service {
+        Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine,
+            workers: 2,
+        })
+    }
+
+    #[test]
+    fn generated_programs_are_well_typed_and_deterministic() {
+        for seed in [1u64, 2, 3] {
+            let g = GenProgram::generate(40, seed);
+            assert_eq!(g.text(), GenProgram::generate(40, seed).text());
+            let mut s = svc(EngineSel::Both);
+            let r = s.open("g", &g.text()).unwrap();
+            assert!(
+                r.all_typed(),
+                "seed {seed}: {:?}",
+                r.bindings
+                    .iter()
+                    .filter(|b| !b.outcome.is_typed())
+                    .map(|b| (&b.name, b.outcome.display()))
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(r.rechecked, 40);
+        }
+    }
+
+    #[test]
+    fn edits_keep_programs_well_typed() {
+        let g = GenProgram::generate(30, 7);
+        let mut s = svc(EngineSel::Both);
+        s.open("g", &g.text()).unwrap();
+        for i in [0usize, 7, 15, 29] {
+            let edited = g.with_edit(i, i as u64 + 1);
+            let r = s.edit("g", &edited.text()).unwrap();
+            assert!(r.all_typed(), "edit {i}: {:?}", r.bindings);
+            // Restore for the next round.
+            s.edit("g", &g.text()).unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_collects_counters_and_flags_nothing_on_good_programs() {
+        let g = GenProgram::generate(12, 11);
+        let mut s = svc(EngineSel::Both);
+        let stats = replay(
+            &mut s,
+            &[
+                ("gen".to_string(), g.text()),
+                ("tiny".to_string(), "let x = 1;;".to_string()),
+            ],
+        );
+        assert_eq!(stats.programs, 2);
+        assert_eq!(stats.bindings, 13);
+        assert_eq!(stats.cold_rechecked, 13);
+        assert_eq!(stats.edits, 26);
+        assert!(stats.failures.is_empty(), "{:?}", stats.failures);
+        // Warm edits must be dramatically cheaper than cold checks.
+        assert!(
+            stats.warm_rechecked < stats.bindings * stats.edits,
+            "incrementality failed: {}",
+            stats.render()
+        );
+        assert!(stats.render().contains("replayed 2 program(s)"));
+    }
+}

@@ -1,0 +1,746 @@
+//! The line-oriented JSON protocol: one request per line on stdin, one
+//! response per line on stdout.
+//!
+//! The build environment is offline, so this module carries its own
+//! small JSON value type, parser, and serialiser (strings with full
+//! escape handling including `\uXXXX` surrogate pairs; numbers as
+//! `f64`). Requests:
+//!
+//! ```text
+//! {"cmd":"open","doc":"main","text":"let x = 1;;"}
+//! {"cmd":"edit","doc":"main","text":"let x = 2;;"}
+//! {"cmd":"check","doc":"main"}
+//! {"cmd":"type-of","doc":"main","name":"x"}
+//! {"cmd":"close","doc":"main"}
+//! ```
+//!
+//! `open`/`edit`/`check` respond with the full per-binding report plus
+//! the incremental counters (`rechecked`, `reused`, `waves`); errors
+//! respond `{"ok":false,"error":{…}}` with `line`/`col` when the failure
+//! has a source position.
+
+use crate::exec::CheckReport;
+use crate::service::{Service, ServiceError};
+use std::fmt;
+
+// ------------------------------------------------------------------ JSON
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for objects.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Parse one JSON value (the whole input must be consumed).
+    ///
+    /// # Errors
+    ///
+    /// A readable message with a byte offset.
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let mut p = JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.fail("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// A JSON parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn fail(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            pos: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(what))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.fail("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected `:`")?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    fields.push((k, v));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.fail("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.fail("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.fail("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c).ok_or_else(|| self.fail("bad surrogate"))?
+                                } else {
+                                    return Err(self.fail("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.fail("bad escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.fail("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.fail("raw control character")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bytes.get(self.pos) {
+                Some(&b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(&b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(&b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.fail("expected 4 hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+// -------------------------------------------------------------- requests
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open (or replace) a document.
+    Open {
+        /// Document id.
+        doc: String,
+        /// Full program text.
+        text: String,
+    },
+    /// Replace an open document's text.
+    Edit {
+        /// Document id.
+        doc: String,
+        /// Full program text.
+        text: String,
+    },
+    /// Recheck a document.
+    Check {
+        /// Document id.
+        doc: String,
+    },
+    /// Look up the visible binding of a name.
+    TypeOf {
+        /// Document id.
+        doc: String,
+        /// Binding name.
+        name: String,
+    },
+    /// Close a document.
+    Close {
+        /// Document id.
+        doc: String,
+    },
+}
+
+impl Request {
+    /// Parse a request line.
+    ///
+    /// # Errors
+    ///
+    /// A readable message (bad JSON, missing field, unknown command).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `cmd`")?;
+        let field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{cmd}` needs a string field `{name}`"))
+        };
+        match cmd {
+            "open" => Ok(Request::Open {
+                doc: field("doc")?,
+                text: field("text")?,
+            }),
+            "edit" => Ok(Request::Edit {
+                doc: field("doc")?,
+                text: field("text")?,
+            }),
+            "check" => Ok(Request::Check { doc: field("doc")? }),
+            "type-of" => Ok(Request::TypeOf {
+                doc: field("doc")?,
+                name: field("name")?,
+            }),
+            "close" => Ok(Request::Close { doc: field("doc")? }),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+
+    /// Serialise (for clients and the load generator).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Open { doc, text } => Json::obj([
+                ("cmd", Json::Str("open".into())),
+                ("doc", Json::Str(doc.clone())),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Request::Edit { doc, text } => Json::obj([
+                ("cmd", Json::Str("edit".into())),
+                ("doc", Json::Str(doc.clone())),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Request::Check { doc } => Json::obj([
+                ("cmd", Json::Str("check".into())),
+                ("doc", Json::Str(doc.clone())),
+            ]),
+            Request::TypeOf { doc, name } => Json::obj([
+                ("cmd", Json::Str("type-of".into())),
+                ("doc", Json::Str(doc.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::Close { doc } => Json::obj([
+                ("cmd", Json::Str("close".into())),
+                ("doc", Json::Str(doc.clone())),
+            ]),
+        }
+    }
+}
+
+// ------------------------------------------------------------- responses
+
+/// The response to a successful `open`/`edit`/`check`: the full report.
+pub fn report_json(doc: &str, report: &CheckReport, src: &str) -> Json {
+    let bindings: Vec<Json> = report
+        .bindings
+        .iter()
+        .map(|b| {
+            let (line, col) = b.span.line_col(src);
+            let mut fields = vec![
+                ("name".to_string(), Json::Str(b.name.clone())),
+                ("line".to_string(), Json::Num(line as f64)),
+                ("col".to_string(), Json::Num(col as f64)),
+            ];
+            use crate::db::Outcome::*;
+            match &b.outcome {
+                Typed { scheme, defaulted } => {
+                    fields.push(("status".into(), Json::Str("ok".into())));
+                    fields.push(("type".into(), Json::Str(scheme.to_string())));
+                    if !defaulted.is_empty() {
+                        fields.push((
+                            "defaulted".into(),
+                            Json::Arr(defaulted.iter().cloned().map(Json::Str).collect()),
+                        ));
+                    }
+                }
+                Error { class, message } => {
+                    fields.push(("status".into(), Json::Str("error".into())));
+                    fields.push(("class".into(), Json::Str(class.clone())));
+                    fields.push(("message".into(), Json::Str(message.clone())));
+                }
+                Blocked { on } => {
+                    fields.push(("status".into(), Json::Str("blocked".into())));
+                    fields.push(("on".into(), Json::Str(on.clone())));
+                }
+                Disagreement { core, uf } => {
+                    fields.push(("status".into(), Json::Str("disagreement".into())));
+                    fields.push(("core".into(), Json::Str(core.clone())));
+                    fields.push(("uf".into(), Json::Str(uf.clone())));
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("doc", Json::Str(doc.to_string())),
+        ("bindings", Json::Arr(bindings)),
+        ("rechecked", Json::Num(report.rechecked as f64)),
+        ("reused", Json::Num(report.reused as f64)),
+        ("waves", Json::Num(report.waves as f64)),
+    ])
+}
+
+/// An error response, with a source position when available.
+pub fn error_json(err: &ServiceError, src: Option<&str>) -> Json {
+    let mut fields = vec![("message".to_string(), Json::Str(err.to_string()))];
+    if let (ServiceError::Parse(e), Some(src)) = (err, src) {
+        let span = freezeml_core::Span {
+            start: e.pos,
+            end: e.pos,
+        };
+        let (line, col) = span.line_col(src);
+        fields.push(("line".into(), Json::Num(line as f64)));
+        fields.push(("col".into(), Json::Num(col as f64)));
+    }
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Obj(fields))])
+}
+
+/// Handle one request against a service, producing the response value.
+pub fn handle(svc: &mut Service, req: &Request) -> Json {
+    match req {
+        Request::Open { doc, text } | Request::Edit { doc, text } => {
+            let is_open = matches!(req, Request::Open { .. });
+            let r = if is_open {
+                svc.open(doc, text)
+            } else {
+                svc.edit(doc, text)
+            };
+            match r {
+                Ok(report) => {
+                    let report = report.clone();
+                    report_json(doc, &report, svc.text(doc).unwrap_or_default())
+                }
+                Err(e) => error_json(&e, Some(text)),
+            }
+        }
+        Request::Check { doc } => match svc.check(doc) {
+            Ok(report) => {
+                let report = report.clone();
+                let src = svc.text(doc).unwrap_or_default().to_string();
+                report_json(doc, &report, &src)
+            }
+            Err(e) => {
+                let src = svc.text(doc).map(str::to_string);
+                error_json(&e, src.as_deref())
+            }
+        },
+        Request::TypeOf { doc, name } => match svc.type_of(doc, name) {
+            Err(e) => error_json(&e, None),
+            Ok(None) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.clone())),
+                ("found", Json::Bool(false)),
+            ]),
+            Ok(Some(b)) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.clone())),
+                ("found", Json::Bool(true)),
+                ("result", Json::Str(b.outcome.display())),
+            ]),
+        },
+        Request::Close { doc } => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("closed", Json::Bool(svc.close(doc))),
+        ]),
+    }
+}
+
+/// Handle one raw request line (bad JSON / unknown commands become error
+/// responses, never panics).
+pub fn handle_line(svc: &mut Service, line: &str) -> Json {
+    match Request::parse(line) {
+        Ok(req) => handle(svc, &req),
+        Err(msg) => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::obj([("message", Json::Str(msg))])),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::EngineSel;
+    use crate::service::ServiceConfig;
+    use freezeml_core::Options;
+
+    #[test]
+    fn json_round_trips() {
+        for src in [
+            r#"{"cmd":"open","doc":"a","text":"let x = 1;;\n-- \"quoted\""}"#,
+            r#"[1,2.5,-3,true,false,null,"\u0041\ud83d\ude00"]"#,
+            r#"{}"#,
+            r#"[]"#,
+        ] {
+            let v = Json::parse(src).unwrap();
+            let v2 = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(v, v2, "{src}");
+        }
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for src in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"\\q\"",
+            "1 2",
+            // Surrogate-escape abuse must error, not panic or decode garbage.
+            "\"\\ud800\\u0000\"",
+            "\"\\ud800\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(src).is_err(), "{src} should fail");
+        }
+    }
+
+    #[test]
+    fn requests_parse_and_round_trip() {
+        let line = r#"{"cmd":"type-of","doc":"m","name":"f"}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req,
+            Request::TypeOf {
+                doc: "m".into(),
+                name: "f".into()
+            }
+        );
+        assert_eq!(Request::parse(&req.to_json().to_string()).unwrap(), req);
+        assert!(Request::parse(r#"{"cmd":"zap"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"open","doc":"m"}"#).is_err());
+    }
+
+    fn svc() -> Service {
+        Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 1,
+        })
+    }
+
+    #[test]
+    fn protocol_smoke_full_session() {
+        let mut s = svc();
+        let open = handle_line(
+            &mut s,
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n"}"##,
+        );
+        assert_eq!(open.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(open.get("rechecked").and_then(Json::as_num), Some(2.0));
+        let bindings = match open.get("bindings") {
+            Some(Json::Arr(b)) => b,
+            other => panic!("bindings missing: {other:?}"),
+        };
+        assert_eq!(bindings.len(), 2);
+        assert_eq!(
+            bindings[1].get("type").and_then(Json::as_str),
+            Some("Int * Bool")
+        );
+        assert_eq!(bindings[1].get("line").and_then(Json::as_num), Some(3.0));
+
+        let t = handle_line(&mut s, r#"{"cmd":"type-of","doc":"m","name":"f"}"#);
+        assert_eq!(
+            t.get("result").and_then(Json::as_str),
+            Some("forall a. a -> a")
+        );
+
+        // Warm edit: only `p`'s dependency cone is rechecked.
+        let edit = handle_line(
+            &mut s,
+            r##"{"cmd":"edit","doc":"m","text":"#use prelude\nlet f = fun x -> x;;\nlet p = pair (poly ~f) 1;;\n"}"##,
+        );
+        assert_eq!(edit.get("rechecked").and_then(Json::as_num), Some(1.0));
+        assert_eq!(edit.get("reused").and_then(Json::as_num), Some(1.0));
+
+        let close = handle_line(&mut s, r#"{"cmd":"close","doc":"m"}"#);
+        assert_eq!(close.get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let mut s = svc();
+        let r = handle_line(&mut s, r#"{"cmd":"open","doc":"m","text":"let x = ;;"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let err = r.get("error").expect("error object");
+        assert!(err.get("line").is_some());
+        assert!(err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("parse error"));
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_server() {
+        let mut s = svc();
+        for line in [
+            "",
+            "not json",
+            r#"{"cmd":42}"#,
+            r#"{"cmd":"check","doc":"nope"}"#,
+        ] {
+            let r = handle_line(&mut s, line);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{line}");
+        }
+    }
+
+    #[test]
+    fn errors_and_blocked_bindings_are_reported_with_status() {
+        let mut s = svc();
+        let r = handle_line(
+            &mut s,
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet bad = plus true 1;;\nlet child = plus bad 1;;\nlet ok = 1;;\n"}"##,
+        );
+        let bindings = match r.get("bindings") {
+            Some(Json::Arr(b)) => b,
+            other => panic!("bindings missing: {other:?}"),
+        };
+        let status = |i: usize| bindings[i].get("status").and_then(Json::as_str).unwrap();
+        assert_eq!(status(0), "error");
+        assert_eq!(status(1), "blocked");
+        assert_eq!(status(2), "ok");
+        assert_eq!(bindings[1].get("on").and_then(Json::as_str), Some("bad"));
+    }
+}

@@ -1,0 +1,73 @@
+//! The stdio server: one JSON request per line in, one JSON response per
+//! line out. The loop is written against generic `BufRead`/`Write` so
+//! tests (and the load generator) can drive it over in-memory buffers;
+//! the `freezeml` binary plugs in locked stdin/stdout.
+
+use crate::protocol::handle_line;
+use crate::service::Service;
+use std::io::{self, BufRead, Write};
+
+/// Serve requests until EOF. Every line gets exactly one response line;
+/// malformed requests produce `{"ok":false,…}` rather than terminating
+/// the session. Blank lines are ignored.
+///
+/// # Errors
+///
+/// Only I/O errors on the transport itself.
+pub fn serve<R: BufRead, W: Write>(svc: &mut Service, reader: R, mut writer: W) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(svc, &line);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::EngineSel;
+    use crate::protocol::Json;
+    use crate::service::ServiceConfig;
+    use freezeml_core::Options;
+    use std::io::Cursor;
+
+    #[test]
+    fn serves_a_scripted_session_over_buffers() {
+        let script = concat!(
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet f = fun x -> x;;\n"}"##,
+            "\n",
+            "\n", // blank lines are skipped
+            r#"{"cmd":"type-of","doc":"m","name":"f"}"#,
+            "\n",
+            "garbage",
+            "\n",
+            r#"{"cmd":"close","doc":"m"}"#,
+            "\n",
+        );
+        let mut svc = Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 1,
+        });
+        let mut out = Vec::new();
+        serve(&mut svc, Cursor::new(script), &mut out).unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every response line is JSON"))
+            .collect();
+        assert_eq!(lines.len(), 4, "one response per non-blank request");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            lines[1].get("result").and_then(Json::as_str),
+            Some("forall a. a -> a")
+        );
+        assert_eq!(lines[2].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(lines[3].get("closed"), Some(&Json::Bool(true)));
+    }
+}

@@ -1,0 +1,319 @@
+//! The long-lived service: named documents, incremental rechecking, and
+//! the shared scheme cache.
+//!
+//! A [`Service`] owns the worker pool ([`crate::exec::Executor`]) and one
+//! scheme cache shared by every document — keys fingerprint the binding,
+//! its transitive dependencies, and the checker configuration
+//! ([`crate::db`]), so sharing is sound and lets documents with common
+//! bindings (or a document edited back and forth) reuse each other's
+//! work.
+//!
+//! ```
+//! use freezeml_service::{Service, ServiceConfig};
+//!
+//! let mut svc = Service::new(ServiceConfig::default());
+//! let r = svc.open("demo", "#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n").unwrap();
+//! assert!(r.all_typed());
+//! assert_eq!(r.rechecked, 2);
+//!
+//! // A warm edit re-infers only the dirty cone.
+//! let r = svc
+//!     .edit("demo", "#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\nlet q = 1;;\n")
+//!     .unwrap();
+//! assert_eq!((r.rechecked, r.reused), (1, 2));
+//! ```
+
+use crate::db::{analyze_cached, Analysis, EngineSel, Frontend, Outcome};
+use crate::exec::{BindingReport, CheckReport, Executor};
+use crate::hash::U64Map;
+use freezeml_core::{Options, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Checker options (value restriction, instantiation strategy).
+    pub opts: Options,
+    /// Engine selection (`core`, `uf`, or differential `both`).
+    pub engine: EngineSel,
+    /// Worker-pool size (clamped to at least 1).
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::default(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        }
+    }
+}
+
+/// A service-level failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The named document was never opened (or already closed).
+    UnknownDoc(String),
+    /// The document text is not a well-formed program.
+    Parse(ParseError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownDoc(d) => write!(f, "unknown document `{d}`"),
+            ServiceError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Document {
+    text: String,
+    analysis: Result<Analysis, ParseError>,
+    report: Option<CheckReport>,
+}
+
+/// The program-checking service. See the module docs.
+pub struct Service {
+    cfg: ServiceConfig,
+    exec: Executor,
+    docs: HashMap<String, Document>,
+    cache: U64Map<Outcome>,
+    /// Declaration-level parse cache shared across documents and edits.
+    frontend: Frontend,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        Service {
+            exec: Executor::new(cfg.workers, cfg.opts, cfg.engine),
+            cfg,
+            docs: HashMap::new(),
+            cache: U64Map::default(),
+            frontend: Frontend::default(),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Scheme-cache size (for observability).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn set_text(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
+        match analyze_cached(&mut self.frontend, text, &self.cfg.opts, self.cfg.engine) {
+            Ok(analysis) => {
+                self.docs.insert(
+                    doc.to_string(),
+                    Document {
+                        text: text.to_string(),
+                        analysis: Ok(analysis),
+                        report: None,
+                    },
+                );
+                self.check(doc)
+            }
+            Err(e) => {
+                // Last-good-state serving: a text that does not parse is
+                // reported but does not destroy an open document's
+                // analysis — `check`/`type-of` keep answering from the
+                // previous good text. A *fresh* document opened with bad
+                // text is recorded so a follow-up `edit` is legal.
+                self.docs.entry(doc.to_string()).or_insert(Document {
+                    text: text.to_string(),
+                    analysis: Err(e.clone()),
+                    report: None,
+                });
+                Err(ServiceError::Parse(e))
+            }
+        }
+    }
+
+    /// Open (or replace) a document and check it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Parse`] when the text is not a program.
+    pub fn open(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
+        self.set_text(doc, text)
+    }
+
+    /// Replace an open document's text and recheck it incrementally —
+    /// bindings whose cache keys are unchanged are served from the
+    /// scheme cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDoc`] for never-opened documents,
+    /// [`ServiceError::Parse`] for malformed text.
+    pub fn edit(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
+        if !self.docs.contains_key(doc) {
+            return Err(ServiceError::UnknownDoc(doc.to_string()));
+        }
+        self.set_text(doc, text)
+    }
+
+    /// (Re)check a document. With a warm cache this is nearly free.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDoc`] / [`ServiceError::Parse`].
+    pub fn check(&mut self, doc: &str) -> Result<&CheckReport, ServiceError> {
+        let entry = self
+            .docs
+            .get_mut(doc)
+            .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
+        match &entry.analysis {
+            Err(e) => Err(ServiceError::Parse(e.clone())),
+            Ok(a) => {
+                let report = self.exec.run(a, &mut self.cache);
+                entry.report = Some(report);
+                Ok(entry.report.as_ref().expect("just stored"))
+            }
+        }
+    }
+
+    /// The latest report for a document, if it has been checked.
+    pub fn report(&self, doc: &str) -> Option<&CheckReport> {
+        self.docs.get(doc).and_then(|d| d.report.as_ref())
+    }
+
+    /// A document's current text.
+    pub fn text(&self, doc: &str) -> Option<&str> {
+        self.docs.get(doc).map(|d| d.text.as_str())
+    }
+
+    /// The visible (latest) binding of `name` in a checked document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDoc`] when the document is not open.
+    pub fn type_of(&self, doc: &str, name: &str) -> Result<Option<&BindingReport>, ServiceError> {
+        let entry = self
+            .docs
+            .get(doc)
+            .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
+        Ok(entry.report.as_ref().and_then(|r| r.binding(name)))
+    }
+
+    /// Close a document. Returns whether it was open. The scheme cache
+    /// is retained — reopening is warm.
+    pub fn close(&mut self, doc: &str) -> bool {
+        self.docs.remove(doc).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(engine: EngineSel) -> Service {
+        Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine,
+            workers: 2,
+        })
+    }
+
+    #[test]
+    fn open_edit_check_type_of_close_lifecycle() {
+        let mut s = svc(EngineSel::Both);
+        let r = s
+            .open("d", "#use prelude\nlet f = fun x -> x;;\nlet n = f 3;;\n")
+            .unwrap();
+        assert!(r.all_typed());
+        assert_eq!(r.rechecked, 2);
+        assert_eq!(
+            s.type_of("d", "f").unwrap().unwrap().outcome.display(),
+            "forall a. a -> a"
+        );
+        assert!(s.type_of("d", "zzz").unwrap().is_none());
+
+        // Checking again is pure reuse.
+        let r = s.check("d").unwrap();
+        assert_eq!((r.rechecked, r.reused), (0, 2));
+
+        // Edit only `n`.
+        let r = s
+            .edit("d", "#use prelude\nlet f = fun x -> x;;\nlet n = f 4;;\n")
+            .unwrap();
+        assert_eq!((r.rechecked, r.reused), (1, 1));
+
+        assert!(s.close("d"));
+        assert!(!s.close("d"));
+        assert_eq!(
+            s.check("d").err(),
+            Some(ServiceError::UnknownDoc("d".into()))
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_cached() {
+        let mut s = svc(EngineSel::Uf);
+        let e = s.open("d", "let x = ;;").unwrap_err();
+        assert!(matches!(e, ServiceError::Parse(_)));
+        // The document stays open; a fixed edit works.
+        let r = s.edit("d", "let x = 3;;").unwrap();
+        assert!(r.all_typed());
+    }
+
+    #[test]
+    fn a_broken_edit_keeps_serving_the_last_good_state() {
+        let mut s = svc(EngineSel::Uf);
+        s.open("d", "let x = 3;;").unwrap();
+        let e = s.edit("d", "let x = ;;").unwrap_err();
+        assert!(matches!(e, ServiceError::Parse(_)));
+        // The last good text, report, and per-binding info survive.
+        assert_eq!(s.text("d"), Some("let x = 3;;"));
+        assert_eq!(
+            s.type_of("d", "x").unwrap().unwrap().outcome.display(),
+            "Int"
+        );
+        let r = s.check("d").unwrap();
+        assert_eq!((r.rechecked, r.reused), (0, 1));
+    }
+
+    #[test]
+    fn edit_requires_an_open_document() {
+        let mut s = svc(EngineSel::Uf);
+        assert!(matches!(
+            s.edit("nope", "let x = 1;;"),
+            Err(ServiceError::UnknownDoc(_))
+        ));
+    }
+
+    #[test]
+    fn the_cache_is_shared_across_documents() {
+        let mut s = svc(EngineSel::Uf);
+        let text = "#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n";
+        s.open("a", text).unwrap();
+        let r = s.open("b", text).unwrap();
+        assert_eq!((r.rechecked, r.reused), (0, 2), "b rides a's cache");
+        // …and closing a document keeps the cache warm.
+        s.close("a");
+        s.close("b");
+        let r = s.open("c", text).unwrap();
+        assert_eq!((r.rechecked, r.reused), (0, 2));
+    }
+
+    #[test]
+    fn reopening_with_open_replaces_the_text() {
+        let mut s = svc(EngineSel::Uf);
+        s.open("d", "let x = 1;;").unwrap();
+        let rechecked = s.open("d", "let x = true;;").unwrap().rechecked;
+        assert_eq!(rechecked, 1);
+        assert_eq!(
+            s.type_of("d", "x").unwrap().unwrap().outcome.display(),
+            "Bool"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The incremental ≡ from-scratch property: for random programs and
+//! random single-binding edits, the service's warm recheck produces
+//! exactly the verdicts a cold check of the same text produces —
+//! α-equivalent schemes (canonicalised schemes render identically) and
+//! identical error classes — with both engines in play
+//! (`EngineSel::Both` runs the union-find engine against the
+//! paper-literal oracle per binding, so a warm/cold comparison under
+//! `Both` is simultaneously a cross-engine differential run).
+//!
+//! Two corpora:
+//!
+//! * deterministic generated programs ([`GenProgram`]) with same-class
+//!   random edits (always well typed);
+//! * the Figure 1 corpus, packaged as one program of top-level bindings
+//!   (standard-mode rows without extra environments), with edits that
+//!   swap a binding's body for another row's — exercising both success
+//!   and error outcomes through the cache.
+
+use freezeml_core::Options;
+use freezeml_service::{CheckReport, EngineSel, GenProgram, Service, ServiceConfig};
+
+fn svc() -> Service {
+    Service::new(ServiceConfig {
+        opts: Options::default(),
+        engine: EngineSel::Both,
+        workers: 2,
+    })
+}
+
+/// Render a report to its comparable essence: binding names plus
+/// canonical verdicts (scheme text / error class / blocker).
+fn essence(r: &CheckReport) -> Vec<(String, String)> {
+    r.bindings
+        .iter()
+        .map(|b| {
+            let v = match &b.outcome {
+                freezeml_service::Outcome::Typed { scheme, defaulted } => {
+                    format!("ok {scheme} [{}]", defaulted.len())
+                }
+                freezeml_service::Outcome::Error { class, .. } => format!("err {class}"),
+                freezeml_service::Outcome::Blocked { on } => format!("blocked {on}"),
+                freezeml_service::Outcome::Disagreement { core, uf } => {
+                    panic!("engine disagreement on `{}`: {core} / {uf}", b.name)
+                }
+            };
+            (b.name.clone(), v)
+        })
+        .collect()
+}
+
+/// Check `text` warm (through the running service) and cold (through a
+/// fresh service), and demand identical essences.
+fn warm_equals_scratch(warm_svc: &mut Service, text: &str, context: &str) {
+    let warm = essence(&warm_svc.edit("doc", text).unwrap().clone());
+    let cold = essence(&svc().open("doc", text).unwrap().clone());
+    assert_eq!(warm, cold, "incremental ≢ from-scratch ({context})");
+}
+
+#[test]
+fn generated_programs_incremental_equals_scratch() {
+    // SplitMix-style deterministic "random" choices.
+    let mut state = 0x001C_4E11_E7A1_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for seed in [3u64, 17, 91] {
+        let gen = GenProgram::generate(48, seed);
+        let mut s = svc();
+        s.open("doc", &gen.text()).unwrap();
+        for round in 0..12u64 {
+            let i = (next() % 48) as usize;
+            let edited = gen.with_edit(i, round * 1000 + next() % 1000);
+            warm_equals_scratch(&mut s, &edited.text(), &format!("seed {seed}, edit b{i}"));
+            // And edit back (the restore path must also agree).
+            warm_equals_scratch(&mut s, &gen.text(), &format!("seed {seed}, restore b{i}"));
+        }
+    }
+}
+
+/// The Figure 1 rows usable as top-level bindings: standard mode, no
+/// extra environment.
+fn figure1_bodies() -> Vec<&'static str> {
+    freezeml_corpus::EXAMPLES
+        .iter()
+        .filter(|e| e.mode == freezeml_corpus::Mode::Standard && e.extra_env.is_empty())
+        .map(|e| e.src)
+        .collect()
+}
+
+fn figure1_program(bodies: &[&str], swap: Option<(usize, usize)>) -> String {
+    let mut text = String::from("#use prelude\n");
+    for (i, body) in bodies.iter().enumerate() {
+        let body = match swap {
+            Some((at, from)) if at == i => bodies[from],
+            _ => body,
+        };
+        text.push_str(&format!("let fig{i} = {body};;\n"));
+    }
+    // A frozen-reuse tail referencing earlier bindings, so the corpus
+    // program is not purely independent rows.
+    text.push_str("let tail_id = $(fun x -> x);;\n");
+    text.push_str("let tail_use = poly ~tail_id;;\n");
+    text
+}
+
+#[test]
+fn figure1_corpus_incremental_equals_scratch() {
+    let bodies = figure1_bodies();
+    assert!(bodies.len() >= 40, "most Figure 1 rows qualify");
+    let base = figure1_program(&bodies, None);
+    let mut s = svc();
+    s.open("doc", &base).unwrap();
+    // The corpus mixes well-typed and ill-typed rows; the warm recheck
+    // must simply agree with scratch (not be all-typed).
+    warm_equals_scratch(&mut s, &base, "figure 1 recheck");
+    // Swap a handful of bindings' bodies for other rows' and back.
+    for (at, from) in [(0usize, 5usize), (12, 30), (30, 12), (41, 2)] {
+        let edited = figure1_program(&bodies, Some((at, from)));
+        warm_equals_scratch(&mut s, &edited, &format!("figure 1 swap {at}<-{from}"));
+        warm_equals_scratch(&mut s, &base, &format!("figure 1 restore {at}"));
+    }
+}
+
+#[test]
+fn structural_edits_incremental_equals_scratch() {
+    // Beyond body edits: insert, delete, and reorder declarations.
+    let gen = GenProgram::generate(30, 7);
+    let base = gen.text();
+    let mut s = svc();
+    s.open("doc", &base).unwrap();
+
+    // Insert an unrelated binding mid-program.
+    let mut lines: Vec<&str> = base.lines().collect();
+    lines.insert(15, "let inserted = 123456;;");
+    warm_equals_scratch(&mut s, &(lines.join("\n") + "\n"), "insert");
+
+    // Delete a leaf binding (the last one has no dependents).
+    let deleted: Vec<&str> = base.lines().take(base.lines().count() - 1).collect();
+    warm_equals_scratch(&mut s, &(deleted.join("\n") + "\n"), "delete last");
+
+    // Duplicate the program under shadowing: every binding redeclared.
+    let doubled = format!("{base}{}", base.replace("#use prelude\n", ""));
+    warm_equals_scratch(&mut s, &doubled, "shadow-duplicate");
+
+    // And back to base.
+    warm_equals_scratch(&mut s, &base, "restore");
+}

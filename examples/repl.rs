@@ -1,41 +1,161 @@
-//! An interactive FreezeML type-checking REPL over the Figure 2 prelude.
+//! An interactive FreezeML REPL — a thin client of the program-checking
+//! service.
 //!
-//! Run with `cargo run --example repl`, then type FreezeML terms:
+//! The session *is* a service document: every `:let` appends a top-level
+//! declaration and the service rechecks the program incrementally (only
+//! the new binding is inferred; everything else is served from the
+//! scheme cache). Run with `cargo run --example repl`:
 //!
 //! ```text
 //! > choose ~id
 //! (forall a. a -> a) -> forall a. a -> a
 //! > :let myid = $(fun x -> x)
-//! myid : forall a. a -> a
-//! > :pure on          -- toggle the value restriction (pure FreezeML)
-//! > :elim on          -- toggle eliminator instantiation
-//! > :env              -- show the environment
+//! myid : forall a. a -> a                       [rechecked 1, reused 0]
+//! > :load examples/session.fml   -- load a program file (let …;; decls)
+//! > :engine core                 -- core | uf | both (differential)
+//! > :pure on                     -- toggle the value restriction
+//! > :elim on                     -- toggle eliminator instantiation
+//! > :env                         -- per-binding types of the session
 //! > :quit
 //! ```
 
-use freezeml::core::{infer_program, infer_term, parse_term, Options};
-use freezeml::corpus::figure2;
+use freezeml::core::{InstantiationStrategy, Options};
+use freezeml::service::{EngineSel, Outcome, Service, ServiceConfig};
 use std::io::{self, BufRead, Write};
 
+const DOC: &str = "repl";
+
+struct Repl {
+    svc: Service,
+    engine: EngineSel,
+    opts: Options,
+    /// The session program (starts with `#use prelude`).
+    text: String,
+    /// Fresh-name counter for throwaway query bindings.
+    queries: usize,
+}
+
+impl Repl {
+    fn new(engine: EngineSel, opts: Options) -> Repl {
+        let mut repl = Repl {
+            svc: Service::new(ServiceConfig {
+                opts,
+                engine,
+                workers: 2,
+            }),
+            engine,
+            opts,
+            text: "#use prelude\n".to_string(),
+            queries: 0,
+        };
+        repl.svc
+            .open(DOC, &repl.text)
+            .expect("the empty session parses");
+        repl
+    }
+
+    /// Rebuild the service (engine/options changed) over the same text.
+    fn rebuild(&mut self) {
+        *self = {
+            let mut fresh = Repl::new(self.engine, self.opts);
+            fresh.text = self.text.clone();
+            fresh.queries = self.queries;
+            let _ = fresh.svc.edit(DOC, &fresh.text);
+            fresh
+        };
+    }
+
+    /// Try new session text; on any failure, revert to the old text.
+    /// Returns the display line(s) for the *last* binding on success.
+    fn try_extend(&mut self, new_text: String) -> Result<String, String> {
+        match self.svc.edit(DOC, &new_text) {
+            Err(e) => {
+                let _ = self.svc.edit(DOC, &self.text);
+                Err(e.to_string())
+            }
+            Ok(report) => {
+                let last = report.bindings.last().expect("one binding was added");
+                let line = format!(
+                    "{} : {}\t[rechecked {}, reused {}]",
+                    last.name,
+                    last.outcome.display(),
+                    report.rechecked,
+                    report.reused
+                );
+                if last.outcome.is_typed() {
+                    self.text = new_text;
+                    Ok(line)
+                } else {
+                    let msg = last.outcome.display();
+                    let _ = self.svc.edit(DOC, &self.text);
+                    Err(msg)
+                }
+            }
+        }
+    }
+
+    /// Evaluate a bare term by checking it as a throwaway binding.
+    fn query(&mut self, term_src: &str) -> Result<String, String> {
+        self.queries += 1;
+        let name = format!("it{}", self.queries);
+        let probe = format!("{}let {name} = {term_src};;\n", self.text);
+        match self.svc.edit(DOC, &probe) {
+            Err(e) => {
+                let _ = self.svc.edit(DOC, &self.text);
+                Err(e.to_string())
+            }
+            Ok(report) => {
+                let outcome = report
+                    .bindings
+                    .last()
+                    .expect("probe binding")
+                    .outcome
+                    .clone();
+                let _ = self.svc.edit(DOC, &self.text);
+                match outcome {
+                    Outcome::Typed { scheme, defaulted } if defaulted.is_empty() => {
+                        Ok(scheme.to_string())
+                    }
+                    o => Ok(o.display()),
+                }
+            }
+        }
+    }
+
+    fn print_env(&self) {
+        match self.svc.report(DOC) {
+            None => println!("(empty session)"),
+            Some(r) => {
+                for b in &r.bindings {
+                    println!("{} : {}", b.name, b.outcome.display());
+                }
+                if r.bindings.is_empty() {
+                    println!("(no session bindings; the Figure 2 prelude is in scope)");
+                }
+            }
+        }
+    }
+}
+
 fn main() {
-    let mut env = figure2();
-    let mut opts = Options::default();
-    let stdin = io::stdin();
-
+    let mut repl = Repl::new(EngineSel::from_env(), Options::default());
     println!(
-        "FreezeML REPL — Figure 2 prelude loaded ({} bindings).",
-        env.len()
+        "FreezeML REPL — service-backed session (engine {:?}, Figure 2 prelude loaded).",
+        repl.engine
     );
-    println!("Commands: :let x = M, :env, :pure on|off, :elim on|off, :quit");
+    println!(
+        "Commands: :let x = M, :load FILE, :engine core|uf|both, :env, \
+         :pure on|off, :elim on|off, :quit"
+    );
 
+    let stdin = io::stdin();
     loop {
         print!("> ");
         let _ = io::stdout().flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => break,
+            Ok(0) | Err(_) => break,
             Ok(_) => {}
-            Err(_) => break,
         }
         let line = line.trim();
         if line.is_empty() {
@@ -45,16 +165,29 @@ fn main() {
             break;
         }
         if line == ":env" {
-            for (name, ty) in env.iter() {
-                println!("{name} : {ty}");
+            repl.print_env();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":engine") {
+            match rest.trim() {
+                "core" => repl.engine = EngineSel::Core,
+                "uf" => repl.engine = EngineSel::Uf,
+                "both" => repl.engine = EngineSel::Both,
+                other => {
+                    println!("usage: :engine core|uf|both (got `{other}`)");
+                    continue;
+                }
             }
+            repl.rebuild();
+            println!("engine: {:?}", repl.engine);
             continue;
         }
         if let Some(rest) = line.strip_prefix(":pure") {
-            opts.value_restriction = rest.trim() != "on";
+            repl.opts.value_restriction = rest.trim() != "on";
+            repl.rebuild();
             println!(
                 "value restriction {}",
-                if opts.value_restriction {
+                if repl.opts.value_restriction {
                     "on"
                 } else {
                     "off (pure FreezeML)"
@@ -63,12 +196,47 @@ fn main() {
             continue;
         }
         if let Some(rest) = line.strip_prefix(":elim") {
-            opts.instantiation = if rest.trim() == "on" {
-                freezeml::core::InstantiationStrategy::Eliminator
+            repl.opts.instantiation = if rest.trim() == "on" {
+                InstantiationStrategy::Eliminator
             } else {
-                freezeml::core::InstantiationStrategy::Variable
+                InstantiationStrategy::Variable
             };
-            println!("instantiation strategy: {:?}", opts.instantiation);
+            repl.rebuild();
+            println!("instantiation strategy: {:?}", repl.opts.instantiation);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":load") {
+            let path = rest.trim();
+            match std::fs::read_to_string(path) {
+                Err(e) => println!("error: {path}: {e}"),
+                Ok(contents) => {
+                    let text = if contents.contains("#use prelude") {
+                        contents
+                    } else {
+                        format!("#use prelude\n{contents}")
+                    };
+                    match repl.svc.edit(DOC, &text) {
+                        Err(e) => {
+                            let _ = repl.svc.edit(DOC, &repl.text);
+                            println!("error: {e}");
+                        }
+                        Ok(report) => {
+                            let report = report.clone();
+                            repl.text = text;
+                            for b in &report.bindings {
+                                println!("{} : {}", b.name, b.outcome.display());
+                            }
+                            println!(
+                                "[{} binding(s), rechecked {}, reused {}, {} wave(s)]",
+                                report.bindings.len(),
+                                report.rechecked,
+                                report.reused,
+                                report.waves
+                            );
+                        }
+                    }
+                }
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix(":let") {
@@ -76,33 +244,18 @@ fn main() {
                 println!("usage: :let x = M");
                 continue;
             };
-            let name = name.trim();
-            // Reuse the actual `let` rule: the type of x in
-            // `let x = M in ⌈x⌉` is exactly the let-bound type (generalised
-            // for guarded values, monomorphised otherwise).
-            let probe = format!("let {name} = {} in ~{name}", body.trim());
-            match parse_term(&probe)
-                .map_err(|e| e.to_string())
-                .and_then(|t| infer_term(&env, &t, &opts).map_err(|e| e.to_string()))
-            {
-                Ok(out) => {
-                    let mut ty = out.ty.canonicalize();
-                    if !ty.ftv().is_empty() {
-                        // Residual monomorphic variables (value restriction):
-                        // ground them so the environment stays well-formed.
-                        for v in ty.ftv() {
-                            ty = ty.rename_free(&v, &freezeml::core::Type::int());
-                        }
-                        println!("note: residual monomorphic variables defaulted to Int");
-                    }
-                    println!("{name} : {ty}");
-                    env.push(name, ty);
-                }
+            let decl = format!("let {} = {};;\n", name.trim(), body.trim());
+            match repl.try_extend(format!("{}{decl}", repl.text)) {
+                Ok(report) => println!("{report}"),
                 Err(e) => println!("error: {e}"),
             }
             continue;
         }
-        match infer_program(&env, line, &opts) {
+        if line.starts_with(':') {
+            println!("unknown command `{line}`");
+            continue;
+        }
+        match repl.query(line) {
             Ok(ty) => println!("{ty}"),
             Err(e) => println!("error: {e}"),
         }

@@ -24,6 +24,12 @@
 //!   arena, union-find cells with the paper's `•`/`⋆` kinds, levels for
 //!   generalisation, trail-checked escapes — the hot path, held to the
 //!   paper-literal [`core`] oracle by a differential layer.
+//! * [`service`] — the incremental, parallel program-checking service:
+//!   a program database (content-hashed bindings, dependency SCCs,
+//!   Merkle-keyed scheme cache), a worker pool of engine sessions
+//!   checking dirty components in topological waves, and the
+//!   line-oriented JSON protocol the `freezeml` binary serves over
+//!   stdin/stdout.
 //! * [`hmf`] — an HMF-style baseline checker (Leijen 2008, simplified),
 //!   giving Table 1 a second *computed* row.
 //! * [`conformance`] — the golden-file (`.fml`) conformance harness over
@@ -55,5 +61,6 @@ pub use freezeml_corpus as corpus;
 pub use freezeml_engine as engine;
 pub use freezeml_hmf as hmf;
 pub use freezeml_miniml as miniml;
+pub use freezeml_service as service;
 pub use freezeml_systemf as systemf;
 pub use freezeml_translate as translate;

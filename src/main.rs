@@ -1,0 +1,206 @@
+//! The `freezeml` binary: the program-checking service over stdio, plus
+//! batch subcommands.
+//!
+//! ```text
+//! freezeml [serve]              serve the JSON line protocol on stdin/stdout
+//! freezeml check FILE…          check program files, print per-binding types
+//! freezeml replay PATH…         corpus replay: cold-open every program, then
+//!                               touch every binding and recheck warm; PATHs
+//!                               are program files, `#! program` golden files,
+//!                               or directories of golden files
+//! freezeml gen N [SEED]         print a generated N-binding program
+//!
+//! options (before the subcommand arguments):
+//!   --engine core|uf|both       inference engine (default: $ENGINE or uf)
+//!   --workers N                 worker-pool size (default: CPU count, ≤ 8)
+//!   --pure                      disable the value restriction
+//! ```
+//!
+//! The protocol itself is documented in `freezeml_service::protocol`.
+
+use freezeml_conformance::program as golden;
+use freezeml_service::{load, serve, EngineSel, Service, ServiceConfig};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: ServiceConfig,
+    cmd: String,
+    rest: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
+         [serve | check FILE… | replay PATH… | gen N [SEED]]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut cfg = ServiceConfig {
+        // The server's default engine is the union-find hot path; the
+        // conformance and CI runs opt into `both` via $ENGINE.
+        engine: if std::env::var("ENGINE").is_ok() {
+            EngineSel::from_env()
+        } else {
+            EngineSel::Uf
+        },
+        ..ServiceConfig::default()
+    };
+    let mut words = std::env::args().skip(1);
+    let mut cmd = None;
+    let mut rest = Vec::new();
+    while let Some(w) = words.next() {
+        match w.as_str() {
+            "--engine" => {
+                cfg.engine = match words.next().as_deref() {
+                    Some("core") => EngineSel::Core,
+                    Some("uf") => EngineSel::Uf,
+                    Some("both") => EngineSel::Both,
+                    _ => return Err(usage()),
+                }
+            }
+            "--workers" => {
+                cfg.workers = words
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--pure" => cfg.opts.value_restriction = false,
+            "--help" | "-h" => return Err(usage()),
+            _ if cmd.is_none() => cmd = Some(w),
+            _ => rest.push(w),
+        }
+    }
+    Ok(Args {
+        cfg,
+        cmd: cmd.unwrap_or_else(|| "serve".to_string()),
+        rest,
+    })
+}
+
+/// Collect `(id, program text)` sources from a path: a directory of
+/// golden files, one `#! program` golden file, or a plain program file.
+fn sources_from(path: &Path) -> Result<Vec<(String, String)>, String> {
+    if path.is_dir() {
+        let files = golden::parse_dir(path).map_err(|e| e.to_string())?;
+        return Ok(golden::program_sources(&files));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if text.lines().next().map(str::trim_end) == Some(golden::MARKER) {
+        let file = golden::parse_str(path, &text).map_err(|e| e.to_string())?;
+        return Ok(golden::program_sources(std::slice::from_ref(&file)));
+    }
+    Ok(vec![(path.display().to_string(), text)])
+}
+
+fn cmd_check(cfg: ServiceConfig, files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut svc = Service::new(cfg);
+    let mut failed = false;
+    for file in files {
+        let all = match sources_from(Path::new(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, text) in all {
+            println!("── {id}");
+            match svc.open(&id, &text) {
+                Err(e) => {
+                    println!("  parse error: {e}");
+                    failed = true;
+                }
+                Ok(report) => {
+                    for b in &report.bindings {
+                        let (line, col) = b.span.line_col(&text);
+                        println!("  {line}:{col} {} : {}", b.name, b.outcome.display());
+                        failed |= !b.outcome.is_typed();
+                    }
+                    println!(
+                        "  [{} binding(s), rechecked {}, reused {}, {} wave(s)]",
+                        report.bindings.len(),
+                        report.rechecked,
+                        report.reused,
+                        report.waves
+                    );
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(cfg: ServiceConfig, paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut programs = Vec::new();
+    for p in paths {
+        match sources_from(Path::new(p)) {
+            Ok(mut s) => programs.append(&mut s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut svc = Service::new(cfg);
+    let start = std::time::Instant::now();
+    let stats = load::replay(&mut svc, &programs);
+    println!("{} in {:?}", stats.render(), start.elapsed());
+    for f in &stats.failures {
+        eprintln!("failure: {f}");
+    }
+    if stats.failures.is_empty() && stats.programs > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_gen(rest: &[String]) -> ExitCode {
+    let n = rest.first().and_then(|s| s.parse::<usize>().ok());
+    let Some(n) = n else { return usage() };
+    let seed = rest
+        .get(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xF2EE);
+    print!("{}", load::GenProgram::generate(n, seed).text());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match args.cmd.as_str() {
+        "serve" => {
+            let mut svc = Service::new(args.cfg);
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            match serve(&mut svc, stdin.lock(), stdout.lock()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    let _ = writeln!(io::stderr(), "transport error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "check" => cmd_check(args.cfg, &args.rest),
+        "replay" => cmd_replay(args.cfg, &args.rest),
+        "gen" => cmd_gen(&args.rest),
+        _ => usage(),
+    }
+}

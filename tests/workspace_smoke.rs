@@ -39,6 +39,27 @@ fn systemf_typechecks_and_evaluates() {
 }
 
 #[test]
+fn service_checks_programs_incrementally() {
+    use freezeml::service::{Service, ServiceConfig};
+    let mut svc = Service::new(ServiceConfig::default());
+    let cold = svc
+        .open(
+            "smoke",
+            "#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n",
+        )
+        .unwrap();
+    assert!(cold.all_typed());
+    assert_eq!(cold.rechecked, 2);
+    let warm = svc
+        .edit(
+            "smoke",
+            "#use prelude\nlet f = fun x -> x;;\nlet p = pair (poly ~f) 2;;\n",
+        )
+        .unwrap();
+    assert_eq!((warm.rechecked, warm.reused), (1, 1));
+}
+
+#[test]
 fn miniml_runs_algorithm_w() {
     use freezeml::miniml::{w_infer, MlTerm};
     let term = MlTerm::let_(

@@ -16,9 +16,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freezeml_bench::{app_chain, deep_arrow, deep_list, freeze_let_chain, prelude, quantified};
 use freezeml_core::{Kind, KindEnv, Options, RefinedEnv, Term, TyVar, Type};
 use freezeml_engine::Store;
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use std::time::Duration;
 
 // ------------------------------------------------------------ unification
@@ -55,25 +55,25 @@ fn bench_unify_solve_chain(c: &mut Criterion) {
         .sample_size(30);
     for n in [4usize, 16, 64] {
         let vars: Vec<TyVar> = (0..=n).map(|_| TyVar::fresh()).collect();
-        let theta: Vec<(TyVar, Kind)> = vars.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        let theta: Vec<(TyVar, Kind)> = vars.iter().map(|v| (*v, Kind::Poly)).collect();
         let left = vars[..n]
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         let right = vars[1..]
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         let renv: RefinedEnv = theta.iter().cloned().collect();
         group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
             b.iter(|| unify_core(&renv, &left, &right).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
             let mut s = Store::new();
-            let mut map = HashMap::new();
+            let mut map = FxHashMap::default();
             for (v, k) in &theta {
                 let (_, node) = s.fresh_var(*k);
-                map.insert(v.clone(), node);
+                map.insert(*v, node);
             }
             let lid = s.intern_type_with(&left, &map);
             let rid = s.intern_type_with(&right, &map);
@@ -122,12 +122,12 @@ fn bench_unify_demotion(c: &mut Criterion) {
     for n in [4usize, 16, 64] {
         let mono = TyVar::fresh();
         let polys: Vec<TyVar> = (0..n).map(|_| TyVar::fresh()).collect();
-        let mut theta: Vec<(TyVar, Kind)> = polys.iter().map(|v| (v.clone(), Kind::Poly)).collect();
-        theta.push((mono.clone(), Kind::Mono));
+        let mut theta: Vec<(TyVar, Kind)> = polys.iter().map(|v| (*v, Kind::Poly)).collect();
+        theta.push((mono, Kind::Mono));
         let target = polys
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         let lhs = Type::Var(mono);
         let renv: RefinedEnv = theta.iter().cloned().collect();
         group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
@@ -135,10 +135,10 @@ fn bench_unify_demotion(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("uf", n), &n, |b, _| {
             let mut s = Store::new();
-            let mut map = HashMap::new();
+            let mut map = FxHashMap::default();
             for (v, k) in &theta {
                 let (_, node) = s.fresh_var(*k);
-                map.insert(v.clone(), node);
+                map.insert(*v, node);
             }
             let lid = s.intern_type_with(&lhs, &map);
             let rid = s.intern_type_with(&target, &map);

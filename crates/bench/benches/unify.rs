@@ -35,15 +35,15 @@ fn bench_solving_variables(c: &mut Criterion) {
     // chain of n variables one at a time, composing substitutions.
     for n in [4usize, 16, 64] {
         let vars: Vec<TyVar> = (0..=n).map(|_| TyVar::fresh()).collect();
-        let theta: RefinedEnv = vars.iter().map(|v| (v.clone(), Kind::Poly)).collect();
+        let theta: RefinedEnv = vars.iter().map(|v| (*v, Kind::Poly)).collect();
         let left = vars[..n]
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         let right = vars[1..]
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 unify(&KindEnv::new(), &theta, &left, &right).unwrap();
@@ -81,15 +81,15 @@ fn bench_demotion(c: &mut Criterion) {
     for n in [4usize, 16, 64] {
         let mono = TyVar::fresh();
         let polys: Vec<TyVar> = (0..n).map(|_| TyVar::fresh()).collect();
-        let mut theta: RefinedEnv = polys.iter().map(|v| (v.clone(), Kind::Poly)).collect();
-        theta.insert(mono.clone(), Kind::Mono);
+        let mut theta: RefinedEnv = polys.iter().map(|v| (*v, Kind::Poly)).collect();
+        theta.insert(mono, Kind::Mono);
         let target = polys
             .iter()
             .rev()
-            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+            .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                unify(&KindEnv::new(), &theta, &Type::Var(mono.clone()), &target).unwrap();
+                unify(&KindEnv::new(), &theta, &Type::Var(mono), &target).unwrap();
             });
         });
     }

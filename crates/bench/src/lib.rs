@@ -57,7 +57,7 @@ pub fn quantified(n: usize) -> Type {
     let body = vars
         .iter()
         .rev()
-        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
     Type::foralls(vars, body)
 }
 

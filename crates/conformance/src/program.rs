@@ -287,9 +287,14 @@ pub fn run_case(case: &ProgramCase, path: &Path, engine: EngineSel) -> CaseOutco
         }
         let ok = match (expect, &b.outcome) {
             (BindExpect::Type(want), Outcome::Typed { scheme, .. }) => {
-                match freezeml_core::parse_type(want) {
-                    Ok(w) => scheme.alpha_eq(&w),
-                    Err(_) => false,
+                // Schemes are carried as canonical renderings; parse
+                // both sides back for an α-comparison.
+                match (
+                    freezeml_core::parse_type(want),
+                    freezeml_core::parse_type(scheme),
+                ) {
+                    (Ok(w), Ok(s)) => s.alpha_eq(&w),
+                    _ => false,
                 }
             }
             (BindExpect::ErrorContains(needle), Outcome::Error { message, .. }) => {

@@ -22,7 +22,7 @@ use crate::options::Options;
 use crate::subst::Subst;
 use crate::term::Term;
 use crate::types::Type;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// One-sided matching: find a substitution `θ` on the flexible variables of
 /// `Θ` with `θ(pattern) = target` (up to α-equivalence), respecting kinds.
@@ -37,7 +37,7 @@ pub fn matches(
     target: &Type,
 ) -> Option<Subst> {
     let _ = delta; // rigidity is implied by absence from Θ
-    let mut bindings: HashMap<TyVar, Type> = HashMap::new();
+    let mut bindings: FxHashMap<TyVar, Type> = FxHashMap::default();
     let mut scope: Vec<TyVar> = Vec::new();
     if go(pattern, target, theta, &mut bindings, &mut scope) {
         Some(Subst::from_pairs(bindings))
@@ -50,7 +50,7 @@ fn go(
     pattern: &Type,
     target: &Type,
     theta: &RefinedEnv,
-    bindings: &mut HashMap<TyVar, Type>,
+    bindings: &mut FxHashMap<TyVar, Type>,
     scope: &mut Vec<TyVar>,
 ) -> bool {
     match (pattern, target) {
@@ -66,7 +66,7 @@ fn go(
             if theta.kind_of(x) == Some(Kind::Mono) && !t.is_monotype() {
                 return false;
             }
-            bindings.insert(x.clone(), t.clone());
+            bindings.insert(*x, t.clone());
             true
         }
         (Type::Var(x), Type::Var(y)) => x == y,
@@ -80,8 +80,8 @@ fn go(
         }
         (Type::Forall(x, pb), Type::Forall(y, tb)) => {
             let c = TyVar::skolem();
-            let p2 = pb.rename_free(x, &Type::Var(c.clone()));
-            let t2 = tb.rename_free(y, &Type::Var(c.clone()));
+            let p2 = pb.rename_free(x, &Type::Var(c));
+            let t2 = tb.rename_free(y, &Type::Var(c));
             scope.push(c);
             let r = go(&p2, &t2, theta, bindings, scope);
             scope.pop();
@@ -192,8 +192,8 @@ mod tests {
     #[test]
     fn matches_is_consistent_on_repeats() {
         let a = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
-        let pat = Type::arrow(Type::Var(a.clone()), Type::Var(a.clone()));
+        let th: RefinedEnv = [(a, Kind::Poly)].into_iter().collect();
+        let pat = Type::arrow(Type::Var(a), Type::Var(a));
         let t_ok = Type::arrow(Type::int(), Type::int());
         let t_bad = Type::arrow(Type::int(), Type::bool());
         assert!(matches(&KindEnv::new(), &th, &pat, &t_ok).is_some());
@@ -204,9 +204,9 @@ mod tests {
     fn matches_respects_kinds() {
         let a = TyVar::fresh();
         let poly_ty = parse_type("forall b. b -> b").unwrap();
-        let th_mono: RefinedEnv = [(a.clone(), Kind::Mono)].into_iter().collect();
-        let th_poly: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
-        let pat = Type::Var(a.clone());
+        let th_mono: RefinedEnv = [(a, Kind::Mono)].into_iter().collect();
+        let th_poly: RefinedEnv = [(a, Kind::Poly)].into_iter().collect();
+        let pat = Type::Var(a);
         assert!(matches(&KindEnv::new(), &th_mono, &pat, &poly_ty).is_none());
         assert!(matches(&KindEnv::new(), &th_poly, &pat, &poly_ty).is_some());
     }
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn matched_substitution_proves_equality() {
         let a = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let th: RefinedEnv = [(a, Kind::Poly)].into_iter().collect();
         let pat = Type::list(Type::Var(a));
         let tgt = parse_type("List (forall a. a -> a)").unwrap();
         let s = matches(&KindEnv::new(), &th, &pat, &tgt).unwrap();

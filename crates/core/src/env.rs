@@ -164,9 +164,9 @@ impl RefinedEnv {
                 .iter()
                 .map(|(v, k)| {
                     if vars.contains(v) {
-                        (v.clone(), Kind::Mono)
+                        (*v, Kind::Mono)
                     } else {
-                        (v.clone(), *k)
+                        (*v, *k)
                     }
                 })
                 .collect(),
@@ -270,11 +270,7 @@ impl TypeEnv {
     /// Map a function over all types (used to apply substitutions, `θ(Γ)`).
     pub fn map_types(&self, mut f: impl FnMut(&Type) -> Type) -> Self {
         TypeEnv {
-            entries: self
-                .entries
-                .iter()
-                .map(|(v, t)| (v.clone(), f(t)))
-                .collect(),
+            entries: self.entries.iter().map(|(v, t)| (*v, f(t))).collect(),
         }
     }
 
@@ -284,7 +280,7 @@ impl TypeEnv {
         let mut seen = HashSet::new();
         for (_, t) in &self.entries {
             for v in t.ftv() {
-                if seen.insert(v.clone()) {
+                if seen.insert(v) {
                     out.push(v);
                 }
             }
@@ -328,9 +324,7 @@ mod tests {
     fn refined_env_demote_and_minus() {
         let a = TyVar::named("a");
         let b = TyVar::named("b");
-        let th: RefinedEnv = [(a.clone(), Kind::Poly), (b.clone(), Kind::Poly)]
-            .into_iter()
-            .collect();
+        let th: RefinedEnv = [(a, Kind::Poly), (b, Kind::Poly)].into_iter().collect();
         let d = th.demoted(std::slice::from_ref(&a));
         assert_eq!(d.kind_of(&a), Some(Kind::Mono));
         assert_eq!(d.kind_of(&b), Some(Kind::Poly));

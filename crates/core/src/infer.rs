@@ -89,13 +89,10 @@ type Judgement = Result<(RefinedEnv, Subst, Type, TypedTerm), TypeError>;
 /// infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)).
 #[inline(never)]
 fn infer_frozen_var(theta: &RefinedEnv, gamma: &TypeEnv, x: &crate::names::Var) -> Judgement {
-    let ty = gamma
-        .lookup(x)
-        .cloned()
-        .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+    let ty = gamma.lookup(x).cloned().ok_or(TypeError::UnboundVar(*x))?;
     let typed = TypedTerm {
         ty: ty.clone(),
-        node: TypedNode::FrozenVar { name: x.clone() },
+        node: TypedNode::FrozenVar { name: *x },
     };
     Ok((theta.clone(), Subst::identity(), ty, typed))
 }
@@ -103,23 +100,20 @@ fn infer_frozen_var(theta: &RefinedEnv, gamma: &TypeEnv, x: &crate::names::Var) 
 /// infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
 #[inline(never)]
 fn infer_var(theta: &RefinedEnv, gamma: &TypeEnv, x: &crate::names::Var) -> Judgement {
-    let scheme = gamma
-        .lookup(x)
-        .cloned()
-        .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+    let scheme = gamma.lookup(x).cloned().ok_or(TypeError::UnboundVar(*x))?;
     let (vars, h) = scheme.split_foralls();
     let mut theta1 = theta.clone();
     let mut inst = Vec::with_capacity(vars.len());
     for a in &vars {
         let b = TyVar::fresh();
-        theta1.insert(b.clone(), Kind::Poly);
-        inst.push((a.clone(), Type::Var(b)));
+        theta1.insert(b, Kind::Poly);
+        inst.push((*a, Type::Var(b)));
     }
     let ty = Subst::from_pairs(inst.clone()).apply(h);
     let typed = TypedTerm {
         ty: ty.clone(),
         node: TypedNode::Var {
-            name: x.clone(),
+            name: *x,
             scheme,
             inst,
         },
@@ -148,8 +142,8 @@ fn infer_lam(
     opts: &Options,
 ) -> Judgement {
     let a = TyVar::fresh();
-    let theta_in = theta.inserted(a.clone(), Kind::Mono);
-    let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
+    let theta_in = theta.inserted(a, Kind::Mono);
+    let gamma_in = gamma.extended(*x, Type::Var(a));
     let (theta1, s, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
     let param_ty = s.image_of(&a);
     let s_out = s.without(&a);
@@ -157,7 +151,7 @@ fn infer_lam(
     let typed = TypedTerm {
         ty: ty.clone(),
         node: TypedNode::Lam {
-            param: x.clone(),
+            param: *x,
             param_ty,
             body: Box::new(tbody),
         },
@@ -176,13 +170,13 @@ fn infer_lam_ann(
     body: &Term,
     opts: &Options,
 ) -> Judgement {
-    let gamma_in = gamma.extended(x.clone(), ann.clone());
+    let gamma_in = gamma.extended(*x, ann.clone());
     let (theta1, s, bty, tbody) = infer(delta, theta, &gamma_in, body, opts)?;
     let ty = Type::arrow(ann.clone(), bty);
     let typed = TypedTerm {
         ty: ty.clone(),
         node: TypedNode::LamAnn {
-            param: x.clone(),
+            param: *x,
             ann: ann.clone(),
             body: Box::new(tbody),
         },
@@ -231,8 +225,8 @@ fn infer_app_spine(
                 let mut inst = Vec::with_capacity(vars.len());
                 for a in &vars {
                     let b = TyVar::fresh();
-                    theta2.insert(b.clone(), Kind::Poly);
-                    inst.push((a.clone(), Type::Var(b)));
+                    theta2.insert(b, Kind::Poly);
+                    inst.push((*a, Type::Var(b)));
                 }
                 let inst_ty = Subst::from_pairs(inst.clone()).apply(h);
                 tf = TypedTerm {
@@ -247,8 +241,8 @@ fn infer_app_spine(
         }
 
         let b = TyVar::fresh();
-        let theta2b = theta2.inserted(b.clone(), Kind::Poly);
-        let expected = Type::arrow(aty, Type::Var(b.clone()));
+        let theta2b = theta2.inserted(b, Kind::Poly);
+        let expected = Type::arrow(aty, Type::Var(b));
         let (theta3, s3_all) = unify(delta, &theta2b, &fty, &expected)?;
         let bty = s3_all.image_of(&b);
         let s3 = s3_all.without(&b);
@@ -298,13 +292,13 @@ fn infer_let(
     let theta1p = theta1.demoted(&d3);
     let theta_in = theta1p.minus(&d2);
     let bound_ty = Type::foralls(d2.clone(), aty);
-    let gamma_in = s1.apply_env(gamma).extended(x.clone(), bound_ty.clone());
+    let gamma_in = s1.apply_env(gamma).extended(*x, bound_ty.clone());
     let (theta2, s2, bty, tbody) = infer(delta, &theta_in, &gamma_in, body, opts)?;
     let s_out = s2.compose(&s1);
     let typed = TypedTerm {
         ty: bty.clone(),
         node: TypedNode::Let {
-            name: x.clone(),
+            name: *x,
             gen_vars: d2,
             mono_vars: if gval { Vec::new() } else { d3 },
             bound_ty,
@@ -373,13 +367,13 @@ fn infer_let_ann(
     if !escaping.is_empty() {
         return Err(TypeError::AnnotationEscape { vars: escaping });
     }
-    let gamma_in = s2.apply_env(gamma).extended(x.clone(), ann.clone());
+    let gamma_in = s2.apply_env(gamma).extended(*x, ann.clone());
     let (theta3, s3, bty, tbody) = infer(delta, &theta2, &gamma_in, body, opts)?;
     let s_out = s3.compose(&s2);
     let typed = TypedTerm {
         ty: bty.clone(),
         node: TypedNode::LetAnn {
-            name: x.clone(),
+            name: *x,
             ann: ann.clone(),
             split_vars,
             rhs_gval: rhs.is_gval(opts),

@@ -45,13 +45,13 @@ fn go(
             } else if delta.contains(a) {
                 Ok(Kind::Mono)
             } else {
-                Err(TypeError::UnboundTyVar(a.clone()))
+                Err(TypeError::UnboundTyVar(*a))
             }
         }
         Type::Con(c, args) => {
             if args.len() != c.arity() {
                 return Err(TypeError::ConArity {
-                    con: c.clone(),
+                    con: *c,
                     expected: c.arity(),
                     found: args.len(),
                 });
@@ -63,7 +63,7 @@ fn go(
             Ok(k)
         }
         Type::Forall(a, body) => {
-            bound.push(a.clone());
+            bound.push(*a);
             let r = go(delta, theta, body, bound);
             bound.pop();
             r?;
@@ -200,9 +200,9 @@ mod tests {
     #[test]
     fn env_formation_rejects_poly_flexibles() {
         let a = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let th: RefinedEnv = [(a, Kind::Poly)].into_iter().collect();
         let mut g = TypeEnv::new();
-        g.push("x", Type::Var(a.clone()));
+        g.push("x", Type::Var(a));
         assert_eq!(
             check_env(&KindEnv::new(), &th, &g),
             Err(TypeError::PolyVarInEnv { var: a })
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn env_formation_accepts_mono_flexibles_and_closed_polytypes() {
         let a = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Mono)].into_iter().collect();
+        let th: RefinedEnv = [(a, Kind::Mono)].into_iter().collect();
         let mut g = TypeEnv::new();
         g.push("x", Type::Var(a));
         g.push(

@@ -5,6 +5,7 @@
 //! `--` to end of line. The freeze, generalisation, and instantiation
 //! operators lex as `~`, `$`, and `@`.
 
+use crate::symbol::Symbol;
 use std::fmt;
 
 /// A lexical token with its byte offset (for error reporting).
@@ -31,8 +32,8 @@ pub enum TokenKind {
     True,
     /// `false`
     False,
-    /// An identifier.
-    Ident(String),
+    /// An identifier, interned once into the global symbol table.
+    Ident(Symbol),
     /// An integer literal.
     Int(i64),
     /// `(`
@@ -310,7 +311,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "forall" => TokenKind::Forall,
                     "true" => TokenKind::True,
                     "false" => TokenKind::False,
-                    _ => TokenKind::Ident(text.to_string()),
+                    _ => TokenKind::Ident(Symbol::intern(text)),
                 };
                 out.push(Token { kind, pos });
             }
@@ -342,8 +343,8 @@ mod tests {
                 TokenKind::Let,
                 TokenKind::In,
                 TokenKind::Forall,
-                TokenKind::Ident("xs".into()),
-                TokenKind::Ident("auto'".into()),
+                TokenKind::Ident(Symbol::intern("xs")),
+                TokenKind::Ident(Symbol::intern("auto'")),
             ]
         );
     }
@@ -406,9 +407,9 @@ mod tests {
             kinds("#use prelude let x = 1;;"),
             vec![
                 TokenKind::Pragma("use".into()),
-                TokenKind::Ident("prelude".into()),
+                TokenKind::Ident(Symbol::intern("prelude")),
                 TokenKind::Let,
-                TokenKind::Ident("x".into()),
+                TokenKind::Ident(Symbol::intern("x")),
                 TokenKind::Eq,
                 TokenKind::Int(1),
                 TokenKind::SemiSemi,

@@ -52,6 +52,7 @@ pub mod pretty;
 pub mod program;
 pub mod scope;
 pub mod subst;
+pub mod symbol;
 pub mod term;
 pub mod tycon;
 pub mod typed;
@@ -68,6 +69,7 @@ pub use options::{InstantiationStrategy, Options};
 pub use parser::{parse_program, parse_term, parse_type, ParseError};
 pub use program::{Decl, Program, Span};
 pub use subst::Subst;
+pub use symbol::Symbol;
 pub use term::{Lit, Term};
 pub use tycon::TyCon;
 pub use typed::{TypedNode, TypedTerm};

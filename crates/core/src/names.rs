@@ -14,10 +14,16 @@
 //!
 //! `%` and `!` are not identifier characters in the surface syntax, so
 //! invented names are unparseable and capture-free by construction.
+//!
+//! Named variables carry a [`Symbol`] — an index into the process-wide
+//! symbol table ([`crate::symbol`]) — so a `TyVar` is `Copy`, equality is
+//! an integer comparison, and hashing is one multiply. This is the
+//! representation the whole inference hot path (environment lookups,
+//! substitution maps, the union-find store) keys on.
 
+use crate::symbol::Symbol;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -27,14 +33,14 @@ fn next_id() -> u64 {
 
 /// A type variable.
 ///
-/// Cheap to clone (named variables share an [`Arc`]); ordered and hashable so
-/// it can key environment maps.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// `Copy` (named variables are interned [`Symbol`]s); ordered and hashable
+/// so it can key environment maps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TyVar(Repr);
 
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum Repr {
-    Named(Arc<str>),
+    Named(Symbol),
     Fresh(u64),
     Skolem(u64),
 }
@@ -42,7 +48,12 @@ enum Repr {
 impl TyVar {
     /// A source-level type variable with the given name.
     pub fn named(name: impl AsRef<str>) -> Self {
-        TyVar(Repr::Named(Arc::from(name.as_ref())))
+        TyVar(Repr::Named(Symbol::intern(name.as_ref())))
+    }
+
+    /// A source-level type variable from an already-interned symbol.
+    pub fn from_symbol(sym: Symbol) -> Self {
+        TyVar(Repr::Named(sym))
     }
 
     /// A globally fresh flexible type variable (used by inference, §5.1).
@@ -72,17 +83,48 @@ impl TyVar {
     }
 
     /// The source name, if this is a named variable.
-    pub fn name(&self) -> Option<&str> {
-        match &self.0 {
+    pub fn name(&self) -> Option<&'static str> {
+        match self.0 {
+            Repr::Named(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned symbol, if this is a named variable.
+    pub fn symbol(&self) -> Option<Symbol> {
+        match self.0 {
             Repr::Named(s) => Some(s),
             _ => None,
         }
     }
 }
 
+impl PartialOrd for TyVar {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TyVar {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Named < Fresh < Skolem, with named variables in lexicographic
+        // order (matching the pre-interning representation, so sorted
+        // displays stay alphabetical).
+        match (&self.0, &other.0) {
+            (Repr::Named(a), Repr::Named(b)) => a.as_str().cmp(b.as_str()),
+            (Repr::Named(_), _) => std::cmp::Ordering::Less,
+            (_, Repr::Named(_)) => std::cmp::Ordering::Greater,
+            (Repr::Fresh(a), Repr::Fresh(b)) => a.cmp(b),
+            (Repr::Fresh(_), _) => std::cmp::Ordering::Less,
+            (_, Repr::Fresh(_)) => std::cmp::Ordering::Greater,
+            (Repr::Skolem(a), Repr::Skolem(b)) => a.cmp(b),
+        }
+    }
+}
+
 impl fmt::Display for TyVar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.0 {
+        match self.0 {
             Repr::Named(s) => write!(f, "{s}"),
             Repr::Fresh(n) => write!(f, "%{n}"),
             Repr::Skolem(n) => write!(f, "!{n}"),
@@ -102,23 +144,34 @@ impl From<&str> for TyVar {
     }
 }
 
+impl From<Symbol> for TyVar {
+    fn from(s: Symbol) -> Self {
+        TyVar::from_symbol(s)
+    }
+}
+
 /// A term variable.
 ///
 /// Fresh term variables (printed `$0`, `$1`, …) are used when desugaring the
 /// generalisation (`$V`) and instantiation (`M@`) operators of §2.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(VRepr);
 
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum VRepr {
-    Named(Arc<str>),
+    Named(Symbol),
     Fresh(u64),
 }
 
 impl Var {
     /// A source-level term variable.
     pub fn named(name: impl AsRef<str>) -> Self {
-        Var(VRepr::Named(Arc::from(name.as_ref())))
+        Var(VRepr::Named(Symbol::intern(name.as_ref())))
+    }
+
+    /// A source-level term variable from an already-interned symbol.
+    pub fn from_symbol(sym: Symbol) -> Self {
+        Var(VRepr::Named(sym))
     }
 
     /// A globally fresh term variable for desugaring.
@@ -127,17 +180,42 @@ impl Var {
     }
 
     /// The source name, if any.
-    pub fn name(&self) -> Option<&str> {
-        match &self.0 {
+    pub fn name(&self) -> Option<&'static str> {
+        match self.0 {
+            VRepr::Named(s) => Some(s.as_str()),
+            VRepr::Fresh(_) => None,
+        }
+    }
+
+    /// The interned symbol, if this is a named variable.
+    pub fn symbol(&self) -> Option<Symbol> {
+        match self.0 {
             VRepr::Named(s) => Some(s),
             VRepr::Fresh(_) => None,
         }
     }
 }
 
+impl PartialOrd for Var {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Var {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (&self.0, &other.0) {
+            (VRepr::Named(a), VRepr::Named(b)) => a.as_str().cmp(b.as_str()),
+            (VRepr::Named(_), VRepr::Fresh(_)) => std::cmp::Ordering::Less,
+            (VRepr::Fresh(_), VRepr::Named(_)) => std::cmp::Ordering::Greater,
+            (VRepr::Fresh(a), VRepr::Fresh(b)) => a.cmp(b),
+        }
+    }
+}
+
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.0 {
+        match self.0 {
             VRepr::Named(s) => write!(f, "{s}"),
             VRepr::Fresh(n) => write!(f, "${n}"),
         }
@@ -153,6 +231,12 @@ impl fmt::Debug for Var {
 impl From<&str> for Var {
     fn from(s: &str) -> Self {
         Var::named(s)
+    }
+}
+
+impl From<Symbol> for Var {
+    fn from(s: Symbol) -> Self {
+        Var::from_symbol(s)
     }
 }
 
@@ -194,6 +278,26 @@ mod tests {
         assert!(TyVar::skolem().is_skolem());
         assert_eq!(TyVar::named("a").name(), Some("a"));
         assert_eq!(TyVar::fresh().name(), None);
+    }
+
+    #[test]
+    fn tyvars_are_copy_and_small() {
+        // The whole point of interning: a TyVar is a couple of machine
+        // words passed in registers, not an Arc bump.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TyVar>();
+        assert_copy::<Var>();
+        assert!(std::mem::size_of::<TyVar>() <= 16);
+    }
+
+    #[test]
+    fn named_order_is_lexicographic() {
+        // Interning order must not leak into Ord (sorted displays).
+        let z = TyVar::named("zz_order_test");
+        let a = TyVar::named("aa_order_test");
+        assert!(a < z);
+        assert!(TyVar::named("a") < TyVar::fresh());
+        assert!(TyVar::fresh() < TyVar::skolem());
     }
 
     #[test]

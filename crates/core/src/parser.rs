@@ -36,6 +36,7 @@
 use crate::lexer::{lex, LexError, Token, TokenKind};
 use crate::names::TyVar;
 use crate::program::{Decl, Program, Span};
+use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::tycon::TyCon;
 use crate::types::Type;
@@ -130,10 +131,10 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                 let arg = p.ident()?;
                 pragmas.push((
                     name,
-                    arg.clone(),
+                    arg.as_str().to_string(),
                     Span {
                         start,
-                        end: arg_pos + arg.len(),
+                        end: arg_pos + arg.as_str().len(),
                     },
                 ));
             }
@@ -224,10 +225,10 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    fn ident(&mut self) -> Result<Symbol, ParseError> {
         match self.peek() {
             Some(TokenKind::Ident(s)) => {
-                let s = s.clone();
+                let s = *s;
                 self.pos += 1;
                 Ok(s)
             }
@@ -240,14 +241,14 @@ impl Parser {
     }
 
     /// A top-level declaration binder: `x`, `x : A`, or `(x : A)`.
-    fn top_binder(&mut self) -> Result<(String, Span, Option<Type>), ParseError> {
+    fn top_binder(&mut self) -> Result<(Symbol, Span, Option<Type>), ParseError> {
         if self.peek() == Some(&TokenKind::LParen) {
             self.pos += 1;
             let pos = self.here();
             let x = self.ident()?;
             let name_span = Span {
                 start: pos,
-                end: pos + x.len(),
+                end: pos + x.as_str().len(),
             };
             self.expect(TokenKind::Colon)?;
             let ty = self.ty()?;
@@ -258,7 +259,7 @@ impl Parser {
         let x = self.ident()?;
         let name_span = Span {
             start: pos,
-            end: pos + x.len(),
+            end: pos + x.as_str().len(),
         };
         let ann = if self.peek() == Some(&TokenKind::Colon) {
             self.pos += 1;
@@ -276,7 +277,7 @@ impl Parser {
             self.pos += 1;
             let mut vars = Vec::new();
             while let Some(TokenKind::Ident(_)) = self.peek() {
-                vars.push(TyVar::named(self.ident()?));
+                vars.push(TyVar::from_symbol(self.ident()?));
             }
             if vars.is_empty() {
                 return self.err("`forall` requires at least one type variable");
@@ -312,12 +313,12 @@ impl Parser {
 
     fn ty_app(&mut self) -> Result<Type, ParseError> {
         match self.peek() {
-            Some(TokenKind::Ident(s)) if s == "List" => {
+            Some(TokenKind::Ident(s)) if s.as_str() == "List" => {
                 self.pos += 1;
                 let arg = self.ty_atom()?;
                 Ok(Type::list(arg))
             }
-            Some(TokenKind::Ident(s)) if s == "ST" => {
+            Some(TokenKind::Ident(s)) if s.as_str() == "ST" => {
                 self.pos += 1;
                 let s1 = self.ty_atom()?;
                 let s2 = self.ty_atom()?;
@@ -330,7 +331,7 @@ impl Parser {
     fn ty_atom(&mut self) -> Result<Type, ParseError> {
         match self.peek() {
             Some(TokenKind::Ident(s)) => {
-                let s = s.clone();
+                let s = *s;
                 self.pos += 1;
                 match s.as_str() {
                     "Int" => Ok(Type::int()),
@@ -338,10 +339,10 @@ impl Parser {
                     "List" | "ST" => self.err(format!(
                         "type constructor `{s}` needs arguments (parenthesise)"
                     )),
-                    _ if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
-                        Ok(Type::Con(TyCon::other(&s, 0), vec![]))
+                    _ if s.as_str().starts_with(|c: char| c.is_ascii_uppercase()) => {
+                        Ok(Type::Con(TyCon::Other(s, 0), vec![]))
                     }
-                    _ => Ok(Type::var(TyVar::named(s))),
+                    _ => Ok(Type::Var(TyVar::from_symbol(s))),
                 }
             }
             Some(TokenKind::LParen) => {
@@ -364,7 +365,7 @@ impl Parser {
         match self.peek() {
             Some(TokenKind::Fun) => {
                 self.pos += 1;
-                let mut params: Vec<(String, Option<Type>)> = Vec::new();
+                let mut params: Vec<(Symbol, Option<Type>)> = Vec::new();
                 loop {
                     match self.peek() {
                         Some(TokenKind::Ident(_)) => {
@@ -391,8 +392,8 @@ impl Parser {
                     .into_iter()
                     .rev()
                     .fold(body, |acc, (x, ann)| match ann {
-                        None => Term::lam(x.as_str(), acc),
-                        Some(ty) => Term::lam_ann(x.as_str(), ty, acc),
+                        None => Term::lam(x, acc),
+                        Some(ty) => Term::lam_ann(x, ty, acc),
                     }))
             }
             Some(TokenKind::Let) => {
@@ -408,7 +409,7 @@ impl Parser {
                         let rhs = self.term()?;
                         self.expect(TokenKind::In)?;
                         let body = self.term()?;
-                        Ok(Term::let_ann(x.as_str(), ty, rhs, body))
+                        Ok(Term::let_ann(x, ty, rhs, body))
                     }
                     _ => {
                         let x = self.ident()?;
@@ -416,7 +417,7 @@ impl Parser {
                         let rhs = self.term()?;
                         self.expect(TokenKind::In)?;
                         let body = self.term()?;
-                        Ok(Term::let_(x.as_str(), rhs, body))
+                        Ok(Term::let_(x, rhs, body))
                     }
                 }
             }
@@ -489,7 +490,7 @@ impl Parser {
 
     fn atom(&mut self) -> Result<Term, ParseError> {
         match self.peek() {
-            Some(TokenKind::Ident(_)) => Ok(Term::var(self.ident()?.as_str())),
+            Some(TokenKind::Ident(_)) => Ok(Term::var(self.ident()?)),
             Some(TokenKind::Int(n)) => {
                 let n = *n;
                 self.pos += 1;
@@ -505,7 +506,7 @@ impl Parser {
             }
             Some(TokenKind::Tilde) => {
                 self.pos += 1;
-                Ok(Term::frozen(self.ident()?.as_str()))
+                Ok(Term::frozen(self.ident()?))
             }
             Some(TokenKind::Dollar) => {
                 self.pos += 1;

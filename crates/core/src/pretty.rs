@@ -11,64 +11,51 @@
 //! α-equivalence and canonical naming); this is checked by property tests.
 
 use crate::names::TyVar;
+use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::tycon::TyCon;
-use crate::types::{letter_supply, Type};
-use std::collections::{HashMap, HashSet};
+use crate::types::{collect_named, letter_supply, Type};
+use fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// Format a type (used by `Type`'s `Display` impl).
 pub fn fmt_type(ty: &Type, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    let mut taken = HashSet::new();
-    collect_named_names(ty, &mut taken);
-    let mut names = HashMap::new();
+    let mut taken = FxHashSet::default();
+    collect_named(ty, &mut taken);
+    let mut names = FxHashMap::default();
     let mut supply = letter_supply(taken);
     assign_names(ty, &mut names, &mut supply);
     fmt_ty(ty, 1, &names, f)
 }
 
-fn collect_named_names(ty: &Type, out: &mut HashSet<String>) {
-    match ty {
-        Type::Var(a) => {
-            if let Some(n) = a.name() {
-                out.insert(n.to_string());
-            }
-        }
-        Type::Con(_, args) => args.iter().for_each(|t| collect_named_names(t, out)),
-        Type::Forall(a, body) => {
-            if let Some(n) = a.name() {
-                out.insert(n.to_string());
-            }
-            collect_named_names(body, out);
-        }
-    }
-}
-
 fn assign_names(
     ty: &Type,
-    names: &mut HashMap<TyVar, String>,
-    supply: &mut impl Iterator<Item = String>,
+    names: &mut FxHashMap<TyVar, Symbol>,
+    supply: &mut impl Iterator<Item = Symbol>,
 ) {
     match ty {
         Type::Var(a) => {
             if !a.is_named() && !names.contains_key(a) {
-                names.insert(a.clone(), supply.next().expect("infinite supply"));
+                names.insert(*a, supply.next().expect("infinite supply"));
             }
         }
         Type::Con(_, args) => args.iter().for_each(|t| assign_names(t, names, supply)),
         Type::Forall(a, body) => {
             if !a.is_named() && !names.contains_key(a) {
-                names.insert(a.clone(), supply.next().expect("infinite supply"));
+                names.insert(*a, supply.next().expect("infinite supply"));
             }
             assign_names(body, names, supply);
         }
     }
 }
 
-fn var_name(a: &TyVar, names: &HashMap<TyVar, String>) -> String {
+fn fmt_var(a: &TyVar, names: &FxHashMap<TyVar, Symbol>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match a.name() {
-        Some(n) => n.to_string(),
-        None => names.get(a).cloned().unwrap_or_else(|| a.to_string()),
+        Some(n) => f.write_str(n),
+        None => match names.get(a) {
+            Some(s) => f.write_str(s.as_str()),
+            None => write!(f, "{a}"),
+        },
     }
 }
 
@@ -77,11 +64,11 @@ fn var_name(a: &TyVar, names: &HashMap<TyVar, String>) -> String {
 fn fmt_ty(
     ty: &Type,
     prec: u8,
-    names: &HashMap<TyVar, String>,
+    names: &FxHashMap<TyVar, Symbol>,
     f: &mut fmt::Formatter<'_>,
 ) -> fmt::Result {
     match ty {
-        Type::Var(a) => write!(f, "{}", var_name(a, names)),
+        Type::Var(a) => fmt_var(a, names, f),
         Type::Forall(_, _) => {
             if prec > 1 {
                 write!(f, "(")?;
@@ -89,7 +76,8 @@ fn fmt_ty(
             write!(f, "forall")?;
             let mut t = ty;
             while let Type::Forall(a, body) = t {
-                write!(f, " {}", var_name(a, names))?;
+                write!(f, " ")?;
+                fmt_var(a, names, f)?;
                 t = body;
             }
             write!(f, ". ")?;
@@ -269,7 +257,7 @@ mod tests {
     #[test]
     fn invented_vars_get_letters() {
         let v = TyVar::fresh();
-        let t = Type::arrow(Type::Var(v.clone()), Type::Var(v));
+        let t = Type::arrow(Type::Var(v), Type::Var(v));
         assert_eq!(t.to_string(), "a -> a");
         // Letters avoid clashes with named variables.
         let w = TyVar::fresh();
@@ -280,10 +268,7 @@ mod tests {
     #[test]
     fn invented_binders_get_letters() {
         let v = TyVar::fresh();
-        let t = Type::Forall(
-            v.clone(),
-            Box::new(Type::arrow(Type::Var(v.clone()), Type::Var(v))),
-        );
+        let t = Type::Forall(v, Box::new(Type::arrow(Type::Var(v), Type::Var(v))));
         assert_eq!(t.to_string(), "forall a. a -> a");
     }
 

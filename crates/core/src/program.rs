@@ -34,10 +34,11 @@
 //! .unwrap();
 //! assert_eq!(p.decls.len(), 2);
 //! assert!(p.uses_prelude());
-//! assert_eq!(p.decls[1].name, "n");
+//! assert_eq!(p.decls[1].name.as_str(), "n");
 //! ```
 
 use crate::names::Var;
+use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::types::Type;
 use std::fmt;
@@ -64,8 +65,8 @@ impl Span {
 /// One top-level declaration `let x (: A)? = M;;`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Decl {
-    /// The bound name.
-    pub name: String,
+    /// The bound name (interned).
+    pub name: Symbol,
     /// The annotation, for `let x : A = M;;` / `let (x : A) = M;;`.
     pub ann: Option<Type>,
     /// The right-hand side.
@@ -83,15 +84,11 @@ impl Decl {
     /// guarded values, demotion under the value restriction, annotation
     /// splitting and the escape check for annotated declarations.
     pub fn probe_term(&self) -> Term {
-        let x = Var::named(&self.name);
+        let x = Var::from_symbol(self.name);
         match &self.ann {
-            None => Term::Let(
-                x.clone(),
-                Box::new(self.term.clone()),
-                Box::new(Term::FrozenVar(x)),
-            ),
+            None => Term::Let(x, Box::new(self.term.clone()), Box::new(Term::FrozenVar(x))),
             Some(ann) => Term::LetAnn(
-                x.clone(),
+                x,
                 ann.clone(),
                 Box::new(self.term.clone()),
                 Box::new(Term::FrozenVar(x)),
@@ -157,7 +154,7 @@ impl Program {
                 .filter_map(|v| {
                     self.decls[..i]
                         .iter()
-                        .rposition(|e| v.name() == Some(e.name.as_str()))
+                        .rposition(|e| v.symbol() == Some(e.name))
                 })
                 .collect();
             deps.sort_unstable();
@@ -191,7 +188,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.decls.len(), 2);
         let f = &p.decls[0];
-        assert_eq!(f.name, "f");
+        assert_eq!(f.name.as_str(), "f");
         assert_eq!(&src[f.span.start..f.span.end], "let f = fun x -> x;;");
         assert_eq!(&src[f.name_span.start..f.name_span.end], "f");
         assert_eq!(f.span.line_col(src), (2, 1));

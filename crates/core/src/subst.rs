@@ -10,14 +10,15 @@
 use crate::env::{RefinedEnv, TypeEnv};
 use crate::names::TyVar;
 use crate::types::Type;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::fmt;
 
 /// A finite map from type variables to types, acting as the identity
-/// elsewhere.
+/// elsewhere. Keys are `Copy` interned variables, so the map hashes two
+/// machine words per probe.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Subst {
-    map: HashMap<TyVar, Type>,
+    map: FxHashMap<TyVar, Type>,
 }
 
 impl Subst {
@@ -28,7 +29,7 @@ impl Subst {
 
     /// The substitution `[a ↦ A]`.
     pub fn singleton(a: TyVar, ty: Type) -> Self {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         map.insert(a, ty);
         Subst { map }
     }
@@ -54,10 +55,7 @@ impl Subst {
 
     /// `θ(a)` — the image of a variable (the variable itself if unmapped).
     pub fn image_of(&self, a: &TyVar) -> Type {
-        self.map
-            .get(a)
-            .cloned()
-            .unwrap_or_else(|| Type::Var(a.clone()))
+        self.map.get(a).cloned().unwrap_or(Type::Var(*a))
     }
 
     /// Number of explicit bindings.
@@ -93,17 +91,17 @@ impl Subst {
 
     /// Application with the listed domain variables *shadowed* (they are
     /// binders of enclosing `∀`s, so their mappings are inert here).
-    fn apply_under<'s>(&'s self, t: &Type, shadowed: &mut Vec<&'s TyVar>) -> Type {
+    fn apply_under(&self, t: &Type, shadowed: &mut Vec<TyVar>) -> Type {
         match t {
             Type::Var(a) => {
-                if shadowed.contains(&a) {
+                if shadowed.contains(a) {
                     t.clone()
                 } else {
                     self.image_of(a)
                 }
             }
             Type::Con(c, args) => Type::Con(
-                c.clone(),
+                *c,
                 args.iter().map(|t| self.apply_under(t, shadowed)).collect(),
             ),
             Type::Forall(a, body) => {
@@ -114,19 +112,19 @@ impl Subst {
                 // name — gratuitous renaming here would leak into
                 // canonicalised output).
                 let captures = self.map.iter().any(|(k, v)| {
-                    k != a && !shadowed.contains(&k) && v.occurs_free(a) && body.occurs_free(k)
+                    k != a && !shadowed.contains(k) && v.occurs_free(a) && body.occurs_free(k)
                 });
                 if captures {
                     let c = TyVar::fresh();
-                    let body2 = body.rename_free(a, &Type::Var(c.clone()));
+                    let body2 = body.rename_free(a, &Type::Var(c));
                     Type::Forall(c, Box::new(self.apply_under(&body2, shadowed)))
-                } else if let Some((key, _)) = self.map.get_key_value(a) {
-                    shadowed.push(key);
-                    let out = Type::Forall(a.clone(), Box::new(self.apply_under(body, shadowed)));
+                } else if self.map.contains_key(a) {
+                    shadowed.push(*a);
+                    let out = Type::Forall(*a, Box::new(self.apply_under(body, shadowed)));
                     shadowed.pop();
                     out
                 } else {
-                    Type::Forall(a.clone(), Box::new(self.apply_under(body, shadowed)))
+                    Type::Forall(*a, Box::new(self.apply_under(body, shadowed)))
                 }
             }
         }
@@ -142,13 +140,10 @@ impl Subst {
 
     /// `self ∘ inner` — composition: `(self ∘ inner)(A) = self(inner(A))`.
     pub fn compose(&self, inner: &Subst) -> Subst {
-        let mut map: HashMap<TyVar, Type> = inner
-            .map
-            .iter()
-            .map(|(a, t)| (a.clone(), self.apply(t)))
-            .collect();
+        let mut map: FxHashMap<TyVar, Type> =
+            inner.map.iter().map(|(a, t)| (*a, self.apply(t))).collect();
         for (a, t) in &self.map {
-            map.entry(a.clone()).or_insert_with(|| t.clone());
+            map.entry(*a).or_insert_with(|| t.clone());
         }
         Subst { map }
     }
@@ -158,10 +153,10 @@ impl Subst {
     /// `Θ = a₁:K₁, …, aₙ:Kₙ`. Unmapped variables contribute themselves.
     pub fn range_ftv(&self, domain: &RefinedEnv) -> Vec<TyVar> {
         let mut out = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = fxhash::FxHashSet::default();
         for a in domain.vars() {
             for v in self.image_of(a).ftv() {
-                if seen.insert(v.clone()) {
+                if seen.insert(v) {
                     out.push(v);
                 }
             }

@@ -1,0 +1,158 @@
+//! A global symbol table: names interned once, compared and hashed as
+//! `u32` indices forever after.
+//!
+//! Every identifier the lexer reads — term variables, type variables,
+//! constructor names — is interned into one process-wide table and
+//! carried through the whole stack as a [`Symbol`]: a `Copy` index whose
+//! equality is an integer comparison and whose hash is one multiply.
+//! This is the representation work production ML implementations take
+//! for granted; before it, every `TyVar` clone bumped an `Arc`, every
+//! environment lookup hashed string bytes, and every pretty-print
+//! rebuilt owned `String` sets.
+//!
+//! Interned strings are leaked (`&'static str`), which is what lets
+//! [`Symbol::as_str`] hand out a reference without holding a lock. The
+//! table only ever grows, but it grows with the set of *distinct
+//! identifiers the process has seen* — bounded by source text, not by
+//! inference work, and a few bytes per name.
+//!
+//! The table is seeded with the single-letter names `a`–`z` at first
+//! use, so the printer's letter supply ([`crate::types`]) starts from
+//! symbols that already exist and ordering of early symbols is stable
+//! across processes.
+
+use fxhash::FxHashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned name: a `Copy` index into the global symbol table.
+///
+/// Equality, hashing, and `Ord` all operate on the index. `Ord` is
+/// therefore *interning order*, not lexicographic order — callers that
+/// need alphabetical output (only `Subst`'s `Display` does) must sort by
+/// [`Symbol::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Table {
+    map: FxHashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Table> {
+    static TABLE: OnceLock<RwLock<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Table {
+            map: FxHashMap::default(),
+            names: Vec::with_capacity(64),
+        };
+        for c in b'a'..=b'z' {
+            let s: &'static str = Box::leak(((c as char).to_string()).into_boxed_str());
+            t.map.insert(s, t.names.len() as u32);
+            t.names.push(s);
+        }
+        RwLock::new(t)
+    })
+}
+
+impl Symbol {
+    /// Intern a string, returning its symbol (idempotent).
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let t = table().read().expect("symbol table poisoned");
+            if let Some(&id) = t.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut t = table().write().expect("symbol table poisoned");
+        if let Some(&id) = t.map.get(s) {
+            return Symbol(id); // raced: another thread interned it
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = t.names.len() as u32;
+        t.map.insert(leaked, id);
+        t.names.push(leaked);
+        Symbol(id)
+    }
+
+    /// The symbol for `s` if it has ever been interned — membership
+    /// tests (the printer's letter supply) without growing the table.
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        table()
+            .read()
+            .expect("symbol table poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
+    }
+
+    /// The interned string (leaked, so no lock is held by the borrow).
+    pub fn as_str(self) -> &'static str {
+        table().read().expect("symbol table poisoned").names[self.0 as usize]
+    }
+
+    /// The raw table index (stable for the life of the process).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello_sym_test");
+        let b = Symbol::intern("hello_sym_test");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello_sym_test");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("sym_x"), Symbol::intern("sym_y"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(Symbol::lookup("never_interned_name_xyzzy"), None);
+        let s = Symbol::intern("interned_name_xyzzy");
+        assert_eq!(Symbol::lookup("interned_name_xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn letters_are_preseeded() {
+        // Single letters exist from process start, in order.
+        let a = Symbol::lookup("a").expect("seeded");
+        let z = Symbol::lookup("z").expect("seeded");
+        assert_eq!(z.index() - a.index(), 25);
+    }
+
+    #[test]
+    fn threads_agree_on_symbols() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| Symbol::intern("raced_symbol").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -139,19 +139,19 @@ impl Term {
     /// Explicit generalisation `$V ≡ let x = V in ⌈x⌉` (§2).
     pub fn gen(v: Term) -> Term {
         let x = Var::fresh();
-        Term::Let(x.clone(), Box::new(v), Box::new(Term::FrozenVar(x)))
+        Term::Let(x, Box::new(v), Box::new(Term::FrozenVar(x)))
     }
 
     /// Annotated generalisation `$A V ≡ let (x : A) = V in ⌈x⌉` (§2).
     pub fn gen_ann(ann: Type, v: Term) -> Term {
         let x = Var::fresh();
-        Term::LetAnn(x.clone(), ann, Box::new(v), Box::new(Term::FrozenVar(x)))
+        Term::LetAnn(x, ann, Box::new(v), Box::new(Term::FrozenVar(x)))
     }
 
     /// Explicit instantiation `M@ ≡ let x = M in x` (§2).
     pub fn inst(m: Term) -> Term {
         let x = Var::fresh();
-        Term::Let(x.clone(), Box::new(m), Box::new(Term::Var(x)))
+        Term::Let(x, Box::new(m), Box::new(Term::Var(x)))
     }
 
     /// Explicit type application `M@[A]` (§6 extension).
@@ -201,12 +201,12 @@ impl Term {
         fn go(t: &Term, scope: &mut Vec<Var>, seen: &mut HashSet<Var>, out: &mut Vec<Var>) {
             match t {
                 Term::Var(x) | Term::FrozenVar(x) => {
-                    if !scope.contains(x) && seen.insert(x.clone()) {
-                        out.push(x.clone());
+                    if !scope.contains(x) && seen.insert(*x) {
+                        out.push(*x);
                     }
                 }
                 Term::Lam(x, b) | Term::LamAnn(x, _, b) => {
-                    scope.push(x.clone());
+                    scope.push(*x);
                     go(b, scope, seen, out);
                     scope.pop();
                 }
@@ -216,7 +216,7 @@ impl Term {
                 }
                 Term::Let(x, r, b) | Term::LetAnn(x, _, r, b) => {
                     go(r, scope, seen, out);
-                    scope.push(x.clone());
+                    scope.push(*x);
                     go(b, scope, seen, out);
                     scope.pop();
                 }

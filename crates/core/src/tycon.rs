@@ -1,13 +1,16 @@
 //! Type constructors `D` (Figure 3): `Int | Bool | List | → | × | ST | …`.
 
+use crate::symbol::Symbol;
 use std::fmt;
-use std::sync::Arc;
 
 /// A type constructor with a fixed arity.
 ///
 /// The constructors used by the paper's examples are built in; arbitrary
 /// additional constructors can be introduced with [`TyCon::other`].
-#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+/// `Copy` — a user-defined constructor carries an interned [`Symbol`],
+/// not an owned string, so cloning a constructor on the inference hot
+/// path is free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum TyCon {
     /// `Int`, arity 0.
     Int,
@@ -22,13 +25,13 @@ pub enum TyCon {
     /// The state-thread constructor `ST`, arity 2 (used by `runST`/`argST`).
     St,
     /// A user-defined constructor with the given name and arity.
-    Other(Arc<str>, usize),
+    Other(Symbol, usize),
 }
 
 impl TyCon {
     /// Introduce a user-defined constructor.
     pub fn other(name: impl AsRef<str>, arity: usize) -> Self {
-        TyCon::Other(Arc::from(name.as_ref()), arity)
+        TyCon::Other(Symbol::intern(name.as_ref()), arity)
     }
 
     /// `arity(D)` — the number of type arguments the constructor takes.
@@ -42,7 +45,7 @@ impl TyCon {
     }
 
     /// The constructor's surface name.
-    pub fn name(&self) -> &str {
+    pub fn name(&self) -> &'static str {
         match self {
             TyCon::Int => "Int",
             TyCon::Bool => "Bool",
@@ -50,7 +53,7 @@ impl TyCon {
             TyCon::Arrow => "->",
             TyCon::Prod => "*",
             TyCon::St => "ST",
-            TyCon::Other(s, _) => s,
+            TyCon::Other(s, _) => s.as_str(),
         }
     }
 }

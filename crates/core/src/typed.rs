@@ -200,7 +200,7 @@ impl TypedTerm {
         self.collect_bound(&mut bound);
         self.visit_types(&mut |t| {
             for v in t.ftv() {
-                if v.is_fresh() && !bound.contains(&v) && seen.insert(v.clone()) {
+                if v.is_fresh() && !bound.contains(&v) && seen.insert(v) {
                     out.push(v);
                 }
             }
@@ -303,12 +303,12 @@ impl TypedTerm {
     pub fn erase(&self) -> crate::term::Term {
         use crate::term::Term;
         match &self.node {
-            TypedNode::Var { name, .. } => Term::Var(name.clone()),
-            TypedNode::FrozenVar { name } => Term::FrozenVar(name.clone()),
+            TypedNode::Var { name, .. } => Term::Var(*name),
+            TypedNode::FrozenVar { name } => Term::FrozenVar(*name),
             TypedNode::Lit { lit } => Term::Lit(*lit),
-            TypedNode::Lam { param, body, .. } => Term::Lam(param.clone(), Box::new(body.erase())),
+            TypedNode::Lam { param, body, .. } => Term::Lam(*param, Box::new(body.erase())),
             TypedNode::LamAnn { param, ann, body } => {
-                Term::LamAnn(param.clone(), ann.clone(), Box::new(body.erase()))
+                Term::LamAnn(*param, ann.clone(), Box::new(body.erase()))
             }
             TypedNode::App { func, arg } => {
                 Term::App(Box::new(func.erase()), Box::new(arg.erase()))
@@ -319,7 +319,7 @@ impl TypedTerm {
             TypedNode::ImplicitInst { inner, .. } => inner.erase(),
             TypedNode::Let {
                 name, rhs, body, ..
-            } => Term::Let(name.clone(), Box::new(rhs.erase()), Box::new(body.erase())),
+            } => Term::Let(*name, Box::new(rhs.erase()), Box::new(body.erase())),
             TypedNode::LetAnn {
                 name,
                 ann,
@@ -327,7 +327,7 @@ impl TypedTerm {
                 body,
                 ..
             } => Term::LetAnn(
-                name.clone(),
+                *name,
                 ann.clone(),
                 Box::new(rhs.erase()),
                 Box::new(body.erase()),
@@ -344,16 +344,16 @@ mod tests {
     fn apply_subst_reaches_all_types() {
         let a = TyVar::fresh();
         let mut t = TypedTerm {
-            ty: Type::Var(a.clone()),
+            ty: Type::Var(a),
             node: TypedNode::Lam {
                 param: Var::named("x"),
-                param_ty: Type::Var(a.clone()),
+                param_ty: Type::Var(a),
                 body: Box::new(TypedTerm {
-                    ty: Type::Var(a.clone()),
+                    ty: Type::Var(a),
                     node: TypedNode::Var {
                         name: Var::named("x"),
-                        scheme: Type::Var(a.clone()),
-                        inst: vec![(TyVar::named("q"), Type::Var(a.clone()))],
+                        scheme: Type::Var(a),
+                        inst: vec![(TyVar::named("q"), Type::Var(a))],
                     },
                 }),
             },
@@ -379,7 +379,7 @@ mod tests {
     fn residuals_and_defaulting() {
         let a = TyVar::fresh();
         let mut t = TypedTerm {
-            ty: Type::list(Type::Var(a.clone())),
+            ty: Type::list(Type::Var(a)),
             node: TypedNode::Lit { lit: Lit::Int(1) },
         };
         assert_eq!(t.residual_flexibles(), vec![a]);

@@ -13,8 +13,9 @@
 //! first appearance, which is the order generalisation quantifies them.
 
 use crate::names::TyVar;
+use crate::symbol::Symbol;
 use crate::tycon::TyCon;
-use std::collections::{HashMap, HashSet};
+use fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// A System F / FreezeML type.
@@ -81,7 +82,7 @@ impl Type {
         let mut vars = Vec::new();
         let mut t = self;
         while let Type::Forall(a, body) = t {
-            vars.push(a.clone());
+            vars.push(*a);
             t = body;
         }
         (vars, t)
@@ -90,26 +91,26 @@ impl Type {
     /// `ftv(A)`: the sequence of distinct free type variables in order of
     /// first appearance (paper "Notations": `ftv((a→b)→(a→c)) = a,b,c`).
     pub fn ftv(&self) -> Vec<TyVar> {
-        // Binders are tracked in a scoped multiset of borrows (the count
-        // handles `∀a.∀a.…` shadowing) and `seen` borrows too, so the
-        // only clones are the variables actually returned.
+        // Binders are tracked in a scoped multiset (the count handles
+        // `∀a.∀a.…` shadowing); variables are `Copy` symbols, so both
+        // maps key on two machine words with one-multiply hashing.
         let mut out = Vec::new();
-        let mut seen: HashSet<&TyVar> = HashSet::new();
-        let mut bound: HashMap<&TyVar, u32> = HashMap::new();
+        let mut seen: FxHashSet<TyVar> = FxHashSet::default();
+        let mut bound: FxHashMap<TyVar, u32> = FxHashMap::default();
         self.ftv_into(&mut out, &mut seen, &mut bound);
         out
     }
 
-    fn ftv_into<'a>(
-        &'a self,
+    fn ftv_into(
+        &self,
         out: &mut Vec<TyVar>,
-        seen: &mut HashSet<&'a TyVar>,
-        bound: &mut HashMap<&'a TyVar, u32>,
+        seen: &mut FxHashSet<TyVar>,
+        bound: &mut FxHashMap<TyVar, u32>,
     ) {
         match self {
             Type::Var(a) => {
-                if bound.get(a).is_none_or(|&n| n == 0) && seen.insert(a) {
-                    out.push(a.clone());
+                if bound.get(a).is_none_or(|&n| n == 0) && seen.insert(*a) {
+                    out.push(*a);
                 }
             }
             Type::Con(_, args) => {
@@ -118,7 +119,7 @@ impl Type {
                 }
             }
             Type::Forall(a, body) => {
-                *bound.entry(a).or_insert(0) += 1;
+                *bound.entry(*a).or_insert(0) += 1;
                 body.ftv_into(out, seen, bound);
                 *bound.get_mut(a).expect("binder entered above") -= 1;
             }
@@ -177,7 +178,7 @@ impl Type {
                     c == d && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
                 }
                 (Type::Forall(x, bx), Type::Forall(y, by)) => {
-                    env.push((x.clone(), y.clone()));
+                    env.push((*x, *y));
                     let r = go(bx, by, env);
                     env.pop();
                     r
@@ -194,13 +195,16 @@ impl Type {
     /// touched. This is how inference results are presented, matching the
     /// paper's Figure 1 (e.g. `choose id : (a → a) → (a → a)`).
     pub fn canonicalize(&self) -> Type {
-        let mut taken: HashSet<String> = HashSet::new();
+        let mut taken: FxHashSet<Symbol> = FxHashSet::default();
         collect_named(self, &mut taken);
         let mut supply = letter_supply(taken);
         let mut map: Vec<(TyVar, TyVar)> = Vec::new();
         for v in self.ftv() {
             if !v.is_named() {
-                map.push((v, TyVar::named(supply.next().expect("infinite supply"))));
+                map.push((
+                    v,
+                    TyVar::from_symbol(supply.next().expect("infinite supply")),
+                ));
             }
         }
         let mut out = self.clone();
@@ -221,20 +225,19 @@ impl Type {
                     self.clone()
                 }
             }
-            Type::Con(c, args) => Type::Con(
-                c.clone(),
-                args.iter().map(|t| t.rename_free(from, to)).collect(),
-            ),
+            Type::Con(c, args) => {
+                Type::Con(*c, args.iter().map(|t| t.rename_free(from, to)).collect())
+            }
             Type::Forall(a, body) => {
                 if a == from {
                     self.clone()
                 } else if to.occurs_free(a) {
                     // Capture: α-rename the binder first.
                     let c = TyVar::fresh();
-                    let body2 = body.rename_free(a, &Type::Var(c.clone()));
+                    let body2 = body.rename_free(a, &Type::Var(c));
                     Type::Forall(c, Box::new(body2.rename_free(from, to)))
                 } else {
-                    Type::Forall(a.clone(), Box::new(body.rename_free(from, to)))
+                    Type::Forall(*a, Box::new(body.rename_free(from, to)))
                 }
             }
         }
@@ -251,37 +254,52 @@ impl Type {
     }
 }
 
-fn collect_named(t: &Type, out: &mut HashSet<String>) {
+/// Collect the symbols of every *named* variable (free or bound) — the
+/// set of names the letter supply must avoid. Symbols are `Copy`, so no
+/// strings are allocated.
+pub(crate) fn collect_named(t: &Type, out: &mut FxHashSet<Symbol>) {
     match t {
         Type::Var(a) => {
-            if let Some(n) = a.name() {
-                out.insert(n.to_string());
+            if let Some(s) = a.symbol() {
+                out.insert(s);
             }
         }
         Type::Con(_, args) => args.iter().for_each(|t| collect_named(t, out)),
         Type::Forall(a, body) => {
-            if let Some(n) = a.name() {
-                out.insert(n.to_string());
+            if let Some(s) = a.symbol() {
+                out.insert(s);
             }
             collect_named(body, out);
         }
     }
 }
 
-/// An endless supply of letter names `a..z, a1..z1, a2..`, skipping `taken`.
-pub(crate) fn letter_supply(taken: HashSet<String>) -> impl Iterator<Item = String> {
+/// An endless supply of letter names `a..z, a1..z1, a2..`, skipping
+/// `taken`. Yields interned [`Symbol`]s; the single letters are
+/// pre-seeded in the symbol table and the `taken` test goes through
+/// [`Symbol::lookup`], so the common rounds allocate nothing (the old
+/// implementation cloned a `HashSet<String>` per round and built a
+/// `String` per candidate). Public so the engine's scheme exporter can
+/// name residuals exactly like [`Type::canonicalize`] does.
+pub fn letter_supply(taken: FxHashSet<Symbol>) -> impl Iterator<Item = Symbol> {
     (0u32..).flat_map(move |round| {
-        let taken = taken.clone();
+        let taken = taken.clone(); // a set of u32s — cheap, unlike Strings
         (b'a'..=b'z').filter_map(move |c| {
-            let name = if round == 0 {
-                (c as char).to_string()
+            let sym = if round == 0 {
+                Symbol::lookup(std::str::from_utf8(&[c]).expect("ascii letter"))
+                    .expect("single letters are pre-seeded")
             } else {
-                format!("{}{round}", c as char)
+                let name = format!("{}{round}", c as char);
+                match Symbol::lookup(&name) {
+                    // Never interned anywhere ⇒ cannot be taken.
+                    None => return Some(Symbol::intern(&name)),
+                    Some(s) => s,
+                }
             };
-            if taken.contains(&name) {
+            if taken.contains(&sym) {
                 None
             } else {
-                Some(name)
+                Some(sym)
             }
         })
     })
@@ -418,7 +436,7 @@ mod tests {
         // (∀a.a→a) → (%f → %f)   ⇒   (∀a.a→a) → (b → b)
         let t = Type::arrow(
             Type::foralls([a()], Type::arrow(Type::var("a"), Type::var("a"))),
-            Type::arrow(Type::Var(f.clone()), Type::Var(f)),
+            Type::arrow(Type::Var(f), Type::Var(f)),
         );
         let c = t.canonicalize();
         let expect = Type::arrow(
@@ -432,10 +450,7 @@ mod tests {
     fn canonicalize_orders_by_first_appearance() {
         let f1 = TyVar::fresh();
         let f2 = TyVar::fresh();
-        let t = Type::arrow(
-            Type::Var(f2.clone()),
-            Type::arrow(Type::Var(f1), Type::Var(f2)),
-        );
+        let t = Type::arrow(Type::Var(f2), Type::arrow(Type::Var(f1), Type::Var(f2)));
         let c = t.canonicalize();
         let expect = Type::arrow(Type::var("a"), Type::arrow(Type::var("b"), Type::var("a")));
         assert_eq!(c, expect);

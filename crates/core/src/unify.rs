@@ -75,9 +75,9 @@ pub fn unify(
         }
         (Type::Forall(x, bx), Type::Forall(y, by)) => {
             let c = TyVar::skolem();
-            let delta2 = delta.extended([c.clone()]).expect("skolem is fresh");
-            let a2 = bx.rename_free(x, &Type::Var(c.clone()));
-            let b2 = by.rename_free(y, &Type::Var(c.clone()));
+            let delta2 = delta.extended([c]).expect("skolem is fresh");
+            let a2 = bx.rename_free(x, &Type::Var(c));
+            let b2 = by.rename_free(y, &Type::Var(c));
             let (th, s) = unify(&delta2, theta, &a2, &b2)?;
             if s.range_mentions(&c) {
                 return Err(TypeError::SkolemEscape { var: c });
@@ -104,10 +104,10 @@ fn bind(
     let flex_fvs: Vec<TyVar> = t.ftv().into_iter().filter(|v| !delta.contains(v)).collect();
     let theta1 = demote(k, &theta0, &flex_fvs);
     match kinding::kind_of(delta, &theta1, t) {
-        Ok(kt) if kt.le(k) => Ok((theta1, Subst::singleton(x.clone(), t.clone()))),
+        Ok(kt) if kt.le(k) => Ok((theta1, Subst::singleton(*x, t.clone()))),
         Ok(_) => Err(TypeError::PolyNotAllowed { ty: t.clone() }),
         Err(TypeError::UnboundTyVar(v)) if v == *x => Err(TypeError::Occurs {
-            var: x.clone(),
+            var: *x,
             ty: t.clone(),
         }),
         Err(e) => Err(e),
@@ -120,11 +120,11 @@ mod tests {
     use crate::parser::parse_type;
 
     fn poly_env(vars: &[&TyVar]) -> RefinedEnv {
-        vars.iter().map(|v| ((*v).clone(), Kind::Poly)).collect()
+        vars.iter().map(|v| (*(*v), Kind::Poly)).collect()
     }
 
     fn mono_env(vars: &[&TyVar]) -> RefinedEnv {
-        vars.iter().map(|v| ((*v).clone(), Kind::Mono)).collect()
+        vars.iter().map(|v| (*(*v), Kind::Mono)).collect()
     }
 
     fn id_ty() -> Type {
@@ -149,7 +149,7 @@ mod tests {
         let a = TyVar::fresh();
         let th = poly_env(&[&a]);
         let t = Type::arrow(Type::int(), Type::bool());
-        let (th1, s) = unify(&KindEnv::new(), &th, &Type::Var(a.clone()), &t).unwrap();
+        let (th1, s) = unify(&KindEnv::new(), &th, &Type::Var(a), &t).unwrap();
         assert!(!th1.contains(&a));
         assert_eq!(s.apply(&Type::Var(a)), t);
     }
@@ -160,7 +160,7 @@ mod tests {
         // instantiation, e.g. example A3 `choose [] ids`).
         let b = TyVar::fresh();
         let th = poly_env(&[&b]);
-        let (_, s) = unify(&KindEnv::new(), &th, &Type::Var(b.clone()), &id_ty()).unwrap();
+        let (_, s) = unify(&KindEnv::new(), &th, &Type::Var(b), &id_ty()).unwrap();
         assert!(s.apply(&Type::Var(b)).alpha_eq(&id_ty()));
     }
 
@@ -177,10 +177,8 @@ mod tests {
         // a : •  ≟  List b  with  b : ⋆   ⇒   b is demoted to •.
         let a = TyVar::fresh();
         let b = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
-            .into_iter()
-            .collect();
-        let t = Type::list(Type::Var(b.clone()));
+        let th: RefinedEnv = [(a, Kind::Mono), (b, Kind::Poly)].into_iter().collect();
+        let t = Type::list(Type::Var(b));
         let (th1, _) = unify(&KindEnv::new(), &th, &Type::Var(a), &t).unwrap();
         assert_eq!(th1.kind_of(&b), Some(Kind::Mono));
     }
@@ -189,7 +187,7 @@ mod tests {
     fn occurs_check_fires() {
         let a = TyVar::fresh();
         let th = poly_env(&[&a]);
-        let t = Type::arrow(Type::Var(a.clone()), Type::int());
+        let t = Type::arrow(Type::Var(a), Type::int());
         let r = unify(&KindEnv::new(), &th, &Type::Var(a), &t);
         assert!(matches!(r, Err(TypeError::Occurs { .. })));
     }
@@ -225,11 +223,9 @@ mod tests {
         // (a, a) ≟ (Int, b) — second component forces b ↦ Int via θ-threading.
         let a = TyVar::fresh();
         let b = TyVar::fresh();
-        let th: RefinedEnv = [(a.clone(), Kind::Poly), (b.clone(), Kind::Poly)]
-            .into_iter()
-            .collect();
-        let l = Type::prod(Type::Var(a.clone()), Type::Var(a.clone()));
-        let r = Type::prod(Type::int(), Type::Var(b.clone()));
+        let th: RefinedEnv = [(a, Kind::Poly), (b, Kind::Poly)].into_iter().collect();
+        let l = Type::prod(Type::Var(a), Type::Var(a));
+        let r = Type::prod(Type::int(), Type::Var(b));
         let (_, s) = unify(&KindEnv::new(), &th, &l, &r).unwrap();
         assert_eq!(s.apply(&Type::Var(a)), Type::int());
         assert_eq!(s.apply(&Type::Var(b)), Type::int());
@@ -258,7 +254,7 @@ mod tests {
         let th = poly_env(&[&b]);
         let s = Type::Forall(
             TyVar::named("s"),
-            Box::new(Type::st(Type::var("s"), Type::Var(b.clone()))),
+            Box::new(Type::st(Type::var("s"), Type::Var(b))),
         );
         let t = parse_type("forall s. ST s Int").unwrap();
         let (_, subst) = unify(&KindEnv::new(), &th, &s, &t).unwrap();
@@ -272,7 +268,7 @@ mod tests {
         let th = poly_env(&[&b]);
         let s = Type::Forall(
             TyVar::named("a"),
-            Box::new(Type::arrow(Type::var("a"), Type::Var(b.clone()))),
+            Box::new(Type::arrow(Type::var("a"), Type::Var(b))),
         );
         let t = parse_type("forall a. a -> a").unwrap();
         let r = unify(&KindEnv::new(), &th, &s, &t);
@@ -295,17 +291,9 @@ mod tests {
         let a = TyVar::fresh();
         let b = TyVar::fresh();
         // a : •, b : ⋆ — unifying them must demote b.
-        let th: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
-            .into_iter()
-            .collect();
-        let (th1, s) = unify(
-            &KindEnv::new(),
-            &th,
-            &Type::Var(a.clone()),
-            &Type::Var(b.clone()),
-        )
-        .unwrap();
-        assert_eq!(s.apply(&Type::Var(a)), Type::Var(b.clone()));
+        let th: RefinedEnv = [(a, Kind::Mono), (b, Kind::Poly)].into_iter().collect();
+        let (th1, s) = unify(&KindEnv::new(), &th, &Type::Var(a), &Type::Var(b)).unwrap();
+        assert_eq!(s.apply(&Type::Var(a)), Type::Var(b));
         assert_eq!(th1.kind_of(&b), Some(Kind::Mono));
     }
 
@@ -314,8 +302,8 @@ mod tests {
         let a = TyVar::fresh();
         let b = TyVar::fresh();
         let th = poly_env(&[&a, &b]);
-        let l = Type::arrow(Type::Var(a.clone()), Type::list(Type::Var(b.clone())));
-        let r = Type::arrow(Type::list(Type::Var(b.clone())), Type::Var(a.clone()));
+        let l = Type::arrow(Type::Var(a), Type::list(Type::Var(b)));
+        let r = Type::arrow(Type::list(Type::Var(b)), Type::Var(a));
         let (_, s) = unify(&KindEnv::new(), &th, &l, &r).unwrap();
         assert!(s.apply(&l).alpha_eq(&s.apply(&r)));
     }

@@ -40,7 +40,7 @@ fn arb_closed_type() -> impl Strategy<Value = Type> {
 fn arb_open_type(free: Vec<TyVar>) -> impl Strategy<Value = Type> {
     let mut leaves = vec![Just(Type::int()).boxed(), Just(Type::bool()).boxed()];
     for v in &free {
-        leaves.push(Just(Type::Var(v.clone())).boxed());
+        leaves.push(Just(Type::Var(*v)).boxed());
     }
     let leaf = proptest::strategy::Union::new(leaves);
     leaf.prop_recursive(4, 24, 3, move |inner| {
@@ -94,7 +94,7 @@ proptest! {
         if let Type::Forall(a, body) = &t {
             let c = TyVar::named("zz");
             let renamed = Type::Forall(
-                c.clone(),
+                c,
                 Box::new(body.rename_free(a, &Type::Var(c))),
             );
             prop_assert!(t.alpha_eq(&renamed));
@@ -266,7 +266,7 @@ proptest! {
         let delta = KindEnv::new();
         let v = TyVar::named("f0");
         // Ensure strict containment.
-        let container = Type::arrow(Type::Var(v.clone()), t);
+        let container = Type::arrow(Type::Var(v), t);
         let r = unify(&delta, &flex_env(), &Type::Var(v), &container);
         prop_assert!(r.is_err());
     }

@@ -218,7 +218,7 @@ fn canonicalize_survives_more_than_26_variables() {
     let ty = vars
         .iter()
         .rev()
-        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(v.clone()), acc));
+        .fold(Type::int(), |acc, v| Type::arrow(Type::Var(*v), acc));
     let canon = ty.canonicalize();
     let names: Vec<String> = canon.ftv().iter().map(|v| v.to_string()).collect();
     assert_eq!(names.len(), 30);

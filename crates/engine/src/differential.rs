@@ -15,7 +15,7 @@
 use crate::store::Store;
 use freezeml_core::infer::ProgramError;
 use freezeml_core::{KindEnv, Options, RefinedEnv, TyVar, Type, TypeEnv, TypeError};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::fmt;
 
 /// The class of a type error — the paper's failure modes, stripped of
@@ -133,7 +133,7 @@ pub fn types_equivalent(a: &Type, b: &Type) -> bool {
                         return l == x && r == y;
                     }
                 }
-                flex.push((x.clone(), y.clone()));
+                flex.push((*x, *y));
                 true
             }
             (Type::Con(c, xs), Type::Con(d, ys)) => {
@@ -142,7 +142,7 @@ pub fn types_equivalent(a: &Type, b: &Type) -> bool {
                     && xs.iter().zip(ys).all(|(x, y)| go(x, y, env, flex))
             }
             (Type::Forall(x, bx), Type::Forall(y, by)) => {
-                env.push((x.clone(), y.clone()));
+                env.push((*x, *y));
                 let r = go(bx, by, env, flex);
                 env.pop();
                 r
@@ -250,12 +250,12 @@ pub fn compare_unify(theta: &RefinedEnv, a: &Type, b: &Type) -> Result<(), Disag
     let core = freezeml_core::unify(&delta, theta, a, b);
     // Union-find engine: route the Θ variables to fresh cells.
     let mut store = Store::new();
-    let mut map = HashMap::new();
+    let mut map = FxHashMap::default();
     let mut cells = Vec::new();
     for (v, k) in theta.iter() {
         let (cell, node) = store.fresh_var(k);
-        map.insert(v.clone(), node);
-        cells.push((v.clone(), cell));
+        map.insert(*v, node);
+        cells.push((*v, cell));
     }
     let aid = store.intern_type_with(a, &map);
     let bid = store.intern_type_with(b, &map);
@@ -344,7 +344,7 @@ fn rename_uf_solution(t: &Type, store: &mut Store, cells: &[(TyVar, crate::store
     for (v, cell) in cells {
         if !store.is_solved(*cell) {
             let name = store.name_of(*cell);
-            out = out.rename_free(&name, &Type::Var(v.clone()));
+            out = out.rename_free(&name, &Type::Var(*v));
         }
     }
     out
@@ -372,7 +372,7 @@ mod tests {
     #[test]
     fn unify_comparison_catches_nothing_on_simple_cases() {
         let a = TyVar::fresh();
-        let theta: RefinedEnv = [(a.clone(), Kind::Poly)].into_iter().collect();
+        let theta: RefinedEnv = [(a, Kind::Poly)].into_iter().collect();
         let l = Type::Var(a);
         let r = parse_type("Int -> Bool").unwrap();
         compare_unify(&theta, &l, &r).unwrap();
@@ -391,9 +391,7 @@ mod tests {
         // a : • against List b with b : ⋆ demotes b in both engines.
         let a = TyVar::fresh();
         let b = TyVar::fresh();
-        let theta: RefinedEnv = [(a.clone(), Kind::Mono), (b.clone(), Kind::Poly)]
-            .into_iter()
-            .collect();
+        let theta: RefinedEnv = [(a, Kind::Mono), (b, Kind::Poly)].into_iter().collect();
         let l = Type::Var(a);
         let r = Type::list(Type::Var(b));
         compare_unify(&theta, &l, &r).unwrap();

@@ -22,6 +22,7 @@
 //! The result is zonked back to a `core::Type`, so callers (conformance
 //! harness, pretty-printing, downstream crates) consume it unchanged.
 
+use crate::scheme::{SchemeId, SchemeStore};
 use crate::store::{Node, Shape, Store, TypeId, VarId};
 use crate::unify::unify;
 use freezeml_core::infer::ProgramError;
@@ -38,6 +39,18 @@ pub struct InferOutput {
     /// The kinds of the flexible variables left unsolved in `ty` — the
     /// residual `Θ′` of Figure 16, keyed by the zonked variable names.
     pub theta: RefinedEnv,
+}
+
+/// The result of a zonk-free inference run: the principal type exported
+/// into a [`SchemeStore`] as a DAG, never expanded to a tree. Residual
+/// monomorphic variables are grounded to `Int` (the REPL's defaulting),
+/// so the scheme is closed and its id is an α-class.
+#[derive(Clone, Debug)]
+pub struct SchemeOutput {
+    /// The exported scheme.
+    pub scheme: SchemeId,
+    /// Canonical names of the residual variables that were grounded.
+    pub defaulted: Vec<String>,
 }
 
 struct InferCtx<'s> {
@@ -73,15 +86,11 @@ impl<'s> InferCtx<'s> {
     fn infer(&mut self, term: &Term) -> Result<TypeId, TypeError> {
         match term {
             // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)).
-            Term::FrozenVar(x) => self
-                .lookup(x)
-                .ok_or_else(|| TypeError::UnboundVar(x.clone())),
+            Term::FrozenVar(x) => self.lookup(x).ok_or(TypeError::UnboundVar(*x)),
 
             // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
             Term::Var(x) => {
-                let scheme = self
-                    .lookup(x)
-                    .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+                let scheme = self.lookup(x).ok_or(TypeError::UnboundVar(*x))?;
                 Ok(self.instantiate(scheme))
             }
 
@@ -90,7 +99,7 @@ impl<'s> InferCtx<'s> {
             // infer(∆, Θ, Γ, λx.M): fresh a : •.
             Term::Lam(x, body) => {
                 let (_, a) = self.store.fresh_var(Kind::Mono);
-                self.gamma.push((x.clone(), a));
+                self.gamma.push((*x, a));
                 let bty = self.infer(body);
                 self.gamma.pop();
                 Ok(self.store.arrow(a, bty?))
@@ -99,7 +108,7 @@ impl<'s> InferCtx<'s> {
             // infer(∆, Θ, Γ, λ(x:A).M).
             Term::LamAnn(x, ann, body) => {
                 let ann_id = self.store.intern_type(ann);
-                self.gamma.push((x.clone(), ann_id));
+                self.gamma.push((*x, ann_id));
                 let bty = self.infer(body);
                 self.gamma.pop();
                 Ok(self.store.arrow(ann_id, bty?))
@@ -164,7 +173,7 @@ impl<'s> InferCtx<'s> {
                     }
                     aty
                 };
-                self.gamma.push((x.clone(), scheme));
+                self.gamma.push((*x, scheme));
                 let bty = self.infer(body);
                 self.gamma.pop();
                 bty
@@ -190,7 +199,7 @@ impl<'s> InferCtx<'s> {
                 let (split_vars, a_prime) = split(ann, rhs, self.opts);
                 for v in &split_vars {
                     if self.rigid_scope.contains(v) {
-                        return Err(TypeError::ShadowedTyVar { var: v.clone() });
+                        return Err(TypeError::ShadowedTyVar { var: *v });
                     }
                 }
                 let watermark = self.store.var_count();
@@ -212,7 +221,7 @@ impl<'s> InferCtx<'s> {
                         let vid = self.store.flex(v);
                         for a in &split_vars {
                             if !escaping.contains(a) && self.store.occurs_rigid(vid, a) {
-                                escaping.push(a.clone());
+                                escaping.push(*a);
                             }
                         }
                     }
@@ -221,7 +230,7 @@ impl<'s> InferCtx<'s> {
                     return Err(TypeError::AnnotationEscape { vars: escaping });
                 }
                 let ann_id = self.store.intern_type(ann);
-                self.gamma.push((x.clone(), ann_id));
+                self.gamma.push((*x, ann_id));
                 let bty = self.infer(body);
                 self.gamma.pop();
                 bty
@@ -236,7 +245,7 @@ impl<'s> InferCtx<'s> {
         let mut binders = Vec::with_capacity(d3.len());
         for &v in d3 {
             let name = self.store.name_of(v);
-            let rigid = self.store.rigid(name.clone());
+            let rigid = self.store.rigid(name);
             self.store.solve(v, rigid);
             binders.push(name);
         }
@@ -285,7 +294,7 @@ impl Session {
         let mut store = Store::new();
         let interned: Vec<(Var, TypeId)> = gamma
             .iter()
-            .map(|(x, ty)| (x.clone(), store.intern_type(ty)))
+            .map(|(x, ty)| (*x, store.intern_type(ty)))
             .collect();
         let base = store.checkpoint();
         Session {
@@ -332,11 +341,79 @@ impl Session {
         let depth = self.gamma.len();
         for (x, ty) in extra {
             let id = self.store.intern_type(ty);
-            self.gamma.push((x.clone(), id));
+            self.gamma.push((*x, id));
         }
         let out = self.infer_reclaimed(term);
         self.gamma.truncate(depth);
         out
+    }
+
+    /// Infer one term under `Γ, extra` with the extras supplied as
+    /// cached [`SchemeId`]s and the result exported as a scheme — the
+    /// fully **zonk-free** serving path: dependency schemes enter the
+    /// store by O(DAG) interning ([`SchemeStore::intern_into`]), the
+    /// result leaves by O(DAG) export ([`SchemeStore::export`]), and no
+    /// `core::Type` tree is built anywhere. Residual variables are
+    /// grounded to `Int` (the value-restriction defaulting the service
+    /// and REPL apply), so the returned scheme is closed.
+    ///
+    /// Extras are schemes produced by inference (or imported through
+    /// [`SchemeStore::intern_type`]) and are well-formed by
+    /// construction, so no environment-formation pass runs over them.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TypeError`] classes as [`Session::infer`].
+    pub fn infer_scheme_with(
+        &mut self,
+        bank: &std::sync::Mutex<SchemeStore>,
+        extra: &[(Var, SchemeId)],
+        term: &Term,
+    ) -> Result<SchemeOutput, TypeError> {
+        freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
+        self.store.reset_to(&self.base);
+        let depth = self.gamma.len();
+        // The shared store is locked only around the O(DAG) boundary
+        // crossings (dependency intern here, export below) — never
+        // across inference itself, so a worker pool's sessions infer
+        // concurrently and only serialise on scheme import/export.
+        {
+            let bank = bank.lock().expect("scheme store poisoned");
+            for (x, sid) in extra {
+                let id = bank.intern_into(&mut self.store, *sid);
+                self.gamma.push((*x, id));
+            }
+        }
+        let opts = self.opts;
+        let mut cx = InferCtx {
+            store: &mut self.store,
+            opts: &opts,
+            gamma: &mut self.gamma,
+            rigid_scope: Vec::new(),
+        };
+        let result = cx.infer(term);
+        self.gamma.truncate(depth);
+        let ty_id = result?;
+        // Ground the residual monomorphic variables to Int, recording
+        // canonical letter names (what `canonicalize` would have called
+        // them) for the report.
+        let residual = self.store.free_flex(ty_id);
+        let mut defaulted = Vec::with_capacity(residual.len());
+        if !residual.is_empty() {
+            let mut taken = fxhash::FxHashSet::default();
+            collect_rigid_names(&mut self.store, ty_id, &mut taken);
+            let mut supply = freezeml_core::types::letter_supply(taken);
+            let int = self.store.int();
+            for v in residual {
+                defaulted.push(supply.next().expect("infinite supply").as_str().to_string());
+                self.store.solve(v, int);
+            }
+        }
+        let scheme = bank
+            .lock()
+            .expect("scheme store poisoned")
+            .export(&mut self.store, ty_id);
+        Ok(SchemeOutput { scheme, defaulted })
     }
 
     /// Inference proper, for terms already scope-checked.
@@ -374,10 +451,101 @@ impl Session {
     }
 }
 
-/// Infer the type of a closed-context term on a fresh union-find store.
+/// Names the residual-letter supply must avoid: every rigid named
+/// variable reachable in the resolved type, plus the source names its
+/// freshened binders will be restored to. One memoized DAG walk.
+fn collect_rigid_names(
+    store: &mut Store,
+    t: TypeId,
+    out: &mut fxhash::FxHashSet<freezeml_core::Symbol>,
+) {
+    fn go(
+        store: &mut Store,
+        t: TypeId,
+        seen: &mut fxhash::FxHashSet<TypeId>,
+        out: &mut fxhash::FxHashSet<freezeml_core::Symbol>,
+    ) {
+        let t = store.resolve(t);
+        if !seen.insert(t) {
+            return;
+        }
+        match store.shape(t) {
+            Shape::Rigid(v) => {
+                if let Some(s) = v.symbol() {
+                    out.insert(s);
+                }
+            }
+            Shape::Flex(_) => {}
+            Shape::Con(_, n) => {
+                for i in 0..n {
+                    let child = store.con_child(t, i);
+                    go(store, child, seen, out);
+                }
+            }
+            Shape::Forall(v, body) => {
+                if let Some(src) = store.binder_source(&v) {
+                    if let Some(s) = src.symbol() {
+                        out.insert(s);
+                    }
+                }
+                go(store, body, seen, out);
+            }
+        }
+    }
+    let mut seen = fxhash::FxHashSet::default();
+    go(store, t, &mut seen, out);
+}
+
+// ------------------------------------------------ prelude snapshot cache
+
+/// A cached one-shot session: the environment it was built for (full
+/// equality guard behind the fingerprint) and the ready [`Session`] with
+/// the prelude interned and kind-checked.
+struct CachedSession {
+    fp: u64,
+    env: TypeEnv,
+    opts: Options,
+    session: Session,
+}
+
+thread_local! {
+    /// Small LRU of prelude snapshots for [`infer_term`]. A fresh
+    /// one-shot call with an environment this thread has already seen
+    /// reuses the interned, kind-checked store instead of rebuilding it
+    /// — the amortisation [`Session`] gives explicit callers, extended
+    /// to the fire-and-forget shape benchmarks and tools actually use.
+    static SESSIONS: std::cell::RefCell<Vec<CachedSession>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Entries beyond this are evicted least-recently-used. Small: each
+/// entry holds an interned prelude (a few hundred nodes).
+const SESSION_CACHE_CAP: usize = 8;
+
+fn env_fingerprint(gamma: &TypeEnv, opts: &Options) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = fxhash::FxHasher::default();
+    opts.hash(&mut h);
+    h.write_usize(gamma.len());
+    for (x, t) in gamma.iter() {
+        x.hash(&mut h);
+        t.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Infer the type of a closed-context term on a union-find store.
 /// Mirrors `core::infer::infer_term`: checks well-scopedness and
-/// environment formation first, then runs inference and zonks. For a
-/// stream of terms against one environment, build a [`Session`] instead.
+/// environment formation first, then runs inference and zonks.
+///
+/// The environment work — formation checking and interning — is served
+/// from a per-thread snapshot cache: repeated one-shot calls against
+/// the same `Γ` (a benchmark batch, a conformance corpus, a tool
+/// checking many terms against one prelude) pay for the environment
+/// once, like an explicit [`Session`] would, and per-term store state
+/// is reclaimed between calls. Equality is guarded by a full `Γ`
+/// comparison behind the fingerprint, so a cache hit is semantically
+/// identical to a rebuild.
 ///
 /// # Errors
 ///
@@ -386,7 +554,28 @@ pub fn infer_term(gamma: &TypeEnv, term: &Term, opts: &Options) -> Result<InferO
     // Scope-check before environment formation — the order `core`'s
     // driver uses, so a term that fails both reports the same error.
     freezeml_core::scope::well_scoped(&KindEnv::new(), term, opts)?;
-    Session::new(gamma, opts)?.infer_scoped(term)
+    let fp = env_fingerprint(gamma, opts);
+    SESSIONS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let hit = cache
+            .iter()
+            .position(|c| c.fp == fp && c.opts == *opts && c.env == *gamma);
+        let mut entry = match hit {
+            Some(i) => cache.remove(i),
+            None => CachedSession {
+                fp,
+                env: gamma.clone(),
+                opts: *opts,
+                session: Session::new(gamma, opts)?,
+            },
+        };
+        let out = entry.session.infer_scoped(term);
+        cache.push(entry); // most-recently-used at the back
+        if cache.len() > SESSION_CACHE_CAP {
+            cache.remove(0);
+        }
+        out
+    })
 }
 
 /// Parse and infer on the union-find engine, returning the canonicalised

@@ -45,10 +45,12 @@
 
 pub mod differential;
 pub mod infer;
+pub mod scheme;
 pub mod store;
 pub mod unify;
 
 pub use differential::{class_of, class_of_program, compare_program, Disagreement, ErrorClass};
-pub use infer::{check_typing, infer_program, infer_term, InferOutput, Session};
+pub use infer::{check_typing, infer_program, infer_term, InferOutput, SchemeOutput, Session};
+pub use scheme::{SchemeId, SchemeStore};
 pub use store::{Node, Shape, Store, TypeId, VarId};
 pub use unify::unify;

@@ -1,0 +1,776 @@
+//! The persistent scheme store: inference results exported as
+//! [`SchemeId`]s — sharing-preserving, α-canonical, and **zonk-free**.
+//!
+//! [`Store::zonk`] re-expands a DAG-shared type into a `core::Type`
+//! tree. For the pair chain that expansion is exponential: the type is
+//! O(n) in the store and 2ⁿ as a tree, so a scheme crossing the
+//! engine→service boundary used to undo everything hash-consing bought.
+//! This module keeps schemes in DAG form across that boundary:
+//!
+//! * a [`SchemeStore`] is a hash-consed arena of **ground scheme nodes**
+//!   with **de Bruijn binders** — no flexible variables, no mutable
+//!   cells, binders nameless. Hash-consing over de Bruijn nodes makes a
+//!   `SchemeId` an **α-equivalence class**: two α-equivalent schemes
+//!   with the same free variables intern to the same id, so the
+//!   service's Merkle cache can key on the id directly and "same scheme"
+//!   is an integer comparison;
+//! * [`SchemeStore::export`] copies the reachable, resolved part of a
+//!   session [`Store`] into the scheme store in O(DAG) — cells are read
+//!   through, never expanded;
+//! * [`SchemeStore::intern_into`] is the inverse: layering a cached
+//!   scheme back into a session store (a dependency's scheme entering
+//!   `Γ`) is again O(DAG), with no `core::Type` tree in between;
+//! * [`SchemeStore::to_type`] and [`SchemeStore::pretty`] materialise a
+//!   tree / a string **on demand** — the protocol boundary (`type-of`,
+//!   goldens) is the only place that pays, and `pretty` memoises per
+//!   node so shared subterms are rendered once (O(DAG) structural work
+//!   plus the unavoidable O(output) bytes; the old path built the full
+//!   exponential tree first and then walked it again to print).
+//!
+//! A `SchemeId` is shared by *every* α-equivalent scheme, so its
+//! rendering must be a function of the α-class: binders are lettered
+//! canonically (`forall a. a -> a`), never taken from any one
+//! exporter's source names — restoring those would leak one binding's
+//! annotation names into another's output. Binder *name hints* are
+//! still recorded (outside the hash) and guide
+//! [`SchemeStore::intern_into`], where the use is per-occurrence and no
+//! cross-binding leak is possible.
+
+use crate::store::{reprobe, Shape, Store, TypeId};
+use freezeml_core::{Symbol, TyCon, TyVar, Type};
+use fxhash::{FxHashMap, FxHashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// An exported scheme: an index into a [`SchemeStore`]. Within one
+/// store, id equality is α-equivalence (for schemes with the same free
+/// variables).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SchemeId(u32);
+
+impl SchemeId {
+    /// The raw arena index (stable for the life of the store) — what the
+    /// service mixes into observability output.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A contiguous child range in the scheme store's slab.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct SRange {
+    start: u32,
+    len: u32,
+}
+
+/// One scheme node. Ground (no flexible variables) and nameless at
+/// binders (de Bruijn indices), so structural identity is α-identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum SNode {
+    /// A binder occurrence: de Bruijn index, 0 = innermost `∀`.
+    Bound(u32),
+    /// A free variable (a source-named rigid, or — for open schemes —
+    /// a residual variable's stable name).
+    Free(TyVar),
+    /// A fully applied constructor.
+    Con(TyCon, SRange),
+    /// A quantifier over the body. Nameless; the display hint lives in
+    /// `SchemeStore::hints`, outside the hash.
+    Forall(SchemeId),
+}
+
+/// The hash-consed scheme arena. See the module docs.
+///
+/// The fingerprint/probe/slab interning machinery deliberately mirrors
+/// [`Store`](crate::store::Store)'s (same probe protocol — [`reprobe`]
+/// is shared — same child-slab layout): the node types differ enough
+/// (de Bruijn + hints here, cells + binder freshening there) that a
+/// shared generic arena wasn't worth the indirection, but **a fix to
+/// either interner's probe or slab logic almost certainly applies to
+/// both** — keep them in lockstep.
+#[derive(Default)]
+pub struct SchemeStore {
+    nodes: Vec<SNode>,
+    children: Vec<SchemeId>,
+    intern: FxHashMap<u64, SchemeId>,
+    /// Per-node binder name hint (only meaningful for `Forall` nodes).
+    /// First exporter wins — hints never affect identity.
+    hints: Vec<Option<TyVar>>,
+    /// Memoised renderings of *closed* nodes (see [`SchemeStore::pretty`]).
+    rendered: FxHashMap<SchemeId, Arc<str>>,
+    /// Tree/string materialisations performed (cold `pretty`/`to_type`
+    /// work) — the counter the service asserts its memoisation against.
+    renders: u64,
+    /// `pretty` calls served from the memo.
+    render_hits: u64,
+}
+
+impl SchemeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned scheme nodes (observability).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Cold materialisations (tree or string) performed so far.
+    pub fn renders(&self) -> u64 {
+        self.renders
+    }
+
+    /// `pretty` calls served straight from the per-node memo.
+    pub fn render_hits(&self) -> u64 {
+        self.render_hits
+    }
+
+    fn children_of(&self, r: SRange) -> &[SchemeId] {
+        &self.children[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    fn fingerprint(node: &SNode, args: &[SchemeId]) -> u64 {
+        let mut h = fxhash::FxHasher::default();
+        match node {
+            SNode::Bound(i) => {
+                h.write_u8(0);
+                h.write_u32(*i);
+            }
+            SNode::Free(v) => {
+                h.write_u8(1);
+                v.hash(&mut h);
+            }
+            SNode::Con(c, _) => {
+                h.write_u8(2);
+                c.hash(&mut h);
+                h.write_u32(args.len() as u32);
+                for a in args {
+                    h.write_u32(a.0);
+                }
+            }
+            SNode::Forall(b) => {
+                h.write_u8(3);
+                h.write_u32(b.0);
+            }
+        }
+        h.finish()
+    }
+
+    fn node_eq(&self, id: SchemeId, node: &SNode, args: &[SchemeId]) -> bool {
+        match (&self.nodes[id.0 as usize], node) {
+            (SNode::Bound(a), SNode::Bound(b)) => a == b,
+            (SNode::Free(a), SNode::Free(b)) => a == b,
+            (SNode::Con(c, r), SNode::Con(d, _)) => c == d && self.children_of(*r) == args,
+            (SNode::Forall(a), SNode::Forall(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn intern_node(&mut self, node: SNode, args: &[SchemeId], hint: Option<TyVar>) -> SchemeId {
+        let mut h = Self::fingerprint(&node, args);
+        loop {
+            match self.intern.get(&h) {
+                Some(&id) if self.node_eq(id, &node, args) => return id,
+                Some(_) => h = reprobe(h),
+                None => break,
+            }
+        }
+        let id = SchemeId(self.nodes.len() as u32);
+        let node = match node {
+            SNode::Con(c, _) => {
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(args);
+                SNode::Con(
+                    c,
+                    SRange {
+                        start,
+                        len: args.len() as u32,
+                    },
+                )
+            }
+            other => other,
+        };
+        self.nodes.push(node);
+        self.hints.push(hint);
+        self.intern.insert(h, id);
+        id
+    }
+
+    // ---------------------------------------------------------- export
+
+    /// Export a resolved session type into the scheme store, preserving
+    /// sharing: O(DAG) in the store representation. Cells are read
+    /// through ([`Store::resolve`]); unsolved flexible variables export
+    /// under their stable fresh names (open schemes — the service
+    /// grounds them before exporting, so its schemes are closed).
+    pub fn export(&mut self, store: &mut Store, t: TypeId) -> SchemeId {
+        let mut binders: Vec<TyVar> = Vec::new();
+        // Memo for *scope-closed* subtrees (no reference to a binder
+        // outside the subtree) — their de Bruijn encoding is
+        // position-independent, so they are safe to share across scopes
+        // and depths. Keyed by *resolved* TypeId.
+        let mut memo: FxHashMap<TypeId, SchemeId> = FxHashMap::default();
+        self.export_go(store, t, &mut binders, &mut memo).0
+    }
+
+    /// Returns `(id, lowest_ref)`: `lowest_ref` is the smallest binder-
+    /// stack index the subtree references, `None` if it references no
+    /// binder in scope. Only scope-closed conversions are memoised — a
+    /// subtree referencing an enclosing binder re-indexes under a
+    /// different depth, but a *self-contained* quantified subtree (the
+    /// shared-`∀` case that used to degenerate to the full tree) is
+    /// closed and memoises fine.
+    fn export_go(
+        &mut self,
+        store: &mut Store,
+        t: TypeId,
+        binders: &mut Vec<TyVar>,
+        memo: &mut FxHashMap<TypeId, SchemeId>,
+    ) -> (SchemeId, Option<usize>) {
+        let t = store.resolve(t);
+        if let Some(&id) = memo.get(&t) {
+            return (id, None);
+        }
+        match store.shape(t) {
+            Shape::Rigid(v) => {
+                if let Some(pos) = binders.iter().rposition(|b| *b == v) {
+                    let idx = (binders.len() - 1 - pos) as u32;
+                    (self.intern_node(SNode::Bound(idx), &[], None), Some(pos))
+                } else {
+                    let id = self.intern_node(SNode::Free(v), &[], None);
+                    memo.insert(t, id);
+                    (id, None)
+                }
+            }
+            Shape::Flex(v) => {
+                let name = store.name_of(v);
+                let id = self.intern_node(SNode::Free(name), &[], None);
+                memo.insert(t, id);
+                (id, None)
+            }
+            Shape::Con(c, n) => {
+                let mut lowest: Option<usize> = None;
+                let ids: Vec<SchemeId> = (0..n)
+                    .map(|i| {
+                        let child = store.con_child(t, i);
+                        let (id, low) = self.export_go(store, child, binders, memo);
+                        lowest = match (lowest, low) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        id
+                    })
+                    .collect();
+                let id = self.intern_node(SNode::Con(c, SRange { start: 0, len: 0 }), &ids, None);
+                if lowest.is_none() {
+                    memo.insert(t, id);
+                }
+                (id, lowest)
+            }
+            Shape::Forall(v, body) => {
+                // The new binder sits at index `depth`; a body reference
+                // below it is a reference to an *outer* binder.
+                let depth = binders.len();
+                binders.push(v);
+                let (b, low) = self.export_go(store, body, binders, memo);
+                binders.pop();
+                let hint = store.binder_source(&v);
+                let id = self.intern_node(SNode::Forall(b), &[], hint);
+                let escaping = low.filter(|&p| p < depth);
+                if escaping.is_none() {
+                    memo.insert(t, id);
+                }
+                (id, escaping)
+            }
+        }
+    }
+
+    /// Import a `core` type directly (used when the oracle engine's
+    /// verdict must live in the same scheme space). α-canonical like
+    /// [`SchemeStore::export`], so a core-inferred and a uf-inferred
+    /// scheme that are α-equivalent intern to the same id.
+    pub fn intern_type(&mut self, ty: &Type) -> SchemeId {
+        let mut binders: Vec<TyVar> = Vec::new();
+        self.intern_type_go(ty, &mut binders)
+    }
+
+    fn intern_type_go(&mut self, ty: &Type, binders: &mut Vec<TyVar>) -> SchemeId {
+        match ty {
+            Type::Var(v) => {
+                if let Some(pos) = binders.iter().rposition(|b| b == v) {
+                    let idx = (binders.len() - 1 - pos) as u32;
+                    self.intern_node(SNode::Bound(idx), &[], None)
+                } else {
+                    self.intern_node(SNode::Free(*v), &[], None)
+                }
+            }
+            Type::Con(c, args) => {
+                let ids: Vec<SchemeId> = args
+                    .iter()
+                    .map(|a| self.intern_type_go(a, binders))
+                    .collect();
+                self.intern_node(SNode::Con(*c, SRange { start: 0, len: 0 }), &ids, None)
+            }
+            Type::Forall(v, body) => {
+                binders.push(*v);
+                let b = self.intern_type_go(body, binders);
+                binders.pop();
+                let hint = if v.is_named() { Some(*v) } else { None };
+                self.intern_node(SNode::Forall(b), &[], hint)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- import
+
+    /// Layer a scheme back into a session [`Store`] — a dependency's
+    /// cached scheme entering the environment — in O(DAG), with no
+    /// `core::Type` tree in between. Binders are freshened (the store's
+    /// global-uniqueness invariant) and their hints recorded so a later
+    /// zonk restores source names.
+    pub fn intern_into(&self, store: &mut Store, id: SchemeId) -> TypeId {
+        let mut binders: Vec<TypeId> = Vec::new();
+        let mut memo: FxHashMap<SchemeId, TypeId> = FxHashMap::default();
+        self.intern_into_go(store, id, &mut binders, &mut memo).0
+    }
+
+    /// Returns `(t, deepest)`: `deepest` is the largest de Bruijn index
+    /// the subtree references *relative to its own position*, `None` if
+    /// it references no enclosing binder. Scope-closed subtrees —
+    /// including self-contained quantified nodes — are memoised, so a
+    /// shared `∀` in the scheme DAG becomes one shared (one-binder)
+    /// node in the store instead of a freshened copy per occurrence.
+    fn intern_into_go(
+        &self,
+        store: &mut Store,
+        id: SchemeId,
+        binders: &mut Vec<TypeId>,
+        memo: &mut FxHashMap<SchemeId, TypeId>,
+    ) -> (TypeId, Option<u32>) {
+        if let Some(&t) = memo.get(&id) {
+            return (t, None);
+        }
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(i) => {
+                let t = binders[binders.len() - 1 - i as usize];
+                (t, Some(i))
+            }
+            SNode::Free(v) => {
+                let t = store.rigid(v);
+                memo.insert(id, t);
+                (t, None)
+            }
+            SNode::Con(c, r) => {
+                let mut deepest: Option<u32> = None;
+                let mut ids: Vec<TypeId> = Vec::with_capacity(r.len as usize);
+                for i in 0..r.len as usize {
+                    let ch = self.children[r.start as usize + i];
+                    let (t, d) = self.intern_into_go(store, ch, binders, memo);
+                    deepest = match (deepest, d) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                    ids.push(t);
+                }
+                let t = store.con(c, &ids);
+                if deepest.is_none() {
+                    memo.insert(id, t);
+                }
+                (t, deepest)
+            }
+            SNode::Forall(body) => {
+                let fresh = store.fresh_binder(self.hints[id.0 as usize]);
+                let fresh_id = store.rigid(fresh);
+                binders.push(fresh_id);
+                let (b, d) = self.intern_into_go(store, body, binders, memo);
+                binders.pop();
+                let t = store.forall(fresh, b);
+                // Index 0 is this node's own binder; anything deeper
+                // still escapes (shifted by one).
+                let escaping = d.and_then(|m| m.checked_sub(1));
+                if escaping.is_none() {
+                    memo.insert(id, t);
+                }
+                (t, escaping)
+            }
+        }
+    }
+
+    // ------------------------------------------------- materialisation
+
+    /// Materialise the scheme as a `core::Type` tree — the on-demand
+    /// zonk. Worst case exponential in the DAG (the tree *is* that big);
+    /// only the protocol boundary calls this.
+    ///
+    /// Binders come out as fresh invented variables, which the printer
+    /// letters canonically — the rendering is a function of the α-class,
+    /// **deliberately ignoring binder-name hints**: a `SchemeId` is
+    /// shared by every α-equivalent scheme, so restoring one exporter's
+    /// source names would leak them into other bindings' output (the
+    /// hints do still guide [`SchemeStore::intern_into`], where they are
+    /// per-use, not per-class).
+    pub fn to_type(&mut self, id: SchemeId) -> Type {
+        self.renders += 1;
+        let mut stack: Vec<TyVar> = Vec::new();
+        self.to_type_go(id, &mut stack)
+    }
+
+    fn to_type_go(&self, id: SchemeId, stack: &mut Vec<TyVar>) -> Type {
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(i) => Type::Var(stack[stack.len() - 1 - i as usize]),
+            SNode::Free(v) => Type::Var(v),
+            SNode::Con(c, r) => {
+                let args = self
+                    .children_of(r)
+                    .iter()
+                    .map(|&ch| self.to_type_go(ch, stack))
+                    .collect();
+                Type::Con(c, args)
+            }
+            SNode::Forall(body) => {
+                let placeholder = TyVar::fresh();
+                stack.push(placeholder);
+                let body_ty = self.to_type_go(body, stack);
+                stack.pop();
+                Type::Forall(placeholder, Box::new(body_ty))
+            }
+        }
+    }
+
+    /// The canonical rendering of the scheme, memoised per id.
+    ///
+    /// The rendering is a function of the α-class: binders are lettered
+    /// `a, b, c, …` in traversal order (skipping the scheme's free named
+    /// variables), never taken from exporter hints — so every binding
+    /// that shares an id displays identically, and no binding's source
+    /// names can leak into another's output. Closed-but-for-named-free
+    /// schemes (everything the service stores: grounded) are rendered by
+    /// a direct DAG walk with no intermediate `Type` tree; schemes with
+    /// invented free variables fall back to `to_type` + the lettering
+    /// printer (they need whole-type naming), still memoised at the
+    /// root. Both paths produce byte-identical text.
+    pub fn pretty(&mut self, id: SchemeId) -> Arc<str> {
+        if let Some(s) = self.rendered.get(&id) {
+            self.render_hits += 1;
+            return Arc::clone(s);
+        }
+        self.renders += 1;
+        let s: Arc<str> = if self.directly_renderable(id) {
+            let mut taken = FxHashSet::default();
+            for v in self.free_vars(id) {
+                if let Some(sym) = v.symbol() {
+                    taken.insert(sym);
+                }
+            }
+            let mut supply = freezeml_core::types::letter_supply(taken);
+            let mut out = String::new();
+            self.render_go(id, 1, &mut Vec::new(), &mut supply, &mut out);
+            Arc::from(out)
+        } else {
+            Arc::from(self.to_type_tree(id).to_string())
+        };
+        self.rendered.insert(id, Arc::clone(&s));
+        s
+    }
+
+    /// `to_type` without bumping the counter twice (internal fallback).
+    fn to_type_tree(&self, id: SchemeId) -> Type {
+        let mut stack = Vec::new();
+        self.to_type_go(id, &mut stack)
+    }
+
+    /// Can the node be rendered without the fallback? True when every
+    /// free variable is source-named — binders are always lettered, so
+    /// only invented *free* names (open schemes) need the whole-type
+    /// printer.
+    fn directly_renderable(&self, id: SchemeId) -> bool {
+        let mut seen = FxHashSet::default();
+        self.renderable_go(id, &mut seen)
+    }
+
+    fn renderable_go(&self, id: SchemeId, seen: &mut FxHashSet<SchemeId>) -> bool {
+        if !seen.insert(id) {
+            return true;
+        }
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(_) => true,
+            SNode::Free(v) => v.is_named(),
+            SNode::Con(_, r) => self
+                .children_of(r)
+                .iter()
+                .all(|&ch| self.renderable_go(ch, seen)),
+            SNode::Forall(body) => self.renderable_go(body, seen),
+        }
+    }
+
+    /// Direct renderer. Precedence levels match `core::pretty`:
+    /// 1 = forall/arrow position, 2 = product operand, 3 = constructor
+    /// argument (atoms only).
+    fn render_go(
+        &self,
+        id: SchemeId,
+        prec: u8,
+        stack: &mut Vec<Symbol>,
+        supply: &mut impl Iterator<Item = Symbol>,
+        out: &mut String,
+    ) {
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(i) => {
+                let sym = stack[stack.len() - 1 - i as usize];
+                out.push_str(sym.as_str());
+            }
+            SNode::Free(v) => out.push_str(v.name().unwrap_or("?")),
+            SNode::Forall(_) => {
+                if prec > 1 {
+                    out.push('(');
+                }
+                out.push_str("forall");
+                let mut cur = id;
+                let mut pushed = 0usize;
+                while let SNode::Forall(body) = self.nodes[cur.0 as usize] {
+                    // Canonical letters in traversal order — the same
+                    // assignment the tree printer makes for to_type's
+                    // invented binders, so both paths print identically.
+                    let sym = supply.next().expect("infinite supply");
+                    out.push(' ');
+                    out.push_str(sym.as_str());
+                    stack.push(sym);
+                    pushed += 1;
+                    cur = body;
+                }
+                out.push_str(". ");
+                self.render_go(cur, 1, stack, supply, out);
+                stack.truncate(stack.len() - pushed);
+                if prec > 1 {
+                    out.push(')');
+                }
+            }
+            SNode::Con(c, r) => {
+                let args = self.children_of(r);
+                match (c, args.len()) {
+                    (TyCon::Arrow, 2) => {
+                        if prec > 1 {
+                            out.push('(');
+                        }
+                        self.render_go(args[0], 2, stack, supply, out);
+                        out.push_str(" -> ");
+                        self.render_go(args[1], 1, stack, supply, out);
+                        if prec > 1 {
+                            out.push(')');
+                        }
+                    }
+                    (TyCon::Prod, 2) => {
+                        if prec > 2 {
+                            out.push('(');
+                        }
+                        self.render_go(args[0], 3, stack, supply, out);
+                        out.push_str(" * ");
+                        self.render_go(args[1], 3, stack, supply, out);
+                        if prec > 2 {
+                            out.push(')');
+                        }
+                    }
+                    (_, 0) => out.push_str(c.name()),
+                    _ => {
+                        if prec > 3 {
+                            out.push('(');
+                        }
+                        out.push_str(c.name());
+                        for a in args {
+                            out.push(' ');
+                            self.render_go(*a, 4, stack, supply, out);
+                        }
+                        if prec > 3 {
+                            out.push(')');
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The free (non-binder) variables of the scheme, in order of first
+    /// appearance — residual names for open schemes.
+    pub fn free_vars(&self, id: SchemeId) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        let mut seen = FxHashSet::default();
+        self.free_vars_go(id, &mut seen, &mut out);
+        out
+    }
+
+    fn free_vars_go(&self, id: SchemeId, seen: &mut FxHashSet<SchemeId>, out: &mut Vec<TyVar>) {
+        if !seen.insert(id) {
+            return;
+        }
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(_) => {}
+            SNode::Free(v) => {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            SNode::Con(_, r) => {
+                for &ch in self.children_of(r) {
+                    self.free_vars_go(ch, seen, out);
+                }
+            }
+            SNode::Forall(body) => self.free_vars_go(body, seen, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::parse_type;
+
+    fn roundtrip(src: &str) -> (SchemeStore, SchemeId) {
+        let mut store = Store::new();
+        let t = parse_type(src).unwrap();
+        let tid = store.intern_type(&t);
+        let mut bank = SchemeStore::new();
+        let sid = bank.export(&mut store, tid);
+        (bank, sid)
+    }
+
+    #[test]
+    fn export_to_type_round_trips() {
+        for src in [
+            "Int",
+            "forall a. a -> a",
+            "forall a b. a -> b -> a * b",
+            "(forall a. a -> a) -> Int * Bool",
+            "forall s. ST s Int",
+            "List (forall a. a -> a)",
+        ] {
+            let (mut bank, sid) = roundtrip(src);
+            let back = bank.to_type(sid);
+            assert!(back.alpha_eq(&parse_type(src).unwrap()), "{src}");
+        }
+    }
+
+    #[test]
+    fn alpha_equivalent_schemes_share_an_id() {
+        let mut store = Store::new();
+        let a = parse_type("forall a. a -> a").unwrap();
+        let b = parse_type("forall b. b -> b").unwrap();
+        let (ta, tb) = (store.intern_type(&a), store.intern_type(&b));
+        let mut bank = SchemeStore::new();
+        let (sa, sb) = (bank.export(&mut store, ta), bank.export(&mut store, tb));
+        assert_eq!(sa, sb, "de Bruijn hash-consing is α-canonical");
+        // Quantifier order still matters (§2 Ordered Quantifiers).
+        let c = parse_type("forall a b. a -> b").unwrap();
+        let d = parse_type("forall b a. a -> b").unwrap();
+        let (tc, td) = (store.intern_type(&c), store.intern_type(&d));
+        assert_ne!(bank.export(&mut store, tc), bank.export(&mut store, td));
+    }
+
+    #[test]
+    fn core_interning_matches_export() {
+        let mut store = Store::new();
+        let ty = parse_type("forall a. (forall b. b -> a) -> List a").unwrap();
+        let tid = store.intern_type(&ty);
+        let mut bank = SchemeStore::new();
+        let exported = bank.export(&mut store, tid);
+        let imported = bank.intern_type(&ty);
+        assert_eq!(exported, imported);
+    }
+
+    #[test]
+    fn intern_into_round_trips_through_a_store() {
+        let (bank, sid) = roundtrip("forall a. (a -> Int) -> List a");
+        let mut fresh = Store::new();
+        let tid = bank.intern_into(&mut fresh, sid);
+        let z = fresh.zonk(tid);
+        assert!(z.alpha_eq(&parse_type("forall a. (a -> Int) -> List a").unwrap()));
+    }
+
+    #[test]
+    fn pretty_matches_display_and_memoises() {
+        for src in [
+            "forall a. a -> a",
+            "forall s. ST s Int",
+            "(forall a. a -> a) -> Int * Bool",
+            "forall a b. (a -> b) -> List a -> List b",
+            "Int * Bool * Int",
+            "List (forall a. a -> a)",
+        ] {
+            let (mut bank, sid) = roundtrip(src);
+            let direct = bank.pretty(sid);
+            let via_tree = bank.to_type(sid).to_string();
+            assert_eq!(&*direct, via_tree, "{src}");
+            let renders_before = bank.renders();
+            let again = bank.pretty(sid);
+            assert_eq!(direct, again);
+            assert_eq!(bank.renders(), renders_before, "second pretty is a hit");
+            assert!(bank.render_hits() > 0);
+        }
+    }
+
+    #[test]
+    fn pair_chain_exports_in_dag_size() {
+        // The exponential pair chain: O(n) store nodes in, O(n) scheme
+        // nodes out — no tree is built by export.
+        let mut store = Store::new();
+        let mut t = store.int();
+        for _ in 0..12 {
+            t = store.con(TyCon::Prod, &[t, t]);
+        }
+        let mut bank = SchemeStore::new();
+        let sid = bank.export(&mut store, t);
+        assert_eq!(bank.len(), 13, "13 distinct nodes for n=12");
+        // …and the on-demand tree still agrees with eager zonking.
+        let eager = store.zonk(t);
+        assert!(bank.to_type(sid).alpha_eq(&eager));
+        // The memoised pretty renders it without building the tree.
+        let s = bank.pretty(sid);
+        assert_eq!(s.len(), eager.to_string().len());
+    }
+
+    #[test]
+    fn shared_forall_subterms_stay_dag_sized_both_ways() {
+        // Regression: a quantified subterm shared across a pair chain is
+        // scope-closed, so export and re-import must memoise it — the
+        // old "never memoise ∀" rule degenerated both directions to the
+        // full 2ⁿ tree (and import freshened a binder per visit).
+        let mut store = Store::new();
+        let id_ty = parse_type("forall a. a -> a").unwrap();
+        let mut t = store.intern_type(&id_ty);
+        for _ in 0..20 {
+            t = store.con(TyCon::Prod, &[t, t]);
+        }
+        let mut bank = SchemeStore::new();
+        let sid = bank.export(&mut store, t);
+        assert!(bank.len() <= 32, "export blew up: {} nodes", bank.len());
+        // Round trip into a fresh store. Before the fix this line alone
+        // was the regression: import freshened a binder per ∀ visit and
+        // allocated ~2²⁰ store nodes (seconds, then memory); with
+        // scope-closed memoisation it is instant and DAG-sized.
+        let mut fresh = Store::new();
+        let back = bank.intern_into(&mut fresh, sid);
+        assert_eq!(fresh.children(back).len(), 2);
+        let mut small = Store::new();
+        let mut st = small.intern_type(&id_ty);
+        for _ in 0..3 {
+            st = small.con(TyCon::Prod, &[st, st]);
+        }
+        let ssid = bank.export(&mut small, st);
+        let mut small_fresh = Store::new();
+        let sback = bank.intern_into(&mut small_fresh, ssid);
+        let z = small_fresh.zonk(sback);
+        assert!(z.alpha_eq(&small.zonk(st)));
+    }
+
+    #[test]
+    fn free_vars_in_order() {
+        let (bank, sid) = roundtrip("b -> a -> b");
+        let names: Vec<String> = bank.free_vars(sid).iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+}

@@ -10,7 +10,12 @@
 //!   structurally identical subtrees share one node, so equality of
 //!   interned ids implies structural identity and deep types built by
 //!   repeated application (e.g. the exponential pair chain) collapse to
-//!   DAGs.
+//!   DAGs. A [`Node`] is `Copy`: `Con` children live in a **flat child
+//!   slab** addressed by [`ChildRange`], so a node never owns a heap
+//!   allocation and interning never hashes an owned vector — the intern
+//!   table maps a structural 64-bit fingerprint straight to a `TypeId`
+//!   (collisions fall back to linear re-probing; a genuine 64-bit
+//!   collision merely costs one extra probe, never a wrong answer).
 //! * **Union-find cells** — a flexible variable is a [`VarId`] into a cell
 //!   bank. Solving a variable writes its cell once; *demotion* (the
 //!   paper's `demote(•, Θ, ∆′)`, Figure 15) is a kind-field update on the
@@ -41,7 +46,8 @@
 //! invented binders).
 
 use freezeml_core::{Kind, TyCon, TyVar, Type};
-use std::collections::{HashMap, HashSet};
+use fxhash::{FxHashMap, FxHashSet};
+use std::hash::{Hash, Hasher};
 
 /// An interned type: an index into the store's node arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -60,25 +66,47 @@ impl VarId {
     }
 }
 
-/// One arena node. `Con` children and `Forall` bodies are [`TypeId`]s, so
-/// a node never owns a subtree.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// A `Con` node's children: a contiguous range in the store's child slab.
+/// `Copy`, two words — the node itself owns nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChildRange {
+    start: u32,
+    len: u32,
+}
+
+impl ChildRange {
+    /// Number of children.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Is the range empty (a nullary constructor)?
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One arena node. `Copy`: `Con` children sit in the store's flat child
+/// slab ([`ChildRange`]), `Forall` bodies are [`TypeId`]s — a node never
+/// owns a subtree or a heap allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Node {
     /// A rigid variable: source-named, annotation-bound, a freshened `∀`
     /// binder, or a unification skolem.
     Rigid(TyVar),
     /// A flexible variable — resolution must consult its cell.
     Flex(VarId),
-    /// A fully applied constructor.
-    Con(TyCon, Vec<TypeId>),
+    /// A fully applied constructor; children via [`Store::children`].
+    Con(TyCon, ChildRange),
     /// A quantified type. The binder name is globally unique (freshened
     /// at interning / generalisation time).
     Forall(TyVar, TypeId),
 }
 
 /// An allocation-free projection of a [`Node`] for traversal — see
-/// [`Store::shape`].
-#[derive(Clone, Debug)]
+/// [`Store::shape`]. `Copy`; with interned names the projection is a
+/// couple of machine words.
+#[derive(Clone, Copy, Debug)]
 pub enum Shape {
     /// A rigid variable.
     Rigid(TyVar),
@@ -125,7 +153,13 @@ pub struct Mark {
 #[derive(Default)]
 pub struct Store {
     nodes: Vec<Node>,
-    intern: HashMap<Node, TypeId>,
+    /// Flat slab of `Con` children; nodes address it by [`ChildRange`].
+    children: Vec<TypeId>,
+    /// Structural fingerprint → id. On a (vanishingly rare) fingerprint
+    /// collision the insert re-probes with [`reprobe`]; lookups verify
+    /// structural equality before trusting an entry, so collisions cost
+    /// probes, never correctness.
+    intern: FxHashMap<u64, TypeId>,
     cells: Vec<Cell>,
     trail: Vec<TrailEntry>,
     /// Current generalisation level (incremented inside `let` right-hand
@@ -135,7 +169,7 @@ pub struct Store {
     epoch: u32,
     /// Source name of each freshened `∀` binder, so zonking can restore
     /// the programmer's names when no collision forbids it.
-    binder_src: HashMap<TyVar, TyVar>,
+    binder_src: FxHashMap<TyVar, TyVar>,
     /// Freshened binders in creation order, so [`Store::reset_to`] can
     /// evict their `binder_src` entries.
     binder_log: Vec<TyVar>,
@@ -145,8 +179,44 @@ pub struct Store {
 #[derive(Clone, Copy, Debug)]
 pub struct StoreMark {
     nodes: usize,
+    children: usize,
     cells: usize,
     binders: usize,
+}
+
+/// Next probe position after a fingerprint collision (deterministic, so
+/// [`Store::reset_to`] can retrace an entry's probe chain). Shared with
+/// the scheme store's interner — one probe protocol, one constant.
+pub(crate) fn reprobe(h: u64) -> u64 {
+    h.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15
+}
+
+fn fingerprint(node: &Node, children: &[TypeId]) -> u64 {
+    let mut h = fxhash::FxHasher::default();
+    match node {
+        Node::Rigid(v) => {
+            h.write_u8(0);
+            v.hash(&mut h);
+        }
+        Node::Flex(v) => {
+            h.write_u8(1);
+            h.write_u32(v.0);
+        }
+        Node::Con(c, _) => {
+            h.write_u8(2);
+            c.hash(&mut h);
+            h.write_u32(children.len() as u32);
+            for &t in children {
+                h.write_u32(t.0);
+            }
+        }
+        Node::Forall(v, b) => {
+            h.write_u8(3);
+            v.hash(&mut h);
+            h.write_u32(b.0);
+        }
+    }
+    h.finish()
 }
 
 impl Store {
@@ -155,15 +225,56 @@ impl Store {
         Self::default()
     }
 
-    /// Intern a node, returning the existing id for structurally identical
-    /// nodes.
-    pub fn mk(&mut self, node: Node) -> TypeId {
-        if let Some(&id) = self.intern.get(&node) {
-            return id;
+    /// The children of a `Con` node (empty for every other node kind).
+    pub fn children(&self, t: TypeId) -> &[TypeId] {
+        match self.nodes[t.0 as usize] {
+            Node::Con(_, r) => &self.children[r.start as usize..(r.start + r.len) as usize],
+            _ => &[],
+        }
+    }
+
+    /// Is the interned node `t` structurally identical to `node` (whose
+    /// prospective children are `args`)?
+    fn node_eq(&self, t: TypeId, node: &Node, args: &[TypeId]) -> bool {
+        match (&self.nodes[t.0 as usize], node) {
+            (Node::Rigid(a), Node::Rigid(b)) => a == b,
+            (Node::Flex(a), Node::Flex(b)) => a == b,
+            (Node::Con(c, _), Node::Con(d, _)) => c == d && self.children(t) == args,
+            (Node::Forall(a, x), Node::Forall(b, y)) => a == b && x == y,
+            _ => false,
+        }
+    }
+
+    /// Intern a node whose `Con` children (if any) are given by `args`
+    /// and not yet in the slab. Returns the existing id for structurally
+    /// identical nodes; otherwise copies `args` into the slab and
+    /// allocates.
+    fn intern_node(&mut self, node: Node, args: &[TypeId]) -> TypeId {
+        let mut h = fingerprint(&node, args);
+        loop {
+            match self.intern.get(&h) {
+                Some(&id) if self.node_eq(id, &node, args) => return id,
+                Some(_) => h = reprobe(h), // fingerprint collision
+                None => break,
+            }
         }
         let id = TypeId(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
-        self.intern.insert(node, id);
+        let node = match node {
+            Node::Con(c, _) => {
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(args);
+                Node::Con(
+                    c,
+                    ChildRange {
+                        start,
+                        len: args.len() as u32,
+                    },
+                )
+            }
+            other => other,
+        };
+        self.nodes.push(node);
+        self.intern.insert(h, id);
         id
     }
 
@@ -174,14 +285,14 @@ impl Store {
 
     /// An allocation-free projection of a node for traversal: `Con`
     /// carries only its head and arity (children are fetched by index
-    /// with [`Store::con_child`]), so hot walks never clone argument
-    /// vectors. `TyVar`/`TyCon` clones are an `Arc` bump at worst.
+    /// with [`Store::con_child`]). Everything is `Copy` — interned names
+    /// make this a register-width move, no `Arc` bumps.
     pub fn shape(&self, t: TypeId) -> Shape {
-        match &self.nodes[t.0 as usize] {
-            Node::Rigid(v) => Shape::Rigid(v.clone()),
-            Node::Flex(v) => Shape::Flex(*v),
-            Node::Con(c, args) => Shape::Con(c.clone(), args.len()),
-            Node::Forall(v, b) => Shape::Forall(v.clone(), *b),
+        match self.nodes[t.0 as usize] {
+            Node::Rigid(v) => Shape::Rigid(v),
+            Node::Flex(v) => Shape::Flex(v),
+            Node::Con(c, r) => Shape::Con(c, r.len()),
+            Node::Forall(v, b) => Shape::Forall(v, b),
         }
     }
 
@@ -191,65 +302,82 @@ impl Store {
     ///
     /// Panics if `t` is not a `Con` or `i` is out of range.
     pub fn con_child(&self, t: TypeId, i: usize) -> TypeId {
-        match &self.nodes[t.0 as usize] {
-            Node::Con(_, args) => args[i],
+        match self.nodes[t.0 as usize] {
+            Node::Con(_, r) => {
+                assert!(i < r.len(), "con_child index {i} out of range");
+                self.children[r.start as usize + i]
+            }
             other => panic!("con_child on non-Con node {other:?}"),
         }
     }
 
     /// A rigid variable node.
     pub fn rigid(&mut self, v: TyVar) -> TypeId {
-        self.mk(Node::Rigid(v))
+        self.intern_node(Node::Rigid(v), &[])
     }
 
     /// The node for an existing flexible variable.
     pub fn flex(&mut self, v: VarId) -> TypeId {
-        self.mk(Node::Flex(v))
+        self.intern_node(Node::Flex(v), &[])
     }
 
     /// A constructor application.
-    pub fn con(&mut self, c: TyCon, args: Vec<TypeId>) -> TypeId {
-        self.mk(Node::Con(c, args))
+    pub fn con(&mut self, c: TyCon, args: &[TypeId]) -> TypeId {
+        self.intern_node(Node::Con(c, ChildRange { start: 0, len: 0 }), args)
     }
 
     /// The function type `a -> b`.
     pub fn arrow(&mut self, a: TypeId, b: TypeId) -> TypeId {
-        self.con(TyCon::Arrow, vec![a, b])
+        self.con(TyCon::Arrow, &[a, b])
     }
 
     /// `Int`.
     pub fn int(&mut self) -> TypeId {
-        self.con(TyCon::Int, vec![])
+        self.con(TyCon::Int, &[])
     }
 
     /// `Bool`.
     pub fn bool(&mut self) -> TypeId {
-        self.con(TyCon::Bool, vec![])
+        self.con(TyCon::Bool, &[])
     }
 
     /// A quantified type (the binder must be globally fresh — callers
     /// either freshen at interning time or use a cell's unique name).
     pub fn forall(&mut self, v: TyVar, body: TypeId) -> TypeId {
-        self.mk(Node::Forall(v, body))
+        self.intern_node(Node::Forall(v, body), &[])
+    }
+
+    /// A globally fresh `∀` binder, optionally recording the source name
+    /// it stands for so zonking restores it (used when layering cached
+    /// schemes back into the store — see
+    /// [`SchemeStore::intern_into`](crate::scheme::SchemeStore::intern_into)).
+    pub fn fresh_binder(&mut self, src: Option<TyVar>) -> TyVar {
+        let fresh = TyVar::fresh();
+        if let Some(src) = src {
+            self.binder_src.insert(fresh, src);
+            self.binder_log.push(fresh);
+        }
+        fresh
     }
 
     /// A snapshot of the store's extent, for [`Store::reset_to`].
     pub fn checkpoint(&self) -> StoreMark {
         StoreMark {
             nodes: self.nodes.len(),
+            children: self.children.len(),
             cells: self.cells.len(),
             binders: self.binder_log.len(),
         }
     }
 
-    /// Shrink the store back to a checkpoint: drop every node, cell,
-    /// freshened-binder record, and trail entry created since. Sound only
-    /// when (a) nothing outside the store references post-checkpoint ids
-    /// and (b) no pre-checkpoint cell was mutated after it (nodes only
-    /// ever reference older nodes, so pre-checkpoint state is closed).
-    /// Outstanding [`Mark`]s are invalidated (their epoch no longer
-    /// matches). [`Session`](crate::Session) uses this to reclaim
-    /// per-term state.
+    /// Shrink the store back to a checkpoint: drop every node, child-slab
+    /// entry, cell, freshened-binder record, and trail entry created
+    /// since. Sound only when (a) nothing outside the store references
+    /// post-checkpoint ids and (b) no pre-checkpoint cell was mutated
+    /// after it (nodes only ever reference older nodes, so pre-checkpoint
+    /// state is closed). Outstanding [`Mark`]s are invalidated (their
+    /// epoch no longer matches). [`Session`](crate::Session) uses this to
+    /// reclaim per-term state.
     pub fn reset_to(&mut self, mark: &StoreMark) {
         self.epoch += 1;
         debug_assert!(self
@@ -257,9 +385,28 @@ impl Store {
             .iter()
             .take(mark.cells)
             .all(|c| c.solution.is_none_or(|t| (t.0 as usize) < mark.nodes)));
-        for node in self.nodes.drain(mark.nodes..) {
-            self.intern.remove(&node);
+        // Evict dropped nodes from the intern table by retracing each
+        // one's probe chain.
+        for idx in (mark.nodes..self.nodes.len()).rev() {
+            let id = TypeId(idx as u32);
+            let node = self.nodes[idx];
+            let mut h = fingerprint(&node, self.children(id));
+            loop {
+                match self.intern.get(&h) {
+                    Some(&found) if found == id => {
+                        self.intern.remove(&h);
+                        break;
+                    }
+                    Some(_) => h = reprobe(h),
+                    // Possible only if the node was a duplicate that lost
+                    // an interleaved probe race with a collision partner;
+                    // nothing to evict.
+                    None => break,
+                }
+            }
         }
+        self.nodes.truncate(mark.nodes);
+        self.children.truncate(mark.children);
         self.cells.truncate(mark.cells);
         for b in self.binder_log.drain(mark.binders..) {
             self.binder_src.remove(&b);
@@ -304,7 +451,7 @@ impl Store {
 
     /// The stable zonk name of a variable.
     pub fn name_of(&self, v: VarId) -> TyVar {
-        self.cells[v.0 as usize].name.clone()
+        self.cells[v.0 as usize].name
     }
 
     /// Enter a `let` right-hand side (one generalisation level deeper).
@@ -365,7 +512,7 @@ impl Store {
     /// binding order (deduplicated; compression entries are skipped).
     pub fn bound_since(&self, mark: Mark) -> Vec<VarId> {
         debug_assert_eq!(mark.epoch, self.epoch, "mark predates a reset_to");
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
         for e in &self.trail[mark.trail..] {
             if e.solution.is_none() && self.is_solved(e.var) && seen.insert(e.var) {
@@ -432,13 +579,13 @@ impl Store {
     /// Intern a `core` type, freshening every `∀` binder. Free named
     /// variables become [`Node::Rigid`] under their own names.
     pub fn intern_type(&mut self, ty: &Type) -> TypeId {
-        self.intern_type_with(ty, &HashMap::new())
+        self.intern_type_with(ty, &FxHashMap::default())
     }
 
     /// Intern a `core` type, mapping the given free variables to existing
     /// nodes (used to route a test environment's flexible `TyVar`s to
     /// their cells). Bound occurrences always win over the map.
-    pub fn intern_type_with(&mut self, ty: &Type, free: &HashMap<TyVar, TypeId>) -> TypeId {
+    pub fn intern_type_with(&mut self, ty: &Type, free: &FxHashMap<TyVar, TypeId>) -> TypeId {
         let mut bound = Vec::new();
         self.intern_go(ty, free, &mut bound)
     }
@@ -446,7 +593,7 @@ impl Store {
     fn intern_go(
         &mut self,
         ty: &Type,
-        free: &HashMap<TyVar, TypeId>,
+        free: &FxHashMap<TyVar, TypeId>,
         bound: &mut Vec<(TyVar, TypeId)>,
     ) -> TypeId {
         match ty {
@@ -456,22 +603,22 @@ impl Store {
                 } else if let Some(&id) = free.get(a) {
                     id
                 } else {
-                    self.rigid(a.clone())
+                    self.rigid(*a)
                 }
             }
             Type::Con(c, args) => {
-                let ids = args
+                let ids: Vec<TypeId> = args
                     .iter()
                     .map(|t| self.intern_go(t, free, bound))
                     .collect();
-                self.con(c.clone(), ids)
+                self.con(*c, &ids)
             }
             Type::Forall(a, body) => {
                 let fresh = TyVar::fresh();
-                self.binder_src.insert(fresh.clone(), a.clone());
-                self.binder_log.push(fresh.clone());
-                let fresh_id = self.rigid(fresh.clone());
-                bound.push((a.clone(), fresh_id));
+                self.binder_src.insert(fresh, *a);
+                self.binder_log.push(fresh);
+                let fresh_id = self.rigid(fresh);
+                bound.push((*a, fresh_id));
                 let b = self.intern_go(body, free, bound);
                 bound.pop();
                 self.forall(fresh, b)
@@ -488,6 +635,12 @@ impl Store {
     /// not free in the body (so the output names match what the
     /// paper-literal engine would print; `rename_free` keeps the
     /// restoration capture-avoiding in the shadowed-binder corner).
+    ///
+    /// This re-expands a DAG-shared type into a tree — worst case
+    /// exponential in the store representation (the pair chain). It is
+    /// the *protocol boundary* operation: inference itself never calls
+    /// it, and the scheme pipeline ([`crate::scheme`]) exports results
+    /// without it.
     pub fn zonk(&mut self, t: TypeId) -> Type {
         let t = self.resolve(t);
         match self.shape(t) {
@@ -504,15 +657,20 @@ impl Store {
             }
             Shape::Forall(v, body) => {
                 let body = self.zonk(body);
-                if let Some(src) = self.binder_src.get(&v).cloned() {
+                if let Some(src) = self.binder_src.get(&v).copied() {
                     if !body.occurs_free(&src) {
-                        let body = body.rename_free(&v, &Type::Var(src.clone()));
+                        let body = body.rename_free(&v, &Type::Var(src));
                         return Type::Forall(src, Box::new(body));
                     }
                 }
                 Type::Forall(v, Box::new(body))
             }
         }
+    }
+
+    /// The source name recorded for a freshened binder, if any.
+    pub(crate) fn binder_source(&self, v: &TyVar) -> Option<TyVar> {
+        self.binder_src.get(v).copied()
     }
 
     // ------------------------------------------------------ substitution
@@ -523,7 +681,7 @@ impl Store {
     /// capture-free; a memo keeps it linear in the (DAG) size and returns
     /// the original id for untouched subtrees.
     pub fn subst_rigid(&mut self, t: TypeId, from: &TyVar, to: TypeId) -> TypeId {
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         self.subst_go(t, from, to, &mut memo)
     }
 
@@ -532,7 +690,7 @@ impl Store {
         t: TypeId,
         from: &TyVar,
         to: TypeId,
-        memo: &mut HashMap<TypeId, TypeId>,
+        memo: &mut FxHashMap<TypeId, TypeId>,
     ) -> TypeId {
         let t = self.resolve(t);
         if let Some(&r) = memo.get(&t) {
@@ -558,7 +716,7 @@ impl Store {
                     })
                     .collect();
                 if changed {
-                    self.con(c, ids)
+                    self.con(c, &ids)
                 } else {
                     t
                 }
@@ -584,11 +742,11 @@ impl Store {
     /// Does the rigid variable `v` occur in the resolved type? (Skolem and
     /// annotation-variable escape checks.)
     pub fn occurs_rigid(&mut self, t: TypeId, v: &TyVar) -> bool {
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         self.occurs_rigid_go(t, v, &mut seen)
     }
 
-    fn occurs_rigid_go(&mut self, t: TypeId, v: &TyVar, seen: &mut HashSet<TypeId>) -> bool {
+    fn occurs_rigid_go(&mut self, t: TypeId, v: &TyVar, seen: &mut FxHashSet<TypeId>) -> bool {
         let t = self.resolve(t);
         if !seen.insert(t) {
             return false;
@@ -607,13 +765,13 @@ impl Store {
     /// The distinct unsolved flexible variables free in the resolved type,
     /// in order of first appearance (the paper's ordered `ftv`).
     pub fn free_flex(&mut self, t: TypeId) -> Vec<VarId> {
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
         self.free_flex_go(t, &mut seen, &mut out);
         out
     }
 
-    fn free_flex_go(&mut self, t: TypeId, seen: &mut HashSet<TypeId>, out: &mut Vec<VarId>) {
+    fn free_flex_go(&mut self, t: TypeId, seen: &mut FxHashSet<TypeId>, out: &mut Vec<VarId>) {
         let t = self.resolve(t);
         if !seen.insert(t) {
             return;
@@ -638,12 +796,12 @@ impl Store {
     /// demotion and level propagation).
     pub fn analyze(&mut self, t: TypeId, x: VarId) -> Analysis {
         let mut a = Analysis::default();
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         self.analyze_go(t, x, &mut seen, &mut a);
         a
     }
 
-    fn analyze_go(&mut self, t: TypeId, x: VarId, seen: &mut HashSet<TypeId>, a: &mut Analysis) {
+    fn analyze_go(&mut self, t: TypeId, x: VarId, seen: &mut FxHashSet<TypeId>, a: &mut Analysis) {
         let t = self.resolve(t);
         if !seen.insert(t) {
             return;
@@ -707,6 +865,43 @@ mod tests {
         let f1 = s.arrow(a, b);
         let f2 = s.arrow(a, b);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn nodes_are_copy_and_slab_backed() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Node>();
+        assert_copy::<Shape>();
+        let mut s = Store::new();
+        let i = s.int();
+        let b = s.bool();
+        let p = s.con(TyCon::Prod, &[i, b]);
+        assert_eq!(s.children(p), &[i, b]);
+        assert_eq!(s.con_child(p, 0), i);
+        assert_eq!(s.con_child(p, 1), b);
+        assert!(s.children(i).is_empty());
+    }
+
+    #[test]
+    fn reset_evicts_interned_nodes_and_children() {
+        let mut s = Store::new();
+        let i = s.int();
+        let mark = s.checkpoint();
+        let b = s.bool();
+        let p = s.con(TyCon::Prod, &[i, b]);
+        let slab_len = s.children.len();
+        assert!(slab_len >= 2);
+        s.reset_to(&mark);
+        // Dropped nodes are gone from arena, slab, and intern table…
+        assert_eq!(s.nodes.len(), 1);
+        assert!(s.children.len() < slab_len);
+        // …and re-creating them re-interns fresh ids at the same slots.
+        let b2 = s.bool();
+        let p2 = s.con(TyCon::Prod, &[i, b2]);
+        assert_eq!(b2, b, "slot reuse after reset");
+        assert_eq!(p2, p);
+        // Pre-mark nodes still deduplicate.
+        assert_eq!(s.int(), i);
     }
 
     #[test]
@@ -778,7 +973,7 @@ mod tests {
         let mut s = Store::new();
         let (x, xid) = s.fresh_var(Kind::Poly);
         let a = TyVar::named("a");
-        let aid = s.rigid(a.clone());
+        let aid = s.rigid(a);
         s.solve(x, aid);
         let arr = s.arrow(xid, aid);
         let i = s.int();
@@ -793,7 +988,7 @@ mod tests {
         let (y, yid) = s.fresh_var(Kind::Poly);
         let id_ty = parse_type("forall a. a -> a").unwrap();
         let idt = s.intern_type(&id_ty);
-        let t = s.con(TyCon::Prod, vec![yid, idt]);
+        let t = s.con(TyCon::Prod, &[yid, idt]);
         let a = s.analyze(t, x);
         assert!(!a.occurs && a.has_forall);
         assert_eq!(a.flex, vec![y]);
@@ -809,9 +1004,23 @@ mod tests {
         let mut s = Store::new();
         let mut t = s.int();
         for _ in 0..4 {
-            t = s.con(TyCon::Prod, vec![t, t]);
+            t = s.con(TyCon::Prod, &[t, t]);
         }
         let z = s.zonk(t);
         assert_eq!(z.size(), 31); // full tree re-expanded
+    }
+
+    #[test]
+    fn pair_chain_is_linear_in_the_store() {
+        // The n=12 exponential pair chain: 2^12 tree nodes, O(n) arena
+        // nodes — the representation invariant the scheme pipeline
+        // preserves across the engine boundary.
+        let mut s = Store::new();
+        let before = s.nodes.len();
+        let mut t = s.int();
+        for _ in 0..12 {
+            t = s.con(TyCon::Prod, &[t, t]);
+        }
+        assert_eq!(s.nodes.len() - before, 13);
     }
 }

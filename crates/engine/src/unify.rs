@@ -206,7 +206,7 @@ mod tests {
         let mut s = Store::new();
         let (_, aid) = uvar(&mut s, Kind::Mono);
         let (b, bid) = uvar(&mut s, Kind::Poly);
-        let t = s.con(freezeml_core::TyCon::List, vec![bid]);
+        let t = s.con(freezeml_core::TyCon::List, &[bid]);
         unify(&mut s, aid, t).unwrap();
         assert_eq!(s.kind_of(b), Kind::Mono);
     }
@@ -267,8 +267,8 @@ mod tests {
         let mut s = Store::new();
         let (b, bid) = uvar(&mut s, Kind::Poly);
         let sv = TyVar::named("s");
-        let s_rigid = s.rigid(sv.clone());
-        let st = s.con(freezeml_core::TyCon::St, vec![s_rigid, bid]);
+        let s_rigid = s.rigid(sv);
+        let st = s.con(freezeml_core::TyCon::St, &[s_rigid, bid]);
         let l = s.forall(sv, st);
         let r_ty = parse_type("forall s. ST s Int").unwrap();
         let r = s.intern_type(&r_ty);
@@ -283,7 +283,7 @@ mod tests {
         let mut s = Store::new();
         let (_, bid) = uvar(&mut s, Kind::Poly);
         let av = TyVar::named("a");
-        let a_rigid = s.rigid(av.clone());
+        let a_rigid = s.rigid(av);
         let body = s.arrow(a_rigid, bid);
         let l = s.forall(av, body);
         let r_ty = parse_type("forall a. a -> a").unwrap();
@@ -322,7 +322,7 @@ mod tests {
         let mut s = Store::new();
         let (_, aid) = uvar(&mut s, Kind::Poly);
         let (_, bid) = uvar(&mut s, Kind::Poly);
-        let lb = s.con(freezeml_core::TyCon::List, vec![bid]);
+        let lb = s.con(freezeml_core::TyCon::List, &[bid]);
         let l = s.arrow(aid, lb);
         let r = s.arrow(lb, aid);
         unify(&mut s, l, r).unwrap();

@@ -34,15 +34,15 @@ fn random_type<R: Rng>(rng: &mut R, pool: &TypePool, depth: usize, bound: &mut V
         let n_choices = pool.rigids.len() + pool.flex.len() + bound.len() + 2;
         let i = rng.gen_range(0..n_choices);
         if i < pool.rigids.len() {
-            return Type::Var(pool.rigids[i].clone());
+            return Type::Var(pool.rigids[i]);
         }
         let i = i - pool.rigids.len();
         if i < pool.flex.len() {
-            return Type::Var(pool.flex[i].clone());
+            return Type::Var(pool.flex[i]);
         }
         let i = i - pool.flex.len();
         if i < bound.len() {
-            return Type::Var(bound[i].clone());
+            return Type::Var(bound[i]);
         }
         return if i - bound.len() == 0 {
             Type::int()
@@ -69,7 +69,7 @@ fn random_type<R: Rng>(rng: &mut R, pool: &TypePool, depth: usize, bound: &mut V
         }
         _ => {
             let binder = TyVar::named(format!("q{}", rng.gen_range(0..3)));
-            bound.push(binder.clone());
+            bound.push(binder);
             let body = random_type(rng, pool, depth - 1, bound);
             bound.pop();
             Type::Forall(binder, Box::new(body))
@@ -84,7 +84,7 @@ fn mutate<R: Rng>(rng: &mut R, pool: &TypePool, t: &Type, bound: &mut Vec<TyVar>
     if rng.gen_range(0..10) < 2 {
         // Swap this subtree out entirely.
         return if rng.gen_bool(0.6) && !pool.flex.is_empty() {
-            Type::Var(pool.flex[rng.gen_range(0..pool.flex.len())].clone())
+            Type::Var(pool.flex[rng.gen_range(0..pool.flex.len())])
         } else {
             random_type(rng, pool, 2, bound)
         };
@@ -92,14 +92,14 @@ fn mutate<R: Rng>(rng: &mut R, pool: &TypePool, t: &Type, bound: &mut Vec<TyVar>
     match t {
         Type::Var(_) => t.clone(),
         Type::Con(c, args) => Type::Con(
-            c.clone(),
+            *c,
             args.iter().map(|a| mutate(rng, pool, a, bound)).collect(),
         ),
         Type::Forall(a, body) => {
-            bound.push(a.clone());
+            bound.push(*a);
             let b = mutate(rng, pool, body, bound);
             bound.pop();
-            Type::Forall(a.clone(), Box::new(b))
+            Type::Forall(*a, Box::new(b))
         }
     }
 }
@@ -125,7 +125,7 @@ fn random_type_pairs_unify_identically() {
             .iter()
             .map(|v| {
                 (
-                    v.clone(),
+                    *v,
                     if rng.gen_bool(0.5) {
                         Kind::Poly
                     } else {

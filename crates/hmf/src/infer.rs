@@ -18,7 +18,7 @@ fn instantiate(theta: &mut RefinedEnv, ty: &Type) -> Type {
         .into_iter()
         .map(|a| {
             let m = TyVar::fresh();
-            theta.insert(m.clone(), Kind::Poly);
+            theta.insert(m, Kind::Poly);
             (a, Type::Var(m))
         })
         .collect();
@@ -52,10 +52,7 @@ pub fn hmf_infer(
     let delta = KindEnv::new();
     match term {
         HmfTerm::Var(x) => {
-            let scheme = gamma
-                .lookup(x)
-                .cloned()
-                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let scheme = gamma.lookup(x).cloned().ok_or(TypeError::UnboundVar(*x))?;
             let mut theta1 = theta.clone();
             let ty = instantiate(&mut theta1, &scheme);
             Ok((theta1, Subst::identity(), ty))
@@ -63,14 +60,14 @@ pub fn hmf_infer(
         HmfTerm::Lit(l) => Ok((theta.clone(), Subst::identity(), l.ty())),
         HmfTerm::Lam(x, body) => {
             let a = TyVar::fresh();
-            let theta_in = theta.inserted(a.clone(), Kind::Mono);
-            let gamma_in = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let theta_in = theta.inserted(a, Kind::Mono);
+            let gamma_in = gamma.extended(*x, Type::Var(a));
             let (theta1, s, bty) = hmf_infer(&theta_in, &gamma_in, body)?;
             let param = s.image_of(&a);
             Ok((theta1, s.without(&a), Type::arrow(param, bty)))
         }
         HmfTerm::LamAnn(x, ann, body) => {
-            let gamma_in = gamma.extended(x.clone(), ann.clone());
+            let gamma_in = gamma.extended(*x, ann.clone());
             let (theta1, s, bty) = hmf_infer(theta, &gamma_in, body)?;
             Ok((theta1, s, Type::arrow(ann.clone(), bty)))
         }
@@ -86,10 +83,8 @@ pub fn hmf_infer(
                 _ => {
                     let d = TyVar::fresh();
                     let c = TyVar::fresh();
-                    let theta_arrow = theta1
-                        .inserted(d.clone(), Kind::Poly)
-                        .inserted(c.clone(), Kind::Poly);
-                    let expected = Type::arrow(Type::Var(d.clone()), Type::Var(c.clone()));
+                    let theta_arrow = theta1.inserted(d, Kind::Poly).inserted(c, Kind::Poly);
+                    let expected = Type::arrow(Type::Var(d), Type::Var(c));
                     let (th, s) = unify(&delta, &theta_arrow, &fty, &expected)?;
                     (s.apply(&Type::Var(d)), s.apply(&Type::Var(c)), th, s)
                 }
@@ -117,7 +112,7 @@ pub fn hmf_infer(
             // No value restriction: always generalise (HMF is
             // Haskell-flavoured).
             let (theta1, scheme) = generalize(&theta1, &gamma1, &aty);
-            let gamma_in = gamma1.extended(x.clone(), scheme);
+            let gamma_in = gamma1.extended(*x, scheme);
             let (theta2, s2, bty) = hmf_infer(&theta1, &gamma_in, body)?;
             Ok((theta2, s2.compose(&s1), bty))
         }

@@ -53,10 +53,10 @@ impl HmfTerm {
     /// frozen variables; no annotated `let`; no explicit type application).
     pub fn from_freezeml(t: &Term) -> Option<HmfTerm> {
         match t {
-            Term::Var(x) => Some(HmfTerm::Var(x.clone())),
-            Term::Lam(x, b) => Some(HmfTerm::Lam(x.clone(), Box::new(Self::from_freezeml(b)?))),
+            Term::Var(x) => Some(HmfTerm::Var(*x)),
+            Term::Lam(x, b) => Some(HmfTerm::Lam(*x, Box::new(Self::from_freezeml(b)?))),
             Term::LamAnn(x, ann, b) => Some(HmfTerm::LamAnn(
-                x.clone(),
+                *x,
                 ann.clone(),
                 Box::new(Self::from_freezeml(b)?),
             )),
@@ -65,7 +65,7 @@ impl HmfTerm {
                 Box::new(Self::from_freezeml(a)?),
             )),
             Term::Let(x, r, b) => Some(HmfTerm::Let(
-                x.clone(),
+                *x,
                 Box::new(Self::from_freezeml(r)?),
                 Box::new(Self::from_freezeml(b)?),
             )),

@@ -36,11 +36,11 @@ pub fn elaborate(gamma: &TypeEnv, term: &MlTerm) -> Result<(FTerm, Type), TypeEr
 fn apply_scoped(f: &FTerm, s: &Subst) -> FTerm {
     match f {
         FTerm::Var(_) | FTerm::Lit(_) => f.clone(),
-        FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), s.apply(t), Box::new(apply_scoped(b, s))),
+        FTerm::Lam(x, t, b) => FTerm::Lam(*x, s.apply(t), Box::new(apply_scoped(b, s))),
         FTerm::App(m, n) => FTerm::App(Box::new(apply_scoped(m, s)), Box::new(apply_scoped(n, s))),
         FTerm::TyLam(a, b) => {
             let inner = s.without(a);
-            FTerm::TyLam(a.clone(), Box::new(apply_scoped(b, &inner)))
+            FTerm::TyLam(*a, Box::new(apply_scoped(b, &inner)))
         }
         FTerm::TyApp(m, t) => FTerm::TyApp(Box::new(apply_scoped(m, s)), s.apply(t)),
     }
@@ -67,7 +67,7 @@ fn collect_flexibles(f: &FTerm, ty: &Type) -> Vec<TyVar> {
                 walk(n, bound, out);
             }
             FTerm::TyLam(a, b) => {
-                bound.push(a.clone());
+                bound.push(*a);
                 walk(b, bound, out);
                 bound.pop();
             }
@@ -87,28 +87,25 @@ fn collect_flexibles(f: &FTerm, ty: &Type) -> Vec<TyVar> {
 fn go(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type, FTerm), TypeError> {
     match term {
         MlTerm::Var(x) => {
-            let scheme = gamma
-                .lookup(x)
-                .cloned()
-                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let scheme = gamma.lookup(x).cloned().ok_or(TypeError::UnboundVar(*x))?;
             let (pairs, ty) = instantiate(&scheme);
-            let f = FTerm::tyapps(FTerm::var(x.clone()), pairs.into_iter().map(|(_, t)| t));
+            let f = FTerm::tyapps(FTerm::var(*x), pairs.into_iter().map(|(_, t)| t));
             Ok((Subst::identity(), ty, f))
         }
         MlTerm::Lit(l) => Ok((Subst::identity(), l.ty(), FTerm::Lit(*l))),
         MlTerm::Lam(x, body) => {
             let a = TyVar::fresh();
-            let g2 = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let g2 = gamma.extended(*x, Type::Var(a));
             let (s1, t1, fb) = go(&g2, body)?;
             let param = s1.apply(&Type::Var(a));
-            let f = FTerm::lam(x.clone(), param.clone(), fb);
+            let f = FTerm::lam(*x, param.clone(), fb);
             Ok((s1, Type::arrow(param, t1), f))
         }
         MlTerm::App(m, n) => {
             let (s1, t1, fm) = go(gamma, m)?;
             let (s2, t2, fn_) = go(&s1.apply_env(gamma), n)?;
             let b = TyVar::fresh();
-            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b.clone())))?;
+            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b)))?;
             let ty = s3.apply(&Type::Var(b));
             Ok((s3.compose(&s2).compose(&s1), ty, FTerm::app(fm, fn_)))
         }
@@ -117,9 +114,9 @@ fn go(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type, FTerm), TypeError>
             let g1 = s1.apply_env(gamma);
             let scheme = generalize(&g1, &t1, rhs);
             let (gen_vars, _) = scheme.split_foralls();
-            let g2 = g1.extended(x.clone(), scheme.clone());
+            let g2 = g1.extended(*x, scheme.clone());
             let (s2, t2, fb) = go(&g2, body)?;
-            let f = FTerm::let_(x.clone(), scheme, FTerm::tylams(gen_vars, fr), fb);
+            let f = FTerm::let_(*x, scheme, FTerm::tylams(gen_vars, fr), fb);
             Ok((s2.compose(&s1), t2, f))
         }
     }

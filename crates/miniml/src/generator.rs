@@ -59,7 +59,7 @@ fn gen<R: Rng>(
         0 | 1 => leaf(rng, config, scope),
         2..=4 => {
             let x = fresh_name(counter);
-            scope.push(x.clone());
+            scope.push(x);
             let body = gen(rng, config, depth - 1, scope, counter);
             scope.pop();
             MlTerm::lam(x, body)
@@ -72,7 +72,7 @@ fn gen<R: Rng>(
         _ => {
             let x = fresh_name(counter);
             let rhs = gen(rng, config, depth - 1, scope, counter);
-            scope.push(x.clone());
+            scope.push(x);
             let body = gen(rng, config, depth - 1, scope, counter);
             scope.pop();
             MlTerm::let_(x, rhs, body)
@@ -86,7 +86,7 @@ fn leaf<R: Rng>(rng: &mut R, config: &GenConfig, scope: &[Var]) -> MlTerm {
     let total = n_scope + n_prelude + 2;
     let i = rng.gen_range(0..total);
     if i < n_scope {
-        MlTerm::Var(scope[i].clone())
+        MlTerm::Var(scope[i])
     } else if i < n_scope + n_prelude {
         MlTerm::var(config.prelude[i - n_scope].as_str())
     } else if i == n_scope + n_prelude {

@@ -21,13 +21,13 @@ pub fn unify_mono(a: &Type, b: &Type) -> Result<Subst, TypeError> {
         (Type::Var(x), t) | (t, Type::Var(x)) => {
             if t.occurs_free(x) {
                 Err(TypeError::Occurs {
-                    var: x.clone(),
+                    var: *x,
                     ty: t.clone(),
                 })
             } else if !t.is_monotype() {
                 Err(TypeError::PolyNotAllowed { ty: t.clone() })
             } else {
-                Ok(Subst::singleton(x.clone(), t.clone()))
+                Ok(Subst::singleton(*x, t.clone()))
             }
         }
         (Type::Con(c, xs), Type::Con(d, ys)) => {
@@ -83,17 +83,14 @@ pub fn instantiate(scheme: &Type) -> (Vec<(TyVar, Type)>, Type) {
 pub fn w_infer(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type), TypeError> {
     match term {
         MlTerm::Var(x) => {
-            let scheme = gamma
-                .lookup(x)
-                .cloned()
-                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            let scheme = gamma.lookup(x).cloned().ok_or(TypeError::UnboundVar(*x))?;
             let (_, ty) = instantiate(&scheme);
             Ok((Subst::identity(), ty))
         }
         MlTerm::Lit(l) => Ok((Subst::identity(), l.ty())),
         MlTerm::Lam(x, body) => {
             let a = TyVar::fresh();
-            let g2 = gamma.extended(x.clone(), Type::Var(a.clone()));
+            let g2 = gamma.extended(*x, Type::Var(a));
             let (s1, t1) = w_infer(&g2, body)?;
             let param = s1.apply(&Type::Var(a));
             Ok((s1, Type::arrow(param, t1)))
@@ -102,7 +99,7 @@ pub fn w_infer(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type), TypeErro
             let (s1, t1) = w_infer(gamma, f)?;
             let (s2, t2) = w_infer(&s1.apply_env(gamma), arg)?;
             let b = TyVar::fresh();
-            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b.clone())))?;
+            let s3 = unify_mono(&s2.apply(&t1), &Type::arrow(t2, Type::Var(b)))?;
             let ty = s3.apply(&Type::Var(b));
             Ok((s3.compose(&s2).compose(&s1), ty))
         }
@@ -110,7 +107,7 @@ pub fn w_infer(gamma: &TypeEnv, term: &MlTerm) -> Result<(Subst, Type), TypeErro
             let (s1, t1) = w_infer(gamma, rhs)?;
             let g1 = s1.apply_env(gamma);
             let scheme = generalize(&g1, &t1, rhs);
-            let g2 = g1.extended(x.clone(), scheme);
+            let g2 = g1.extended(*x, scheme);
             let (s2, t2) = w_infer(&g2, body)?;
             Ok((s2.compose(&s1), t2))
         }
@@ -261,8 +258,8 @@ mod tests {
     fn unify_mono_solves_systems() {
         let a = TyVar::fresh();
         let b = TyVar::fresh();
-        let l = Type::arrow(Type::Var(a.clone()), Type::Var(b.clone()));
-        let r = Type::arrow(Type::list(Type::Var(b.clone())), Type::list(Type::int()));
+        let l = Type::arrow(Type::Var(a), Type::Var(b));
+        let r = Type::arrow(Type::list(Type::Var(b)), Type::list(Type::int()));
         let s = unify_mono(&l, &r).unwrap();
         assert_eq!(s.apply(&Type::Var(a)), Type::list(Type::list(Type::int())));
         assert_eq!(s.apply(&Type::Var(b)), Type::list(Type::int()));

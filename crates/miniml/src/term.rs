@@ -63,14 +63,12 @@ impl MlTerm {
     /// term; Theorem 1).
     pub fn to_freezeml(&self) -> Term {
         match self {
-            MlTerm::Var(x) => Term::Var(x.clone()),
-            MlTerm::Lam(x, b) => Term::Lam(x.clone(), Box::new(b.to_freezeml())),
+            MlTerm::Var(x) => Term::Var(*x),
+            MlTerm::Lam(x, b) => Term::Lam(*x, Box::new(b.to_freezeml())),
             MlTerm::App(f, a) => Term::App(Box::new(f.to_freezeml()), Box::new(a.to_freezeml())),
-            MlTerm::Let(x, r, b) => Term::Let(
-                x.clone(),
-                Box::new(r.to_freezeml()),
-                Box::new(b.to_freezeml()),
-            ),
+            MlTerm::Let(x, r, b) => {
+                Term::Let(*x, Box::new(r.to_freezeml()), Box::new(b.to_freezeml()))
+            }
             MlTerm::Lit(l) => Term::Lit(*l),
         }
     }
@@ -79,14 +77,14 @@ impl MlTerm {
     /// (no freezing, no annotations).
     pub fn from_freezeml(t: &Term) -> Option<MlTerm> {
         match t {
-            Term::Var(x) => Some(MlTerm::Var(x.clone())),
-            Term::Lam(x, b) => Some(MlTerm::Lam(x.clone(), Box::new(Self::from_freezeml(b)?))),
+            Term::Var(x) => Some(MlTerm::Var(*x)),
+            Term::Lam(x, b) => Some(MlTerm::Lam(*x, Box::new(Self::from_freezeml(b)?))),
             Term::App(f, a) => Some(MlTerm::App(
                 Box::new(Self::from_freezeml(f)?),
                 Box::new(Self::from_freezeml(a)?),
             )),
             Term::Let(x, r, b) => Some(MlTerm::Let(
-                x.clone(),
+                *x,
                 Box::new(Self::from_freezeml(r)?),
                 Box::new(Self::from_freezeml(b)?),
             )),

@@ -32,9 +32,9 @@
 use crate::graph::{condense, Condensation};
 use crate::hash::{hash_str, Fnv, U64Map};
 use freezeml_core::{
-    Decl, InstantiationStrategy, Options, ParseError, Program, Span, Term, Type, Var,
+    Decl, InstantiationStrategy, Options, ParseError, Program, Span, Symbol, Term, Type, Var,
 };
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::sync::Arc;
 
 /// Which inference engine(s) the service drives — mirroring the
@@ -82,10 +82,15 @@ impl EngineSel {
 /// The verdict on one binding.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Outcome {
-    /// Well typed at this (closed, canonicalised) scheme.
+    /// Well typed at this (closed, canonical) scheme.
     Typed {
-        /// The binding's scheme.
-        scheme: Type,
+        /// The binding's scheme in the service's shared scheme store —
+        /// an α-class id the Merkle cache keys directly; the `core::Type`
+        /// tree is materialised only on demand at the protocol boundary.
+        id: freezeml_engine::SchemeId,
+        /// The canonical rendering, memoised per id in the scheme store
+        /// (shared `Arc`, so cache hits and `type-of` clone a pointer).
+        scheme: std::sync::Arc<str>,
         /// Residual monomorphic variables that were grounded to `Int`
         /// to keep the environment closed (value restriction; same
         /// defaulting the REPL performs), by canonical name.
@@ -123,8 +128,12 @@ impl Outcome {
     /// One-line rendering for reports and diffs.
     pub fn display(&self) -> String {
         match self {
-            Outcome::Typed { scheme, defaulted } if defaulted.is_empty() => scheme.to_string(),
-            Outcome::Typed { scheme, defaulted } => {
+            Outcome::Typed {
+                scheme, defaulted, ..
+            } if defaulted.is_empty() => scheme.to_string(),
+            Outcome::Typed {
+                scheme, defaulted, ..
+            } => {
                 format!("{scheme}  (defaulted: {})", defaulted.join(", "))
             }
             Outcome::Error { message, .. } => format!("✕ ({message})"),
@@ -152,8 +161,13 @@ pub struct DeclInfo {
 
 impl DeclInfo {
     /// The bound name.
-    pub fn name(&self) -> &str {
-        &self.chunk.name
+    pub fn name(&self) -> &'static str {
+        self.chunk.name.as_str()
+    }
+
+    /// The bound name as an interned symbol.
+    pub fn name_sym(&self) -> Symbol {
+        self.chunk.name
     }
 
     /// The annotation, if any.
@@ -169,15 +183,15 @@ impl DeclInfo {
     /// The probe term whose type is the declaration's scheme —
     /// `let x (: A)? = M in ⌈x⌉` (see [`freezeml_core::Decl::probe_term`]).
     pub fn probe_term(&self) -> Term {
-        let x = Var::named(&self.chunk.name);
+        let x = Var::from_symbol(self.chunk.name);
         match &self.chunk.ann {
             None => Term::Let(
-                x.clone(),
+                x,
                 Box::new(self.chunk.term.clone()),
                 Box::new(Term::FrozenVar(x)),
             ),
             Some(ann) => Term::LetAnn(
-                x.clone(),
+                x,
                 ann.clone(),
                 Box::new(self.chunk.term.clone()),
                 Box::new(Term::FrozenVar(x)),
@@ -222,7 +236,7 @@ pub fn analyze(src: &str, opts: &Options, engine: EngineSel) -> Result<Analysis,
 /// A parsed declaration, shared between the parse cache and analyses.
 #[derive(Debug)]
 struct ParsedDecl {
-    name: String,
+    name: Symbol,
     ann: Option<Type>,
     term: Term,
     /// Slice-relative declaration span (`let` through `;;` — a chunk may
@@ -431,18 +445,19 @@ fn build_analysis(
     // Resolve each free variable to the latest earlier declaration of
     // that name (ML shadowing), via an incrementally maintained
     // name → latest-index map — O(total free variables), not O(n²).
-    let mut latest: HashMap<&str, usize> = HashMap::with_capacity(n);
+    let mut latest: FxHashMap<Symbol, usize> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
     let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
     for (i, d) in decls.iter().enumerate() {
         let mut ds: Vec<usize> = d
             .free_vars()
             .iter()
-            .filter_map(|v| v.name().and_then(|name| latest.get(name).copied()))
+            .filter_map(|v| v.symbol().and_then(|name| latest.get(&name).copied()))
             .collect();
         ds.sort_unstable();
         ds.dedup();
         deps.push(ds);
-        latest.insert(d.name(), i);
+        latest.insert(d.name_sym(), i);
     }
     let cond = condense(n, &deps);
 

@@ -24,12 +24,13 @@
 use crate::db::{Analysis, DeclInfo, EngineSel, Outcome};
 use crate::hash::U64Map;
 
-/// One inference job: a declaration index plus the schemes of its
-/// dependencies.
-type Job = (usize, Vec<(Var, Type)>);
+/// One inference job: a declaration index plus the scheme ids of its
+/// dependencies (resolved against the shared scheme store).
+type Job = (usize, Vec<(Var, SchemeId)>);
 use freezeml_core::{Options, Span, Type, TypeEnv, Var};
 use freezeml_engine::differential::{class_of, types_equivalent};
-use freezeml_engine::Session;
+use freezeml_engine::{SchemeId, SchemeStore, Session};
+use std::sync::{Arc, Mutex};
 
 /// One worker: lazily-built engine sessions (with and without the
 /// Figure 2 prelude) plus the core-engine environments.
@@ -80,38 +81,69 @@ impl Worker {
         slot.as_ref().expect("just initialised")
     }
 
-    /// Check one binding under the schemes of its dependencies.
+    /// Check one binding under the scheme ids of its dependencies.
+    ///
+    /// Under `ENGINE=uf` — the production configuration — the whole
+    /// round trip is zonk-free: dependency schemes enter the session by
+    /// O(DAG) interning straight from the shared scheme store, and the
+    /// result leaves as a [`SchemeId`] export; no `core::Type` tree is
+    /// built. The oracle paths (`core`, differential `both`) materialise
+    /// trees, as befits the configuration whose job is cross-checking.
     pub fn check(
         &mut self,
+        bank: &Mutex<SchemeStore>,
         use_prelude: bool,
         decl: &DeclInfo,
-        dep_env: &[(Var, Type)],
+        deps: &[(Var, SchemeId)],
     ) -> Outcome {
         let term = decl.probe_term();
         match self.engine {
             EngineSel::Uf => {
-                let r = self.session(use_prelude).infer_with(dep_env, &term);
-                outcome_of(r.map(|o| o.ty))
+                // The session infers without holding the bank lock
+                // (infer_scheme_with locks it only around the O(DAG)
+                // import/export crossings), so a worker pool's
+                // inferences run concurrently.
+                match self
+                    .session(use_prelude)
+                    .infer_scheme_with(bank, deps, &term)
+                {
+                    Ok(out) => {
+                        let rendered = bank
+                            .lock()
+                            .expect("scheme store poisoned")
+                            .pretty(out.scheme);
+                        Outcome::Typed {
+                            id: out.scheme,
+                            scheme: rendered,
+                            defaulted: out.defaulted,
+                        }
+                    }
+                    Err(e) => Outcome::Error {
+                        class: format!("{:?}", class_of(&e)),
+                        message: e.to_string(),
+                    },
+                }
             }
             EngineSel::Core => {
-                let mut env = self.env(use_prelude).clone();
-                for (x, t) in dep_env {
-                    env.push(x.clone(), t.clone());
-                }
+                let env = self.dep_tree_env(bank, use_prelude, deps);
                 let r = freezeml_core::infer_term(&env, &term, &self.opts);
-                outcome_of(r.map(|o| o.ty))
+                outcome_of(bank, r.map(|o| o.ty))
             }
             EngineSel::Both => {
-                let uf = self.session(use_prelude).infer_with(dep_env, &term);
+                let dep_env: Vec<(Var, Type)> = {
+                    let mut bank = bank.lock().expect("scheme store poisoned");
+                    deps.iter().map(|(x, s)| (*x, bank.to_type(*s))).collect()
+                };
+                let uf = self.session(use_prelude).infer_with(&dep_env, &term);
                 let mut env = self.env(use_prelude).clone();
-                for (x, t) in dep_env {
-                    env.push(x.clone(), t.clone());
+                for (x, t) in &dep_env {
+                    env.push(*x, t.clone());
                 }
                 let core = freezeml_core::infer_term(&env, &term, &self.opts);
                 match (core, uf) {
-                    (Ok(c), Ok(u)) if types_equivalent(&c.ty, &u.ty) => outcome_of(Ok(c.ty)),
+                    (Ok(c), Ok(u)) if types_equivalent(&c.ty, &u.ty) => outcome_of(bank, Ok(c.ty)),
                     (Err(ce), Err(ue)) if class_of(&ce) == class_of(&ue) => {
-                        outcome_of(Err::<Type, _>(ce))
+                        outcome_of(bank, Err::<Type, _>(ce))
                     }
                     (c, u) => Outcome::Disagreement {
                         core: render(&c.map(|o| o.ty.canonicalize())),
@@ -120,6 +152,22 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// Materialise dependency schemes as `core::Type` trees (oracle
+    /// engines only).
+    fn dep_tree_env(
+        &mut self,
+        bank: &Mutex<SchemeStore>,
+        use_prelude: bool,
+        deps: &[(Var, SchemeId)],
+    ) -> TypeEnv {
+        let mut env = self.env(use_prelude).clone();
+        let mut bank = bank.lock().expect("scheme store poisoned");
+        for (x, s) in deps {
+            env.push(*x, bank.to_type(*s));
+        }
+        env
     }
 }
 
@@ -130,9 +178,13 @@ fn render(r: &Result<Type, freezeml_core::TypeError>) -> String {
     }
 }
 
-/// Canonicalise a successful scheme and ground residual monomorphic
-/// variables to `Int` (value restriction), or classify the error.
-fn outcome_of(r: Result<Type, freezeml_core::TypeError>) -> Outcome {
+/// Canonicalise a successful tree-engine scheme, ground residual
+/// monomorphic variables to `Int` (value restriction), and intern it
+/// into the shared scheme store, or classify the error. The oracle
+/// engines' outcomes land in the same α-canonical scheme space as the
+/// union-find engine's, so a scheme produced under `ENGINE=both` and one
+/// produced under `ENGINE=uf` share an id iff they are α-equivalent.
+fn outcome_of(bank: &Mutex<SchemeStore>, r: Result<Type, freezeml_core::TypeError>) -> Outcome {
     match r {
         Ok(ty) => {
             let mut scheme = ty.canonicalize();
@@ -140,7 +192,13 @@ fn outcome_of(r: Result<Type, freezeml_core::TypeError>) -> Outcome {
             for v in scheme.ftv() {
                 scheme = scheme.rename_free(&v, &Type::int());
             }
-            Outcome::Typed { scheme, defaulted }
+            let mut bank = bank.lock().expect("scheme store poisoned");
+            let id = bank.intern_type(&scheme);
+            Outcome::Typed {
+                id,
+                scheme: bank.pretty(id),
+                defaulted,
+            }
         }
         Err(e) => Outcome::Error {
             class: format!("{:?}", class_of(&e)),
@@ -186,9 +244,13 @@ impl CheckReport {
     }
 }
 
-/// The worker pool.
+/// The worker pool, sharing one persistent scheme store.
 pub struct Executor {
     workers: Vec<Worker>,
+    /// The shared scheme store: every worker exports into it, the
+    /// Merkle cache's outcomes point into it, and `type-of` renders
+    /// from its per-id memo.
+    bank: Arc<Mutex<SchemeStore>>,
 }
 
 impl Executor {
@@ -196,12 +258,18 @@ impl Executor {
     pub fn new(n: usize, opts: Options, engine: EngineSel) -> Executor {
         Executor {
             workers: (0..n.max(1)).map(|_| Worker::new(opts, engine)).collect(),
+            bank: Arc::new(Mutex::new(SchemeStore::new())),
         }
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The shared scheme store.
+    pub fn bank(&self) -> &Arc<Mutex<SchemeStore>> {
+        &self.bank
     }
 
     /// One check pass: walk the waves, reuse cache hits, block on failed
@@ -248,13 +316,13 @@ impl Executor {
                     reused += 1;
                     continue;
                 }
-                let dep_env: Vec<(Var, Type)> = a.deps[i]
+                let dep_env: Vec<(Var, SchemeId)> = a.deps[i]
                     .iter()
                     .map(|&d| {
-                        let Some(Outcome::Typed { scheme, .. }) = outcomes[d].as_ref() else {
+                        let Some(Outcome::Typed { id, .. }) = outcomes[d].as_ref() else {
                             unreachable!("checked typed above")
                         };
-                        (Var::named(a.decls[d].name()), scheme.clone())
+                        (Var::from_symbol(a.decls[d].name_sym()), *id)
                     })
                     .collect();
                 jobs.push((i, dep_env));
@@ -272,13 +340,14 @@ impl Executor {
                 chunks[j % k].push(job);
             }
             let decls = &a.decls;
+            let bank = &*self.bank;
             let results: Vec<(usize, Outcome)> = if k == 1 {
                 let w = &mut self.workers[0];
                 chunks
                     .pop()
                     .expect("k == 1")
                     .into_iter()
-                    .map(|(i, env)| (i, w.check(use_prelude, &decls[i], &env)))
+                    .map(|(i, env)| (i, w.check(bank, use_prelude, &decls[i], &env)))
                     .collect()
             } else {
                 std::thread::scope(|s| {
@@ -290,7 +359,9 @@ impl Executor {
                             s.spawn(move || {
                                 chunk
                                     .into_iter()
-                                    .map(|(i, env)| (i, w.check(use_prelude, &decls[i], &env)))
+                                    .map(|(i, env)| {
+                                        (i, w.check(bank, use_prelude, &decls[i], &env))
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -381,7 +452,10 @@ mod tests {
         // grounds it to Int, mirroring the REPL.
         let src = "#use prelude\nlet xs = single id;;\n";
         let r = check(src, EngineSel::Both);
-        let Outcome::Typed { scheme, defaulted } = &r.binding("xs").unwrap().outcome else {
+        let Outcome::Typed {
+            scheme, defaulted, ..
+        } = &r.binding("xs").unwrap().outcome
+        else {
             panic!("xs should type: {:?}", r.bindings)
         };
         assert_eq!(scheme.to_string(), "List (Int -> Int)");

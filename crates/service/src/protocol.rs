@@ -481,7 +481,9 @@ pub fn report_json(doc: &str, report: &CheckReport, src: &str) -> Json {
             ];
             use crate::db::Outcome::*;
             match &b.outcome {
-                Typed { scheme, defaulted } => {
+                Typed {
+                    scheme, defaulted, ..
+                } => {
                     fields.push(("status".into(), Json::Str("ok".into())));
                     fields.push(("type".into(), Json::Str(scheme.to_string())));
                     if !defaulted.is_empty() {

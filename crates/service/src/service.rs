@@ -109,6 +109,36 @@ impl Service {
         self.cache.len()
     }
 
+    /// Tree/string materialisations the shared scheme store has
+    /// performed — the zonk counter. `type-of` on an unchanged binding
+    /// and warm `check` passes must not move it: schemes are served as
+    /// memoised `Arc` renderings keyed by [`freezeml_engine::SchemeId`].
+    pub fn scheme_renders(&self) -> u64 {
+        self.exec
+            .bank()
+            .lock()
+            .expect("scheme store poisoned")
+            .renders()
+    }
+
+    /// Renderings served from the scheme store's per-id memo.
+    pub fn scheme_render_hits(&self) -> u64 {
+        self.exec
+            .bank()
+            .lock()
+            .expect("scheme store poisoned")
+            .render_hits()
+    }
+
+    /// Interned scheme nodes in the shared store (observability).
+    pub fn scheme_nodes(&self) -> usize {
+        self.exec
+            .bank()
+            .lock()
+            .expect("scheme store poisoned")
+            .len()
+    }
+
     fn set_text(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
         match analyze_cached(&mut self.frontend, text, &self.cfg.opts, self.cfg.engine) {
             Ok(analysis) => {
@@ -253,6 +283,68 @@ mod tests {
         assert_eq!(
             s.check("d").err(),
             Some(ServiceError::UnknownDoc("d".into()))
+        );
+    }
+
+    #[test]
+    fn type_of_serves_cached_schemes_without_rezonking() {
+        // The satellite micro-fix: an unchanged binding's scheme is
+        // served from the per-SchemeId memo — repeated `type-of` and
+        // warm `check` passes perform zero tree/string materialisations.
+        let mut s = svc(EngineSel::Uf);
+        s.open(
+            "d",
+            "#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n",
+        )
+        .unwrap();
+        let renders_cold = s.scheme_renders();
+        assert!(renders_cold > 0, "cold check renders each scheme once");
+        for _ in 0..5 {
+            let b = s.type_of("d", "f").unwrap().unwrap();
+            assert_eq!(b.outcome.display(), "forall a. a -> a");
+            let b = s.type_of("d", "p").unwrap().unwrap();
+            assert_eq!(b.outcome.display(), "Int * Bool");
+        }
+        let warm = s.check("d").unwrap();
+        assert_eq!((warm.rechecked, warm.reused), (0, 2));
+        assert_eq!(
+            s.scheme_renders(),
+            renders_cold,
+            "type-of and warm checks never re-zonk"
+        );
+        // Re-inferring an identical binding in a new document reuses the
+        // rendered scheme too (the α-canonical id is the memo key).
+        s.open("e", "#use prelude\nlet g = fun y -> y;;\n").unwrap();
+        assert_eq!(
+            s.type_of("e", "g").unwrap().unwrap().outcome.display(),
+            "forall a. a -> a"
+        );
+        assert_eq!(s.scheme_renders(), renders_cold, "α-equal scheme: memo hit");
+        assert!(s.scheme_render_hits() > 0);
+        assert!(s.scheme_nodes() > 0);
+    }
+
+    #[test]
+    fn alpha_equal_schemes_render_canonically_across_documents() {
+        // Regression: SchemeIds are α-classes shared service-wide, so
+        // the rendering must be canonical — one binding's annotation
+        // names must never leak into another binding's output through
+        // the shared scheme store's render memo.
+        let mut s = svc(EngineSel::Uf);
+        s.open("a", "let g = fun (x : forall z. z -> z) -> x;;\n")
+            .unwrap();
+        s.open("b", "let f = fun (x : forall a. a -> a) -> x;;\n")
+            .unwrap();
+        // (the plain `x` occurrence instantiates, so the parameter's
+        // polytype guards the annotation and the result generalises)
+        let want = "forall a. (forall b. b -> b) -> a -> a";
+        assert_eq!(
+            s.type_of("a", "g").unwrap().unwrap().outcome.display(),
+            want
+        );
+        assert_eq!(
+            s.type_of("b", "f").unwrap().unwrap().outcome.display(),
+            want
         );
     }
 

@@ -34,7 +34,9 @@ fn essence(r: &CheckReport) -> Vec<(String, String)> {
         .iter()
         .map(|b| {
             let v = match &b.outcome {
-                freezeml_service::Outcome::Typed { scheme, defaulted } => {
+                freezeml_service::Outcome::Typed {
+                    scheme, defaulted, ..
+                } => {
                     format!("ok {scheme} [{}]", defaulted.len())
                 }
                 freezeml_service::Outcome::Error { class, .. } => format!("err {class}"),

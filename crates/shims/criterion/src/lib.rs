@@ -19,9 +19,98 @@
 //! `cargo test` (the harness receives `--test`) every benchmark runs
 //! exactly one iteration, mirroring the real crate's test mode.
 //!
+//! Machine-readable results: set `CRITERION_SHIM_JSON=<path>` and every
+//! measured benchmark is recorded in a JSON document at that path —
+//! `{"schema":"criterion-shim/v1","budget_ms":…,"results":[{id, min_ns,
+//! mean_ns, median_ns, max_ns, stddev_ns, samples, iters_per_sample},…]}`
+//! — rewritten after each benchmark so the file is valid JSON even if
+//! the run is interrupted. Rows **merge by id**: `cargo bench` runs each
+//! bench target as a separate process, so a shared sink path updates
+//! matching rows in place and preserves the rest (delete the file first
+//! for a from-scratch record, as `freezeml bench-json` does). That
+//! subcommand produces the checked-in `BENCH_engine.json` /
+//! `BENCH_service.json`; the CI perf-smoke job validates the schema at
+//! a small budget.
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Accumulated JSON entries, keyed by benchmark id (all groups share
+/// the file, so the sink is global).
+struct JsonSink {
+    path: String,
+    budget_ms: u64,
+    entries: Vec<(String, String)>,
+}
+
+/// Entries already in a sink document this process did not write: a
+/// `cargo bench` run executes each bench target as its own process, so
+/// a shared sink path must merge, not clobber — an id written by this
+/// process replaces the stale row, everything else is preserved.
+fn load_existing(path: &str) -> Vec<(String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    if !text.starts_with("{\"schema\":\"criterion-shim/v1\"") {
+        return Vec::new(); // unknown file: do not import, will overwrite
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("{\"id\":\"") {
+            // Benchmark ids contain no JSON escapes (they are
+            // group/function/parameter names), so the id ends at the
+            // next quote.
+            if let Some(end) = rest.find('\"') {
+                out.push((rest[..end].to_string(), line.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn json_sink() -> &'static Option<Mutex<JsonSink>> {
+    static SINK: OnceLock<Option<Mutex<JsonSink>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let path = std::env::var("CRITERION_SHIM_JSON").ok()?;
+        let budget_ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(250);
+        let entries = load_existing(&path);
+        Some(Mutex::new(JsonSink {
+            path,
+            budget_ms,
+            entries,
+        }))
+    })
+}
+
+/// Record one measured result (replacing any earlier row with the same
+/// id) and rewrite the document — small files; rewriting keeps the
+/// output valid JSON at every point, even mid-run.
+fn json_record(id: &str, r: &Report) {
+    let Some(sink) = json_sink() else { return };
+    let mut sink = sink.lock().expect("json sink poisoned");
+    let line = format!(
+        "{{\"id\":{id:?},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\
+         \"max_ns\":{:.1},\"stddev_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+        r.min_ns, r.mean_ns, r.median_ns, r.max_ns, r.stddev_ns, r.samples, r.iters_per_sample
+    );
+    sink.entries.retain(|(eid, _)| eid != id);
+    sink.entries.push((id.to_string(), line));
+    let body: Vec<&str> = sink.entries.iter().map(|(_, l)| l.as_str()).collect();
+    let doc = format!(
+        "{{\"schema\":\"criterion-shim/v1\",\"budget_ms\":{},\"results\":[\n{}\n]}}\n",
+        sink.budget_ms,
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&sink.path, doc) {
+        eprintln!("criterion shim: cannot write {}: {e}", sink.path);
+    }
+}
 
 /// Entry point handed to `criterion_group!` target functions.
 pub struct Criterion {
@@ -165,17 +254,20 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         match bencher.report {
             _ if bencher.test_mode => println!("test-mode {full}: ok (1 iteration)"),
-            Some(r) => println!(
-                "bench {full}: min {} (mean {}, median {}, max {}, stddev {}) \
-                 over {} samples x {} iters",
-                fmt_ns(r.min_ns),
-                fmt_ns(r.mean_ns),
-                fmt_ns(r.median_ns),
-                fmt_ns(r.max_ns),
-                fmt_ns(r.stddev_ns),
-                r.samples,
-                r.iters_per_sample,
-            ),
+            Some(r) => {
+                json_record(&full, &r);
+                println!(
+                    "bench {full}: min {} (mean {}, median {}, max {}, stddev {}) \
+                     over {} samples x {} iters",
+                    fmt_ns(r.min_ns),
+                    fmt_ns(r.mean_ns),
+                    fmt_ns(r.median_ns),
+                    fmt_ns(r.max_ns),
+                    fmt_ns(r.stddev_ns),
+                    r.samples,
+                    r.iters_per_sample,
+                );
+            }
             None => println!("bench {full}: no measurement (b.iter never called)"),
         }
     }
@@ -310,6 +402,28 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn existing_sink_documents_merge_by_id() {
+        let dir = std::env::temp_dir().join(format!("shim-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.json");
+        let doc = "{\"schema\":\"criterion-shim/v1\",\"budget_ms\":250,\"results\":[\n\
+                   {\"id\":\"a/core/1\",\"min_ns\":1.0,\"samples\":3},\n\
+                   {\"id\":\"b/uf/2\",\"min_ns\":2.0,\"samples\":3}\n]}\n";
+        std::fs::write(&path, doc).unwrap();
+        let entries = load_existing(path.to_str().unwrap());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a/core/1");
+        assert_eq!(entries[1].0, "b/uf/2");
+        assert!(entries[1].1.starts_with("{\"id\":\"b/uf/2\""));
+        // A non-shim file is not imported (it would be overwritten).
+        std::fs::write(&path, "{\"something\":\"else\"}").unwrap();
+        assert!(load_existing(path.to_str().unwrap()).is_empty());
+        // A missing file yields an empty sink.
+        assert!(load_existing(dir.join("absent.json").to_str().unwrap()).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn measurement_produces_a_report() {

@@ -1,0 +1,144 @@
+//! A vendored, dependency-free stand-in for the `fxhash` / `rustc-hash`
+//! crates (the build environment is offline; see `crates/shims/README.md`).
+//!
+//! [`FxHasher`] is the multiply-rotate word hasher rustc uses for its
+//! interned-index maps: for small keys (interned symbols, arena ids,
+//! `u32`/`u64` newtypes) it is one multiply per word, roughly an order of
+//! magnitude cheaper than the DoS-resistant SipHash that
+//! `std::collections::HashMap` defaults to. It is **not** DoS-resistant
+//! and must only key maps whose inputs the program itself generates —
+//! exactly the inference-path maps this workspace uses it for.
+//!
+//! The constant is the golden-ratio multiplier (2⁶⁴/φ); the finish step
+//! is a SplitMix64-style avalanche so that sequential ids (the common
+//! case for arena indices) spread over the table.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Build-hasher plumbing for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word hasher. See the module docs.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            tail[7] = rest.len() as u8 | 0x80;
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Avalanche: arena ids are sequential; without this the low bits
+        // (the ones `HashMap` masks with) would barely differ.
+        let mut z = self.hash;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot hash of any hashable value with [`FxHasher`].
+pub fn hash<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&17), Some(&"v"));
+        assert_eq!(m.get(&1000), None);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_input_sensitive() {
+        assert_eq!(hash(&12345u64), hash(&12345u64));
+        assert_ne!(hash(&12345u64), hash(&12346u64));
+        assert_ne!(hash("a"), hash("b"));
+        assert_ne!(hash("a"), hash("a\0"));
+        assert_ne!(hash(&(1u32, 2u32)), hash(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_low_bits() {
+        // The avalanche step must spread consecutive ids across the low
+        // byte, or arena-indexed maps would degenerate into one bucket.
+        let mut low = FxHashSet::default();
+        for i in 0..256u32 {
+            low.insert(hash(&i) & 0xff);
+        }
+        assert!(low.len() > 128, "only {} distinct low bytes", low.len());
+    }
+}

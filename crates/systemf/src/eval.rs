@@ -137,15 +137,12 @@ impl Env {
 /// happen for well-typed closed programs — types are erased but sound).
 pub fn eval(env: &Env, term: &FTerm) -> Result<Value, EvalError> {
     match term {
-        FTerm::Var(x) => env
-            .lookup(x)
-            .cloned()
-            .ok_or_else(|| EvalError::Unbound(x.clone())),
+        FTerm::Var(x) => env.lookup(x).cloned().ok_or(EvalError::Unbound(*x)),
         FTerm::Lit(Lit::Int(n)) => Ok(Value::Int(*n)),
         FTerm::Lit(Lit::Bool(b)) => Ok(Value::Bool(*b)),
         FTerm::Lam(x, _, body) => Ok(Value::Closure {
             env: env.clone(),
-            param: x.clone(),
+            param: *x,
             body: (**body).clone(),
         }),
         FTerm::App(m, n) => {

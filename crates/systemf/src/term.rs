@@ -114,9 +114,9 @@ impl FTerm {
     pub fn map_types(&self, f: &mut impl FnMut(&Type) -> Type) -> FTerm {
         match self {
             FTerm::Var(_) | FTerm::Lit(_) => self.clone(),
-            FTerm::Lam(x, t, b) => FTerm::Lam(x.clone(), f(t), Box::new(b.map_types(f))),
+            FTerm::Lam(x, t, b) => FTerm::Lam(*x, f(t), Box::new(b.map_types(f))),
             FTerm::App(m, n) => FTerm::App(Box::new(m.map_types(f)), Box::new(n.map_types(f))),
-            FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(b.map_types(f))),
+            FTerm::TyLam(a, b) => FTerm::TyLam(*a, Box::new(b.map_types(f))),
             FTerm::TyApp(m, t) => FTerm::TyApp(Box::new(m.map_types(f)), f(t)),
         }
     }
@@ -159,14 +159,14 @@ impl FTerm {
                     self.clone()
                 } else if v.free_in(y) {
                     let fresh = Var::fresh();
-                    let renamed = b.subst_var(y, &FTerm::Var(fresh.clone()));
+                    let renamed = b.subst_var(y, &FTerm::Var(fresh));
                     FTerm::Lam(fresh, a.clone(), Box::new(renamed.subst_var(x, v)))
                 } else {
-                    FTerm::Lam(y.clone(), a.clone(), Box::new(b.subst_var(x, v)))
+                    FTerm::Lam(*y, a.clone(), Box::new(b.subst_var(x, v)))
                 }
             }
             FTerm::App(f, a) => FTerm::app(f.subst_var(x, v), a.subst_var(x, v)),
-            FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(b.subst_var(x, v))),
+            FTerm::TyLam(a, b) => FTerm::TyLam(*a, Box::new(b.subst_var(x, v))),
             FTerm::TyApp(m, ty) => FTerm::TyApp(Box::new(m.subst_var(x, v)), ty.clone()),
         }
     }
@@ -176,17 +176,15 @@ impl FTerm {
     pub fn subst_ty(&self, a: &TyVar, ty: &Type) -> FTerm {
         match self {
             FTerm::Var(_) | FTerm::Lit(_) => self.clone(),
-            FTerm::Lam(x, ann, b) => FTerm::Lam(
-                x.clone(),
-                ann.rename_free(a, ty),
-                Box::new(b.subst_ty(a, ty)),
-            ),
+            FTerm::Lam(x, ann, b) => {
+                FTerm::Lam(*x, ann.rename_free(a, ty), Box::new(b.subst_ty(a, ty)))
+            }
             FTerm::App(m, n) => FTerm::app(m.subst_ty(a, ty), n.subst_ty(a, ty)),
             FTerm::TyLam(b, v) => {
                 if b == a {
                     self.clone() // shadowed
                 } else {
-                    FTerm::TyLam(b.clone(), Box::new(v.subst_ty(a, ty)))
+                    FTerm::TyLam(*b, Box::new(v.subst_ty(a, ty)))
                 }
             }
             FTerm::TyApp(m, t2) => FTerm::TyApp(Box::new(m.subst_ty(a, ty)), t2.rename_free(a, ty)),

@@ -16,14 +16,11 @@ use freezeml_core::{Kind, KindEnv, RefinedEnv, Type, TypeEnv};
 pub fn typecheck(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Type, FTypeError> {
     let theta = RefinedEnv::new();
     match term {
-        FTerm::Var(x) => gamma
-            .lookup(x)
-            .cloned()
-            .ok_or_else(|| FTypeError::Unbound(x.clone())),
+        FTerm::Var(x) => gamma.lookup(x).cloned().ok_or(FTypeError::Unbound(*x)),
         FTerm::Lit(l) => Ok(l.ty()),
         FTerm::Lam(x, ann, body) => {
             kinding::has_kind(delta, &theta, ann, Kind::Poly)?;
-            let g2 = gamma.extended(x.clone(), ann.clone());
+            let g2 = gamma.extended(*x, ann.clone());
             let b = typecheck(delta, &g2, body)?;
             Ok(Type::arrow(ann.clone(), b))
         }
@@ -54,13 +51,11 @@ pub fn typecheck(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Type,
             // Church-numeral arithmetic.
             let (a2, body2) = if delta.contains(a) {
                 let c = freezeml_core::TyVar::fresh();
-                (c.clone(), body.subst_ty(a, &Type::Var(c)))
+                (c, body.subst_ty(a, &Type::Var(c)))
             } else {
-                (a.clone(), (**body).clone())
+                (*a, (**body).clone())
             };
-            let delta2 = delta
-                .extended([a2.clone()])
-                .expect("binder is fresh for delta");
+            let delta2 = delta.extended([a2]).expect("binder is fresh for delta");
             let b = typecheck(&delta2, gamma, &body2)?;
             Ok(Type::Forall(a2, Box::new(b)))
         }

@@ -17,7 +17,7 @@ fn gen_term<R: Rng>(rng: &mut R, goal: &Type, scope: &[(Var, Type)], depth: usiz
         let candidates: Vec<&(Var, Type)> =
             scope.iter().filter(|(_, t)| t.alpha_eq(goal)).collect();
         if let Some((x, _)) = candidates.first() {
-            return FTerm::Var(x.clone());
+            return FTerm::Var(*x);
         }
     }
     match goal {
@@ -27,7 +27,7 @@ fn gen_term<R: Rng>(rng: &mut R, goal: &Type, scope: &[(Var, Type)], depth: usiz
                 .iter()
                 .find(|(_, t)| t.alpha_eq(goal))
                 .expect("variable-typed goal must have a witness in scope");
-            FTerm::Var(x.clone())
+            FTerm::Var(*x)
         }
         Type::Con(freezeml_core::TyCon::Int, _) => {
             if depth > 0 && rng.gen_bool(0.5) {
@@ -42,7 +42,7 @@ fn gen_term<R: Rng>(rng: &mut R, goal: &Type, scope: &[(Var, Type)], depth: usiz
         Type::Con(freezeml_core::TyCon::Arrow, args) => {
             let x = Var::named(format!("x{}", scope.len()));
             let mut scope2 = scope.to_vec();
-            scope2.push((x.clone(), args[0].clone()));
+            scope2.push((x, args[0].clone()));
             let body = gen_term(rng, &args[1], &scope2, depth.saturating_sub(1));
             FTerm::lam(x, args[0].clone(), body)
         }
@@ -50,7 +50,7 @@ fn gen_term<R: Rng>(rng: &mut R, goal: &Type, scope: &[(Var, Type)], depth: usiz
             // Λa. V — body must be a value; generate one (lambdas and
             // variables are values; Int redexes are not, so restrict).
             let inner = gen_value(rng, body, scope, depth.saturating_sub(1), a);
-            FTerm::tylam(a.clone(), inner)
+            FTerm::tylam(*a, inner)
         }
         // Fall back for other constructors: not generated.
         other => panic!("generator does not target {other}"),
@@ -69,13 +69,13 @@ fn gen_value<R: Rng>(
         Type::Con(freezeml_core::TyCon::Arrow, args) => {
             let x = Var::named(format!("x{}", scope.len()));
             let mut scope2 = scope.to_vec();
-            scope2.push((x.clone(), args[0].clone()));
+            scope2.push((x, args[0].clone()));
             let body = gen_term(rng, &args[1], &scope2, depth);
             FTerm::lam(x, args[0].clone(), body)
         }
         Type::Forall(a, body) => {
             let inner = gen_value(rng, body, scope, depth, a);
-            FTerm::tylam(a.clone(), inner)
+            FTerm::tylam(*a, inner)
         }
         Type::Con(freezeml_core::TyCon::Int, _) => FTerm::int(rng.gen_range(0..100)),
         Type::Con(freezeml_core::TyCon::Bool, _) => FTerm::bool(true),
@@ -84,7 +84,7 @@ fn gen_value<R: Rng>(
             scope
                 .iter()
                 .find(|(_, t)| matches!(t, Type::Var(b) if b == a))
-                .map(|(x, _)| FTerm::Var(x.clone()))
+                .map(|(x, _)| FTerm::Var(*x))
                 .unwrap_or(FTerm::int(0)) // unreachable for our goals
         }
         other => panic!("generator does not target value type {other}"),
@@ -105,10 +105,7 @@ fn gen_goal<R: Rng>(rng: &mut R, depth: usize) -> Type {
         1 | 2 => Type::arrow(gen_goal(rng, depth - 1), gen_goal(rng, depth - 1)),
         _ => {
             let a = freezeml_core::TyVar::named(format!("g{depth}"));
-            Type::Forall(
-                a.clone(),
-                Box::new(Type::arrow(Type::Var(a.clone()), Type::Var(a))),
-            )
+            Type::Forall(a, Box::new(Type::arrow(Type::Var(a), Type::Var(a))))
         }
     }
 }

@@ -37,11 +37,11 @@ pub fn f_to_freeze(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Ter
 
 fn go(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Term, FTypeError> {
     match term {
-        FTerm::Var(x) => Ok(Term::FrozenVar(x.clone())),
+        FTerm::Var(x) => Ok(Term::FrozenVar(*x)),
         FTerm::Lit(l) => Ok(Term::Lit(*l)),
         FTerm::Lam(x, ann, body) => {
-            let g2 = gamma.extended(x.clone(), ann.clone());
-            Ok(Term::lam_ann(x.clone(), ann.clone(), go(delta, &g2, body)?))
+            let g2 = gamma.extended(*x, ann.clone());
+            Ok(Term::lam_ann(*x, ann.clone(), go(delta, &g2, body)?))
         }
         FTerm::App(m, n) => Ok(Term::app(go(delta, gamma, m)?, go(delta, gamma, n)?)),
         FTerm::TyLam(a, v) => {
@@ -49,13 +49,13 @@ fn go(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Term, FTypeError
             let c = TyVar::fresh();
             let v2 = rename_tyvar(v, a, &c);
             let delta2 = delta
-                .extended([c.clone()])
+                .extended([c])
                 .expect("fresh type variable cannot clash");
             let b = typecheck(&delta2, gamma, &v2)?;
             let ann = Type::Forall(c, Box::new(b));
             let x = Var::fresh();
             Ok(Term::let_ann(
-                x.clone(),
+                x,
                 ann,
                 Term::inst(go(&delta2, gamma, &v2)?),
                 Term::FrozenVar(x),
@@ -68,7 +68,7 @@ fn go(delta: &KindEnv, gamma: &TypeEnv, term: &FTerm) -> Result<Term, FTypeError
                     let ann = body.rename_free(&a, ty);
                     let x = Var::fresh();
                     Ok(Term::let_ann(
-                        x.clone(),
+                        x,
                         ann,
                         Term::inst(go(delta, gamma, m)?),
                         Term::FrozenVar(x),
@@ -86,8 +86,8 @@ fn rename_tyvar(t: &FTerm, from: &TyVar, to: &TyVar) -> FTerm {
     match t {
         FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
         FTerm::Lam(x, a, b) => FTerm::Lam(
-            x.clone(),
-            a.rename_free(from, &Type::Var(to.clone())),
+            *x,
+            a.rename_free(from, &Type::Var(*to)),
             Box::new(rename_tyvar(b, from, to)),
         ),
         FTerm::App(m, n) => FTerm::app(rename_tyvar(m, from, to), rename_tyvar(n, from, to)),
@@ -95,12 +95,12 @@ fn rename_tyvar(t: &FTerm, from: &TyVar, to: &TyVar) -> FTerm {
             if a == from {
                 t.clone() // shadowed
             } else {
-                FTerm::TyLam(a.clone(), Box::new(rename_tyvar(b, from, to)))
+                FTerm::TyLam(*a, Box::new(rename_tyvar(b, from, to)))
             }
         }
         FTerm::TyApp(m, ty) => FTerm::TyApp(
             Box::new(rename_tyvar(m, from, to)),
-            ty.rename_free(from, &Type::Var(to.clone())),
+            ty.rename_free(from, &Type::Var(*to)),
         ),
     }
 }

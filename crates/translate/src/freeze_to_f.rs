@@ -47,19 +47,18 @@ pub fn elaborate(out: &InferOutput) -> Elaborated {
 /// resolved (no flexible variables).
 pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
     match &typed.node {
-        TypedNode::FrozenVar { name } => FTerm::Var(name.clone()),
-        TypedNode::Var { name, inst, .. } => FTerm::tyapps(
-            FTerm::Var(name.clone()),
-            inst.iter().map(|(_, t)| t.clone()),
-        ),
+        TypedNode::FrozenVar { name } => FTerm::Var(*name),
+        TypedNode::Var { name, inst, .. } => {
+            FTerm::tyapps(FTerm::Var(*name), inst.iter().map(|(_, t)| t.clone()))
+        }
         TypedNode::Lit { lit } => FTerm::Lit(*lit),
         TypedNode::Lam {
             param,
             param_ty,
             body,
-        } => FTerm::lam(param.clone(), param_ty.clone(), freeze_to_f(body)),
+        } => FTerm::lam(*param, param_ty.clone(), freeze_to_f(body)),
         TypedNode::LamAnn { param, ann, body } => {
-            FTerm::lam(param.clone(), ann.clone(), freeze_to_f(body))
+            FTerm::lam(*param, ann.clone(), freeze_to_f(body))
         }
         TypedNode::App { func, arg } => FTerm::app(freeze_to_f(func), freeze_to_f(arg)),
         TypedNode::TyApp { inner, arg, .. } => FTerm::tyapp(freeze_to_f(inner), arg.clone()),
@@ -74,7 +73,7 @@ pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
             body,
             ..
         } => FTerm::let_(
-            name.clone(),
+            *name,
             bound_ty.clone(),
             FTerm::tylams(gen_vars.iter().cloned(), freeze_to_f(rhs)),
             freeze_to_f(body),
@@ -87,7 +86,7 @@ pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
             body,
             ..
         } => FTerm::let_(
-            name.clone(),
+            *name,
             ann.clone(),
             FTerm::tylams(split_vars.iter().cloned(), freeze_to_f(rhs)),
             freeze_to_f(body),
@@ -110,8 +109,8 @@ pub fn freeze_to_f_valuable(typed: &TypedTerm) -> FTerm {
 pub fn admin_reduce(t: &FTerm) -> FTerm {
     match t {
         FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
-        FTerm::Lam(x, a, b) => FTerm::Lam(x.clone(), a.clone(), Box::new(admin_reduce(b))),
-        FTerm::TyLam(a, b) => FTerm::TyLam(a.clone(), Box::new(admin_reduce(b))),
+        FTerm::Lam(x, a, b) => FTerm::Lam(*x, a.clone(), Box::new(admin_reduce(b))),
+        FTerm::TyLam(a, b) => FTerm::TyLam(*a, Box::new(admin_reduce(b))),
         FTerm::TyApp(m, ty) => {
             let m = admin_reduce(m);
             if let FTerm::TyLam(a, v) = &m {

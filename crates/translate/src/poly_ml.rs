@@ -184,8 +184,8 @@ impl std::error::Error for PmlError {}
 /// `⟦A⟧τ` — box every quantifier group.
 pub fn type_to_pml(ty: &Type) -> PmlType {
     match ty {
-        Type::Var(a) => PmlType::Var(a.clone()),
-        Type::Con(c, args) => PmlType::Con(c.clone(), args.iter().map(type_to_pml).collect()),
+        Type::Var(a) => PmlType::Var(*a),
+        Type::Con(c, args) => PmlType::Con(*c, args.iter().map(type_to_pml).collect()),
         Type::Forall(_, _) => {
             let (vars, body) = ty.split_foralls();
             PmlType::Boxed(vars, Box::new(type_to_pml(body)))
@@ -211,22 +211,22 @@ pub fn scheme_to_pml(ty: &Type) -> PmlType {
 /// nodes, which Appendix E does not treat.
 pub fn freeze_to_poly_ml(typed: &TypedTerm) -> Result<PmlTerm, PmlError> {
     match &typed.node {
-        TypedNode::FrozenVar { name } => Ok(PmlTerm::Var(name.clone())),
+        TypedNode::FrozenVar { name } => Ok(PmlTerm::Var(*name)),
         TypedNode::Var { name, inst, .. } => {
             if inst.is_empty() {
-                Ok(PmlTerm::Var(name.clone()))
+                Ok(PmlTerm::Var(*name))
             } else {
-                Ok(PmlTerm::Open(name.clone()))
+                Ok(PmlTerm::Open(*name))
             }
         }
         TypedNode::Lit { lit } => Ok(PmlTerm::Lit(*lit)),
         TypedNode::Lam { param, body, .. } => Ok(PmlTerm::Lam(
-            param.clone(),
+            *param,
             None,
             Box::new(freeze_to_poly_ml(body)?),
         )),
         TypedNode::LamAnn { param, ann, body } => Ok(PmlTerm::Lam(
-            param.clone(),
+            *param,
             Some(type_to_pml(ann)),
             Box::new(freeze_to_poly_ml(body)?),
         )),
@@ -253,7 +253,7 @@ pub fn freeze_to_poly_ml(typed: &TypedTerm) -> Result<PmlTerm, PmlError> {
                 PmlTerm::BoxAnn(Box::new(rhs_pml), scheme_to_pml(bound_ty))
             };
             Ok(PmlTerm::Let(
-                name.clone(),
+                *name,
                 Box::new(rhs_pml),
                 Box::new(freeze_to_poly_ml(body)?),
             ))
@@ -273,7 +273,7 @@ pub fn freeze_to_poly_ml(typed: &TypedTerm) -> Result<PmlTerm, PmlError> {
                 PmlTerm::BoxAnn(Box::new(rhs_pml), scheme_to_pml(ann))
             };
             Ok(PmlTerm::Let(
-                name.clone(),
+                *name,
                 Box::new(rhs_pml),
                 Box::new(freeze_to_poly_ml(body)?),
             ))

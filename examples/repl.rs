@@ -113,9 +113,9 @@ impl Repl {
                     .clone();
                 let _ = self.svc.edit(DOC, &self.text);
                 match outcome {
-                    Outcome::Typed { scheme, defaulted } if defaulted.is_empty() => {
-                        Ok(scheme.to_string())
-                    }
+                    Outcome::Typed {
+                        scheme, defaulted, ..
+                    } if defaulted.is_empty() => Ok(scheme.to_string()),
                     o => Ok(o.display()),
                 }
             }

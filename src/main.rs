@@ -9,6 +9,11 @@
 //!                               are program files, `#! program` golden files,
 //!                               or directories of golden files
 //! freezeml gen N [SEED]         print a generated N-binding program
+//! freezeml bench-json [MS]      run the engine_compare and
+//!                               service_throughput benches with the JSON
+//!                               telemetry sink and write BENCH_engine.json
+//!                               / BENCH_service.json (budget MS per
+//!                               benchmark, default 2000)
 //!
 //! options (before the subcommand arguments):
 //!   --engine core|uf|both       inference engine (default: $ENGINE or uf)
@@ -33,7 +38,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
-         [serve | check FILE… | replay PATH… | gen N [SEED]]"
+         [serve | check FILE… | replay PATH… | gen N [SEED] | bench-json [MS]]"
     );
     ExitCode::from(2)
 }
@@ -180,6 +185,57 @@ fn cmd_gen(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the headline benches under `cargo bench` with the criterion
+/// shim's JSON sink enabled, writing the telemetry record the perf
+/// trajectory is tracked by (`BENCH_engine.json` / `BENCH_service.json`
+/// at the workspace root — see EXPERIMENTS.md).
+fn cmd_bench_json(rest: &[String]) -> ExitCode {
+    let budget_ms: u64 = match rest.first() {
+        None => 2000,
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => return usage(),
+        },
+    };
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: no working directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (bench, out) in [
+        ("engine_compare", "BENCH_engine.json"),
+        ("service_throughput", "BENCH_service.json"),
+    ] {
+        // Absolute sink path: cargo runs bench binaries with the package
+        // directory as cwd, and the record belongs at the invocation root.
+        // Removed first: the shim merges into an existing document by id,
+        // and this subcommand's contract is a from-scratch record.
+        let sink = cwd.join(out);
+        let _ = std::fs::remove_file(&sink);
+        eprintln!("── cargo bench --bench {bench} → {out} (budget {budget_ms} ms)");
+        let status =
+            std::process::Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+                .args(["bench", "-p", "freezeml_bench", "--bench", bench])
+                .env("CRITERION_SHIM_BUDGET_MS", budget_ms.to_string())
+                .env("CRITERION_SHIM_JSON", &sink)
+                .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("error: cargo bench --bench {bench} exited with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: cannot run cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -201,6 +257,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(args.cfg, &args.rest),
         "replay" => cmd_replay(args.cfg, &args.rest),
         "gen" => cmd_gen(&args.rest),
+        "bench-json" => cmd_bench_json(&args.rest),
         _ => usage(),
     }
 }

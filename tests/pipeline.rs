@@ -29,7 +29,7 @@ fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> T
     ];
     if depth == 0 {
         return match rng.gen_range(0..4) {
-            0 if !scope.is_empty() => Term::Var(scope[rng.gen_range(0..scope.len())].clone()),
+            0 if !scope.is_empty() => Term::Var(scope[rng.gen_range(0..scope.len())]),
             1 => Term::frozen(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
             2 => Term::int(rng.gen_range(0..10)),
             _ => Term::var(PRELUDE[rng.gen_range(0..PRELUDE.len())]),
@@ -43,7 +43,7 @@ fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> T
         }
         3 | 4 => {
             let x = Var::named(format!("v{}", scope.len()));
-            scope.push(x.clone());
+            scope.push(x);
             let body = random_freezeml(rng, depth - 1, scope);
             scope.pop();
             Term::lam(x, body)
@@ -51,7 +51,7 @@ fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> T
         5 | 6 => {
             let x = Var::named(format!("v{}", scope.len()));
             let rhs = random_freezeml(rng, depth - 1, scope);
-            scope.push(x.clone());
+            scope.push(x);
             let body = random_freezeml(rng, depth - 1, scope);
             scope.pop();
             Term::let_(x, rhs, body)
@@ -62,7 +62,7 @@ fn random_freezeml<R: Rng>(rng: &mut R, depth: usize, scope: &mut Vec<Var>) -> T
             // A frozen let: let x = V in ⌈x⌉-style shapes.
             let x = Var::named(format!("v{}", scope.len()));
             let rhs = random_freezeml(rng, depth - 1, scope);
-            Term::let_(x.clone(), rhs, Term::FrozenVar(x))
+            Term::let_(x, rhs, Term::FrozenVar(x))
         }
         _ => random_freezeml(rng, 0, scope),
     }

@@ -1,0 +1,97 @@
+//! Bench: end-to-end elaboration (parse → infer → evidence → System F
+//! image) on both pipelines, over the well-typed Figure 1 corpus — the
+//! new `elaborate` workload opened by the engine-native evidence path.
+//!
+//! `core` pays for inference *plus* a derivation tree plus the
+//! substitution resolution pass; `uf` records evidence during solving
+//! and materialises types once through the SchemeId-keyed embedding.
+//! The `plus-oracle` rows add the `freezeml_systemf` typecheck the
+//! differential harness runs on every image.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezeml_core::{parse_term, KindEnv, Options, Term, TypeEnv};
+use freezeml_corpus::{runner, Expected, Mode, EXAMPLES};
+use freezeml_systemf::typecheck;
+use freezeml_translate::{elaborate_with, ElabEngine};
+use std::time::Duration;
+
+/// The standard-mode well-typed corpus rows, parsed, with their
+/// environments.
+fn corpus() -> Vec<(TypeEnv, Term)> {
+    EXAMPLES
+        .iter()
+        .filter(|e| e.expected != Expected::Ill && e.mode == Mode::Standard)
+        .map(|e| (runner::env_for(e), parse_term(e.src).unwrap()))
+        .collect()
+}
+
+fn bench_elaborate_corpus(c: &mut Criterion) {
+    let corpus = corpus();
+    let opts = Options::default();
+    let mut group = c.benchmark_group("elaborate");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for (engine, tag) in [(ElabEngine::Core, "core"), (ElabEngine::Uf, "uf")] {
+        group.bench_function(format!("figure1-corpus/{tag}"), |b| {
+            b.iter(|| {
+                for (env, term) in &corpus {
+                    std::hint::black_box(elaborate_with(engine, env, term, &opts).unwrap());
+                }
+            });
+        });
+        group.bench_function(format!("figure1-corpus-plus-oracle/{tag}"), |b| {
+            b.iter(|| {
+                for (env, term) in &corpus {
+                    let image = elaborate_with(engine, env, term, &opts).unwrap();
+                    std::hint::black_box(typecheck(&KindEnv::new(), env, &image.term).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_elaborate_session(c: &mut Criterion) {
+    // The serving shape: one engine session, a stream of terms — the
+    // evidence path must amortise environment setup like plain
+    // inference does.
+    let env = freezeml_corpus::figure2();
+    let terms: Vec<Term> = [
+        "poly $(fun x -> x)",
+        "let f = fun x -> x in poly ~f",
+        "auto ~id",
+        "(head ids)@ 3",
+        "fun (x : forall a. a -> a) -> x ~x",
+    ]
+    .iter()
+    .map(|s| parse_term(s).unwrap())
+    .collect();
+    let opts = Options::default();
+    let mut group = c.benchmark_group("elaborate");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("session-stream/uf", |b| {
+        let mut session = freezeml_engine::Session::new(&env, &opts).unwrap();
+        b.iter(|| {
+            for t in &terms {
+                std::hint::black_box(session.elaborate(t).unwrap());
+            }
+        });
+    });
+    group.bench_function("session-stream/uf-infer-only", |b| {
+        // Baseline: the same stream without evidence, so the evidence
+        // overhead is directly readable from the report.
+        let mut session = freezeml_engine::Session::new(&env, &opts).unwrap();
+        b.iter(|| {
+            for t in &terms {
+                std::hint::black_box(session.infer(t).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elaborate_corpus, bench_elaborate_session);
+criterion_main!(benches);

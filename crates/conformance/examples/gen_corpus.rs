@@ -66,6 +66,8 @@ fn checker_error(e: &Example) -> String {
             .collect(),
         expectation: Expectation::Unblessed,
         expectation_line: None,
+        expect_f: None,
+        expect_f_line: None,
         differs_from: None,
     };
     match infer_case(&case) {

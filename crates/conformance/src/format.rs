@@ -27,6 +27,7 @@
 //! | `env:` | `name : type` — extra binding beyond the Figure 2 prelude (repeatable) |
 //! | `expect:` | the principal type, up to α-equivalence |
 //! | `expect-error:` | inference must fail, and the error must contain this substring |
+//! | `expect-f:` | the canonical System F image of the case (see [`crate::elab`]); empty value = unblessed |
 //! | `differs-from:` | this case and the named one must infer *different* types (freeze/thaw pairs) |
 //!
 //! A case with neither `expect:` nor `expect-error:` is *unblessed*: it
@@ -76,6 +77,12 @@ pub struct Case {
     /// 1-based line of the `expect:`/`expect-error:` directive, if any
     /// (bless mode rewrites this line in place).
     pub expectation_line: Option<usize>,
+    /// The expected canonical System F image (`expect-f:`), if the case
+    /// pins one. An empty value is *unblessed*: the case fails showing
+    /// the actual image, and `UPDATE_EXPECT=1` fills it in.
+    pub expect_f: Option<String>,
+    /// 1-based line of the `expect-f:` directive, if any.
+    pub expect_f_line: Option<usize>,
     /// Name of a case this one's inferred type must differ from.
     pub differs_from: Option<String>,
 }
@@ -145,6 +152,8 @@ pub fn parse_str(path: impl Into<PathBuf>, text: &str) -> Result<CaseFile, Forma
                 env: Vec::new(),
                 expectation: Expectation::Unblessed,
                 expectation_line: None,
+                expect_f: None,
+                expect_f_line: None,
                 differs_from: None,
             });
             continue;
@@ -212,6 +221,16 @@ pub fn parse_str(path: impl Into<PathBuf>, text: &str) -> Result<CaseFile, Forma
             "expect-error" => {
                 set_expectation(case, Expectation::ErrorContains(value.to_owned()), lineno)
                     .map_err(|m| err(lineno, m))?;
+            }
+            "expect-f" => {
+                if case.expect_f.is_some() {
+                    return Err(err(
+                        lineno,
+                        format!("case {}: duplicate `expect-f:`", case.name),
+                    ));
+                }
+                case.expect_f = Some(value.to_owned());
+                case.expect_f_line = Some(lineno);
             }
             "differs-from" => {
                 case.differs_from = Some(value.to_owned());
@@ -325,6 +344,27 @@ mod tests {
             file.cases[0].expectation,
             Expectation::ErrorContains("unbound".into())
         );
+    }
+
+    #[test]
+    fn expect_f_directive_is_parsed() {
+        let file = parse_str(
+            "t.fml",
+            "## case E\nprogram: ~id\nexpect: forall a. a -> a\nexpect-f: id\n",
+        )
+        .unwrap();
+        assert_eq!(file.cases[0].expect_f.as_deref(), Some("id"));
+        assert_eq!(file.cases[0].expect_f_line, Some(4));
+        // Empty value = present but unblessed.
+        let file = parse_str("t.fml", "## case E\nprogram: ~id\nexpect-f:\n").unwrap();
+        assert_eq!(file.cases[0].expect_f.as_deref(), Some(""));
+        // Duplicates are rejected.
+        let e = parse_str(
+            "t.fml",
+            "## case E\nprogram: ~id\nexpect-f: id\nexpect-f: id\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate `expect-f:`"), "{e}");
     }
 
     #[test]

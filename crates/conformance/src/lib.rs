@@ -40,6 +40,7 @@
 //! ```
 
 pub mod differential;
+pub mod elab;
 pub mod format;
 pub mod program;
 pub mod runner;

@@ -151,7 +151,7 @@ impl SuiteOutcome {
 }
 
 /// Build the environment for a case: Figure 2 plus its `env:` bindings.
-fn env_for(case: &Case) -> Result<TypeEnv, String> {
+pub(crate) fn case_env(case: &Case) -> Result<TypeEnv, String> {
     let mut env = figure2();
     for (name, ty) in &case.env {
         env.push_str(name, ty)
@@ -160,7 +160,7 @@ fn env_for(case: &Case) -> Result<TypeEnv, String> {
     Ok(env)
 }
 
-fn options_for(case: &Case) -> Options {
+pub(crate) fn case_options(case: &Case) -> Options {
     match case.mode {
         Mode::Standard => Options::default(),
         Mode::Pure => Options::pure_freezeml(),
@@ -178,11 +178,11 @@ pub fn infer_case(case: &Case) -> Actual {
 /// type, or same error class); a disagreement renders the case invalid,
 /// which fails it with a readable diff naming both verdicts.
 pub fn infer_case_with(case: &Case, engine: Engine) -> Actual {
-    let env = match env_for(case) {
+    let env = match case_env(case) {
         Ok(env) => env,
         Err(e) => return Actual::Invalid(e),
     };
-    let opts = options_for(case);
+    let opts = case_options(case);
     let to_actual = |r: Result<Type, freezeml_core::ProgramError>| match r {
         Ok(ty) => Actual::Type(ty),
         Err(e) => Actual::Error(e.to_string()),
@@ -225,13 +225,37 @@ fn render_diff(case: &Case, path: &Path, expected: &str, actual: &Actual, note: 
     s
 }
 
-/// Check one case against its expectation.
+/// Check one case against its expectation, plus — for cases that infer
+/// a type — the elaborate obligations (System F oracle, cross-engine
+/// evidence agreement, and the `expect-f:` golden when present; see
+/// [`crate::elab`]).
 pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
     let actual = infer_case(case);
-    let (pass, diff) = match (&case.expectation, &actual) {
+    let (pass, diff) = expectation_verdict(case, path, &actual);
+    let (pass, diff) = if pass {
+        elaboration_verdict(case, path, &actual)
+    } else {
+        (pass, diff)
+    };
+    (
+        CaseOutcome {
+            name: case.name.clone(),
+            path: path.to_owned(),
+            line: case.header_line,
+            pass,
+            diff,
+        },
+        actual,
+    )
+}
+
+/// The original golden machinery: does the inference outcome meet the
+/// case's `expect:`/`expect-error:` expectation?
+fn expectation_verdict(case: &Case, path: &Path, actual: &Actual) -> (bool, Option<String>) {
+    match (&case.expectation, actual) {
         (_, Actual::Invalid(msg)) => (
             false,
-            Some(render_diff(case, path, "a well-formed case", &actual, msg)),
+            Some(render_diff(case, path, "a well-formed case", actual, msg)),
         ),
         (Expectation::Type(want_src), _) => match parse_type(want_src) {
             Err(e) => (
@@ -240,11 +264,11 @@ pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
                     case,
                     path,
                     want_src,
-                    &actual,
+                    actual,
                     &format!("golden type does not parse: {e}"),
                 )),
             ),
-            Ok(want) => match &actual {
+            Ok(want) => match actual {
                 Actual::Type(got) if got.alpha_eq(&want) => (true, None),
                 _ => (
                     false,
@@ -252,7 +276,7 @@ pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
                         case,
                         path,
                         want_src,
-                        &actual,
+                        actual,
                         "types compared up to α-equivalence",
                     )),
                 ),
@@ -268,7 +292,7 @@ pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
                         case,
                         path,
                         &format!("an error containing `{needle}`"),
-                        &actual,
+                        actual,
                         "",
                     )),
                 )
@@ -280,7 +304,7 @@ pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
                 case,
                 path,
                 &format!("✕ (an error containing `{needle}`)"),
-                &actual,
+                actual,
                 "",
             )),
         ),
@@ -290,21 +314,80 @@ pub fn run_case(case: &Case, path: &Path) -> (CaseOutcome, Actual) {
                 case,
                 path,
                 "(unblessed — no expectation recorded yet)",
-                &actual,
+                actual,
                 "write the golden line with UPDATE_EXPECT=1",
             )),
         ),
+    }
+}
+
+/// The elaborate obligations, applied once the expectation passed: a
+/// well-typed case must elaborate to a System F term the oracle accepts
+/// at the inferred scheme (on every selected engine, with cross-engine
+/// evidence agreement under `ENGINE=both`), and must match its
+/// `expect-f:` golden when one is pinned.
+fn elaboration_verdict(case: &Case, path: &Path, actual: &Actual) -> (bool, Option<String>) {
+    if !matches!(actual, Actual::Type(_)) {
+        // A pinned image on a case that does not infer a type would be
+        // dead forever — fail it instead of silently skipping.
+        if case.expect_f.is_some() {
+            return (
+                false,
+                Some(format!(
+                    "✗ {} — {}:{}\n    `expect-f:` on a case that did not infer a type \
+                     ({}); the image golden can never be checked — remove it\n",
+                    case.name,
+                    path.display(),
+                    case.header_line,
+                    actual.display()
+                )),
+            );
+        }
+        return (true, None);
+    }
+    let fail = |expected: &str, got: &str, note: &str| {
+        let mut s = format!(
+            "✗ {} — {}:{}\n    program    {}\n",
+            case.name,
+            path.display(),
+            case.header_line,
+            case.program
+        );
+        s.push_str(&format!("  - expected   {expected}\n"));
+        s.push_str(&format!("  + actual     {got}\n"));
+        if !note.is_empty() {
+            s.push_str(&format!("    note       {note}\n"));
+        }
+        (false, Some(s))
     };
-    (
-        CaseOutcome {
-            name: case.name.clone(),
-            path: path.to_owned(),
-            line: case.header_line,
-            pass,
-            diff,
+    match crate::elab::check_case(case, Engine::from_env()) {
+        Err(msg) => fail(
+            "a sound System F elaboration",
+            &msg,
+            "every inferred type must elaborate to an oracle-accepted F term",
+        ),
+        Ok(None) => match &case.expect_f {
+            Some(_) => fail(
+                "an `expect-f:` check",
+                "elaboration is not checked for this case",
+                "pure-mode images live in full System F (see freezeml_conformance::elab)",
+            ),
+            None => (true, None),
         },
-        actual,
-    )
+        Ok(Some(out)) => match &case.expect_f {
+            Some(want) if want.is_empty() => fail(
+                "(unblessed expect-f — no image recorded yet)",
+                &out.rendered,
+                "write the golden line with UPDATE_EXPECT=1",
+            ),
+            Some(want) if *want != out.rendered => fail(
+                want,
+                &out.rendered,
+                "canonical System F images compared verbatim",
+            ),
+            _ => (true, None),
+        },
+    }
 }
 
 /// Run a set of parsed files as one suite (so `differs-from` may refer to
@@ -436,16 +519,24 @@ pub fn bless_files(files: &[CaseFile]) -> Vec<(PathBuf, String)> {
         let mut replacements: Vec<(usize, String)> = Vec::new();
         let mut insertions: Vec<(usize, String)> = Vec::new();
         for case in &file.cases {
-            let (outcome, actual) = run_case(case, &file.path);
-            if outcome.pass {
-                continue;
+            let actual = infer_case(case);
+            let (expectation_ok, _) = expectation_verdict(case, &file.path, &actual);
+            if !expectation_ok {
+                if let Some(directive) = actual.bless_directive() {
+                    match case.expectation_line {
+                        Some(line) => replacements.push((line, directive)),
+                        None => insertions.push((case.program_line, directive)),
+                    }
+                }
             }
-            let Some(directive) = actual.bless_directive() else {
-                continue; // invalid case: nothing sensible to write
-            };
-            match case.expectation_line {
-                Some(line) => replacements.push((line, directive)),
-                None => insertions.push((case.program_line, directive)),
+            // `expect-f:` blessing is opt-in per case: only a present
+            // (wrong or unblessed) directive is rewritten.
+            if let (Some(want), Some(line)) = (&case.expect_f, case.expect_f_line) {
+                if let Ok(Some(out)) = crate::elab::check_case(case, Engine::from_env()) {
+                    if *want != out.rendered {
+                        replacements.push((line, format!("expect-f: {}", out.rendered)));
+                    }
+                }
             }
         }
         if replacements.is_empty() && insertions.is_empty() {
@@ -612,6 +703,74 @@ mod tests {
             suite("## case X\nprogram: choose id\nexpect: (a -> a) -> a -> a\ndiffers-from: Z\n");
         assert_eq!(dangling.failed(), 1);
         assert!(dangling.render_failures().contains("unknown case"));
+    }
+
+    #[test]
+    fn expect_f_goldens_check_the_canonical_image() {
+        // A correct image passes; a wrong one fails with the image diff.
+        let ok = suite("## case E\nprogram: ~id\nexpect: forall a. a -> a\nexpect-f: id\n");
+        assert!(ok.all_pass(), "{}", ok.render_failures());
+        let wrong =
+            suite("## case E\nprogram: ~id\nexpect: forall a. a -> a\nexpect-f: tyfun a -> id\n");
+        assert_eq!(wrong.failed(), 1);
+        assert!(
+            wrong.render_failures().contains("+ actual     id"),
+            "{}",
+            wrong.render_failures()
+        );
+        // An empty directive is unblessed: fails showing the image.
+        let unblessed = suite("## case E\nprogram: ~id\nexpect: forall a. a -> a\nexpect-f:\n");
+        assert_eq!(unblessed.failed(), 1);
+        assert!(unblessed.render_failures().contains("UPDATE_EXPECT=1"));
+        // Pure-mode cases cannot pin an image (full-System-F boundary).
+        let pure = suite(
+            "## case P\nmode: pure\nprogram: $(auto' ~id)\nexpect: forall a. a -> a\nexpect-f: x\n",
+        );
+        assert_eq!(pure.failed(), 1);
+        assert!(pure.render_failures().contains("not checked"));
+        // …and neither can error cases: a pinned image there would be
+        // dead forever, so it fails loudly instead of being skipped.
+        let dead = suite("## case D\nprogram: auto id\nexpect-error: cannot\nexpect-f: auto id\n");
+        assert_eq!(dead.failed(), 1);
+        assert!(
+            dead.render_failures().contains("did not infer a type"),
+            "{}",
+            dead.render_failures()
+        );
+    }
+
+    #[test]
+    fn every_well_typed_case_carries_the_elaboration_obligation() {
+        // No expect-f needed: a case that infers a type is still held to
+        // the System F oracle. (A failure here would be a checker bug;
+        // this pins that the obligation actually runs by exercising a
+        // case whose elaboration is non-trivial.)
+        let s = suite(
+            "## case L\nprogram: let g = (let y = fun x -> x in y) in poly ~g\n\
+             expect: Int * Bool\n",
+        );
+        assert!(s.all_pass(), "{}", s.render_failures());
+    }
+
+    #[test]
+    fn bless_fills_in_expect_f() {
+        let file = parse_str(
+            "mem.fml",
+            "## case E\nprogram: choose ~id\n\
+             expect: (forall a. a -> a) -> forall a. a -> a\nexpect-f:\n",
+        )
+        .unwrap();
+        let rewrites = bless_files(&[file]);
+        assert_eq!(rewrites.len(), 1);
+        let text = &rewrites[0].1;
+        assert!(
+            text.contains("expect-f: choose [forall a. a -> a] id"),
+            "{text}"
+        );
+        // The expectation line was already right and is untouched.
+        assert!(text.contains("expect: (forall a. a -> a) -> forall a. a -> a"));
+        let s = run_files(&[parse_str("mem.fml", text).unwrap()]);
+        assert!(s.all_pass(), "{}", s.render_failures());
     }
 
     #[test]

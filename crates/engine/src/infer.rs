@@ -22,6 +22,7 @@
 //! The result is zonked back to a `core::Type`, so callers (conformance
 //! harness, pretty-printing, downstream crates) consume it unchanged.
 
+use crate::elab::{BuildEv, Elab, EvBuild, NoEv};
 use crate::scheme::{SchemeId, SchemeStore};
 use crate::store::{Node, Shape, Store, TypeId, VarId};
 use crate::unify::unify;
@@ -72,46 +73,65 @@ impl<'s> InferCtx<'s> {
     }
 
     /// Instantiate every top-level quantifier with a fresh `⋆`-kinded
-    /// variable (the Var rule / eliminator instantiation).
-    fn instantiate(&mut self, ty: TypeId) -> TypeId {
+    /// variable (the Var rule / eliminator instantiation). The fresh
+    /// cells' ids are collected in quantifier order when evidence is on:
+    /// they *are* the type-application evidence — reading them through
+    /// the store after solving yields the chosen instantiations with no
+    /// substitution pass.
+    fn instantiate<E: EvBuild>(&mut self, ty: TypeId) -> (TypeId, Vec<TypeId>) {
         let mut t = self.store.resolve(ty);
+        let mut inst = Vec::new();
         while let Shape::Forall(v, body) = self.store.shape(t) {
             let (_, fresh) = self.store.fresh_var(Kind::Poly);
+            if E::ON {
+                inst.push(fresh);
+            }
             t = self.store.subst_rigid(body, &v, fresh);
             t = self.store.resolve(t);
         }
-        t
+        (t, inst)
     }
 
-    fn infer(&mut self, term: &Term) -> Result<TypeId, TypeError> {
+    /// Figure 16 inference, generic over the evidence sink: `NoEv`
+    /// monomorphises every hook to nothing (the production hot path is
+    /// byte-for-byte the old one), `BuildEv` records the Figure 11
+    /// image alongside the `TypeId`.
+    fn infer<E: EvBuild>(&mut self, term: &Term) -> Result<(TypeId, E::Term), TypeError> {
         match term {
-            // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)).
-            Term::FrozenVar(x) => self.lookup(x).ok_or(TypeError::UnboundVar(*x)),
-
-            // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆.
-            Term::Var(x) => {
-                let scheme = self.lookup(x).ok_or(TypeError::UnboundVar(*x))?;
-                Ok(self.instantiate(scheme))
+            // infer(∆, Θ, Γ, ⌈x⌉) = (Θ, ι, Γ(x)); C⟦⌈x⌉⟧ = x.
+            Term::FrozenVar(x) => {
+                let ty = self.lookup(x).ok_or(TypeError::UnboundVar(*x))?;
+                Ok((ty, E::var(*x)))
             }
 
-            Term::Lit(l) => Ok(self.store.intern_type(&l.ty())),
+            // infer(∆, Θ, Γ, x): instantiate ∀ā.H with fresh b̄ : ⋆;
+            // C⟦x⟧ = x δ(∆′).
+            Term::Var(x) => {
+                let scheme = self.lookup(x).ok_or(TypeError::UnboundVar(*x))?;
+                let (ty, inst) = self.instantiate::<E>(scheme);
+                Ok((ty, E::inst(E::var(*x), inst)))
+            }
 
-            // infer(∆, Θ, Γ, λx.M): fresh a : •.
+            Term::Lit(l) => Ok((self.store.intern_type(&l.ty()), E::lit(*l))),
+
+            // infer(∆, Θ, Γ, λx.M): fresh a : •; C⟦λx.M⟧ = λx^S.C⟦M⟧.
             Term::Lam(x, body) => {
                 let (_, a) = self.store.fresh_var(Kind::Mono);
                 self.gamma.push((*x, a));
-                let bty = self.infer(body);
+                let bty = self.infer::<E>(body);
                 self.gamma.pop();
-                Ok(self.store.arrow(a, bty?))
+                let (bty, bev) = bty?;
+                Ok((self.store.arrow(a, bty), E::lam(*x, a, bev)))
             }
 
-            // infer(∆, Θ, Γ, λ(x:A).M).
+            // infer(∆, Θ, Γ, λ(x:A).M); C⟦λ(x:A).M⟧ = λx^A.C⟦M⟧.
             Term::LamAnn(x, ann, body) => {
                 let ann_id = self.store.intern_type(ann);
                 self.gamma.push((*x, ann_id));
-                let bty = self.infer(body);
+                let bty = self.infer::<E>(body);
                 self.gamma.pop();
-                Ok(self.store.arrow(ann_id, bty?))
+                let (bty, bev) = bty?;
+                Ok((self.store.arrow(ann_id, bty), E::lam(*x, ann_id, bev)))
             }
 
             // infer(∆, Θ, Γ, M N): unify A′ with A → b for fresh b : ⋆.
@@ -127,9 +147,9 @@ impl<'s> InferCtx<'s> {
                     head = f;
                 }
                 args.reverse();
-                let mut fty_id = self.infer(head)?;
+                let (mut fty_id, mut fev) = self.infer::<E>(head)?;
                 for arg in args {
-                    let aty = self.infer(arg)?;
+                    let (aty, aev) = self.infer::<E>(arg)?;
                     let mut fty = self.store.resolve(fty_id);
                     // Eliminator instantiation (§3.2): implicitly
                     // instantiate a quantified head before matching it
@@ -137,23 +157,27 @@ impl<'s> InferCtx<'s> {
                     if self.opts.instantiation == freezeml_core::InstantiationStrategy::Eliminator
                         && matches!(self.store.node(fty), Node::Forall(_, _))
                     {
-                        fty = self.instantiate(fty);
+                        let (t, inst) = self.instantiate::<E>(fty);
+                        fty = t;
+                        fev = E::inst(fev, inst);
                     }
                     let (_, b) = self.store.fresh_var(Kind::Poly);
                     let expected = self.store.arrow(aty, b);
                     unify(self.store, fty, expected)?;
                     fty_id = b;
+                    fev = E::app(fev, aev);
                 }
-                Ok(fty_id)
+                Ok((fty_id, fev))
             }
 
-            // infer(∆, Θ, Γ, let x = M in N).
+            // infer(∆, Θ, Γ, let x = M in N);
+            // C⟦let x = M in N⟧ = let x^∀∆′.A = Λ∆′.C⟦M⟧ in C⟦N⟧.
             Term::Let(x, rhs, body) => {
                 let outer = self.store.current_level();
                 self.store.enter_level();
-                let aty = self.infer(rhs);
+                let aty = self.infer::<E>(rhs);
                 self.store.leave_level();
-                let aty = aty?;
+                let (aty, rhs_ev) = aty?;
                 // ∆′′′ = ftv(A) − ∆ − ∆′: free variables of A not reachable
                 // from the pre-rhs environment — level > outer.
                 let d3: Vec<VarId> = self
@@ -163,7 +187,7 @@ impl<'s> InferCtx<'s> {
                     .filter(|&v| self.store.level_of(v) > outer)
                     .collect();
                 let gval = rhs.is_gval(self.opts);
-                let scheme = if gval {
+                let (scheme, binders) = if gval {
                     self.generalize(aty, &d3)
                 } else {
                     // Value restriction: demote the ungeneralised
@@ -171,22 +195,29 @@ impl<'s> InferCtx<'s> {
                     for &v in &d3 {
                         self.store.demote(v);
                     }
-                    aty
+                    (aty, Vec::new())
                 };
                 self.gamma.push((*x, scheme));
-                let bty = self.infer(body);
+                let bty = self.infer::<E>(body);
                 self.gamma.pop();
-                bty
+                let (bty, body_ev) = bty?;
+                Ok((
+                    bty,
+                    E::let_(*x, scheme, E::tylams(binders, rhs_ev), body_ev),
+                ))
             }
 
             // Explicit type application M@[A] (§6 extension).
             Term::TyApp(m, arg) => {
-                let mty = self.infer(m)?;
+                let (mty, mev) = self.infer::<E>(m)?;
                 let mty = self.store.resolve(mty);
                 match self.store.shape(mty) {
                     Shape::Forall(v, body) => {
                         let arg_id = self.store.intern_type(arg);
-                        Ok(self.store.subst_rigid(body, &v, arg_id))
+                        Ok((
+                            self.store.subst_rigid(body, &v, arg_id),
+                            E::tyapp(mev, arg_id),
+                        ))
                     }
                     _ => Err(TypeError::CannotTypeApply {
                         ty: self.store.zonk(mty),
@@ -194,7 +225,8 @@ impl<'s> InferCtx<'s> {
                 }
             }
 
-            // infer(∆, Θ, Γ, let (x:A) = M in N).
+            // infer(∆, Θ, Γ, let (x:A) = M in N);
+            // C⟦…⟧ = let x^A = Λ∆′.C⟦M⟧ in C⟦N⟧ with ∆′ = split(A, M).
             Term::LetAnn(x, ann, rhs, body) => {
                 let (split_vars, a_prime) = split(ann, rhs, self.opts);
                 for v in &split_vars {
@@ -208,10 +240,10 @@ impl<'s> InferCtx<'s> {
                 self.rigid_scope.extend(split_vars.iter().cloned());
                 let a_prime_id = self.store.intern_type(&a_prime);
                 let result = self
-                    .infer(rhs)
-                    .and_then(|a1| unify(self.store, a_prime_id, a1));
+                    .infer::<E>(rhs)
+                    .and_then(|(a1, ev)| unify(self.store, a_prime_id, a1).map(|()| ev));
                 self.rigid_scope.truncate(depth);
-                result?;
+                let rhs_ev = result?;
                 // assert ftv(θ₂) # ∆′: a variable from the ambient Θ
                 // (below the watermark) solved inside this scope must not
                 // mention an annotation variable.
@@ -231,17 +263,22 @@ impl<'s> InferCtx<'s> {
                 }
                 let ann_id = self.store.intern_type(ann);
                 self.gamma.push((*x, ann_id));
-                let bty = self.infer(body);
+                let bty = self.infer::<E>(body);
                 self.gamma.pop();
-                bty
+                let (bty, body_ev) = bty?;
+                Ok((
+                    bty,
+                    E::let_(*x, ann_id, E::tylams(split_vars, rhs_ev), body_ev),
+                ))
             }
         }
     }
 
     /// `(∆′′, ∆′′′) = gen((∆, ∆′), A, M)` in the value case: close `A`
     /// over the given variables. Each cell is solved with a rigid carrying
-    /// its own (globally fresh) name, which then serves as the binder.
-    fn generalize(&mut self, aty: TypeId, d3: &[VarId]) -> TypeId {
+    /// its own (globally fresh) name, which then serves as the binder —
+    /// and as the `Λ` binder of the evidence term.
+    fn generalize(&mut self, aty: TypeId, d3: &[VarId]) -> (TypeId, Vec<TyVar>) {
         let mut binders = Vec::with_capacity(d3.len());
         for &v in d3 {
             let name = self.store.name_of(v);
@@ -249,10 +286,11 @@ impl<'s> InferCtx<'s> {
             self.store.solve(v, rigid);
             binders.push(name);
         }
-        binders
-            .into_iter()
+        let scheme = binders
+            .iter()
             .rev()
-            .fold(aty, |acc, name| self.store.forall(name, acc))
+            .fold(aty, |acc, name| self.store.forall(*name, acc));
+        (scheme, binders)
     }
 }
 
@@ -391,28 +429,24 @@ impl Session {
             gamma: &mut self.gamma,
             rigid_scope: Vec::new(),
         };
-        let result = cx.infer(term);
+        let result = cx.infer::<NoEv>(term);
         self.gamma.truncate(depth);
-        let ty_id = result?;
-        // Ground the residual monomorphic variables to Int, recording
-        // canonical letter names (what `canonicalize` would have called
-        // them) for the report.
+        let (ty_id, ()) = result?;
+        // Ground the residual monomorphic variables to Int; their display
+        // names come from the exported scheme's own supply
+        // ([`SchemeStore::defaulted_names`]), shared with the oracle
+        // paths so every engine reports identical, collision-free names.
         let residual = self.store.free_flex(ty_id);
-        let mut defaulted = Vec::with_capacity(residual.len());
-        if !residual.is_empty() {
-            let mut taken = fxhash::FxHashSet::default();
-            collect_rigid_names(&mut self.store, ty_id, &mut taken);
-            let mut supply = freezeml_core::types::letter_supply(taken);
+        let grounded = residual.len();
+        if grounded > 0 {
             let int = self.store.int();
             for v in residual {
-                defaulted.push(supply.next().expect("infinite supply").as_str().to_string());
                 self.store.solve(v, int);
             }
         }
-        let scheme = bank
-            .lock()
-            .expect("scheme store poisoned")
-            .export(&mut self.store, ty_id);
+        let mut bank = bank.lock().expect("scheme store poisoned");
+        let scheme = bank.export(&mut self.store, ty_id);
+        let defaulted = bank.defaulted_names(scheme, grounded);
         Ok(SchemeOutput { scheme, defaulted })
     }
 
@@ -436,10 +470,10 @@ impl Session {
             gamma: &mut self.gamma,
             rigid_scope: Vec::new(),
         };
-        let result = cx.infer(term);
+        let result = cx.infer::<NoEv>(term);
         // A failed inference may leave pushed bindings behind; restore Γ.
         self.gamma.truncate(depth);
-        let ty_id = result?;
+        let (ty_id, ()) = result?;
         let theta: RefinedEnv = self
             .store
             .free_flex(ty_id)
@@ -449,51 +483,68 @@ impl Session {
         let ty = self.store.zonk(ty_id);
         Ok(InferOutput { ty, theta })
     }
-}
 
-/// Names the residual-letter supply must avoid: every rigid named
-/// variable reachable in the resolved type, plus the source names its
-/// freshened binders will be restored to. One memoized DAG walk.
-fn collect_rigid_names(
-    store: &mut Store,
-    t: TypeId,
-    out: &mut fxhash::FxHashSet<freezeml_core::Symbol>,
-) {
-    fn go(
-        store: &mut Store,
-        t: TypeId,
-        seen: &mut fxhash::FxHashSet<TypeId>,
-        out: &mut fxhash::FxHashSet<freezeml_core::Symbol>,
-    ) {
-        let t = store.resolve(t);
-        if !seen.insert(t) {
-            return;
-        }
-        match store.shape(t) {
-            Shape::Rigid(v) => {
-                if let Some(s) = v.symbol() {
-                    out.insert(s);
-                }
-            }
-            Shape::Flex(_) => {}
-            Shape::Con(_, n) => {
-                for i in 0..n {
-                    let child = store.con_child(t, i);
-                    go(store, child, seen, out);
-                }
-            }
-            Shape::Forall(v, body) => {
-                if let Some(src) = store.binder_source(&v) {
-                    if let Some(s) = src.symbol() {
-                        out.insert(s);
-                    }
-                }
-                go(store, body, seen, out);
-            }
-        }
+    /// Infer one term *with evidence*: alongside the type, build the
+    /// System F image of the inferred derivation (Figure 11 run
+    /// natively on the store — see [`crate::elab`]), ground residual
+    /// flexibles to `Int`, and administratively reduce the image so it
+    /// satisfies the value restriction (the Theorem 3 repair).
+    ///
+    /// # Errors
+    ///
+    /// The same [`TypeError`] classes as [`Session::infer`].
+    pub fn elaborate(&mut self, term: &Term) -> Result<Elab, TypeError> {
+        freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
+        self.store.reset_to(&self.base);
+        self.elaborate_reclaimed(term)
     }
-    let mut seen = fxhash::FxHashSet::default();
-    go(store, t, &mut seen, out);
+
+    /// Elaboration under `Γ, extra` — the per-call layered form for
+    /// callers holding a long-lived session (extras are
+    /// formation-checked and reclaimed with the rest of the term state
+    /// on the next call). The service's `elaborate` endpoint currently
+    /// goes through the one-shot [`elaborate_term`] instead (it needs
+    /// the merged `TypeEnv` for the System F oracle anyway, and the
+    /// endpoint is a protocol-boundary operation, not the check hot
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// The same classes as [`Session::infer_with`].
+    pub fn elaborate_with(
+        &mut self,
+        extra: &[(Var, Type)],
+        term: &Term,
+    ) -> Result<Elab, TypeError> {
+        freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
+        let extra_env: TypeEnv = extra.iter().cloned().collect();
+        freezeml_core::kinding::check_env(&KindEnv::new(), &RefinedEnv::new(), &extra_env)?;
+        self.store.reset_to(&self.base);
+        let depth = self.gamma.len();
+        for (x, ty) in extra {
+            let id = self.store.intern_type(ty);
+            self.gamma.push((*x, id));
+        }
+        let out = self.elaborate_reclaimed(term);
+        self.gamma.truncate(depth);
+        out
+    }
+
+    /// Elaboration on the already-reclaimed store.
+    fn elaborate_reclaimed(&mut self, term: &Term) -> Result<Elab, TypeError> {
+        let depth = self.gamma.len();
+        let opts = self.opts;
+        let mut cx = InferCtx {
+            store: &mut self.store,
+            opts: &opts,
+            gamma: &mut self.gamma,
+            rigid_scope: Vec::new(),
+        };
+        let result = cx.infer::<BuildEv>(term);
+        self.gamma.truncate(depth);
+        let (ty_id, ev) = result?;
+        Ok(crate::elab::finish(&mut self.store, ev, ty_id))
+    }
 }
 
 // ------------------------------------------------ prelude snapshot cache
@@ -570,6 +621,39 @@ pub fn infer_term(gamma: &TypeEnv, term: &Term, opts: &Options) -> Result<InferO
             },
         };
         let out = entry.session.infer_scoped(term);
+        cache.push(entry); // most-recently-used at the back
+        if cache.len() > SESSION_CACHE_CAP {
+            cache.remove(0);
+        }
+        out
+    })
+}
+
+/// Elaborate a closed-context term on the union-find engine: the
+/// one-shot analogue of [`Session::elaborate`], served from the same
+/// per-thread prelude snapshot cache as [`infer_term`].
+///
+/// # Errors
+///
+/// The same [`TypeError`] classes as [`infer_term`].
+pub fn elaborate_term(gamma: &TypeEnv, term: &Term, opts: &Options) -> Result<Elab, TypeError> {
+    freezeml_core::scope::well_scoped(&KindEnv::new(), term, opts)?;
+    let fp = env_fingerprint(gamma, opts);
+    SESSIONS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let hit = cache
+            .iter()
+            .position(|c| c.fp == fp && c.opts == *opts && c.env == *gamma);
+        let mut entry = match hit {
+            Some(i) => cache.remove(i),
+            None => CachedSession {
+                fp,
+                env: gamma.clone(),
+                opts: *opts,
+                session: Session::new(gamma, opts)?,
+            },
+        };
+        let out = entry.session.elaborate(term);
         cache.push(entry); // most-recently-used at the back
         if cache.len() > SESSION_CACHE_CAP {
             cache.remove(0);

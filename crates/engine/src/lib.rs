@@ -44,13 +44,17 @@
 //! [`Type`]: freezeml_core::Type
 
 pub mod differential;
+pub mod elab;
 pub mod infer;
 pub mod scheme;
 pub mod store;
 pub mod unify;
 
 pub use differential::{class_of, class_of_program, compare_program, Disagreement, ErrorClass};
-pub use infer::{check_typing, infer_program, infer_term, InferOutput, SchemeOutput, Session};
+pub use elab::Elab;
+pub use infer::{
+    check_typing, elaborate_term, infer_program, infer_term, InferOutput, SchemeOutput, Session,
+};
 pub use scheme::{SchemeId, SchemeStore};
 pub use store::{Node, Shape, Store, TypeId, VarId};
 pub use unify::unify;

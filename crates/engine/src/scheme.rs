@@ -595,6 +595,50 @@ impl SchemeStore {
         }
     }
 
+    /// Collision-free display names for `count` residual variables that
+    /// were grounded out of the scheme `id` (value-restriction
+    /// defaulting): consecutive letters from the canonical supply,
+    /// *after* the letters the scheme's rendering assigns to its binders
+    /// and excluding its free named variables. Every engine route to a
+    /// verdict (`core`, `uf`, differential `both`) names residuals
+    /// through this one function, so the reports are identical by
+    /// construction and can never collide with a name the rendered
+    /// scheme itself displays.
+    pub fn defaulted_names(&self, id: SchemeId, count: usize) -> Vec<String> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut taken = FxHashSet::default();
+        for v in self.free_vars(id) {
+            if let Some(sym) = v.symbol() {
+                taken.insert(sym);
+            }
+        }
+        let mut supply = freezeml_core::types::letter_supply(taken);
+        self.skip_binder_letters(id, &mut supply);
+        (0..count)
+            .map(|_| supply.next().expect("infinite supply").as_str().to_string())
+            .collect()
+    }
+
+    /// Discard the letters the canonical rendering assigns to binders —
+    /// the same tree traversal as [`SchemeStore::pretty`]'s direct
+    /// renderer, so the skip is exact.
+    fn skip_binder_letters(&self, id: SchemeId, supply: &mut impl Iterator<Item = Symbol>) {
+        match self.nodes[id.0 as usize] {
+            SNode::Bound(_) | SNode::Free(_) => {}
+            SNode::Con(_, r) => {
+                for &ch in self.children_of(r) {
+                    self.skip_binder_letters(ch, supply);
+                }
+            }
+            SNode::Forall(body) => {
+                supply.next();
+                self.skip_binder_letters(body, supply);
+            }
+        }
+    }
+
     /// The free (non-binder) variables of the scheme, in order of first
     /// appearance — residual names for open schemes.
     pub fn free_vars(&self, id: SchemeId) -> Vec<TyVar> {

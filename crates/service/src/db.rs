@@ -316,16 +316,20 @@ fn chunk_spans(src: &str) -> Vec<(usize, usize)> {
     }
     // Trim leading whitespace off every chunk (so a reindented but
     // otherwise untouched declaration still hits the cache) and keep a
-    // non-empty trailer.
+    // non-empty trailer. Only the lexer's whitespace (space, tab, CR,
+    // LF) is trimmed: `str::trim_start` would also eat Unicode
+    // whitespace (NBSP, U+2028, …) that the lexer *rejects*, silently
+    // accepting programs the plain front-end errors on.
+    const LEXER_WS: [char; 4] = [' ', '\t', '\n', '\r'];
     let mut trimmed: Vec<(usize, usize)> = Vec::with_capacity(out.len() + 1);
     let shift = |s: usize, e: usize| -> (usize, usize) {
-        let skipped = src[s..e].len() - src[s..e].trim_start().len();
+        let skipped = src[s..e].len() - src[s..e].trim_start_matches(LEXER_WS).len();
         (s + skipped, e)
     };
     for (s, e) in out {
         trimmed.push(shift(s, e));
     }
-    if !src[start..].trim().is_empty() {
+    if !src[start..].trim_matches(LEXER_WS).is_empty() {
         trimmed.push(shift(start, src.len()));
     }
     trimmed
@@ -613,5 +617,139 @@ mod tests {
     #[test]
     fn engine_sel_from_env_default_is_both() {
         assert_eq!(EngineSel::default(), EngineSel::Both);
+    }
+
+    /// The cached front-end must agree with the plain one: same
+    /// parse verdict, and on success the same declarations, spans,
+    /// pragmas, and Merkle keys.
+    fn assert_cached_matches_plain(src: &str) {
+        let opts = Options::default();
+        let mut fe = Frontend::default();
+        let cached = analyze_cached(&mut fe, src, &opts, EngineSel::Uf);
+        let plain = analyze(src, &opts, EngineSel::Uf);
+        match (&cached, &plain) {
+            (Ok(c), Ok(p)) => {
+                assert_eq!(
+                    c.decls.iter().map(DeclInfo::name).collect::<Vec<_>>(),
+                    p.decls.iter().map(DeclInfo::name).collect::<Vec<_>>(),
+                    "decl names diverge on {src:?}"
+                );
+                assert_eq!(
+                    c.decls.iter().map(|d| d.span).collect::<Vec<_>>(),
+                    p.decls.iter().map(|d| d.span).collect::<Vec<_>>(),
+                    "decl spans diverge on {src:?}"
+                );
+                assert_eq!(c.keys, p.keys, "cache keys diverge on {src:?}");
+                assert_eq!(c.uses_prelude, p.uses_prelude, "{src:?}");
+            }
+            (Err(_), Err(_)) => {}
+            (c, p) => panic!(
+                "front-ends disagree on {src:?}: cached {:?}, plain {:?}",
+                c.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                p.as_ref().map(|_| "ok").map_err(|e| e.to_string())
+            ),
+        }
+        // A second cached pass (every chunk warm) must be identical too.
+        let warm = analyze_cached(&mut fe, src, &opts, EngineSel::Uf);
+        match (&cached, &warm) {
+            (Ok(a), Ok(b)) => assert_eq!(a.keys, b.keys, "warm pass diverges on {src:?}"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "warm pass diverges on {src:?}"),
+            _ => panic!("warm pass flipped the verdict on {src:?}"),
+        }
+    }
+
+    #[test]
+    fn chunker_honours_semis_inside_comments() {
+        for src in [
+            // `;;` inside a line comment is text, not a terminator.
+            "let x = 1 -- not yet ;;\n;;\nlet y = x;;\n",
+            // …including a comment that itself contains `--` again
+            // ("nested" comments collapse to one line comment).
+            "let x = 1 -- outer -- inner ;; still text\n;;\nlet y = x;;\n",
+            // A comment-only line with `;;` between declarations.
+            "let x = 1;;\n-- interlude ;; here\nlet y = x;;\n",
+            // A `;;` inside a comment after a real `;;` on one line.
+            "let x = 1;; -- tail ;; comment\nlet y = x;;\n",
+        ] {
+            assert_cached_matches_plain(src);
+            let a = std_analysis(src);
+            assert_eq!(a.decls.len(), 2, "{src:?}");
+            assert_eq!(a.decls[0].name(), "x");
+            assert_eq!(a.decls[1].name(), "y");
+        }
+        // Comment at the very start, its `;;` inert.
+        let src = "-- leading ;;\nlet x = 1;;\n";
+        assert_cached_matches_plain(src);
+        let a = std_analysis(src);
+        assert_eq!(a.decls.len(), 1);
+        assert_eq!(a.decls[0].name(), "x");
+    }
+
+    #[test]
+    fn chunker_handles_eof_without_trailing_newline() {
+        // Well-formed program, no trailing newline after the final `;;`.
+        assert_cached_matches_plain("let x = 1;;\nlet y = x;;");
+        // Comment (containing `;;`) runs to EOF without a newline.
+        assert_cached_matches_plain("let x = 1;; -- trailing ;; to eof");
+        // A comment alone, unterminated.
+        assert_cached_matches_plain("-- only a comment ;;");
+        // Declaration missing its `;;` at EOF: both front-ends must
+        // report the parse error at the same position.
+        let opts = Options::default();
+        let mut fe = Frontend::default();
+        let src = "let x = 1;;\nlet y = x";
+        let cached = analyze_cached(&mut fe, src, &opts, EngineSel::Uf).unwrap_err();
+        let plain = analyze(src, &opts, EngineSel::Uf).unwrap_err();
+        assert_eq!(cached.pos, plain.pos, "error positions diverge");
+        assert_eq!(cached.pos, src.len());
+        // A declaration whose `;;` sits inside a comment is unterminated.
+        assert_cached_matches_plain("let x = 1 -- ;;");
+        // A stray `;;` after the last declaration.
+        assert_cached_matches_plain("let x = 1;;;;");
+    }
+
+    #[test]
+    fn chunker_trims_only_lexer_whitespace() {
+        // NBSP is *not* surface whitespace: the lexer rejects it, and the
+        // chunker must not silently trim it into acceptance.
+        for src in [
+            "let x = 1;;\u{a0}let y = 2;;",
+            "let x = 1;;\u{a0}",
+            "\u{2028}let x = 1;;",
+        ] {
+            assert_cached_matches_plain(src);
+            assert!(
+                analyze(src, &Options::default(), EngineSel::Uf).is_err(),
+                "{src:?} should be a lex error"
+            );
+        }
+        // Ordinary reindentation still hits the cache.
+        let opts = Options::default();
+        let mut fe = Frontend::default();
+        let a = analyze_cached(&mut fe, "let x = 1;;\nlet y = x;;", &opts, EngineSel::Uf).unwrap();
+        let b = analyze_cached(
+            &mut fe,
+            "let x = 1;;\n\t  let y = x;;",
+            &opts,
+            EngineSel::Uf,
+        )
+        .unwrap();
+        assert_eq!(a.keys, b.keys, "reindentation keeps keys");
+    }
+
+    #[test]
+    fn identical_chunks_share_one_cache_entry() {
+        // ML shadowing: the same slice twice must produce two DeclInfos
+        // (distinct spans) off one cached parse, with distinct keys
+        // (the second resolves its deps differently — here, none — but
+        // shadowing still orders them).
+        let opts = Options::default();
+        let mut fe = Frontend::default();
+        let src = "let x = 1;;\nlet x = 1;;\nlet y = x;;\n";
+        let a = analyze_cached(&mut fe, src, &opts, EngineSel::Uf).unwrap();
+        assert_eq!(a.decls.len(), 3);
+        assert_ne!(a.decls[0].span, a.decls[1].span, "spans are per-chunk");
+        assert_eq!(a.deps[2], vec![1], "y resolves to the shadowing x");
+        assert_cached_matches_plain(src);
     }
 }

@@ -178,22 +178,28 @@ fn render(r: &Result<Type, freezeml_core::TypeError>) -> String {
     }
 }
 
-/// Canonicalise a successful tree-engine scheme, ground residual
-/// monomorphic variables to `Int` (value restriction), and intern it
-/// into the shared scheme store, or classify the error. The oracle
+/// Ground a successful tree-engine scheme's residual monomorphic
+/// variables to `Int` (value restriction) and intern it into the shared
+/// scheme store (α-canonical by construction), or classify the error.
+/// The oracle
 /// engines' outcomes land in the same α-canonical scheme space as the
 /// union-find engine's, so a scheme produced under `ENGINE=both` and one
 /// produced under `ENGINE=uf` share an id iff they are α-equivalent.
 fn outcome_of(bank: &Mutex<SchemeStore>, r: Result<Type, freezeml_core::TypeError>) -> Outcome {
     match r {
         Ok(ty) => {
-            let mut scheme = ty.canonicalize();
-            let defaulted: Vec<String> = scheme.ftv().iter().map(|v| v.to_string()).collect();
-            for v in scheme.ftv() {
+            let mut scheme = ty;
+            let residuals = scheme.ftv();
+            let grounded = residuals.len();
+            for v in residuals {
                 scheme = scheme.rename_free(&v, &Type::int());
             }
             let mut bank = bank.lock().expect("scheme store poisoned");
             let id = bank.intern_type(&scheme);
+            // Residual names come from the interned scheme's own letter
+            // supply — the same `defaulted_names` the union-find engine
+            // uses, so all engine routes report identically.
+            let defaulted = bank.defaulted_names(id, grounded);
             Outcome::Typed {
                 id,
                 scheme: bank.pretty(id),

@@ -57,4 +57,4 @@ pub use exec::{BindingReport, CheckReport, Executor, Worker};
 pub use load::{replay, GenProgram, ReplayStats};
 pub use protocol::{handle_line, Json, Request};
 pub use server::serve;
-pub use service::{Service, ServiceConfig, ServiceError};
+pub use service::{ElabInfo, Service, ServiceConfig, ServiceError};

@@ -11,8 +11,14 @@
 //! {"cmd":"edit","doc":"main","text":"let x = 2;;"}
 //! {"cmd":"check","doc":"main"}
 //! {"cmd":"type-of","doc":"main","name":"x"}
+//! {"cmd":"elaborate","doc":"main","name":"x"}
 //! {"cmd":"close","doc":"main"}
 //! ```
+//!
+//! `elaborate` serves the binding's System F image (canonical
+//! rendering) with its type; the image is verified against the
+//! `freezeml_systemf` typing oracle before it is served, so a success
+//! response always carries `"checked":true`.
 //!
 //! `open`/`edit`/`check` respond with the full per-binding report plus
 //! the incremental counters (`rechecked`, `reused`, `waves`); errors
@@ -103,7 +109,11 @@ impl fmt::Display for Json {
             Json::Null => write!(f, "null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/∞; the parser refuses to produce
+                    // them, so this arm only guards hand-built values.
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n}")
@@ -277,9 +287,12 @@ impl JsonParser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.fail("invalid number"))
+        match text.parse::<f64>() {
+            // Rust parses over-range literals (`1e999`) to ±∞, which the
+            // serialiser could never round-trip — reject them instead.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.fail("invalid number")),
+        }
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -391,6 +404,15 @@ pub enum Request {
         /// Binding name.
         name: String,
     },
+    /// Elaborate the visible binding of a name into System F (the image
+    /// is verified against the `freezeml_systemf` typing oracle before
+    /// it is served — see [`crate::service::Service::elaborate`]).
+    Elaborate {
+        /// Document id.
+        doc: String,
+        /// Binding name.
+        name: String,
+    },
     /// Close a document.
     Close {
         /// Document id.
@@ -430,6 +452,10 @@ impl Request {
                 doc: field("doc")?,
                 name: field("name")?,
             }),
+            "elaborate" => Ok(Request::Elaborate {
+                doc: field("doc")?,
+                name: field("name")?,
+            }),
             "close" => Ok(Request::Close { doc: field("doc")? }),
             other => Err(format!("unknown cmd `{other}`")),
         }
@@ -454,6 +480,11 @@ impl Request {
             ]),
             Request::TypeOf { doc, name } => Json::obj([
                 ("cmd", Json::Str("type-of".into())),
+                ("doc", Json::Str(doc.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::Elaborate { doc, name } => Json::obj([
+                ("cmd", Json::Str("elaborate".into())),
                 ("doc", Json::Str(doc.clone())),
                 ("name", Json::Str(name.clone())),
             ]),
@@ -579,6 +610,24 @@ pub fn handle(svc: &mut Service, req: &Request) -> Json {
                 ("result", Json::Str(b.outcome.display())),
             ]),
         },
+        Request::Elaborate { doc, name } => match svc.elaborate(doc, name) {
+            Err(e) => error_json(&e, None),
+            Ok(None) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.clone())),
+                ("found", Json::Bool(false)),
+            ]),
+            Ok(Some(info)) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.clone())),
+                ("found", Json::Bool(true)),
+                ("fterm", Json::Str(info.fterm)),
+                ("type", Json::Str(info.ty)),
+                // The image passed the System F typing oracle before
+                // being served — always true in a success response.
+                ("checked", Json::Bool(true)),
+            ]),
+        },
         Request::Close { doc } => Json::obj([
             ("ok", Json::Bool(true)),
             ("closed", Json::Bool(svc.close(doc))),
@@ -698,6 +747,65 @@ mod tests {
 
         let close = handle_line(&mut s, r#"{"cmd":"close","doc":"m"}"#);
         assert_eq!(close.get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn elaborate_serves_an_oracle_checked_image() {
+        let mut s = svc();
+        handle_line(
+            &mut s,
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n"}"##,
+        );
+        let r = handle_line(&mut s, r#"{"cmd":"elaborate","doc":"m","name":"f"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("found"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("checked"), Some(&Json::Bool(true)));
+        assert_eq!(
+            r.get("fterm").and_then(Json::as_str),
+            Some("tyfun a -> fun (x : a) -> x")
+        );
+        assert_eq!(
+            r.get("type").and_then(Json::as_str),
+            Some("forall a. a -> a")
+        );
+        // A binding with dependencies elaborates under their schemes.
+        let r = handle_line(&mut s, r#"{"cmd":"elaborate","doc":"m","name":"p"}"#);
+        assert_eq!(r.get("type").and_then(Json::as_str), Some("Int * Bool"));
+        assert!(r
+            .get("fterm")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("poly"));
+        // Unknown names report found:false; unknown docs error.
+        let r = handle_line(&mut s, r#"{"cmd":"elaborate","doc":"m","name":"zzz"}"#);
+        assert_eq!(r.get("found"), Some(&Json::Bool(false)));
+        let r = handle_line(&mut s, r#"{"cmd":"elaborate","doc":"nope","name":"f"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        // Round trip of the request itself.
+        let req = Request::parse(r#"{"cmd":"elaborate","doc":"m","name":"f"}"#).unwrap();
+        assert_eq!(Request::parse(&req.to_json().to_string()).unwrap(), req);
+    }
+
+    #[test]
+    fn elaborate_refuses_ill_typed_and_blocked_bindings() {
+        let mut s = svc();
+        handle_line(
+            &mut s,
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet bad = plus true 1;;\nlet child = plus bad 1;;\n"}"##,
+        );
+        for name in ["bad", "child"] {
+            let r = handle_line(
+                &mut s,
+                &format!(r#"{{"cmd":"elaborate","doc":"m","name":"{name}"}}"#),
+            );
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{name}");
+            assert!(r
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("cannot elaborate"));
+        }
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub enum ServiceError {
     UnknownDoc(String),
     /// The document text is not a well-formed program.
     Parse(ParseError),
+    /// Elaboration could not run or failed its soundness obligations
+    /// (binding ill-typed or blocked, oracle rejection, engine
+    /// disagreement).
+    Elaborate(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -65,6 +69,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownDoc(d) => write!(f, "unknown document `{d}`"),
             ServiceError::Parse(e) => write!(f, "{e}"),
+            ServiceError::Elaborate(e) => write!(f, "cannot elaborate: {e}"),
         }
     }
 }
@@ -240,6 +245,117 @@ impl Service {
     pub fn close(&mut self, doc: &str) -> bool {
         self.docs.remove(doc).is_some()
     }
+
+    /// Elaborate the visible (latest) binding of `name` into System F —
+    /// evidence, end to end: the binding's probe term is elaborated on
+    /// the configured engine(s) under the schemes of its dependencies,
+    /// the image is **verified against the `freezeml_systemf` typing
+    /// oracle** (it must typecheck at a type α-equivalent to the
+    /// binding's scheme) before it is served, and under
+    /// [`EngineSel::Both`] the two pipelines' canonical images must be
+    /// identical with agreeing evaluation. `Ok(None)` when the name has
+    /// no binding in the document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDoc`] / [`ServiceError::Parse`] for the
+    /// usual document failures, [`ServiceError::Elaborate`] when the
+    /// binding (or a dependency) is not well typed or an elaboration
+    /// obligation fails — the latter is a checker bug, surfaced loudly.
+    pub fn elaborate(&self, doc: &str, name: &str) -> Result<Option<ElabInfo>, ServiceError> {
+        use freezeml_translate::elaborate::{check_sound, images_agree};
+        use freezeml_translate::ElabEngine;
+
+        let entry = self
+            .docs
+            .get(doc)
+            .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
+        let a = match &entry.analysis {
+            Ok(a) => a,
+            Err(e) => return Err(ServiceError::Parse(e.clone())),
+        };
+        let report = entry.report.as_ref().ok_or_else(|| {
+            ServiceError::Elaborate("the document has not been checked".to_string())
+        })?;
+        let Some(i) = a.decls.iter().rposition(|d| d.name() == name) else {
+            return Ok(None);
+        };
+        let must_be_typed = |j: usize| -> Result<(), ServiceError> {
+            match &report.bindings[j].outcome {
+                Outcome::Typed { .. } => Ok(()),
+                other => Err(ServiceError::Elaborate(format!(
+                    "binding `{}` is not well typed: {}",
+                    report.bindings[j].name,
+                    other.display()
+                ))),
+            }
+        };
+        must_be_typed(i)?;
+        let Outcome::Typed {
+            scheme: binding_scheme,
+            ..
+        } = &report.bindings[i].outcome
+        else {
+            unreachable!("checked typed above")
+        };
+        let binding_scheme = binding_scheme.to_string();
+        // Dependency schemes enter the environment as materialised
+        // trees, and the request re-infers through the one-shot engine
+        // entry points (this is a protocol-boundary operation, like
+        // type-of's rendering — the hot check path never comes here).
+        let mut env = if a.uses_prelude {
+            freezeml_corpus::figure2()
+        } else {
+            freezeml_core::TypeEnv::new()
+        };
+        {
+            let mut bank = self.exec.bank().lock().expect("scheme store poisoned");
+            for &d in &a.deps[i] {
+                must_be_typed(d)?;
+                let Outcome::Typed { id, .. } = &report.bindings[d].outcome else {
+                    unreachable!("checked typed above")
+                };
+                env.push(
+                    freezeml_core::Var::from_symbol(a.decls[d].name_sym()),
+                    bank.to_type(*id),
+                );
+            }
+        }
+        let term = a.decls[i].probe_term();
+        let elab = |e: ElabEngine| {
+            check_sound(e, &env, &term, &self.cfg.opts).map_err(ServiceError::Elaborate)
+        };
+        let checked = match self.cfg.engine {
+            EngineSel::Core => elab(ElabEngine::Core)?,
+            EngineSel::Uf => elab(ElabEngine::Uf)?,
+            EngineSel::Both => {
+                let core = elab(ElabEngine::Core)?;
+                let uf = elab(ElabEngine::Uf)?;
+                images_agree(&core, &uf).map_err(ServiceError::Elaborate)?;
+                core
+            }
+        };
+        // The type is served from the binding's memoised scheme
+        // rendering — byte-identical to `type-of`'s output; the oracle
+        // already certified the image's type α-equivalent to it.
+        Ok(Some(ElabInfo {
+            name: name.to_string(),
+            fterm: checked.rendered,
+            ty: binding_scheme,
+        }))
+    }
+}
+
+/// A verified elaboration served by [`Service::elaborate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElabInfo {
+    /// The binding's name.
+    pub name: String,
+    /// The canonical rendering of the System F image (already past the
+    /// typing oracle).
+    pub fterm: String,
+    /// The image's type (α-equivalent to the binding's scheme).
+    pub ty: String,
 }
 
 #[cfg(test)]
@@ -346,6 +462,38 @@ mod tests {
             s.type_of("b", "f").unwrap().unwrap().outcome.display(),
             want
         );
+    }
+
+    #[test]
+    fn elaborate_runs_the_differential_under_both_engines() {
+        let mut s = svc(EngineSel::Both);
+        s.open(
+            "d",
+            "#use prelude\n\
+             let f = fun x -> x;;\n\
+             let g = $(fun y -> y);;\n\
+             let p = poly ~f;;\n\
+             let n = plus (fst p) 1;;\n",
+        )
+        .unwrap();
+        for (name, ty) in [
+            ("f", "forall a. a -> a"),
+            ("g", "forall a. a -> a"),
+            ("p", "Int * Bool"),
+            ("n", "Int"),
+        ] {
+            let e = s.elaborate("d", name).unwrap().unwrap();
+            assert_eq!(e.ty, ty, "{name}: {}", e.fterm);
+        }
+        assert_eq!(
+            s.elaborate("d", "f").unwrap().unwrap().fterm,
+            "tyfun a -> fun (x : a) -> x"
+        );
+        assert!(s.elaborate("d", "zzz").unwrap().is_none());
+        assert!(matches!(
+            s.elaborate("nope", "f"),
+            Err(ServiceError::UnknownDoc(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Differential acceptance for `defaulted` reports: the names the service
+//! reports for value-restriction residuals must be identical across
+//! engines (`core`, `uf`, `both` are three routes to the same verdict)
+//! and must never collide with a name the rendered scheme itself uses —
+//! neither a free named variable nor a canonically lettered binder.
+
+use freezeml_core::Options;
+use freezeml_service::{EngineSel, Service, ServiceConfig};
+
+fn svc(engine: EngineSel) -> Service {
+    Service::new(ServiceConfig {
+        opts: Options::default(),
+        engine,
+        workers: 1,
+    })
+}
+
+fn typed_outcome(engine: EngineSel, src: &str, name: &str) -> (String, Vec<String>) {
+    let mut s = svc(engine);
+    let r = s.open("d", src).unwrap();
+    assert!(r.all_typed(), "{engine:?}: {:?}", r.bindings);
+    let b = r.binding(name).unwrap();
+    match &b.outcome {
+        freezeml_service::Outcome::Typed {
+            scheme, defaulted, ..
+        } => (scheme.to_string(), defaulted.clone()),
+        other => panic!("{engine:?}: {name} not typed: {other:?}"),
+    }
+}
+
+/// The names `forall`-binders display under in a rendered scheme.
+fn binder_names(scheme: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = scheme;
+    while let Some(i) = rest.find("forall") {
+        rest = &rest[i + "forall".len()..];
+        for word in rest.split_whitespace() {
+            if let Some(stripped) = word.strip_suffix('.') {
+                if !stripped.is_empty() {
+                    out.push(stripped.to_string());
+                }
+                break;
+            }
+            out.push(word.to_string());
+        }
+        if let Some(j) = rest.find('.') {
+            rest = &rest[j + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// The paper's `single id` residual, sitting next to a *named* dependency
+/// binder: the dependency's scheme enters the union-find engine with its
+/// source-name hint (`a`) but enters the core oracle as a nameless
+/// materialised tree — exactly the asymmetry that used to make the two
+/// engines letter the residual differently.
+const NAMED_BINDER_PROGRAM: &str = "#use prelude\n\
+    let (myid : forall a. a -> a) = fun x -> x;;\n\
+    let p = pair ~myid (single id);;\n";
+
+#[test]
+fn defaulted_names_agree_across_engines() {
+    let (scheme_core, core) = typed_outcome(EngineSel::Core, NAMED_BINDER_PROGRAM, "p");
+    let (scheme_uf, uf) = typed_outcome(EngineSel::Uf, NAMED_BINDER_PROGRAM, "p");
+    let (scheme_both, both) = typed_outcome(EngineSel::Both, NAMED_BINDER_PROGRAM, "p");
+    assert_eq!(scheme_core, scheme_uf);
+    assert_eq!(scheme_core, scheme_both);
+    assert_eq!(
+        core, uf,
+        "core and union-find report different defaulted names"
+    );
+    assert_eq!(core, both, "both-mode must match the per-engine reports");
+    assert_eq!(core.len(), 1, "exactly one residual is grounded");
+}
+
+/// A defaulted name must not collide with a binder of the scheme it is
+/// reported against: `(forall ?. ? -> ?) * List (Int -> Int)` letters its
+/// binder `a`, so the residual must be named past it.
+const UNNAMED_BINDER_PROGRAM: &str = "#use prelude\n\
+    let q = pair $(fun x -> x) (single id);;\n";
+
+#[test]
+fn defaulted_names_avoid_scheme_binders() {
+    for engine in [EngineSel::Core, EngineSel::Uf, EngineSel::Both] {
+        let (scheme, defaulted) = typed_outcome(engine, UNNAMED_BINDER_PROGRAM, "q");
+        let binders = binder_names(&scheme);
+        assert!(
+            !binders.is_empty(),
+            "{engine:?}: expected a quantified scheme, got {scheme}"
+        );
+        for d in &defaulted {
+            assert!(
+                !binders.contains(d),
+                "{engine:?}: defaulted name `{d}` collides with a binder of `{scheme}`"
+            );
+        }
+        assert_eq!(defaulted.len(), 1, "{engine:?}: one residual in {scheme}");
+    }
+}
+
+/// The baseline case from the executor tests, pinned across all engines:
+/// no binders, one residual, first free letter.
+#[test]
+fn defaulted_names_baseline_single_id() {
+    let src = "#use prelude\nlet xs = single id;;\n";
+    for engine in [EngineSel::Core, EngineSel::Uf, EngineSel::Both] {
+        let (scheme, defaulted) = typed_outcome(engine, src, "xs");
+        assert_eq!(scheme, "List (Int -> Int)", "{engine:?}");
+        assert_eq!(defaulted, ["a"], "{engine:?}");
+    }
+}

@@ -39,12 +39,14 @@
 pub mod error;
 pub mod eval;
 pub mod prelude;
+pub mod reduce;
 pub mod smallstep;
 pub mod term;
 pub mod typing;
 
 pub use error::{EvalError, FTypeError};
 pub use eval::{apply_value, eval, Env, Value};
+pub use reduce::admin_reduce;
 pub use smallstep::{normalize, step, Outcome};
 pub use term::FTerm;
 pub use typing::typecheck;

@@ -1,0 +1,43 @@
+//! Administrative β-reduction (the Theorem 3 repair).
+//!
+//! The Figure 11 translation renders FreezeML `let` as a β-redex
+//! `(λx^A.N) M`; when a generalising `let`'s right-hand side is itself a
+//! `let`-value, the image violates the value restriction (`Λ` over an
+//! application). [`admin_reduce`] reduces those redexes away wherever the
+//! argument is already a syntactic value — plain β-steps of Figure 19,
+//! type- and semantics-preserving — restoring the value form the
+//! theorem's proof assumes. Both elaboration pipelines (the derivation
+//! translation in `freezeml_translate` and the union-find engine's
+//! native evidence) finish with this pass.
+
+use crate::term::FTerm;
+
+/// Reduce `(λx^A.N) V` to `N[V/x]` wherever `V` is a syntactic value, and
+/// `(Λa.V) A` to `V[A/a]`, bottom-up. Both are β-steps of Figure 19 and
+/// therefore type- and semantics-preserving. Terminates because each step
+/// removes one application node and values contain no redexes at their
+/// own top level.
+pub fn admin_reduce(t: &FTerm) -> FTerm {
+    match t {
+        FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
+        FTerm::Lam(x, a, b) => FTerm::Lam(*x, a.clone(), Box::new(admin_reduce(b))),
+        FTerm::TyLam(a, b) => FTerm::TyLam(*a, Box::new(admin_reduce(b))),
+        FTerm::TyApp(m, ty) => {
+            let m = admin_reduce(m);
+            if let FTerm::TyLam(a, v) = &m {
+                return admin_reduce(&v.subst_ty(a, ty));
+            }
+            FTerm::TyApp(Box::new(m), ty.clone())
+        }
+        FTerm::App(f, arg) => {
+            let f = admin_reduce(f);
+            let arg = admin_reduce(arg);
+            if let FTerm::Lam(x, _, body) = &f {
+                if arg.is_value() {
+                    return admin_reduce(&body.subst_var(x, &arg));
+                }
+            }
+            FTerm::app(f, arg)
+        }
+    }
+}

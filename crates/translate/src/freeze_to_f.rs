@@ -96,40 +96,14 @@ pub fn freeze_to_f(typed: &TypedTerm) -> FTerm {
 
 /// Figure 11 followed by administrative reduction of `let`-redexes whose
 /// right-hand side is already a value — the repair described in the crate
-/// docs. The reduction is plain β (type- and semantics-preserving) and
-/// terminates because each step removes one application node and values
-/// contain no redexes at their own top level.
+/// docs. The reduction ([`admin_reduce`]) is plain β (type- and
+/// semantics-preserving); it now lives in `freezeml_systemf` so the
+/// engine-native elaboration pipeline shares it.
 pub fn freeze_to_f_valuable(typed: &TypedTerm) -> FTerm {
     admin_reduce(&freeze_to_f(typed))
 }
 
-/// Reduce `(λx^A.N) V` to `N[V/x]` wherever `V` is a syntactic value, and
-/// `(Λa.V) A` to `V[A/a]`, bottom-up. Both are β-steps of Figure 19 and
-/// therefore type- and semantics-preserving.
-pub fn admin_reduce(t: &FTerm) -> FTerm {
-    match t {
-        FTerm::Var(_) | FTerm::Lit(_) => t.clone(),
-        FTerm::Lam(x, a, b) => FTerm::Lam(*x, a.clone(), Box::new(admin_reduce(b))),
-        FTerm::TyLam(a, b) => FTerm::TyLam(*a, Box::new(admin_reduce(b))),
-        FTerm::TyApp(m, ty) => {
-            let m = admin_reduce(m);
-            if let FTerm::TyLam(a, v) = &m {
-                return admin_reduce(&v.subst_ty(a, ty));
-            }
-            FTerm::TyApp(Box::new(m), ty.clone())
-        }
-        FTerm::App(f, arg) => {
-            let f = admin_reduce(f);
-            let arg = admin_reduce(arg);
-            if let FTerm::Lam(x, _, body) = &f {
-                if arg.is_value() {
-                    return admin_reduce(&body.subst_var(x, &arg));
-                }
-            }
-            FTerm::app(f, arg)
-        }
-    }
-}
+pub use freezeml_systemf::admin_reduce;
 
 #[cfg(test)]
 mod tests {

@@ -39,10 +39,14 @@
 //! # }
 //! ```
 
+pub mod elaborate;
 pub mod f_to_freeze;
 pub mod freeze_to_f;
 pub mod poly_ml;
 
+pub use elaborate::{
+    canonicalize_fterm, elaborate_with, erase_fterm, erase_term, ElabEngine, ElabImage, Skeleton,
+};
 pub use f_to_freeze::f_to_freeze;
-pub use freeze_to_f::{elaborate, freeze_to_f, freeze_to_f_valuable, Elaborated};
+pub use freeze_to_f::{admin_reduce, elaborate, freeze_to_f, freeze_to_f_valuable, Elaborated};
 pub use poly_ml::{freeze_to_poly_ml, PmlTerm, PmlType};

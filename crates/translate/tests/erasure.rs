@@ -1,0 +1,197 @@
+//! The type-erasure round-trip property, on both engines: for every
+//! well-typed term `M`, the *literal* Figure 11 image `C⟦M⟧` erases back
+//! to `M`'s own λ-skeleton — `erase(C⟦M⟧) ≡ erase(M)` — where erasure
+//! drops types, freezing, and `Λ`/type applications, and reads `let` as
+//! its β-redex image. The reduced image is additionally held to the
+//! System F typing oracle at a type α-equivalent to the inferred scheme.
+
+use freezeml_core::{KindEnv, Options, Term, Type, TypeEnv};
+use freezeml_translate::{elaborate_with, erase_fterm, erase_term, ElabEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn annotation_pool() -> Vec<Type> {
+    [
+        "Int",
+        "Int -> Int",
+        "forall a. a -> a",
+        "forall a b. a -> b -> a",
+        "List (forall a. a -> a)",
+        "forall a. List a -> a",
+        "(forall a. a -> a) -> Int * Bool",
+    ]
+    .iter()
+    .map(|s| freezeml_core::parse_type(s).expect("pool type parses"))
+    .collect()
+}
+
+struct TermPool {
+    prelude: Vec<String>,
+    annotations: Vec<Type>,
+}
+
+fn fresh_name(counter: &mut usize) -> String {
+    let n = format!("x{counter}");
+    *counter += 1;
+    n
+}
+
+fn leaf<R: Rng>(rng: &mut R, pool: &TermPool, scope: &[String]) -> Term {
+    let n_scope = scope.len();
+    let n_prelude = pool.prelude.len();
+    let total = 2 * (n_scope + n_prelude) + 2;
+    let i = rng.gen_range(0..total);
+    let name_at = |i: usize| -> &str {
+        if i < n_scope {
+            scope[i].as_str()
+        } else {
+            pool.prelude[i - n_scope].as_str()
+        }
+    };
+    if i < n_scope + n_prelude {
+        Term::var(name_at(i))
+    } else if i < 2 * (n_scope + n_prelude) {
+        Term::frozen(name_at(i - n_scope - n_prelude))
+    } else if i == 2 * (n_scope + n_prelude) {
+        Term::int(rng.gen_range(0..100))
+    } else {
+        Term::bool(rng.gen_bool(0.5))
+    }
+}
+
+fn random_term<R: Rng>(
+    rng: &mut R,
+    pool: &TermPool,
+    depth: usize,
+    scope: &mut Vec<String>,
+    counter: &mut usize,
+) -> Term {
+    if depth == 0 {
+        return leaf(rng, pool, scope);
+    }
+    match rng.gen_range(0..20) {
+        0..=3 => leaf(rng, pool, scope),
+        4..=6 => {
+            let x = fresh_name(counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::lam(x.as_str(), body)
+        }
+        7 => {
+            let x = fresh_name(counter);
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::lam_ann(x.as_str(), ann, body)
+        }
+        8..=12 => {
+            let f = random_term(rng, pool, depth - 1, scope, counter);
+            let a = random_term(rng, pool, depth - 1, scope, counter);
+            Term::app(f, a)
+        }
+        13..=15 => {
+            let x = fresh_name(counter);
+            let rhs = random_term(rng, pool, depth - 1, scope, counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::let_(x.as_str(), rhs, body)
+        }
+        16 => {
+            let x = fresh_name(counter);
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            let rhs = random_term(rng, pool, depth - 1, scope, counter);
+            scope.push(x.clone());
+            let body = random_term(rng, pool, depth - 1, scope, counter);
+            scope.pop();
+            Term::let_ann(x.as_str(), ann, rhs, body)
+        }
+        17 => Term::gen(random_term(rng, pool, depth - 1, scope, counter)),
+        18 => Term::inst(random_term(rng, pool, depth - 1, scope, counter)),
+        _ => {
+            let ann = pool.annotations[rng.gen_range(0..pool.annotations.len())].clone();
+            Term::ty_app(random_term(rng, pool, depth - 1, scope, counter), ann)
+        }
+    }
+}
+
+fn env() -> TypeEnv {
+    freezeml_corpus::figure2()
+}
+
+#[test]
+fn erasure_round_trips_on_generated_terms_both_engines() {
+    let cases: usize = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE2A5E);
+    let env = env();
+    let pool = TermPool {
+        prelude: env.iter().map(|(v, _)| v.to_string()).collect(),
+        annotations: annotation_pool(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut well_typed = 0usize;
+    for case in 0..cases {
+        let mut scope = Vec::new();
+        let mut counter = 0usize;
+        let term = random_term(&mut rng, &pool, 5, &mut scope, &mut counter);
+        let opts = if rng.gen_bool(0.2) {
+            Options::eliminator()
+        } else {
+            Options::default()
+        };
+        let want = erase_term(&term);
+        for engine in [ElabEngine::Core, ElabEngine::Uf] {
+            let Ok(image) = elaborate_with(engine, &env, &term, &opts) else {
+                continue;
+            };
+            well_typed += 1;
+            let got = erase_fterm(&image.literal);
+            assert_eq!(
+                got, want,
+                "case {case} ({engine:?}, seed {seed}): erase(C⟦{term}⟧) ≠ erase({term})"
+            );
+            // The reduced image is held to the System F oracle.
+            let fty = freezeml_systemf::typecheck(&KindEnv::new(), &env, &image.term)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "case {case} ({engine:?}, seed {seed}): C⟦{term}⟧ ill-typed: {e}\n  {}",
+                        image.term
+                    )
+                });
+            assert!(
+                fty.alpha_eq(&image.ty),
+                "case {case} ({engine:?}, seed {seed}): {fty} vs {}",
+                image.ty
+            );
+        }
+    }
+    assert!(
+        well_typed * 10 >= cases,
+        "only {well_typed} well-typed elaborations over {cases} cases"
+    );
+}
+
+#[test]
+fn erasure_round_trips_on_figure1_corpus() {
+    for e in freezeml_corpus::EXAMPLES {
+        let env = freezeml_corpus::runner::env_for(e);
+        let opts = freezeml_corpus::runner::options_for(e);
+        let Ok(term) = freezeml_core::parse_term(e.src) else {
+            continue;
+        };
+        let want = erase_term(&term);
+        for engine in [ElabEngine::Core, ElabEngine::Uf] {
+            if let Ok(image) = elaborate_with(engine, &env, &term, &opts) {
+                assert_eq!(erase_fterm(&image.literal), want, "{} ({engine:?})", e.id);
+            }
+        }
+    }
+}

@@ -4,6 +4,9 @@
 //! ```text
 //! freezeml [serve]              serve the JSON line protocol on stdin/stdout
 //! freezeml check FILE…          check program files, print per-binding types
+//! freezeml elaborate FILE…      check program files and print each visible
+//!                               binding's System F image (verified against
+//!                               the freezeml_systemf typing oracle)
 //! freezeml replay PATH…         corpus replay: cold-open every program, then
 //!                               touch every binding and recheck warm; PATHs
 //!                               are program files, `#! program` golden files,
@@ -38,7 +41,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
-         [serve | check FILE… | replay PATH… | gen N [SEED] | bench-json [MS]]"
+         [serve | check FILE… | elaborate FILE… | replay PATH… | gen N [SEED] | \
+         bench-json [MS]]"
     );
     ExitCode::from(2)
 }
@@ -135,6 +139,63 @@ fn cmd_check(cfg: ServiceConfig, files: &[String]) -> ExitCode {
                         report.reused,
                         report.waves
                     );
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Check program files and render every visible binding's System F
+/// image — each image has passed the `freezeml_systemf` typing oracle
+/// (and, under `--engine both`, the cross-pipeline evidence agreement)
+/// before it is printed.
+fn cmd_elaborate(cfg: ServiceConfig, files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut svc = Service::new(cfg);
+    let mut failed = false;
+    for file in files {
+        let all = match sources_from(Path::new(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, text) in all {
+            println!("── {id}");
+            match svc.open(&id, &text) {
+                Err(e) => {
+                    println!("  parse error: {e}");
+                    failed = true;
+                }
+                Ok(report) => {
+                    // Visible bindings only (ML shadowing: the last of
+                    // each name), in declaration order.
+                    let mut names: Vec<String> = Vec::new();
+                    for b in &report.bindings {
+                        names.retain(|n| n != &b.name);
+                        names.push(b.name.clone());
+                    }
+                    for name in names {
+                        match svc.elaborate(&id, &name) {
+                            Ok(Some(e)) => {
+                                println!("  {} : {}", e.name, e.ty);
+                                println!("    = {}", e.fterm);
+                            }
+                            Ok(None) => unreachable!("name taken from the report"),
+                            Err(e) => {
+                                println!("  {name} : cannot elaborate ({e})");
+                                failed = true;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -255,6 +316,7 @@ fn main() -> ExitCode {
             }
         }
         "check" => cmd_check(args.cfg, &args.rest),
+        "elaborate" => cmd_elaborate(args.cfg, &args.rest),
         "replay" => cmd_replay(args.cfg, &args.rest),
         "gen" => cmd_gen(&args.rest),
         "bench-json" => cmd_bench_json(&args.rest),

@@ -12,13 +12,22 @@
 //!   from the scheme cache (this is the ≥10× headline; see
 //!   `EXPERIMENTS.md` for recorded numbers and the recheck-counter
 //!   assertions in `crates/service/tests/throughput.rs`);
-//! * `service/workers/<k>` — the same cold check with a `k`-worker pool
-//!   (topological-wave parallelism; single-CPU containers will show flat
-//!   numbers, the shape is recorded honestly).
+//! * `service/workers/<k>` — a socket server with `k` session threads
+//!   under a fixed closed-loop client roster (`freezeml_service::load`'s
+//!   `LoadMix`: concurrent clients driving an
+//!   open/edit/check/type-of/elaborate mix with think time between round
+//!   trips). Session threads overlap one client's think/IO time with
+//!   another client's checking, so the `workers` curve bends down with
+//!   `k` even on a single CPU — that latency overlap, not wave
+//!   parallelism, is what the socket front end buys.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freezeml_core::Options;
-use freezeml_service::{EngineSel, GenProgram, Service, ServiceConfig};
+use freezeml_service::{
+    load::{drive_tcp, LoadMix},
+    EngineSel, GenProgram, ServeOptions, Service, ServiceConfig, Shared, SocketServer,
+};
+use std::sync::Arc;
 use std::time::Duration;
 
 const SEED: u64 = 0x5EED;
@@ -84,16 +93,36 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    let text = GenProgram::generate(240, SEED).text();
+    // Fresh edit salts every iteration keep the edited cones missing
+    // the shared outcome cache (steady-state serving, not pure replay).
+    let mut round = 0u64;
     for k in [1usize, 2, 4] {
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            ServiceConfig {
+                opts: Options::default(),
+                engine: EngineSel::Uf,
+                workers: 1,
+            },
+            Arc::new(Shared::new()),
+            k,
+            ServeOptions::default(),
+        )
+        .expect("bind an ephemeral port");
+        let addr = server.local_addr().to_string();
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let mut svc = service(k);
-                let r = svc.open("bench", &text).expect("parses");
-                assert!(r.all_typed());
-                r.waves
+                round += 1;
+                drive_tcp(
+                    &addr,
+                    &LoadMix {
+                        salt_base: round * 100_000,
+                        ..LoadMix::default()
+                    },
+                )
             });
         });
+        server.shutdown();
     }
     group.finish();
 }

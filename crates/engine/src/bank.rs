@@ -1,0 +1,760 @@
+//! The concurrent scheme bank: a sharded, fingerprint-partitioned
+//! [`SchemeStore`](crate::SchemeStore) that many worker threads intern
+//! into and read from **without a global lock**.
+//!
+//! PR 3's executor wrapped one `SchemeStore` in a `Mutex`, so every
+//! worker serialised on scheme import/export — and a panicking worker
+//! poisoned the store for the rest of the session. This module keeps
+//! the store's semantics (hash-consed ground de Bruijn nodes, so a
+//! [`SchemeId`] is an α-equivalence class and id equality is scheme
+//! equality) while spreading the arena over `SHARDS` independently
+//! locked shards:
+//!
+//! * a node's **home shard** is chosen by its structural fingerprint
+//!   (`fp & (SHARDS-1)`), so α-identical nodes interned from any thread
+//!   race to the *same* shard and the hash-consing invariant — one id
+//!   per α-class per bank — holds bank-wide, not per shard;
+//! * a [`SchemeId`] encodes `(slot << SHARD_BITS) | shard`: ids stay
+//!   stable for the life of the bank, and decoding never needs a lock;
+//! * every method takes `&self`; interior shard locks are held for one
+//!   node read or one probe+insert, **never across recursion**, so the
+//!   lock graph is flat and deadlock-free by construction;
+//! * locks recover from poisoning (`PoisonError::into_inner`) — shard
+//!   state is only written under invariant-preserving single-node
+//!   operations, so a panicked writer leaves the shard valid and a
+//!   poisoned lock is safe to re-enter. One crashed binding can no
+//!   longer take the session's scheme space down with it.
+//!
+//! The traversal algorithms (export, intern-into, rendering, canonical
+//! lettering) are the store's, re-expressed over [`SchemeBank::view`]
+//! snapshots; the differential test in `tests/bank_differential.rs`
+//! holds the two implementations to the same α-class partition and
+//! byte-identical renderings. As with `Store`/`SchemeStore`, a fix to
+//! either interner's probe or slab logic almost certainly applies to
+//! both — keep them in lockstep.
+
+use crate::store::{reprobe, Shape, Store, TypeId};
+use crate::SchemeId;
+use freezeml_core::{Symbol, TyCon, TyVar, Type};
+use fxhash::{FxHashMap, FxHashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// log₂ of the shard count. 16 shards keeps the id encoding roomy
+/// (2²⁸ nodes per shard) while giving a worker pool an order of
+/// magnitude more lock granularity than it has threads.
+const SHARD_BITS: u32 = 4;
+
+/// Number of shards in a bank.
+pub const SHARDS: usize = 1 << SHARD_BITS;
+
+const SHARD_MASK: u32 = (SHARDS as u32) - 1;
+
+/// A contiguous child range in one shard's slab.
+#[derive(Clone, Copy)]
+struct SRange {
+    start: u32,
+    len: u32,
+}
+
+/// One scheme node, as stored. Child ids are *global* (bank-encoded)
+/// [`SchemeId`]s; the `SRange` indexes the owning shard's slab.
+#[derive(Clone, Copy)]
+enum SNode {
+    Bound(u32),
+    Free(TyVar),
+    Con(TyCon, SRange),
+    Forall(SchemeId),
+}
+
+/// A copied-out snapshot of one node: what traversals recurse over
+/// after the shard lock is dropped.
+enum View {
+    Bound(u32),
+    Free(TyVar),
+    Con(TyCon, Vec<SchemeId>),
+    Forall(SchemeId),
+}
+
+/// One lock's worth of the bank: a miniature `SchemeStore` arena.
+#[derive(Default)]
+struct Shard {
+    nodes: Vec<SNode>,
+    children: Vec<SchemeId>,
+    /// Per-node binder name hint (only meaningful for `Forall` nodes).
+    /// First exporter wins — hints never affect identity.
+    hints: Vec<Option<TyVar>>,
+    intern: FxHashMap<u64, SchemeId>,
+    /// Memoised renderings of nodes homed here.
+    rendered: FxHashMap<SchemeId, Arc<str>>,
+}
+
+impl Shard {
+    fn children_of(&self, r: SRange) -> &[SchemeId] {
+        &self.children[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    fn node_eq(&self, id: SchemeId, node: &SNode, args: &[SchemeId]) -> bool {
+        match (&self.nodes[slot_of(id)], node) {
+            (SNode::Bound(a), SNode::Bound(b)) => a == b,
+            (SNode::Free(a), SNode::Free(b)) => a == b,
+            (SNode::Con(c, r), SNode::Con(d, _)) => c == d && self.children_of(*r) == args,
+            (SNode::Forall(a), SNode::Forall(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Which shard an id lives in.
+fn shard_of(id: SchemeId) -> usize {
+    (id.index() & SHARD_MASK) as usize
+}
+
+/// The id's slot within its shard's arenas.
+fn slot_of(id: SchemeId) -> usize {
+    (id.index() >> SHARD_BITS) as usize
+}
+
+fn assemble(slot: usize, shard: usize) -> SchemeId {
+    let raw = ((slot as u32) << SHARD_BITS) | shard as u32;
+    assert!(
+        slot_of(SchemeId::from_raw(raw)) == slot,
+        "scheme bank shard overflow"
+    );
+    SchemeId::from_raw(raw)
+}
+
+/// The sharded concurrent scheme arena. See the module docs.
+#[derive(Default)]
+pub struct SchemeBank {
+    shards: [RwLock<Shard>; SHARDS],
+    /// Tree/string materialisations performed (cold `pretty`/`to_type`
+    /// work) — the counter the service asserts its memoisation against.
+    renders: AtomicU64,
+    /// `pretty` calls served from the memo.
+    render_hits: AtomicU64,
+}
+
+impl SchemeBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shard read lock, recovering from poison: shard invariants are
+    /// maintained per single-node operation, so state behind a
+    /// poisoned lock is still valid.
+    fn read(&self, s: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[s]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self, s: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[s]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Copy one node out of its shard. The only way traversals touch
+    /// shard state — the lock is released before any recursion.
+    fn view(&self, id: SchemeId) -> View {
+        let g = self.read(shard_of(id));
+        match g.nodes[slot_of(id)] {
+            SNode::Bound(i) => View::Bound(i),
+            SNode::Free(v) => View::Free(v),
+            SNode::Con(c, r) => View::Con(c, g.children_of(r).to_vec()),
+            SNode::Forall(b) => View::Forall(b),
+        }
+    }
+
+    fn hint(&self, id: SchemeId) -> Option<TyVar> {
+        self.read(shard_of(id)).hints[slot_of(id)]
+    }
+
+    /// Number of interned scheme nodes, bank-wide (observability).
+    pub fn len(&self) -> usize {
+        (0..SHARDS).map(|s| self.read(s).nodes.len()).sum()
+    }
+
+    /// Is the bank empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cold materialisations (tree or string) performed so far.
+    pub fn renders(&self) -> u64 {
+        self.renders.load(Ordering::Relaxed)
+    }
+
+    /// `pretty` calls served straight from the per-node memo.
+    pub fn render_hits(&self) -> u64 {
+        self.render_hits.load(Ordering::Relaxed)
+    }
+
+    fn fingerprint(node: &SNode, args: &[SchemeId]) -> u64 {
+        let mut h = fxhash::FxHasher::default();
+        match node {
+            SNode::Bound(i) => {
+                h.write_u8(0);
+                h.write_u32(*i);
+            }
+            SNode::Free(v) => {
+                h.write_u8(1);
+                v.hash(&mut h);
+            }
+            SNode::Con(c, _) => {
+                h.write_u8(2);
+                c.hash(&mut h);
+                h.write_u32(args.len() as u32);
+                for a in args {
+                    h.write_u32(a.index());
+                }
+            }
+            SNode::Forall(b) => {
+                h.write_u8(3);
+                h.write_u32(b.index());
+            }
+        }
+        h.finish()
+    }
+
+    /// Hash-consing intern. The home shard is a pure function of the
+    /// initial fingerprint, so concurrent interns of α-identical nodes
+    /// contend on one lock and are deduplicated there; the probe chain
+    /// (`reprobe` on fingerprint collision) stays within the shard.
+    fn intern_node(&self, node: SNode, args: &[SchemeId], hint: Option<TyVar>) -> SchemeId {
+        let fp = Self::fingerprint(&node, args);
+        let s = (fp as u32 & SHARD_MASK) as usize;
+        let mut shard = self.write(s);
+        let mut h = fp;
+        loop {
+            match shard.intern.get(&h) {
+                Some(&id) if shard.node_eq(id, &node, args) => return id,
+                Some(_) => h = reprobe(h),
+                None => break,
+            }
+        }
+        let id = assemble(shard.nodes.len(), s);
+        let node = match node {
+            SNode::Con(c, _) => {
+                let start = shard.children.len() as u32;
+                shard.children.extend_from_slice(args);
+                SNode::Con(
+                    c,
+                    SRange {
+                        start,
+                        len: args.len() as u32,
+                    },
+                )
+            }
+            other => other,
+        };
+        shard.nodes.push(node);
+        shard.hints.push(hint);
+        shard.intern.insert(h, id);
+        id
+    }
+
+    // ---------------------------------------------------------- export
+
+    /// Export a resolved session type into the bank, preserving sharing:
+    /// O(DAG) in the store representation. Semantics identical to
+    /// [`SchemeStore::export`](crate::SchemeStore::export).
+    pub fn export(&self, store: &mut Store, t: TypeId) -> SchemeId {
+        let mut binders: Vec<TyVar> = Vec::new();
+        let mut memo: FxHashMap<TypeId, SchemeId> = FxHashMap::default();
+        self.export_go(store, t, &mut binders, &mut memo).0
+    }
+
+    /// Returns `(id, lowest_ref)` — see `SchemeStore::export_go`; the
+    /// scope-closed memoisation rule is identical.
+    fn export_go(
+        &self,
+        store: &mut Store,
+        t: TypeId,
+        binders: &mut Vec<TyVar>,
+        memo: &mut FxHashMap<TypeId, SchemeId>,
+    ) -> (SchemeId, Option<usize>) {
+        let t = store.resolve(t);
+        if let Some(&id) = memo.get(&t) {
+            return (id, None);
+        }
+        match store.shape(t) {
+            Shape::Rigid(v) => {
+                if let Some(pos) = binders.iter().rposition(|b| *b == v) {
+                    let idx = (binders.len() - 1 - pos) as u32;
+                    (self.intern_node(SNode::Bound(idx), &[], None), Some(pos))
+                } else {
+                    let id = self.intern_node(SNode::Free(v), &[], None);
+                    memo.insert(t, id);
+                    (id, None)
+                }
+            }
+            Shape::Flex(v) => {
+                let name = store.name_of(v);
+                let id = self.intern_node(SNode::Free(name), &[], None);
+                memo.insert(t, id);
+                (id, None)
+            }
+            Shape::Con(c, n) => {
+                let mut lowest: Option<usize> = None;
+                let ids: Vec<SchemeId> = (0..n)
+                    .map(|i| {
+                        let child = store.con_child(t, i);
+                        let (id, low) = self.export_go(store, child, binders, memo);
+                        lowest = match (lowest, low) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        id
+                    })
+                    .collect();
+                let id = self.intern_node(SNode::Con(c, SRange { start: 0, len: 0 }), &ids, None);
+                if lowest.is_none() {
+                    memo.insert(t, id);
+                }
+                (id, lowest)
+            }
+            Shape::Forall(v, body) => {
+                let depth = binders.len();
+                binders.push(v);
+                let (b, low) = self.export_go(store, body, binders, memo);
+                binders.pop();
+                let hint = store.binder_source(&v);
+                let id = self.intern_node(SNode::Forall(b), &[], hint);
+                let escaping = low.filter(|&p| p < depth);
+                if escaping.is_none() {
+                    memo.insert(t, id);
+                }
+                (id, escaping)
+            }
+        }
+    }
+
+    /// Import a `core` type directly — α-canonical like export, so a
+    /// core-inferred and a uf-inferred α-equivalent scheme intern to
+    /// the same id.
+    pub fn intern_type(&self, ty: &Type) -> SchemeId {
+        let mut binders: Vec<TyVar> = Vec::new();
+        self.intern_type_go(ty, &mut binders)
+    }
+
+    fn intern_type_go(&self, ty: &Type, binders: &mut Vec<TyVar>) -> SchemeId {
+        match ty {
+            Type::Var(v) => {
+                if let Some(pos) = binders.iter().rposition(|b| b == v) {
+                    let idx = (binders.len() - 1 - pos) as u32;
+                    self.intern_node(SNode::Bound(idx), &[], None)
+                } else {
+                    self.intern_node(SNode::Free(*v), &[], None)
+                }
+            }
+            Type::Con(c, args) => {
+                let ids: Vec<SchemeId> = args
+                    .iter()
+                    .map(|a| self.intern_type_go(a, binders))
+                    .collect();
+                self.intern_node(SNode::Con(*c, SRange { start: 0, len: 0 }), &ids, None)
+            }
+            Type::Forall(v, body) => {
+                binders.push(*v);
+                let b = self.intern_type_go(body, binders);
+                binders.pop();
+                let hint = if v.is_named() { Some(*v) } else { None };
+                self.intern_node(SNode::Forall(b), &[], hint)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- import
+
+    /// Layer a scheme back into a session [`Store`] in O(DAG) — a
+    /// dependency's cached scheme entering `Γ`. Binders are freshened
+    /// and their hints recorded, exactly as
+    /// [`SchemeStore::intern_into`](crate::SchemeStore::intern_into).
+    pub fn intern_into(&self, store: &mut Store, id: SchemeId) -> TypeId {
+        let mut binders: Vec<TypeId> = Vec::new();
+        let mut memo: FxHashMap<SchemeId, TypeId> = FxHashMap::default();
+        self.intern_into_go(store, id, &mut binders, &mut memo).0
+    }
+
+    fn intern_into_go(
+        &self,
+        store: &mut Store,
+        id: SchemeId,
+        binders: &mut Vec<TypeId>,
+        memo: &mut FxHashMap<SchemeId, TypeId>,
+    ) -> (TypeId, Option<u32>) {
+        if let Some(&t) = memo.get(&id) {
+            return (t, None);
+        }
+        match self.view(id) {
+            View::Bound(i) => {
+                let t = binders[binders.len() - 1 - i as usize];
+                (t, Some(i))
+            }
+            View::Free(v) => {
+                let t = store.rigid(v);
+                memo.insert(id, t);
+                (t, None)
+            }
+            View::Con(c, children) => {
+                let mut deepest: Option<u32> = None;
+                let mut ids: Vec<TypeId> = Vec::with_capacity(children.len());
+                for ch in children {
+                    let (t, d) = self.intern_into_go(store, ch, binders, memo);
+                    deepest = match (deepest, d) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                    ids.push(t);
+                }
+                let t = store.con(c, &ids);
+                if deepest.is_none() {
+                    memo.insert(id, t);
+                }
+                (t, deepest)
+            }
+            View::Forall(body) => {
+                let fresh = store.fresh_binder(self.hint(id));
+                let fresh_id = store.rigid(fresh);
+                binders.push(fresh_id);
+                let (b, d) = self.intern_into_go(store, body, binders, memo);
+                binders.pop();
+                let t = store.forall(fresh, b);
+                let escaping = d.and_then(|m| m.checked_sub(1));
+                if escaping.is_none() {
+                    memo.insert(id, t);
+                }
+                (t, escaping)
+            }
+        }
+    }
+
+    // ------------------------------------------------- materialisation
+
+    /// Materialise the scheme as a `core::Type` tree — the on-demand
+    /// zonk, exponential in the worst case (the tree *is* that big).
+    pub fn to_type(&self, id: SchemeId) -> Type {
+        self.renders.fetch_add(1, Ordering::Relaxed);
+        let mut stack: Vec<TyVar> = Vec::new();
+        self.to_type_go(id, &mut stack)
+    }
+
+    fn to_type_go(&self, id: SchemeId, stack: &mut Vec<TyVar>) -> Type {
+        match self.view(id) {
+            View::Bound(i) => Type::Var(stack[stack.len() - 1 - i as usize]),
+            View::Free(v) => Type::Var(v),
+            View::Con(c, children) => {
+                let args = children
+                    .into_iter()
+                    .map(|ch| self.to_type_go(ch, stack))
+                    .collect();
+                Type::Con(c, args)
+            }
+            View::Forall(body) => {
+                let placeholder = TyVar::fresh();
+                stack.push(placeholder);
+                let body_ty = self.to_type_go(body, stack);
+                stack.pop();
+                Type::Forall(placeholder, Box::new(body_ty))
+            }
+        }
+    }
+
+    /// The canonical rendering of the scheme, memoised per id — byte
+    /// identical to [`SchemeStore::pretty`](crate::SchemeStore::pretty)
+    /// (binders lettered canonically in traversal order; hints never
+    /// consulted). Two threads racing on a cold id both compute the
+    /// same deterministic string; last insert wins harmlessly.
+    pub fn pretty(&self, id: SchemeId) -> Arc<str> {
+        let s_idx = shard_of(id);
+        if let Some(s) = self.read(s_idx).rendered.get(&id) {
+            self.render_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(s);
+        }
+        self.renders.fetch_add(1, Ordering::Relaxed);
+        let s: Arc<str> = if self.directly_renderable(id) {
+            let mut taken = FxHashSet::default();
+            for v in self.free_vars(id) {
+                if let Some(sym) = v.symbol() {
+                    taken.insert(sym);
+                }
+            }
+            let mut supply = freezeml_core::types::letter_supply(taken);
+            let mut out = String::new();
+            self.render_go(id, 1, &mut Vec::new(), &mut supply, &mut out);
+            Arc::from(out)
+        } else {
+            Arc::from(self.to_type_tree(id).to_string())
+        };
+        self.write(s_idx).rendered.insert(id, Arc::clone(&s));
+        s
+    }
+
+    /// `to_type` without bumping the counter twice (internal fallback).
+    fn to_type_tree(&self, id: SchemeId) -> Type {
+        let mut stack = Vec::new();
+        self.to_type_go(id, &mut stack)
+    }
+
+    fn directly_renderable(&self, id: SchemeId) -> bool {
+        let mut seen = FxHashSet::default();
+        self.renderable_go(id, &mut seen)
+    }
+
+    fn renderable_go(&self, id: SchemeId, seen: &mut FxHashSet<SchemeId>) -> bool {
+        if !seen.insert(id) {
+            return true;
+        }
+        match self.view(id) {
+            View::Bound(_) => true,
+            View::Free(v) => v.is_named(),
+            View::Con(_, children) => children.into_iter().all(|ch| self.renderable_go(ch, seen)),
+            View::Forall(body) => self.renderable_go(body, seen),
+        }
+    }
+
+    /// Direct renderer; precedence levels match `core::pretty`.
+    fn render_go(
+        &self,
+        id: SchemeId,
+        prec: u8,
+        stack: &mut Vec<Symbol>,
+        supply: &mut impl Iterator<Item = Symbol>,
+        out: &mut String,
+    ) {
+        match self.view(id) {
+            View::Bound(i) => {
+                let sym = stack[stack.len() - 1 - i as usize];
+                out.push_str(sym.as_str());
+            }
+            View::Free(v) => out.push_str(v.name().unwrap_or("?")),
+            View::Forall(_) => {
+                if prec > 1 {
+                    out.push('(');
+                }
+                out.push_str("forall");
+                let mut cur = id;
+                let mut pushed = 0usize;
+                while let View::Forall(body) = self.view(cur) {
+                    let sym = supply.next().expect("infinite supply");
+                    out.push(' ');
+                    out.push_str(sym.as_str());
+                    stack.push(sym);
+                    pushed += 1;
+                    cur = body;
+                }
+                out.push_str(". ");
+                self.render_go(cur, 1, stack, supply, out);
+                stack.truncate(stack.len() - pushed);
+                if prec > 1 {
+                    out.push(')');
+                }
+            }
+            View::Con(c, args) => match (c, args.len()) {
+                (TyCon::Arrow, 2) => {
+                    if prec > 1 {
+                        out.push('(');
+                    }
+                    self.render_go(args[0], 2, stack, supply, out);
+                    out.push_str(" -> ");
+                    self.render_go(args[1], 1, stack, supply, out);
+                    if prec > 1 {
+                        out.push(')');
+                    }
+                }
+                (TyCon::Prod, 2) => {
+                    if prec > 2 {
+                        out.push('(');
+                    }
+                    self.render_go(args[0], 3, stack, supply, out);
+                    out.push_str(" * ");
+                    self.render_go(args[1], 3, stack, supply, out);
+                    if prec > 2 {
+                        out.push(')');
+                    }
+                }
+                (_, 0) => out.push_str(c.name()),
+                _ => {
+                    if prec > 3 {
+                        out.push('(');
+                    }
+                    out.push_str(c.name());
+                    for a in args {
+                        out.push(' ');
+                        self.render_go(a, 4, stack, supply, out);
+                    }
+                    if prec > 3 {
+                        out.push(')');
+                    }
+                }
+            },
+        }
+    }
+
+    /// Collision-free display names for `count` grounded residuals —
+    /// same canonical-supply contract as
+    /// [`SchemeStore::defaulted_names`](crate::SchemeStore::defaulted_names).
+    pub fn defaulted_names(&self, id: SchemeId, count: usize) -> Vec<String> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut taken = FxHashSet::default();
+        for v in self.free_vars(id) {
+            if let Some(sym) = v.symbol() {
+                taken.insert(sym);
+            }
+        }
+        let mut supply = freezeml_core::types::letter_supply(taken);
+        self.skip_binder_letters(id, &mut supply);
+        (0..count)
+            .map(|_| supply.next().expect("infinite supply").as_str().to_string())
+            .collect()
+    }
+
+    fn skip_binder_letters(&self, id: SchemeId, supply: &mut impl Iterator<Item = Symbol>) {
+        match self.view(id) {
+            View::Bound(_) | View::Free(_) => {}
+            View::Con(_, children) => {
+                for ch in children {
+                    self.skip_binder_letters(ch, supply);
+                }
+            }
+            View::Forall(body) => {
+                supply.next();
+                self.skip_binder_letters(body, supply);
+            }
+        }
+    }
+
+    /// The free (non-binder) variables of the scheme, in order of first
+    /// appearance.
+    pub fn free_vars(&self, id: SchemeId) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        let mut seen = FxHashSet::default();
+        self.free_vars_go(id, &mut seen, &mut out);
+        out
+    }
+
+    fn free_vars_go(&self, id: SchemeId, seen: &mut FxHashSet<SchemeId>, out: &mut Vec<TyVar>) {
+        if !seen.insert(id) {
+            return;
+        }
+        match self.view(id) {
+            View::Bound(_) => {}
+            View::Free(v) => {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            View::Con(_, children) => {
+                for ch in children {
+                    self.free_vars_go(ch, seen, out);
+                }
+            }
+            View::Forall(body) => self.free_vars_go(body, seen, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezeml_core::parse_type;
+
+    fn export_str(bank: &SchemeBank, src: &str) -> SchemeId {
+        let mut store = Store::new();
+        let t = parse_type(src).unwrap();
+        let tid = store.intern_type(&t);
+        bank.export(&mut store, tid)
+    }
+
+    #[test]
+    fn alpha_classes_share_one_id_across_shards() {
+        let bank = SchemeBank::new();
+        let a = export_str(&bank, "forall a. a -> a");
+        let b = export_str(&bank, "forall b. b -> b");
+        assert_eq!(a, b);
+        let c = export_str(&bank, "forall a b. a -> b");
+        let d = export_str(&bank, "forall b a. a -> b");
+        assert_ne!(c, d, "quantifier order still matters");
+        assert_eq!(
+            c,
+            bank.intern_type(&parse_type("forall a b. a -> b").unwrap())
+        );
+    }
+
+    #[test]
+    fn export_to_type_round_trips() {
+        let bank = SchemeBank::new();
+        for src in [
+            "Int",
+            "forall a. a -> a",
+            "forall a b. a -> b -> a * b",
+            "(forall a. a -> a) -> Int * Bool",
+            "forall s. ST s Int",
+            "List (forall a. a -> a)",
+        ] {
+            let sid = export_str(&bank, src);
+            assert!(
+                bank.to_type(sid).alpha_eq(&parse_type(src).unwrap()),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn intern_into_round_trips_through_a_store() {
+        let bank = SchemeBank::new();
+        let sid = export_str(&bank, "forall a. (a -> Int) -> List a");
+        let mut fresh = Store::new();
+        let tid = bank.intern_into(&mut fresh, sid);
+        let z = fresh.zonk(tid);
+        assert!(z.alpha_eq(&parse_type("forall a. (a -> Int) -> List a").unwrap()));
+    }
+
+    #[test]
+    fn pretty_memoises_and_matches_tree_printer() {
+        let bank = SchemeBank::new();
+        let sid = export_str(&bank, "forall a b. (a -> b) -> List a -> List b");
+        let direct = bank.pretty(sid);
+        assert_eq!(&*direct, &bank.to_type(sid).to_string());
+        let before = bank.renders();
+        assert_eq!(bank.pretty(sid), direct);
+        assert_eq!(bank.renders(), before, "second pretty is a memo hit");
+        assert!(bank.render_hits() > 0);
+    }
+
+    #[test]
+    fn pair_chain_exports_in_dag_size() {
+        let mut store = Store::new();
+        let mut t = store.int();
+        for _ in 0..12 {
+            t = store.con(TyCon::Prod, &[t, t]);
+        }
+        let bank = SchemeBank::new();
+        let sid = bank.export(&mut store, t);
+        assert_eq!(bank.len(), 13, "13 distinct nodes for n=12");
+        let eager = store.zonk(t);
+        assert!(bank.to_type(sid).alpha_eq(&eager));
+    }
+
+    #[test]
+    fn shared_forall_subterms_stay_dag_sized_both_ways() {
+        let mut store = Store::new();
+        let id_ty = parse_type("forall a. a -> a").unwrap();
+        let mut t = store.intern_type(&id_ty);
+        for _ in 0..20 {
+            t = store.con(TyCon::Prod, &[t, t]);
+        }
+        let bank = SchemeBank::new();
+        let sid = bank.export(&mut store, t);
+        assert!(bank.len() <= 32, "export blew up: {} nodes", bank.len());
+        let mut fresh = Store::new();
+        let back = bank.intern_into(&mut fresh, sid);
+        assert_eq!(fresh.children(back).len(), 2);
+    }
+}

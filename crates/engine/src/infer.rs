@@ -22,8 +22,9 @@
 //! The result is zonked back to a `core::Type`, so callers (conformance
 //! harness, pretty-printing, downstream crates) consume it unchanged.
 
+use crate::bank::SchemeBank;
 use crate::elab::{BuildEv, Elab, EvBuild, NoEv};
-use crate::scheme::{SchemeId, SchemeStore};
+use crate::scheme::SchemeId;
 use crate::store::{Node, Shape, Store, TypeId, VarId};
 use crate::unify::unify;
 use freezeml_core::infer::ProgramError;
@@ -389,14 +390,20 @@ impl Session {
     /// Infer one term under `Γ, extra` with the extras supplied as
     /// cached [`SchemeId`]s and the result exported as a scheme — the
     /// fully **zonk-free** serving path: dependency schemes enter the
-    /// store by O(DAG) interning ([`SchemeStore::intern_into`]), the
-    /// result leaves by O(DAG) export ([`SchemeStore::export`]), and no
+    /// store by O(DAG) interning ([`SchemeBank::intern_into`]), the
+    /// result leaves by O(DAG) export ([`SchemeBank::export`]), and no
     /// `core::Type` tree is built anywhere. Residual variables are
     /// grounded to `Int` (the value-restriction defaulting the service
     /// and REPL apply), so the returned scheme is closed.
     ///
+    /// The bank is the sharded concurrent scheme arena
+    /// ([`crate::bank`]): the boundary crossings take per-shard locks
+    /// for single-node operations only, never across inference, so a
+    /// worker pool's sessions infer and intern concurrently without a
+    /// global lock.
+    ///
     /// Extras are schemes produced by inference (or imported through
-    /// [`SchemeStore::intern_type`]) and are well-formed by
+    /// [`SchemeBank::intern_type`]) and are well-formed by
     /// construction, so no environment-formation pass runs over them.
     ///
     /// # Errors
@@ -404,23 +411,16 @@ impl Session {
     /// The same [`TypeError`] classes as [`Session::infer`].
     pub fn infer_scheme_with(
         &mut self,
-        bank: &std::sync::Mutex<SchemeStore>,
+        bank: &SchemeBank,
         extra: &[(Var, SchemeId)],
         term: &Term,
     ) -> Result<SchemeOutput, TypeError> {
         freezeml_core::scope::well_scoped(&KindEnv::new(), term, &self.opts)?;
         self.store.reset_to(&self.base);
         let depth = self.gamma.len();
-        // The shared store is locked only around the O(DAG) boundary
-        // crossings (dependency intern here, export below) — never
-        // across inference itself, so a worker pool's sessions infer
-        // concurrently and only serialise on scheme import/export.
-        {
-            let bank = bank.lock().expect("scheme store poisoned");
-            for (x, sid) in extra {
-                let id = bank.intern_into(&mut self.store, *sid);
-                self.gamma.push((*x, id));
-            }
+        for (x, sid) in extra {
+            let id = bank.intern_into(&mut self.store, *sid);
+            self.gamma.push((*x, id));
         }
         let opts = self.opts;
         let mut cx = InferCtx {
@@ -444,7 +444,6 @@ impl Session {
                 self.store.solve(v, int);
             }
         }
-        let mut bank = bank.lock().expect("scheme store poisoned");
         let scheme = bank.export(&mut self.store, ty_id);
         let defaulted = bank.defaulted_names(scheme, grounded);
         Ok(SchemeOutput { scheme, defaulted })

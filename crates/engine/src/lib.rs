@@ -43,6 +43,7 @@
 //!
 //! [`Type`]: freezeml_core::Type
 
+pub mod bank;
 pub mod differential;
 pub mod elab;
 pub mod infer;
@@ -50,6 +51,7 @@ pub mod scheme;
 pub mod store;
 pub mod unify;
 
+pub use bank::SchemeBank;
 pub use differential::{class_of, class_of_program, compare_program, Disagreement, ErrorClass};
 pub use elab::Elab;
 pub use infer::{

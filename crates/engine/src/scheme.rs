@@ -50,9 +50,18 @@ pub struct SchemeId(u32);
 
 impl SchemeId {
     /// The raw arena index (stable for the life of the store) — what the
-    /// service mixes into observability output.
+    /// service mixes into observability output. For ids minted by a
+    /// [`SchemeBank`](crate::bank::SchemeBank) this is the bank's global
+    /// encoding (shard in the low bits), still stable and unique.
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Build an id from a raw index — the [`crate::bank`] shard encoding
+    /// mints ids that are not dense arena indices, so construction stays
+    /// crate-internal.
+    pub(crate) const fn from_raw(raw: u32) -> SchemeId {
+        SchemeId(raw)
     }
 }
 

@@ -1,0 +1,154 @@
+//! Differential proof obligation for the sharded scheme bank (PR 6
+//! tentpole): [`SchemeBank`] must assign ids that induce **exactly the
+//! α-equivalence partition** the single-lock [`SchemeStore`] does — from
+//! one thread, and from many threads interning concurrently. SchemeIds
+//! are α-class names; the service's per-binding cache and the protocol's
+//! `id` field are only sound if two types share a bank id *iff* they
+//! share a store id.
+//!
+//! The generator below produces deeply nested quantified types plus
+//! their α-variants (via `canonicalize`, which renames binders), so both
+//! the "same class, different spelling" and the "different class" sides
+//! of the iff get real coverage.
+
+use freezeml_core::{TyVar, Type};
+use freezeml_engine::{SchemeBank, SchemeStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn pool() -> Vec<TyVar> {
+    ["a", "b", "c", "d"]
+        .iter()
+        .map(|s| TyVar::from(*s))
+        .collect()
+}
+
+fn random_type(rng: &mut StdRng, depth: usize) -> Type {
+    let vars = pool();
+    if depth == 0 || rng.gen_range(0..6) == 0 {
+        return match rng.gen_range(0..4) {
+            0 => Type::int(),
+            1 => Type::bool(),
+            _ => Type::var(vars[rng.gen_range(0..vars.len())]),
+        };
+    }
+    match rng.gen_range(0..5) {
+        0 => Type::arrow(random_type(rng, depth - 1), random_type(rng, depth - 1)),
+        1 => Type::prod(random_type(rng, depth - 1), random_type(rng, depth - 1)),
+        2 => Type::list(random_type(rng, depth - 1)),
+        3 => {
+            let n = rng.gen_range(1..3);
+            let binders: Vec<TyVar> = (0..n).map(|_| vars[rng.gen_range(0..vars.len())]).collect();
+            Type::foralls(binders, random_type(rng, depth - 1))
+        }
+        _ => Type::st(random_type(rng, depth - 1), random_type(rng, depth - 1)),
+    }
+}
+
+/// ~N random types, each followed by an α-variant with renamed binders
+/// (`canonicalize` renames bound variables but preserves the class).
+fn corpus(seed: u64, n: usize) -> Vec<Type> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        let t = random_type(&mut rng, 4);
+        out.push(t.canonicalize());
+        out.push(t);
+    }
+    out
+}
+
+/// Assert `pairs` (store id, bank id) form a bijection between the ids
+/// each side actually used — i.e. the two partitions are identical.
+fn assert_bijection(pairs: &[(freezeml_engine::SchemeId, freezeml_engine::SchemeId)]) {
+    let mut fwd = HashMap::new();
+    let mut bwd = HashMap::new();
+    for &(s, b) in pairs {
+        assert_eq!(
+            *fwd.entry(s).or_insert(b),
+            b,
+            "store class {s:?} split into two bank ids"
+        );
+        assert_eq!(
+            *bwd.entry(b).or_insert(s),
+            s,
+            "bank id {b:?} merged two store classes"
+        );
+    }
+}
+
+#[test]
+fn bank_ids_induce_the_store_partition_single_threaded() {
+    let types = corpus(0x5EED_BA4C, 400);
+    let mut store = SchemeStore::new();
+    let bank = SchemeBank::new();
+    let mut pairs = Vec::new();
+    for t in &types {
+        let s = store.intern_type(t);
+        let b = bank.intern_type(t);
+        pairs.push((s, b));
+        // Pretty strings are a pure function of the α-class, so the two
+        // implementations must print byte-identically.
+        assert_eq!(&*store.pretty(s), &*bank.pretty(b), "for {t}");
+        // And a round trip through the bank stays in class.
+        assert!(bank.to_type(b).alpha_eq(t), "round trip of {t}");
+    }
+    assert_bijection(&pairs);
+    // Adjacent corpus entries are α-variants of each other: same ids.
+    for w in pairs.chunks(2) {
+        assert_eq!(w[0].0, w[1].0, "store saw through an α-renaming");
+        assert_eq!(w[0].1, w[1].1, "bank saw through an α-renaming");
+    }
+}
+
+#[test]
+fn concurrent_interning_agrees_with_the_single_lock_store() {
+    let types = Arc::new(corpus(0xC0_4C0B_5EED, 300));
+    let bank = Arc::new(SchemeBank::new());
+    const THREADS: usize = 4;
+
+    // Every thread interns the whole corpus, each in a different order,
+    // so the same α-class races into its home shard from all sides.
+    let per_thread: Vec<Vec<freezeml_engine::SchemeId>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|k| {
+                let types = Arc::clone(&types);
+                let bank = Arc::clone(&bank);
+                scope.spawn(move || {
+                    let n = types.len();
+                    let mut ids = vec![None; n];
+                    for i in 0..n {
+                        let j = (i * 7 + k * 31) % n; // per-thread order
+                        ids[j] = Some(bank.intern_type(&types[j]));
+                    }
+                    ids.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All threads observed the same id for every type: interning is a
+    // pure function of the α-class even under contention.
+    for t in 1..THREADS {
+        assert_eq!(per_thread[0], per_thread[t], "thread {t} diverged");
+    }
+
+    // And the partition matches the single-lock store's.
+    let mut store = SchemeStore::new();
+    let pairs: Vec<_> = types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (store.intern_type(t), per_thread[0][i]))
+        .collect();
+    assert_bijection(&pairs);
+    for (i, t) in types.iter().enumerate() {
+        assert_eq!(
+            &*store.pretty(pairs[i].0),
+            &*bank.pretty(per_thread[0][i]),
+            "for {t}"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! 2¹² nodes while its DAG form is 13.
 
 use freezeml_core::{Options, Type};
-use freezeml_engine::{SchemeStore, Session};
+use freezeml_engine::{SchemeBank, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,7 @@ fn exported_schemes_zonk_on_demand_alpha_equal_to_eager_zonk() {
     let opts = Options::default();
     let cfg = freezeml_miniml::generator::GenConfig::default();
     let mut rng = StdRng::seed_from_u64(0xD0_5EED);
-    let bank = std::sync::Mutex::new(SchemeStore::new());
+    let bank = SchemeBank::new();
     let mut session = Session::new(&env, &opts).unwrap();
     let mut checked = 0;
     let mut attempts = 0;
@@ -47,7 +47,7 @@ fn exported_schemes_zonk_on_demand_alpha_equal_to_eager_zonk() {
         let out = session
             .infer_scheme_with(&bank, &[], &t)
             .expect("eager path succeeded, scheme path must too");
-        let late = bank.lock().unwrap().to_type(out.scheme);
+        let late = bank.to_type(out.scheme);
         assert!(
             late.alpha_eq(&eager),
             "term `{t}`: on-demand {late} vs eager {eager}"
@@ -63,7 +63,7 @@ fn scheme_and_eager_paths_agree_on_failures_too() {
     let opts = Options::default();
     let cfg = freezeml_miniml::generator::GenConfig::default();
     let mut rng = StdRng::seed_from_u64(0xBAD_5EED);
-    let bank = std::sync::Mutex::new(SchemeStore::new());
+    let bank = SchemeBank::new();
     let mut session = Session::new(&env, &opts).unwrap();
     let mut failures = 0;
     for _ in 0..1500 {
@@ -99,18 +99,18 @@ fn pair_chain_n12_exports_as_a_dag_and_zonks_alpha_equal() {
     // leaves).
     let eager = eager_scheme(&env, &term).expect("pair chain is well typed");
 
-    let bank = std::sync::Mutex::new(SchemeStore::new());
+    let bank = SchemeBank::new();
     let mut session = Session::new(&env, &opts).unwrap();
-    let nodes_before = bank.lock().unwrap().len();
+    let nodes_before = bank.len();
     let out = session.infer_scheme_with(&bank, &[], &term).unwrap();
-    let exported_nodes = bank.lock().unwrap().len() - nodes_before;
+    let exported_nodes = bank.len() - nodes_before;
     assert!(
         exported_nodes <= 64,
         "export must stay DAG-sized, got {exported_nodes} nodes"
     );
 
     // On-demand zonk at the boundary is α-equal to the eager result…
-    let late = bank.lock().unwrap().to_type(out.scheme);
+    let late = bank.to_type(out.scheme);
     assert!(late.alpha_eq(&eager));
     // …and re-exporting the same inference hits the same α-class id.
     let out2 = session.infer_scheme_with(&bank, &[], &term).unwrap();
@@ -123,26 +123,22 @@ fn dependency_schemes_layer_without_trees() {
     // dependent, compare against the tree-based infer_with path.
     let env = prelude();
     let opts = Options::default();
-    let bank = std::sync::Mutex::new(SchemeStore::new());
+    let bank = SchemeBank::new();
     let mut session = Session::new(&env, &opts).unwrap();
 
     let f_term = freezeml_core::parse_term("let f = fun x -> x in ~f").unwrap();
     let f = session.infer_scheme_with(&bank, &[], &f_term).unwrap();
-    assert_eq!(&*bank.lock().unwrap().pretty(f.scheme), "forall a. a -> a");
+    assert_eq!(&*bank.pretty(f.scheme), "forall a. a -> a");
 
     let use_term = freezeml_core::parse_term("poly ~f").unwrap();
     let deps = [(freezeml_core::Var::named("f"), f.scheme)];
     let got = session.infer_scheme_with(&bank, &deps, &use_term).unwrap();
-    assert_eq!(&*bank.lock().unwrap().pretty(got.scheme), "Int * Bool");
+    assert_eq!(&*bank.pretty(got.scheme), "Int * Bool");
 
     // Tree-based reference.
-    let f_ty = bank.lock().unwrap().to_type(f.scheme);
+    let f_ty = bank.to_type(f.scheme);
     let tree = session
         .infer_with(&[(freezeml_core::Var::named("f"), f_ty)], &use_term)
         .unwrap();
-    assert!(bank
-        .lock()
-        .unwrap()
-        .to_type(got.scheme)
-        .alpha_eq(&tree.ty.canonicalize()));
+    assert!(bank.to_type(got.scheme).alpha_eq(&tree.ty.canonicalize()));
 }

@@ -22,15 +22,15 @@
 //! the scheme stored in the environment stays closed.
 
 use crate::db::{Analysis, DeclInfo, EngineSel, Outcome};
-use crate::hash::U64Map;
+use crate::shared::Shared;
 
 /// One inference job: a declaration index plus the scheme ids of its
-/// dependencies (resolved against the shared scheme store).
+/// dependencies (resolved against the shared scheme bank).
 type Job = (usize, Vec<(Var, SchemeId)>);
 use freezeml_core::{Options, Span, Type, TypeEnv, Var};
 use freezeml_engine::differential::{class_of, types_equivalent};
-use freezeml_engine::{SchemeId, SchemeStore, Session};
-use std::sync::{Arc, Mutex};
+use freezeml_engine::{SchemeBank, SchemeId, Session};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One worker: lazily-built engine sessions (with and without the
 /// Figure 2 prelude) plus the core-engine environments.
@@ -81,17 +81,25 @@ impl Worker {
         slot.as_ref().expect("just initialised")
     }
 
+    /// Drop the lazily-built engine sessions. Called after a contained
+    /// panic: a session interrupted mid-inference may hold a polluted
+    /// `Γ` or store, so it is rebuilt from scratch on next use.
+    fn reset(&mut self) {
+        self.sessions = [None, None];
+        self.envs = [None, None];
+    }
+
     /// Check one binding under the scheme ids of its dependencies.
     ///
     /// Under `ENGINE=uf` — the production configuration — the whole
     /// round trip is zonk-free: dependency schemes enter the session by
-    /// O(DAG) interning straight from the shared scheme store, and the
+    /// O(DAG) interning straight from the shared scheme bank, and the
     /// result leaves as a [`SchemeId`] export; no `core::Type` tree is
     /// built. The oracle paths (`core`, differential `both`) materialise
     /// trees, as befits the configuration whose job is cross-checking.
     pub fn check(
         &mut self,
-        bank: &Mutex<SchemeStore>,
+        bank: &SchemeBank,
         use_prelude: bool,
         decl: &DeclInfo,
         deps: &[(Var, SchemeId)],
@@ -99,25 +107,18 @@ impl Worker {
         let term = decl.probe_term();
         match self.engine {
             EngineSel::Uf => {
-                // The session infers without holding the bank lock
-                // (infer_scheme_with locks it only around the O(DAG)
-                // import/export crossings), so a worker pool's
-                // inferences run concurrently.
+                // The bank is sharded and lock-internal: the session's
+                // inference never serialises on other workers, and the
+                // O(DAG) import/export crossings contend per shard only.
                 match self
                     .session(use_prelude)
                     .infer_scheme_with(bank, deps, &term)
                 {
-                    Ok(out) => {
-                        let rendered = bank
-                            .lock()
-                            .expect("scheme store poisoned")
-                            .pretty(out.scheme);
-                        Outcome::Typed {
-                            id: out.scheme,
-                            scheme: rendered,
-                            defaulted: out.defaulted,
-                        }
-                    }
+                    Ok(out) => Outcome::Typed {
+                        id: out.scheme,
+                        scheme: bank.pretty(out.scheme),
+                        defaulted: out.defaulted,
+                    },
                     Err(e) => Outcome::Error {
                         class: format!("{:?}", class_of(&e)),
                         message: e.to_string(),
@@ -130,10 +131,8 @@ impl Worker {
                 outcome_of(bank, r.map(|o| o.ty))
             }
             EngineSel::Both => {
-                let dep_env: Vec<(Var, Type)> = {
-                    let mut bank = bank.lock().expect("scheme store poisoned");
-                    deps.iter().map(|(x, s)| (*x, bank.to_type(*s))).collect()
-                };
+                let dep_env: Vec<(Var, Type)> =
+                    deps.iter().map(|(x, s)| (*x, bank.to_type(*s))).collect();
                 let uf = self.session(use_prelude).infer_with(&dep_env, &term);
                 let mut env = self.env(use_prelude).clone();
                 for (x, t) in &dep_env {
@@ -158,17 +157,62 @@ impl Worker {
     /// engines only).
     fn dep_tree_env(
         &mut self,
-        bank: &Mutex<SchemeStore>,
+        bank: &SchemeBank,
         use_prelude: bool,
         deps: &[(Var, SchemeId)],
     ) -> TypeEnv {
         let mut env = self.env(use_prelude).clone();
-        let mut bank = bank.lock().expect("scheme store poisoned");
         for (x, s) in deps {
             env.push(*x, bank.to_type(*s));
         }
         env
     }
+}
+
+/// The `Outcome::Error` class reserved for contained worker panics —
+/// a checker bug surfaced as a per-binding verdict instead of a dead
+/// session. Never cached.
+pub const INTERNAL_ERROR_CLASS: &str = "Internal";
+
+/// Render a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+fn internal_error(name: &str, detail: &str) -> Outcome {
+    Outcome::Error {
+        class: INTERNAL_ERROR_CLASS.to_string(),
+        message: format!("internal error while checking `{name}`: {detail}"),
+    }
+}
+
+/// Check one binding with panic containment: a panicking check becomes
+/// an internal-error verdict for that binding, the worker's sessions are
+/// rebuilt (a panic mid-inference leaves them polluted), and the wave —
+/// and the service — keep going. `panic_on` is the test hook: a binding
+/// of that name panics deliberately inside the contained region.
+fn check_contained(
+    w: &mut Worker,
+    bank: &SchemeBank,
+    use_prelude: bool,
+    decl: &DeclInfo,
+    deps: &[(Var, SchemeId)],
+    panic_on: Option<&str>,
+) -> Outcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if panic_on == Some(decl.name()) {
+            panic!("deliberate test panic ($FREEZEML_TEST_PANIC_ON)");
+        }
+        w.check(bank, use_prelude, decl, deps)
+    }));
+    result.unwrap_or_else(|payload| {
+        w.reset();
+        internal_error(decl.name(), panic_message(payload.as_ref()))
+    })
 }
 
 fn render(r: &Result<Type, freezeml_core::TypeError>) -> String {
@@ -185,7 +229,7 @@ fn render(r: &Result<Type, freezeml_core::TypeError>) -> String {
 /// engines' outcomes land in the same α-canonical scheme space as the
 /// union-find engine's, so a scheme produced under `ENGINE=both` and one
 /// produced under `ENGINE=uf` share an id iff they are α-equivalent.
-fn outcome_of(bank: &Mutex<SchemeStore>, r: Result<Type, freezeml_core::TypeError>) -> Outcome {
+fn outcome_of(bank: &SchemeBank, r: Result<Type, freezeml_core::TypeError>) -> Outcome {
     match r {
         Ok(ty) => {
             let mut scheme = ty;
@@ -194,7 +238,6 @@ fn outcome_of(bank: &Mutex<SchemeStore>, r: Result<Type, freezeml_core::TypeErro
             for v in residuals {
                 scheme = scheme.rename_free(&v, &Type::int());
             }
-            let mut bank = bank.lock().expect("scheme store poisoned");
             let id = bank.intern_type(&scheme);
             // Residual names come from the interned scheme's own letter
             // supply — the same `defaulted_names` the union-find engine
@@ -250,13 +293,11 @@ impl CheckReport {
     }
 }
 
-/// The worker pool, sharing one persistent scheme store.
+/// The worker pool. The scheme bank and outcome cache it runs against
+/// live in the [`Shared`] hub, so many executors (one per connected
+/// session) share one scheme space.
 pub struct Executor {
     workers: Vec<Worker>,
-    /// The shared scheme store: every worker exports into it, the
-    /// Merkle cache's outcomes point into it, and `type-of` renders
-    /// from its per-id memo.
-    bank: Arc<Mutex<SchemeStore>>,
 }
 
 impl Executor {
@@ -264,7 +305,6 @@ impl Executor {
     pub fn new(n: usize, opts: Options, engine: EngineSel) -> Executor {
         Executor {
             workers: (0..n.max(1)).map(|_| Worker::new(opts, engine)).collect(),
-            bank: Arc::new(Mutex::new(SchemeStore::new())),
         }
     }
 
@@ -273,18 +313,20 @@ impl Executor {
         self.workers.len()
     }
 
-    /// The shared scheme store.
-    pub fn bank(&self) -> &Arc<Mutex<SchemeStore>> {
-        &self.bank
-    }
-
     /// One check pass: walk the waves, reuse cache hits, block on failed
     /// dependencies, and run the remaining jobs concurrently. Fresh
-    /// verdicts are written back to `cache` (disagreements excepted —
-    /// those are bugs and must never be served warm).
-    pub fn run(&mut self, a: &Analysis, cache: &mut U64Map<Outcome>) -> CheckReport {
+    /// verdicts are written back to the shared cache (disagreements and
+    /// internal errors excepted — those are bugs and must never be
+    /// served warm). Worker panics are contained per binding
+    /// ([`check_contained`]); the executor and the hub survive them.
+    pub fn run(&mut self, a: &Analysis, shared: &Shared) -> CheckReport {
         let n = a.decls.len();
         let use_prelude = a.uses_prelude;
+        let bank = shared.bank();
+        let cache = shared.cache();
+        // Test hook for the panic-containment regression tests: a
+        // binding with this name panics inside the contained region.
+        let panic_on = std::env::var("FREEZEML_TEST_PANIC_ON").ok();
         let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
         let (mut rechecked, mut reused, mut waves) = (0usize, 0usize, 0usize);
 
@@ -317,8 +359,8 @@ impl Executor {
                     });
                     continue;
                 }
-                if let Some(hit) = cache.get(&a.keys[i]) {
-                    outcomes[i] = Some(hit.clone());
+                if let Some(hit) = cache.get(a.keys[i]) {
+                    outcomes[i] = Some(hit);
                     reused += 1;
                     continue;
                 }
@@ -345,41 +387,79 @@ impl Executor {
             for (j, job) in jobs.into_iter().enumerate() {
                 chunks[j % k].push(job);
             }
+            // Declaration indices per chunk, kept on this side of the
+            // spawn: if a worker thread dies anyway (a panic escaping
+            // the per-binding containment), its chunk's bindings resolve
+            // to internal errors instead of poisoning the whole pass.
+            let chunk_idxs: Vec<Vec<usize>> = chunks
+                .iter()
+                .map(|c| c.iter().map(|j| j.0).collect())
+                .collect();
             let decls = &a.decls;
-            let bank = &*self.bank;
+            let panic_name = panic_on.as_deref();
             let results: Vec<(usize, Outcome)> = if k == 1 {
                 let w = &mut self.workers[0];
                 chunks
                     .pop()
                     .expect("k == 1")
                     .into_iter()
-                    .map(|(i, env)| (i, w.check(bank, use_prelude, &decls[i], &env)))
+                    .map(|(i, env)| {
+                        (
+                            i,
+                            check_contained(w, bank, use_prelude, &decls[i], &env, panic_name),
+                        )
+                    })
                     .collect()
             } else {
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = self
-                        .workers
-                        .iter_mut()
-                        .zip(chunks)
-                        .map(|(w, chunk)| {
-                            s.spawn(move || {
-                                chunk
-                                    .into_iter()
-                                    .map(|(i, env)| {
-                                        (i, w.check(bank, use_prelude, &decls[i], &env))
-                                    })
-                                    .collect::<Vec<_>>()
+                let joined: Vec<std::thread::Result<Vec<(usize, Outcome)>>> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = self
+                            .workers
+                            .iter_mut()
+                            .zip(chunks)
+                            .map(|(w, chunk)| {
+                                s.spawn(move || {
+                                    chunk
+                                        .into_iter()
+                                        .map(|(i, env)| {
+                                            (
+                                                i,
+                                                check_contained(
+                                                    w,
+                                                    bank,
+                                                    use_prelude,
+                                                    &decls[i],
+                                                    &env,
+                                                    panic_name,
+                                                ),
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
                             })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("worker thread panicked"))
-                        .collect()
-                })
+                            .collect();
+                        handles.into_iter().map(|h| h.join()).collect()
+                    });
+                let mut out = Vec::new();
+                for (wi, (res, idxs)) in joined.into_iter().zip(chunk_idxs).enumerate() {
+                    match res {
+                        Ok(v) => out.extend(v),
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref()).to_string();
+                            self.workers[wi].reset();
+                            out.extend(
+                                idxs.into_iter()
+                                    .map(|i| (i, internal_error(decls[i].name(), &msg))),
+                            );
+                        }
+                    }
+                }
+                out
             };
             for (i, o) in results {
-                if !matches!(o, Outcome::Disagreement { .. }) {
+                let uncacheable = matches!(o, Outcome::Disagreement { .. })
+                    || matches!(&o, Outcome::Error { class, .. } if class == INTERNAL_ERROR_CLASS);
+                if !uncacheable {
                     cache.insert(a.keys[i], o.clone());
                 }
                 outcomes[i] = Some(o);
@@ -410,7 +490,7 @@ mod tests {
 
     fn check(src: &str, engine: EngineSel) -> CheckReport {
         let a = analyze(src, &Options::default(), engine).unwrap();
-        Executor::new(2, Options::default(), engine).run(&a, &mut U64Map::default())
+        Executor::new(2, Options::default(), engine).run(&a, &Shared::new())
     }
 
     #[test]
@@ -472,11 +552,11 @@ mod tests {
     fn the_cache_turns_a_second_pass_into_pure_reuse() {
         let src = "#use prelude\nlet a = 1;;\nlet b = plus a 1;;\nlet c = plus b 1;;\n";
         let a = analyze(src, &Options::default(), EngineSel::Uf).unwrap();
-        let mut cache = U64Map::default();
+        let shared = Shared::new();
         let mut exec = Executor::new(1, Options::default(), EngineSel::Uf);
-        let cold = exec.run(&a, &mut cache);
+        let cold = exec.run(&a, &shared);
         assert_eq!((cold.rechecked, cold.reused), (3, 0));
-        let warm = exec.run(&a, &mut cache);
+        let warm = exec.run(&a, &shared);
         assert_eq!((warm.rechecked, warm.reused), (0, 3));
         assert_eq!(warm.waves, 0);
     }
@@ -489,14 +569,14 @@ mod tests {
             let r = plus base 2;;\n\
             let top = plus l r;;\n\
             let lone = 7;;\n";
-        let mut cache = U64Map::default();
+        let shared = Shared::new();
         let mut exec = Executor::new(2, Options::default(), EngineSel::Uf);
         let a = analyze(src, &Options::default(), EngineSel::Uf).unwrap();
-        exec.run(&a, &mut cache);
+        exec.run(&a, &shared);
         // Edit `l`: dirties l and top; base, r, lone stay cached.
         let edited = src.replace("let l = plus base 1;;", "let l = plus base 10;;");
         let b = analyze(&edited, &Options::default(), EngineSel::Uf).unwrap();
-        let warm = exec.run(&b, &mut cache);
+        let warm = exec.run(&b, &shared);
         assert_eq!(warm.rechecked, 2);
         assert_eq!(warm.reused, 3);
         assert!(warm.all_typed());

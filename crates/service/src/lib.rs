@@ -51,10 +51,15 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod shared;
+pub mod sock;
 
 pub use db::{analyze, analyze_cached, Analysis, EngineSel, Frontend, Outcome};
 pub use exec::{BindingReport, CheckReport, Executor, Worker};
+pub use freezeml_engine::SchemeId;
 pub use load::{replay, GenProgram, ReplayStats};
 pub use protocol::{handle_line, Json, Request};
-pub use server::serve;
+pub use server::{serve, serve_with, ServeOptions};
 pub use service::{ElabInfo, Service, ServiceConfig, ServiceError};
+pub use shared::Shared;
+pub use sock::SocketServer;

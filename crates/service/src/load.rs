@@ -193,6 +193,150 @@ impl GenProgram {
     }
 }
 
+/// A closed-loop socket load mix: concurrent clients, each driving a
+/// session of `open` / `edit` / `check` / `type-of` / `elaborate`
+/// requests (some batched) with a think-time pause between round trips.
+///
+/// The load is *closed-loop* deliberately: each client waits for its
+/// response (and then thinks) before sending again, like an editor
+/// would. Session threads that are idle during one client's think time
+/// serve another client's request, so `sessions > 1` overlaps latency
+/// even on a single CPU — the scaling the `service/workers/<k>` bench
+/// records.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadMix {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Bindings per client program.
+    pub bindings: usize,
+    /// Edit rounds per client (each round: one `edit`, one `type-of`,
+    /// and one batched `check`+`type-of`+`elaborate` line).
+    pub edits_per_client: usize,
+    /// Pause between a response and the next request.
+    pub think: std::time::Duration,
+    /// Base for edit salts. Distinct bases give distinct edited bodies,
+    /// so repeated runs against one hub keep missing the outcome cache
+    /// on the edited cone (the steady-state serving cost), while
+    /// everything else hits it.
+    pub salt_base: u64,
+}
+
+impl Default for LoadMix {
+    fn default() -> Self {
+        LoadMix {
+            clients: 6,
+            bindings: 16,
+            edits_per_client: 4,
+            think: std::time::Duration::from_micros(200),
+            salt_base: 0,
+        }
+    }
+}
+
+/// Drive a TCP socket server at `addr` with `mix`. Returns the total
+/// number of request lines sent (batches count as one line). Panics on
+/// any protocol-level surprise — a response that is not a JSON line, a
+/// failed open/edit, or a type-of miss — so benches and CI smoke runs
+/// fail loudly rather than measuring garbage.
+pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
+    use crate::protocol::{Json, Request};
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    fn round_trip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+        // One write per request (see `server::serve_with` on Nagle).
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("recv");
+        Json::parse(response.trim_end()).expect("every response is one JSON line")
+    }
+
+    let assert_ok = |v: &Json, what: &str| {
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{what}: {v}");
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..mix.clients)
+            .map(|k| {
+                let mix = *mix;
+                scope.spawn(move || {
+                    let g = GenProgram::generate(mix.bindings, 100 + (k % 4) as u64);
+                    let doc = "d".to_string();
+                    let writer = TcpStream::connect(addr).expect("connect");
+                    let _ = writer.set_nodelay(true);
+                    let mut writer = writer;
+                    let mut reader = BufReader::new(writer.try_clone().expect("clone stream"));
+                    let mut sent = 0usize;
+                    let mut send = |w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
+                        std::thread::sleep(mix.think);
+                        sent += 1;
+                        round_trip(w, r, line)
+                    };
+                    let open = Request::Open {
+                        doc: doc.clone(),
+                        text: g.text(),
+                    };
+                    assert_ok(
+                        &send(&mut writer, &mut reader, &open.to_json().to_string()),
+                        "open",
+                    );
+                    for e in 0..mix.edits_per_client {
+                        let i = (k + 3 * e) % g.len();
+                        let salt = mix.salt_base + (k * 1000 + e) as u64;
+                        let edit = Request::Edit {
+                            doc: doc.clone(),
+                            text: g.edited_text(i, salt),
+                        };
+                        assert_ok(
+                            &send(&mut writer, &mut reader, &edit.to_json().to_string()),
+                            "edit",
+                        );
+                        let probe = Request::TypeOf {
+                            doc: doc.clone(),
+                            name: g.name(i),
+                        };
+                        let r = send(&mut writer, &mut reader, &probe.to_json().to_string());
+                        assert_eq!(r.get("found"), Some(&Json::Bool(true)), "type-of: {r}");
+                        // One batched line: recheck, probe another
+                        // binding, elaborate a third.
+                        let batch = Json::Arr(vec![
+                            Request::Check { doc: doc.clone() }.to_json(),
+                            Request::TypeOf {
+                                doc: doc.clone(),
+                                name: g.name((i + 1) % g.len()),
+                            }
+                            .to_json(),
+                            Request::Elaborate {
+                                doc: doc.clone(),
+                                name: g.name((i + 2) % g.len()),
+                            }
+                            .to_json(),
+                        ]);
+                        let r = send(&mut writer, &mut reader, &batch.to_string());
+                        match &r {
+                            Json::Arr(items) => {
+                                assert_eq!(items.len(), 3, "batch answers in full: {r}");
+                                for item in items {
+                                    assert_ok(item, "batched request");
+                                }
+                            }
+                            other => panic!("batch line answered {other}"),
+                        }
+                    }
+                    let close = Request::Close { doc };
+                    let r = send(&mut writer, &mut reader, &close.to_json().to_string());
+                    assert_eq!(r.get("closed"), Some(&Json::Bool(true)), "close: {r}");
+                    sent
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
 /// Aggregate statistics from a corpus replay.
 #[derive(Clone, Debug, Default)]
 pub struct ReplayStats {
@@ -309,6 +453,47 @@ mod tests {
             engine,
             workers: 2,
         })
+    }
+
+    #[test]
+    fn the_load_mix_drives_a_socket_server_to_completion() {
+        use crate::server::ServeOptions;
+        use crate::shared::Shared;
+        use crate::sock::SocketServer;
+        use std::sync::Arc;
+
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            ServiceConfig {
+                opts: Options::default(),
+                engine: EngineSel::Uf,
+                workers: 1,
+            },
+            Arc::new(Shared::new()),
+            2,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let mix = LoadMix {
+            clients: 3,
+            bindings: 8,
+            edits_per_client: 2,
+            think: std::time::Duration::from_micros(50),
+            salt_base: 1,
+        };
+        let sent = drive_tcp(server.local_addr(), &mix);
+        // Per client: open + 2 × (edit, type-of, batch) + close = 8.
+        assert_eq!(sent, 3 * 8);
+        // A second run against the same hub (fresh salts) still works.
+        let sent = drive_tcp(
+            server.local_addr(),
+            &LoadMix {
+                salt_base: 100_000,
+                ..mix
+            },
+        );
+        assert_eq!(sent, 3 * 8);
+        server.shutdown();
     }
 
     #[test]

@@ -428,6 +428,16 @@ impl Request {
     /// A readable message (bad JSON, missing field, unknown command).
     pub fn parse(line: &str) -> Result<Request, String> {
         let v = Json::parse(line).map_err(|e| e.to_string())?;
+        Request::from_json(&v)
+    }
+
+    /// Interpret one parsed JSON value as a request — the element-wise
+    /// form `parse` and batched lines ([`handle_line`]) share.
+    ///
+    /// # Errors
+    ///
+    /// A readable message (missing field, unknown command).
+    pub fn from_json(v: &Json) -> Result<Request, String> {
         let cmd = v
             .get("cmd")
             .and_then(Json::as_str)
@@ -635,15 +645,34 @@ pub fn handle(svc: &mut Service, req: &Request) -> Json {
     }
 }
 
+fn request_error(msg: String) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::obj([("message", Json::Str(msg))])),
+    ])
+}
+
+fn handle_value(svc: &mut Service, v: &Json) -> Json {
+    match Request::from_json(v) {
+        Ok(req) => handle(svc, &req),
+        Err(msg) => request_error(msg),
+    }
+}
+
 /// Handle one raw request line (bad JSON / unknown commands become error
 /// responses, never panics).
+///
+/// **Batching:** a line whose JSON value is an *array* of requests is
+/// handled element by element, in order, against the same session, and
+/// answered with one line holding the array of responses — one write,
+/// one flush, one network round trip for a whole burst of edits. An
+/// element that fails to parse gets its error response in position; the
+/// rest of the batch still runs.
 pub fn handle_line(svc: &mut Service, line: &str) -> Json {
-    match Request::parse(line) {
-        Ok(req) => handle(svc, &req),
-        Err(msg) => Json::obj([
-            ("ok", Json::Bool(false)),
-            ("error", Json::obj([("message", Json::Str(msg))])),
-        ]),
+    match Json::parse(line) {
+        Err(e) => request_error(e.to_string()),
+        Ok(Json::Arr(items)) => Json::Arr(items.iter().map(|v| handle_value(svc, v)).collect()),
+        Ok(v) => handle_value(svc, &v),
     }
 }
 
@@ -834,6 +863,54 @@ mod tests {
             let r = handle_line(&mut s, line);
             assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{line}");
         }
+    }
+
+    #[test]
+    fn a_batch_line_answers_with_an_array_in_order() {
+        let mut s = svc();
+        let r = handle_line(
+            &mut s,
+            concat!(
+                r#"[{"cmd":"open","doc":"m","text":"let x = 1;;"},"#,
+                r#"{"cmd":"type-of","doc":"m","name":"x"},"#,
+                r#"{"cmd":"close","doc":"m"}]"#,
+            ),
+        );
+        let items = match r {
+            Json::Arr(items) => items,
+            other => panic!("expected array response, got {other}"),
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(items[1].get("result").and_then(Json::as_str), Some("Int"));
+        assert_eq!(items[2].get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn a_bad_batch_element_fails_in_place_without_aborting_the_batch() {
+        let mut s = svc();
+        let r = handle_line(
+            &mut s,
+            concat!(
+                r#"[{"cmd":"open","doc":"m","text":"let x = 1;;"},"#,
+                r#"{"cmd":"launch-missiles"},"#,
+                r#"{"cmd":"type-of","doc":"m","name":"x"}]"#,
+            ),
+        );
+        let items = match r {
+            Json::Arr(items) => items,
+            other => panic!("expected array response, got {other}"),
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(items[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(items[2].get("result").and_then(Json::as_str), Some("Int"));
+    }
+
+    #[test]
+    fn an_empty_batch_answers_with_an_empty_array() {
+        let mut s = svc();
+        assert_eq!(handle_line(&mut s, "[]"), Json::Arr(vec![]));
     }
 
     #[test]

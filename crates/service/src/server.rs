@@ -1,27 +1,164 @@
-//! The stdio server: one JSON request per line in, one JSON response per
-//! line out. The loop is written against generic `BufRead`/`Write` so
-//! tests (and the load generator) can drive it over in-memory buffers;
-//! the `freezeml` binary plugs in locked stdin/stdout.
+//! The line-protocol server loop: one JSON request per line in, one JSON
+//! response per line out. The loop is written against generic
+//! `BufRead`/`Write` so tests (and the load generator) can drive it over
+//! in-memory buffers; the `freezeml` binary plugs in locked
+//! stdin/stdout, and the socket server ([`crate::sock`]) plugs in one
+//! connection's stream halves.
+//!
+//! The reader works on **raw bytes**, not `BufRead::lines`:
+//!
+//! * a line that is not valid UTF-8 is answered with a structured
+//!   `{"ok":false,…}` error and the session keeps serving — previously
+//!   one stray `0xFF` byte killed the whole session with an
+//!   `InvalidData` transport error;
+//! * a line longer than [`ServeOptions::max_request_bytes`] is drained
+//!   (never buffered) and answered with a structured error — previously
+//!   a client streaming bytes without a newline grew the buffer without
+//!   bound.
 
-use crate::protocol::handle_line;
+use crate::protocol::{handle_line, Json};
 use crate::service::Service;
 use std::io::{self, BufRead, Write};
 
-/// Serve requests until EOF. Every line gets exactly one response line;
-/// malformed requests produce `{"ok":false,…}` rather than terminating
-/// the session. Blank lines are ignored.
+/// Serving limits. `Default` is the CLI's configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Maximum request-line length in bytes (newline excluded). Longer
+    /// requests are rejected with a structured error; the line is
+    /// consumed without being buffered.
+    pub max_request_bytes: usize,
+}
+
+/// Default request cap: a few MiB — generous for whole-document `open`
+/// requests, small enough that a misbehaving client cannot grow the
+/// server's memory without bound.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+/// One raw request line, as read by [`read_request`].
+enum RawLine {
+    /// A complete line within the cap (newline stripped).
+    Line,
+    /// The line exceeded the cap; `0` bytes of it were kept.
+    Oversized { len: usize },
+}
+
+/// Read one `\n`-terminated line of raw bytes into `buf` (cleared
+/// first), without ever buffering more than `max` bytes. `Ok(None)` at
+/// EOF with no pending bytes; a final unterminated line is still
+/// served. The trailing `\n` (and a preceding `\r`) are stripped.
+fn read_request<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<Option<RawLine>> {
+    buf.clear();
+    let mut total = 0usize;
+    let mut oversized = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF. Serve a pending unterminated line, drop nothing.
+            return Ok(match (total, oversized) {
+                (0, _) => None,
+                (len, true) => Some(RawLine::Oversized { len }),
+                (_, false) => Some(RawLine::Line),
+            });
+        }
+        let (chunk, terminated) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos], true),
+            None => (available, false),
+        };
+        total += chunk.len();
+        if !oversized {
+            if total > max {
+                // Stop buffering: the whole line is rejected, so no
+                // prefix is worth keeping. Keep draining to the newline.
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(terminated);
+        reader.consume(consumed);
+        if terminated {
+            if !oversized && buf.last() == Some(&b'\r') {
+                buf.pop();
+                total -= 1;
+            }
+            return Ok(Some(if oversized {
+                RawLine::Oversized { len: total }
+            } else {
+                RawLine::Line
+            }));
+        }
+    }
+}
+
+fn transport_error(kind: &str, detail: String) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(detail)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+    ])
+}
+
+/// Serve requests until EOF with the default [`ServeOptions`].
 ///
 /// # Errors
 ///
 /// Only I/O errors on the transport itself.
-pub fn serve<R: BufRead, W: Write>(svc: &mut Service, reader: R, mut writer: W) -> io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handle_line(svc, &line);
-        writeln!(writer, "{response}")?;
+pub fn serve<R: BufRead, W: Write>(svc: &mut Service, reader: R, writer: W) -> io::Result<()> {
+    serve_with(svc, reader, writer, &ServeOptions::default())
+}
+
+/// Serve requests until EOF. Every line gets exactly one response line;
+/// malformed, non-UTF-8, and oversized requests produce `{"ok":false,…}`
+/// rather than terminating the session. Blank lines are ignored.
+///
+/// # Errors
+///
+/// Only I/O errors on the transport itself.
+pub fn serve_with<R: BufRead, W: Write>(
+    svc: &mut Service,
+    mut reader: R,
+    mut writer: W,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    while let Some(raw) = read_request(&mut reader, &mut buf, opts.max_request_bytes)? {
+        let response = match raw {
+            RawLine::Oversized { len } => transport_error(
+                "oversized",
+                format!(
+                    "request of {len} bytes exceeds the {}-byte limit",
+                    opts.max_request_bytes
+                ),
+            ),
+            RawLine::Line => match std::str::from_utf8(&buf) {
+                Err(e) => transport_error("encoding", format!("request is not valid UTF-8: {e}")),
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    handle_line(svc, line)
+                }
+            },
+        };
+        // One write per response: a `writeln!` straight to a socket
+        // splits into tiny writes, and Nagle + delayed ACK turns each
+        // round trip into a ~40 ms stall.
+        let mut out = response.to_string();
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
         writer.flush()?;
     }
     Ok(())
@@ -31,10 +168,27 @@ pub fn serve<R: BufRead, W: Write>(svc: &mut Service, reader: R, mut writer: W) 
 mod tests {
     use super::*;
     use crate::db::EngineSel;
-    use crate::protocol::Json;
     use crate::service::ServiceConfig;
     use freezeml_core::Options;
     use std::io::Cursor;
+
+    fn uf_service(workers: usize) -> Service {
+        Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers,
+        })
+    }
+
+    fn run_bytes(svc: &mut Service, script: &[u8], opts: &ServeOptions) -> Vec<Json> {
+        let mut out = Vec::new();
+        serve_with(svc, Cursor::new(script), &mut out, opts).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every response line is JSON"))
+            .collect()
+    }
 
     #[test]
     fn serves_a_scripted_session_over_buffers() {
@@ -49,18 +203,8 @@ mod tests {
             r#"{"cmd":"close","doc":"m"}"#,
             "\n",
         );
-        let mut svc = Service::new(ServiceConfig {
-            opts: Options::default(),
-            engine: EngineSel::Uf,
-            workers: 1,
-        });
-        let mut out = Vec::new();
-        serve(&mut svc, Cursor::new(script), &mut out).unwrap();
-        let lines: Vec<Json> = String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(|l| Json::parse(l).expect("every response line is JSON"))
-            .collect();
+        let mut svc = uf_service(1);
+        let lines = run_bytes(&mut svc, script.as_bytes(), &ServeOptions::default());
         assert_eq!(lines.len(), 4, "one response per non-blank request");
         assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
         assert_eq!(
@@ -69,5 +213,90 @@ mod tests {
         );
         assert_eq!(lines[2].get("ok"), Some(&Json::Bool(false)));
         assert_eq!(lines[3].get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn a_non_utf8_line_is_rejected_without_killing_the_session() {
+        // Regression: `BufRead::lines` returns an InvalidData error on
+        // the 0xFF byte, which `line?` propagated — one bad client line
+        // terminated the whole session. Now the line is answered with a
+        // structured error and the session keeps serving.
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+        script.push(b'\n');
+        script.extend_from_slice(b"\xFF\xFE garbage bytes \xFF");
+        script.push(b'\n');
+        script.extend_from_slice(br#"{"cmd":"type-of","doc":"m","name":"x"}"#);
+        script.push(b'\n');
+        let mut svc = uf_service(1);
+        let lines = run_bytes(&mut svc, &script, &ServeOptions::default());
+        assert_eq!(lines.len(), 3, "the bad line got a response, not a hangup");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            lines[1].get("kind").and_then(Json::as_str),
+            Some("encoding")
+        );
+        assert_eq!(lines[2].get("result").and_then(Json::as_str), Some("Int"));
+    }
+
+    #[test]
+    fn an_oversized_request_is_rejected_and_not_buffered() {
+        // Regression: the reader buffered the whole line before looking
+        // at it, so a client streaming bytes without a newline grew
+        // memory without bound. The cap drains instead of buffering.
+        let opts = ServeOptions {
+            max_request_bytes: 64,
+        };
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+        script.push(b'\n');
+        script.extend_from_slice(&vec![b'a'; 10_000]);
+        script.push(b'\n');
+        script.extend_from_slice(br#"{"cmd":"type-of","doc":"m","name":"x"}"#);
+        script.push(b'\n');
+        let mut svc = uf_service(1);
+        let lines = run_bytes(&mut svc, &script, &opts);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            lines[1].get("kind").and_then(Json::as_str),
+            Some("oversized")
+        );
+        assert!(lines[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("10000 bytes"));
+        assert_eq!(lines[2].get("result").and_then(Json::as_str), Some("Int"));
+    }
+
+    #[test]
+    fn an_unterminated_final_line_and_oversized_eof_are_served() {
+        let opts = ServeOptions {
+            max_request_bytes: 16,
+        };
+        // No trailing newline on either request; the second is over cap.
+        let mut svc = uf_service(1);
+        let lines = run_bytes(
+            &mut svc,
+            br#"{"cmd":"check","doc":"q"}"#,
+            &ServeOptions::default(),
+        );
+        assert_eq!(lines.len(), 1, "final unterminated line still answered");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(false)), "unknown doc");
+        let lines = run_bytes(&mut svc, &vec![b'z'; 500], &opts);
+        assert_eq!(
+            lines[0].get("kind").and_then(Json::as_str),
+            Some("oversized")
+        );
+    }
+
+    #[test]
+    fn crlf_lines_are_accepted() {
+        let script = b"{\"cmd\":\"open\",\"doc\":\"m\",\"text\":\"let x = 1;;\"}\r\n";
+        let mut svc = uf_service(1);
+        let lines = run_bytes(&mut svc, script, &ServeOptions::default());
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
     }
 }

@@ -23,12 +23,13 @@
 //! assert_eq!((r.rechecked, r.reused), (1, 2));
 //! ```
 
-use crate::db::{analyze_cached, Analysis, EngineSel, Frontend, Outcome};
+use crate::db::{analyze_cached, Analysis, EngineSel, Outcome};
 use crate::exec::{BindingReport, CheckReport, Executor};
-use crate::hash::U64Map;
+use crate::shared::Shared;
 use freezeml_core::{Options, ParseError};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Service construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -87,20 +88,29 @@ pub struct Service {
     cfg: ServiceConfig,
     exec: Executor,
     docs: HashMap<String, Document>,
-    cache: U64Map<Outcome>,
-    /// Declaration-level parse cache shared across documents and edits.
-    frontend: Frontend,
+    /// The cross-session hub: scheme bank, outcome cache, parse cache.
+    /// A standalone service owns a private hub; socket sessions share
+    /// one ([`Service::with_shared`]).
+    shared: Arc<Shared>,
 }
 
 impl Service {
-    /// A service with the given configuration.
+    /// A service with the given configuration and a private hub.
     pub fn new(cfg: ServiceConfig) -> Service {
+        Service::with_shared(cfg, Arc::new(Shared::new()))
+    }
+
+    /// A service running against an existing hub — the socket server's
+    /// per-connection constructor. Documents stay session-private;
+    /// schemes, verdicts, and parsed declarations are shared. Sound for
+    /// mixed configurations: cache keys fingerprint the options and
+    /// engine ([`crate::db`]).
+    pub fn with_shared(cfg: ServiceConfig, shared: Arc<Shared>) -> Service {
         Service {
             exec: Executor::new(cfg.workers, cfg.opts, cfg.engine),
             cfg,
             docs: HashMap::new(),
-            cache: U64Map::default(),
-            frontend: Frontend::default(),
+            shared,
         }
     }
 
@@ -109,43 +119,40 @@ impl Service {
         &self.cfg
     }
 
-    /// Scheme-cache size (for observability).
-    pub fn cache_len(&self) -> usize {
-        self.cache.len()
+    /// The hub this service runs against.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
-    /// Tree/string materialisations the shared scheme store has
+    /// Scheme-cache size (for observability).
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache().len()
+    }
+
+    /// Tree/string materialisations the shared scheme bank has
     /// performed — the zonk counter. `type-of` on an unchanged binding
     /// and warm `check` passes must not move it: schemes are served as
     /// memoised `Arc` renderings keyed by [`freezeml_engine::SchemeId`].
     pub fn scheme_renders(&self) -> u64 {
-        self.exec
-            .bank()
-            .lock()
-            .expect("scheme store poisoned")
-            .renders()
+        self.shared.bank().renders()
     }
 
-    /// Renderings served from the scheme store's per-id memo.
+    /// Renderings served from the scheme bank's per-id memo.
     pub fn scheme_render_hits(&self) -> u64 {
-        self.exec
-            .bank()
-            .lock()
-            .expect("scheme store poisoned")
-            .render_hits()
+        self.shared.bank().render_hits()
     }
 
-    /// Interned scheme nodes in the shared store (observability).
+    /// Interned scheme nodes in the shared bank (observability).
     pub fn scheme_nodes(&self) -> usize {
-        self.exec
-            .bank()
-            .lock()
-            .expect("scheme store poisoned")
-            .len()
+        self.shared.bank().len()
     }
 
     fn set_text(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
-        match analyze_cached(&mut self.frontend, text, &self.cfg.opts, self.cfg.engine) {
+        let analyzed = {
+            let mut frontend = self.shared.frontend();
+            analyze_cached(&mut frontend, text, &self.cfg.opts, self.cfg.engine)
+        };
+        match analyzed {
             Ok(analysis) => {
                 self.docs.insert(
                     doc.to_string(),
@@ -210,7 +217,7 @@ impl Service {
         match &entry.analysis {
             Err(e) => Err(ServiceError::Parse(e.clone())),
             Ok(a) => {
-                let report = self.exec.run(a, &mut self.cache);
+                let report = self.exec.run(a, &self.shared);
                 entry.report = Some(report);
                 Ok(entry.report.as_ref().expect("just stored"))
             }
@@ -308,18 +315,16 @@ impl Service {
         } else {
             freezeml_core::TypeEnv::new()
         };
-        {
-            let mut bank = self.exec.bank().lock().expect("scheme store poisoned");
-            for &d in &a.deps[i] {
-                must_be_typed(d)?;
-                let Outcome::Typed { id, .. } = &report.bindings[d].outcome else {
-                    unreachable!("checked typed above")
-                };
-                env.push(
-                    freezeml_core::Var::from_symbol(a.decls[d].name_sym()),
-                    bank.to_type(*id),
-                );
-            }
+        let bank = self.shared.bank();
+        for &d in &a.deps[i] {
+            must_be_typed(d)?;
+            let Outcome::Typed { id, .. } = &report.bindings[d].outcome else {
+                unreachable!("checked typed above")
+            };
+            env.push(
+                freezeml_core::Var::from_symbol(a.decls[d].name_sym()),
+                bank.to_type(*id),
+            );
         }
         let term = a.decls[i].probe_term();
         let elab = |e: ElabEngine| {

@@ -1,0 +1,101 @@
+//! The hub state shared by every session of one serving process: the
+//! concurrent scheme bank, the striped outcome cache, and the
+//! declaration-level parse cache.
+//!
+//! One [`Shared`] behind an `Arc` is what makes the socket server
+//! ([`crate::sock`]) more than N isolated services: every connection
+//! gets its own [`Service`](crate::Service) (documents are per-session
+//! state), but schemes, verdicts, and parsed declarations flow across
+//! sessions — a binding checked by one client is a cache hit for every
+//! other client, exactly as it is across documents within one service.
+//!
+//! Cache keys already fingerprint the checker configuration
+//! ([`crate::db`]), so one hub safely serves sessions with different
+//! engine or option settings.
+//!
+//! All locks here recover from poisoning (`PoisonError::into_inner`):
+//! the executor contains panics at the binding boundary
+//! ([`crate::exec`]), and the structures behind these locks are valid
+//! after any interrupted single operation — one crashed request must
+//! never wedge the hub for every other client.
+
+use crate::db::{Frontend, Outcome};
+use crate::hash::U64Map;
+use freezeml_engine::SchemeBank;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Stripe count for the outcome cache. Matches the scheme bank's shard
+/// count — plenty of lock granularity for a worker pool.
+const STRIPES: usize = 16;
+
+/// The outcome cache, striped by cache key so concurrent sessions'
+/// workers don't serialise on one map lock. Keys are the Merkle
+/// fingerprints from [`crate::db`] (already avalanche-mixed, so the low
+/// bits are uniform stripe selectors).
+#[derive(Default)]
+pub struct StripedCache {
+    stripes: [Mutex<U64Map<Outcome>>; STRIPES],
+}
+
+impl StripedCache {
+    fn stripe(&self, key: u64) -> MutexGuard<'_, U64Map<Outcome>> {
+        self.stripes[(key as usize) & (STRIPES - 1)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a verdict by cache key.
+    pub fn get(&self, key: u64) -> Option<Outcome> {
+        self.stripe(key).get(&key).cloned()
+    }
+
+    /// Record a verdict.
+    pub fn insert(&self, key: u64, outcome: Outcome) {
+        self.stripe(key).insert(key, outcome);
+    }
+
+    /// Total cached verdicts across stripes (observability).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cross-session shared state. See the module docs.
+#[derive(Default)]
+pub struct Shared {
+    bank: SchemeBank,
+    cache: StripedCache,
+    frontend: Mutex<Frontend>,
+}
+
+impl Shared {
+    /// A fresh hub.
+    pub fn new() -> Shared {
+        Shared::default()
+    }
+
+    /// The concurrent scheme bank (sharded internally; methods take
+    /// `&self`).
+    pub fn bank(&self) -> &SchemeBank {
+        &self.bank
+    }
+
+    /// The striped outcome cache.
+    pub fn cache(&self) -> &StripedCache {
+        &self.cache
+    }
+
+    /// The declaration-level parse cache, behind its own lock — held
+    /// only for the duration of one document analysis.
+    pub fn frontend(&self) -> MutexGuard<'_, Frontend> {
+        self.frontend.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,454 @@
+//! The socket front end: the line protocol of [`crate::server`] served
+//! over TCP or a Unix-domain socket, many sessions at once.
+//!
+//! Topology: one accept thread plus a pool of session threads. Every
+//! accepted connection becomes one protocol session — a fresh
+//! [`Service`] whose documents are private to the connection — but all
+//! sessions run against one [`Shared`] hub, so schemes, verdicts, and
+//! parsed declarations cross sessions freely: a binding checked for one
+//! client is a cache hit for every other client.
+//!
+//! Concurrency model: with the hub sharded and striped, parallelism
+//! comes from *sessions*, not from waves — each connection's executor
+//! runs single-worker, and `--workers N` on the CLI sizes the session
+//! pool. N clients therefore check N documents genuinely concurrently,
+//! interning into the scheme bank without a global lock.
+//!
+//! Shutdown: [`SocketServer::shutdown`] (also on drop) sets the stop
+//! flag, pokes the accept loop with a throwaway connection, and joins
+//! every thread; sessions end when their clients hang up.
+
+use crate::server::{serve_with, ServeOptions};
+use crate::service::{Service, ServiceConfig};
+use crate::shared::Shared;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// One accepted connection, transport-erased.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Tcp(l) => {
+                let (conn, _) = l.accept()?;
+                // A line protocol of small messages: never wait for a
+                // full segment.
+                let _ = conn.set_nodelay(true);
+                Stream::Tcp(conn)
+            }
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+        })
+    }
+}
+
+/// Where the server is reachable — also how `shutdown` pokes the
+/// accept loop out of its blocking `accept`.
+#[derive(Clone)]
+enum Endpoint {
+    Tcp(std::net::SocketAddr),
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    fn poke(&self) {
+        // A throwaway connection; the accept loop sees the stop flag
+        // on its next iteration. Failure is fine — the listener may
+        // already be gone.
+        match self {
+            Endpoint::Tcp(addr) => drop(TcpStream::connect(addr)),
+            Endpoint::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+/// A running socket server. See the module docs.
+pub struct SocketServer {
+    endpoint: Endpoint,
+    display_addr: String,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    sessions: Vec<JoinHandle<()>>,
+    /// The Unix socket path to unlink on shutdown, if any.
+    unlink: Option<PathBuf>,
+}
+
+/// The per-session service configuration: parallelism comes from the
+/// session pool, so each session's wave executor runs single-worker.
+fn session_cfg(cfg: ServiceConfig) -> ServiceConfig {
+    ServiceConfig { workers: 1, ..cfg }
+}
+
+fn session_thread(
+    rx: Arc<Mutex<Receiver<Stream>>>,
+    cfg: ServiceConfig,
+    shared: Arc<Shared>,
+    opts: ServeOptions,
+) {
+    loop {
+        // Hold the receiver lock only to take one connection.
+        let conn = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(conn) = conn else {
+            return; // channel closed: server shutting down
+        };
+        let mut svc = Service::with_shared(cfg, Arc::clone(&shared));
+        let (reader, writer) = match conn.try_clone() {
+            Ok(r) => (BufReader::new(r), conn),
+            Err(_) => continue,
+        };
+        // Transport errors end this session only (client hung up).
+        let _ = serve_with(&mut svc, reader, writer, &opts);
+    }
+}
+
+impl SocketServer {
+    /// Serve the hub over TCP. `addr` is anything `TcpListener::bind`
+    /// accepts (`127.0.0.1:0` picks an ephemeral port — read it back
+    /// from [`SocketServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Binding or local-address resolution failures.
+    pub fn spawn_tcp(
+        addr: &str,
+        cfg: ServiceConfig,
+        shared: Arc<Shared>,
+        sessions: usize,
+        opts: ServeOptions,
+    ) -> io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Self::spawn(
+            Listener::Tcp(listener),
+            Endpoint::Tcp(local),
+            local.to_string(),
+            None,
+            cfg,
+            shared,
+            sessions,
+            opts,
+        )
+    }
+
+    /// Serve the hub over a Unix-domain socket at `path`. A stale
+    /// socket file from a previous run is removed first; the file is
+    /// unlinked again on shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    pub fn spawn_unix(
+        path: &Path,
+        cfg: ServiceConfig,
+        shared: Arc<Shared>,
+        sessions: usize,
+        opts: ServeOptions,
+    ) -> io::Result<SocketServer> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Self::spawn(
+            Listener::Unix(listener),
+            Endpoint::Unix(path.to_path_buf()),
+            path.display().to_string(),
+            Some(path.to_path_buf()),
+            cfg,
+            shared,
+            sessions,
+            opts,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn(
+        listener: Listener,
+        endpoint: Endpoint,
+        display_addr: String,
+        unlink: Option<PathBuf>,
+        cfg: ServiceConfig,
+        shared: Arc<Shared>,
+        sessions: usize,
+        opts: ServeOptions,
+    ) -> io::Result<SocketServer> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<Stream>, Receiver<Stream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let cfg = session_cfg(cfg);
+        let sessions: Vec<JoinHandle<()>> = (0..sessions.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || session_thread(rx, cfg, shared, opts))
+            })
+            .collect();
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            // `tx` is moved in: when this loop exits, the channel closes
+            // and the session pool drains out.
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok(conn) => {
+                        if accept_stop.load(Ordering::SeqCst) || tx.send(conn).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        Ok(SocketServer {
+            endpoint,
+            display_addr,
+            stop,
+            accept: Some(accept),
+            sessions,
+            unlink,
+        })
+    }
+
+    /// The bound address: `host:port` for TCP (the real port, even if
+    /// the server was spawned on port 0), the path for Unix sockets.
+    pub fn local_addr(&self) -> &str {
+        &self.display_addr
+    }
+
+    /// Stop accepting, close the session pool, and join every thread.
+    /// In-flight sessions finish when their clients disconnect.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        self.endpoint.poke();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.sessions.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.unlink.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Block until the accept loop exits (it only does on listener
+    /// error or [`SocketServer::shutdown`] from another thread) — the
+    /// CLI's foreground serving mode.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.sessions.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.unlink.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::EngineSel;
+    use crate::protocol::Json;
+    use freezeml_core::Options;
+    use std::io::{BufRead, BufReader as StdBufReader};
+
+    fn cfg() -> ServiceConfig {
+        ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 2,
+        }
+    }
+
+    fn request(stream: &mut TcpStream, reader: &mut StdBufReader<TcpStream>, line: &str) -> Json {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(&response).expect("response is JSON")
+    }
+
+    #[test]
+    fn tcp_smoke_open_type_of_close() {
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            cfg(),
+            Arc::new(Shared::new()),
+            2,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = StdBufReader::new(stream.try_clone().unwrap());
+        let r = request(
+            &mut stream,
+            &mut reader,
+            r#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let r = request(
+            &mut stream,
+            &mut reader,
+            r#"{"cmd":"type-of","doc":"m","name":"x"}"#,
+        );
+        assert_eq!(r.get("result").and_then(Json::as_str), Some("Int"));
+        drop(stream);
+        drop(reader);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_share_the_scheme_cache_but_not_documents() {
+        let shared = Arc::new(Shared::new());
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            cfg(),
+            Arc::clone(&shared),
+            2,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let text = r##"{"cmd":"open","doc":"d","text":"#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n"}"##;
+
+        let mut a = TcpStream::connect(&addr).unwrap();
+        let mut ra = StdBufReader::new(a.try_clone().unwrap());
+        let r = request(&mut a, &mut ra, text);
+        assert_eq!(r.get("rechecked"), Some(&Json::Num(2.0)));
+
+        // A second session opens the same doc name: same text is all
+        // cache hits (shared hub), but the *document* is its own — the
+        // first session's doc is untouched by this open.
+        let mut b = TcpStream::connect(&addr).unwrap();
+        let mut rb = StdBufReader::new(b.try_clone().unwrap());
+        let r = request(&mut b, &mut rb, text);
+        assert_eq!(r.get("rechecked"), Some(&Json::Num(0.0)));
+        assert_eq!(r.get("reused"), Some(&Json::Num(2.0)));
+
+        // Session b closes its "d"; session a's "d" still answers.
+        let r = request(&mut b, &mut rb, r#"{"cmd":"close","doc":"d"}"#);
+        assert_eq!(r.get("closed"), Some(&Json::Bool(true)));
+        let r = request(&mut a, &mut ra, r#"{"cmd":"type-of","doc":"d","name":"p"}"#);
+        assert_eq!(r.get("result").and_then(Json::as_str), Some("Int * Bool"));
+
+        drop((a, ra, b, rb));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let dir = std::env::temp_dir().join(format!("freezeml-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("svc.sock");
+        let mut server = SocketServer::spawn_unix(
+            &path,
+            cfg(),
+            Arc::new(Shared::new()),
+            1,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let mut stream = UnixStream::connect(&path).unwrap();
+        writeln!(
+            stream,
+            r#"{{"cmd":"open","doc":"u","text":"let y = true;;"}}"#
+        )
+        .unwrap();
+        let mut reader = StdBufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let r = Json::parse(&response).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        drop((stream, reader));
+        server.shutdown();
+        assert!(!path.exists(), "socket file unlinked on shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn more_clients_than_session_threads_all_get_served() {
+        // The pool has 1 thread; 4 sequential clients must all be
+        // served (the pool drains the accept queue).
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            cfg(),
+            Arc::new(Shared::new()),
+            1,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        for i in 0..4 {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            let mut r = StdBufReader::new(s.try_clone().unwrap());
+            let resp = request(
+                &mut s,
+                &mut r,
+                &format!(r#"{{"cmd":"open","doc":"c{i}","text":"let v = {i};;"}}"#),
+            );
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "client {i}");
+        }
+        server.shutdown();
+    }
+}

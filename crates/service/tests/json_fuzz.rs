@@ -212,3 +212,86 @@ fn mutation_fuzz_never_panics() {
         }
     }
 }
+
+/// Byte-level fuzz of the serving loop itself (PR 6 satellites): random
+/// lines — valid requests, JSON-shaped garbage, raw binary including
+/// invalid UTF-8, and lines far beyond the request cap — must each get
+/// exactly one `{"ok":…}` response, with the session intact throughout.
+#[test]
+fn the_serving_loop_answers_every_line_whatever_the_bytes() {
+    use freezeml_service::{serve_with, ServeOptions, Service, ServiceConfig};
+    use std::io::Cursor;
+
+    let opts = ServeOptions {
+        max_request_bytes: 256,
+    };
+    let mut rng = StdRng::seed_from_u64(0x5_E47E_FA22);
+    for case in 0..cases(60) {
+        let mut script: Vec<u8> = Vec::new();
+        let mut expected = 0usize;
+        let lines = rng.gen_range(1..20);
+        for _ in 0..lines {
+            match rng.gen_range(0..6) {
+                0 => {
+                    script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+                    expected += 1;
+                }
+                1 => {
+                    script.extend_from_slice(br#"{"cmd":"type-of","doc":"m","name":"x"}"#);
+                    expected += 1;
+                }
+                2 => {
+                    // JSON-shaped garbage.
+                    let s = random_json(&mut rng, 2).to_string();
+                    if s.trim().is_empty() {
+                        continue;
+                    }
+                    script.extend_from_slice(s.as_bytes());
+                    expected += 1;
+                }
+                3 => {
+                    // Raw binary, newline-free, possibly invalid UTF-8.
+                    let n = rng.gen_range(1..64);
+                    let bytes: Vec<u8> = (0..n)
+                        .map(|_| {
+                            let b: u8 = rng.gen_range(0..256u16) as u8;
+                            if b == b'\n' {
+                                0xFF
+                            } else {
+                                b
+                            }
+                        })
+                        .collect();
+                    if bytes.iter().all(|b| (*b as char).is_whitespace()) {
+                        continue;
+                    }
+                    script.extend_from_slice(&bytes);
+                    expected += 1;
+                }
+                4 => {
+                    // Far beyond the cap.
+                    script.extend_from_slice(&vec![b'x'; rng.gen_range(300..5000)]);
+                    expected += 1;
+                }
+                _ => {} // blank line: no response
+            }
+            script.push(b'\n');
+        }
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut out = Vec::new();
+        serve_with(&mut svc, Cursor::new(&script), &mut out, &opts)
+            .expect("transport over buffers cannot fail");
+        let responses: Vec<&str> = std::str::from_utf8(&out)
+            .expect("responses are always valid UTF-8")
+            .lines()
+            .collect();
+        assert_eq!(responses.len(), expected, "case {case}");
+        for r in responses {
+            let v = Json::parse(r).unwrap_or_else(|e| panic!("case {case}: `{r}`: {e}"));
+            assert!(
+                v.get("ok").is_some() || matches!(v, Json::Arr(_)),
+                "case {case}: response `{r}` has no verdict"
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! PR 6 satellite: a panicking inference worker must not take down the
+//! service. Pre-PR, the executor `join().expect(…)`-ed its worker
+//! threads, so one panic anywhere in a check propagated out of
+//! `Service::check`, tore down the session, and (with the old global
+//! `Mutex<SchemeStore>`) poisoned the scheme store for every *other*
+//! session sharing it. Now panics are caught at the wave boundary, the
+//! binding is reported as an `Internal` error, the worker's session
+//! state is discarded, and the hub keeps answering.
+//!
+//! The deliberate panic is injected with the `FREEZEML_TEST_PANIC_ON`
+//! env hook (read once per check run). Environment variables are
+//! process-global and tests in one binary run concurrently, so this
+//! file holds a **single** test function that walks through every
+//! scenario sequentially.
+
+use freezeml_service::{handle_line, Json, Service, ServiceConfig, Shared, SocketServer};
+use freezeml_service::{EngineSel, Outcome, ServeOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const PANIC_HOOK: &str = "FREEZEML_TEST_PANIC_ON";
+
+fn cfg(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        engine: EngineSel::Uf,
+        workers,
+        ..ServiceConfig::default()
+    }
+}
+
+fn internal_errors(report: &freezeml_service::CheckReport) -> Vec<&str> {
+    report
+        .bindings
+        .iter()
+        .filter_map(|b| match &b.outcome {
+            Outcome::Error { class, message } if class == "Internal" => Some(message.as_str()),
+            _ => None,
+        })
+        .map(|m| m as &str)
+        .collect()
+}
+
+#[test]
+fn a_panicking_binding_is_an_internal_error_not_a_crash() {
+    // ── In-process, single worker: the panic is caught per binding.
+    std::env::set_var(PANIC_HOOK, "boom");
+    let mut svc = Service::new(cfg(1));
+    let report = svc
+        .open(
+            "m",
+            "let a = 1;;\nlet boom = 2;;\nlet b = true;;\nlet c = a;;\n",
+        )
+        .expect("the program parses; the panic is contained");
+    let internal = internal_errors(report);
+    assert_eq!(internal.len(), 1, "exactly the panicking binding fails");
+    assert!(
+        internal[0].contains("deliberate test panic"),
+        "the panic payload is surfaced: {internal:?}"
+    );
+    let typed = report
+        .bindings
+        .iter()
+        .filter(|b| b.outcome.is_typed())
+        .count();
+    assert_eq!(typed, 3, "every other binding still checks");
+
+    // ── The same service keeps answering after the panic…
+    assert_eq!(
+        svc.type_of("m", "a").unwrap().unwrap().outcome.display(),
+        "Int"
+    );
+
+    // ── …and once the hook is lifted, a recheck heals the binding:
+    // Internal errors are never cached.
+    std::env::remove_var(PANIC_HOOK);
+    let healed = svc.check("m").unwrap();
+    assert!(
+        healed.bindings.iter().all(|b| b.outcome.is_typed()),
+        "a recheck after the panic heals: {:?}",
+        healed
+            .bindings
+            .iter()
+            .map(|b| b.outcome.display())
+            .collect::<Vec<_>>()
+    );
+
+    // ── Multi-worker: a panic on one worker thread does not kill the
+    // wave running on the others, and the worker pool survives.
+    std::env::set_var(PANIC_HOOK, "boom");
+    let mut svc = Service::new(cfg(4));
+    let text: String = (0..12)
+        .map(|i| format!("let x{i} = {i};;\n"))
+        .chain(std::iter::once("let boom = 0;;\n".to_string()))
+        .collect();
+    let report = svc.open("m", &text).expect("contained again");
+    assert_eq!(internal_errors(report).len(), 1);
+    assert_eq!(
+        report
+            .bindings
+            .iter()
+            .filter(|b| b.outcome.is_typed())
+            .count(),
+        12
+    );
+
+    // ── The protocol layer reports the binding with status "error" and
+    // the session object stays usable.
+    let r = handle_line(&mut svc, r#"{"cmd":"type-of","doc":"m","name":"x3"}"#);
+    assert_eq!(r.get("result").and_then(Json::as_str), Some("Int"));
+
+    // ── Over the socket, with the *shared* bank: a session that trips
+    // the panic leaves the hub answering other sessions (the old global
+    // lock would have been poisoned here).
+    let shared = Arc::new(Shared::new());
+    let mut server = SocketServer::spawn_tcp(
+        "127.0.0.1:0",
+        cfg(1),
+        Arc::clone(&shared),
+        2,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut a = TcpStream::connect(&addr).unwrap();
+    let mut ra = BufReader::new(a.try_clone().unwrap());
+    let mut line = String::new();
+    writeln!(
+        a,
+        r#"{{"cmd":"open","doc":"d","text":"let boom = 1;;\nlet y = 2;;"}}"#
+    )
+    .unwrap();
+    ra.read_line(&mut line).unwrap();
+    let r = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "panic contained: {r}");
+
+    let mut b = TcpStream::connect(&addr).unwrap();
+    let mut rb = BufReader::new(b.try_clone().unwrap());
+    writeln!(b, r#"{{"cmd":"open","doc":"d","text":"let z = true;;"}}"#).unwrap();
+    line.clear();
+    rb.read_line(&mut line).unwrap();
+    let r = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(
+        r.get("ok"),
+        Some(&Json::Bool(true)),
+        "the hub survives another session's panic: {r}"
+    );
+
+    std::env::remove_var(PANIC_HOOK);
+    drop((a, ra, b, rb));
+    server.shutdown();
+}

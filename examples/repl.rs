@@ -18,76 +18,317 @@
 //! > :env                         -- per-binding types of the session
 //! > :quit
 //! ```
+//!
+//! With `--connect ADDR` the REPL speaks the JSON line protocol to a
+//! running `freezeml serve --socket ADDR` instead of checking
+//! in-process — ADDR is `host:port` for TCP or a path (or `unix:PATH`)
+//! for a Unix-domain socket. Engine/option toggles are server-side
+//! configuration and are unavailable in that mode.
 
 use freezeml::core::{InstantiationStrategy, Options};
-use freezeml::service::{EngineSel, Outcome, Service, ServiceConfig};
-use std::io::{self, BufRead, Write};
+use freezeml::service::{EngineSel, Json, Request, Service, ServiceConfig};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
 
 const DOC: &str = "repl";
 
+/// One binding's verdict, backend-agnostic.
+struct BindLine {
+    name: String,
+    ok: bool,
+    display: String,
+}
+
+/// What one `edit` round trip reports, backend-agnostic.
+struct EditReport {
+    bindings: Vec<BindLine>,
+    rechecked: u64,
+    reused: u64,
+    waves: u64,
+}
+
+enum RemoteStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+/// A connection to `freezeml serve --socket`.
+struct Remote {
+    writer: RemoteStream,
+    reader: BufReader<RemoteStream>,
+    opened: bool,
+}
+
+impl Write for RemoteStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            RemoteStream::Tcp(s) => s.write(buf),
+            RemoteStream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            RemoteStream::Tcp(s) => s.flush(),
+            RemoteStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl io::Read for RemoteStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            RemoteStream::Tcp(s) => s.read(buf),
+            RemoteStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Remote {
+    fn connect(addr: &str) -> io::Result<Remote> {
+        let (writer, reader) = if let Some(path) = addr.strip_prefix("unix:") {
+            let s = UnixStream::connect(path)?;
+            let r = s.try_clone()?;
+            (RemoteStream::Unix(s), RemoteStream::Unix(r))
+        } else if addr.contains('/') {
+            let s = UnixStream::connect(addr)?;
+            let r = s.try_clone()?;
+            (RemoteStream::Unix(s), RemoteStream::Unix(r))
+        } else {
+            let s = TcpStream::connect(addr)?;
+            let _ = s.set_nodelay(true);
+            let r = s.try_clone()?;
+            (RemoteStream::Tcp(s), RemoteStream::Tcp(r))
+        };
+        Ok(Remote {
+            writer,
+            reader: BufReader::new(reader),
+            opened: false,
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Json, String> {
+        self.writer
+            .write_all(format!("{}\n", req.to_json()).as_bytes())
+            .map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".to_string()),
+            Ok(_) => Json::parse(line.trim_end()).map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+/// Turn one protocol binding object into a display line.
+fn bind_line(b: &Json) -> BindLine {
+    let name = b
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let status = b.get("status").and_then(Json::as_str).unwrap_or("?");
+    let field = |k: &str| b.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let (ok, display) = match status {
+        "ok" => {
+            let mut d = field("type");
+            if let Some(Json::Arr(names)) = b.get("defaulted") {
+                let names: Vec<&str> = names.iter().filter_map(Json::as_str).collect();
+                d.push_str(&format!("  (defaulted {})", names.join(", ")));
+            }
+            (true, d)
+        }
+        "error" => (false, field("message")),
+        "blocked" => (false, format!("blocked on `{}`", field("on"))),
+        "disagreement" => (
+            false,
+            format!(
+                "engines disagree: core {} vs uf {}",
+                field("core"),
+                field("uf")
+            ),
+        ),
+        other => (false, format!("unknown status `{other}`")),
+    };
+    BindLine { name, ok, display }
+}
+
+fn edit_report(response: &Json) -> Result<EditReport, String> {
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        let msg = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("request failed");
+        return Err(msg.to_string());
+    }
+    let bindings = match response.get("bindings") {
+        Some(Json::Arr(bs)) => bs.iter().map(bind_line).collect(),
+        _ => Vec::new(),
+    };
+    let num = |k: &str| {
+        response
+            .get(k)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .unwrap_or(0)
+    };
+    Ok(EditReport {
+        bindings,
+        rechecked: num("rechecked"),
+        reused: num("reused"),
+        waves: num("waves"),
+    })
+}
+
+enum Backend {
+    Local { svc: Service, opened: bool },
+    Remote(Remote),
+}
+
+impl Backend {
+    /// Replace the session document's text and recheck.
+    fn edit(&mut self, text: &str) -> Result<EditReport, String> {
+        match self {
+            Backend::Local { svc, opened } => {
+                let report = if *opened {
+                    svc.edit(DOC, text)
+                } else {
+                    svc.open(DOC, text)
+                }
+                .map_err(|e| e.to_string())?;
+                *opened = true;
+                Ok(EditReport {
+                    bindings: report
+                        .bindings
+                        .iter()
+                        .map(|b| BindLine {
+                            name: b.name.clone(),
+                            ok: b.outcome.is_typed(),
+                            display: b.outcome.display(),
+                        })
+                        .collect(),
+                    rechecked: report.rechecked as u64,
+                    reused: report.reused as u64,
+                    waves: report.waves as u64,
+                })
+            }
+            Backend::Remote(conn) => {
+                let req = if conn.opened {
+                    Request::Edit {
+                        doc: DOC.to_string(),
+                        text: text.to_string(),
+                    }
+                } else {
+                    Request::Open {
+                        doc: DOC.to_string(),
+                        text: text.to_string(),
+                    }
+                };
+                let response = conn.round_trip(&req)?;
+                let report = edit_report(&response)?;
+                conn.opened = true;
+                Ok(report)
+            }
+        }
+    }
+}
+
 struct Repl {
-    svc: Service,
+    backend: Backend,
     engine: EngineSel,
     opts: Options,
     /// The session program (starts with `#use prelude`).
     text: String,
     /// Fresh-name counter for throwaway query bindings.
     queries: usize,
+    /// The last accepted report, for `:env`.
+    env: Vec<(String, String)>,
 }
 
 impl Repl {
     fn new(engine: EngineSel, opts: Options) -> Repl {
         let mut repl = Repl {
-            svc: Service::new(ServiceConfig {
-                opts,
-                engine,
-                workers: 2,
-            }),
+            backend: Backend::Local {
+                svc: Service::new(ServiceConfig {
+                    opts,
+                    engine,
+                    workers: 2,
+                }),
+                opened: false,
+            },
             engine,
             opts,
             text: "#use prelude\n".to_string(),
             queries: 0,
+            env: Vec::new(),
         };
-        repl.svc
-            .open(DOC, &repl.text)
+        repl.backend
+            .edit(&repl.text.clone())
             .expect("the empty session parses");
         repl
     }
 
-    /// Rebuild the service (engine/options changed) over the same text.
-    fn rebuild(&mut self) {
-        *self = {
-            let mut fresh = Repl::new(self.engine, self.opts);
-            fresh.text = self.text.clone();
-            fresh.queries = self.queries;
-            let _ = fresh.svc.edit(DOC, &fresh.text);
-            fresh
+    fn connect(addr: &str) -> io::Result<Repl> {
+        let mut repl = Repl {
+            backend: Backend::Remote(Remote::connect(addr)?),
+            engine: EngineSel::from_env(),
+            opts: Options::default(),
+            text: "#use prelude\n".to_string(),
+            queries: 0,
+            env: Vec::new(),
         };
+        repl.backend
+            .edit(&repl.text.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(repl)
+    }
+
+    fn remote(&self) -> bool {
+        matches!(self.backend, Backend::Remote(_))
+    }
+
+    /// Rebuild the local service (engine/options changed), same text.
+    fn rebuild(&mut self) {
+        let mut fresh = Repl::new(self.engine, self.opts);
+        fresh.text = self.text.clone();
+        fresh.queries = self.queries;
+        let _ = fresh.apply(&fresh.text.clone());
+        *self = fresh;
+    }
+
+    /// Edit to `text` and remember the resulting env on success.
+    fn apply(&mut self, text: &str) -> Result<EditReport, String> {
+        let report = self.backend.edit(text)?;
+        self.env = report
+            .bindings
+            .iter()
+            .map(|b| (b.name.clone(), b.display.clone()))
+            .collect();
+        Ok(report)
     }
 
     /// Try new session text; on any failure, revert to the old text.
     /// Returns the display line(s) for the *last* binding on success.
     fn try_extend(&mut self, new_text: String) -> Result<String, String> {
-        match self.svc.edit(DOC, &new_text) {
+        match self.apply(&new_text) {
             Err(e) => {
-                let _ = self.svc.edit(DOC, &self.text);
-                Err(e.to_string())
+                let _ = self.apply(&self.text.clone());
+                Err(e)
             }
             Ok(report) => {
                 let last = report.bindings.last().expect("one binding was added");
                 let line = format!(
                     "{} : {}\t[rechecked {}, reused {}]",
-                    last.name,
-                    last.outcome.display(),
-                    report.rechecked,
-                    report.reused
+                    last.name, last.display, report.rechecked, report.reused
                 );
-                if last.outcome.is_typed() {
+                if last.ok {
                     self.text = new_text;
                     Ok(line)
                 } else {
-                    let msg = last.outcome.display();
-                    let _ = self.svc.edit(DOC, &self.text);
+                    let msg = last.display.clone();
+                    let _ = self.apply(&self.text.clone());
                     Err(msg)
                 }
             }
@@ -99,46 +340,63 @@ impl Repl {
         self.queries += 1;
         let name = format!("it{}", self.queries);
         let probe = format!("{}let {name} = {term_src};;\n", self.text);
-        match self.svc.edit(DOC, &probe) {
+        match self.apply(&probe) {
             Err(e) => {
-                let _ = self.svc.edit(DOC, &self.text);
-                Err(e.to_string())
+                let _ = self.apply(&self.text.clone());
+                Err(e)
             }
             Ok(report) => {
-                let outcome = report
+                let display = report
                     .bindings
                     .last()
                     .expect("probe binding")
-                    .outcome
+                    .display
                     .clone();
-                let _ = self.svc.edit(DOC, &self.text);
-                match outcome {
-                    Outcome::Typed {
-                        scheme, defaulted, ..
-                    } if defaulted.is_empty() => Ok(scheme.to_string()),
-                    o => Ok(o.display()),
-                }
+                let _ = self.apply(&self.text.clone());
+                Ok(display)
             }
         }
     }
 
     fn print_env(&self) {
-        match self.svc.report(DOC) {
-            None => println!("(empty session)"),
-            Some(r) => {
-                for b in &r.bindings {
-                    println!("{} : {}", b.name, b.outcome.display());
-                }
-                if r.bindings.is_empty() {
-                    println!("(no session bindings; the Figure 2 prelude is in scope)");
-                }
-            }
+        if self.env.is_empty() {
+            println!("(no session bindings; the Figure 2 prelude is in scope)");
+        }
+        for (name, display) in &self.env {
+            println!("{name} : {display}");
         }
     }
 }
 
 fn main() {
-    let mut repl = Repl::new(EngineSel::from_env(), Options::default());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut connect = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" if i + 1 < args.len() => {
+                connect = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: repl [--connect ADDR] (got `{other}`)");
+                return;
+            }
+        }
+    }
+    let mut repl = match &connect {
+        None => Repl::new(EngineSel::from_env(), Options::default()),
+        Some(addr) => match Repl::connect(addr) {
+            Ok(r) => {
+                println!("connected to {addr}");
+                r
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return;
+            }
+        },
+    };
     println!(
         "FreezeML REPL — service-backed session (engine {:?}, Figure 2 prelude loaded).",
         repl.engine
@@ -166,6 +424,12 @@ fn main() {
         }
         if line == ":env" {
             repl.print_env();
+            continue;
+        }
+        if (line.starts_with(":engine") || line.starts_with(":pure") || line.starts_with(":elim"))
+            && repl.remote()
+        {
+            println!("engine/options are server-side configuration under --connect");
             continue;
         }
         if let Some(rest) = line.strip_prefix(":engine") {
@@ -215,16 +479,15 @@ fn main() {
                     } else {
                         format!("#use prelude\n{contents}")
                     };
-                    match repl.svc.edit(DOC, &text) {
+                    match repl.apply(&text) {
                         Err(e) => {
-                            let _ = repl.svc.edit(DOC, &repl.text);
+                            let _ = repl.apply(&repl.text.clone());
                             println!("error: {e}");
                         }
                         Ok(report) => {
-                            let report = report.clone();
                             repl.text = text;
                             for b in &report.bindings {
-                                println!("{} : {}", b.name, b.outcome.display());
+                                println!("{} : {}", b.name, b.display);
                             }
                             println!(
                                 "[{} binding(s), rechecked {}, reused {}, {} wave(s)]",

@@ -3,6 +3,12 @@
 //!
 //! ```text
 //! freezeml [serve]              serve the JSON line protocol on stdin/stdout
+//! freezeml serve --socket ADDR  serve the same protocol over a socket: ADDR
+//!                               is host:port for TCP, or a filesystem path
+//!                               (or unix:PATH) for a Unix-domain socket.
+//!                               Concurrent client sessions share one scheme
+//!                               bank and outcome cache; --workers N sets the
+//!                               number of session threads
 //! freezeml check FILE…          check program files, print per-binding types
 //! freezeml elaborate FILE…      check program files and print each visible
 //!                               binding's System F image (verified against
@@ -20,20 +26,28 @@
 //!
 //! options (before the subcommand arguments):
 //!   --engine core|uf|both       inference engine (default: $ENGINE or uf)
-//!   --workers N                 worker-pool size (default: CPU count, ≤ 8)
+//!   --workers N                 worker-pool size (default: CPU count, ≤ 8);
+//!                               under --socket: session-thread count
 //!   --pure                      disable the value restriction
+//!   --socket ADDR               (serve) listen on a socket instead of stdio
+//!   --max-request-bytes N       (serve) per-line request cap (default 4 MiB)
 //! ```
 //!
 //! The protocol itself is documented in `freezeml_service::protocol`.
 
 use freezeml_conformance::program as golden;
-use freezeml_service::{load, serve, EngineSel, Service, ServiceConfig};
+use freezeml_service::{
+    load, serve_with, EngineSel, ServeOptions, Service, ServiceConfig, Shared, SocketServer,
+};
 use std::io::{self, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     cfg: ServiceConfig,
+    serve_opts: ServeOptions,
+    socket: Option<String>,
     cmd: String,
     rest: Vec<String>,
 }
@@ -41,6 +55,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
+         [--socket ADDR] [--max-request-bytes N] \
          [serve | check FILE… | elaborate FILE… | replay PATH… | gen N [SEED] | \
          bench-json [MS]]"
     );
@@ -61,6 +76,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut words = std::env::args().skip(1);
     let mut cmd = None;
     let mut rest = Vec::new();
+    let mut serve_opts = ServeOptions::default();
+    let mut socket = None;
     while let Some(w) = words.next() {
         match w.as_str() {
             "--engine" => {
@@ -78,6 +95,16 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .ok_or_else(usage)?;
             }
             "--pure" => cfg.opts.value_restriction = false,
+            "--socket" => {
+                socket = Some(words.next().ok_or_else(usage)?);
+            }
+            "--max-request-bytes" => {
+                serve_opts.max_request_bytes = words
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(usage)?;
+            }
             "--help" | "-h" => return Err(usage()),
             _ if cmd.is_none() => cmd = Some(w),
             _ => rest.push(w),
@@ -85,9 +112,40 @@ fn parse_args() -> Result<Args, ExitCode> {
     }
     Ok(Args {
         cfg,
+        serve_opts,
+        socket,
         cmd: cmd.unwrap_or_else(|| "serve".to_string()),
         rest,
     })
+}
+
+/// Serve over a socket until the process is killed. `addr` is a
+/// Unix-socket path when it contains a path separator or carries the
+/// `unix:` prefix, a TCP `host:port` otherwise.
+fn cmd_serve_socket(cfg: ServiceConfig, addr: &str, opts: ServeOptions) -> ExitCode {
+    let sessions = cfg.workers.max(1);
+    let shared = Arc::new(Shared::new());
+    let spawned = if let Some(path) = addr.strip_prefix("unix:") {
+        SocketServer::spawn_unix(Path::new(path), cfg, shared, sessions, opts)
+    } else if addr.contains('/') {
+        SocketServer::spawn_unix(Path::new(addr), cfg, shared, sessions, opts)
+    } else {
+        SocketServer::spawn_tcp(addr, cfg, shared, sessions, opts)
+    };
+    match spawned {
+        Ok(server) => {
+            eprintln!(
+                "freezeml: serving on {} ({sessions} session thread(s))",
+                server.local_addr()
+            );
+            server.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Collect `(id, program text)` sources from a path: a directory of
@@ -304,10 +362,13 @@ fn main() -> ExitCode {
     };
     match args.cmd.as_str() {
         "serve" => {
+            if let Some(addr) = &args.socket {
+                return cmd_serve_socket(args.cfg, addr, args.serve_opts);
+            }
             let mut svc = Service::new(args.cfg);
             let stdin = io::stdin();
             let stdout = io::stdout();
-            match serve(&mut svc, stdin.lock(), stdout.lock()) {
+            match serve_with(&mut svc, stdin.lock(), stdout.lock(), &args.serve_opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     let _ = writeln!(io::stderr(), "transport error: {e}");

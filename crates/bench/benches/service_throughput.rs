@@ -19,13 +19,24 @@
 //!   trips). Session threads overlap one client's think/IO time with
 //!   another client's checking, so the `workers` curve bends down with
 //!   `k` even on a single CPU — that latency overlap, not wave
-//!   parallelism, is what the socket front end buys.
+//!   parallelism, is what the socket front end buys;
+//! * `service/persisted-warm/<n>` — open the same `n`-binding program
+//!   in a *fresh process image*: a new hub warmed only from an on-disk
+//!   snapshot (`freezeml_service::persist`), so every verdict, every
+//!   rendered scheme, and the whole-document report come off the
+//!   restored cache — zero bindings rechecked, zero waves scheduled
+//!   (the persistent-warm-start headline vs `service/cold/<n>`);
+//! * `service/persisted-load/<n>` — the snapshot restore itself: fresh
+//!   hub + `persist::load` (decode, structural re-interning into the
+//!   scheme bank, cache population) — the one-off cost a warm start
+//!   pays at process birth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freezeml_core::Options;
 use freezeml_service::{
     load::{drive_tcp, LoadMix},
-    EngineSel, GenProgram, ServeOptions, Service, ServiceConfig, Shared, SocketServer,
+    persist, EngineSel, GenProgram, PersistConfig, ServeOptions, Service, ServiceConfig, Shared,
+    SocketServer,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -127,5 +138,88 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold, bench_warm_edit, bench_worker_scaling);
+/// Write a snapshot of a service warmed on `text`, returning the cache
+/// directory (caller removes it).
+fn seeded_cache(text: &str, n: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("freezeml-bench-cache-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut warm = service(1);
+    warm.attach_cache(PersistConfig::new(&dir));
+    let r = warm.open("bench", text).expect("generated program parses");
+    assert!(r.all_typed());
+    warm.save_cache()
+        .expect("cache attached")
+        .expect("snapshot writes");
+    dir
+}
+
+fn bench_persisted_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/persisted-warm");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [120usize, 480] {
+        let text = GenProgram::generate(n, SEED).text();
+        let dir = seeded_cache(&text, n);
+        // The restart: a hub that has never checked anything, warmed
+        // purely from the snapshot file.
+        let shared = Arc::new(Shared::new());
+        let out = persist::load(
+            &shared,
+            persist::epoch(&Options::default()),
+            &PersistConfig::new(&dir),
+        );
+        assert!(out.loaded, "snapshot must load: {:?}", out.warning);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // A fresh session against the restored hub: the open is
+                // served entirely from persisted state.
+                let mut svc = Service::with_shared(
+                    ServiceConfig {
+                        opts: Options::default(),
+                        engine: EngineSel::Uf,
+                        workers: 1,
+                    },
+                    Arc::clone(&shared),
+                );
+                let r = svc.open("bench", &text).expect("parses");
+                assert_eq!(r.rechecked, 0, "persisted warm start must not recheck");
+                r.reused
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_persisted_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/persisted-load");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let n = 480usize;
+    let text = GenProgram::generate(n, SEED).text();
+    let dir = seeded_cache(&text, n);
+    let epoch = persist::epoch(&Options::default());
+    let cfg = PersistConfig::new(&dir);
+    group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        b.iter(|| {
+            let shared = Shared::new();
+            let out = persist::load(&shared, epoch, &cfg);
+            assert!(out.loaded);
+            out.entries
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold,
+    bench_warm_edit,
+    bench_worker_scaling,
+    bench_persisted_warm,
+    bench_persisted_load,
+);
 criterion_main!(benches);

@@ -33,6 +33,7 @@
 //! either interner's probe or slab logic almost certainly applies to
 //! both — keep them in lockstep.
 
+use crate::snapshot::{AbsorbedSnapshot, PortableCon, PortableNode, SnapshotError};
 use crate::store::{reprobe, Shape, Store, TypeId};
 use crate::SchemeId;
 use freezeml_core::{Symbol, TyCon, TyVar, Type};
@@ -595,6 +596,175 @@ impl SchemeBank {
         }
     }
 
+    // ------------------------------------------------------- snapshots
+
+    /// Flatten the subgraphs reachable from `roots` into portable form
+    /// (see [`crate::snapshot`]). Returns the flattened node vector and,
+    /// per root, its index therein — `None` where the root reaches an
+    /// invented (fresh/skolem) variable, which cannot travel between
+    /// processes. Children always precede parents in the output, the
+    /// invariant [`Self::absorb_snapshot`] validates on the way back in.
+    pub fn export_snapshot(&self, roots: &[SchemeId]) -> (Vec<PortableNode>, Vec<Option<u32>>) {
+        let mut nodes: Vec<PortableNode> = Vec::new();
+        let mut memo: FxHashMap<SchemeId, Option<u32>> = FxHashMap::default();
+        let idxs = roots
+            .iter()
+            .map(|&r| self.export_portable(r, &mut nodes, &mut memo))
+            .collect();
+        (nodes, idxs)
+    }
+
+    fn export_portable(
+        &self,
+        id: SchemeId,
+        nodes: &mut Vec<PortableNode>,
+        memo: &mut FxHashMap<SchemeId, Option<u32>>,
+    ) -> Option<u32> {
+        if let Some(&idx) = memo.get(&id) {
+            return idx;
+        }
+        let node = match self.view(id) {
+            View::Bound(i) => Some(PortableNode::Bound(i)),
+            View::Free(v) => v.name().map(|n| PortableNode::Free(n.to_string())),
+            View::Con(c, children) => {
+                let mut idxs = Vec::with_capacity(children.len());
+                let mut ok = true;
+                for ch in children {
+                    match self.export_portable(ch, nodes, memo) {
+                        Some(i) => idxs.push(i),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let pc = match c {
+                        TyCon::Int => PortableCon::Int,
+                        TyCon::Bool => PortableCon::Bool,
+                        TyCon::List => PortableCon::List,
+                        TyCon::Arrow => PortableCon::Arrow,
+                        TyCon::Prod => PortableCon::Prod,
+                        TyCon::St => PortableCon::St,
+                        TyCon::Other(s, n) => PortableCon::Other {
+                            name: s.as_str().to_string(),
+                            arity: n as u32,
+                        },
+                    };
+                    Some(PortableNode::Con(pc, idxs))
+                } else {
+                    None
+                }
+            }
+            View::Forall(body) => self.export_portable(body, nodes, memo).map(|b| {
+                let hint = self.hint(id).and_then(|v| v.name().map(|n| n.to_string()));
+                PortableNode::Forall { body: b, hint }
+            }),
+        };
+        let idx = node.map(|n| {
+            let i = nodes.len() as u32;
+            nodes.push(n);
+            i
+        });
+        memo.insert(id, idx);
+        idx
+    }
+
+    /// Re-intern a flattened snapshot, remapping its indices to this
+    /// bank's ids. Total over arbitrary input: child references must
+    /// point strictly backwards and constructor arities must match, or
+    /// the whole snapshot is rejected; each node's open de-Bruijn depth
+    /// is tracked so [`AbsorbedSnapshot::closed`] can refuse ill-scoped
+    /// roots. α-identical schemes re-intern to the ids the bank would
+    /// have produced natively — loading a snapshot can only deduplicate,
+    /// never fork, the α-class space.
+    pub fn absorb_snapshot(
+        &self,
+        nodes: &[PortableNode],
+    ) -> Result<AbsorbedSnapshot, SnapshotError> {
+        if nodes.len() > (u32::MAX as usize) {
+            return Err(SnapshotError("snapshot too large".into()));
+        }
+        let mut ids: Vec<SchemeId> = Vec::with_capacity(nodes.len());
+        let mut open: Vec<u32> = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            let child = |c: u32| -> Result<usize, SnapshotError> {
+                if (c as usize) < i {
+                    Ok(c as usize)
+                } else {
+                    Err(SnapshotError(format!(
+                        "node {i} references child {c} (not topological)"
+                    )))
+                }
+            };
+            let (id, o) = match node {
+                PortableNode::Bound(k) => (
+                    self.intern_node(SNode::Bound(*k), &[], None),
+                    k.saturating_add(1),
+                ),
+                PortableNode::Free(name) => (
+                    self.intern_node(SNode::Free(TyVar::named(name)), &[], None),
+                    0,
+                ),
+                PortableNode::Con(pc, children) => {
+                    let con = match pc {
+                        PortableCon::Int => TyCon::Int,
+                        PortableCon::Bool => TyCon::Bool,
+                        PortableCon::List => TyCon::List,
+                        PortableCon::Arrow => TyCon::Arrow,
+                        PortableCon::Prod => TyCon::Prod,
+                        PortableCon::St => TyCon::St,
+                        PortableCon::Other { name, arity } => {
+                            TyCon::Other(Symbol::intern(name), *arity as usize)
+                        }
+                    };
+                    if con.arity() != children.len() {
+                        return Err(SnapshotError(format!(
+                            "node {i}: constructor {} expects {} children, got {}",
+                            con.name(),
+                            con.arity(),
+                            children.len()
+                        )));
+                    }
+                    let mut args = Vec::with_capacity(children.len());
+                    let mut o = 0u32;
+                    for &c in children {
+                        let c = child(c)?;
+                        args.push(ids[c]);
+                        o = o.max(open[c]);
+                    }
+                    (
+                        self.intern_node(SNode::Con(con, SRange { start: 0, len: 0 }), &args, None),
+                        o,
+                    )
+                }
+                PortableNode::Forall { body, hint } => {
+                    let b = child(*body)?;
+                    let hint = hint.as_deref().map(TyVar::named);
+                    (
+                        self.intern_node(SNode::Forall(ids[b]), &[], hint),
+                        open[b].saturating_sub(1),
+                    )
+                }
+            };
+            ids.push(id);
+            open.push(o);
+        }
+        Ok(AbsorbedSnapshot { ids, open })
+    }
+
+    /// Seed the rendering memo for `id` — used by the persistence layer
+    /// to reinstall strings rendered by a previous process, so a warm
+    /// restart serves schemes without a single cold `pretty` pass.
+    /// First writer wins, same as a rendering race; an id that is not
+    /// interned here is ignored.
+    pub fn seed_rendering(&self, id: SchemeId, s: Arc<str>) {
+        let mut g = self.write(shard_of(id));
+        if slot_of(id) < g.nodes.len() {
+            g.rendered.entry(id).or_insert(s);
+        }
+    }
+
     /// Collision-free display names for `count` grounded residuals —
     /// same canonical-supply contract as
     /// [`SchemeStore::defaulted_names`](crate::SchemeStore::defaulted_names).
@@ -740,6 +910,110 @@ mod tests {
         assert_eq!(bank.len(), 13, "13 distinct nodes for n=12");
         let eager = store.zonk(t);
         assert!(bank.to_type(sid).alpha_eq(&eager));
+    }
+
+    #[test]
+    fn snapshot_round_trips_alpha_classes() {
+        let bank = SchemeBank::new();
+        let srcs = [
+            "Int",
+            "forall a. a -> a",
+            "forall a b. a -> b -> a * b",
+            "(forall a. a -> a) -> Int * Bool",
+            "forall s. ST s Int",
+            "List (forall a. a -> a)",
+        ];
+        let roots: Vec<SchemeId> = srcs.iter().map(|s| export_str(&bank, s)).collect();
+        let (nodes, idxs) = bank.export_snapshot(&roots);
+        let fresh = SchemeBank::new();
+        let absorbed = fresh.absorb_snapshot(&nodes).unwrap();
+        for (i, src) in srcs.iter().enumerate() {
+            let idx = idxs[i].expect("all named/closed");
+            let id = absorbed.closed(idx).expect("roots are closed");
+            assert!(
+                fresh.to_type(id).alpha_eq(&parse_type(src).unwrap()),
+                "{src}"
+            );
+            // Renders are byte-identical across the round trip.
+            assert_eq!(bank.pretty(roots[i]), fresh.pretty(id), "{src}");
+        }
+        // Absorbing into the *same* bank maps back to the original ids:
+        // re-interning deduplicates rather than forks α-classes.
+        let back = bank.absorb_snapshot(&nodes).unwrap();
+        for (i, &root) in roots.iter().enumerate() {
+            assert_eq!(back.closed(idxs[i].unwrap()), Some(root));
+        }
+    }
+
+    #[test]
+    fn snapshot_skips_invented_variables() {
+        let bank = SchemeBank::new();
+        let named = export_str(&bank, "forall a. a -> a");
+        let fresh_var = bank.intern_type(&Type::Var(TyVar::fresh()));
+        let (nodes, idxs) = bank.export_snapshot(&[named, fresh_var]);
+        assert!(idxs[0].is_some());
+        assert!(idxs[1].is_none(), "fresh vars are unportable");
+        assert!(nodes
+            .iter()
+            .all(|n| !matches!(n, crate::snapshot::PortableNode::Free(s) if s.starts_with('%'))));
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_snapshots() {
+        use crate::snapshot::{PortableCon, PortableNode};
+        let bank = SchemeBank::new();
+        // Forward (non-topological) child reference.
+        assert!(bank
+            .absorb_snapshot(&[PortableNode::Con(PortableCon::List, vec![1])])
+            .is_err());
+        // Self reference.
+        assert!(bank
+            .absorb_snapshot(&[PortableNode::Forall {
+                body: 0,
+                hint: None
+            }])
+            .is_err());
+        // Arity mismatch.
+        assert!(bank
+            .absorb_snapshot(&[
+                PortableNode::Free("a".into()),
+                PortableNode::Con(PortableCon::Arrow, vec![0]),
+            ])
+            .is_err());
+        // A dangling Bound absorbs but is not closed, so it can never
+        // be used as a root.
+        let a = bank.absorb_snapshot(&[PortableNode::Bound(3)]).unwrap();
+        assert_eq!(a.closed(0), None);
+        assert_eq!(a.closed(7), None, "out-of-range index is rejected");
+        // Properly scoped quantification closes it.
+        let a = bank
+            .absorb_snapshot(&[
+                PortableNode::Bound(0),
+                PortableNode::Forall {
+                    body: 0,
+                    hint: Some("a".into()),
+                },
+            ])
+            .unwrap();
+        assert_eq!(a.closed(0), None, "bare Bound stays open");
+        let id = a.closed(1).expect("forall closes the binder");
+        assert!(bank
+            .to_type(id)
+            .alpha_eq(&parse_type("forall a. a").unwrap()));
+    }
+
+    #[test]
+    fn seed_rendering_feeds_the_pretty_memo() {
+        let bank = SchemeBank::new();
+        let id = export_str(&bank, "forall a. a -> a");
+        let canonical: Arc<str> = Arc::from("forall a. a -> a");
+        bank.seed_rendering(id, Arc::clone(&canonical));
+        let before = bank.renders();
+        assert_eq!(&*bank.pretty(id), &*canonical);
+        assert_eq!(bank.renders(), before, "seeded pretty is a memo hit");
+        // Seeding never overwrites an existing rendering.
+        bank.seed_rendering(id, Arc::from("bogus"));
+        assert_eq!(&*bank.pretty(id), &*canonical);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod differential;
 pub mod elab;
 pub mod infer;
 pub mod scheme;
+pub mod snapshot;
 pub mod store;
 pub mod unify;
 
@@ -58,5 +59,6 @@ pub use infer::{
     check_typing, elaborate_term, infer_program, infer_term, InferOutput, SchemeOutput, Session,
 };
 pub use scheme::{SchemeId, SchemeStore};
+pub use snapshot::{AbsorbedSnapshot, PortableCon, PortableNode, SnapshotError};
 pub use store::{Node, Shape, Store, TypeId, VarId};
 pub use unify::unify;

@@ -104,6 +104,32 @@ fn bank_ids_induce_the_store_partition_single_threaded() {
 }
 
 #[test]
+fn snapshot_round_trip_preserves_the_partition_and_renders() {
+    // Persistence obligation: exporting a bank's reachable DAG and
+    // absorbing it into a fresh bank must reproduce the α-class
+    // partition exactly, with byte-identical renderings — the load path
+    // of `--cache-dir` is only sound under this bijection.
+    let types = corpus(0xD15C_0CAF, 300);
+    let bank = SchemeBank::new();
+    let roots: Vec<_> = types.iter().map(|t| bank.intern_type(t)).collect();
+    let renders: Vec<_> = roots.iter().map(|&r| bank.pretty(r)).collect();
+
+    let (nodes, idxs) = bank.export_snapshot(&roots);
+    let fresh = SchemeBank::new();
+    let absorbed = fresh.absorb_snapshot(&nodes).expect("valid snapshot");
+
+    let mut pairs = Vec::new();
+    for (i, t) in types.iter().enumerate() {
+        let idx = idxs[i].expect("corpus types are fully named");
+        let id = absorbed.closed(idx).expect("corpus roots are closed");
+        pairs.push((roots[i], id));
+        assert_eq!(&*renders[i], &*fresh.pretty(id), "render drifted for {t}");
+        assert!(fresh.to_type(id).alpha_eq(t), "round trip of {t}");
+    }
+    assert_bijection(&pairs);
+}
+
+#[test]
 fn concurrent_interning_agrees_with_the_single_lock_store() {
     let types = Arc::new(corpus(0xC0_4C0B_5EED, 300));
     let bank = Arc::new(SchemeBank::new());

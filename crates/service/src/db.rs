@@ -70,7 +70,7 @@ impl EngineSel {
         }
     }
 
-    fn tag(self) -> u64 {
+    pub(crate) fn tag(self) -> u64 {
         match self {
             EngineSel::Core => 1,
             EngineSel::Uf => 2,
@@ -286,6 +286,85 @@ struct CachedChunk {
 #[derive(Default)]
 pub struct Frontend {
     chunks: U64Map<CachedChunk>,
+}
+
+impl Frontend {
+    /// Number of cached declaration chunks (observability).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The raw source slices of every cached chunk — what the
+    /// persistence layer writes out. Slices, not parse trees: terms
+    /// hold interned symbols that don't survive a process boundary, and
+    /// re-parsing a chunk is cheap next to re-inferring it.
+    pub(crate) fn export_slices(&self) -> Vec<String> {
+        self.chunks.values().map(|c| c.slice.clone()).collect()
+    }
+
+    /// Re-parse and cache one persisted slice (load path). Returns
+    /// whether the slice was accepted — a slice that no longer parses
+    /// (e.g. persisted by a different version) is simply skipped.
+    pub(crate) fn absorb_slice(&mut self, slice: &str) -> bool {
+        if self.chunks.len() > 8192 {
+            return false; // respect the analyze_cached cap
+        }
+        let key = hash_str(slice);
+        if matches!(self.chunks.get(&key), Some(c) if c.slice == slice) {
+            return true;
+        }
+        let Ok(parsed) = freezeml_core::parse_program(slice) else {
+            return false;
+        };
+        if parsed.decls.len() > 1 {
+            return false; // cached chunks hold at most one declaration
+        }
+        self.chunks.insert(
+            key,
+            CachedChunk {
+                slice: slice.to_string(),
+                pragmas: parsed.pragmas,
+                decl: parsed
+                    .decls
+                    .into_iter()
+                    .next()
+                    .map(|d| ParsedDecl::from_decl(d).0),
+            },
+        );
+        true
+    }
+}
+
+/// The whole-document cache key: text plus the same configuration
+/// fingerprint the Merkle keys mix in. Two sessions with different
+/// options or engines can share one hub without serving each other's
+/// reports.
+pub fn doc_key(src: &str, opts: &Options, engine: EngineSel) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(u64::from(opts.value_restriction));
+    h.write_u64(match opts.instantiation {
+        InstantiationStrategy::Variable => 0,
+        InstantiationStrategy::Eliminator => 1,
+    });
+    h.write_u64(engine.tag());
+    h.write_str(src);
+    h.finish()
+}
+
+/// An independent check digest for the whole-document cache. The
+/// content hash mixes adjacent words only lightly before the final
+/// avalanche, so two *structurally similar* documents (same length,
+/// differing in a couple of nearby words — exactly what an edit stream
+/// produces) can collide at realistic document counts. A doc-cache hit
+/// therefore verifies this second digest too — seeded differently, so
+/// the state-dependent collision condition of one hash is uncorrelated
+/// with the other's — making a false hit require a simultaneous
+/// 128-bit collision.
+pub fn doc_verify(src: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(0xD0C5_ECC0_5A17_ED00);
+    h.write_str(src);
+    h.finish()
 }
 
 /// Split source text into declaration chunks: each chunk ends at a `;;`

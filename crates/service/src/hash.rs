@@ -2,12 +2,16 @@
 //!
 //! The database keys bindings by the hash of their *source slice* and
 //! combines dependency keys Merkle-style (see [`crate::db`]). The hash
-//! is a word-at-a-time multiply-rotate mix (FxHash-style) with a
-//! SplitMix64 finaliser — not cryptographic, but the warm path hashes
-//! the whole document on every edit, so byte-serial hashes (FNV et al.)
-//! are measurably too slow, and collisions at 64 bits over thousands of
-//! bindings are a ~n²/2⁶⁵ non-concern (the parse cache additionally
-//! guards with a full slice comparison).
+//! is a word-at-a-time multiply–xor-shift–multiply mix with a SplitMix64
+//! finaliser — not cryptographic, but the warm path hashes the whole
+//! document on every edit, so byte-serial hashes (FNV et al.) are
+//! measurably too slow. Each word is fully avalanched before the next
+//! is absorbed, which keeps collisions over thousands of similar
+//! documents at the generic n²/2⁶⁵ birthday bound; the cheaper
+//! FxHash-style step does *not* (see [`Hasher64::mix`] and the
+//! `adjacent_word_edits_do_not_cancel` regression test). The parse
+//! cache additionally guards with a full slice comparison, and the
+//! document-report cache with an independently seeded second digest.
 //!
 //! [`U64Map`] is a `HashMap` keyed by already-hashed `u64`s with an
 //! identity hasher — no point running SipHash over a digest.
@@ -37,7 +41,18 @@ impl Hasher64 {
     }
 
     fn mix(&mut self, word: u64) {
-        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+        // A xor-shift between the two multiplies avalanches every word
+        // before the next is absorbed. The cheaper FxHash step
+        // (`rotl(5)` + one multiply) is NOT enough here: a difference in
+        // the top byte of one word survives one multiply confined to the
+        // top few bits, the rotate moves it into the low bits, and the
+        // next word's low-byte difference cancels it with probability
+        // ~2⁻⁵ — observed as real collisions (both seeds at once) between
+        // similar documents at only ~5 000 texts. Each step stays a
+        // bijection in `word` for fixed state (and vice versa), so two
+        // inputs differing in a single word can never collide.
+        let x = (self.0 ^ word).wrapping_mul(K);
+        self.0 = (x ^ (x >> 32)).wrapping_mul(K);
     }
 
     /// Absorb raw bytes, eight at a time.
@@ -143,6 +158,35 @@ mod tests {
         assert_eq!(hash_str("foobar"), hash_str("foobar"));
         assert_ne!(hash_str("foobar "), hash_str("foobar"));
         assert_ne!(hash_str("12345678x"), hash_str("12345678y"));
+    }
+
+    /// Regression: under the old FxHash-style mixer, the benchmark
+    /// generator's edited documents (differing only in one numeric
+    /// literal straddling an 8-byte word boundary, bytes 1335–1336 of a
+    /// ~2.6 KB text) collided at salts 5190 vs 5920 — on `doc_key` *and*
+    /// the independently seeded `doc_verify` at once, because the
+    /// cancellation between the two adjacent differing words was
+    /// seed-independent. The warm-edit bench then saw `rechecked == 0`
+    /// on a never-before-seen document.
+    #[test]
+    fn adjacent_word_edits_do_not_cancel() {
+        use crate::db::{doc_key, doc_verify};
+        use crate::load::GenProgram;
+        use crate::EngineSel;
+        use freezeml_core::Options;
+        let gen = GenProgram::generate(120, 0x5EED);
+        let opts = Options::default();
+        let mut keys = HashMap::new();
+        let mut verifies = HashMap::new();
+        for salt in 0..6_000u64 {
+            let text = gen.edited_text(60, salt);
+            if let Some(prev) = keys.insert(doc_key(&text, &opts, EngineSel::Uf), salt) {
+                panic!("doc_key collision between salts {prev} and {salt}");
+            }
+            if let Some(prev) = verifies.insert(doc_verify(&text), salt) {
+                panic!("doc_verify collision between salts {prev} and {salt}");
+            }
+        }
     }
 
     #[test]

@@ -48,16 +48,20 @@ pub mod exec;
 pub mod graph;
 pub mod hash;
 pub mod load;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod shared;
 pub mod sock;
 
-pub use db::{analyze, analyze_cached, Analysis, EngineSel, Frontend, Outcome};
+pub use db::{
+    analyze, analyze_cached, doc_key, doc_verify, Analysis, EngineSel, Frontend, Outcome,
+};
 pub use exec::{BindingReport, CheckReport, Executor, Worker};
 pub use freezeml_engine::SchemeId;
 pub use load::{replay, GenProgram, ReplayStats};
+pub use persist::{Checkpointer, LoadOutcome, PersistConfig, SaveOutcome};
 pub use protocol::{handle_line, Json, Request};
 pub use server::{serve, serve_with, ServeOptions};
 pub use service::{ElabInfo, Service, ServiceConfig, ServiceError};

@@ -23,10 +23,12 @@
 //! assert_eq!((r.rechecked, r.reused), (1, 2));
 //! ```
 
-use crate::db::{analyze_cached, Analysis, EngineSel, Outcome};
-use crate::exec::{BindingReport, CheckReport, Executor};
+use crate::db::{analyze_cached, doc_key, doc_verify, Analysis, EngineSel, Outcome};
+use crate::exec::{BindingReport, CheckReport, Executor, INTERNAL_ERROR_CLASS};
+use crate::persist::{self, LoadOutcome, PersistConfig, SaveOutcome};
 use crate::shared::Shared;
 use freezeml_core::{Options, ParseError};
+use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -79,8 +81,49 @@ impl std::error::Error for ServiceError {}
 
 struct Document {
     text: String,
-    analysis: Result<Analysis, ParseError>,
-    report: Option<CheckReport>,
+    /// The analysis, computed lazily: a document served wholesale from
+    /// the document-report cache never parses at all — the analysis is
+    /// built on first demand (an edit, `elaborate`, a doc-cache miss).
+    analysis: OnceCell<Result<Analysis, ParseError>>,
+    report: Option<Arc<CheckReport>>,
+}
+
+impl Document {
+    fn analyzed(
+        &self,
+        shared: &Shared,
+        opts: &Options,
+        engine: EngineSel,
+    ) -> &Result<Analysis, ParseError> {
+        self.analysis.get_or_init(|| {
+            let mut frontend = shared.frontend();
+            analyze_cached(&mut frontend, &self.text, opts, engine)
+        })
+    }
+}
+
+/// A document report recast as what a fully warm pass would produce:
+/// every binding served from cache, no inference waves. This is the
+/// form the document-report cache stores, so a hit is indistinguishable
+/// from a perfectly warm per-binding pass.
+fn warmed(report: &CheckReport) -> CheckReport {
+    CheckReport {
+        bindings: report.bindings.clone(),
+        rechecked: 0,
+        reused: report.bindings.len(),
+        waves: 0,
+    }
+}
+
+/// May this report be served to other sessions? Same rule as the
+/// per-binding cache: disagreements and internal errors are checker
+/// bugs and must never be cached.
+fn report_cacheable(report: &CheckReport) -> bool {
+    report.bindings.iter().all(|b| match &b.outcome {
+        Outcome::Disagreement { .. } => false,
+        Outcome::Error { class, .. } => class != INTERNAL_ERROR_CLASS,
+        _ => true,
+    })
 }
 
 /// The program-checking service. See the module docs.
@@ -92,6 +135,8 @@ pub struct Service {
     /// A standalone service owns a private hub; socket sessions share
     /// one ([`Service::with_shared`]).
     shared: Arc<Shared>,
+    /// Where to persist the hub's warm state, when `--cache-dir` is on.
+    persist_cfg: Option<PersistConfig>,
 }
 
 impl Service {
@@ -111,7 +156,41 @@ impl Service {
             cfg,
             docs: HashMap::new(),
             shared,
+            persist_cfg: None,
         }
+    }
+
+    /// Attach an on-disk cache directory: load any valid snapshot into
+    /// the hub now, and remember the location so [`Service::save_cache`]
+    /// can write back. Loading never fails — a missing, corrupt, or
+    /// stale-epoch snapshot reports a cold start in the returned
+    /// [`LoadOutcome`] and the service proceeds as if there were no
+    /// cache.
+    pub fn attach_cache(&mut self, cfg: PersistConfig) -> LoadOutcome {
+        let out = persist::load(&self.shared, persist::epoch(&self.cfg.opts), &cfg);
+        self.persist_cfg = Some(cfg);
+        out
+    }
+
+    /// Snapshot the hub's warm state to the attached cache directory.
+    /// `None` when no cache is attached.
+    ///
+    /// # Errors
+    ///
+    /// `Some(Err(..))` on I/O failure — the previous snapshot, if any,
+    /// is left intact (writes are temp-file + atomic rename).
+    pub fn save_cache(&self) -> Option<std::io::Result<SaveOutcome>> {
+        let cfg = self.persist_cfg.as_ref()?;
+        Some(persist::save(
+            &self.shared,
+            persist::epoch(&self.cfg.opts),
+            cfg,
+        ))
+    }
+
+    /// Cache entries evicted by the persistence layer (size cap).
+    pub fn evictions(&self) -> u64 {
+        self.shared.evictions()
     }
 
     /// The configuration the service was built with.
@@ -148,17 +227,37 @@ impl Service {
     }
 
     fn set_text(&mut self, doc: &str, text: &str) -> Result<&CheckReport, ServiceError> {
+        // Document-report fast path: a text already checked under this
+        // configuration — by this session, another session on the hub,
+        // or a previous process via the persisted cache — is served
+        // without parsing, analysing, or scheduling anything.
+        let dkey = doc_key(text, &self.cfg.opts, self.cfg.engine);
+        if let Some(report) = self.shared.doc_report(dkey, doc_verify(text)) {
+            let entry = self.docs.entry(doc.to_string()).or_insert(Document {
+                text: String::new(),
+                analysis: OnceCell::new(),
+                report: None,
+            });
+            if entry.text != text {
+                entry.text = text.to_string();
+                entry.analysis = OnceCell::new();
+            }
+            entry.report = Some(report);
+            return Ok(entry.report.as_deref().expect("just stored"));
+        }
         let analyzed = {
             let mut frontend = self.shared.frontend();
             analyze_cached(&mut frontend, text, &self.cfg.opts, self.cfg.engine)
         };
         match analyzed {
             Ok(analysis) => {
+                let cell = OnceCell::new();
+                cell.set(Ok(analysis)).ok();
                 self.docs.insert(
                     doc.to_string(),
                     Document {
                         text: text.to_string(),
-                        analysis: Ok(analysis),
+                        analysis: cell,
                         report: None,
                     },
                 );
@@ -170,9 +269,11 @@ impl Service {
                 // analysis — `check`/`type-of` keep answering from the
                 // previous good text. A *fresh* document opened with bad
                 // text is recorded so a follow-up `edit` is legal.
+                let cell = OnceCell::new();
+                cell.set(Err(e.clone())).ok();
                 self.docs.entry(doc.to_string()).or_insert(Document {
                     text: text.to_string(),
-                    analysis: Err(e.clone()),
+                    analysis: cell,
                     report: None,
                 });
                 Err(ServiceError::Parse(e))
@@ -214,19 +315,29 @@ impl Service {
             .docs
             .get_mut(doc)
             .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
-        match &entry.analysis {
+        let dkey = doc_key(&entry.text, &self.cfg.opts, self.cfg.engine);
+        let dverify = doc_verify(&entry.text);
+        if let Some(report) = self.shared.doc_report(dkey, dverify) {
+            entry.report = Some(report);
+            return Ok(entry.report.as_deref().expect("just stored"));
+        }
+        match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine) {
             Err(e) => Err(ServiceError::Parse(e.clone())),
             Ok(a) => {
                 let report = self.exec.run(a, &self.shared);
-                entry.report = Some(report);
-                Ok(entry.report.as_ref().expect("just stored"))
+                if report_cacheable(&report) {
+                    self.shared
+                        .record_doc_report(dkey, dverify, Arc::new(warmed(&report)));
+                }
+                entry.report = Some(Arc::new(report));
+                Ok(entry.report.as_deref().expect("just stored"))
             }
         }
     }
 
     /// The latest report for a document, if it has been checked.
     pub fn report(&self, doc: &str) -> Option<&CheckReport> {
-        self.docs.get(doc).and_then(|d| d.report.as_ref())
+        self.docs.get(doc).and_then(|d| d.report.as_deref())
     }
 
     /// A document's current text.
@@ -277,7 +388,7 @@ impl Service {
             .docs
             .get(doc)
             .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
-        let a = match &entry.analysis {
+        let a = match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine) {
             Ok(a) => a,
             Err(e) => return Err(ServiceError::Parse(e.clone())),
         };

@@ -1,6 +1,6 @@
 //! The hub state shared by every session of one serving process: the
-//! concurrent scheme bank, the striped outcome cache, and the
-//! declaration-level parse cache.
+//! concurrent scheme bank, the striped outcome cache, the
+//! declaration-level parse cache, and the document-report cache.
 //!
 //! One [`Shared`] behind an `Arc` is what makes the socket server
 //! ([`crate::sock`]) more than N isolated services: every connection
@@ -13,6 +13,16 @@
 //! ([`crate::db`]), so one hub safely serves sessions with different
 //! engine or option settings.
 //!
+//! ## Generations
+//!
+//! Every cache entry is stamped with the hub **generation** — a counter
+//! the persistence layer ([`crate::persist`]) advances on each
+//! snapshot. A lookup or insert re-stamps the entry with the current
+//! generation, so "entries untouched since generation g" is exactly the
+//! eviction candidate set when a snapshot must fit `--max-cache-bytes`.
+//! With persistence off, the generation sits at zero and the stamps are
+//! inert.
+//!
 //! All locks here recover from poisoning (`PoisonError::into_inner`):
 //! the executor contains panics at the binding boundary
 //! ([`crate::exec`]), and the structures behind these locks are valid
@@ -20,13 +30,21 @@
 //! never wedge the hub for every other client.
 
 use crate::db::{Frontend, Outcome};
+use crate::exec::CheckReport;
 use crate::hash::U64Map;
 use freezeml_engine::SchemeBank;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Stripe count for the outcome cache. Matches the scheme bank's shard
 /// count — plenty of lock granularity for a worker pool.
 const STRIPES: usize = 16;
+
+/// One cached verdict plus its last-touched generation.
+struct Slot {
+    outcome: Outcome,
+    gen: u64,
+}
 
 /// The outcome cache, striped by cache key so concurrent sessions'
 /// workers don't serialise on one map lock. Keys are the Merkle
@@ -34,24 +52,33 @@ const STRIPES: usize = 16;
 /// bits are uniform stripe selectors).
 #[derive(Default)]
 pub struct StripedCache {
-    stripes: [Mutex<U64Map<Outcome>>; STRIPES],
+    stripes: [Mutex<U64Map<Slot>>; STRIPES],
+    /// The hub generation every touch stamps entries with.
+    generation: AtomicU64,
 }
 
 impl StripedCache {
-    fn stripe(&self, key: u64) -> MutexGuard<'_, U64Map<Outcome>> {
+    fn stripe(&self, key: u64) -> MutexGuard<'_, U64Map<Slot>> {
         self.stripes[(key as usize) & (STRIPES - 1)]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Look up a verdict by cache key.
+    /// Look up a verdict by cache key. A hit re-stamps the entry with
+    /// the current generation (it is "in use" for eviction purposes).
     pub fn get(&self, key: u64) -> Option<Outcome> {
-        self.stripe(key).get(&key).cloned()
+        let gen = self.generation.load(Ordering::Relaxed);
+        let mut stripe = self.stripe(key);
+        stripe.get_mut(&key).map(|slot| {
+            slot.gen = gen;
+            slot.outcome.clone()
+        })
     }
 
-    /// Record a verdict.
+    /// Record a verdict at the current generation.
     pub fn insert(&self, key: u64, outcome: Outcome) {
-        self.stripe(key).insert(key, outcome);
+        let gen = self.generation.load(Ordering::Relaxed);
+        self.stripe(key).insert(key, Slot { outcome, gen });
     }
 
     /// Total cached verdicts across stripes (observability).
@@ -66,7 +93,58 @@ impl StripedCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The current hub generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every entry as `(key, last-touched generation, outcome)`.
+    pub(crate) fn export(&self) -> Vec<(u64, u64, Outcome)> {
+        let mut out = Vec::new();
+        for s in &self.stripes {
+            let g = s.lock().unwrap_or_else(PoisonError::into_inner);
+            out.extend(
+                g.iter()
+                    .map(|(&k, slot)| (k, slot.gen, slot.outcome.clone())),
+            );
+        }
+        out
+    }
+
+    /// Install an entry with an explicit generation stamp (load path).
+    pub(crate) fn insert_with_gen(&self, key: u64, outcome: Outcome, gen: u64) {
+        self.stripe(key).insert(key, Slot { outcome, gen });
+    }
+
+    /// Drop an entry (eviction).
+    pub(crate) fn remove(&self, key: u64) {
+        self.stripe(key).remove(&key);
+    }
+
+    /// Set the hub generation (load path: resume past the snapshot's).
+    pub(crate) fn set_generation(&self, gen: u64) {
+        self.generation.store(gen, Ordering::Relaxed);
+    }
+
+    /// Advance the hub generation (post-snapshot: subsequent touches
+    /// are distinguishable from everything the snapshot saw).
+    pub(crate) fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
 }
+
+/// One cached whole-document report plus the independent text digest
+/// ([`crate::db::doc_verify`]) and its last-touched generation.
+struct DocSlot {
+    report: Arc<CheckReport>,
+    verify: u64,
+    gen: u64,
+}
+
+/// Cap on cached document reports; the per-binding cache is what
+/// matters, this is the fast path over it.
+const DOC_REPORT_CAP: usize = 4096;
 
 /// Cross-session shared state. See the module docs.
 #[derive(Default)]
@@ -74,6 +152,15 @@ pub struct Shared {
     bank: SchemeBank,
     cache: StripedCache,
     frontend: Mutex<Frontend>,
+    /// Whole-document reports keyed by `db::doc_key` — text + config
+    /// fingerprint. A hit serves `open`/`check` without parsing or
+    /// scheduling at all; entries are only recorded for reports whose
+    /// every outcome is cacheable (no disagreements, no internal
+    /// errors), the same rule as the per-binding cache.
+    doc_reports: Mutex<U64Map<DocSlot>>,
+    /// Entries dropped by persistence-layer eviction (observability;
+    /// surfaced in `check` stats).
+    evicted: AtomicU64,
 }
 
 impl Shared {
@@ -97,5 +184,90 @@ impl Shared {
     /// only for the duration of one document analysis.
     pub fn frontend(&self) -> MutexGuard<'_, Frontend> {
         self.frontend.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn doc_lock(&self) -> MutexGuard<'_, U64Map<DocSlot>> {
+        self.doc_reports
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The cached report for a document key, if any. The caller's
+    /// independent text digest must match the stored one — a key
+    /// collision between similar documents must miss, never serve the
+    /// other document's report. A hit re-stamps the entry with the
+    /// current generation.
+    pub fn doc_report(&self, key: u64, verify: u64) -> Option<Arc<CheckReport>> {
+        let gen = self.cache.generation();
+        let mut g = self.doc_lock();
+        let slot = g.get_mut(&key)?;
+        if slot.verify != verify {
+            return None;
+        }
+        slot.gen = gen;
+        Some(Arc::clone(&slot.report))
+    }
+
+    /// Record a whole-document report at the current generation.
+    pub fn record_doc_report(&self, key: u64, verify: u64, report: Arc<CheckReport>) {
+        let gen = self.cache.generation();
+        let mut g = self.doc_lock();
+        if g.len() > DOC_REPORT_CAP {
+            g.clear(); // crude cap, like the frontend's
+        }
+        g.insert(
+            key,
+            DocSlot {
+                report,
+                verify,
+                gen,
+            },
+        );
+    }
+
+    /// Number of cached document reports (observability).
+    pub fn doc_reports_len(&self) -> usize {
+        self.doc_lock().len()
+    }
+
+    /// Cache entries evicted by the persistence layer so far.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_evictions(&self, n: u64) {
+        self.evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the document reports as `(key, verify, generation,
+    /// report)`.
+    pub(crate) fn export_doc_reports(&self) -> Vec<(u64, u64, u64, Arc<CheckReport>)> {
+        self.doc_lock()
+            .iter()
+            .map(|(&k, slot)| (k, slot.verify, slot.gen, Arc::clone(&slot.report)))
+            .collect()
+    }
+
+    /// Install a document report with an explicit generation (load path).
+    pub(crate) fn insert_doc_report_with_gen(
+        &self,
+        key: u64,
+        verify: u64,
+        report: Arc<CheckReport>,
+        gen: u64,
+    ) {
+        self.doc_lock().insert(
+            key,
+            DocSlot {
+                report,
+                verify,
+                gen,
+            },
+        );
+    }
+
+    /// Drop a document report (eviction).
+    pub(crate) fn remove_doc_report(&self, key: u64) {
+        self.doc_lock().remove(&key);
     }
 }

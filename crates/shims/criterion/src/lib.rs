@@ -37,6 +37,13 @@
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Fewest timed samples any measurement may take. A single-sample row
+/// has no spread at all — its min *is* its mean — so recorded numbers
+/// become pure noise; `Bencher::iter` clamps the configured
+/// `sample_size` up to this floor, and the CI perf-smoke schema check
+/// rejects recorded rows below it.
+pub const MIN_SAMPLES: usize = 5;
+
 /// Accumulated JSON entries, keyed by benchmark id (all groups share
 /// the file, so the sink is global).
 struct JsonSink {
@@ -352,13 +359,15 @@ impl Bencher {
         }
         let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
 
-        // Calibrate so `sample_size` samples fill the measurement budget.
+        // Calibrate so `sample_size` samples fill the measurement
+        // budget. The sample count is clamped to [`MIN_SAMPLES`]: below
+        // that there is no spread to report and the row is untrustworthy.
+        let sample_size = self.sample_size.max(MIN_SAMPLES);
         let budget_ns = self.measurement_time.as_nanos() as f64;
-        let iters_per_sample =
-            ((budget_ns / self.sample_size as f64 / est_ns).floor() as u64).max(1);
+        let iters_per_sample = ((budget_ns / sample_size as f64 / est_ns).floor() as u64).max(1);
 
-        let mut sample_ns = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let mut sample_ns = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 std::hint::black_box(routine());
@@ -372,7 +381,7 @@ impl Bencher {
             median_ns,
             max_ns,
             stddev_ns,
-            samples: self.sample_size,
+            samples: sample_size,
             iters_per_sample,
         });
     }
@@ -464,6 +473,18 @@ mod tests {
         });
         group.finish();
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn sample_counts_are_clamped_to_the_floor() {
+        let mut b = Bencher {
+            test_mode: false,
+            measurement_time: Duration::from_millis(2),
+            sample_size: 1,
+            report: None,
+        };
+        b.iter(|| std::hint::black_box(2u64) + 2);
+        assert_eq!(b.report.as_ref().unwrap().samples, MIN_SAMPLES);
     }
 
     #[test]

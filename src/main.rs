@@ -31,23 +31,36 @@
 //!   --pure                      disable the value restriction
 //!   --socket ADDR               (serve) listen on a socket instead of stdio
 //!   --max-request-bytes N       (serve) per-line request cap (default 4 MiB)
+//!   --cache-dir DIR             (serve/check) persist warm state to
+//!                               DIR/freezeml.cache: load it on startup (cold
+//!                               fallback on any mismatch or corruption),
+//!                               write it back on exit; under serve, also
+//!                               checkpoint periodically
+//!   --max-cache-bytes N         snapshot size cap; oldest-generation entries
+//!                               are evicted to fit (default 64 MiB)
+//!   --checkpoint-secs N         (serve) seconds between periodic snapshots
+//!                               (default 30)
 //! ```
 //!
 //! The protocol itself is documented in `freezeml_service::protocol`.
 
 use freezeml_conformance::program as golden;
 use freezeml_service::{
-    load, serve_with, EngineSel, ServeOptions, Service, ServiceConfig, Shared, SocketServer,
+    load, persist, serve_with, Checkpointer, EngineSel, LoadOutcome, PersistConfig, ServeOptions,
+    Service, ServiceConfig, Shared, SocketServer,
 };
 use std::io::{self, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     cfg: ServiceConfig,
     serve_opts: ServeOptions,
     socket: Option<String>,
+    cache: Option<PersistConfig>,
+    checkpoint_secs: u64,
     cmd: String,
     rest: Vec<String>,
 }
@@ -56,6 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
          [--socket ADDR] [--max-request-bytes N] \
+         [--cache-dir DIR] [--max-cache-bytes N] [--checkpoint-secs N] \
          [serve | check FILE… | elaborate FILE… | replay PATH… | gen N [SEED] | \
          bench-json [MS]]"
     );
@@ -78,6 +92,9 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut rest = Vec::new();
     let mut serve_opts = ServeOptions::default();
     let mut socket = None;
+    let mut cache_dir: Option<String> = None;
+    let mut max_cache_bytes = persist::DEFAULT_MAX_BYTES;
+    let mut checkpoint_secs = 30u64;
     while let Some(w) = words.next() {
         match w.as_str() {
             "--engine" => {
@@ -105,6 +122,23 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .filter(|&n| n > 0)
                     .ok_or_else(usage)?;
             }
+            "--cache-dir" => {
+                cache_dir = Some(words.next().ok_or_else(usage)?);
+            }
+            "--max-cache-bytes" => {
+                max_cache_bytes = words
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(usage)?;
+            }
+            "--checkpoint-secs" => {
+                checkpoint_secs = words
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(usage)?;
+            }
             "--help" | "-h" => return Err(usage()),
             _ if cmd.is_none() => cmd = Some(w),
             _ => rest.push(w),
@@ -114,17 +148,55 @@ fn parse_args() -> Result<Args, ExitCode> {
         cfg,
         serve_opts,
         socket,
+        cache: cache_dir.map(|dir| PersistConfig {
+            dir: dir.into(),
+            max_bytes: max_cache_bytes,
+        }),
+        checkpoint_secs,
         cmd: cmd.unwrap_or_else(|| "serve".to_string()),
         rest,
     })
 }
 
+/// Report a cache load on stderr: one structured line, warm or cold,
+/// so operators can tell which start they got without parsing output.
+fn report_load(out: &LoadOutcome) {
+    if let Some(w) = &out.warning {
+        eprintln!("freezeml: cache: starting cold ({w})");
+    } else if out.loaded {
+        eprintln!(
+            "freezeml: cache: warm start ({} verdict(s), {} document report(s), \
+             {} parsed declaration(s), {} scheme node(s), generation {})",
+            out.entries, out.docs, out.chunks, out.nodes, out.generation
+        );
+    }
+}
+
 /// Serve over a socket until the process is killed. `addr` is a
 /// Unix-socket path when it contains a path separator or carries the
 /// `unix:` prefix, a TCP `host:port` otherwise.
-fn cmd_serve_socket(cfg: ServiceConfig, addr: &str, opts: ServeOptions) -> ExitCode {
+fn cmd_serve_socket(
+    cfg: ServiceConfig,
+    addr: &str,
+    opts: ServeOptions,
+    cache: Option<PersistConfig>,
+    checkpoint_secs: u64,
+) -> ExitCode {
     let sessions = cfg.workers.max(1);
     let shared = Arc::new(Shared::new());
+    // Warm the hub before the first connection, and checkpoint it
+    // periodically — socket servers are usually killed, not shut down,
+    // so the periodic snapshot is the durable one.
+    let checkpointer = cache.map(|pcfg| {
+        let epoch = persist::epoch(&cfg.opts);
+        report_load(&persist::load(&shared, epoch, &pcfg));
+        Checkpointer::checkpoint_every(
+            Arc::clone(&shared),
+            epoch,
+            pcfg,
+            Duration::from_secs(checkpoint_secs),
+        )
+    });
     let spawned = if let Some(path) = addr.strip_prefix("unix:") {
         SocketServer::spawn_unix(Path::new(path), cfg, shared, sessions, opts)
     } else if addr.contains('/') {
@@ -139,6 +211,11 @@ fn cmd_serve_socket(cfg: ServiceConfig, addr: &str, opts: ServeOptions) -> ExitC
                 server.local_addr()
             );
             server.join();
+            if let Some(cp) = checkpointer {
+                if let Err(e) = cp.finish() {
+                    eprintln!("freezeml: cache: final snapshot failed: {e}");
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -163,11 +240,15 @@ fn sources_from(path: &Path) -> Result<Vec<(String, String)>, String> {
     Ok(vec![(path.display().to_string(), text)])
 }
 
-fn cmd_check(cfg: ServiceConfig, files: &[String]) -> ExitCode {
+fn cmd_check(cfg: ServiceConfig, files: &[String], cache: Option<PersistConfig>) -> ExitCode {
     if files.is_empty() {
         return usage();
     }
     let mut svc = Service::new(cfg);
+    let caching = cache.is_some();
+    if let Some(pcfg) = cache {
+        report_load(&svc.attach_cache(pcfg));
+    }
     let mut failed = false;
     for file in files {
         let all = match sources_from(Path::new(file)) {
@@ -190,16 +271,37 @@ fn cmd_check(cfg: ServiceConfig, files: &[String]) -> ExitCode {
                         println!("  {line}:{col} {} : {}", b.name, b.outcome.display());
                         failed |= !b.outcome.is_typed();
                     }
-                    println!(
-                        "  [{} binding(s), rechecked {}, reused {}, {} wave(s)]",
+                    let (n, rechecked, reused, waves) = (
                         report.bindings.len(),
                         report.rechecked,
                         report.reused,
-                        report.waves
+                        report.waves,
                     );
+                    if caching {
+                        println!(
+                            "  [{n} binding(s), rechecked {rechecked}, reused {reused}, \
+                             {waves} wave(s), {} cached, {} evicted]",
+                            svc.cache_len(),
+                            svc.evictions()
+                        );
+                    } else {
+                        println!(
+                            "  [{n} binding(s), rechecked {rechecked}, reused {reused}, \
+                             {waves} wave(s)]"
+                        );
+                    }
                 }
             }
         }
+    }
+    match svc.save_cache() {
+        Some(Err(e)) => eprintln!("freezeml: cache: snapshot failed: {e}"),
+        Some(Ok(out)) => eprintln!(
+            "freezeml: cache: saved {} byte(s) ({} verdict(s), {} document report(s), \
+             {} declaration(s), generation {})",
+            out.bytes, out.entries, out.docs, out.chunks, out.generation
+        ),
+        None => {}
     }
     if failed {
         ExitCode::FAILURE
@@ -363,12 +465,33 @@ fn main() -> ExitCode {
     match args.cmd.as_str() {
         "serve" => {
             if let Some(addr) = &args.socket {
-                return cmd_serve_socket(args.cfg, addr, args.serve_opts);
+                return cmd_serve_socket(
+                    args.cfg,
+                    addr,
+                    args.serve_opts,
+                    args.cache,
+                    args.checkpoint_secs,
+                );
             }
             let mut svc = Service::new(args.cfg);
+            let checkpointer = args.cache.map(|pcfg| {
+                report_load(&svc.attach_cache(pcfg.clone()));
+                Checkpointer::checkpoint_every(
+                    Arc::clone(svc.shared()),
+                    persist::epoch(&svc.config().opts),
+                    pcfg,
+                    Duration::from_secs(args.checkpoint_secs),
+                )
+            });
             let stdin = io::stdin();
             let stdout = io::stdout();
-            match serve_with(&mut svc, stdin.lock(), stdout.lock(), &args.serve_opts) {
+            let served = serve_with(&mut svc, stdin.lock(), stdout.lock(), &args.serve_opts);
+            if let Some(cp) = checkpointer {
+                if let Err(e) = cp.finish() {
+                    eprintln!("freezeml: cache: final snapshot failed: {e}");
+                }
+            }
+            match served {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     let _ = writeln!(io::stderr(), "transport error: {e}");
@@ -376,7 +499,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "check" => cmd_check(args.cfg, &args.rest),
+        "check" => cmd_check(args.cfg, &args.rest, args.cache),
         "elaborate" => cmd_elaborate(args.cfg, &args.rest),
         "replay" => cmd_replay(args.cfg, &args.rest),
         "gen" => cmd_gen(&args.rest),

@@ -29,7 +29,13 @@
 //! * `service/persisted-load/<n>` — the snapshot restore itself: fresh
 //!   hub + `persist::load` (decode, structural re-interning into the
 //!   scheme bank, cache population) — the one-off cost a warm start
-//!   pays at process birth.
+//!   pays at process birth;
+//! * `service/trace-overhead/<off|on>` — the `workers/4` roster re-run
+//!   on the instrumented stack: `off` with the tracer explicitly
+//!   disabled (the monomorphised no-trace path — the row the ≤5%
+//!   overhead budget in EXPERIMENTS.md is checked against
+//!   `service/workers/4`), `on` with a JSONL sink wired to a temp file
+//!   (the full flight-recorder cost, spans flushed per record).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freezeml_core::Options;
@@ -138,6 +144,55 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    use freezeml_obs::Tracer;
+    let mut group = c.benchmark_group("service/trace-overhead");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    let trace_dir =
+        std::env::temp_dir().join(format!("freezeml-bench-trace-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&trace_dir);
+    let mut round = 0u64;
+    for mode in ["off", "on"] {
+        let shared = Arc::new(Shared::new());
+        let tracer = if mode == "on" {
+            Tracer::to_file(&trace_dir.join("trace.jsonl")).expect("temp trace file")
+        } else {
+            Tracer::off()
+        };
+        assert!(shared.set_tracer(tracer), "fresh hub accepts a tracer");
+        let mut server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            ServiceConfig {
+                opts: Options::default(),
+                engine: EngineSel::Uf,
+                workers: 1,
+            },
+            shared,
+            4,
+            ServeOptions::default(),
+        )
+        .expect("bind an ephemeral port");
+        let addr = server.local_addr().to_string();
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
+            b.iter(|| {
+                round += 1;
+                drive_tcp(
+                    &addr,
+                    &LoadMix {
+                        salt_base: round * 100_000,
+                        ..LoadMix::default()
+                    },
+                )
+            });
+        });
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    group.finish();
+}
+
 /// Write a snapshot of a service warmed on `text`, returning the cache
 /// directory (caller removes it).
 fn seeded_cache(text: &str, n: usize) -> std::path::PathBuf {
@@ -219,6 +274,7 @@ criterion_group!(
     bench_cold,
     bench_warm_edit,
     bench_worker_scaling,
+    bench_trace_overhead,
     bench_persisted_warm,
     bench_persisted_load,
 );

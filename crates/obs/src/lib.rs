@@ -1,0 +1,33 @@
+//! # FreezeML observability — the flight recorder
+//!
+//! Two layers, both built so that *not* observing costs nothing:
+//!
+//! * [`metrics`] — a lock-free registry of sharded atomic counters and
+//!   log-bucketed latency histograms (p50/p90/p99 derivable from
+//!   bucket counts), merged on read. One [`Registry`] per hub replaces
+//!   the scattered per-layer counters (`CheckReport`'s
+//!   rechecked/reused/waves, the scheme bank's render hits, the
+//!   persistence layer's evictions) as the single source of truth,
+//!   exposed live through the protocol's `stats` (JSON) and `metrics`
+//!   (Prometheus text) commands.
+//! * [`trace`] — span/event tracing to JSONL, modeled on the
+//!   elaboration layer's evidence-sink pattern: emit sites are generic
+//!   over a [`TraceSink`] whose `ENABLED` associated const lets the
+//!   disabled instantiation ([`NoTrace`]) monomorphise to the exact
+//!   pre-tracing code. Records carry hierarchical ids (connection →
+//!   session → request → wave → binding) and per-phase durations.
+//!
+//! This crate is deliberately dependency-free (`std` only): it sits
+//! below every serving-layer crate and above none.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    bucket_le_ns, Cmd, CmdMetrics, CmdSnapshot, Counter, HistSnapshot, Histogram, LabeledCounter,
+    Registry, Snapshot, BUCKETS,
+};
+pub use trace::{
+    next_conn_id, next_session_id, JsonlSink, NoTrace, Record, Span, TraceCtx, TraceSink, Tracer,
+    Val, TRACE_ENV,
+};

@@ -34,6 +34,7 @@ use crate::hash::{hash_str, Fnv, U64Map};
 use freezeml_core::{
     Decl, InstantiationStrategy, Options, ParseError, Program, Span, Symbol, Term, Type, Var,
 };
+use freezeml_obs::{TraceCtx, Tracer};
 use fxhash::FxHashMap;
 use std::sync::Arc;
 
@@ -286,12 +287,28 @@ struct CachedChunk {
 #[derive(Default)]
 pub struct Frontend {
     chunks: U64Map<CachedChunk>,
+    /// Chunk lookups served from the cache (observability; plain
+    /// fields — the whole `Frontend` already sits behind the hub's
+    /// mutex).
+    hits: u64,
+    /// Chunk lookups that had to re-parse.
+    misses: u64,
 }
 
 impl Frontend {
     /// Number of cached declaration chunks (observability).
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// Chunk lookups served from the cache since process start.
+    pub fn parse_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Chunk lookups that re-parsed their slice.
+    pub fn parse_misses(&self) -> u64 {
+        self.misses
     }
 
     /// The raw source slices of every cached chunk — what the
@@ -426,17 +443,36 @@ pub fn analyze_cached(
     opts: &Options,
     engine: EngineSel,
 ) -> Result<Analysis, AnalyzeError> {
+    analyze_cached_traced(fe, src, opts, engine, &Tracer::off(), TraceCtx::default())
+}
+
+/// [`analyze_cached`] with trace context: the chunk-parsing loop and the
+/// dependency-graph construction each get a span (`parse`, `dep-graph`)
+/// on the given tracer, and chunk-cache hits/misses are counted on the
+/// frontend.
+pub fn analyze_cached_traced(
+    fe: &mut Frontend,
+    src: &str,
+    opts: &Options,
+    engine: EngineSel,
+    tracer: &Tracer,
+    ctx: TraceCtx,
+) -> Result<Analysis, AnalyzeError> {
     if fe.chunks.len() > 8192 {
         fe.chunks.clear(); // crude cap; the scheme cache is what matters
     }
     let mut pragmas = Vec::new();
     let mut decls = Vec::new();
     let mut content = Vec::new();
+    let parse_span = tracer.span("parse", ctx);
     for (start, end) in chunk_spans(src) {
         let slice = &src[start..end];
         let key = hash_str(slice);
         let hit = matches!(fe.chunks.get(&key), Some(c) if c.slice == slice);
-        if !hit {
+        if hit {
+            fe.hits += 1;
+        } else {
+            fe.misses += 1;
             let parsed = freezeml_core::parse_program(slice).map_err(|e| ParseError {
                 msg: e.msg,
                 pos: e.pos + start,
@@ -486,6 +522,8 @@ pub fn analyze_cached(
             content.push(hash_str(src.get(span.start..span.end).unwrap_or_default()));
         }
     }
+    drop(parse_span);
+    let _dep_span = tracer.span("dep-graph", ctx);
     Ok(build_analysis(pragmas, decls, content, src, opts, engine))
 }
 

@@ -30,7 +30,9 @@ type Job = (usize, Vec<(Var, SchemeId)>);
 use freezeml_core::{Options, Span, Type, TypeEnv, Var};
 use freezeml_engine::differential::{class_of, types_equivalent};
 use freezeml_engine::{SchemeBank, SchemeId, Session};
+use freezeml_obs::{NoTrace, Record, TraceCtx, TraceSink, Val};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// One worker: lazily-built engine sessions (with and without the
 /// Figure 2 prelude) plus the core-engine environments.
@@ -276,6 +278,11 @@ pub struct CheckReport {
     pub rechecked: usize,
     /// Bindings served from the scheme cache.
     pub reused: usize,
+    /// Bindings not checked this pass: a failed or blocked dependency,
+    /// or membership in an (unsupported) recursive group. Every pass
+    /// satisfies `rechecked + reused + blocked == bindings.len()` — the
+    /// accounting invariant the metrics registry carries forward.
+    pub blocked: usize,
     /// Topological waves that ran at least one inference job.
     pub waves: usize,
 }
@@ -320,6 +327,28 @@ impl Executor {
     /// served warm). Worker panics are contained per binding
     /// ([`check_contained`]); the executor and the hub survive them.
     pub fn run(&mut self, a: &Analysis, shared: &Shared) -> CheckReport {
+        self.run_traced(a, shared, TraceCtx::default())
+    }
+
+    /// [`Executor::run`] with trace context: per-wave and per-binding
+    /// spans go to the hub's tracer. The body is monomorphised over the
+    /// sink ([`freezeml_obs::TraceSink`]'s `ENABLED` const), so with
+    /// tracing off this compiles to exactly the untraced executor — no
+    /// clock reads, no record construction.
+    pub fn run_traced(&mut self, a: &Analysis, shared: &Shared, ctx: TraceCtx) -> CheckReport {
+        match shared.tracer().sink() {
+            Some(sink) => self.run_sink(a, shared, ctx, &**sink),
+            None => self.run_sink(a, shared, ctx, &NoTrace),
+        }
+    }
+
+    fn run_sink<S: TraceSink>(
+        &mut self,
+        a: &Analysis,
+        shared: &Shared,
+        ctx: TraceCtx,
+        sink: &S,
+    ) -> CheckReport {
         let n = a.decls.len();
         let use_prelude = a.uses_prelude;
         let bank = shared.bank();
@@ -328,9 +357,15 @@ impl Executor {
         // binding with this name panics inside the contained region.
         let panic_on = std::env::var("FREEZEML_TEST_PANIC_ON").ok();
         let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
-        let (mut rechecked, mut reused, mut waves) = (0usize, 0usize, 0usize);
+        let (mut rechecked, mut reused, mut blocked) = (0usize, 0usize, 0usize);
+        let mut waves = 0usize;
 
-        for wave in &a.cond.waves {
+        for (wave_no, wave) in a.cond.waves.iter().enumerate() {
+            let wave_t0 = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let mut jobs: Vec<Job> = Vec::new();
             for &c in wave {
                 let members = &a.cond.comps[c];
@@ -347,6 +382,7 @@ impl Executor {
                             ),
                         });
                     }
+                    blocked += members.len();
                     continue;
                 }
                 let i = members[0];
@@ -357,6 +393,7 @@ impl Executor {
                     outcomes[i] = Some(Outcome::Blocked {
                         on: a.decls[*bad].name().to_string(),
                     });
+                    blocked += 1;
                     continue;
                 }
                 if let Some(hit) = cache.get(a.keys[i]) {
@@ -380,7 +417,8 @@ impl Executor {
                 continue;
             }
             waves += 1;
-            rechecked += jobs.len();
+            let job_count = jobs.len();
+            rechecked += job_count;
 
             let k = self.workers.len().min(jobs.len());
             let mut chunks: Vec<Vec<Job>> = (0..k).map(|_| Vec::new()).collect();
@@ -404,10 +442,22 @@ impl Executor {
                     .expect("k == 1")
                     .into_iter()
                     .map(|(i, env)| {
-                        (
-                            i,
-                            check_contained(w, bank, use_prelude, &decls[i], &env, panic_name),
-                        )
+                        let t0 = if S::ENABLED {
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
+                        let o = check_contained(w, bank, use_prelude, &decls[i], &env, panic_name);
+                        if let Some(t0) = t0 {
+                            sink.emit(
+                                &Record::new("span", "infer")
+                                    .ctx(ctx)
+                                    .wave(wave_no as u64)
+                                    .binding(i as u64)
+                                    .dur(t0.elapsed()),
+                            );
+                        }
+                        (i, o)
                     })
                     .collect()
             } else {
@@ -422,17 +472,29 @@ impl Executor {
                                     chunk
                                         .into_iter()
                                         .map(|(i, env)| {
-                                            (
-                                                i,
-                                                check_contained(
-                                                    w,
-                                                    bank,
-                                                    use_prelude,
-                                                    &decls[i],
-                                                    &env,
-                                                    panic_name,
-                                                ),
-                                            )
+                                            let t0 = if S::ENABLED {
+                                                Some(Instant::now())
+                                            } else {
+                                                None
+                                            };
+                                            let o = check_contained(
+                                                w,
+                                                bank,
+                                                use_prelude,
+                                                &decls[i],
+                                                &env,
+                                                panic_name,
+                                            );
+                                            if let Some(t0) = t0 {
+                                                sink.emit(
+                                                    &Record::new("span", "infer")
+                                                        .ctx(ctx)
+                                                        .wave(wave_no as u64)
+                                                        .binding(i as u64)
+                                                        .dur(t0.elapsed()),
+                                                );
+                                            }
+                                            (i, o)
                                         })
                                         .collect::<Vec<_>>()
                                 })
@@ -464,7 +526,23 @@ impl Executor {
                 }
                 outcomes[i] = Some(o);
             }
+            if let Some(t0) = wave_t0 {
+                let extras = [("jobs", Val::U(job_count as u64))];
+                sink.emit(
+                    &Record::new("span", "wave")
+                        .ctx(ctx)
+                        .wave(wave_no as u64)
+                        .dur(t0.elapsed())
+                        .extras(&extras),
+                );
+            }
         }
+
+        // Every cache probe either served a reuse or became a job, so
+        // the pass totals are the verdict-cache hit/miss counts.
+        let m = shared.metrics();
+        m.verdict_hits.add(reused as u64);
+        m.verdict_misses.add(rechecked as u64);
 
         CheckReport {
             bindings: outcomes
@@ -478,6 +556,7 @@ impl Executor {
                 .collect(),
             rechecked,
             reused,
+            blocked,
             waves,
         }
     }

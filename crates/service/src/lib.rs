@@ -22,7 +22,8 @@
 //!   components concurrently in topological waves (`ENGINE=core|uf|both`
 //!   respected, `both` = per-binding differential agreement);
 //! * [`protocol`] / [`server`] — a line-oriented JSON protocol
-//!   (`open` / `edit` / `check` / `type-of` / `close`) served over
+//!   (`open` / `edit` / `check` / `type-of` / `close`, plus the
+//!   [`stats`] introspection pair `stats` / `metrics`) served over
 //!   stdin/stdout by the `freezeml` binary, plus [`load`], the
 //!   deterministic program generator and corpus-replay driver behind the
 //!   `service_throughput` bench and the CI smoke job.
@@ -54,9 +55,11 @@ pub mod server;
 pub mod service;
 pub mod shared;
 pub mod sock;
+pub mod stats;
 
 pub use db::{
-    analyze, analyze_cached, doc_key, doc_verify, Analysis, EngineSel, Frontend, Outcome,
+    analyze, analyze_cached, analyze_cached_traced, doc_key, doc_verify, Analysis, EngineSel,
+    Frontend, Outcome,
 };
 pub use exec::{BindingReport, CheckReport, Executor, Worker};
 pub use freezeml_engine::SchemeId;
@@ -67,3 +70,4 @@ pub use server::{serve, serve_with, ServeOptions};
 pub use service::{ElabInfo, Service, ServiceConfig, ServiceError};
 pub use shared::Shared;
 pub use sock::SocketServer;
+pub use stats::{prometheus_text, stats_json};

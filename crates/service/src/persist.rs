@@ -56,10 +56,11 @@ use crate::hash::Hasher64;
 use crate::shared::Shared;
 use freezeml_core::{Options, Span};
 use freezeml_engine::{PortableCon, PortableNode, SchemeId};
+use freezeml_obs::{Record, TraceCtx, Val};
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Snapshot file magic.
 const MAGIC: &[u8; 4] = b"FZSC";
@@ -556,6 +557,7 @@ fn portable_outcome(o: &Outcome, idx_of: &dyn Fn(SchemeId) -> Option<u32>) -> Op
 /// I/O failures creating or writing the cache directory. The previous
 /// snapshot, if any, survives any failure.
 pub fn save(shared: &Shared, epoch: u64, cfg: &PersistConfig) -> io::Result<SaveOutcome> {
+    let t0 = Instant::now();
     let generation = shared.cache().generation();
 
     // Collect candidates, newest generation first.
@@ -646,6 +648,7 @@ pub fn save(shared: &Shared, epoch: u64, cfg: &PersistConfig) -> io::Result<Save
         Ok(b) => b,
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
+            shared.metrics().checkpoint_failures.inc();
             return Err(e);
         }
     };
@@ -664,6 +667,21 @@ pub fn save(shared: &Shared, epoch: u64, cfg: &PersistConfig) -> io::Result<Save
         shared.note_evictions(evicted);
     }
     shared.cache().advance_generation();
+
+    // Checkpoint-thread wiring: duration, bytes, and per-save evictions
+    // land in the registry (and one `snapshot-save` span on the tracer)
+    // whether the save came from the checkpointer, `finish`, or an
+    // explicit `save_cache`.
+    let m = shared.metrics();
+    m.checkpoints.inc();
+    m.checkpoint_bytes.add(bytes);
+    m.checkpoint_duration.record(t0.elapsed());
+    let extras = [("bytes", Val::U(bytes)), ("evicted", Val::U(evicted))];
+    shared.tracer().emit(
+        &Record::new("span", "snapshot-save")
+            .dur(t0.elapsed())
+            .extras(&extras),
+    );
 
     Ok(SaveOutcome {
         bytes,
@@ -760,24 +778,67 @@ fn build_snapshot(shared: &Shared, kept: &[Item], chunks: &[String]) -> (Decoded
 /// truncation, checksum mismatch, malformed payload — is a cold start
 /// reported in the outcome, never an error or a partial application.
 pub fn load(shared: &Shared, epoch_now: u64, cfg: &PersistConfig) -> LoadOutcome {
+    let t0 = Instant::now();
     let path = cfg.file();
     let data = match std::fs::read(&path) {
         Ok(d) => d,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::default(),
-        Err(e) => return cold(format!("cannot read {}: {e}", path.display())),
+        Err(e) => return cold(shared, format!("cannot read {}: {e}", path.display())),
     };
     let (generation, payload) = match validate(&data, epoch_now) {
         Ok(p) => p,
-        Err(w) => return cold(w),
+        Err(w) => return cold(shared, w),
     };
     let snapshot = match decode_payload(payload) {
         Ok(s) => s,
-        Err(w) => return cold(format!("malformed payload: {w}")),
+        Err(w) => return cold(shared, format!("malformed payload: {w}")),
     };
-    apply(shared, generation, snapshot)
+    let out = apply(shared, generation, snapshot);
+    if out.loaded {
+        shared.metrics().cache_loads.inc();
+        let extras = [("entries", Val::U(out.entries as u64))];
+        shared.tracer().emit(
+            &Record::new("span", "snapshot-load")
+                .dur(t0.elapsed())
+                .extras(&extras),
+        );
+    }
+    out
 }
 
-fn cold(warning: String) -> LoadOutcome {
+/// Classify a cold-fallback warning into a small stable label set for
+/// the `cache_load_failures` counter.
+fn failure_reason(warning: &str) -> &'static str {
+    if warning.contains("too short") || warning.contains("payload length") {
+        "truncated"
+    } else if warning.contains("bad magic") {
+        "magic"
+    } else if warning.contains("format version") {
+        "version"
+    } else if warning.contains("epoch mismatch") {
+        "epoch"
+    } else if warning.contains("checksum mismatch") {
+        "checksum"
+    } else if warning.contains("malformed payload") {
+        "malformed"
+    } else if warning.contains("cannot read") {
+        "io"
+    } else {
+        "other"
+    }
+}
+
+/// A cold start with a warning: the structured replacement for what
+/// used to be an unstructured stderr line — the reason lands on the
+/// `cache_load_failures` labeled counter and a `warn` trace record.
+fn cold(shared: &Shared, warning: String) -> LoadOutcome {
+    let reason = failure_reason(&warning);
+    shared.metrics().cache_load_failures.inc(reason);
+    shared.tracer().warn(
+        "cold-fallback",
+        TraceCtx::default(),
+        &[("reason", Val::S(reason)), ("detail", Val::S(&warning))],
+    );
     LoadOutcome {
         warning: Some(warning),
         ..LoadOutcome::default()
@@ -825,7 +886,7 @@ fn apply(shared: &Shared, generation: u64, snapshot: DecodedSnapshot) -> LoadOut
     let bank = shared.bank();
     let absorbed = match bank.absorb_snapshot(&snapshot.nodes) {
         Ok(a) => a,
-        Err(e) => return cold(e.to_string()),
+        Err(e) => return cold(shared, e.to_string()),
     };
 
     // Reinstate renderings before any entry can demand one, so the warm
@@ -886,6 +947,7 @@ fn apply(shared: &Shared, generation: u64, snapshot: DecodedSnapshot) -> LoadOut
                 bindings,
                 rechecked: 0,
                 reused: n,
+                blocked: 0,
                 waves: 0,
             };
             shared.insert_doc_report_with_gen(*key, *verify, Arc::new(report), *gen);
@@ -956,8 +1018,31 @@ impl Checkpointer {
                         return;
                     }
                     if timeout.timed_out() {
-                        if let Err(e) = save(&shared, epoch, &cfg) {
-                            eprintln!("freezeml: cache: checkpoint failed: {e}");
+                        let t0 = Instant::now();
+                        match save(&shared, epoch, &cfg) {
+                            Ok(out) => {
+                                let extras = [
+                                    ("bytes", Val::U(out.bytes)),
+                                    ("evicted", Val::U(out.evicted)),
+                                ];
+                                shared.tracer().emit(
+                                    &Record::new("span", "checkpoint")
+                                        .dur(t0.elapsed())
+                                        .extras(&extras),
+                                );
+                            }
+                            // The structured replacement for the old
+                            // stderr line: the failure is already on
+                            // `checkpoint_failures` (counted in `save`),
+                            // and the detail goes to the tracer.
+                            Err(e) => {
+                                let detail = e.to_string();
+                                shared.tracer().warn(
+                                    "checkpoint-failed",
+                                    TraceCtx::default(),
+                                    &[("error", Val::S(&detail))],
+                                );
+                            }
                         }
                     }
                 }

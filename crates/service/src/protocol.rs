@@ -13,7 +13,17 @@
 //! {"cmd":"type-of","doc":"main","name":"x"}
 //! {"cmd":"elaborate","doc":"main","name":"x"}
 //! {"cmd":"close","doc":"main"}
+//! {"cmd":"stats"}
+//! {"cmd":"metrics"}
 //! ```
+//!
+//! `stats` answers one JSON object snapshotting the hub's metrics
+//! registry (per-command latency histograms, cache hit rates, report
+//! counters, persistence activity); `metrics` answers the same data as
+//! Prometheus text exposition in `{"ok":true,"metrics":"…"}`. Both are
+//! introspection commands and take **no** fields beyond `cmd` — any
+//! extra field is answered with a structured error, line for line, so a
+//! typo'd query can never be mistaken for a valid one.
 //!
 //! `elaborate` serves the binding's System F image (canonical
 //! rendering) with its type; the image is verified against the
@@ -21,13 +31,17 @@
 //! response always carries `"checked":true`.
 //!
 //! `open`/`edit`/`check` respond with the full per-binding report plus
-//! the incremental counters (`rechecked`, `reused`, `waves`); errors
+//! the incremental counters (`rechecked`, `reused`, `blocked`,
+//! `waves`); errors
 //! respond `{"ok":false,"error":{…}}` with `line`/`col` when the failure
 //! has a source position.
 
 use crate::exec::CheckReport;
 use crate::service::{Service, ServiceError};
+use crate::stats;
+use freezeml_obs::Cmd;
 use std::fmt;
+use std::time::Instant;
 
 // ------------------------------------------------------------------ JSON
 
@@ -418,6 +432,10 @@ pub enum Request {
         /// Document id.
         doc: String,
     },
+    /// Snapshot the hub's metrics registry as one JSON object.
+    Stats,
+    /// Render the hub's metrics as Prometheus text exposition.
+    Metrics,
 }
 
 impl Request {
@@ -467,6 +485,22 @@ impl Request {
                 name: field("name")?,
             }),
             "close" => Ok(Request::Close { doc: field("doc")? }),
+            // Introspection commands are strict: the forgiving
+            // extra-fields-ignored stance of the data commands would
+            // let a typo'd query (`{"cmd":"stats","doc":…}`) silently
+            // answer something the caller did not ask about.
+            "stats" | "metrics" => {
+                if let Json::Obj(fields) = v {
+                    if let Some((k, _)) = fields.iter().find(|(k, _)| k != "cmd") {
+                        return Err(format!("`{cmd}` takes no field `{k}` (only `cmd`)"));
+                    }
+                }
+                Ok(if cmd == "stats" {
+                    Request::Stats
+                } else {
+                    Request::Metrics
+                })
+            }
             other => Err(format!("unknown cmd `{other}`")),
         }
     }
@@ -502,6 +536,8 @@ impl Request {
                 ("cmd", Json::Str("close".into())),
                 ("doc", Json::Str(doc.clone())),
             ]),
+            Request::Stats => Json::obj([("cmd", Json::Str("stats".into()))]),
+            Request::Metrics => Json::obj([("cmd", Json::Str("metrics".into()))]),
         }
     }
 }
@@ -558,6 +594,7 @@ pub fn report_json(doc: &str, report: &CheckReport, src: &str) -> Json {
         ("bindings", Json::Arr(bindings)),
         ("rechecked", Json::Num(report.rechecked as f64)),
         ("reused", Json::Num(report.reused as f64)),
+        ("blocked", Json::Num(report.blocked as f64)),
         ("waves", Json::Num(report.waves as f64)),
     ])
 }
@@ -642,6 +679,11 @@ pub fn handle(svc: &mut Service, req: &Request) -> Json {
             ("ok", Json::Bool(true)),
             ("closed", Json::Bool(svc.close(doc))),
         ]),
+        Request::Stats => stats::stats_json(svc.shared()),
+        Request::Metrics => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("metrics", Json::Str(stats::prometheus_text(svc.shared()))),
+        ]),
     }
 }
 
@@ -652,11 +694,22 @@ fn request_error(msg: String) -> Json {
     ])
 }
 
+/// Is this response an error (`"ok":false`)?
+fn is_error_response(resp: &Json) -> bool {
+    resp.get("ok") == Some(&Json::Bool(false))
+}
+
 fn handle_value(svc: &mut Service, v: &Json) -> Json {
-    match Request::from_json(v) {
-        Ok(req) => handle(svc, &req),
-        Err(msg) => request_error(msg),
-    }
+    svc.begin_request();
+    let t0 = Instant::now();
+    let (cmd, resp) = match Request::from_json(v) {
+        Ok(req) => (stats::cmd_of(&req), handle(svc, &req)),
+        Err(msg) => (Cmd::Invalid, request_error(msg)),
+    };
+    svc.shared()
+        .metrics()
+        .record_request(cmd, t0.elapsed(), is_error_response(&resp));
+    resp
 }
 
 /// Handle one raw request line (bad JSON / unknown commands become error
@@ -670,7 +723,13 @@ fn handle_value(svc: &mut Service, v: &Json) -> Json {
 /// rest of the batch still runs.
 pub fn handle_line(svc: &mut Service, line: &str) -> Json {
     match Json::parse(line) {
-        Err(e) => request_error(e.to_string()),
+        Err(e) => {
+            svc.begin_request();
+            svc.shared()
+                .metrics()
+                .record_request(Cmd::Invalid, std::time::Duration::ZERO, true);
+            request_error(e.to_string())
+        }
         Ok(Json::Arr(items)) => Json::Arr(items.iter().map(|v| handle_value(svc, v)).collect()),
         Ok(v) => handle_value(svc, &v),
     }

@@ -18,7 +18,9 @@
 
 use crate::protocol::{handle_line, Json};
 use crate::service::Service;
+use freezeml_obs::Val;
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Serving limits. `Default` is the CLI's configuration.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +29,11 @@ pub struct ServeOptions {
     /// requests are rejected with a structured error; the line is
     /// consumed without being buffered.
     pub max_request_bytes: usize,
+    /// Slow-request threshold: a request line whose handling takes at
+    /// least this many milliseconds bumps the `slow_requests` counter
+    /// and emits a structured `slow-request` trace event. `None`
+    /// disables the slow log.
+    pub slow_ms: Option<u64>,
 }
 
 /// Default request cap: a few MiB — generous for whole-document `open`
@@ -38,6 +45,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            slow_ms: None,
         }
     }
 }
@@ -149,7 +157,21 @@ pub fn serve_with<R: BufRead, W: Write>(
                     if line.trim().is_empty() {
                         continue;
                     }
-                    handle_line(svc, line)
+                    let t0 = Instant::now();
+                    let resp = handle_line(svc, line);
+                    if let Some(limit) = opts.slow_ms {
+                        let ms = t0.elapsed().as_millis() as u64;
+                        if ms >= limit {
+                            let shared = svc.shared();
+                            shared.metrics().slow_requests.inc();
+                            shared.tracer().event(
+                                "slow-request",
+                                svc.trace_ctx(),
+                                &[("ms", Val::U(ms)), ("bytes", Val::U(line.len() as u64))],
+                            );
+                        }
+                    }
+                    resp
                 }
             },
         };
@@ -247,6 +269,7 @@ mod tests {
         // memory without bound. The cap drains instead of buffering.
         let opts = ServeOptions {
             max_request_bytes: 64,
+            ..ServeOptions::default()
         };
         let mut script: Vec<u8> = Vec::new();
         script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
@@ -275,6 +298,7 @@ mod tests {
     fn an_unterminated_final_line_and_oversized_eof_are_served() {
         let opts = ServeOptions {
             max_request_bytes: 16,
+            ..ServeOptions::default()
         };
         // No trailing newline on either request; the second is over cap.
         let mut svc = uf_service(1);

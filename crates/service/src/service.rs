@@ -23,11 +23,12 @@
 //! assert_eq!((r.rechecked, r.reused), (1, 2));
 //! ```
 
-use crate::db::{analyze_cached, doc_key, doc_verify, Analysis, EngineSel, Outcome};
+use crate::db::{analyze_cached_traced, doc_key, doc_verify, Analysis, EngineSel, Outcome};
 use crate::exec::{BindingReport, CheckReport, Executor, INTERNAL_ERROR_CLASS};
 use crate::persist::{self, LoadOutcome, PersistConfig, SaveOutcome};
 use crate::shared::Shared;
 use freezeml_core::{Options, ParseError};
+use freezeml_obs::{next_session_id, TraceCtx};
 use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -94,10 +95,12 @@ impl Document {
         shared: &Shared,
         opts: &Options,
         engine: EngineSel,
+        ctx: TraceCtx,
     ) -> &Result<Analysis, ParseError> {
         self.analysis.get_or_init(|| {
+            let tracer = shared.tracer().clone();
             let mut frontend = shared.frontend();
-            analyze_cached(&mut frontend, &self.text, opts, engine)
+            analyze_cached_traced(&mut frontend, &self.text, opts, engine, &tracer, ctx)
         })
     }
 }
@@ -111,6 +114,7 @@ fn warmed(report: &CheckReport) -> CheckReport {
         bindings: report.bindings.clone(),
         rechecked: 0,
         reused: report.bindings.len(),
+        blocked: 0,
         waves: 0,
     }
 }
@@ -137,6 +141,10 @@ pub struct Service {
     shared: Arc<Shared>,
     /// Where to persist the hub's warm state, when `--cache-dir` is on.
     persist_cfg: Option<PersistConfig>,
+    /// This session's trace ids: `conn` is 0 for stdio services until
+    /// [`Service::set_conn`], `sess` is process-unique, `req` counts
+    /// requests ([`Service::begin_request`]).
+    ctx: TraceCtx,
 }
 
 impl Service {
@@ -151,13 +159,51 @@ impl Service {
     /// mixed configurations: cache keys fingerprint the options and
     /// engine ([`crate::db`]).
     pub fn with_shared(cfg: ServiceConfig, shared: Arc<Shared>) -> Service {
+        shared.metrics().sessions.inc();
         Service {
             exec: Executor::new(cfg.workers, cfg.opts, cfg.engine),
             cfg,
             docs: HashMap::new(),
             shared,
             persist_cfg: None,
+            ctx: TraceCtx {
+                conn: 0,
+                sess: next_session_id(),
+                req: 0,
+            },
         }
+    }
+
+    /// Attach the socket connection id this session serves (trace
+    /// hierarchy: connection → session → request).
+    pub fn set_conn(&mut self, conn: u64) {
+        self.ctx.conn = conn;
+    }
+
+    /// Start a new request: bump the per-session request id and return
+    /// the trace context request-scoped emit sites should carry.
+    pub fn begin_request(&mut self) -> TraceCtx {
+        self.ctx.req += 1;
+        self.ctx
+    }
+
+    /// The current trace context (ids of the request most recently
+    /// begun).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.ctx
+    }
+
+    /// Fold a produced or served report into the hub's metrics
+    /// registry — every report a client sees is counted exactly once,
+    /// whether it came off the executor, the document-report cache, or
+    /// a persisted snapshot.
+    fn note_report(&self, report: &CheckReport) {
+        let m = self.shared.metrics();
+        m.bindings.add(report.bindings.len() as u64);
+        m.rechecked.add(report.rechecked as u64);
+        m.reused.add(report.reused as u64);
+        m.blocked.add(report.blocked as u64);
+        m.waves.add(report.waves as u64);
     }
 
     /// Attach an on-disk cache directory: load any valid snapshot into
@@ -232,7 +278,12 @@ impl Service {
         // or a previous process via the persisted cache — is served
         // without parsing, analysing, or scheduling anything.
         let dkey = doc_key(text, &self.cfg.opts, self.cfg.engine);
-        if let Some(report) = self.shared.doc_report(dkey, doc_verify(text)) {
+        let probed = {
+            let _sp = self.shared.tracer().span("cache-probe", self.ctx);
+            self.shared.doc_report(dkey, doc_verify(text))
+        };
+        if let Some(report) = probed {
+            self.note_report(&report);
             let entry = self.docs.entry(doc.to_string()).or_insert(Document {
                 text: String::new(),
                 analysis: OnceCell::new(),
@@ -246,8 +297,16 @@ impl Service {
             return Ok(entry.report.as_deref().expect("just stored"));
         }
         let analyzed = {
+            let tracer = self.shared.tracer().clone();
             let mut frontend = self.shared.frontend();
-            analyze_cached(&mut frontend, text, &self.cfg.opts, self.cfg.engine)
+            analyze_cached_traced(
+                &mut frontend,
+                text,
+                &self.cfg.opts,
+                self.cfg.engine,
+                &tracer,
+                self.ctx,
+            )
         };
         match analyzed {
             Ok(analysis) => {
@@ -317,14 +376,31 @@ impl Service {
             .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
         let dkey = doc_key(&entry.text, &self.cfg.opts, self.cfg.engine);
         let dverify = doc_verify(&entry.text);
-        if let Some(report) = self.shared.doc_report(dkey, dverify) {
+        let probed = {
+            let _sp = self.shared.tracer().span("cache-probe", self.ctx);
+            self.shared.doc_report(dkey, dverify)
+        };
+        if let Some(report) = probed {
+            let m = self.shared.metrics();
+            m.bindings.add(report.bindings.len() as u64);
+            m.rechecked.add(report.rechecked as u64);
+            m.reused.add(report.reused as u64);
+            m.blocked.add(report.blocked as u64);
+            m.waves.add(report.waves as u64);
             entry.report = Some(report);
             return Ok(entry.report.as_deref().expect("just stored"));
         }
-        match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine) {
+        match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine, self.ctx) {
             Err(e) => Err(ServiceError::Parse(e.clone())),
             Ok(a) => {
-                let report = self.exec.run(a, &self.shared);
+                let report = self.exec.run_traced(a, &self.shared, self.ctx);
+                // (inline `note_report`: `entry` still borrows `docs`)
+                let m = self.shared.metrics();
+                m.bindings.add(report.bindings.len() as u64);
+                m.rechecked.add(report.rechecked as u64);
+                m.reused.add(report.reused as u64);
+                m.blocked.add(report.blocked as u64);
+                m.waves.add(report.waves as u64);
                 if report_cacheable(&report) {
                     self.shared
                         .record_doc_report(dkey, dverify, Arc::new(warmed(&report)));
@@ -384,11 +460,12 @@ impl Service {
         use freezeml_translate::elaborate::{check_sound, images_agree};
         use freezeml_translate::ElabEngine;
 
+        let _sp = self.shared.tracer().span("elaborate", self.ctx);
         let entry = self
             .docs
             .get(doc)
             .ok_or_else(|| ServiceError::UnknownDoc(doc.to_string()))?;
-        let a = match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine) {
+        let a = match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine, self.ctx) {
             Ok(a) => a,
             Err(e) => return Err(ServiceError::Parse(e.clone())),
         };

@@ -33,8 +33,9 @@ use crate::db::{Frontend, Outcome};
 use crate::exec::CheckReport;
 use crate::hash::U64Map;
 use freezeml_engine::SchemeBank;
+use freezeml_obs::{Registry, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Stripe count for the outcome cache. Matches the scheme bank's shard
 /// count — plenty of lock granularity for a worker pool.
@@ -158,9 +159,15 @@ pub struct Shared {
     /// every outcome is cacheable (no disagreements, no internal
     /// errors), the same rule as the per-binding cache.
     doc_reports: Mutex<U64Map<DocSlot>>,
-    /// Entries dropped by persistence-layer eviction (observability;
-    /// surfaced in `check` stats).
-    evicted: AtomicU64,
+    /// The metrics registry — the single source of truth for every
+    /// counter the serving stack exposes ([`freezeml_obs::metrics`]),
+    /// including the persistence layer's eviction count.
+    metrics: Registry,
+    /// The trace sink every session and the checkpoint thread share.
+    /// Lazily initialised from the `FREEZEML_TRACE` environment on
+    /// first use unless [`Shared::set_tracer`] installed one first
+    /// (the `--trace` flag does).
+    tracer: OnceLock<Tracer>,
 }
 
 impl Shared {
@@ -200,12 +207,19 @@ impl Shared {
     pub fn doc_report(&self, key: u64, verify: u64) -> Option<Arc<CheckReport>> {
         let gen = self.cache.generation();
         let mut g = self.doc_lock();
-        let slot = g.get_mut(&key)?;
-        if slot.verify != verify {
-            return None;
+        let hit = g.get_mut(&key).and_then(|slot| {
+            if slot.verify != verify {
+                return None;
+            }
+            slot.gen = gen;
+            Some(Arc::clone(&slot.report))
+        });
+        if hit.is_some() {
+            self.metrics.doc_hits.inc();
+        } else {
+            self.metrics.doc_misses.inc();
         }
-        slot.gen = gen;
-        Some(Arc::clone(&slot.report))
+        hit
     }
 
     /// Record a whole-document report at the current generation.
@@ -232,11 +246,30 @@ impl Shared {
 
     /// Cache entries evicted by the persistence layer so far.
     pub fn evictions(&self) -> u64 {
-        self.evicted.load(Ordering::Relaxed)
+        self.metrics.evictions.get()
     }
 
     pub(crate) fn note_evictions(&self, n: u64) {
-        self.evicted.fetch_add(n, Ordering::Relaxed);
+        self.metrics.evictions.add(n);
+    }
+
+    /// The hub's metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The hub's tracer: the one installed by [`Shared::set_tracer`],
+    /// else lazily built from the `FREEZEML_TRACE` environment (off
+    /// when unset).
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer.get_or_init(Tracer::from_env)
+    }
+
+    /// Install a tracer (e.g. from `--trace FILE`). Returns `false` if
+    /// one was already resolved — first installer wins, matching the
+    /// `OnceLock` underneath.
+    pub fn set_tracer(&self, tracer: Tracer) -> bool {
+        self.tracer.set(tracer).is_ok()
     }
 
     /// Snapshot the document reports as `(key, verify, generation,

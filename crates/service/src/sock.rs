@@ -21,6 +21,7 @@
 use crate::server::{serve_with, ServeOptions};
 use crate::service::{Service, ServiceConfig};
 use crate::shared::Shared;
+use freezeml_obs::next_conn_id;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -143,6 +144,12 @@ fn session_thread(
             return; // channel closed: server shutting down
         };
         let mut svc = Service::with_shared(cfg, Arc::clone(&shared));
+        // Every accepted connection gets a process-unique id: the root
+        // of the connection→session→request trace hierarchy.
+        let conn_id = next_conn_id();
+        svc.set_conn(conn_id);
+        shared.metrics().connections.inc();
+        shared.tracer().event("connection", svc.trace_ctx(), &[]);
         let (reader, writer) = match conn.try_clone() {
             Ok(r) => (BufReader::new(r), conn),
             Err(_) => continue,

@@ -1,0 +1,459 @@
+//! Live exposition of the hub's metrics: the `stats` (JSON snapshot)
+//! and `metrics` (Prometheus text) protocol commands.
+//!
+//! Everything here reads the hub's [`freezeml_obs::Registry`] plus the
+//! live structure sizes (scheme bank, caches, parse frontend) — the
+//! same numbers `CheckReport` counters sum to, now queryable from a
+//! running server instead of reconstructed offline. Latencies come out
+//! of the log-bucketed histograms as both derived percentiles
+//! (`p50_us`/`p90_us`/`p99_us`, octave-accurate) and the raw non-empty
+//! buckets, so a client can compute any quantile itself.
+//!
+//! The Prometheus rendering is the plain text exposition format:
+//! `# TYPE` lines, `counter`/`gauge`/`histogram` kinds, cumulative
+//! `_bucket{le="…"}` series (in seconds) with `_sum`/`_count`. Bucket
+//! series are emitted sparsely — only where the cumulative count
+//! changes, plus `+Inf` — which is valid exposition and keeps the
+//! payload proportional to observed spread, not to the 40-bucket
+//! domain.
+
+use crate::protocol::Json;
+use crate::shared::Shared;
+use freezeml_obs::{bucket_le_ns, Cmd, HistSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Microseconds (JSON exposition unit) from a nanosecond value.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// A latency histogram as JSON: derived percentiles plus the non-empty
+/// buckets as `[le_us, count]` pairs.
+fn hist_json(h: &HistSnapshot) -> Json {
+    let buckets: Vec<Json> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let le = if bucket_le_ns(i) == u64::MAX {
+                Json::Str("+Inf".into())
+            } else {
+                Json::Num(us(bucket_le_ns(i)))
+            };
+            Json::Arr(vec![le, Json::Num(c as f64)])
+        })
+        .collect();
+    Json::obj([
+        ("count", Json::Num(h.count() as f64)),
+        ("p50_us", Json::Num(us(h.p50_ns()))),
+        ("p90_us", Json::Num(us(h.p90_ns()))),
+        ("p99_us", Json::Num(us(h.p99_ns()))),
+        ("mean_us", Json::Num(us(h.mean_ns()))),
+        ("buckets_us", Json::Arr(buckets)),
+    ])
+}
+
+fn rate(hits: u64, misses: u64) -> Json {
+    let total = hits + misses;
+    if total == 0 {
+        Json::Null
+    } else {
+        Json::Num(hits as f64 / total as f64)
+    }
+}
+
+/// The `stats` response: one JSON object snapshotting every counter,
+/// cache, and latency histogram the hub tracks.
+pub fn stats_json(shared: &Shared) -> Json {
+    let s = shared.metrics().snapshot();
+    let (parse_hits, parse_misses, chunks) = {
+        let fe = shared.frontend();
+        (fe.parse_hits(), fe.parse_misses(), fe.chunk_count())
+    };
+    let bank = shared.bank();
+
+    let commands = Json::Obj(
+        s.commands
+            .iter()
+            .filter(|c| c.count > 0)
+            .map(|c| {
+                (c.cmd.name().to_string(), {
+                    let mut o = vec![
+                        ("count".to_string(), Json::Num(c.count as f64)),
+                        ("errors".to_string(), Json::Num(c.errors as f64)),
+                    ];
+                    if let Json::Obj(h) = hist_json(&c.latency) {
+                        // The histogram's own `count` duplicates ours.
+                        o.extend(h.into_iter().filter(|(k, _)| k != "count"));
+                    }
+                    Json::Obj(o)
+                })
+            })
+            .collect(),
+    );
+
+    let load_failures = Json::Obj(
+        s.cache_load_failures
+            .iter()
+            .map(|(reason, n)| (reason.clone(), Json::Num(*n as f64)))
+            .collect(),
+    );
+
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("commands", commands),
+        ("sessions", Json::Num(s.sessions as f64)),
+        ("connections", Json::Num(s.connections as f64)),
+        ("slow_requests", Json::Num(s.slow_requests as f64)),
+        (
+            "reports",
+            Json::obj([
+                ("bindings", Json::Num(s.bindings as f64)),
+                ("rechecked", Json::Num(s.rechecked as f64)),
+                ("reused", Json::Num(s.reused as f64)),
+                ("blocked", Json::Num(s.blocked as f64)),
+                ("waves", Json::Num(s.waves as f64)),
+            ]),
+        ),
+        (
+            "caches",
+            Json::obj([
+                (
+                    "verdict",
+                    Json::obj([
+                        ("hits", Json::Num(s.verdict_hits as f64)),
+                        ("misses", Json::Num(s.verdict_misses as f64)),
+                        ("hit_rate", rate(s.verdict_hits, s.verdict_misses)),
+                        ("entries", Json::Num(shared.cache().len() as f64)),
+                    ]),
+                ),
+                (
+                    "doc",
+                    Json::obj([
+                        ("hits", Json::Num(s.doc_hits as f64)),
+                        ("misses", Json::Num(s.doc_misses as f64)),
+                        ("hit_rate", rate(s.doc_hits, s.doc_misses)),
+                        ("entries", Json::Num(shared.doc_reports_len() as f64)),
+                    ]),
+                ),
+                (
+                    "parse",
+                    Json::obj([
+                        ("hits", Json::Num(parse_hits as f64)),
+                        ("misses", Json::Num(parse_misses as f64)),
+                        ("hit_rate", rate(parse_hits, parse_misses)),
+                        ("entries", Json::Num(chunks as f64)),
+                    ]),
+                ),
+                (
+                    "scheme",
+                    Json::obj([
+                        ("renders", Json::Num(bank.renders() as f64)),
+                        ("render_hits", Json::Num(bank.render_hits() as f64)),
+                        ("nodes", Json::Num(bank.len() as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "persistence",
+            Json::obj([
+                ("evictions", Json::Num(s.evictions as f64)),
+                ("loads", Json::Num(s.cache_loads as f64)),
+                ("load_failures", load_failures),
+                ("checkpoints", Json::Num(s.checkpoints as f64)),
+                (
+                    "checkpoint_failures",
+                    Json::Num(s.checkpoint_failures as f64),
+                ),
+                ("checkpoint_bytes", Json::Num(s.checkpoint_bytes as f64)),
+                ("checkpoint", hist_json(&s.checkpoint_duration)),
+                ("generation", Json::Num(shared.cache().generation() as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+fn write_counter(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn write_gauge(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One histogram's cumulative bucket/sum/count series, with an
+/// optional fixed label pair (the `# TYPE` line is the caller's).
+fn write_hist_series(out: &mut String, name: &str, label: Option<(&str, &str)>, h: &HistSnapshot) {
+    let lbl = |extra: &str| -> String {
+        match label {
+            Some((k, v)) => {
+                if extra.is_empty() {
+                    format!("{{{k}=\"{v}\"}}")
+                } else {
+                    format!("{{{k}=\"{v}\",{extra}}}")
+                }
+            }
+            None => {
+                if extra.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{extra}}}")
+                }
+            }
+        }
+    };
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let le = bucket_le_ns(i);
+        if le == u64::MAX {
+            continue; // folded into +Inf below
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            lbl(&format!("le=\"{}\"", seconds(le)))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", lbl("le=\"+Inf\""), h.count());
+    let _ = writeln!(out, "{name}_sum{} {}", lbl(""), seconds(h.sum_ns));
+    let _ = writeln!(out, "{name}_count{} {}", lbl(""), h.count());
+}
+
+/// The `metrics` response body: Prometheus plain-text exposition of the
+/// full registry plus live structure sizes.
+pub fn prometheus_text(shared: &Shared) -> String {
+    let s: Snapshot = shared.metrics().snapshot();
+    let (parse_hits, parse_misses, chunks) = {
+        let fe = shared.frontend();
+        (fe.parse_hits(), fe.parse_misses(), fe.chunk_count())
+    };
+    let bank = shared.bank();
+    let mut out = String::with_capacity(4096);
+
+    let _ = writeln!(out, "# TYPE freezeml_requests_total counter");
+    for c in &s.commands {
+        let _ = writeln!(
+            out,
+            "freezeml_requests_total{{cmd=\"{}\"}} {}",
+            c.cmd.name(),
+            c.count
+        );
+    }
+    let _ = writeln!(out, "# TYPE freezeml_request_errors_total counter");
+    for c in &s.commands {
+        let _ = writeln!(
+            out,
+            "freezeml_request_errors_total{{cmd=\"{}\"}} {}",
+            c.cmd.name(),
+            c.errors
+        );
+    }
+    let _ = writeln!(out, "# TYPE freezeml_request_latency_seconds histogram");
+    for c in &s.commands {
+        if c.count > 0 {
+            write_hist_series(
+                &mut out,
+                "freezeml_request_latency_seconds",
+                Some(("cmd", c.cmd.name())),
+                &c.latency,
+            );
+        }
+    }
+
+    write_counter(&mut out, "freezeml_connections_total", s.connections);
+    write_counter(&mut out, "freezeml_sessions_total", s.sessions);
+    write_counter(&mut out, "freezeml_slow_requests_total", s.slow_requests);
+
+    write_counter(&mut out, "freezeml_report_bindings_total", s.bindings);
+    write_counter(&mut out, "freezeml_report_rechecked_total", s.rechecked);
+    write_counter(&mut out, "freezeml_report_reused_total", s.reused);
+    write_counter(&mut out, "freezeml_report_blocked_total", s.blocked);
+    write_counter(&mut out, "freezeml_report_waves_total", s.waves);
+
+    let _ = writeln!(out, "# TYPE freezeml_cache_hits_total counter");
+    for (cache, n) in [
+        ("verdict", s.verdict_hits),
+        ("doc", s.doc_hits),
+        ("parse", parse_hits),
+        ("render", bank.render_hits()),
+    ] {
+        let _ = writeln!(out, "freezeml_cache_hits_total{{cache=\"{cache}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE freezeml_cache_misses_total counter");
+    for (cache, n) in [
+        ("verdict", s.verdict_misses),
+        ("doc", s.doc_misses),
+        ("parse", parse_misses),
+    ] {
+        let _ = writeln!(out, "freezeml_cache_misses_total{{cache=\"{cache}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE freezeml_cache_entries gauge");
+    for (cache, n) in [
+        ("verdict", shared.cache().len()),
+        ("doc", shared.doc_reports_len()),
+        ("parse", chunks),
+    ] {
+        let _ = writeln!(out, "freezeml_cache_entries{{cache=\"{cache}\"}} {n}");
+    }
+    write_gauge(&mut out, "freezeml_scheme_nodes", bank.len() as u64);
+    write_counter(&mut out, "freezeml_scheme_renders_total", bank.renders());
+
+    write_counter(&mut out, "freezeml_cache_evictions_total", s.evictions);
+    write_counter(&mut out, "freezeml_cache_loads_total", s.cache_loads);
+    let _ = writeln!(out, "# TYPE freezeml_cache_load_failures_total counter");
+    for (reason, n) in &s.cache_load_failures {
+        let _ = writeln!(
+            out,
+            "freezeml_cache_load_failures_total{{reason=\"{reason}\"}} {n}"
+        );
+    }
+    write_counter(&mut out, "freezeml_checkpoints_total", s.checkpoints);
+    write_counter(
+        &mut out,
+        "freezeml_checkpoint_failures_total",
+        s.checkpoint_failures,
+    );
+    write_counter(
+        &mut out,
+        "freezeml_checkpoint_bytes_total",
+        s.checkpoint_bytes,
+    );
+    let _ = writeln!(out, "# TYPE freezeml_checkpoint_seconds histogram");
+    write_hist_series(
+        &mut out,
+        "freezeml_checkpoint_seconds",
+        None,
+        &s.checkpoint_duration,
+    );
+    write_gauge(
+        &mut out,
+        "freezeml_cache_generation",
+        shared.cache().generation(),
+    );
+
+    out
+}
+
+/// Classify a parsed request for per-command metrics.
+pub(crate) fn cmd_of(req: &crate::protocol::Request) -> Cmd {
+    use crate::protocol::Request as R;
+    match req {
+        R::Open { .. } => Cmd::Open,
+        R::Edit { .. } => Cmd::Edit,
+        R::Check { .. } => Cmd::Check,
+        R::TypeOf { .. } => Cmd::TypeOf,
+        R::Elaborate { .. } => Cmd::Elaborate,
+        R::Close { .. } => Cmd::Close,
+        R::Stats => Cmd::Stats,
+        R::Metrics => Cmd::Metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::EngineSel;
+    use crate::protocol::handle_line;
+    use crate::service::{Service, ServiceConfig};
+    use freezeml_core::Options;
+    use std::collections::HashSet;
+
+    fn warmed_service() -> Service {
+        let mut s = Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 1,
+        });
+        handle_line(
+            &mut s,
+            r##"{"cmd":"open","doc":"m","text":"#use prelude\nlet f = fun x -> x;;\nlet p = poly ~f;;\n"}"##,
+        );
+        handle_line(&mut s, r#"{"cmd":"check","doc":"m"}"#);
+        handle_line(&mut s, r#"{"cmd":"type-of","doc":"m","name":"f"}"#);
+        s
+    }
+
+    #[test]
+    fn stats_json_reports_commands_reports_and_caches() {
+        let s = warmed_service();
+        let v = stats_json(s.shared());
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let reports = v.get("reports").expect("reports object");
+        assert_eq!(reports.get("bindings").and_then(Json::as_num), Some(4.0));
+        assert_eq!(reports.get("rechecked").and_then(Json::as_num), Some(2.0));
+        assert_eq!(reports.get("reused").and_then(Json::as_num), Some(2.0));
+        let open = v
+            .get("commands")
+            .and_then(|c| c.get("open"))
+            .expect("open row");
+        assert_eq!(open.get("count").and_then(Json::as_num), Some(1.0));
+        assert!(open.get("p50_us").and_then(Json::as_num).unwrap_or(0.0) > 0.0);
+        let verdict = v
+            .get("caches")
+            .and_then(|c| c.get("verdict"))
+            .expect("verdict cache");
+        assert_eq!(verdict.get("misses").and_then(Json::as_num), Some(2.0));
+        // The snapshot is itself valid JSON end to end.
+        assert!(Json::parse(&v.to_string()).is_ok());
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed_exposition() {
+        let s = warmed_service();
+        let text = prometheus_text(s.shared());
+        let mut typed: HashSet<&str> = HashSet::new();
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("metric name");
+                let kind = it.next().expect("metric kind");
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+                assert!(typed.insert(name), "duplicate TYPE for {name}");
+            } else {
+                // A sample: name{labels} value — the name must have been
+                // typed already (histograms add _bucket/_sum/_count).
+                let name = line.split(['{', ' ']).next().expect("sample name");
+                let base = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(name);
+                assert!(
+                    typed.contains(base) || typed.contains(name),
+                    "sample `{name}` precedes its TYPE line"
+                );
+                let value = line.rsplit(' ').next().expect("value");
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            }
+        }
+        // Cumulative buckets end at +Inf with the total count.
+        assert!(
+            text.contains("freezeml_request_latency_seconds_bucket{cmd=\"open\",le=\"+Inf\"} 1")
+        );
+    }
+
+    #[test]
+    fn hit_rate_is_null_when_nothing_was_probed() {
+        let s = Service::new(ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 1,
+        });
+        let v = stats_json(s.shared());
+        let verdict = v.get("caches").and_then(|c| c.get("verdict")).unwrap();
+        assert_eq!(verdict.get("hit_rate"), Some(&Json::Null));
+    }
+}

@@ -34,7 +34,9 @@ fn strip_counters(v: Json) -> Json {
         Json::Obj(fields) => Json::Obj(
             fields
                 .into_iter()
-                .filter(|(k, _)| k != "rechecked" && k != "reused" && k != "waves")
+                .filter(|(k, _)| {
+                    k != "rechecked" && k != "reused" && k != "blocked" && k != "waves"
+                })
                 .map(|(k, v)| (k, strip_counters(v)))
                 .collect(),
         ),
@@ -210,4 +212,131 @@ fn scheme_ids_are_one_id_per_alpha_class_across_concurrent_sessions() {
         }
     }
     assert!(seen >= SESSIONS * 16, "all bindings were collected");
+}
+
+/// Satellite: the executor's accounting invariant. Every report must
+/// decompose its bindings exactly — `rechecked + reused + blocked ==
+/// bindings.len()` — whichever engine checked them, however warm the
+/// cache was, and whatever the edit did (including edits that break a
+/// binding and block its dependents).
+#[test]
+fn every_report_decomposes_bindings_into_rechecked_reused_blocked() {
+    let assert_invariant = |report: &freezeml_service::CheckReport, what: &str| {
+        assert_eq!(
+            report.rechecked + report.reused + report.blocked,
+            report.bindings.len(),
+            "{what}: rechecked {} + reused {} + blocked {} != {} bindings",
+            report.rechecked,
+            report.reused,
+            report.blocked,
+            report.bindings.len()
+        );
+    };
+    for engine in [EngineSel::Core, EngineSel::Uf, EngineSel::Both] {
+        let mut svc = Service::new(ServiceConfig {
+            engine,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // A generated program through an edit trace.
+        let g = GenProgram::generate(14, 42);
+        let r = svc.open("d", &g.text()).unwrap();
+        assert_invariant(r, "cold open");
+        for (i, salt) in [(1usize, 7u64), (6, 8), (11, 9)] {
+            let r = svc.edit("d", &g.edited_text(i, salt)).unwrap();
+            assert_invariant(r, "edit");
+        }
+        let r = svc.check("d").unwrap().clone();
+        assert_invariant(&r, "warm check");
+        assert_eq!(r.blocked, 0, "nothing blocked in a clean program");
+
+        // An error mid-program blocks its dependents; the blocked ones
+        // must be *counted*, not silently dropped from the accounting.
+        let broken = "let bad = missing;;\nlet child = bad;;\nlet grandchild = child;;\n";
+        let r = svc.open("e", broken).unwrap();
+        assert_invariant(r, "broken open");
+        assert_eq!(r.blocked, 2, "child and grandchild are blocked");
+        // A warm recheck is served from the document-report cache with
+        // every binding relabelled `reused` — the decomposition must
+        // still balance, and the per-binding verdicts still say blocked.
+        let r = svc.check("e").unwrap().clone();
+        assert_invariant(&r, "broken recheck");
+        let still_blocked = r
+            .bindings
+            .iter()
+            .filter(|b| matches!(b.outcome, freezeml_service::Outcome::Blocked { .. }))
+            .count();
+        assert_eq!(still_blocked, 2, "blocked verdicts survive the warm path");
+    }
+}
+
+/// Satellite: the hub registry is the same truth the clients saw. Under
+/// 8 racing sessions, the registry's report totals must equal the sums
+/// of the `CheckReport` counters the sessions were actually served —
+/// sharded counters may never lose or invent an increment.
+#[test]
+fn registry_totals_match_client_reports_under_concurrency() {
+    const SESSIONS: usize = 8;
+    let shared = Arc::new(Shared::new());
+    let totals: Vec<(usize, usize, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut svc = Service::with_shared(cfg(1), shared);
+                    let g = GenProgram::generate(10, 30 + (k % 3) as u64);
+                    let mut sum = (0, 0, 0, 0, 0);
+                    let mut add = |r: &freezeml_service::CheckReport| {
+                        sum.0 += r.bindings.len();
+                        sum.1 += r.rechecked;
+                        sum.2 += r.reused;
+                        sum.3 += r.blocked;
+                        sum.4 += r.waves;
+                    };
+                    add(&svc.open("d", &g.text()).unwrap().clone());
+                    for i in [2usize, 7] {
+                        add(&svc
+                            .edit("d", &g.edited_text(i, (k * 10 + i) as u64))
+                            .unwrap()
+                            .clone());
+                    }
+                    add(&svc.check("d").unwrap().clone());
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let want = totals.iter().fold((0, 0, 0, 0, 0), |a, t| {
+        (a.0 + t.0, a.1 + t.1, a.2 + t.2, a.3 + t.3, a.4 + t.4)
+    });
+    let s = shared.metrics().snapshot();
+    assert_eq!(
+        (s.bindings, s.rechecked, s.reused, s.blocked, s.waves),
+        (
+            want.0 as u64,
+            want.1 as u64,
+            want.2 as u64,
+            want.3 as u64,
+            want.4 as u64
+        ),
+        "registry drifted from what the sessions were served"
+    );
+    assert_eq!(
+        s.bindings,
+        s.rechecked + s.reused + s.blocked,
+        "registry-level accounting invariant"
+    );
+    // Verdict-cache traffic: every recheck was a miss; reuse counts a
+    // verdict hit only when the executor actually probed (whole reports
+    // served from the document cache relabel bindings as reused without
+    // touching the verdict cache, so hits can lag reused).
+    assert_eq!(s.verdict_misses, s.rechecked);
+    assert!(
+        s.verdict_hits <= s.reused,
+        "verdict hits {} cannot exceed reused {}",
+        s.verdict_hits,
+        s.reused
+    );
+    assert_eq!(s.sessions, SESSIONS as u64);
 }

@@ -224,6 +224,7 @@ fn the_serving_loop_answers_every_line_whatever_the_bytes() {
 
     let opts = ServeOptions {
         max_request_bytes: 256,
+        ..ServeOptions::default()
     };
     let mut rng = StdRng::seed_from_u64(0x5_E47E_FA22);
     for case in 0..cases(60) {
@@ -231,13 +232,40 @@ fn the_serving_loop_answers_every_line_whatever_the_bytes() {
         let mut expected = 0usize;
         let lines = rng.gen_range(1..20);
         for _ in 0..lines {
-            match rng.gen_range(0..6) {
+            match rng.gen_range(0..8) {
                 0 => {
                     script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
                     expected += 1;
                 }
                 1 => {
                     script.extend_from_slice(br#"{"cmd":"type-of","doc":"m","name":"x"}"#);
+                    expected += 1;
+                }
+                6 => {
+                    // Introspection commands, bare (valid) — mid-fuzz
+                    // the stats snapshot itself must stay one line of
+                    // well-formed JSON.
+                    script.extend_from_slice(if rng.gen_bool(0.5) {
+                        br#"{"cmd":"stats"}"#.as_slice()
+                    } else {
+                        br#"{"cmd":"metrics"}"#.as_slice()
+                    });
+                    expected += 1;
+                }
+                7 => {
+                    // Introspection commands with junk fields: answered
+                    // with a structured error, line for line.
+                    let cmd = if rng.gen_bool(0.5) {
+                        "stats"
+                    } else {
+                        "metrics"
+                    };
+                    let junk = random_json(&mut rng, 1).to_string();
+                    let line = format!(r#"{{"cmd":"{cmd}","junk":{junk}}}"#);
+                    if line.len() > 256 {
+                        continue;
+                    }
+                    script.extend_from_slice(line.as_bytes());
                     expected += 1;
                 }
                 2 => {

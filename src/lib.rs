@@ -24,6 +24,11 @@
 //!   arena, union-find cells with the paper's `•`/`⋆` kinds, levels for
 //!   generalisation, trail-checked escapes — the hot path, held to the
 //!   paper-literal [`core`] oracle by a differential layer.
+//! * [`obs`] — the observability layer: zero-cost tracing spans (the
+//!   sink type parameter monomorphises the disabled path away), a
+//!   lock-free sharded metrics registry with log-bucketed latency
+//!   histograms, and the data behind the service's `stats` / `metrics`
+//!   protocol commands.
 //! * [`service`] — the incremental, parallel program-checking service:
 //!   a program database (content-hashed bindings, dependency SCCs,
 //!   Merkle-keyed scheme cache), a worker pool of engine sessions
@@ -61,6 +66,7 @@ pub use freezeml_corpus as corpus;
 pub use freezeml_engine as engine;
 pub use freezeml_hmf as hmf;
 pub use freezeml_miniml as miniml;
+pub use freezeml_obs as obs;
 pub use freezeml_service as service;
 pub use freezeml_systemf as systemf;
 pub use freezeml_translate as translate;

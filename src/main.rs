@@ -23,6 +23,11 @@
 //!                               telemetry sink and write BENCH_engine.json
 //!                               / BENCH_service.json (budget MS per
 //!                               benchmark, default 2000)
+//! freezeml stats --connect ADDR query a running server's metrics registry:
+//!                               send {"cmd":"stats"} and pretty-print the
+//!                               JSON snapshot; with --metrics, send
+//!                               {"cmd":"metrics"} and print the Prometheus
+//!                               text exposition instead
 //!
 //! options (before the subcommand arguments):
 //!   --engine core|uf|both       inference engine (default: $ENGINE or uf)
@@ -31,6 +36,13 @@
 //!   --pure                      disable the value restriction
 //!   --socket ADDR               (serve) listen on a socket instead of stdio
 //!   --max-request-bytes N       (serve) per-line request cap (default 4 MiB)
+//!   --trace FILE                (serve/check) write JSONL trace records
+//!                               (spans, events, warnings) to FILE; the
+//!                               FREEZEML_TRACE env var does the same for
+//!                               embedded uses
+//!   --slow-ms N                 (serve) log a structured slow-request trace
+//!                               event (and bump the slow_requests counter)
+//!                               for any request taking ≥ N ms
 //!   --cache-dir DIR             (serve/check) persist warm state to
 //!                               DIR/freezeml.cache: load it on startup (cold
 //!                               fallback on any mismatch or corruption),
@@ -45,11 +57,12 @@
 //! The protocol itself is documented in `freezeml_service::protocol`.
 
 use freezeml_conformance::program as golden;
+use freezeml_obs::Tracer;
 use freezeml_service::{
-    load, persist, serve_with, Checkpointer, EngineSel, LoadOutcome, PersistConfig, ServeOptions,
-    Service, ServiceConfig, Shared, SocketServer,
+    load, persist, serve_with, Checkpointer, EngineSel, Json, LoadOutcome, PersistConfig,
+    ServeOptions, Service, ServiceConfig, Shared, SocketServer,
 };
-use std::io::{self, Write as _};
+use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -61,6 +74,7 @@ struct Args {
     socket: Option<String>,
     cache: Option<PersistConfig>,
     checkpoint_secs: u64,
+    trace: Option<String>,
     cmd: String,
     rest: Vec<String>,
 }
@@ -68,10 +82,10 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
-         [--socket ADDR] [--max-request-bytes N] \
+         [--socket ADDR] [--max-request-bytes N] [--trace FILE] [--slow-ms N] \
          [--cache-dir DIR] [--max-cache-bytes N] [--checkpoint-secs N] \
          [serve | check FILE… | elaborate FILE… | replay PATH… | gen N [SEED] | \
-         bench-json [MS]]"
+         bench-json [MS] | stats --connect ADDR [--metrics]]"
     );
     ExitCode::from(2)
 }
@@ -95,6 +109,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut cache_dir: Option<String> = None;
     let mut max_cache_bytes = persist::DEFAULT_MAX_BYTES;
     let mut checkpoint_secs = 30u64;
+    let mut trace: Option<String> = None;
     while let Some(w) = words.next() {
         match w.as_str() {
             "--engine" => {
@@ -121,6 +136,17 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .and_then(|n| n.parse().ok())
                     .filter(|&n| n > 0)
                     .ok_or_else(usage)?;
+            }
+            "--trace" => {
+                trace = Some(words.next().ok_or_else(usage)?);
+            }
+            "--slow-ms" => {
+                serve_opts.slow_ms = Some(
+                    words
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(usage)?,
+                );
             }
             "--cache-dir" => {
                 cache_dir = Some(words.next().ok_or_else(usage)?);
@@ -153,9 +179,25 @@ fn parse_args() -> Result<Args, ExitCode> {
             max_bytes: max_cache_bytes,
         }),
         checkpoint_secs,
+        trace,
         cmd: cmd.unwrap_or_else(|| "serve".to_string()),
         rest,
     })
+}
+
+/// Build the tracer `--trace FILE` asks for, or the env-configured one.
+/// `Ok(None)` means no flag: the hub falls back to `FREEZEML_TRACE`.
+fn make_tracer(trace: &Option<String>) -> Result<Option<Tracer>, ExitCode> {
+    match trace {
+        None => Ok(None),
+        Some(path) => match Tracer::to_file(Path::new(path)) {
+            Ok(t) => Ok(Some(t)),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {path}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        },
+    }
 }
 
 /// Report a cache load on stderr: one structured line, warm or cold,
@@ -181,9 +223,13 @@ fn cmd_serve_socket(
     opts: ServeOptions,
     cache: Option<PersistConfig>,
     checkpoint_secs: u64,
+    tracer: Option<Tracer>,
 ) -> ExitCode {
     let sessions = cfg.workers.max(1);
     let shared = Arc::new(Shared::new());
+    if let Some(t) = tracer {
+        shared.set_tracer(t);
+    }
     // Warm the hub before the first connection, and checkpoint it
     // periodically — socket servers are usually killed, not shut down,
     // so the periodic snapshot is the durable one.
@@ -240,11 +286,19 @@ fn sources_from(path: &Path) -> Result<Vec<(String, String)>, String> {
     Ok(vec![(path.display().to_string(), text)])
 }
 
-fn cmd_check(cfg: ServiceConfig, files: &[String], cache: Option<PersistConfig>) -> ExitCode {
+fn cmd_check(
+    cfg: ServiceConfig,
+    files: &[String],
+    cache: Option<PersistConfig>,
+    tracer: Option<Tracer>,
+) -> ExitCode {
     if files.is_empty() {
         return usage();
     }
     let mut svc = Service::new(cfg);
+    if let Some(t) = tracer {
+        svc.shared().set_tracer(t);
+    }
     let caching = cache.is_some();
     if let Some(pcfg) = cache {
         report_load(&svc.attach_cache(pcfg));
@@ -457,9 +511,82 @@ fn cmd_bench_json(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Query a running server's metrics: connect to `--connect ADDR`, send
+/// one `stats` (or `metrics`) request, print the answer.
+fn cmd_stats(rest: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut want_metrics = false;
+    let mut it = rest.iter();
+    while let Some(w) = it.next() {
+        match w.as_str() {
+            "--connect" => match it.next() {
+                Some(a) => connect = Some(a.clone()),
+                None => return usage(),
+            },
+            "--metrics" => want_metrics = true,
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = connect else { return usage() };
+    let line = if want_metrics {
+        r#"{"cmd":"metrics"}"#
+    } else {
+        r#"{"cmd":"stats"}"#
+    };
+    let response = (|| -> io::Result<String> {
+        let mut reply = String::new();
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let mut s = std::os::unix::net::UnixStream::connect(path)?;
+            writeln!(s, "{line}")?;
+            BufReader::new(s).read_line(&mut reply)?;
+        } else if addr.contains('/') {
+            let mut s = std::os::unix::net::UnixStream::connect(&addr)?;
+            writeln!(s, "{line}")?;
+            BufReader::new(s).read_line(&mut reply)?;
+        } else {
+            let mut s = std::net::TcpStream::connect(&addr)?;
+            writeln!(s, "{line}")?;
+            BufReader::new(s).read_line(&mut reply)?;
+        }
+        Ok(reply)
+    })();
+    let reply = match response {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot query {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Ok(v) = Json::parse(reply.trim_end()) else {
+        eprintln!("error: server answered non-JSON: {}", reply.trim_end());
+        return ExitCode::FAILURE;
+    };
+    if v.get("ok") != Some(&Json::Bool(true)) {
+        eprintln!("error: server answered {v}");
+        return ExitCode::FAILURE;
+    }
+    if want_metrics {
+        // The exposition text is carried as one JSON string; print raw.
+        match v.get("metrics").and_then(Json::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("error: malformed metrics response: {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!("{v}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
+        Err(code) => return code,
+    };
+    let tracer = match make_tracer(&args.trace) {
+        Ok(t) => t,
         Err(code) => return code,
     };
     match args.cmd.as_str() {
@@ -471,9 +598,13 @@ fn main() -> ExitCode {
                     args.serve_opts,
                     args.cache,
                     args.checkpoint_secs,
+                    tracer,
                 );
             }
             let mut svc = Service::new(args.cfg);
+            if let Some(t) = tracer {
+                svc.shared().set_tracer(t);
+            }
             let checkpointer = args.cache.map(|pcfg| {
                 report_load(&svc.attach_cache(pcfg.clone()));
                 Checkpointer::checkpoint_every(
@@ -499,11 +630,12 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "check" => cmd_check(args.cfg, &args.rest, args.cache),
+        "check" => cmd_check(args.cfg, &args.rest, args.cache, tracer),
         "elaborate" => cmd_elaborate(args.cfg, &args.rest),
         "replay" => cmd_replay(args.cfg, &args.rest),
         "gen" => cmd_gen(&args.rest),
         "bench-json" => cmd_bench_json(&args.rest),
+        "stats" => cmd_stats(&args.rest),
         _ => usage(),
     }
 }

@@ -20,6 +20,12 @@
 //!   another client's checking, so the `workers` curve bends down with
 //!   `k` even on a single CPU — that latency overlap, not wave
 //!   parallelism, is what the socket front end buys;
+//! * `service/shed-overhead/4` — the `workers/4` roster re-run on the
+//!   fully armed resilient stack: admission control checked on every
+//!   accept, kernel read/write timeouts armed, the wall-clock deadline
+//!   checked per request and wave. Compared against
+//!   `service/workers/4`, the overload machinery may cost ≤2% when
+//!   nothing is overloaded (EXPERIMENTS.md);
 //! * `service/persisted-warm/<n>` — open the same `n`-binding program
 //!   in a *fresh process image*: a new hub warmed only from an on-disk
 //!   snapshot (`freezeml_service::persist`), so every verdict, every
@@ -193,6 +199,54 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shed_overhead(c: &mut Criterion) {
+    use freezeml_service::sock::Admission;
+    let mut group = c.benchmark_group("service/shed-overhead");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    // The `workers/4` roster on the fully armed resilient stack:
+    // admission control live on every accept (the queue is deep enough
+    // that nothing in this roster is actually shed — this measures the
+    // fast path), kernel read/write timeouts armed, and the wall-clock
+    // deadline checked at every request and wave boundary. The
+    // EXPERIMENTS.md budget compares this row against
+    // `service/workers/4`: the overload machinery may cost at most 2%
+    // when nothing is overloaded.
+    let mut round = 0u64;
+    let mut server = SocketServer::spawn_tcp_with(
+        "127.0.0.1:0",
+        ServiceConfig {
+            opts: Options::default(),
+            engine: EngineSel::Uf,
+            workers: 1,
+        },
+        Arc::new(Shared::new()),
+        4,
+        ServeOptions {
+            request_timeout_ms: Some(10_000),
+            ..ServeOptions::default()
+        },
+        Admission::default(),
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    group.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, _| {
+        b.iter(|| {
+            round += 1;
+            drive_tcp(
+                &addr,
+                &LoadMix {
+                    salt_base: round * 100_000,
+                    ..LoadMix::default()
+                },
+            )
+        });
+    });
+    server.shutdown();
+    group.finish();
+}
+
 /// Write a snapshot of a service warmed on `text`, returning the cache
 /// directory (caller removes it).
 fn seeded_cache(text: &str, n: usize) -> std::path::PathBuf {
@@ -274,6 +328,7 @@ criterion_group!(
     bench_cold,
     bench_warm_edit,
     bench_worker_scaling,
+    bench_shed_overhead,
     bench_trace_overhead,
     bench_persisted_warm,
     bench_persisted_load,

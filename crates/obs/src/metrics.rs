@@ -251,6 +251,16 @@ impl LabeledCounter {
         }
     }
 
+    /// The count for one label (0 if never bumped).
+    pub fn get(&self, label: &str) -> u64 {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0, |(_, n)| *n)
+    }
+
     /// All `(label, count)` pairs, sorted by label for stable output.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
         let mut v = self
@@ -286,12 +296,13 @@ pub enum Cmd {
     Close,
     Stats,
     Metrics,
+    Shutdown,
     Invalid,
 }
 
 impl Cmd {
     /// Every command, in exposition order.
-    pub const ALL: [Cmd; 9] = [
+    pub const ALL: [Cmd; 10] = [
         Cmd::Open,
         Cmd::Edit,
         Cmd::Check,
@@ -300,6 +311,7 @@ impl Cmd {
         Cmd::Close,
         Cmd::Stats,
         Cmd::Metrics,
+        Cmd::Shutdown,
         Cmd::Invalid,
     ];
 
@@ -314,6 +326,7 @@ impl Cmd {
             Cmd::Close => "close",
             Cmd::Stats => "stats",
             Cmd::Metrics => "metrics",
+            Cmd::Shutdown => "shutdown",
             Cmd::Invalid => "invalid",
         }
     }
@@ -380,6 +393,21 @@ pub struct Registry {
     pub checkpoint_bytes: Counter,
     /// Wall-clock duration of each completed checkpoint save.
     pub checkpoint_duration: Histogram,
+    /// Connections shed by admission control before a session touched
+    /// them (queue over `--max-pending`, or the server was draining).
+    pub requests_shed: Counter,
+    /// Requests answered with the structured `deadline` error (budget
+    /// exhausted at a wave boundary, or the socket read/write timed
+    /// out).
+    pub deadline_exceeded: Counter,
+    /// 1 while the server is draining (stopped accepting, finishing
+    /// in-flight requests), else 0. A gauge, not a counter.
+    pub draining: AtomicU64,
+    /// Fault-injection trips, by site (`FREEZEML_FAILPOINTS`).
+    pub failpoint_trips: LabeledCounter,
+    /// Session threads that died outside `catch_unwind` and were
+    /// respawned by the pool.
+    pub session_thread_deaths: Counter,
 }
 
 impl Registry {
@@ -438,7 +466,17 @@ impl Registry {
             checkpoint_failures: self.checkpoint_failures.get(),
             checkpoint_bytes: self.checkpoint_bytes.get(),
             checkpoint_duration: self.checkpoint_duration.snapshot(),
+            requests_shed: self.requests_shed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            draining: self.draining.load(Ordering::Relaxed),
+            failpoint_trips: self.failpoint_trips.snapshot(),
+            session_thread_deaths: self.session_thread_deaths.get(),
         }
+    }
+
+    /// Flip the draining gauge.
+    pub fn set_draining(&self, on: bool) {
+        self.draining.store(u64::from(on), Ordering::Relaxed);
     }
 }
 
@@ -479,6 +517,11 @@ pub struct Snapshot {
     pub checkpoint_failures: u64,
     pub checkpoint_bytes: u64,
     pub checkpoint_duration: HistSnapshot,
+    pub requests_shed: u64,
+    pub deadline_exceeded: u64,
+    pub draining: u64,
+    pub failpoint_trips: Vec<(String, u64)>,
+    pub session_thread_deaths: u64,
 }
 
 #[cfg(test)]
@@ -591,6 +634,11 @@ mod tests {
         r.rechecked.add(4);
         r.reused.add(12);
         r.cache_load_failures.inc("checksum");
+        r.requests_shed.add(3);
+        r.deadline_exceeded.inc();
+        r.set_draining(true);
+        r.failpoint_trips.inc("persist.write");
+        r.session_thread_deaths.inc();
         let s = r.snapshot();
         let check = s
             .commands
@@ -602,5 +650,12 @@ mod tests {
         assert_eq!(s.bindings, 16);
         assert_eq!(s.rechecked + s.reused + s.blocked, 16);
         assert_eq!(s.cache_load_failures, vec![("checksum".to_string(), 1)]);
+        assert_eq!(s.requests_shed, 3);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.draining, 1);
+        assert_eq!(s.failpoint_trips, vec![("persist.write".to_string(), 1)]);
+        assert_eq!(s.session_thread_deaths, 1);
+        r.set_draining(false);
+        assert_eq!(r.snapshot().draining, 0);
     }
 }

@@ -22,6 +22,7 @@
 //! the scheme stored in the environment stays closed.
 
 use crate::db::{Analysis, DeclInfo, EngineSel, Outcome};
+use crate::fault::{self, Fault};
 use crate::shared::Shared;
 
 /// One inference job: a declaration index plus the scheme ids of its
@@ -195,19 +196,30 @@ fn internal_error(name: &str, detail: &str) -> Outcome {
 /// Check one binding with panic containment: a panicking check becomes
 /// an internal-error verdict for that binding, the worker's sessions are
 /// rebuilt (a panic mid-inference leaves them polluted), and the wave —
-/// and the service — keep going. `panic_on` is the test hook: a binding
-/// of that name panics deliberately inside the contained region.
+/// and the service — keep going. `inject` carries an armed
+/// `infer.binding`/`infer.wave` failpoint: a `panic` fault panics
+/// *inside* the contained region (exercising exactly the real-bug
+/// path), `err`/`eof` short-circuit to an internal-error verdict, and
+/// `delay` stalls the check.
 fn check_contained(
     w: &mut Worker,
     bank: &SchemeBank,
     use_prelude: bool,
     decl: &DeclInfo,
     deps: &[(Var, SchemeId)],
-    panic_on: Option<&str>,
+    inject: Option<Fault>,
 ) -> Outcome {
+    match inject {
+        Some(Fault::Err) | Some(Fault::Eof) => {
+            return internal_error(decl.name(), "injected fault (failpoint)");
+        }
+        _ => {}
+    }
     let result = catch_unwind(AssertUnwindSafe(|| {
-        if panic_on == Some(decl.name()) {
-            panic!("deliberate test panic ($FREEZEML_TEST_PANIC_ON)");
+        match inject {
+            Some(Fault::Panic) => panic!("injected panic (failpoint)"),
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            _ => {}
         }
         w.check(bank, use_prelude, decl, deps)
     }));
@@ -300,6 +312,13 @@ impl CheckReport {
     }
 }
 
+/// The request's time budget ran out at a wave boundary. Verdicts
+/// already computed this pass were written to the shared cache (they
+/// are valid — only the *pass* is abandoned), so a retry resumes from
+/// where the budget expired rather than from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
 /// The worker pool. The scheme bank and outcome cache it runs against
 /// live in the [`Shared`] hub, so many executors (one per connected
 /// session) share one scheme space.
@@ -336,9 +355,26 @@ impl Executor {
     /// tracing off this compiles to exactly the untraced executor — no
     /// clock reads, no record construction.
     pub fn run_traced(&mut self, a: &Analysis, shared: &Shared, ctx: TraceCtx) -> CheckReport {
+        self.run_budgeted(a, shared, ctx, None)
+            .expect("no deadline was set")
+    }
+
+    /// [`Executor::run_traced`] under a time budget: the deadline is
+    /// checked **at wave boundaries** (a wave's jobs, once dispatched,
+    /// run to completion — inference is not preemptible), so an
+    /// exhausted budget abandons the pass before the next wave starts.
+    /// Completed verdicts stay cached; the hub's `deadline_exceeded`
+    /// counter records the abandonment.
+    pub fn run_budgeted(
+        &mut self,
+        a: &Analysis,
+        shared: &Shared,
+        ctx: TraceCtx,
+        deadline: Option<Instant>,
+    ) -> Result<CheckReport, DeadlineExceeded> {
         match shared.tracer().sink() {
-            Some(sink) => self.run_sink(a, shared, ctx, &**sink),
-            None => self.run_sink(a, shared, ctx, &NoTrace),
+            Some(sink) => self.run_sink(a, shared, ctx, &**sink, deadline),
+            None => self.run_sink(a, shared, ctx, &NoTrace, deadline),
         }
     }
 
@@ -348,19 +384,43 @@ impl Executor {
         shared: &Shared,
         ctx: TraceCtx,
         sink: &S,
-    ) -> CheckReport {
+        deadline: Option<Instant>,
+    ) -> Result<CheckReport, DeadlineExceeded> {
         let n = a.decls.len();
         let use_prelude = a.uses_prelude;
         let bank = shared.bank();
         let cache = shared.cache();
-        // Test hook for the panic-containment regression tests: a
-        // binding with this name panics inside the contained region.
-        let panic_on = std::env::var("FREEZEML_TEST_PANIC_ON").ok();
+        let metrics = shared.metrics();
+        // One probe up front keeps the fault layer off the hot path:
+        // when no spec is installed this is a single relaxed load and
+        // every per-binding site check below is skipped entirely.
+        let faults_on = fault::active();
         let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
         let (mut rechecked, mut reused, mut blocked) = (0usize, 0usize, 0usize);
         let mut waves = 0usize;
 
         for (wave_no, wave) in a.cond.waves.iter().enumerate() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    metrics.deadline_exceeded.inc();
+                    return Err(DeadlineExceeded);
+                }
+            }
+            // `infer.wave` failpoint: `delay` stalls the scheduler here
+            // (where the deadline will catch it next wave); any other
+            // fault is injected into every job of the wave, contained
+            // per binding like a real worker bug.
+            let wave_inject = if faults_on {
+                match fault::hit_counted("infer.wave", metrics) {
+                    Some(Fault::Delay(d)) => {
+                        std::thread::sleep(d);
+                        None
+                    }
+                    other => other,
+                }
+            } else {
+                None
+            };
             let wave_t0 = if S::ENABLED {
                 Some(Instant::now())
             } else {
@@ -434,7 +494,6 @@ impl Executor {
                 .map(|c| c.iter().map(|j| j.0).collect())
                 .collect();
             let decls = &a.decls;
-            let panic_name = panic_on.as_deref();
             let results: Vec<(usize, Outcome)> = if k == 1 {
                 let w = &mut self.workers[0];
                 chunks
@@ -447,7 +506,12 @@ impl Executor {
                         } else {
                             None
                         };
-                        let o = check_contained(w, bank, use_prelude, &decls[i], &env, panic_name);
+                        let inject = wave_inject.or_else(|| {
+                            faults_on
+                                .then(|| fault::hit_counted("infer.binding", metrics))
+                                .flatten()
+                        });
+                        let o = check_contained(w, bank, use_prelude, &decls[i], &env, inject);
                         if let Some(t0) = t0 {
                             sink.emit(
                                 &Record::new("span", "infer")
@@ -477,13 +541,20 @@ impl Executor {
                                             } else {
                                                 None
                                             };
+                                            let inject = wave_inject.or_else(|| {
+                                                faults_on
+                                                    .then(|| {
+                                                        fault::hit_counted("infer.binding", metrics)
+                                                    })
+                                                    .flatten()
+                                            });
                                             let o = check_contained(
                                                 w,
                                                 bank,
                                                 use_prelude,
                                                 &decls[i],
                                                 &env,
-                                                panic_name,
+                                                inject,
                                             );
                                             if let Some(t0) = t0 {
                                                 sink.emit(
@@ -540,11 +611,10 @@ impl Executor {
 
         // Every cache probe either served a reuse or became a job, so
         // the pass totals are the verdict-cache hit/miss counts.
-        let m = shared.metrics();
-        m.verdict_hits.add(reused as u64);
-        m.verdict_misses.add(rechecked as u64);
+        metrics.verdict_hits.add(reused as u64);
+        metrics.verdict_misses.add(rechecked as u64);
 
-        CheckReport {
+        Ok(CheckReport {
             bindings: outcomes
                 .into_iter()
                 .enumerate()
@@ -558,7 +628,7 @@ impl Executor {
             reused,
             blocked,
             waves,
-        }
+        })
     }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod db;
 pub mod exec;
+pub mod fault;
 pub mod graph;
 pub mod hash;
 pub mod load;
@@ -61,9 +62,10 @@ pub use db::{
     analyze, analyze_cached, analyze_cached_traced, doc_key, doc_verify, Analysis, EngineSel,
     Frontend, Outcome,
 };
-pub use exec::{BindingReport, CheckReport, Executor, Worker};
+pub use exec::{BindingReport, CheckReport, DeadlineExceeded, Executor, Worker};
+pub use fault::{Fault, FAILPOINTS_ENV};
 pub use freezeml_engine::SchemeId;
-pub use load::{replay, GenProgram, ReplayStats};
+pub use load::{backoff_ms, replay, GenProgram, ReplayStats};
 pub use persist::{Checkpointer, LoadOutcome, PersistConfig, SaveOutcome};
 pub use protocol::{handle_line, Json, Request};
 pub use server::{serve, serve_with, ServeOptions};

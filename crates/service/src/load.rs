@@ -12,6 +12,7 @@
 //! its dependency cone — changes.
 
 use crate::exec::CheckReport;
+use crate::protocol::Json;
 use crate::service::Service;
 
 /// SplitMix64 — tiny, deterministic, dependency-free.
@@ -233,25 +234,68 @@ impl Default for LoadMix {
     }
 }
 
+/// The delay before retry number `attempt` (1-based) of an overloaded
+/// or refused connection: exponential in the attempt with a uniform
+/// jitter in the upper half, seeded deterministically by `salt` so
+/// load runs stay reproducible. `hint_ms` is the server's
+/// `retry-after-ms` when it sent one — it replaces the default base so
+/// a fleet of shed clients spreads over the window the server asked
+/// for instead of stampeding back in lockstep.
+pub fn backoff_ms(attempt: u32, hint_ms: Option<u64>, salt: u64) -> u64 {
+    let base = hint_ms.unwrap_or(10).clamp(1, 10_000);
+    let exp = base.saturating_mul(1 << attempt.min(6)).min(10_000);
+    let jitter = Rng::new(salt ^ u64::from(attempt)).next() % exp.max(1);
+    exp / 2 + jitter / 2
+}
+
+/// Is this response a connection-level shed (`overloaded` with a retry
+/// hint, or `draining`) rather than an answer to the request?
+fn is_shed(v: &Json) -> bool {
+    matches!(
+        v.get("error").and_then(Json::as_str),
+        Some("overloaded" | "draining")
+    )
+}
+
+/// Retry budget for shed or refused connections before a load client
+/// gives up loudly.
+const MAX_RETRIES: u32 = 64;
+
 /// Drive a TCP socket server at `addr` with `mix`. Returns the total
-/// number of request lines sent (batches count as one line). Panics on
-/// any protocol-level surprise — a response that is not a JSON line, a
-/// failed open/edit, or a type-of miss — so benches and CI smoke runs
-/// fail loudly rather than measuring garbage.
+/// number of request lines sent (batches count as one line; shed
+/// attempts that were retried do not count). Connections refused or
+/// shed by admission control (`overloaded` / `draining`) are retried
+/// with jittered exponential backoff, honoring the server's
+/// `retry-after-ms` hint. Panics on any protocol-level surprise — a
+/// response that is not a JSON line, a failed open/edit, or a type-of
+/// miss — so benches and CI smoke runs fail loudly rather than
+/// measuring garbage.
 pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
-    use crate::protocol::{Json, Request};
+    use crate::protocol::Request;
     use std::io::{BufRead as _, BufReader, Write as _};
     use std::net::TcpStream;
 
-    fn round_trip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    /// `Some(response)`, or `None` if the server closed before
+    /// answering (a drained listener can do that) — retryable.
+    fn round_trip(
+        writer: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        line: &str,
+    ) -> Option<Json> {
         // One write per request (see `server::serve_with` on Nagle).
-        writer
-            .write_all(format!("{line}\n").as_bytes())
-            .expect("send");
-        writer.flush().expect("flush");
+        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+            return None;
+        }
+        if writer.flush().is_err() {
+            return None;
+        }
         let mut response = String::new();
-        reader.read_line(&mut response).expect("recv");
-        Json::parse(response.trim_end()).expect("every response is one JSON line")
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => {
+                Some(Json::parse(response.trim_end()).expect("every response is one JSON line"))
+            }
+        }
     }
 
     let assert_ok = |v: &Json, what: &str| {
@@ -265,24 +309,60 @@ pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
                 scope.spawn(move || {
                     let g = GenProgram::generate(mix.bindings, 100 + (k % 4) as u64);
                     let doc = "d".to_string();
-                    let writer = TcpStream::connect(addr).expect("connect");
-                    let _ = writer.set_nodelay(true);
-                    let mut writer = writer;
-                    let mut reader = BufReader::new(writer.try_clone().expect("clone stream"));
-                    let mut sent = 0usize;
-                    let mut send = |w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
-                        std::thread::sleep(mix.think);
-                        sent += 1;
-                        round_trip(w, r, line)
-                    };
                     let open = Request::Open {
                         doc: doc.clone(),
                         text: g.text(),
                     };
-                    assert_ok(
-                        &send(&mut writer, &mut reader, &open.to_json().to_string()),
-                        "open",
-                    );
+                    let open_line = open.to_json().to_string();
+                    let mut sent = 0usize;
+                    // Connect and open, retrying shed and refused
+                    // attempts with backoff. A shed can only happen
+                    // before the first answer (admission control works
+                    // on whole connections), so once the open is
+                    // answered the session is admitted for good.
+                    let mut attempt = 0u32;
+                    let (mut writer, mut reader) = loop {
+                        assert!(
+                            attempt < MAX_RETRIES,
+                            "client {k}: still shed after {attempt} retries"
+                        );
+                        let mut retry = |hint: Option<u64>| {
+                            attempt += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
+                                attempt,
+                                hint,
+                                0xB0FF ^ k as u64,
+                            )));
+                        };
+                        let Ok(stream) = TcpStream::connect(addr) else {
+                            retry(None);
+                            continue;
+                        };
+                        let _ = stream.set_nodelay(true);
+                        let mut w = stream;
+                        let mut r = BufReader::new(w.try_clone().expect("clone stream"));
+                        std::thread::sleep(mix.think);
+                        match round_trip(&mut w, &mut r, &open_line) {
+                            None => retry(None),
+                            Some(v) if is_shed(&v) => {
+                                let hint = v
+                                    .get("retry-after-ms")
+                                    .and_then(Json::as_num)
+                                    .map(|n| n as u64);
+                                retry(hint);
+                            }
+                            Some(v) => {
+                                assert_ok(&v, "open");
+                                sent += 1;
+                                break (w, r);
+                            }
+                        }
+                    };
+                    let mut send = |w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
+                        std::thread::sleep(mix.think);
+                        sent += 1;
+                        round_trip(w, r, line).expect("server closed mid-session")
+                    };
                     for e in 0..mix.edits_per_client {
                         let i = (k + 3 * e) % g.len();
                         let salt = mix.salt_base + (k * 1000 + e) as u64;

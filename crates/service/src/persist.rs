@@ -52,6 +52,7 @@
 
 use crate::db::Outcome;
 use crate::exec::{BindingReport, CheckReport};
+use crate::fault;
 use crate::hash::Hasher64;
 use crate::shared::Shared;
 use freezeml_core::{Options, Span};
@@ -599,6 +600,15 @@ pub fn save(shared: &Shared, epoch: u64, cfg: &PersistConfig) -> io::Result<Save
         out
     };
 
+    // Failpoint: a snapshot that cannot even be encoded (`delay` models
+    // a slow encode under memory pressure).
+    if let Some(f) = fault::hit_counted("persist.encode", shared.metrics()) {
+        if let Err(e) = f.io_effect() {
+            shared.metrics().checkpoint_failures.inc();
+            return Err(e);
+        }
+    }
+
     // Encode, shrinking the kept set if the real size still overflows
     // (node tables shared across entries make estimates optimistic).
     let mut unportable;
@@ -635,9 +645,15 @@ pub fn save(shared: &Shared, epoch: u64, cfg: &PersistConfig) -> io::Result<Save
     header.extend_from_slice(&checksum.to_le_bytes());
     let res = (|| -> io::Result<u64> {
         let mut f = std::fs::File::create(&tmp)?;
+        if let Some(fp) = fault::hit_counted("persist.write", shared.metrics()) {
+            fp.io_effect()?;
+        }
         f.write_all(&header)?;
         f.write_all(&payload)?;
         f.sync_all()?;
+        if let Some(fp) = fault::hit_counted("persist.rename", shared.metrics()) {
+            fp.io_effect()?;
+        }
         std::fs::rename(&tmp, cfg.file())?;
         if let Ok(d) = std::fs::File::open(&cfg.dir) {
             let _ = d.sync_all(); // best effort; not all platforms allow it
@@ -779,6 +795,13 @@ fn build_snapshot(shared: &Shared, kept: &[Item], chunks: &[String]) -> (Decoded
 /// reported in the outcome, never an error or a partial application.
 pub fn load(shared: &Shared, epoch_now: u64, cfg: &PersistConfig) -> LoadOutcome {
     let t0 = Instant::now();
+    // Failpoint: a snapshot file that cannot be read back. Exercises
+    // the cold-fallback path with the `io` failure label.
+    if let Some(f) = fault::hit_counted("persist.load", shared.metrics()) {
+        if let Err(e) = f.io_effect() {
+            return cold(shared, format!("cannot read snapshot: {e} (failpoint)"));
+        }
+    }
     let path = cfg.file();
     let data = match std::fs::read(&path) {
         Ok(d) => d,
@@ -884,6 +907,13 @@ fn validate(data: &[u8], epoch_now: u64) -> Result<(u64, &[u8]), String> {
 /// roots are rejected are skipped individually.
 fn apply(shared: &Shared, generation: u64, snapshot: DecodedSnapshot) -> LoadOutcome {
     let bank = shared.bank();
+    // Failpoint: the scheme DAG cannot be re-interned (models a
+    // snapshot whose node table the bank rejects).
+    if let Some(f) = fault::hit_counted("bank.absorb", shared.metrics()) {
+        if let Err(e) = f.io_effect() {
+            return cold(shared, format!("malformed payload: {e} (failpoint)"));
+        }
+    }
     let absorbed = match bank.absorb_snapshot(&snapshot.nodes) {
         Ok(a) => a,
         Err(e) => return cold(shared, e.to_string()),

@@ -15,6 +15,7 @@
 //! {"cmd":"close","doc":"main"}
 //! {"cmd":"stats"}
 //! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
 //! ```
 //!
 //! `stats` answers one JSON object snapshotting the hub's metrics
@@ -23,7 +24,16 @@
 //! Prometheus text exposition in `{"ok":true,"metrics":"…"}`. Both are
 //! introspection commands and take **no** fields beyond `cmd` — any
 //! extra field is answered with a structured error, line for line, so a
-//! typo'd query can never be mistaken for a valid one.
+//! typo'd query can never be mistaken for a valid one. `shutdown` (the
+//! admin command, equally strict) asks the hub to **drain**: the socket
+//! server stops accepting, in-flight requests finish, a final
+//! checkpoint is taken, and the process exits 0 — the same path
+//! SIGTERM takes.
+//!
+//! A request whose check ran out of its `--request-timeout-ms` budget
+//! answers the flat structured error `{"ok":false,"error":"deadline"}`
+//! (distinguishable by shape from data errors, which carry an object
+//! with a message and source position).
 //!
 //! `elaborate` serves the binding's System F image (canonical
 //! rendering) with its type; the image is verified against the
@@ -436,6 +446,9 @@ pub enum Request {
     Stats,
     /// Render the hub's metrics as Prometheus text exposition.
     Metrics,
+    /// Ask the hub to drain: stop accepting connections, finish
+    /// in-flight requests, checkpoint, exit cleanly.
+    Shutdown,
 }
 
 impl Request {
@@ -485,20 +498,21 @@ impl Request {
                 name: field("name")?,
             }),
             "close" => Ok(Request::Close { doc: field("doc")? }),
-            // Introspection commands are strict: the forgiving
-            // extra-fields-ignored stance of the data commands would
-            // let a typo'd query (`{"cmd":"stats","doc":…}`) silently
-            // answer something the caller did not ask about.
-            "stats" | "metrics" => {
+            // Introspection and admin commands are strict: the
+            // forgiving extra-fields-ignored stance of the data
+            // commands would let a typo'd query
+            // (`{"cmd":"stats","doc":…}`) silently answer something
+            // the caller did not ask about.
+            "stats" | "metrics" | "shutdown" => {
                 if let Json::Obj(fields) = v {
                     if let Some((k, _)) = fields.iter().find(|(k, _)| k != "cmd") {
                         return Err(format!("`{cmd}` takes no field `{k}` (only `cmd`)"));
                     }
                 }
-                Ok(if cmd == "stats" {
-                    Request::Stats
-                } else {
-                    Request::Metrics
+                Ok(match cmd {
+                    "stats" => Request::Stats,
+                    "metrics" => Request::Metrics,
+                    _ => Request::Shutdown,
                 })
             }
             other => Err(format!("unknown cmd `{other}`")),
@@ -538,6 +552,7 @@ impl Request {
             ]),
             Request::Stats => Json::obj([("cmd", Json::Str("stats".into()))]),
             Request::Metrics => Json::obj([("cmd", Json::Str("metrics".into()))]),
+            Request::Shutdown => Json::obj([("cmd", Json::Str("shutdown".into()))]),
         }
     }
 }
@@ -599,8 +614,17 @@ pub fn report_json(doc: &str, report: &CheckReport, src: &str) -> Json {
     ])
 }
 
-/// An error response, with a source position when available.
+/// An error response, with a source position when available. Deadline
+/// exhaustion answers the flat shape `{"ok":false,"error":"deadline"}`
+/// the resilience contract specifies — machine-matchable without
+/// digging into an error object.
 pub fn error_json(err: &ServiceError, src: Option<&str>) -> Json {
+    if matches!(err, ServiceError::Deadline) {
+        return Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("deadline".into())),
+        ]);
+    }
     let mut fields = vec![("message".to_string(), Json::Str(err.to_string()))];
     if let (ServiceError::Parse(e), Some(src)) = (err, src) {
         let span = freezeml_core::Span {
@@ -684,6 +708,14 @@ pub fn handle(svc: &mut Service, req: &Request) -> Json {
             ("ok", Json::Bool(true)),
             ("metrics", Json::Str(stats::prometheus_text(svc.shared()))),
         ]),
+        Request::Shutdown => {
+            // Flip the hub into draining; the socket accept loop (and
+            // the foreground `join`) observe the flag and wind down.
+            // The acknowledgement still goes out on this connection —
+            // draining finishes in-flight work, it does not cut lines.
+            svc.shared().request_drain();
+            Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
+        }
     }
 }
 
@@ -988,5 +1020,48 @@ mod tests {
         assert_eq!(status(1), "blocked");
         assert_eq!(status(2), "ok");
         assert_eq!(bindings[1].get("on").and_then(Json::as_str), Some("bad"));
+    }
+
+    #[test]
+    fn shutdown_flips_the_hub_into_draining_and_parses_strictly() {
+        let mut s = svc();
+        assert!(!s.shared().draining());
+        let r = handle_line(&mut s, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("draining"), Some(&Json::Bool(true)));
+        assert!(s.shared().draining());
+        assert_eq!(s.shared().metrics().snapshot().draining, 1);
+        // Like stats/metrics, shutdown takes no other fields.
+        let bad = handle_line(&mut s, r#"{"cmd":"shutdown","doc":"m"}"#);
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        // Round trip.
+        assert_eq!(
+            Request::parse(&Request::Shutdown.to_json().to_string()).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn an_expired_deadline_answers_the_flat_deadline_shape() {
+        let mut s = svc();
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        let r = handle_line(&mut s, r#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+        // Exactly two fields, flat — the shape a client's retry logic
+        // keys on, distinct from the object-shaped data errors.
+        assert_eq!(
+            r,
+            Json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str("deadline".into()))
+            ])
+        );
+        assert_eq!(s.shared().metrics().deadline_exceeded.get(), 1);
+        // With the deadline lifted the same request succeeds — nothing
+        // poisoned, and partial progress was never cached as final.
+        s.set_deadline(None);
+        let r = handle_line(&mut s, r#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
     }
 }

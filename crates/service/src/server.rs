@@ -20,7 +20,7 @@ use crate::protocol::{handle_line, Json};
 use crate::service::Service;
 use freezeml_obs::Val;
 use std::io::{self, BufRead, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Serving limits. `Default` is the CLI's configuration.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +34,21 @@ pub struct ServeOptions {
     /// and emits a structured `slow-request` trace event. `None`
     /// disables the slow log.
     pub slow_ms: Option<u64>,
+    /// Per-request budget in milliseconds, `None` = unbounded (the
+    /// stdio default; the socket server defaults it on). The budget
+    /// covers both halves of a request:
+    ///
+    /// * **reading** — a client that stalls mid-line (or never sends a
+    ///   byte) is answered one flat `{"ok":false,"error":"deadline"}`
+    ///   line and closed. The socket layer arms kernel read timeouts
+    ///   so a stalled read wakes up; this loop adds a wall-clock
+    ///   deadline on top so a byte-at-a-time slowloris cannot reset
+    ///   the clock forever;
+    /// * **checking** — the executor observes the same deadline at
+    ///   every wave boundary ([`crate::exec::Executor::run_budgeted`])
+    ///   and gives up with the same flat error. Verdicts completed
+    ///   before the deadline stay cached, so a retry resumes warm.
+    pub request_timeout_ms: Option<u64>,
 }
 
 /// Default request cap: a few MiB — generous for whole-document `open`
@@ -46,6 +61,7 @@ impl Default for ServeOptions {
         ServeOptions {
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
             slow_ms: None,
+            request_timeout_ms: None,
         }
     }
 }
@@ -56,22 +72,43 @@ enum RawLine {
     Line,
     /// The line exceeded the cap; `0` bytes of it were kept.
     Oversized { len: usize },
+    /// The transport timed out, or the per-request deadline passed
+    /// before a full line arrived (slowloris / connect-and-stall).
+    TimedOut,
+}
+
+/// Would this I/O error kind be produced by an armed socket timeout?
+/// (`WouldBlock` on Unix sockets, `TimedOut` elsewhere.)
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 /// Read one `\n`-terminated line of raw bytes into `buf` (cleared
 /// first), without ever buffering more than `max` bytes. `Ok(None)` at
 /// EOF with no pending bytes; a final unterminated line is still
-/// served. The trailing `\n` (and a preceding `\r`) are stripped.
+/// served. The trailing `\n` (and a preceding `\r`) are stripped. A
+/// transport timeout, or `deadline` passing between chunks, yields
+/// [`RawLine::TimedOut`] (any partial line is abandoned).
 fn read_request<R: BufRead>(
     reader: &mut R,
     buf: &mut Vec<u8>,
     max: usize,
+    deadline: Option<Instant>,
 ) -> io::Result<Option<RawLine>> {
     buf.clear();
     let mut total = 0usize;
     let mut oversized = false;
     loop {
-        let available = reader.fill_buf()?;
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Ok(Some(RawLine::TimedOut));
+            }
+        }
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if is_timeout(e.kind()) => return Ok(Some(RawLine::TimedOut)),
+            Err(e) => return Err(e),
+        };
         if available.is_empty() {
             // EOF. Serve a pending unterminated line, drop nothing.
             return Ok(match (total, oversized) {
@@ -141,9 +178,37 @@ pub fn serve_with<R: BufRead, W: Write>(
     mut writer: W,
     opts: &ServeOptions,
 ) -> io::Result<()> {
+    let budget = opts.request_timeout_ms.map(Duration::from_millis);
     let mut buf: Vec<u8> = Vec::new();
-    while let Some(raw) = read_request(&mut reader, &mut buf, opts.max_request_bytes)? {
+    loop {
+        // A drain request ends the session at the request boundary:
+        // the response already in flight was written, nothing of the
+        // client's is dropped, and the close is clean.
+        if svc.shared().draining() {
+            return Ok(());
+        }
+        // The per-request clock starts when we begin waiting for the
+        // line and covers the check too: one budget per request.
+        let deadline = budget.map(|b| Instant::now() + b);
+        let Some(raw) = read_request(&mut reader, &mut buf, opts.max_request_bytes, deadline)?
+        else {
+            return Ok(());
+        };
         let response = match raw {
+            RawLine::TimedOut => {
+                if svc.shared().draining() {
+                    // The timeout wake-up raced a drain: the client
+                    // sent nothing, owes nothing, gets a clean close.
+                    return Ok(());
+                }
+                svc.shared().metrics().deadline_exceeded.inc();
+                // One flat structured line, then a clean close — the
+                // contract a stalled or slowloris client gets. The
+                // write is best-effort: the peer may be gone.
+                let _ = writer.write_all(b"{\"ok\":false,\"error\":\"deadline\"}\n");
+                let _ = writer.flush();
+                return Ok(());
+            }
             RawLine::Oversized { len } => transport_error(
                 "oversized",
                 format!(
@@ -158,7 +223,9 @@ pub fn serve_with<R: BufRead, W: Write>(
                         continue;
                     }
                     let t0 = Instant::now();
+                    svc.set_deadline(deadline);
                     let resp = handle_line(svc, line);
+                    svc.set_deadline(None);
                     if let Some(limit) = opts.slow_ms {
                         let ms = t0.elapsed().as_millis() as u64;
                         if ms >= limit {
@@ -180,10 +247,19 @@ pub fn serve_with<R: BufRead, W: Write>(
         // round trip into a ~40 ms stall.
         let mut out = response.to_string();
         out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        writer.flush()?;
+        if let Err(e) = writer
+            .write_all(out.as_bytes())
+            .and_then(|()| writer.flush())
+        {
+            if is_timeout(e.kind()) {
+                // The peer stopped reading: their loss, counted and
+                // closed — never a pinned session thread.
+                svc.shared().metrics().deadline_exceeded.inc();
+                return Ok(());
+            }
+            return Err(e);
+        }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -322,5 +398,125 @@ mod tests {
         let mut svc = uf_service(1);
         let lines = run_bytes(&mut svc, script, &ServeOptions::default());
         assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    /// A reader that serves its script, then stalls forever: every
+    /// further read reports `WouldBlock`, exactly like a socket with an
+    /// armed read timeout whose peer went quiet.
+    struct StallAfter {
+        data: Cursor<Vec<u8>>,
+    }
+
+    impl io::Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match io::Read::read(&mut self.data, buf)? {
+                0 => Err(io::ErrorKind::WouldBlock.into()),
+                n => Ok(n),
+            }
+        }
+    }
+
+    impl BufRead for StallAfter {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            let chunk = self.data.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            Ok(chunk)
+        }
+
+        fn consume(&mut self, n: usize) {
+            self.data.consume(n);
+        }
+    }
+
+    #[test]
+    fn a_stalled_client_gets_a_flat_deadline_error_and_a_clean_close() {
+        let opts = ServeOptions {
+            request_timeout_ms: Some(1_000),
+            ..ServeOptions::default()
+        };
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#);
+        script.push(b'\n');
+        let mut svc = uf_service(1);
+        let mut out = Vec::new();
+        serve_with(
+            &mut svc,
+            StallAfter {
+                data: Cursor::new(script),
+            },
+            &mut out,
+            &opts,
+        )
+        .unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2, "the open's answer, then the deadline");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        // The deadline answer is the flat two-field shape, nothing else.
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            lines[1].get("error").and_then(Json::as_str),
+            Some("deadline")
+        );
+        assert_eq!(lines[1].get("kind"), None, "flat shape, no transport kind");
+        assert_eq!(svc.shared().metrics().deadline_exceeded.get(), 1);
+    }
+
+    /// A slowloris: one byte of a never-terminated line per read. The
+    /// kernel timeout never fires (every read makes "progress"), so
+    /// only the wall-clock deadline in the read loop can catch it.
+    struct Drip {
+        byte: [u8; 1],
+    }
+
+    impl io::Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(Duration::from_millis(2));
+            buf[0] = self.byte[0];
+            Ok(1)
+        }
+    }
+
+    impl BufRead for Drip {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(&self.byte)
+        }
+
+        fn consume(&mut self, _n: usize) {}
+    }
+
+    #[test]
+    fn a_byte_at_a_time_slowloris_is_timed_out_by_the_wall_clock() {
+        let opts = ServeOptions {
+            request_timeout_ms: Some(60),
+            ..ServeOptions::default()
+        };
+        let mut svc = uf_service(1);
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        serve_with(&mut svc, Drip { byte: [b'a'] }, &mut out, &opts).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the drip was cut off: {:?}",
+            t0.elapsed()
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "{\"ok\":false,\"error\":\"deadline\"}\n");
+        assert_eq!(svc.shared().metrics().deadline_exceeded.get(), 1);
+    }
+
+    #[test]
+    fn a_draining_hub_closes_the_session_at_the_request_boundary() {
+        let mut svc = uf_service(1);
+        svc.shared().request_drain();
+        let script = br#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#;
+        let lines = run_bytes(&mut svc, script, &ServeOptions::default());
+        assert!(lines.is_empty(), "drained before reading: clean close");
     }
 }

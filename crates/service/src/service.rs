@@ -33,6 +33,7 @@ use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Service construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +67,10 @@ pub enum ServiceError {
     /// (binding ill-typed or blocked, oracle rejection, engine
     /// disagreement).
     Elaborate(String),
+    /// The request's time budget ran out before the check finished
+    /// (`--request-timeout-ms`, enforced at wave boundaries). Work
+    /// already completed stays cached, so a retry resumes warm.
+    Deadline,
 }
 
 impl fmt::Display for ServiceError {
@@ -74,6 +79,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownDoc(d) => write!(f, "unknown document `{d}`"),
             ServiceError::Parse(e) => write!(f, "{e}"),
             ServiceError::Elaborate(e) => write!(f, "cannot elaborate: {e}"),
+            ServiceError::Deadline => write!(f, "deadline"),
         }
     }
 }
@@ -145,6 +151,11 @@ pub struct Service {
     /// [`Service::set_conn`], `sess` is process-unique, `req` counts
     /// requests ([`Service::begin_request`]).
     ctx: TraceCtx,
+    /// The current request's time budget, set by the serve loop
+    /// ([`Service::set_deadline`]); checked at executor wave
+    /// boundaries. `None` (the default, and always for direct API use)
+    /// means unbudgeted.
+    deadline: Option<Instant>,
 }
 
 impl Service {
@@ -171,6 +182,7 @@ impl Service {
                 sess: next_session_id(),
                 req: 0,
             },
+            deadline: None,
         }
     }
 
@@ -191,6 +203,14 @@ impl Service {
     /// begun).
     pub fn trace_ctx(&self) -> TraceCtx {
         self.ctx
+    }
+
+    /// Set (or clear) the current request's deadline. The serve loop
+    /// calls this per request with `now + --request-timeout-ms`; the
+    /// executor checks it at wave boundaries and answers
+    /// [`ServiceError::Deadline`] when it passes.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Fold a produced or served report into the hub's metrics
@@ -393,7 +413,10 @@ impl Service {
         match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine, self.ctx) {
             Err(e) => Err(ServiceError::Parse(e.clone())),
             Ok(a) => {
-                let report = self.exec.run_traced(a, &self.shared, self.ctx);
+                let report = self
+                    .exec
+                    .run_budgeted(a, &self.shared, self.ctx, self.deadline)
+                    .map_err(|_| ServiceError::Deadline)?;
                 // (inline `note_report`: `entry` still borrows `docs`)
                 let m = self.shared.metrics();
                 m.bindings.add(report.bindings.len() as u64);

@@ -34,7 +34,7 @@ use crate::exec::CheckReport;
 use crate::hash::U64Map;
 use freezeml_engine::SchemeBank;
 use freezeml_obs::{Registry, Tracer};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Stripe count for the outcome cache. Matches the scheme bank's shard
@@ -168,6 +168,11 @@ pub struct Shared {
     /// first use unless [`Shared::set_tracer`] installed one first
     /// (the `--trace` flag does).
     tracer: OnceLock<Tracer>,
+    /// Set when a drain was requested (protocol `shutdown` command or
+    /// a signal): the socket accept loop sheds new connections, and
+    /// the foreground `join` returns so the final checkpoint can run.
+    /// One-way — a hub never un-drains.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -270,6 +275,19 @@ impl Shared {
     /// `OnceLock` underneath.
     pub fn set_tracer(&self, tracer: Tracer) -> bool {
         self.tracer.set(tracer).is_ok()
+    }
+
+    /// Ask the hub to drain: the socket server stops accepting,
+    /// finishes in-flight requests, and its foreground `join` returns.
+    /// Idempotent; also flips the registry's `draining` gauge.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.metrics.set_draining(true);
+    }
+
+    /// Has a drain been requested on this hub?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Snapshot the document reports as `(key, verify, generation,

@@ -10,14 +10,47 @@
 //!
 //! Concurrency model: with the hub sharded and striped, parallelism
 //! comes from *sessions*, not from waves — each connection's executor
-//! runs single-worker, and `--workers N` on the CLI sizes the session
-//! pool. N clients therefore check N documents genuinely concurrently,
-//! interning into the scheme bank without a global lock.
+//! runs single-worker, and `--max-sessions N` (default `--workers`) on
+//! the CLI sizes the session pool. N clients therefore check N
+//! documents genuinely concurrently, interning into the scheme bank
+//! without a global lock.
 //!
-//! Shutdown: [`SocketServer::shutdown`] (also on drop) sets the stop
-//! flag, pokes the accept loop with a throwaway connection, and joins
-//! every thread; sessions end when their clients hang up.
+//! ## Overload behavior
+//!
+//! The accept→session queue is **bounded** ([`Admission::max_pending`]).
+//! A connection arriving with the queue full is *shed*: it is answered
+//! one structured line —
+//! `{"ok":false,"error":"overloaded","retry-after-ms":N}` — and closed
+//! before any session state is built for it. Shedding at the accept
+//! thread keeps the failure cheap (no `Service`, no executor) and
+//! honest (the client learns immediately instead of queueing
+//! invisibly). Each shed bumps the hub's `requests_shed` counter.
+//!
+//! ## Drain
+//!
+//! [`Shared::request_drain`] (the protocol `shutdown` command, or the
+//! CLI's SIGTERM/SIGINT handler) flips the hub into draining: the
+//! accept loop sheds its next arrival with
+//! `{"ok":false,"error":"draining"}` and exits, in-flight requests
+//! finish, and session loops close their connections at the next
+//! request boundary (their serve loops poll the flag). The foreground
+//! [`SocketServer::join_timeout`] then waits up to `--drain-secs` for
+//! the pool before handing control back for the final checkpoint.
+//!
+//! Shutdown: the accept loop polls a nonblocking listener, so
+//! [`SocketServer::shutdown`] (also on drop) just sets the stop flag
+//! and joins — it exits deterministically even when the listener
+//! errored out early, with no throwaway "poke" connection.
+//!
+//! ## Faults
+//!
+//! Accepted streams are wrapped in a [`fault`] shim: the `sock.read`
+//! and `sock.write` failpoints can truncate, error, delay, or panic at
+//! the transport boundary. A panic anywhere in a session (framing
+//! included) is contained per connection and counted in
+//! `session_thread_deaths` — the pool never shrinks.
 
+use crate::fault::{self, Fault};
 use crate::server::{serve_with, ServeOptions};
 use crate::service::{Service, ServiceConfig};
 use crate::shared::Shared;
@@ -26,10 +59,37 @@ use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks its stop/drain flags while the
+/// listener is quiet.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Admission-control parameters for the accept thread.
+#[derive(Clone, Copy, Debug)]
+pub struct Admission {
+    /// Accepted connections allowed to wait for a session thread
+    /// before new arrivals are shed (`--max-pending`). The count is of
+    /// connections *not yet claimed* by a session thread — an arrival
+    /// is enqueued before it can be claimed, so `0` sheds every
+    /// connection (a test configuration, not a serving one).
+    pub max_pending: usize,
+    /// The `retry-after-ms` hint shed clients are given.
+    pub retry_after_ms: u64,
+}
+
+impl Default for Admission {
+    fn default() -> Admission {
+        Admission {
+            max_pending: 64,
+            retry_after_ms: 50,
+        }
+    }
+}
 
 /// One accepted connection, transport-erased.
 enum Stream {
@@ -43,6 +103,22 @@ impl Stream {
             Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
             Stream::Unix(s) => Stream::Unix(s.try_clone()?),
         })
+    }
+
+    /// Arm kernel-level read/write timeouts: a stalled or slowloris
+    /// peer wakes the serve loop with `WouldBlock`/`TimedOut` instead
+    /// of pinning the session thread forever.
+    fn set_timeouts(&self, t: Option<Duration>) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.set_read_timeout(t);
+                let _ = s.set_write_timeout(t);
+            }
+            Stream::Unix(s) => {
+                let _ = s.set_read_timeout(t);
+                let _ = s.set_write_timeout(t);
+            }
+        }
     }
 }
 
@@ -71,49 +147,75 @@ impl Write for Stream {
     }
 }
 
+/// A [`Stream`] with the `sock.read`/`sock.write` failpoints at the
+/// transport boundary: `eof` truncates a read to `Ok(0)`, `err` fails
+/// the call, `delay` stalls it, `panic` panics (contained by the
+/// session loop and counted as a thread death).
+struct FaultStream {
+    inner: Stream,
+    shared: Arc<Shared>,
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(f) = fault::hit_counted("sock.read", self.shared.metrics()) {
+            match f {
+                Fault::Eof => return Ok(0),
+                other => other.io_effect()?,
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(f) = fault::hit_counted("sock.write", self.shared.metrics()) {
+            f.io_effect()?;
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 enum Listener {
     Tcp(TcpListener),
     Unix(UnixListener),
 }
 
 impl Listener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
     fn accept(&self) -> io::Result<Stream> {
         Ok(match self {
             Listener::Tcp(l) => {
                 let (conn, _) = l.accept()?;
+                // The listener polls nonblocking; the session must not.
+                conn.set_nonblocking(false)?;
                 // A line protocol of small messages: never wait for a
                 // full segment.
                 let _ = conn.set_nodelay(true);
                 Stream::Tcp(conn)
             }
-            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Unix(l) => {
+                let conn = l.accept()?.0;
+                conn.set_nonblocking(false)?;
+                Stream::Unix(conn)
+            }
         })
-    }
-}
-
-/// Where the server is reachable — also how `shutdown` pokes the
-/// accept loop out of its blocking `accept`.
-#[derive(Clone)]
-enum Endpoint {
-    Tcp(std::net::SocketAddr),
-    Unix(PathBuf),
-}
-
-impl Endpoint {
-    fn poke(&self) {
-        // A throwaway connection; the accept loop sees the stop flag
-        // on its next iteration. Failure is fine — the listener may
-        // already be gone.
-        match self {
-            Endpoint::Tcp(addr) => drop(TcpStream::connect(addr)),
-            Endpoint::Unix(path) => drop(UnixStream::connect(path)),
-        }
     }
 }
 
 /// A running socket server. See the module docs.
 pub struct SocketServer {
-    endpoint: Endpoint,
     display_addr: String,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -130,6 +232,7 @@ fn session_cfg(cfg: ServiceConfig) -> ServiceConfig {
 
 fn session_thread(
     rx: Arc<Mutex<Receiver<Stream>>>,
+    pending: Arc<AtomicUsize>,
     cfg: ServiceConfig,
     shared: Arc<Shared>,
     opts: ServeOptions,
@@ -143,26 +246,57 @@ fn session_thread(
         let Ok(conn) = conn else {
             return; // channel closed: server shutting down
         };
-        let mut svc = Service::with_shared(cfg, Arc::clone(&shared));
-        // Every accepted connection gets a process-unique id: the root
-        // of the connection→session→request trace hierarchy.
-        let conn_id = next_conn_id();
-        svc.set_conn(conn_id);
-        shared.metrics().connections.inc();
-        shared.tracer().event("connection", svc.trace_ctx(), &[]);
-        let (reader, writer) = match conn.try_clone() {
-            Ok(r) => (BufReader::new(r), conn),
-            Err(_) => continue,
-        };
-        // Transport errors end this session only (client hung up).
-        let _ = serve_with(&mut svc, reader, writer, &opts);
+        pending.fetch_sub(1, Ordering::SeqCst);
+        conn.set_timeouts(opts.request_timeout_ms.map(Duration::from_millis));
+        // Contain *everything* a connection can do to this thread —
+        // including panics in protocol framing, outside the executor's
+        // per-binding containment. A session that dies takes only its
+        // own connection with it; the pool keeps its size, and the
+        // death is counted so it can never again pass silently.
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut svc = Service::with_shared(cfg, Arc::clone(&shared));
+            // Every accepted connection gets a process-unique id: the
+            // root of the connection→session→request trace hierarchy.
+            let conn_id = next_conn_id();
+            svc.set_conn(conn_id);
+            shared.metrics().connections.inc();
+            shared.tracer().event("connection", svc.trace_ctx(), &[]);
+            let (reader, writer) = match conn.try_clone() {
+                Ok(r) => (
+                    BufReader::new(FaultStream {
+                        inner: r,
+                        shared: Arc::clone(&shared),
+                    }),
+                    FaultStream {
+                        inner: conn,
+                        shared: Arc::clone(&shared),
+                    },
+                ),
+                Err(_) => return,
+            };
+            // Transport errors end this session only (client hung up).
+            let _ = serve_with(&mut svc, reader, writer, &opts);
+        }));
+        if served.is_err() {
+            shared.metrics().session_thread_deaths.inc();
+        }
     }
 }
 
+/// Answer a shed connection with one structured line and close it. The
+/// write gets a short timeout of its own so a malicious peer cannot
+/// stall the accept thread.
+fn shed(mut conn: Stream, body: &str) {
+    conn.set_timeouts(Some(Duration::from_millis(100)));
+    let _ = conn.write_all(body.as_bytes());
+    let _ = conn.write_all(b"\n");
+    let _ = conn.flush();
+}
+
 impl SocketServer {
-    /// Serve the hub over TCP. `addr` is anything `TcpListener::bind`
-    /// accepts (`127.0.0.1:0` picks an ephemeral port — read it back
-    /// from [`SocketServer::local_addr`]).
+    /// Serve the hub over TCP with default admission control. `addr` is
+    /// anything `TcpListener::bind` accepts (`127.0.0.1:0` picks an
+    /// ephemeral port — read it back from [`SocketServer::local_addr`]).
     ///
     /// # Errors
     ///
@@ -174,23 +308,39 @@ impl SocketServer {
         sessions: usize,
         opts: ServeOptions,
     ) -> io::Result<SocketServer> {
+        Self::spawn_tcp_with(addr, cfg, shared, sessions, opts, Admission::default())
+    }
+
+    /// [`SocketServer::spawn_tcp`] with explicit admission control.
+    ///
+    /// # Errors
+    ///
+    /// Binding or local-address resolution failures.
+    pub fn spawn_tcp_with(
+        addr: &str,
+        cfg: ServiceConfig,
+        shared: Arc<Shared>,
+        sessions: usize,
+        opts: ServeOptions,
+        admission: Admission,
+    ) -> io::Result<SocketServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         Self::spawn(
             Listener::Tcp(listener),
-            Endpoint::Tcp(local),
             local.to_string(),
             None,
             cfg,
             shared,
             sessions,
             opts,
+            admission,
         )
     }
 
-    /// Serve the hub over a Unix-domain socket at `path`. A stale
-    /// socket file from a previous run is removed first; the file is
-    /// unlinked again on shutdown.
+    /// Serve the hub over a Unix-domain socket at `path` with default
+    /// admission control. A stale socket file from a previous run is
+    /// removed first; the file is unlinked again on shutdown.
     ///
     /// # Errors
     ///
@@ -202,59 +352,112 @@ impl SocketServer {
         sessions: usize,
         opts: ServeOptions,
     ) -> io::Result<SocketServer> {
+        Self::spawn_unix_with(path, cfg, shared, sessions, opts, Admission::default())
+    }
+
+    /// [`SocketServer::spawn_unix`] with explicit admission control.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    pub fn spawn_unix_with(
+        path: &Path,
+        cfg: ServiceConfig,
+        shared: Arc<Shared>,
+        sessions: usize,
+        opts: ServeOptions,
+        admission: Admission,
+    ) -> io::Result<SocketServer> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         Self::spawn(
             Listener::Unix(listener),
-            Endpoint::Unix(path.to_path_buf()),
             path.display().to_string(),
             Some(path.to_path_buf()),
             cfg,
             shared,
             sessions,
             opts,
+            admission,
         )
     }
 
     #[allow(clippy::too_many_arguments)]
     fn spawn(
         listener: Listener,
-        endpoint: Endpoint,
         display_addr: String,
         unlink: Option<PathBuf>,
         cfg: ServiceConfig,
         shared: Arc<Shared>,
         sessions: usize,
         opts: ServeOptions,
+        admission: Admission,
     ) -> io::Result<SocketServer> {
+        listener.set_nonblocking()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let pending = Arc::new(AtomicUsize::new(0));
         let (tx, rx): (Sender<Stream>, Receiver<Stream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
         let cfg = session_cfg(cfg);
         let sessions: Vec<JoinHandle<()>> = (0..sessions.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
+                let pending = Arc::clone(&pending);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || session_thread(rx, cfg, shared, opts))
+                std::thread::spawn(move || session_thread(rx, pending, cfg, shared, opts))
             })
             .collect();
         let accept_stop = Arc::clone(&stop);
+        let accept_shared = Arc::clone(&shared);
+        let overloaded = format!(
+            r#"{{"ok":false,"error":"overloaded","retry-after-ms":{}}}"#,
+            admission.retry_after_ms
+        );
         let accept = std::thread::spawn(move || {
-            // `tx` is moved in: when this loop exits, the channel closes
-            // and the session pool drains out.
-            while !accept_stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok(conn) => {
-                        if accept_stop.load(Ordering::SeqCst) || tx.send(conn).is_err() {
+            // `tx` is moved in: when this loop exits, the channel
+            // closes and the session pool drains out. The listener is
+            // nonblocking, so the stop and drain flags are observed
+            // within one poll interval — deterministically, even if the
+            // listener itself has failed.
+            loop {
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if accept_shared.draining() {
                             return;
                         }
+                        std::thread::park_timeout(ACCEPT_POLL);
+                        continue;
                     }
                     Err(_) => return,
+                };
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if accept_shared.draining() {
+                    accept_shared.metrics().requests_shed.inc();
+                    shed(conn, r#"{"ok":false,"error":"draining"}"#);
+                    return;
+                }
+                // Admission control: the queue between accept and the
+                // session pool is bounded. Over the bound, the client
+                // gets a structured answer *now* instead of an
+                // invisible wait.
+                if pending.load(Ordering::SeqCst) >= admission.max_pending {
+                    accept_shared.metrics().requests_shed.inc();
+                    shed(conn, &overloaded);
+                    continue;
+                }
+                pending.fetch_add(1, Ordering::SeqCst);
+                if tx.send(conn).is_err() {
+                    return;
                 }
             }
         });
         Ok(SocketServer {
-            endpoint,
             display_addr,
             stop,
             accept: Some(accept),
@@ -277,7 +480,6 @@ impl SocketServer {
             return;
         }
         self.stop.store(true, Ordering::SeqCst);
-        self.endpoint.poke();
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -289,19 +491,46 @@ impl SocketServer {
         }
     }
 
-    /// Block until the accept loop exits (it only does on listener
-    /// error or [`SocketServer::shutdown`] from another thread) — the
-    /// CLI's foreground serving mode.
-    pub fn join(mut self) {
+    /// Block until the accept loop exits (listener error, drain, or
+    /// [`SocketServer::shutdown`] from another thread) and every
+    /// session thread finishes — the CLI's foreground serving mode
+    /// with an unbounded wind-down.
+    pub fn join(self) {
+        self.join_timeout(None);
+    }
+
+    /// [`SocketServer::join`] with a bounded wind-down: after the
+    /// accept loop exits, wait at most `limit` for the session pool
+    /// (`--drain-secs`). Returns `true` if every session finished;
+    /// stragglers (clients that never hung up) are abandoned to die
+    /// with the process.
+    pub fn join_timeout(mut self, limit: Option<Duration>) -> bool {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        let deadline = limit.map(|d| Instant::now() + d);
+        let mut all = true;
         for h in self.sessions.drain(..) {
-            let _ = h.join();
+            match deadline {
+                None => {
+                    let _ = h.join();
+                }
+                Some(deadline) => {
+                    while !h.is_finished() && Instant::now() < deadline {
+                        std::thread::park_timeout(Duration::from_millis(20));
+                    }
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        all = false;
+                    }
+                }
+            }
         }
         if let Some(path) = self.unlink.take() {
             let _ = std::fs::remove_file(path);
         }
+        all
     }
 }
 
@@ -457,5 +686,132 @@ mod tests {
             assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "client {i}");
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_deterministic_without_any_client_poke() {
+        // Regression (the old implementation "poked" the listener with
+        // a throwaway connection, which raced when the listener had
+        // already failed): shutdown must return promptly with no help
+        // from the network, repeatedly, and immediately after spawn.
+        for _ in 0..3 {
+            let mut server = SocketServer::spawn_tcp(
+                "127.0.0.1:0",
+                cfg(),
+                Arc::new(Shared::new()),
+                2,
+                ServeOptions::default(),
+            )
+            .unwrap();
+            let t0 = Instant::now();
+            server.shutdown();
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "shutdown stalled: {:?}",
+                t0.elapsed()
+            );
+            // Idempotent.
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn over_max_pending_connections_are_shed_with_retry_after() {
+        // 1 session thread, queue of 1: with the session held busy and
+        // the queue full, the next arrival must be answered
+        // `overloaded` with a retry hint, not silently queued.
+        let shared = Arc::new(Shared::new());
+        let mut server = SocketServer::spawn_tcp_with(
+            "127.0.0.1:0",
+            cfg(),
+            Arc::clone(&shared),
+            1,
+            ServeOptions::default(),
+            Admission {
+                max_pending: 1,
+                retry_after_ms: 25,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        // Hold the only session thread with an open connection (the
+        // answered request proves the session claimed it, so the
+        // pending queue is empty again).
+        let mut busy = TcpStream::connect(&addr).unwrap();
+        let mut busy_r = StdBufReader::new(busy.try_clone().unwrap());
+        let r = request(
+            &mut busy,
+            &mut busy_r,
+            r#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        // This connection fills the queue (no session is free to claim
+        // it)…
+        let _queued = TcpStream::connect(&addr).unwrap();
+        // …so the one after it is shed at the accept thread.
+        let extra = TcpStream::connect(&addr).unwrap();
+        let mut line = String::new();
+        let mut extra_r = StdBufReader::new(extra);
+        extra_r.read_line(&mut line).unwrap();
+        let v = Json::parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(
+            v.get("retry-after-ms").and_then(Json::as_num),
+            Some(25.0),
+            "the hint mirrors the admission config"
+        );
+        // …and the line is followed by a clean close.
+        assert_eq!(extra_r.read_line(&mut line).unwrap(), 0);
+        assert!(shared.metrics().requests_shed.get() >= 1);
+        // The busy session was untouched by the shed.
+        let r = request(
+            &mut busy,
+            &mut busy_r,
+            r#"{"cmd":"type-of","doc":"m","name":"x"}"#,
+        );
+        assert_eq!(r.get("result").and_then(Json::as_str), Some("Int"));
+        // Close the held connections before shutdown: the queued one
+        // will be claimed by the freed session thread, and shutdown
+        // joins that thread, which only returns once its client is
+        // gone.
+        drop((busy, busy_r, _queued));
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_drain_request_stops_the_accept_loop_and_join_returns() {
+        let shared = Arc::new(Shared::new());
+        let server = SocketServer::spawn_tcp(
+            "127.0.0.1:0",
+            cfg(),
+            Arc::clone(&shared),
+            2,
+            ServeOptions {
+                request_timeout_ms: Some(200),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        // An in-flight session…
+        let mut live = TcpStream::connect(&addr).unwrap();
+        let mut live_r = StdBufReader::new(live.try_clone().unwrap());
+        let r = request(
+            &mut live,
+            &mut live_r,
+            r#"{"cmd":"open","doc":"m","text":"let x = 1;;"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        // …then a drain. The foreground join must come back even
+        // though the live client never hangs up (its serve loop closes
+        // at the next request-timeout boundary).
+        shared.request_drain();
+        assert_eq!(shared.metrics().snapshot().draining, 1);
+        let all = server.join_timeout(Some(Duration::from_secs(5)));
+        assert!(all, "sessions wound down within the drain budget");
+        // The drained server's client sees a clean close.
+        let mut line = String::new();
+        assert_eq!(live_r.read_line(&mut line).unwrap(), 0, "clean close");
     }
 }

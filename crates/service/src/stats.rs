@@ -157,6 +157,27 @@ pub fn stats_json(shared: &Shared) -> Json {
             ]),
         ),
         (
+            "resilience",
+            Json::obj([
+                ("requests_shed", Json::Num(s.requests_shed as f64)),
+                ("deadline_exceeded", Json::Num(s.deadline_exceeded as f64)),
+                ("draining", Json::Bool(s.draining != 0)),
+                (
+                    "session_thread_deaths",
+                    Json::Num(s.session_thread_deaths as f64),
+                ),
+                (
+                    "failpoint_trips",
+                    Json::Obj(
+                        s.failpoint_trips
+                            .iter()
+                            .map(|(site, n)| (site.clone(), Json::Num(*n as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
             "persistence",
             Json::obj([
                 ("evictions", Json::Num(s.evictions as f64)),
@@ -276,6 +297,23 @@ pub fn prometheus_text(shared: &Shared) -> String {
     write_counter(&mut out, "freezeml_sessions_total", s.sessions);
     write_counter(&mut out, "freezeml_slow_requests_total", s.slow_requests);
 
+    write_counter(&mut out, "freezeml_requests_shed_total", s.requests_shed);
+    write_counter(
+        &mut out,
+        "freezeml_deadline_exceeded_total",
+        s.deadline_exceeded,
+    );
+    write_gauge(&mut out, "freezeml_draining", s.draining);
+    write_counter(
+        &mut out,
+        "freezeml_session_thread_deaths_total",
+        s.session_thread_deaths,
+    );
+    let _ = writeln!(out, "# TYPE freezeml_failpoint_trips_total counter");
+    for (site, n) in &s.failpoint_trips {
+        let _ = writeln!(out, "freezeml_failpoint_trips_total{{site=\"{site}\"}} {n}");
+    }
+
     write_counter(&mut out, "freezeml_report_bindings_total", s.bindings);
     write_counter(&mut out, "freezeml_report_rechecked_total", s.rechecked);
     write_counter(&mut out, "freezeml_report_reused_total", s.reused);
@@ -358,6 +396,7 @@ pub(crate) fn cmd_of(req: &crate::protocol::Request) -> Cmd {
         R::Close { .. } => Cmd::Close,
         R::Stats => Cmd::Stats,
         R::Metrics => Cmd::Metrics,
+        R::Shutdown => Cmd::Shutdown,
     }
 }
 
@@ -443,6 +482,38 @@ mod tests {
         assert!(
             text.contains("freezeml_request_latency_seconds_bucket{cmd=\"open\",le=\"+Inf\"} 1")
         );
+    }
+
+    #[test]
+    fn resilience_counters_are_exposed_in_both_formats() {
+        let s = warmed_service();
+        let m = s.shared().metrics();
+        m.requests_shed.add(2);
+        m.deadline_exceeded.inc();
+        m.failpoint_trips.inc("persist.write");
+        m.session_thread_deaths.inc();
+        s.shared().request_drain();
+        let v = stats_json(s.shared());
+        let r = v.get("resilience").expect("resilience object");
+        assert_eq!(r.get("requests_shed").and_then(Json::as_num), Some(2.0));
+        assert_eq!(r.get("deadline_exceeded").and_then(Json::as_num), Some(1.0));
+        assert_eq!(r.get("draining"), Some(&Json::Bool(true)));
+        assert_eq!(
+            r.get("session_thread_deaths").and_then(Json::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            r.get("failpoint_trips")
+                .and_then(|f| f.get("persist.write"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+        let text = prometheus_text(s.shared());
+        assert!(text.contains("freezeml_requests_shed_total 2"));
+        assert!(text.contains("freezeml_deadline_exceeded_total 1"));
+        assert!(text.contains("freezeml_draining 1"));
+        assert!(text.contains("freezeml_session_thread_deaths_total 1"));
+        assert!(text.contains("freezeml_failpoint_trips_total{site=\"persist.write\"} 1"));
     }
 
     #[test]

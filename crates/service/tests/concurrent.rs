@@ -159,6 +159,12 @@ fn concurrent_sessions_answer_exactly_like_a_single_threaded_replay() {
     for r in outcomes {
         r.unwrap();
     }
+    // PR 9 satellite: the socket pool lost no thread while serving.
+    assert_eq!(
+        shared.metrics().snapshot().session_thread_deaths,
+        0,
+        "a session thread panicked during the concurrent run"
+    );
 }
 
 #[test]
@@ -339,4 +345,8 @@ fn registry_totals_match_client_reports_under_concurrency() {
         s.reused
     );
     assert_eq!(s.sessions, SESSIONS as u64);
+    // PR 9 satellite: no session thread died along the way — a panic
+    // escaping the per-connection containment can never again shrink
+    // the pool silently, because this counter would catch it.
+    assert_eq!(s.session_thread_deaths, 0, "a session thread panicked");
 }

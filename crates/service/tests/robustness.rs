@@ -1,25 +1,25 @@
-//! PR 6 satellite: a panicking inference worker must not take down the
-//! service. Pre-PR, the executor `join().expect(…)`-ed its worker
-//! threads, so one panic anywhere in a check propagated out of
-//! `Service::check`, tore down the session, and (with the old global
-//! `Mutex<SchemeStore>`) poisoned the scheme store for every *other*
-//! session sharing it. Now panics are caught at the wave boundary, the
-//! binding is reported as an `Internal` error, the worker's session
-//! state is discarded, and the hub keeps answering.
+//! PR 6 satellite, reworked on PR 9's fault layer: a panicking
+//! inference worker must not take down the service. Pre-PR-6, the
+//! executor `join().expect(…)`-ed its worker threads, so one panic
+//! anywhere in a check propagated out of `Service::check`, tore down
+//! the session, and (with the old global `Mutex<SchemeStore>`) poisoned
+//! the scheme store for every *other* session sharing it. Now panics
+//! are caught at the wave boundary, the binding is reported as an
+//! `Internal` error, the worker's session state is discarded, and the
+//! hub keeps answering.
 //!
-//! The deliberate panic is injected with the `FREEZEML_TEST_PANIC_ON`
-//! env hook (read once per check run). Environment variables are
-//! process-global and tests in one binary run concurrently, so this
-//! file holds a **single** test function that walks through every
-//! scenario sequentially.
+//! The deliberate panic is injected with the `infer.binding=panic`
+//! failpoint (which replaced the old `FREEZEML_TEST_PANIC_ON` env
+//! hook). The failpoint table is process-global and tests in one binary
+//! run concurrently, so this file holds a **single** test function that
+//! walks through every scenario sequentially.
 
+use freezeml_service::fault;
 use freezeml_service::{handle_line, Json, Service, ServiceConfig, Shared, SocketServer};
 use freezeml_service::{EngineSel, Outcome, ServeOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-
-const PANIC_HOOK: &str = "FREEZEML_TEST_PANIC_ON";
 
 fn cfg(workers: usize) -> ServiceConfig {
     ServiceConfig {
@@ -44,18 +44,21 @@ fn internal_errors(report: &freezeml_service::CheckReport) -> Vec<&str> {
 #[test]
 fn a_panicking_binding_is_an_internal_error_not_a_crash() {
     // ── In-process, single worker: the panic is caught per binding.
-    std::env::set_var(PANIC_HOOK, "boom");
+    // The failpoint trips on the first `infer.binding` site reached, so
+    // the bindings are kept independent of each other: whichever one
+    // the panic lands on, the other three must still check.
+    fault::install("infer.binding=panic:1").unwrap();
     let mut svc = Service::new(cfg(1));
     let report = svc
         .open(
             "m",
-            "let a = 1;;\nlet boom = 2;;\nlet b = true;;\nlet c = a;;\n",
+            "let boom = 2;;\nlet a = 1;;\nlet b = true;;\nlet c = 4;;\n",
         )
         .expect("the program parses; the panic is contained");
     let internal = internal_errors(report);
-    assert_eq!(internal.len(), 1, "exactly the panicking binding fails");
+    assert_eq!(internal.len(), 1, "exactly one binding trips the budget");
     assert!(
-        internal[0].contains("deliberate test panic"),
+        internal[0].contains("injected panic"),
         "the panic payload is surfaced: {internal:?}"
     );
     let typed = report
@@ -64,16 +67,31 @@ fn a_panicking_binding_is_an_internal_error_not_a_crash() {
         .filter(|b| b.outcome.is_typed())
         .count();
     assert_eq!(typed, 3, "every other binding still checks");
+    let survivor = report
+        .bindings
+        .iter()
+        .find(|b| b.outcome.is_typed() && b.name != "b")
+        .map(|b| b.name.clone())
+        .expect("a typed Int binding survives");
+    assert_eq!(
+        svc.shared().metrics().failpoint_trips.get("infer.binding"),
+        1,
+        "the trip landed on the labeled counter"
+    );
 
     // ── The same service keeps answering after the panic…
     assert_eq!(
-        svc.type_of("m", "a").unwrap().unwrap().outcome.display(),
+        svc.type_of("m", &survivor)
+            .unwrap()
+            .unwrap()
+            .outcome
+            .display(),
         "Int"
     );
 
-    // ── …and once the hook is lifted, a recheck heals the binding:
-    // Internal errors are never cached.
-    std::env::remove_var(PANIC_HOOK);
+    // ── …and with the budget exhausted (and then the table cleared), a
+    // recheck heals the binding: Internal errors are never cached.
+    fault::clear();
     let healed = svc.check("m").unwrap();
     assert!(
         healed.bindings.iter().all(|b| b.outcome.is_typed()),
@@ -87,7 +105,7 @@ fn a_panicking_binding_is_an_internal_error_not_a_crash() {
 
     // ── Multi-worker: a panic on one worker thread does not kill the
     // wave running on the others, and the worker pool survives.
-    std::env::set_var(PANIC_HOOK, "boom");
+    fault::install("infer.binding=panic:1").unwrap();
     let mut svc = Service::new(cfg(4));
     let text: String = (0..12)
         .map(|i| format!("let x{i} = {i};;\n"))
@@ -103,6 +121,7 @@ fn a_panicking_binding_is_an_internal_error_not_a_crash() {
             .count(),
         12
     );
+    fault::clear();
 
     // ── The protocol layer reports the binding with status "error" and
     // the session object stays usable.
@@ -112,6 +131,7 @@ fn a_panicking_binding_is_an_internal_error_not_a_crash() {
     // ── Over the socket, with the *shared* bank: a session that trips
     // the panic leaves the hub answering other sessions (the old global
     // lock would have been poisoned here).
+    fault::install("infer.binding=panic:1").unwrap();
     let shared = Arc::new(Shared::new());
     let mut server = SocketServer::spawn_tcp(
         "127.0.0.1:0",
@@ -147,7 +167,7 @@ fn a_panicking_binding_is_an_internal_error_not_a_crash() {
         "the hub survives another session's panic: {r}"
     );
 
-    std::env::remove_var(PANIC_HOOK);
+    fault::clear();
     drop((a, ra, b, rb));
     server.shutdown();
 }

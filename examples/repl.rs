@@ -271,18 +271,72 @@ impl Repl {
     }
 
     fn connect(addr: &str) -> io::Result<Repl> {
-        let mut repl = Repl {
-            backend: Backend::Remote(Remote::connect(addr)?),
+        // An overloaded or draining server sheds whole connections with
+        // one structured line (`overloaded` carries a `retry-after-ms`
+        // hint) before closing. An interactive client retries a few
+        // times with jittered exponential backoff before giving up.
+        const ATTEMPTS: u32 = 8;
+        let text = "#use prelude\n".to_string();
+        let open = Request::Open {
+            doc: DOC.to_string(),
+            text: text.clone(),
+        };
+        let mut attempt = 0u32;
+        let conn = loop {
+            let mut retry = |hint: Option<u64>, why: &str| -> io::Result<()> {
+                attempt += 1;
+                if attempt >= ATTEMPTS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("{why}; gave up after {attempt} attempt(s)"),
+                    ));
+                }
+                let ms =
+                    freezeml::service::backoff_ms(attempt, hint, u64::from(std::process::id()));
+                eprintln!("{why}; retrying in {ms} ms ({attempt}/{ATTEMPTS})");
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            };
+            let mut conn = match Remote::connect(addr) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    retry(None, &format!("cannot connect to {addr}: {e}"))?;
+                    continue;
+                }
+            };
+            match conn.round_trip(&open) {
+                // The server closed before answering — a drained
+                // listener does that; retryable.
+                Err(e) => {
+                    retry(None, &format!("{addr}: {e}"))?;
+                    continue;
+                }
+                Ok(v) => match v.get("error").and_then(Json::as_str) {
+                    Some("overloaded") | Some("draining") => {
+                        let hint = v
+                            .get("retry-after-ms")
+                            .and_then(Json::as_num)
+                            .map(|n| n as u64);
+                        retry(hint, &format!("{addr} shed the connection"))?;
+                        continue;
+                    }
+                    _ => {
+                        edit_report(&v)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                        conn.opened = true;
+                        break conn;
+                    }
+                },
+            }
+        };
+        Ok(Repl {
+            backend: Backend::Remote(conn),
             engine: EngineSel::from_env(),
             opts: Options::default(),
-            text: "#use prelude\n".to_string(),
+            text,
             queries: 0,
             env: Vec::new(),
-        };
-        repl.backend
-            .edit(&repl.text.clone())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(repl)
+        })
     }
 
     fn remote(&self) -> bool {

@@ -52,12 +52,28 @@
 //!                               are evicted to fit (default 64 MiB)
 //!   --checkpoint-secs N         (serve) seconds between periodic snapshots
 //!                               (default 30)
+//!   --request-timeout-ms N      per-request budget: a request that cannot be
+//!                               read or checked within N ms is answered one
+//!                               flat {"ok":false,"error":"deadline"} line and
+//!                               the connection closes. Default: off on stdio,
+//!                               10000 under --socket; 0 disables
+//!   --max-pending N             (serve --socket) accepted connections allowed
+//!                               to wait for a session thread; excess arrivals
+//!                               are shed with a structured `overloaded` error
+//!                               and a retry-after-ms hint (default 64)
+//!   --max-sessions N            (serve --socket) session-thread count
+//!                               (default: --workers)
+//!   --drain-secs N              (serve --socket) on SIGTERM/SIGINT or the
+//!                               protocol `shutdown` command, stop accepting,
+//!                               finish in-flight requests for up to N s, take
+//!                               a final checkpoint, exit 0 (default 10)
 //! ```
 //!
 //! The protocol itself is documented in `freezeml_service::protocol`.
 
 use freezeml_conformance::program as golden;
 use freezeml_obs::Tracer;
+use freezeml_service::sock::Admission;
 use freezeml_service::{
     load, persist, serve_with, Checkpointer, EngineSel, Json, LoadOutcome, PersistConfig,
     ServeOptions, Service, ServiceConfig, Shared, SocketServer,
@@ -65,8 +81,13 @@ use freezeml_service::{
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default per-request budget under `--socket` (`--request-timeout-ms`
+/// overrides; 0 disables).
+const DEFAULT_SOCKET_TIMEOUT_MS: u64 = 10_000;
 
 struct Args {
     cfg: ServiceConfig,
@@ -75,15 +96,52 @@ struct Args {
     cache: Option<PersistConfig>,
     checkpoint_secs: u64,
     trace: Option<String>,
+    /// `--request-timeout-ms` as given; `None` = flag absent (default
+    /// off on stdio, [`DEFAULT_SOCKET_TIMEOUT_MS`] on sockets).
+    request_timeout_ms: Option<u64>,
+    max_pending: Option<usize>,
+    max_sessions: Option<usize>,
+    drain_secs: u64,
     cmd: String,
     rest: Vec<String>,
 }
+
+/// Set by the SIGTERM/SIGINT handler; a watcher thread translates it
+/// into [`Shared::request_drain`] on the serving hub. The handler
+/// itself only stores a flag — the one operation that is
+/// async-signal-safe.
+static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_sig: std::os::raw::c_int) {
+    DRAIN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to the drain flag. `std` exposes no signal
+/// API; `signal(2)` comes straight from the libc `std` already links.
+#[cfg(unix)]
+fn install_drain_signals() {
+    use std::os::raw::c_int;
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    unsafe {
+        signal(SIGINT, on_drain_signal);
+        signal(SIGTERM, on_drain_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_signals() {}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freezeml [--engine core|uf|both] [--workers N] [--pure] \
          [--socket ADDR] [--max-request-bytes N] [--trace FILE] [--slow-ms N] \
          [--cache-dir DIR] [--max-cache-bytes N] [--checkpoint-secs N] \
+         [--request-timeout-ms N] [--max-pending N] [--max-sessions N] \
+         [--drain-secs N] \
          [serve | check FILE… | elaborate FILE… | replay PATH… | gen N [SEED] | \
          bench-json [MS] | stats --connect ADDR [--metrics]]"
     );
@@ -110,6 +168,10 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut max_cache_bytes = persist::DEFAULT_MAX_BYTES;
     let mut checkpoint_secs = 30u64;
     let mut trace: Option<String> = None;
+    let mut request_timeout_ms: Option<u64> = None;
+    let mut max_pending: Option<usize> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut drain_secs = 10u64;
     while let Some(w) = words.next() {
         match w.as_str() {
             "--engine" => {
@@ -165,6 +227,37 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .filter(|&n| n > 0)
                     .ok_or_else(usage)?;
             }
+            "--request-timeout-ms" => {
+                request_timeout_ms = Some(
+                    words
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--max-pending" => {
+                max_pending = Some(
+                    words
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--max-sessions" => {
+                max_sessions = Some(
+                    words
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--drain-secs" => {
+                drain_secs = words
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(usage)?;
+            }
             "--help" | "-h" => return Err(usage()),
             _ if cmd.is_none() => cmd = Some(w),
             _ => rest.push(w),
@@ -180,6 +273,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         }),
         checkpoint_secs,
         trace,
+        request_timeout_ms,
+        max_pending,
+        max_sessions,
+        drain_secs,
         cmd: cmd.unwrap_or_else(|| "serve".to_string()),
         rest,
     })
@@ -214,41 +311,68 @@ fn report_load(out: &LoadOutcome) {
     }
 }
 
-/// Serve over a socket until the process is killed. `addr` is a
-/// Unix-socket path when it contains a path separator or carries the
-/// `unix:` prefix, a TCP `host:port` otherwise.
-fn cmd_serve_socket(
-    cfg: ServiceConfig,
-    addr: &str,
-    opts: ServeOptions,
-    cache: Option<PersistConfig>,
-    checkpoint_secs: u64,
-    tracer: Option<Tracer>,
-) -> ExitCode {
-    let sessions = cfg.workers.max(1);
+/// Serve over a socket until a drain (SIGTERM/SIGINT or the protocol
+/// `shutdown` command) winds it down. `addr` is a Unix-socket path when
+/// it contains a path separator or carries the `unix:` prefix, a TCP
+/// `host:port` otherwise.
+fn cmd_serve_socket(args: &Args, addr: &str, tracer: Option<Tracer>) -> ExitCode {
+    let cfg = args.cfg;
+    let sessions = args.max_sessions.unwrap_or(cfg.workers).max(1);
+    // Per-request deadlines default ON over sockets (a remote client
+    // can stall; stdin cannot hang up the same way). 0 disables.
+    let opts = ServeOptions {
+        request_timeout_ms: match args.request_timeout_ms {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_SOCKET_TIMEOUT_MS),
+        },
+        ..args.serve_opts
+    };
+    let admission = Admission {
+        max_pending: args.max_pending.unwrap_or(Admission::default().max_pending),
+        ..Admission::default()
+    };
     let shared = Arc::new(Shared::new());
     if let Some(t) = tracer {
         shared.set_tracer(t);
     }
     // Warm the hub before the first connection, and checkpoint it
-    // periodically — socket servers are usually killed, not shut down,
-    // so the periodic snapshot is the durable one.
-    let checkpointer = cache.map(|pcfg| {
+    // periodically; the graceful-drain path below also takes a final
+    // snapshot, so a SIGTERM'd server loses at most one interval.
+    let checkpointer = args.cache.clone().map(|pcfg| {
         let epoch = persist::epoch(&cfg.opts);
         report_load(&persist::load(&shared, epoch, &pcfg));
         Checkpointer::checkpoint_every(
             Arc::clone(&shared),
             epoch,
             pcfg,
-            Duration::from_secs(checkpoint_secs),
+            Duration::from_secs(args.checkpoint_secs),
         )
     });
+    // SIGTERM/SIGINT → drain: the handler flips a process-global flag,
+    // this watcher translates it into a hub drain (signal handlers
+    // cannot touch the Arc themselves).
+    install_drain_signals();
+    {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            if DRAIN_SIGNAL.load(Ordering::SeqCst) {
+                eprintln!("freezeml: drain requested by signal");
+                shared.request_drain();
+                return;
+            }
+            if shared.draining() {
+                return; // protocol `shutdown` got there first
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        });
+    }
     let spawned = if let Some(path) = addr.strip_prefix("unix:") {
-        SocketServer::spawn_unix(Path::new(path), cfg, shared, sessions, opts)
+        SocketServer::spawn_unix_with(Path::new(path), cfg, shared, sessions, opts, admission)
     } else if addr.contains('/') {
-        SocketServer::spawn_unix(Path::new(addr), cfg, shared, sessions, opts)
+        SocketServer::spawn_unix_with(Path::new(addr), cfg, shared, sessions, opts, admission)
     } else {
-        SocketServer::spawn_tcp(addr, cfg, shared, sessions, opts)
+        SocketServer::spawn_tcp_with(addr, cfg, shared, sessions, opts, admission)
     };
     match spawned {
         Ok(server) => {
@@ -256,7 +380,15 @@ fn cmd_serve_socket(
                 "freezeml: serving on {} ({sessions} session thread(s))",
                 server.local_addr()
             );
-            server.join();
+            // Blocks for the server's whole life; after a drain, waits
+            // up to --drain-secs for in-flight sessions.
+            let all = server.join_timeout(Some(Duration::from_secs(args.drain_secs)));
+            if !all {
+                eprintln!(
+                    "freezeml: drain: abandoning session(s) still busy after {}s",
+                    args.drain_secs
+                );
+            }
             if let Some(cp) = checkpointer {
                 if let Err(e) = cp.finish() {
                     eprintln!("freezeml: cache: final snapshot failed: {e}");
@@ -592,14 +724,7 @@ fn main() -> ExitCode {
     match args.cmd.as_str() {
         "serve" => {
             if let Some(addr) = &args.socket {
-                return cmd_serve_socket(
-                    args.cfg,
-                    addr,
-                    args.serve_opts,
-                    args.cache,
-                    args.checkpoint_secs,
-                    tracer,
-                );
+                return cmd_serve_socket(&args, addr, tracer);
             }
             let mut svc = Service::new(args.cfg);
             if let Some(t) = tracer {
@@ -616,7 +741,13 @@ fn main() -> ExitCode {
             });
             let stdin = io::stdin();
             let stdout = io::stdout();
-            let served = serve_with(&mut svc, stdin.lock(), stdout.lock(), &args.serve_opts);
+            // Deadlines default OFF on stdio (stdin never stalls the
+            // way a remote peer can); the flag still arms them.
+            let serve_opts = ServeOptions {
+                request_timeout_ms: args.request_timeout_ms.filter(|&n| n > 0),
+                ..args.serve_opts
+            };
+            let served = serve_with(&mut svc, stdin.lock(), stdout.lock(), &serve_opts);
             if let Some(cp) = checkpointer {
                 if let Err(e) = cp.finish() {
                     eprintln!("freezeml: cache: final snapshot failed: {e}");

@@ -35,12 +35,13 @@
 
 use crate::snapshot::{AbsorbedSnapshot, PortableCon, PortableNode, SnapshotError};
 use crate::store::{reprobe, Shape, Store, TypeId};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, PoisonError};
 use crate::SchemeId;
 use freezeml_core::{Symbol, TyCon, TyVar, Type};
+use freezeml_obs::lockrank;
 use fxhash::{FxHashMap, FxHashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// log₂ of the shard count. 16 shards keeps the id encoding roomy
 /// (2²⁸ nodes per shard) while giving a worker pool an order of
@@ -127,9 +128,12 @@ fn assemble(slot: usize, shard: usize) -> SchemeId {
 }
 
 /// The sharded concurrent scheme arena. See the module docs.
-#[derive(Default)]
 pub struct SchemeBank {
-    shards: [RwLock<Shard>; SHARDS],
+    /// Rank-witnessed shard locks (`lockrank::BANK_SHARD` is the
+    /// highest rank in the table: a shard lock is a leaf — nothing is
+    /// ever acquired while holding one, and the debug-build witness
+    /// enforces exactly that).
+    shards: [lockrank::RwLock<Shard>; SHARDS],
     /// Tree/string materialisations performed (cold `pretty`/`to_type`
     /// work) — the counter the service asserts its memoisation against.
     renders: AtomicU64,
@@ -137,22 +141,37 @@ pub struct SchemeBank {
     render_hits: AtomicU64,
 }
 
+impl Default for SchemeBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SchemeBank {
     /// An empty bank.
     pub fn new() -> Self {
-        Self::default()
+        SchemeBank {
+            shards: std::array::from_fn(|_| {
+                lockrank::RwLock::new(lockrank::BANK_SHARD, "engine.bank.shard", Shard::default())
+            }),
+            // ord: Relaxed everywhere below — renders/render_hits are
+            // monotonic statistics; no reader derives control flow or
+            // publication from them.
+            renders: AtomicU64::new(0),
+            render_hits: AtomicU64::new(0),
+        }
     }
 
     /// Shard read lock, recovering from poison: shard invariants are
     /// maintained per single-node operation, so state behind a
     /// poisoned lock is still valid.
-    fn read(&self, s: usize) -> RwLockReadGuard<'_, Shard> {
+    fn read(&self, s: usize) -> lockrank::RwLockReadGuard<'_, Shard> {
         self.shards[s]
             .read()
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn write(&self, s: usize) -> RwLockWriteGuard<'_, Shard> {
+    fn write(&self, s: usize) -> lockrank::RwLockWriteGuard<'_, Shard> {
         self.shards[s]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -186,11 +205,13 @@ impl SchemeBank {
 
     /// Cold materialisations (tree or string) performed so far.
     pub fn renders(&self) -> u64 {
+        // ord: Relaxed — monotonic statistic; no acquire pairing needed.
         self.renders.load(Ordering::Relaxed)
     }
 
     /// `pretty` calls served straight from the per-node memo.
     pub fn render_hits(&self) -> u64 {
+        // ord: Relaxed — monotonic statistic; no acquire pairing needed.
         self.render_hits.load(Ordering::Relaxed)
     }
 
@@ -439,6 +460,7 @@ impl SchemeBank {
     /// Materialise the scheme as a `core::Type` tree — the on-demand
     /// zonk, exponential in the worst case (the tree *is* that big).
     pub fn to_type(&self, id: SchemeId) -> Type {
+        // ord: Relaxed — statistic bump; RMW atomicity is all we need.
         self.renders.fetch_add(1, Ordering::Relaxed);
         let mut stack: Vec<TyVar> = Vec::new();
         self.to_type_go(id, &mut stack)
@@ -473,9 +495,11 @@ impl SchemeBank {
     pub fn pretty(&self, id: SchemeId) -> Arc<str> {
         let s_idx = shard_of(id);
         if let Some(s) = self.read(s_idx).rendered.get(&id) {
+            // ord: Relaxed — statistic bump; RMW atomicity is all we need.
             self.render_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(s);
         }
+        // ord: Relaxed — statistic bump; RMW atomicity is all we need.
         self.renders.fetch_add(1, Ordering::Relaxed);
         let s: Arc<str> = if self.directly_renderable(id) {
             let mut taken = FxHashSet::default();

@@ -50,6 +50,7 @@ pub mod infer;
 pub mod scheme;
 pub mod snapshot;
 pub mod store;
+pub mod sync;
 pub mod unify;
 
 pub use bank::SchemeBank;

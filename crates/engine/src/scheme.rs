@@ -37,10 +37,10 @@
 //! cross-binding leak is possible.
 
 use crate::store::{reprobe, Shape, Store, TypeId};
+use crate::sync::Arc;
 use freezeml_core::{Symbol, TyCon, TyVar, Type};
 use fxhash::{FxHashMap, FxHashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 
 /// An exported scheme: an index into a [`SchemeStore`]. Within one
 /// store, id equality is α-equivalence (for schemes with the same free

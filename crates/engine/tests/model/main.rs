@@ -1,0 +1,99 @@
+//! Model-checked concurrency invariants for the sharded scheme bank.
+//!
+//! Run with `RUSTFLAGS='--cfg interleave' cargo test -p freezeml_engine
+//! --test model`. The bank's shard locks route through
+//! `freezeml_obs::lockrank` over the crate `sync` alias, so under the
+//! model cfg every shard acquisition is a schedule point and the DFS
+//! explores real intern/intern and intern/render races.
+//!
+//! Types are parsed in the parent thread so the core symbol table (a
+//! plain `std` lock, deliberately outside the model) is warm before any
+//! modeled thread runs.
+#![cfg(interleave)]
+
+use freezeml_core::{parse_type, Type};
+use freezeml_engine::bank::SchemeBank;
+use interleave::sync::Arc;
+
+fn ty(src: &str) -> Type {
+    parse_type(src).unwrap()
+}
+
+/// The hash-consing headline: two threads racing to intern α-identical
+/// schemes (spelled with different binder names, so only α-equivalence
+/// links them) must land on ONE id, in every interleaving.
+#[test]
+fn racing_interns_of_alpha_identical_schemes_share_one_id() {
+    let a = ty("forall a. a -> a");
+    let b = ty("forall b. b -> b");
+    interleave::model(move || {
+        let bank = Arc::new(SchemeBank::new());
+        let h1 = {
+            let bank = Arc::clone(&bank);
+            let a = a.clone();
+            interleave::thread::spawn(move || bank.intern_type(&a))
+        };
+        let h2 = {
+            let bank = Arc::clone(&bank);
+            let b = b.clone();
+            interleave::thread::spawn(move || bank.intern_type(&b))
+        };
+        let ia = h1.join().unwrap();
+        let ib = h2.join().unwrap();
+        assert_eq!(ia, ib, "α-class forked under this interleaving");
+    });
+}
+
+/// Distinct α-classes interned concurrently stay distinct — the race
+/// may order slot allocation either way, but never merges classes.
+#[test]
+fn racing_interns_of_distinct_schemes_stay_distinct() {
+    let a = ty("Int -> Int");
+    let b = ty("Bool -> Bool");
+    interleave::model(move || {
+        let bank = Arc::new(SchemeBank::new());
+        let h1 = {
+            let bank = Arc::clone(&bank);
+            let a = a.clone();
+            interleave::thread::spawn(move || bank.intern_type(&a))
+        };
+        let h2 = {
+            let bank = Arc::clone(&bank);
+            let b = b.clone();
+            interleave::thread::spawn(move || bank.intern_type(&b))
+        };
+        let ia = h1.join().unwrap();
+        let ib = h2.join().unwrap();
+        assert_ne!(ia, ib, "distinct α-classes merged");
+        // Both survive a re-intern from the parent (bijection holds).
+        assert_eq!(bank.intern_type(&a), ia);
+        assert_eq!(bank.intern_type(&b), ib);
+    });
+}
+
+/// Two threads racing a cold `pretty` on the same id both get the
+/// canonical string, and the memo converges (a later call is a hit —
+/// the renders counter stops moving).
+#[test]
+fn racing_cold_renders_agree_and_memoise() {
+    let a = ty("forall a. a -> a");
+    interleave::model(move || {
+        let bank = Arc::new(SchemeBank::new());
+        let id = bank.intern_type(&a);
+        let h1 = {
+            let bank = Arc::clone(&bank);
+            interleave::thread::spawn(move || bank.pretty(id))
+        };
+        let h2 = {
+            let bank = Arc::clone(&bank);
+            interleave::thread::spawn(move || bank.pretty(id))
+        };
+        let s1 = h1.join().unwrap();
+        let s2 = h2.join().unwrap();
+        assert_eq!(s1, s2, "racing renders disagreed");
+        let before = bank.renders();
+        let s3 = bank.pretty(id);
+        assert_eq!(s3, s1);
+        assert_eq!(bank.renders(), before, "post-race pretty missed the memo");
+    });
+}

@@ -17,10 +17,22 @@
 //!   pre-tracing code. Records carry hierarchical ids (connection →
 //!   session → request → wave → binding) and per-phase durations.
 //!
-//! This crate is deliberately dependency-free (`std` only): it sits
-//! below every serving-layer crate and above none.
+//! This crate sits below every serving-layer crate and above none; its
+//! only dependency is the vendored `interleave` shim, whose normal-build
+//! personality is a literal `std::sync` re-export (zero cost), and whose
+//! `--cfg interleave` personality lets `tests/model/` model-check this
+//! crate's real production code. Two correctness-tooling modules live
+//! here so every crate above can use them:
+//!
+//! * [`sync`] — the alias module all locks/atomics in this crate import
+//!   from (the `freezeml lint` gate forbids bare `std::sync` imports).
+//! * [`lockrank`] — debug-build lock-rank witness: ranked `Mutex` /
+//!   `RwLock` wrappers that panic (with both acquisition backtraces) on
+//!   out-of-order lock nesting anywhere in the process.
 
+pub mod lockrank;
 pub mod metrics;
+pub mod sync;
 pub mod trace;
 
 pub use metrics::{

@@ -25,8 +25,9 @@
 //! (`Shared`) and every session, worker, and the checkpoint thread
 //! write into it.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use crate::lockrank;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::PoisonError;
 use std::time::Duration;
 
 /// Shard count for counters and histograms. Power of two; eight is
@@ -43,6 +44,12 @@ pub const BUCKETS: usize = 40;
 /// touch, folded into `SHARDS`. Workers and session threads therefore
 /// spread across shards rather than hashing to one.
 fn shard_index() -> usize {
+    // Under the model checker, shard choice must be a pure function of
+    // the model thread id: the cross-execution `NEXT` static would make
+    // schedules non-deterministic and break DFS replay.
+    if let Some(tid) = interleave::thread::model_tid() {
+        return tid & (SHARDS - 1);
+    }
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static IDX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
@@ -50,6 +57,8 @@ fn shard_index() -> usize {
     IDX.with(|c| {
         let mut i = c.get();
         if i == usize::MAX {
+            // ord: Relaxed — a unique-id allocator; only the RMW's
+            // atomicity matters, no other memory is published through it.
             i = NEXT.fetch_add(1, Ordering::Relaxed);
             c.set(i);
         }
@@ -77,6 +86,8 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // ord: Relaxed — monotonic statistic; readers only need each
+        // shard's value to be untorn, not ordered against other memory.
         self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -89,6 +100,8 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.shards
             .iter()
+            // ord: Relaxed — benign race by design: a concurrent add may
+            // or may not be counted, but each shard read is untorn.
             .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
     }
@@ -149,7 +162,10 @@ impl Histogram {
     /// Record a sample in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
         let shard = &self.shards[shard_index()];
+        // ord: Relaxed — monotonic statistics; bucket count and sum may
+        // be observed at different instants by a reader, by design.
         shard.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — see above.
         shard.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
@@ -164,8 +180,11 @@ impl Histogram {
         let mut sum_ns = 0u64;
         for s in &self.shards {
             for (acc, b) in buckets.iter_mut().zip(&s.buckets) {
+                // ord: Relaxed — snapshot reads race benignly with
+                // writers; each bucket read is untorn.
                 *acc += b.load(Ordering::Relaxed);
             }
+            // ord: Relaxed — see above.
             sum_ns = sum_ns.wrapping_add(s.sum_ns.load(Ordering::Relaxed));
         }
         HistSnapshot { buckets, sum_ns }
@@ -230,9 +249,16 @@ impl HistSnapshot {
 /// A counter with a small dynamic label set (e.g. cold-fallback
 /// *reasons*). Cold-path only — it takes a lock — so it is reserved for
 /// events that are already I/O-bound failures.
-#[derive(Default)]
 pub struct LabeledCounter {
-    slots: Mutex<Vec<(String, u64)>>,
+    slots: lockrank::Mutex<Vec<(String, u64)>>,
+}
+
+impl Default for LabeledCounter {
+    fn default() -> LabeledCounter {
+        LabeledCounter {
+            slots: lockrank::Mutex::new(lockrank::METRICS_LABELS, "obs.metrics.labels", Vec::new()),
+        }
+    }
 }
 
 impl LabeledCounter {
@@ -468,6 +494,9 @@ impl Registry {
             checkpoint_duration: self.checkpoint_duration.snapshot(),
             requests_shed: self.requests_shed.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
+            // ord: Relaxed — exposition-only gauge; the drain *control*
+            // flow reads `service::Shared::draining` (Acquire/Release),
+            // never this copy, so staleness here is cosmetic.
             draining: self.draining.load(Ordering::Relaxed),
             failpoint_trips: self.failpoint_trips.snapshot(),
             session_thread_deaths: self.session_thread_deaths.get(),
@@ -476,6 +505,8 @@ impl Registry {
 
     /// Flip the draining gauge.
     pub fn set_draining(&self, on: bool) {
+        // ord: Relaxed — exposition-only gauge (see `snapshot`); drain
+        // control flow synchronizes through `Shared::draining` instead.
         self.draining.store(u64::from(on), Ordering::Relaxed);
     }
 }

@@ -1,0 +1,18 @@
+//! Synchronization alias: every lock/atomic in this crate goes through
+//! here instead of importing `std::sync` directly (enforced by
+//! `freezeml lint`). In normal builds these are *literal* re-exports of
+//! the standard library — identical types, identical codegen. Under
+//! `RUSTFLAGS='--cfg interleave'` they resolve to the model checker's
+//! instrumented primitives, so `tests/model/` can explore thread
+//! interleavings of this crate's real production code.
+
+pub use interleave::sync::atomic;
+pub use interleave::sync::{Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+
+// The full alias surface, kept available so call sites never need a
+// reason to fall back to a bare `std::sync` import.
+#[allow(unused_imports)]
+pub use interleave::sync::{
+    mpsc, Arc, LockResult, Once, OnceLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+    TryLockResult, WaitTimeoutResult, Weak,
+};

@@ -40,11 +40,12 @@
 //! crashed phase simply has no record — the enclosing request span
 //! still bounds it.
 
+use crate::lockrank;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, PoisonError};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// A small trace payload value.
@@ -184,7 +185,7 @@ fn escape_into(out: &mut String, s: &str) {
 /// so contention stays far below the ≤5% overhead budget (see the
 /// `service/trace-overhead` bench row).
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: lockrank::Mutex<BufWriter<File>>,
 }
 
 impl JsonlSink {
@@ -192,7 +193,7 @@ impl JsonlSink {
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
         let file = File::create(path)?;
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(file)),
+            out: lockrank::Mutex::new(lockrank::TRACE_SINK, "obs.trace.sink", BufWriter::new(file)),
         })
     }
 
@@ -381,12 +382,14 @@ static NEXT_SESS: AtomicU64 = AtomicU64::new(1);
 /// Allocate a process-unique connection id (ids start at 1; 0 means
 /// "no connection").
 pub fn next_conn_id() -> u64 {
+    // ord: Relaxed — unique-id allocator; only RMW atomicity matters.
     NEXT_CONN.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Allocate a process-unique session id (ids start at 1; 0 means
 /// "no session").
 pub fn next_session_id() -> u64 {
+    // ord: Relaxed — unique-id allocator; only RMW atomicity matters.
     NEXT_SESS.fetch_add(1, Ordering::Relaxed)
 }
 

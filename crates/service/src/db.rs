@@ -31,12 +31,12 @@
 
 use crate::graph::{condense, Condensation};
 use crate::hash::{hash_str, Fnv, U64Map};
+use crate::sync::Arc;
 use freezeml_core::{
     Decl, InstantiationStrategy, Options, ParseError, Program, Span, Symbol, Term, Type, Var,
 };
 use freezeml_obs::{TraceCtx, Tracer};
 use fxhash::FxHashMap;
-use std::sync::Arc;
 
 /// Which inference engine(s) the service drives — mirroring the
 /// conformance harness's `ENGINE` selector.
@@ -91,7 +91,7 @@ pub enum Outcome {
         id: freezeml_engine::SchemeId,
         /// The canonical rendering, memoised per id in the scheme store
         /// (shared `Arc`, so cache hits and `type-of` clone a pointer).
-        scheme: std::sync::Arc<str>,
+        scheme: crate::sync::Arc<str>,
         /// Residual monomorphic variables that were grounded to `Int`
         /// to keep the environment closed (value restriction; same
         /// defaulting the REPL performs), by canonical name.
@@ -489,6 +489,7 @@ pub fn analyze_cached_traced(
             };
             fe.chunks.insert(key, chunk);
         }
+        // lint: allow(unwrap) — entry inserted two lines above under the same lock
         let chunk = fe.chunks.get(&key).expect("present or just inserted");
         for (name, arg, span) in &chunk.pragmas {
             pragmas.push((

@@ -70,9 +70,11 @@ impl Worker {
         if slot.is_none() {
             *slot = Some(
                 Session::new(&Self::base_env(use_prelude), &self.opts)
+                    // lint: allow(unwrap) — static Figure 2 prelude text; a parse failure is a build bug
                     .expect("the Figure 2 prelude is well-formed"),
             );
         }
+        // lint: allow(unwrap) — slot initialised in the branch above
         slot.as_mut().expect("just initialised")
     }
 
@@ -81,6 +83,7 @@ impl Worker {
         if slot.is_none() {
             *slot = Some(Self::base_env(use_prelude));
         }
+        // lint: allow(unwrap) — slot initialised in the branch above
         slot.as_ref().expect("just initialised")
     }
 
@@ -356,6 +359,7 @@ impl Executor {
     /// clock reads, no record construction.
     pub fn run_traced(&mut self, a: &Analysis, shared: &Shared, ctx: TraceCtx) -> CheckReport {
         self.run_budgeted(a, shared, ctx, None)
+            // lint: allow(unwrap) — run_budgeted only errs when a deadline is set; none is
             .expect("no deadline was set")
     }
 
@@ -498,6 +502,7 @@ impl Executor {
                 let w = &mut self.workers[0];
                 chunks
                     .pop()
+                    // lint: allow(unwrap) — k == 1 guarantees exactly one chunk
                     .expect("k == 1")
                     .into_iter()
                     .map(|(i, env)| {
@@ -621,6 +626,7 @@ impl Executor {
                 .map(|(i, o)| BindingReport {
                     name: a.decls[i].name().to_string(),
                     span: a.decls[i].span,
+                    // lint: allow(unwrap) — the wave loop resolves every member before this point
                     outcome: o.expect("every wave member resolved"),
                 })
                 .collect(),

@@ -41,10 +41,10 @@
 //! one-test-per-binary discipline as the old `FREEZEML_TEST_PANIC_ON`
 //! hook this module replaces.
 
-use freezeml_obs::Registry;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, Once, PoisonError};
+use freezeml_obs::{lockrank, Registry};
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Once, PoisonError};
 use std::time::Duration;
 
 /// The environment variable a spec is read from (once, on first hit).
@@ -95,8 +95,9 @@ struct Point {
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static ENV_INIT: Once = Once::new();
 
-fn table() -> &'static Mutex<Option<Arc<Vec<Point>>>> {
-    static TABLE: Mutex<Option<Arc<Vec<Point>>>> = Mutex::new(None);
+fn table() -> &'static lockrank::Mutex<Option<Arc<Vec<Point>>>> {
+    static TABLE: lockrank::Mutex<Option<Arc<Vec<Point>>>> =
+        lockrank::Mutex::new(lockrank::FAULT_TABLE, "service.fault.table", None);
     &TABLE
 }
 
@@ -175,10 +176,17 @@ pub fn install(spec: &str) -> Result<(), String> {
     let mut g = table().lock().unwrap_or_else(PoisonError::into_inner);
     if points.is_empty() {
         *g = None;
-        ACTIVE.store(false, Ordering::Relaxed);
+        // ord: Release — pairs with the Acquire load in `hit`; see
+        // the comment there.
+        ACTIVE.store(false, Ordering::Release);
     } else {
         *g = Some(Arc::new(points));
-        ACTIVE.store(true, Ordering::Relaxed);
+        // ord: Release — pairs with the Acquire load in `hit`: a
+        // thread whose fast-path probe sees `true` also sees the
+        // table write above, so a freshly armed site can never probe
+        // as active-but-empty. (With Relaxed, a reordered flag could
+        // leak ahead of the table and silently drop the first trips.)
+        ACTIVE.store(true, Ordering::Release);
     }
     Ok(())
 }
@@ -187,13 +195,15 @@ pub fn install(spec: &str) -> Result<(), String> {
 pub fn clear() {
     let mut g = table().lock().unwrap_or_else(PoisonError::into_inner);
     *g = None;
-    ACTIVE.store(false, Ordering::Relaxed);
+    // ord: Release — pairs with the Acquire load in `hit`.
+    ACTIVE.store(false, Ordering::Release);
 }
 
 /// True if any site is currently armed.
 pub fn active() -> bool {
     ENV_INIT.call_once(init_from_env);
-    ACTIVE.load(Ordering::Relaxed)
+    // ord: Acquire — same pairing as `hit`.
+    ACTIVE.load(Ordering::Acquire)
 }
 
 fn init_from_env() {
@@ -210,7 +220,11 @@ fn init_from_env() {
 #[inline]
 pub fn hit(site: &str) -> Option<Fault> {
     ENV_INIT.call_once(init_from_env);
-    if !ACTIVE.load(Ordering::Relaxed) {
+    // ord: Acquire — pairs with the Release store in `install`/`clear`.
+    // Seeing `true` guarantees the armed table is visible to the slow
+    // path, so an installer's first intended trip is never dropped.
+    // (Free on x86; a plain load + barrier-on-hit elsewhere.)
+    if !ACTIVE.load(Ordering::Acquire) {
         return None;
     }
     hit_slow(site)
@@ -231,6 +245,9 @@ fn hit_slow(site: &str) -> Option<Fault> {
         g.as_ref().map(Arc::clone)?
     };
     for p in points.iter().filter(|p| p.site == site) {
+        // ord: Relaxed — the trip budget is a pure counter; RMW
+        // atomicity makes concurrent trips hand out exactly
+        // `remaining` faults, and no other memory hangs off it.
         let took = p
             .remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| match r {
@@ -251,8 +268,8 @@ mod tests {
 
     /// Failpoint state is process-global; serialize the tests that
     /// mutate it.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static GUARD: Mutex<()> = Mutex::new(());
+    fn lock() -> crate::sync::MutexGuard<'static, ()> {
+        static GUARD: crate::sync::Mutex<()> = crate::sync::Mutex::new(());
         GUARD.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -109,6 +109,7 @@ fn tarjan(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
                 if low[v] == index[v] {
                     let mut comp = Vec::new();
                     loop {
+                        // lint: allow(unwrap) — Tarjan invariant: v is on the stack when its SCC closes
                         let w = stack.pop().expect("tarjan stack invariant");
                         on_stack[w] = false;
                         comp.push(w);

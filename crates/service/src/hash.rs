@@ -59,6 +59,7 @@ impl Hasher64 {
     pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
+            // lint: allow(unwrap) — chunks_exact(8) yields 8-byte slices by construction
             self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

@@ -57,6 +57,7 @@ pub mod service;
 pub mod shared;
 pub mod sock;
 pub mod stats;
+pub mod sync;
 
 pub use db::{
     analyze, analyze_cached, analyze_cached_traced, doc_key, doc_verify, Analysis, EngineSel,

@@ -293,6 +293,7 @@ pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
         match reader.read_line(&mut response) {
             Ok(0) | Err(_) => None,
             Ok(_) => {
+                // lint: allow(unwrap) — load harness: a malformed response is a protocol bug worth a panic
                 Some(Json::parse(response.trim_end()).expect("every response is one JSON line"))
             }
         }
@@ -340,6 +341,7 @@ pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
                         };
                         let _ = stream.set_nodelay(true);
                         let mut w = stream;
+                        // lint: allow(unwrap) — load harness: local stream clone failure aborts the run
                         let mut r = BufReader::new(w.try_clone().expect("clone stream"));
                         std::thread::sleep(mix.think);
                         match round_trip(&mut w, &mut r, &open_line) {
@@ -361,6 +363,7 @@ pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
                     let mut send = |w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
                         std::thread::sleep(mix.think);
                         sent += 1;
+                        // lint: allow(unwrap) — load harness: mid-session close is a server bug worth a panic
                         round_trip(w, r, line).expect("server closed mid-session")
                     };
                     for e in 0..mix.edits_per_client {
@@ -413,6 +416,7 @@ pub fn drive_tcp(addr: &str, mix: &LoadMix) -> usize {
                 })
             })
             .collect();
+        // lint: allow(unwrap) — load harness: worker panics propagate the assertion
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     })
 }
@@ -540,7 +544,7 @@ mod tests {
         use crate::server::ServeOptions;
         use crate::shared::Shared;
         use crate::sock::SocketServer;
-        use std::sync::Arc;
+        use crate::sync::Arc;
 
         let mut server = SocketServer::spawn_tcp(
             "127.0.0.1:0",

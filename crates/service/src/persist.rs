@@ -55,12 +55,13 @@ use crate::exec::{BindingReport, CheckReport};
 use crate::fault;
 use crate::hash::Hasher64;
 use crate::shared::Shared;
+use crate::sync::{Arc, PoisonError};
 use freezeml_core::{Options, Span};
 use freezeml_engine::{PortableCon, PortableNode, SchemeId};
+use freezeml_obs::lockrank;
 use freezeml_obs::{Record, TraceCtx, Val};
 use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Snapshot file magic.
@@ -225,10 +226,12 @@ impl<'a> Dec<'a> {
     }
 
     fn u32(&mut self) -> DecResult<u32> {
+        // lint: allow(unwrap) — take(4) yields exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn u64(&mut self) -> DecResult<u64> {
+        // lint: allow(unwrap) — take(8) yields exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
@@ -876,7 +879,9 @@ fn validate(data: &[u8], epoch_now: u64) -> Result<(u64, &[u8]), String> {
     if &data[0..4] != MAGIC {
         return Err("bad magic".to_string());
     }
+    // lint: allow(unwrap) — 4-byte slice by construction
     let u32_at = |i: usize| u32::from_le_bytes(data[i..i + 4].try_into().expect("4"));
+    // lint: allow(unwrap) — 8-byte slice by construction
     let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().expect("8"));
     let version = u32_at(4);
     if version != FORMAT_VERSION {
@@ -1001,12 +1006,83 @@ fn apply(shared: &Shared, generation: u64, snapshot: DecodedSnapshot) -> LoadOut
 
 // --------------------------------------------------------- checkpointer
 
+/// The stop flag + condvar pair that drives a periodic background
+/// loop. Extracted from the checkpointer as a standalone type so
+/// `tests/model/` can model-check the wakeup protocol directly: a
+/// `signal` can never be lost, no matter how it interleaves with the
+/// loop's first lock acquisition or a wait — the flag is re-checked
+/// under the lock *before every wait*, so a signal that lands early is
+/// seen without its notification.
+///
+/// The stop lock carries `lockrank::PERSIST_STOP`, the lowest rank in
+/// the table, because the tick callback runs while it is held and
+/// acquires hub locks (frontend, stripes, bank shards) underneath.
+pub struct StopSignal {
+    stop: lockrank::Mutex<bool>,
+    cvar: lockrank::Condvar,
+}
+
+impl Default for StopSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopSignal {
+    /// A fresh, un-signalled stop.
+    pub fn new() -> StopSignal {
+        StopSignal {
+            stop: lockrank::Mutex::new(lockrank::PERSIST_STOP, "service.persist.stop", false),
+            cvar: lockrank::Condvar::new(lockrank::PERSIST_STOP, "service.persist.stop.cv"),
+        }
+    }
+
+    /// Signal the loop to stop and wake it if it is waiting. One-way
+    /// and idempotent.
+    pub fn signal(&self) {
+        *self.stop.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cvar.notify_all();
+    }
+
+    /// Has the stop been signalled?
+    pub fn stopped(&self) -> bool {
+        *self.stop.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run `on_tick` every `interval` until signalled. The flag is
+    /// checked before the first wait (a stop signalled between `spawn`
+    /// and the loop's first lock acquisition has already had its
+    /// notification — waiting for the timeout would stall the caller a
+    /// full interval) and re-checked after every wakeup; the tick runs
+    /// with the stop lock held, so `signal` callers block for at most
+    /// one in-flight tick and the loop exits on the next iteration.
+    pub fn run(&self, interval: Duration, mut on_tick: impl FnMut()) {
+        let mut stopped = self.stop.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *stopped {
+                return;
+            }
+            let (guard, timeout) = self
+                .cvar
+                .wait_timeout(stopped, interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            stopped = guard;
+            if *stopped {
+                return;
+            }
+            if timeout.timed_out() {
+                on_tick();
+            }
+        }
+    }
+}
+
 /// A background thread that snapshots the hub every `interval` — the
 /// `serve --cache-dir` crash-safety story: a killed server loses at
 /// most one interval of warm state, and the atomic-rename protocol
 /// means it never loses the previous snapshot.
 pub struct Checkpointer {
-    stop: Arc<(Mutex<bool>, Condvar)>,
+    stop: Arc<StopSignal>,
     handle: Option<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
     epoch: u64,
@@ -1021,61 +1097,40 @@ impl Checkpointer {
         cfg: PersistConfig,
         interval: Duration,
     ) -> Checkpointer {
-        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop = Arc::new(StopSignal::new());
         let handle = {
             let stop = Arc::clone(&stop);
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
             std::thread::spawn(move || {
-                let (lock, cvar) = &*stop;
-                let mut stopped = lock
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                loop {
-                    // Check *before* waiting too: a stop signalled
-                    // between `spawn` and this thread's first lock
-                    // acquisition has already had its notification, and
-                    // waiting for the timeout would stall `finish` (or
-                    // `Drop`) for a full interval.
-                    if *stopped {
-                        return;
-                    }
-                    let (guard, timeout) = cvar
-                        .wait_timeout(stopped, interval)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    stopped = guard;
-                    if *stopped {
-                        return;
-                    }
-                    if timeout.timed_out() {
-                        let t0 = Instant::now();
-                        match save(&shared, epoch, &cfg) {
-                            Ok(out) => {
-                                let extras = [
-                                    ("bytes", Val::U(out.bytes)),
-                                    ("evicted", Val::U(out.evicted)),
-                                ];
-                                shared.tracer().emit(
-                                    &Record::new("span", "checkpoint")
-                                        .dur(t0.elapsed())
-                                        .extras(&extras),
-                                );
-                            }
-                            // The structured replacement for the old
-                            // stderr line: the failure is already on
-                            // `checkpoint_failures` (counted in `save`),
-                            // and the detail goes to the tracer.
-                            Err(e) => {
-                                let detail = e.to_string();
-                                shared.tracer().warn(
-                                    "checkpoint-failed",
-                                    TraceCtx::default(),
-                                    &[("error", Val::S(&detail))],
-                                );
-                            }
+                stop.run(interval, || {
+                    let t0 = Instant::now();
+                    match save(&shared, epoch, &cfg) {
+                        Ok(out) => {
+                            let extras = [
+                                ("bytes", Val::U(out.bytes)),
+                                ("evicted", Val::U(out.evicted)),
+                            ];
+                            shared.tracer().emit(
+                                &Record::new("span", "checkpoint")
+                                    .dur(t0.elapsed())
+                                    .extras(&extras),
+                            );
+                        }
+                        // The structured replacement for the old
+                        // stderr line: the failure is already on
+                        // `checkpoint_failures` (counted in `save`),
+                        // and the detail goes to the tracer.
+                        Err(e) => {
+                            let detail = e.to_string();
+                            shared.tracer().warn(
+                                "checkpoint-failed",
+                                TraceCtx::default(),
+                                &[("error", Val::S(&detail))],
+                            );
                         }
                     }
-                }
+                })
             })
         };
         Checkpointer {
@@ -1094,19 +1149,11 @@ impl Checkpointer {
     ///
     /// The final save's I/O error, if any.
     pub fn finish(mut self) -> io::Result<SaveOutcome> {
-        self.signal_stop();
+        self.stop.signal();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
         save(&self.shared, self.epoch, &self.cfg)
-    }
-
-    fn signal_stop(&self) {
-        let (lock, cvar) = &*self.stop;
-        *lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
-        cvar.notify_all();
     }
 }
 
@@ -1114,7 +1161,7 @@ impl Drop for Checkpointer {
     fn drop(&mut self) {
         // Best effort: un-finished checkpointers still stop their
         // thread; the final save is `finish`'s job.
-        self.signal_stop();
+        self.stop.signal();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -310,6 +310,7 @@ impl JsonParser<'_> {
         ) {
             self.pos += 1;
         }
+        // lint: allow(unwrap) — scanner consumed only ASCII digit/sign/exponent bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         match text.parse::<f64>() {
             // Rust parses over-range literals (`1e999`) to ±∞, which the
@@ -373,6 +374,7 @@ impl JsonParser<'_> {
                     // Copy one UTF-8 scalar.
                     let s = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.fail("invalid UTF-8"))?;
+                    // lint: allow(unwrap) — from_utf8 succeeded on a non-empty slice
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -27,12 +27,12 @@ use crate::db::{analyze_cached_traced, doc_key, doc_verify, Analysis, EngineSel,
 use crate::exec::{BindingReport, CheckReport, Executor, INTERNAL_ERROR_CLASS};
 use crate::persist::{self, LoadOutcome, PersistConfig, SaveOutcome};
 use crate::shared::Shared;
+use crate::sync::Arc;
 use freezeml_core::{Options, ParseError};
 use freezeml_obs::{next_session_id, TraceCtx};
 use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Service construction parameters.
@@ -314,6 +314,7 @@ impl Service {
                 entry.analysis = OnceCell::new();
             }
             entry.report = Some(report);
+            // lint: allow(unwrap) — stored on the line above
             return Ok(entry.report.as_deref().expect("just stored"));
         }
         let analyzed = {
@@ -408,6 +409,7 @@ impl Service {
             m.blocked.add(report.blocked as u64);
             m.waves.add(report.waves as u64);
             entry.report = Some(report);
+            // lint: allow(unwrap) — stored on the line above
             return Ok(entry.report.as_deref().expect("just stored"));
         }
         match entry.analyzed(&self.shared, &self.cfg.opts, self.cfg.engine, self.ctx) {
@@ -429,6 +431,7 @@ impl Service {
                         .record_doc_report(dkey, dverify, Arc::new(warmed(&report)));
                 }
                 entry.report = Some(Arc::new(report));
+                // lint: allow(unwrap) — stored on the line above
                 Ok(entry.report.as_deref().expect("just stored"))
             }
         }

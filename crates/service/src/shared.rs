@@ -32,10 +32,11 @@
 use crate::db::{Frontend, Outcome};
 use crate::exec::CheckReport;
 use crate::hash::U64Map;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, OnceLock, PoisonError};
 use freezeml_engine::SchemeBank;
+use freezeml_obs::lockrank;
 use freezeml_obs::{Registry, Tracer};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Stripe count for the outcome cache. Matches the scheme bank's shard
 /// count — plenty of lock granularity for a worker pool.
@@ -51,15 +52,29 @@ struct Slot {
 /// workers don't serialise on one map lock. Keys are the Merkle
 /// fingerprints from [`crate::db`] (already avalanche-mixed, so the low
 /// bits are uniform stripe selectors).
-#[derive(Default)]
 pub struct StripedCache {
-    stripes: [Mutex<U64Map<Slot>>; STRIPES],
+    stripes: [lockrank::Mutex<U64Map<Slot>>; STRIPES],
     /// The hub generation every touch stamps entries with.
     generation: AtomicU64,
 }
 
+impl Default for StripedCache {
+    fn default() -> Self {
+        StripedCache {
+            stripes: std::array::from_fn(|_| {
+                lockrank::Mutex::new(
+                    lockrank::CACHE_STRIPE,
+                    "service.cache.stripe",
+                    U64Map::default(),
+                )
+            }),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
 impl StripedCache {
-    fn stripe(&self, key: u64) -> MutexGuard<'_, U64Map<Slot>> {
+    fn stripe(&self, key: u64) -> lockrank::MutexGuard<'_, U64Map<Slot>> {
         self.stripes[(key as usize) & (STRIPES - 1)]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -68,6 +83,8 @@ impl StripedCache {
     /// Look up a verdict by cache key. A hit re-stamps the entry with
     /// the current generation (it is "in use" for eviction purposes).
     pub fn get(&self, key: u64) -> Option<Outcome> {
+        // ord: Relaxed — generation stamp is advisory (eviction
+        // heuristic); staleness by one step is harmless.
         let gen = self.generation.load(Ordering::Relaxed);
         let mut stripe = self.stripe(key);
         stripe.get_mut(&key).map(|slot| {
@@ -78,6 +95,7 @@ impl StripedCache {
 
     /// Record a verdict at the current generation.
     pub fn insert(&self, key: u64, outcome: Outcome) {
+        // ord: Relaxed — generation stamp is advisory; see `get`.
         let gen = self.generation.load(Ordering::Relaxed);
         self.stripe(key).insert(key, Slot { outcome, gen });
     }
@@ -97,6 +115,7 @@ impl StripedCache {
 
     /// The current hub generation.
     pub fn generation(&self) -> u64 {
+        // ord: Relaxed — advisory stamp source; see `get`.
         self.generation.load(Ordering::Relaxed)
     }
 
@@ -125,12 +144,15 @@ impl StripedCache {
 
     /// Set the hub generation (load path: resume past the snapshot's).
     pub(crate) fn set_generation(&self, gen: u64) {
+        // ord: Relaxed — load path runs before any worker exists.
         self.generation.store(gen, Ordering::Relaxed);
     }
 
     /// Advance the hub generation (post-snapshot: subsequent touches
     /// are distinguishable from everything the snapshot saw).
     pub(crate) fn advance_generation(&self) -> u64 {
+        // ord: Relaxed — single advancing writer (the checkpointer);
+        // readers only need atomicity, not ordering.
         self.generation.fetch_add(1, Ordering::Relaxed) + 1
     }
 }
@@ -148,17 +170,16 @@ struct DocSlot {
 const DOC_REPORT_CAP: usize = 4096;
 
 /// Cross-session shared state. See the module docs.
-#[derive(Default)]
 pub struct Shared {
     bank: SchemeBank,
     cache: StripedCache,
-    frontend: Mutex<Frontend>,
+    frontend: lockrank::Mutex<Frontend>,
     /// Whole-document reports keyed by `db::doc_key` — text + config
     /// fingerprint. A hit serves `open`/`check` without parsing or
     /// scheduling at all; entries are only recorded for reports whose
     /// every outcome is cacheable (no disagreements, no internal
     /// errors), the same rule as the per-binding cache.
-    doc_reports: Mutex<U64Map<DocSlot>>,
+    doc_reports: lockrank::Mutex<U64Map<DocSlot>>,
     /// The metrics registry — the single source of truth for every
     /// counter the serving stack exposes ([`freezeml_obs::metrics`]),
     /// including the persistence layer's eviction count.
@@ -173,6 +194,28 @@ pub struct Shared {
     /// the foreground `join` returns so the final checkpoint can run.
     /// One-way — a hub never un-drains.
     draining: AtomicBool,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            bank: SchemeBank::default(),
+            cache: StripedCache::default(),
+            frontend: lockrank::Mutex::new(
+                lockrank::FRONTEND,
+                "service.frontend",
+                Frontend::default(),
+            ),
+            doc_reports: lockrank::Mutex::new(
+                lockrank::DOC_REPORTS,
+                "service.doc_reports",
+                U64Map::default(),
+            ),
+            metrics: Registry::default(),
+            tracer: OnceLock::new(),
+            draining: AtomicBool::new(false),
+        }
+    }
 }
 
 impl Shared {
@@ -194,11 +237,11 @@ impl Shared {
 
     /// The declaration-level parse cache, behind its own lock — held
     /// only for the duration of one document analysis.
-    pub fn frontend(&self) -> MutexGuard<'_, Frontend> {
+    pub fn frontend(&self) -> lockrank::MutexGuard<'_, Frontend> {
         self.frontend.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn doc_lock(&self) -> MutexGuard<'_, U64Map<DocSlot>> {
+    fn doc_lock(&self) -> lockrank::MutexGuard<'_, U64Map<DocSlot>> {
         self.doc_reports
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -281,13 +324,21 @@ impl Shared {
     /// finishes in-flight requests, and its foreground `join` returns.
     /// Idempotent; also flips the registry's `draining` gauge.
     pub fn request_drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        // ord: Release — publishes everything the drain requester did
+        // (e.g. the shutdown response it queued) to loops that observe
+        // the flag with Acquire and then act on hub state. SeqCst was
+        // overkill: there is one flag, so no cross-variable total order
+        // is needed.
+        self.draining.store(true, Ordering::Release);
         self.metrics.set_draining(true);
     }
 
     /// Has a drain been requested on this hub?
     pub fn draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
+        // ord: Acquire — pairs with the Release store in
+        // `request_drain`; a loop seeing `true` also sees the
+        // requester's prior writes.
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Snapshot the document reports as `(key, verify, generation,

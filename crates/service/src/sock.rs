@@ -54,14 +54,15 @@ use crate::fault::{self, Fault};
 use crate::server::{serve_with, ServeOptions};
 use crate::service::{Service, ServiceConfig};
 use crate::shared::Shared;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::mpsc::{channel, Receiver, Sender};
+use crate::sync::{Arc, PoisonError};
+use freezeml_obs::lockrank;
 use freezeml_obs::next_conn_id;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -88,6 +89,58 @@ impl Default for Admission {
             max_pending: 64,
             retry_after_ms: 50,
         }
+    }
+}
+
+/// The admission gate between the accept thread and the session pool:
+/// a bounded count of accepted-but-unclaimed connections. Extracted as
+/// a standalone type so `tests/model/` can model-check the counting
+/// protocol directly: however admitters and claimers interleave,
+/// `admitted - claimed` never exceeds the bound and never goes
+/// negative, and every arrival is either admitted or shed — none are
+/// lost.
+pub struct Gate {
+    pending: AtomicUsize,
+    max_pending: usize,
+}
+
+impl Gate {
+    /// A gate admitting at most `max_pending` unclaimed connections.
+    pub fn new(max_pending: usize) -> Gate {
+        Gate {
+            pending: AtomicUsize::new(0),
+            max_pending,
+        }
+    }
+
+    /// Try to admit one arrival. `false` means the queue is at its
+    /// bound and the arrival must be shed. The check-and-increment is
+    /// one atomic RMW, so concurrent admitters can never overshoot the
+    /// bound (the old separate load-then-add could, had there been two
+    /// accept threads).
+    pub fn try_admit(&self) -> bool {
+        // ord: Relaxed — the gate is a pure counting protocol over one
+        // location; the mpsc channel that carries the connection is the
+        // publication edge. RMW atomicity alone bounds the count.
+        self.pending
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.max_pending).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// A session thread claimed one admitted connection.
+    pub fn claimed(&self) {
+        // ord: Relaxed — counting protocol over one location; see
+        // `try_admit`.
+        let prev = self.pending.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "gate claimed with nothing admitted");
+    }
+
+    /// Currently admitted-but-unclaimed connections (observability).
+    pub fn pending(&self) -> usize {
+        // ord: Relaxed — monotonicity-free gauge read.
+        self.pending.load(Ordering::Relaxed)
     }
 }
 
@@ -231,8 +284,8 @@ fn session_cfg(cfg: ServiceConfig) -> ServiceConfig {
 }
 
 fn session_thread(
-    rx: Arc<Mutex<Receiver<Stream>>>,
-    pending: Arc<AtomicUsize>,
+    rx: Arc<lockrank::Mutex<Receiver<Stream>>>,
+    gate: Arc<Gate>,
     cfg: ServiceConfig,
     shared: Arc<Shared>,
     opts: ServeOptions,
@@ -246,7 +299,7 @@ fn session_thread(
         let Ok(conn) = conn else {
             return; // channel closed: server shutting down
         };
-        pending.fetch_sub(1, Ordering::SeqCst);
+        gate.claimed();
         conn.set_timeouts(opts.request_timeout_ms.map(Duration::from_millis));
         // Contain *everything* a connection can do to this thread —
         // including panics in protocol framing, outside the executor's
@@ -395,16 +448,20 @@ impl SocketServer {
     ) -> io::Result<SocketServer> {
         listener.set_nonblocking()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let pending = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Gate::new(admission.max_pending));
         let (tx, rx): (Sender<Stream>, Receiver<Stream>) = channel();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(lockrank::Mutex::new(
+            lockrank::SESSION_RX,
+            "service.sock.session_rx",
+            rx,
+        ));
         let cfg = session_cfg(cfg);
         let sessions: Vec<JoinHandle<()>> = (0..sessions.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let pending = Arc::clone(&pending);
+                let gate = Arc::clone(&gate);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || session_thread(rx, pending, cfg, shared, opts))
+                std::thread::spawn(move || session_thread(rx, gate, cfg, shared, opts))
             })
             .collect();
         let accept_stop = Arc::clone(&stop);
@@ -420,7 +477,11 @@ impl SocketServer {
             // within one poll interval — deterministically, even if the
             // listener itself has failed.
             loop {
-                if accept_stop.load(Ordering::SeqCst) {
+                // ord: Relaxed — poll-loop stop flag: only eventual
+                // visibility is needed, and `shutdown` joins this
+                // thread (a full synchronization) before observing any
+                // of its effects.
+                if accept_stop.load(Ordering::Relaxed) {
                     return;
                 }
                 let conn = match listener.accept() {
@@ -434,7 +495,8 @@ impl SocketServer {
                     }
                     Err(_) => return,
                 };
-                if accept_stop.load(Ordering::SeqCst) {
+                // ord: Relaxed — same poll-loop stop flag as above.
+                if accept_stop.load(Ordering::Relaxed) {
                     return;
                 }
                 if accept_shared.draining() {
@@ -446,12 +508,11 @@ impl SocketServer {
                 // session pool is bounded. Over the bound, the client
                 // gets a structured answer *now* instead of an
                 // invisible wait.
-                if pending.load(Ordering::SeqCst) >= admission.max_pending {
+                if !gate.try_admit() {
                     accept_shared.metrics().requests_shed.inc();
                     shed(conn, &overloaded);
                     continue;
                 }
-                pending.fetch_add(1, Ordering::SeqCst);
                 if tx.send(conn).is_err() {
                     return;
                 }
@@ -479,7 +540,9 @@ impl SocketServer {
         if self.accept.is_none() {
             return;
         }
-        self.stop.store(true, Ordering::SeqCst);
+        // ord: Relaxed — the join below is the synchronization point;
+        // the flag only has to become visible within one poll interval.
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }

@@ -1,0 +1,152 @@
+//! Model-checked concurrency invariants for the serving layer.
+//!
+//! Run with `RUSTFLAGS='--cfg interleave' cargo test -p
+//! freezeml_service --test model`. The admission gate, the drain flag,
+//! the checkpointer's stop signal, and the failpoint table all route
+//! their synchronization through the crate `sync` alias (and
+//! `freezeml_obs::lockrank`), so under the model cfg every lock and
+//! atomic below is a schedule point and the DFS explores the real
+//! production interleavings.
+#![cfg(interleave)]
+
+use freezeml_service::fault;
+use freezeml_service::persist::StopSignal;
+use freezeml_service::shared::Shared;
+use freezeml_service::sock::Gate;
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use interleave::sync::Arc;
+use std::time::Duration;
+
+/// The admission gate under contention: with a bound of 1 and three
+/// racing arrivals, every arrival is decided exactly once (admitted or
+/// shed), at most one admission is ever in flight, and the pending
+/// count returns to zero — in every interleaving.
+#[test]
+fn gate_bound_holds_and_every_arrival_is_decided() {
+    interleave::model(|| {
+        let gate = Arc::new(Gate::new(1));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let shed = Arc::new(AtomicUsize::new(0));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let admitted = Arc::clone(&admitted);
+                let shed = Arc::clone(&shed);
+                let in_flight = Arc::clone(&in_flight);
+                interleave::thread::spawn(move || {
+                    if gate.try_admit() {
+                        // ord: Relaxed — the assertion only needs RMW
+                        // atomicity; the gate itself orders admission.
+                        let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                        assert!(now <= 1, "admission bound of 1 exceeded: {now} in flight");
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        gate.claimed();
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let a = admitted.load(Ordering::Relaxed);
+        let s = shed.load(Ordering::Relaxed);
+        assert_eq!(a + s, 3, "an arrival was neither admitted nor shed");
+        assert!(a >= 1, "serialized admissions mean at least one must win");
+        assert_eq!(gate.pending(), 0, "pending count leaked");
+    });
+}
+
+/// The checkpointer's shutdown handshake: with spurious/timed wakeups
+/// disabled (`timeouts_fire: false`), the ONLY way `run` can return is
+/// the signal's notify. If the stop flag were checked outside the lock
+/// — the classic lost-wakeup — some interleaving parks the ticker
+/// after `signal` already fired and the model reports a deadlock.
+#[test]
+fn stop_signal_shutdown_wakeup_is_never_lost() {
+    let b = interleave::Builder {
+        timeouts_fire: false,
+        ..Default::default()
+    };
+    b.check(|| {
+        let stop = Arc::new(StopSignal::new());
+        let ticker = {
+            let stop = Arc::clone(&stop);
+            interleave::thread::spawn(move || {
+                stop.run(Duration::from_secs(3600), || {});
+            })
+        };
+        let stopper = {
+            let stop = Arc::clone(&stop);
+            interleave::thread::spawn(move || stop.signal())
+        };
+        stopper.join().unwrap();
+        ticker.join().unwrap();
+        assert!(stop.stopped(), "run returned but the flag is down");
+    })
+    .unwrap();
+}
+
+/// Drain is monotonic and published: once any observer sees
+/// `draining() == true` it can never flip back, and after the drainer
+/// joins, the flag is visible to everyone.
+#[test]
+fn drain_flag_is_monotonic_and_visible_after_join() {
+    interleave::model(|| {
+        let shared = Arc::new(Shared::new());
+        let drainer = {
+            let shared = Arc::clone(&shared);
+            interleave::thread::spawn(move || shared.request_drain())
+        };
+        let watcher = {
+            let shared = Arc::clone(&shared);
+            interleave::thread::spawn(move || {
+                let first = shared.draining();
+                let second = shared.draining();
+                (first, second)
+            })
+        };
+        let (first, second) = watcher.join().unwrap();
+        assert!(!(first && !second), "draining flag went backwards");
+        drainer.join().unwrap();
+        assert!(shared.draining(), "drain not visible after join");
+    });
+}
+
+/// The failpoint fast path: a probe that sees the armed flag must also
+/// see the armed table — `install`'s Release store (inside the table
+/// lock) pairs with `hit`'s Acquire load, so no interleaving can
+/// observe "active but empty" and silently swallow an armed trip.
+#[test]
+fn armed_failpoint_is_never_active_but_empty() {
+    interleave::model(|| {
+        fault::clear();
+        let installer = interleave::thread::spawn(|| {
+            fault::install("model.site=err:1").unwrap();
+        });
+        let prober = interleave::thread::spawn(|| {
+            if fault::active() {
+                // Armed flag observed: the table MUST be populated.
+                let f = fault::hit("model.site");
+                assert!(f.is_some(), "probe saw the armed flag but an empty table");
+                true
+            } else {
+                false
+            }
+        });
+        let tripped = prober.join().unwrap();
+        installer.join().unwrap();
+        // Exactly one trip was budgeted; whoever didn't take it, the
+        // post-join probe settles the count.
+        let later = fault::hit("model.site");
+        if tripped {
+            assert!(later.is_none(), "err:1 budget handed out twice");
+        } else {
+            assert!(later.is_some(), "armed site's only trip was dropped");
+        }
+        fault::clear();
+    });
+}

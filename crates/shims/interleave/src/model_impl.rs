@@ -1,0 +1,1800 @@
+//! The `cfg(interleave)` personality: a stateless model checker.
+//!
+//! # Architecture
+//!
+//! One *model run* ([`Builder::check`]) explores many *executions* of
+//! the user closure. Each execution spawns real OS threads, but they
+//! never run concurrently: a single global `(Mutex<Option<Exec>>,
+//! Condvar)` pair passes a token between the scheduler and exactly one
+//! model thread. User code runs only while its thread holds the token;
+//! every synchronization operation hands the token back to the
+//! scheduler, which consults the decision prefix (DFS replay) or
+//! defaults to the first option, records `(pick, n_options)`, and hands
+//! the token to the chosen thread.
+//!
+//! Backtracking is classic stateless DFS: after an execution finishes,
+//! the deepest decision with an unexplored alternative is incremented,
+//! everything after it is discarded, and the next execution replays
+//! that prefix. No state snapshots — executions must be deterministic
+//! given the decision sequence, which is why model closures must not
+//! consult wall-clock time or OS randomness.
+//!
+//! # Weak memory
+//!
+//! Each atomic location keeps a bounded history of stores
+//! `{value, writer-tid, writer-tick, release-clock}` plus a
+//! monotonically increasing sequence number (the modification order).
+//! Vector clocks track happens-before. A non-SeqCst load may read any
+//! store that (a) is not older than the thread's per-location coherence
+//! floor (its last read/write of that location) and (b) is not hidden
+//! by a *newer* store the thread already knows happened-before now.
+//! When several stores qualify, the choice is a scheduler decision —
+//! i.e. the checker branches over stale reads. `Acquire` loads join the
+//! release clock of the store they read; RMWs always read the newest
+//! store in modification order (C11 atomicity).
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- public API
+
+/// Exploration statistics for a passing model run.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of complete executions explored.
+    pub execs: u64,
+    /// Deepest decision sequence seen across executions.
+    pub max_decision_depth: usize,
+}
+
+/// Why a model run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the closure).
+    Panic,
+    /// Every live thread was blocked.
+    Deadlock,
+    /// The execution budget was exhausted before the space was covered.
+    TooManyExecs,
+    /// One execution exceeded the per-execution operation cap
+    /// (almost always a spin loop that never yields).
+    TooLong,
+    /// The closure spawned more threads than `max_threads`.
+    TooManyThreads,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (panic payload, blocked-thread list…).
+    pub message: String,
+    /// The decision schedule; feed to `INTERLEAVE_REPLAY` to re-run it.
+    pub schedule: Vec<u32>,
+    /// Per-step event trace of the failing execution.
+    pub trace: Vec<String>,
+    /// Executions explored before the failure surfaced.
+    pub execs: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "interleave: {:?} after {} execution(s): {}",
+            self.kind, self.execs, self.message
+        )?;
+        writeln!(f, "--- failing schedule trace ---")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        let sched: Vec<String> = self.schedule.iter().map(|p| p.to_string()).collect();
+        writeln!(
+            f,
+            "--- replay with INTERLEAVE_REPLAY={} ---",
+            sched.join(",")
+        )
+    }
+}
+
+/// Configuration for a model run.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per schedule (CHESS bound).
+    pub preemption_bound: u32,
+    /// Cap on explored executions (`INTERLEAVE_MAX_EXECS` overrides).
+    pub max_execs: u64,
+    /// When `false`, `Condvar::wait_timeout` timeouts never fire, so a
+    /// waiter whose only wakeup is its timeout deadlocks — this is the
+    /// switch that turns lost wakeups into hard failures.
+    pub timeouts_fire: bool,
+    /// Maximum threads one execution may have live (including main).
+    pub max_threads: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let max_execs = std::env::var("INTERLEAVE_MAX_EXECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000);
+        Builder {
+            preemption_bound: 2,
+            max_execs,
+            timeouts_fire: true,
+            max_threads: 8,
+        }
+    }
+}
+
+/// Run `f` under exhaustive bounded exploration; panic with the full
+/// trace report on the first failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(fail) = Builder::default().check(f) {
+        panic!("{fail}");
+    }
+}
+
+impl Builder {
+    /// Explore `f`; `Err` carries the failing schedule instead of
+    /// panicking, so tests can assert on seeded bugs.
+    pub fn check<F>(&self, f: F) -> Result<Stats, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            cur_tid().is_none(),
+            "nested interleave::model runs are not supported"
+        );
+        let _serial = MODEL_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+        install_quiet_panic_hook();
+        let f: SharedFn = std::sync::Arc::new(f);
+        let cfg = Cfg {
+            preemption_bound: self.preemption_bound,
+            timeouts_fire: self.timeouts_fire,
+            max_threads: self.max_threads,
+        };
+
+        if let Ok(replay) = std::env::var("INTERLEAVE_REPLAY") {
+            let prefix: Vec<u32> = replay
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse().expect("INTERLEAVE_REPLAY: not a number"))
+                .collect();
+            let out = run_one(&f, &prefix, cfg);
+            return match out.failure {
+                Some((kind, message)) => Err(Failure {
+                    kind,
+                    message,
+                    schedule: out.decisions.iter().map(|d| d.0).collect(),
+                    trace: out.trace,
+                    execs: 1,
+                }),
+                None => Ok(Stats {
+                    execs: 1,
+                    max_decision_depth: out.decisions.len(),
+                }),
+            };
+        }
+
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut execs = 0u64;
+        let mut max_depth = 0usize;
+        loop {
+            let out = run_one(&f, &prefix, cfg);
+            execs += 1;
+            max_depth = max_depth.max(out.decisions.len());
+            if let Some((kind, message)) = out.failure {
+                return Err(Failure {
+                    kind,
+                    message,
+                    schedule: out.decisions.iter().map(|d| d.0).collect(),
+                    trace: out.trace,
+                    execs,
+                });
+            }
+            // Backtrack: bump the deepest decision with room left.
+            let mut d = out.decisions;
+            loop {
+                match d.last().copied() {
+                    None => {
+                        return Ok(Stats {
+                            execs,
+                            max_decision_depth: max_depth,
+                        })
+                    }
+                    Some((pick, n)) if pick + 1 < n => {
+                        let k = d.len() - 1;
+                        prefix = d[..k].iter().map(|x| x.0).collect();
+                        prefix.push(pick + 1);
+                        break;
+                    }
+                    Some(_) => {
+                        d.pop();
+                    }
+                }
+            }
+            if execs >= self.max_execs {
+                return Err(Failure {
+                    kind: FailureKind::TooManyExecs,
+                    message: format!(
+                        "exploration budget exhausted ({execs} executions); shrink the model \
+                         or raise INTERLEAVE_MAX_EXECS"
+                    ),
+                    schedule: prefix,
+                    trace: Vec::new(),
+                    execs,
+                });
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- global state
+
+type SharedFn = std::sync::Arc<dyn Fn() + Send + Sync + 'static>;
+
+struct Global {
+    state: StdMutex<Option<Exec>>,
+    cv: StdCondvar,
+}
+
+static GLOBAL: Global = Global {
+    state: StdMutex::new(None),
+    cv: StdCondvar::new(),
+};
+/// One model run at a time per process.
+static MODEL_MUTEX: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    static CUR_TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Model-thread index of the calling thread, `None` outside a model.
+pub(crate) fn cur_tid() -> Option<usize> {
+    CUR_TID.with(|c| c.get())
+}
+
+/// Unwind payload used to tear threads down without reporting a panic.
+struct CancelToken;
+
+fn cancel_unwind() -> ! {
+    resume_unwind(Box::new(CancelToken))
+}
+
+/// Keep failing non-final executions from spamming stderr: panics on
+/// interleave-named threads are captured into the `Failure` report
+/// instead. Installed once; chains to the previous hook for everything
+/// else.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("interleave-"));
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------- execution state
+
+#[derive(Clone, Copy)]
+struct Cfg {
+    preemption_bound: u32,
+    timeouts_fire: bool,
+    max_threads: usize,
+}
+
+/// Per-execution operation cap; hitting it means a modeled spin loop.
+const MAX_OPS: u64 = 200_000;
+/// Per-location store history bound (older stores become unreadable,
+/// which only ever shrinks the branch set — sound, not complete).
+const MAX_STORES: usize = 16;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Active {
+    Scheduler,
+    Thread(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockOn {
+    Lock { lock: usize },
+    Cvar { cvar: usize, timeout: bool },
+    Join { target: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+#[derive(Clone, Default, Debug)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+    fn bump(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+    fn join(&mut self, o: &VClock) {
+        if self.0.len() < o.0.len() {
+            self.0.resize(o.0.len(), 0);
+        }
+        for (i, v) in o.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+    /// Does a thread with this clock know about tick `tick` of `tid`?
+    fn knows(&self, tid: usize, tick: u64) -> bool {
+        self.get(tid) >= tick
+    }
+}
+
+struct ThreadSt {
+    state: RunState,
+    clock: VClock,
+    /// Coherence floor per atomic location: seq of the newest store this
+    /// thread has read or written there.
+    last_read: HashMap<usize, u64>,
+    /// Set when a cvar wait was ended by its timeout firing.
+    wake_timed_out: bool,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        ThreadSt {
+            state: RunState::Runnable,
+            clock,
+            last_read: HashMap::new(),
+            wake_timed_out: false,
+        }
+    }
+}
+
+struct Store {
+    val: u64,
+    tid: usize,
+    tick: u64,
+    seq: u64,
+    /// Release clock: present iff the store had Release semantics.
+    sync: Option<VClock>,
+}
+
+struct Loc {
+    stores: Vec<Store>,
+    next_seq: u64,
+}
+
+struct LockSt {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+    /// Release clock of the last unlocker(s); joined on acquire.
+    clock: VClock,
+}
+
+struct Exec {
+    cfg: Cfg,
+    threads: Vec<ThreadSt>,
+    locs: Vec<Loc>,
+    loc_map: HashMap<usize, usize>,
+    locks: Vec<LockSt>,
+    lock_map: HashMap<usize, usize>,
+    cvar_map: HashMap<usize, usize>,
+    n_cvars: usize,
+    active: Active,
+    prefix: Vec<u32>,
+    decisions: Vec<(u32, u32)>,
+    preemptions: u32,
+    last_run: Option<usize>,
+    cancelling: bool,
+    failure: Option<(FailureKind, String)>,
+    trace: Vec<String>,
+    ops: u64,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Exec {
+    fn new(prefix: &[u32], cfg: Cfg) -> Self {
+        Exec {
+            cfg,
+            threads: Vec::new(),
+            locs: Vec::new(),
+            loc_map: HashMap::new(),
+            locks: Vec::new(),
+            lock_map: HashMap::new(),
+            cvar_map: HashMap::new(),
+            n_cvars: 0,
+            active: Active::Scheduler,
+            prefix: prefix.to_vec(),
+            decisions: Vec::new(),
+            preemptions: 0,
+            last_run: None,
+            cancelling: false,
+            failure: None,
+            trace: Vec::new(),
+            ops: 0,
+            os_handles: Vec::new(),
+        }
+    }
+
+    /// Record a scheduler/value decision. Single-option "decisions" are
+    /// not recorded (nothing to backtrack over), which keeps the
+    /// decision vector — and the replay schedule — small.
+    fn decide(&mut self, n: u32, what: &str) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        let i = self.decisions.len();
+        let pick = self.prefix.get(i).copied().unwrap_or(0).min(n - 1);
+        self.decisions.push((pick, n));
+        self.trace
+            .push(format!("choice {i}: {what} -> option {pick} of {n}"));
+        pick
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some((kind, message));
+        }
+        self.cancelling = true;
+    }
+
+    fn loc_id(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.loc_map.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        // The initial value is a store by a pseudo-writer every thread
+        // knows (tick 0), so it terminates every visibility scan.
+        self.locs.push(Loc {
+            stores: vec![Store {
+                val: init,
+                tid: 0,
+                tick: 0,
+                seq: 0,
+                sync: None,
+            }],
+            next_seq: 1,
+        });
+        self.loc_map.insert(addr, id);
+        id
+    }
+
+    fn lock_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.lock_map.get(&addr) {
+            return id;
+        }
+        let id = self.locks.len();
+        self.locks.push(LockSt {
+            writer: None,
+            readers: Vec::new(),
+            clock: VClock::default(),
+        });
+        self.lock_map.insert(addr, id);
+        id
+    }
+
+    fn cvar_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.cvar_map.get(&addr) {
+            return id;
+        }
+        let id = self.n_cvars;
+        self.n_cvars += 1;
+        self.cvar_map.insert(addr, id);
+        id
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.state, RunState::Finished))
+    }
+
+    /// Unblock threads whose wakeup condition `pred` matches; they
+    /// re-attempt their operation when next scheduled.
+    fn wake_where(&mut self, pred: impl Fn(&BlockOn) -> bool) {
+        for t in &mut self.threads {
+            if let RunState::Blocked(on) = t.state {
+                if pred(&on) {
+                    t.state = RunState::Runnable;
+                }
+            }
+        }
+    }
+}
+
+type Guard = StdMutexGuard<'static, Option<Exec>>;
+
+// ------------------------------------------------------------- turn passing
+
+/// Running thread: hand the token to the scheduler, wait to be picked
+/// again. Returns holding the global lock, with the turn.
+fn yield_and_wait(tid: usize) -> Guard {
+    let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+    {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        if ex.cancelling {
+            drop(g);
+            cancel_unwind();
+        }
+        ex.ops += 1;
+        if ex.ops > MAX_OPS {
+            ex.fail(
+                FailureKind::TooLong,
+                format!("execution exceeded {MAX_OPS} operations (spin loop in modeled code?)"),
+            );
+            GLOBAL.cv.notify_all();
+            drop(g);
+            cancel_unwind();
+        }
+        ex.active = Active::Scheduler;
+    }
+    GLOBAL.cv.notify_all();
+    wait_turn_locked(tid, g)
+}
+
+/// Wait (already holding the global lock) until it is `tid`'s turn.
+fn wait_turn_locked(tid: usize, mut g: Guard) -> Guard {
+    loop {
+        {
+            let ex = g.as_mut().expect("interleave: no execution in progress");
+            if ex.cancelling {
+                drop(g);
+                cancel_unwind();
+            }
+            if ex.active == Active::Thread(tid) {
+                return g;
+            }
+        }
+        g = GLOBAL.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+/// Block the calling thread on `on` and wait to be woken *and* picked.
+fn block_and_wait(tid: usize, on: BlockOn, mut g: Guard) -> Guard {
+    {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        ex.threads[tid].state = RunState::Blocked(on);
+        ex.active = Active::Scheduler;
+    }
+    GLOBAL.cv.notify_all();
+    wait_turn_locked(tid, g)
+}
+
+// ---------------------------------------------------------------- scheduler
+
+fn scheduler_loop() {
+    let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+    loop {
+        loop {
+            let ex = g.as_ref().expect("interleave: no execution in progress");
+            if ex.active == Active::Scheduler || ex.all_finished() {
+                break;
+            }
+            g = GLOBAL.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        if ex.all_finished() {
+            return;
+        }
+        if ex.cancelling {
+            // Wake everything so blocked threads can unwind, then wait
+            // for the remaining finish() notifications.
+            GLOBAL.cv.notify_all();
+            g = GLOBAL.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            continue;
+        }
+
+        // Schedulable set: runnable threads, plus (when timeouts may
+        // fire) threads blocked in a timed condvar wait.
+        let mut opts: Vec<usize> = Vec::new();
+        for (i, t) in ex.threads.iter().enumerate() {
+            match t.state {
+                RunState::Runnable => opts.push(i),
+                RunState::Blocked(BlockOn::Cvar { timeout: true, .. }) if ex.cfg.timeouts_fire => {
+                    opts.push(i)
+                }
+                _ => {}
+            }
+        }
+        if opts.is_empty() {
+            let mut blocked: Vec<String> = Vec::new();
+            for (i, t) in ex.threads.iter().enumerate() {
+                if let RunState::Blocked(on) = t.state {
+                    blocked.push(format!("t{i} blocked on {on:?}"));
+                }
+            }
+            ex.fail(
+                FailureKind::Deadlock,
+                format!("deadlock: {}", blocked.join("; ")),
+            );
+            GLOBAL.cv.notify_all();
+            continue;
+        }
+
+        // CHESS preemption bounding: continuing the last-run thread is
+        // free; switching away from it while it could still run costs a
+        // preemption, and once the bound is spent it is forced.
+        let lr = ex.last_run.filter(|l| opts.contains(l));
+        if let Some(l) = lr {
+            if ex.preemptions >= ex.cfg.preemption_bound {
+                opts = vec![l];
+            } else {
+                opts.retain(|&x| x != l);
+                opts.insert(0, l);
+            }
+        }
+        let pick_i = ex.decide(
+            opts.len() as u32,
+            &format!("schedule one of threads {opts:?}"),
+        );
+        let pick = opts[pick_i as usize];
+        if let Some(l) = lr {
+            if pick != l {
+                ex.preemptions += 1;
+            }
+        }
+        if let RunState::Blocked(BlockOn::Cvar { .. }) = ex.threads[pick].state {
+            // Scheduling a timed waiter = its timeout fires now.
+            ex.threads[pick].wake_timed_out = true;
+            ex.threads[pick].state = RunState::Runnable;
+            ex.trace.push(format!("t{pick}: wait_timeout expires"));
+        }
+        ex.last_run = Some(pick);
+        ex.active = Active::Thread(pick);
+        GLOBAL.cv.notify_all();
+    }
+}
+
+struct Outcome {
+    failure: Option<(FailureKind, String)>,
+    decisions: Vec<(u32, u32)>,
+    trace: Vec<String>,
+}
+
+fn run_one(f: &SharedFn, prefix: &[u32], cfg: Cfg) -> Outcome {
+    {
+        let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(g.is_none(), "interleave: overlapping executions");
+        let mut ex = Exec::new(prefix, cfg);
+        let mut clock = VClock::default();
+        clock.bump(0);
+        ex.threads.push(ThreadSt::new(clock));
+        *g = Some(ex);
+    }
+    let f2 = std::sync::Arc::clone(f);
+    let root = std::thread::Builder::new()
+        .name("interleave-0".into())
+        .spawn(move || run_model_thread(0, Box::new(move || f2())))
+        .expect("interleave: cannot spawn model thread");
+    scheduler_loop();
+    let (outcome, handles) = {
+        let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+        let ex = g.take().expect("interleave: execution vanished");
+        (
+            Outcome {
+                failure: ex.failure,
+                decisions: ex.decisions,
+                trace: ex.trace,
+            },
+            ex.os_handles,
+        )
+    };
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    outcome
+}
+
+fn run_model_thread(tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CUR_TID.with(|c| c.set(Some(tid)));
+    let r = catch_unwind(AssertUnwindSafe(move || {
+        let g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+        drop(wait_turn_locked(tid, g));
+        body();
+    }));
+    finish(tid, r.err());
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn finish(tid: usize, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+    let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(ex) = g.as_mut() {
+        ex.threads[tid].state = RunState::Finished;
+        ex.wake_where(|on| matches!(on, BlockOn::Join { target } if *target == tid));
+        if let Some(p) = panic_payload {
+            if !p.is::<CancelToken>() {
+                ex.trace
+                    .push(format!("t{tid}: panicked: {}", payload_msg(p.as_ref())));
+                ex.fail(FailureKind::Panic, payload_msg(p.as_ref()));
+            }
+        } else {
+            ex.trace.push(format!("t{tid}: finished"));
+        }
+        if ex.active == Active::Thread(tid) {
+            ex.active = Active::Scheduler;
+        }
+    }
+    GLOBAL.cv.notify_all();
+}
+
+// ------------------------------------------------------------- modeled ops
+
+fn acquiring(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn atomic_load(addr: usize, init: u64, tid: usize, ord: Ordering) -> u64 {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    let lid = ex.loc_id(addr, init);
+    // Visible-store scan, newest first: stop at the coherence floor,
+    // and at the first store this thread already knows about (anything
+    // older is hidden behind it).
+    let floor = ex.threads[tid].last_read.get(&lid).copied().unwrap_or(0);
+    let n = ex.locs[lid].stores.len();
+    let mut cand: Vec<usize> = Vec::new();
+    if ord == Ordering::SeqCst {
+        cand.push(n - 1);
+    } else {
+        for k in (0..n).rev() {
+            let s = &ex.locs[lid].stores[k];
+            if s.seq < floor {
+                break;
+            }
+            cand.push(k);
+            if ex.threads[tid].clock.knows(s.tid, s.tick) {
+                break;
+            }
+        }
+    }
+    let pick = ex.decide(
+        cand.len() as u32,
+        &format!("t{tid} load a{lid}: visible stores"),
+    );
+    let k = cand[pick as usize];
+    let (val, seq, sync) = {
+        let s = &ex.locs[lid].stores[k];
+        (s.val, s.seq, s.sync.clone())
+    };
+    if acquiring(ord) {
+        if let Some(c) = &sync {
+            ex.threads[tid].clock.join(c);
+        }
+    }
+    ex.threads[tid].last_read.insert(lid, seq);
+    ex.trace
+        .push(format!("t{tid}: load a{lid} -> {val} ({ord:?})"));
+    val
+}
+
+fn push_store(ex: &mut Exec, lid: usize, tid: usize, val: u64, ord: Ordering) {
+    ex.threads[tid].clock.bump(tid);
+    let tick = ex.threads[tid].clock.get(tid);
+    let sync = releasing(ord).then(|| ex.threads[tid].clock.clone());
+    let seq = ex.locs[lid].next_seq;
+    ex.locs[lid].next_seq += 1;
+    ex.locs[lid].stores.push(Store {
+        val,
+        tid,
+        tick,
+        seq,
+        sync,
+    });
+    if ex.locs[lid].stores.len() > MAX_STORES {
+        ex.locs[lid].stores.remove(0);
+    }
+    ex.threads[tid].last_read.insert(lid, seq);
+}
+
+fn atomic_store(addr: usize, init: u64, tid: usize, ord: Ordering, val: u64) {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    let lid = ex.loc_id(addr, init);
+    push_store(ex, lid, tid, val, ord);
+    ex.trace
+        .push(format!("t{tid}: store a{lid} <- {val} ({ord:?})"));
+}
+
+/// RMW: reads the newest store in modification order (C11 atomicity),
+/// applies `f`, writes the result. Returns the old value.
+fn atomic_rmw(
+    addr: usize,
+    init: u64,
+    tid: usize,
+    ord: Ordering,
+    f: &mut dyn FnMut(u64) -> u64,
+) -> u64 {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    let lid = ex.loc_id(addr, init);
+    let (old, sync) = {
+        let s = ex.locs[lid].stores.last().expect("location has no stores");
+        (s.val, s.sync.clone())
+    };
+    if acquiring(ord) {
+        if let Some(c) = &sync {
+            ex.threads[tid].clock.join(c);
+        }
+    }
+    let new = f(old);
+    push_store(ex, lid, tid, new, ord);
+    ex.trace
+        .push(format!("t{tid}: rmw a{lid} {old} -> {new} ({ord:?})"));
+    old
+}
+
+/// `fetch_update`: like an RMW whose write is conditional. A `None`
+/// from `f` degenerates to a load of the newest store with
+/// `fetch_ord` (C11: a failed CAS is a load). `Ok` carries
+/// `(old, new)` so the caller can mirror without re-running `f`.
+fn atomic_fetch_update(
+    addr: usize,
+    init: u64,
+    tid: usize,
+    set_ord: Ordering,
+    fetch_ord: Ordering,
+    f: &mut dyn FnMut(u64) -> Option<u64>,
+) -> Result<(u64, u64), u64> {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    let lid = ex.loc_id(addr, init);
+    let (old, seq, sync) = {
+        let s = ex.locs[lid].stores.last().expect("location has no stores");
+        (s.val, s.seq, s.sync.clone())
+    };
+    match f(old) {
+        Some(new) => {
+            if acquiring(set_ord) {
+                if let Some(c) = &sync {
+                    ex.threads[tid].clock.join(c);
+                }
+            }
+            push_store(ex, lid, tid, new, set_ord);
+            ex.trace
+                .push(format!("t{tid}: fetch_update a{lid} {old} -> {new}"));
+            Ok((old, new))
+        }
+        None => {
+            if acquiring(fetch_ord) {
+                if let Some(c) = &sync {
+                    ex.threads[tid].clock.join(c);
+                }
+            }
+            ex.threads[tid].last_read.insert(lid, seq);
+            ex.trace
+                .push(format!("t{tid}: fetch_update a{lid} {old} -> (abort)"));
+            Err(old)
+        }
+    }
+}
+
+fn mutex_lock(addr: usize, tid: usize) {
+    let mut g = yield_and_wait(tid);
+    loop {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        let lid = ex.lock_id(addr);
+        let free = ex.locks[lid].writer.is_none() && ex.locks[lid].readers.is_empty();
+        if free {
+            ex.locks[lid].writer = Some(tid);
+            let lc = ex.locks[lid].clock.clone();
+            ex.threads[tid].clock.join(&lc);
+            ex.trace.push(format!("t{tid}: lock m{lid}"));
+            return;
+        }
+        ex.trace.push(format!("t{tid}: blocked on m{lid}"));
+        g = block_and_wait(tid, BlockOn::Lock { lock: lid }, g);
+    }
+}
+
+/// Release a mutex/rwlock-writer. During teardown (`cancelling`) and
+/// panic unwinds, guards drop while threads unwind; release the state
+/// silently then — no schedule point, no decisions, and crucially no
+/// cancel-unwind from inside a `Drop` (which would abort the process).
+fn mutex_unlock(addr: usize, tid: usize) {
+    let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+    let silent = std::thread::panicking() || g.as_ref().is_none_or(|ex| ex.cancelling);
+    if !silent {
+        drop(g);
+        g = yield_and_wait(tid);
+    }
+    let Some(ex) = g.as_mut() else { return };
+    let lid = ex.lock_id(addr);
+    ex.threads[tid].clock.bump(tid);
+    let tc = ex.threads[tid].clock.clone();
+    ex.locks[lid].clock = tc;
+    ex.locks[lid].writer = None;
+    ex.wake_where(|on| matches!(on, BlockOn::Lock { lock } if *lock == lid));
+    ex.trace.push(format!("t{tid}: unlock m{lid}"));
+}
+
+fn rw_read_lock(addr: usize, tid: usize) {
+    let mut g = yield_and_wait(tid);
+    loop {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        let lid = ex.lock_id(addr);
+        if ex.locks[lid].writer.is_none() {
+            ex.locks[lid].readers.push(tid);
+            let lc = ex.locks[lid].clock.clone();
+            ex.threads[tid].clock.join(&lc);
+            ex.trace.push(format!("t{tid}: read-lock m{lid}"));
+            return;
+        }
+        ex.trace.push(format!("t{tid}: blocked on read m{lid}"));
+        g = block_and_wait(tid, BlockOn::Lock { lock: lid }, g);
+    }
+}
+
+fn rw_read_unlock(addr: usize, tid: usize) {
+    let mut g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+    let silent = std::thread::panicking() || g.as_ref().is_none_or(|ex| ex.cancelling);
+    if !silent {
+        drop(g);
+        g = yield_and_wait(tid);
+    }
+    let Some(ex) = g.as_mut() else { return };
+    let lid = ex.lock_id(addr);
+    ex.threads[tid].clock.bump(tid);
+    let tc = ex.threads[tid].clock.clone();
+    // A reader's release joins (rather than replaces) the lock clock:
+    // a later writer synchronizes with *all* prior readers.
+    ex.locks[lid].clock.join(&tc);
+    if let Some(pos) = ex.locks[lid].readers.iter().position(|&r| r == tid) {
+        ex.locks[lid].readers.remove(pos);
+    }
+    ex.wake_where(|on| matches!(on, BlockOn::Lock { lock } if *lock == lid));
+    ex.trace.push(format!("t{tid}: read-unlock m{lid}"));
+}
+
+fn rw_write_lock(addr: usize, tid: usize) {
+    // Same acquisition condition as a mutex: no writer and no readers.
+    mutex_lock(addr, tid);
+}
+
+/// Condvar wait. Atomically releases the mutex and blocks; returns
+/// whether the wakeup was the timeout firing. Wakeups leave the thread
+/// Runnable; the reacquire loop below runs when it is next scheduled.
+fn cv_wait(cv_addr: usize, lock_addr: usize, tid: usize, timeout: bool) -> bool {
+    let mut g = yield_and_wait(tid);
+    let (cid, lid) = {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        let cid = ex.cvar_id(cv_addr);
+        let lid = ex.lock_id(lock_addr);
+        // Release the mutex exactly as mutex_unlock would.
+        ex.threads[tid].clock.bump(tid);
+        let tc = ex.threads[tid].clock.clone();
+        ex.locks[lid].clock = tc;
+        ex.locks[lid].writer = None;
+        ex.wake_where(|on| matches!(on, BlockOn::Lock { lock } if *lock == lid));
+        ex.threads[tid].wake_timed_out = false;
+        ex.trace.push(format!(
+            "t{tid}: cv-wait c{cid} (releases m{lid}, timeout={timeout})"
+        ));
+        (cid, lid)
+    };
+    g = block_and_wait(tid, BlockOn::Cvar { cvar: cid, timeout }, g);
+    // Woken (notify or timeout); now reacquire the mutex.
+    loop {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        let free = ex.locks[lid].writer.is_none() && ex.locks[lid].readers.is_empty();
+        if free {
+            ex.locks[lid].writer = Some(tid);
+            let lc = ex.locks[lid].clock.clone();
+            ex.threads[tid].clock.join(&lc);
+            let timed_out = ex.threads[tid].wake_timed_out;
+            ex.trace.push(format!(
+                "t{tid}: cv-wake c{cid} (relock m{lid}, timed_out={timed_out})"
+            ));
+            return timed_out;
+        }
+        g = block_and_wait(tid, BlockOn::Lock { lock: lid }, g);
+    }
+}
+
+fn cv_notify(cv_addr: usize, tid: usize, all: bool) {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    let cid = ex.cvar_id(cv_addr);
+    let mut waiters: Vec<usize> = Vec::new();
+    for (i, t) in ex.threads.iter().enumerate() {
+        if matches!(t.state, RunState::Blocked(BlockOn::Cvar { cvar, .. }) if cvar == cid) {
+            waiters.push(i);
+        }
+    }
+    if waiters.is_empty() {
+        ex.trace.push(format!("t{tid}: notify c{cid} (no waiters)"));
+        return;
+    }
+    if all {
+        for w in waiters {
+            ex.threads[w].state = RunState::Runnable;
+            ex.trace
+                .push(format!("t{tid}: notify_all wakes t{w} on c{cid}"));
+        }
+    } else {
+        let pick = ex.decide(
+            waiters.len() as u32,
+            &format!("t{tid} notify_one c{cid}: pick waiter"),
+        );
+        let w = waiters[pick as usize];
+        ex.threads[w].state = RunState::Runnable;
+        ex.trace
+            .push(format!("t{tid}: notify_one wakes t{w} on c{cid}"));
+    }
+}
+
+fn spawn_model(parent: usize, body: Box<dyn FnOnce() + Send>) -> usize {
+    let mut g = yield_and_wait(parent);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    if ex.threads.len() >= ex.cfg.max_threads {
+        let max = ex.cfg.max_threads;
+        ex.fail(
+            FailureKind::TooManyThreads,
+            format!("model spawned more than {max} threads"),
+        );
+        GLOBAL.cv.notify_all();
+        drop(g);
+        cancel_unwind();
+    }
+    let child = ex.threads.len();
+    // Spawn edge: the child starts knowing everything the parent did.
+    ex.threads[parent].clock.bump(parent);
+    let clock = ex.threads[parent].clock.clone();
+    ex.threads.push(ThreadSt::new(clock));
+    ex.trace.push(format!("t{parent}: spawn t{child}"));
+    let h = std::thread::Builder::new()
+        .name(format!("interleave-{child}"))
+        .spawn(move || run_model_thread(child, body))
+        .expect("interleave: cannot spawn model thread");
+    ex.os_handles.push(h);
+    child
+}
+
+fn join_model(tid: usize, target: usize) {
+    let mut g = yield_and_wait(tid);
+    loop {
+        let ex = g.as_mut().expect("interleave: no execution in progress");
+        if matches!(ex.threads[target].state, RunState::Finished) {
+            let tc = ex.threads[target].clock.clone();
+            ex.threads[tid].clock.join(&tc);
+            ex.trace.push(format!("t{tid}: joined t{target}"));
+            return;
+        }
+        g = block_and_wait(tid, BlockOn::Join { target }, g);
+    }
+}
+
+fn yield_op(tid: usize) {
+    let mut g = yield_and_wait(tid);
+    let ex = g.as_mut().expect("interleave: no execution in progress");
+    ex.trace.push(format!("t{tid}: yield"));
+}
+
+// -------------------------------------------------------- primitive wrappers
+
+mod prim {
+    use super::*;
+
+    fn addr<T: ?Sized>(r: &T) -> usize {
+        r as *const T as *const () as usize
+    }
+
+    // ---- atomics -------------------------------------------------------
+
+    fn u64_to_u64(v: u64) -> u64 {
+        v
+    }
+    fn usize_to_u64(v: usize) -> u64 {
+        v as u64
+    }
+    fn u64_to_usize(v: u64) -> usize {
+        v as usize
+    }
+    fn bool_to_u64(v: bool) -> u64 {
+        v as u64
+    }
+    fn u64_to_bool(v: u64) -> bool {
+        v != 0
+    }
+
+    macro_rules! atomic_common {
+        ($Outer:ident, $Std:ty, $Raw:ty, $to:path, $from:path) => {
+            /// Drop-in for the std atomic of the same name; modeled
+            /// inside `interleave::model`, plain std outside.
+            pub struct $Outer {
+                direct: $Std,
+            }
+
+            impl $Outer {
+                pub const fn new(v: $Raw) -> Self {
+                    Self {
+                        direct: <$Std>::new(v),
+                    }
+                }
+
+                fn init(&self) -> u64 {
+                    $to(self.direct.load(Ordering::Relaxed))
+                }
+
+                /// Mirror a modeled store into the backing std atomic so
+                /// direct-mode reads after the model run see the final value.
+                fn mirror(&self, v: u64) {
+                    self.direct.store($from(v), Ordering::Relaxed);
+                }
+
+                pub fn load(&self, ord: Ordering) -> $Raw {
+                    match cur_tid() {
+                        None => self.direct.load(ord),
+                        Some(tid) => $from(atomic_load(addr(self), self.init(), tid, ord)),
+                    }
+                }
+
+                pub fn store(&self, v: $Raw, ord: Ordering) {
+                    match cur_tid() {
+                        None => self.direct.store(v, ord),
+                        Some(tid) => {
+                            atomic_store(addr(self), self.init(), tid, ord, $to(v));
+                            self.mirror($to(v));
+                        }
+                    }
+                }
+
+                pub fn swap(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    match cur_tid() {
+                        None => self.direct.swap(v, ord),
+                        Some(tid) => {
+                            let old =
+                                atomic_rmw(addr(self), self.init(), tid, ord, &mut |_| $to(v));
+                            self.mirror($to(v));
+                            $from(old)
+                        }
+                    }
+                }
+            }
+
+            impl std::fmt::Debug for $Outer {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($Outer))
+                        .field(&self.load(Ordering::Relaxed))
+                        .finish()
+                }
+            }
+
+            impl Default for $Outer {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_arith {
+        ($Outer:ident, $Raw:ty, $to:path, $from:path) => {
+            impl $Outer {
+                pub fn fetch_add(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    match cur_tid() {
+                        None => self.direct.fetch_add(v, ord),
+                        Some(tid) => {
+                            let old = atomic_rmw(addr(self), self.init(), tid, ord, &mut |o| {
+                                $to($from(o).wrapping_add(v))
+                            });
+                            self.mirror($to($from(old).wrapping_add(v)));
+                            $from(old)
+                        }
+                    }
+                }
+
+                pub fn fetch_sub(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    match cur_tid() {
+                        None => self.direct.fetch_sub(v, ord),
+                        Some(tid) => {
+                            let old = atomic_rmw(addr(self), self.init(), tid, ord, &mut |o| {
+                                $to($from(o).wrapping_sub(v))
+                            });
+                            self.mirror($to($from(old).wrapping_sub(v)));
+                            $from(old)
+                        }
+                    }
+                }
+
+                pub fn fetch_max(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    match cur_tid() {
+                        None => self.direct.fetch_max(v, ord),
+                        Some(tid) => {
+                            let old = atomic_rmw(addr(self), self.init(), tid, ord, &mut |o| {
+                                $to($from(o).max(v))
+                            });
+                            self.mirror($to($from(old).max(v)));
+                            $from(old)
+                        }
+                    }
+                }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_ord: Ordering,
+                    fetch_ord: Ordering,
+                    mut f: F,
+                ) -> Result<$Raw, $Raw>
+                where
+                    F: FnMut($Raw) -> Option<$Raw>,
+                {
+                    match cur_tid() {
+                        None => self.direct.fetch_update(set_ord, fetch_ord, f),
+                        Some(tid) => {
+                            let r = atomic_fetch_update(
+                                addr(self),
+                                self.init(),
+                                tid,
+                                set_ord,
+                                fetch_ord,
+                                &mut |o| f($from(o)).map($to),
+                            );
+                            match r {
+                                Ok((old, new)) => {
+                                    self.mirror(new);
+                                    Ok($from(old))
+                                }
+                                Err(old) => Err($from(old)),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    atomic_common!(
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        u64_to_u64,
+        u64_to_u64
+    );
+    atomic_arith!(AtomicU64, u64, u64_to_u64, u64_to_u64);
+
+    atomic_common!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        usize_to_u64,
+        u64_to_usize
+    );
+    atomic_arith!(AtomicUsize, usize, usize_to_u64, u64_to_usize);
+
+    atomic_common!(
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        bool_to_u64,
+        u64_to_bool
+    );
+
+    // ---- Mutex ---------------------------------------------------------
+
+    /// Drop-in `std::sync::Mutex`. In model mode the `direct` field is
+    /// bypassed entirely (exclusion comes from the scheduler); outside
+    /// a model it is the real lock guarding `data`.
+    pub struct Mutex<T: ?Sized> {
+        direct: StdMutex<()>,
+        data: UnsafeCell<T>,
+    }
+
+    // Safety: same bounds std::sync::Mutex declares; exclusion is
+    // provided either by `direct` or by the model scheduler.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        raw: Option<StdMutexGuard<'a, ()>>,
+        tid: Option<usize>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                direct: StdMutex::new(()),
+                data: UnsafeCell::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            Ok(self.data.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            match cur_tid() {
+                None => match self.direct.lock() {
+                    Ok(raw) => Ok(MutexGuard {
+                        lock: self,
+                        raw: Some(raw),
+                        tid: None,
+                    }),
+                    Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                        lock: self,
+                        raw: Some(p.into_inner()),
+                        tid: None,
+                    })),
+                },
+                Some(tid) => {
+                    mutex_lock(addr(self), tid);
+                    Ok(MutexGuard {
+                        lock: self,
+                        raw: None,
+                        tid: Some(tid),
+                    })
+                }
+            }
+        }
+
+        pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+            Ok(self.data.get_mut())
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: exclusivity is guaranteed by `raw` (direct mode)
+            // or by the model's lock state (model mode).
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(tid) = self.tid {
+                mutex_unlock(addr(self.lock), tid);
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    // ---- RwLock --------------------------------------------------------
+
+    /// Drop-in `std::sync::RwLock`, same dual personality as [`Mutex`].
+    pub struct RwLock<T: ?Sized> {
+        direct: std::sync::RwLock<()>,
+        data: UnsafeCell<T>,
+    }
+
+    unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+    unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        // Held for RAII only: keeps the direct-mode read lock alive.
+        _raw: Option<std::sync::RwLockReadGuard<'a, ()>>,
+        tid: Option<usize>,
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        // Held for RAII only: keeps the direct-mode write lock alive.
+        _raw: Option<std::sync::RwLockWriteGuard<'a, ()>>,
+        tid: Option<usize>,
+    }
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                direct: std::sync::RwLock::new(()),
+                data: UnsafeCell::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            Ok(self.data.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> std::sync::LockResult<RwLockReadGuard<'_, T>> {
+            match cur_tid() {
+                None => match self.direct.read() {
+                    Ok(raw) => Ok(RwLockReadGuard {
+                        lock: self,
+                        _raw: Some(raw),
+                        tid: None,
+                    }),
+                    Err(p) => Err(std::sync::PoisonError::new(RwLockReadGuard {
+                        lock: self,
+                        _raw: Some(p.into_inner()),
+                        tid: None,
+                    })),
+                },
+                Some(tid) => {
+                    rw_read_lock(addr(self), tid);
+                    Ok(RwLockReadGuard {
+                        lock: self,
+                        _raw: None,
+                        tid: Some(tid),
+                    })
+                }
+            }
+        }
+
+        pub fn write(&self) -> std::sync::LockResult<RwLockWriteGuard<'_, T>> {
+            match cur_tid() {
+                None => match self.direct.write() {
+                    Ok(raw) => Ok(RwLockWriteGuard {
+                        lock: self,
+                        _raw: Some(raw),
+                        tid: None,
+                    }),
+                    Err(p) => Err(std::sync::PoisonError::new(RwLockWriteGuard {
+                        lock: self,
+                        _raw: Some(p.into_inner()),
+                        tid: None,
+                    })),
+                },
+                Some(tid) => {
+                    rw_write_lock(addr(self), tid);
+                    Ok(RwLockWriteGuard {
+                        lock: self,
+                        _raw: None,
+                        tid: Some(tid),
+                    })
+                }
+            }
+        }
+
+        pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+            Ok(self.data.get_mut())
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(tid) = self.tid {
+                rw_read_unlock(addr(self.lock), tid);
+            }
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(tid) = self.tid {
+                mutex_unlock(addr(self.lock), tid);
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RwLock").finish_non_exhaustive()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    // ---- Condvar -------------------------------------------------------
+
+    /// Result of a timed wait; mirrors `std::sync::WaitTimeoutResult`
+    /// (which cannot be constructed outside std).
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(pub(super) bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Drop-in `std::sync::Condvar`.
+    pub struct Condvar {
+        direct: StdCondvar,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                direct: StdCondvar::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            match guard.tid {
+                None => {
+                    let lock = guard.lock;
+                    let mut shell = guard;
+                    let raw = shell
+                        .raw
+                        .take()
+                        .expect("direct-mode guard without raw lock");
+                    std::mem::forget(shell);
+                    match self.direct.wait(raw) {
+                        Ok(r2) => Ok(MutexGuard {
+                            lock,
+                            raw: Some(r2),
+                            tid: None,
+                        }),
+                        Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                            lock,
+                            raw: Some(p.into_inner()),
+                            tid: None,
+                        })),
+                    }
+                }
+                Some(tid) => {
+                    let lock = guard.lock;
+                    std::mem::forget(guard);
+                    cv_wait(addr(self), addr(lock), tid, false);
+                    Ok(MutexGuard {
+                        lock,
+                        raw: None,
+                        tid: Some(tid),
+                    })
+                }
+            }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match guard.tid {
+                None => {
+                    let lock = guard.lock;
+                    let mut shell = guard;
+                    let raw = shell
+                        .raw
+                        .take()
+                        .expect("direct-mode guard without raw lock");
+                    std::mem::forget(shell);
+                    match self.direct.wait_timeout(raw, dur) {
+                        Ok((r2, t)) => Ok((
+                            MutexGuard {
+                                lock,
+                                raw: Some(r2),
+                                tid: None,
+                            },
+                            WaitTimeoutResult(t.timed_out()),
+                        )),
+                        Err(p) => {
+                            let (r2, t) = p.into_inner();
+                            Err(std::sync::PoisonError::new((
+                                MutexGuard {
+                                    lock,
+                                    raw: Some(r2),
+                                    tid: None,
+                                },
+                                WaitTimeoutResult(t.timed_out()),
+                            )))
+                        }
+                    }
+                }
+                Some(tid) => {
+                    let lock = guard.lock;
+                    std::mem::forget(guard);
+                    let timed_out = cv_wait(addr(self), addr(lock), tid, true);
+                    Ok((
+                        MutexGuard {
+                            lock,
+                            raw: None,
+                            tid: Some(tid),
+                        },
+                        WaitTimeoutResult(timed_out),
+                    ))
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            match cur_tid() {
+                None => self.direct.notify_one(),
+                Some(tid) => cv_notify(addr(self), tid, false),
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match cur_tid() {
+                None => self.direct.notify_all(),
+                Some(tid) => cv_notify(addr(self), tid, true),
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+}
+
+// ------------------------------------------------------------ public modules
+
+/// Model-aware `std::sync` stand-in. Modeled: `Mutex`, `RwLock`,
+/// `Condvar`, `atomic::{AtomicU64, AtomicUsize, AtomicBool}`.
+/// Re-exported from std unmodified (NOT modeled — do not use inside
+/// model closures): `mpsc`, `Once`, `OnceLock`, `Arc`, `Barrier`.
+pub mod sync {
+    pub use super::prim::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+    pub use std::sync::{
+        mpsc, Arc, Barrier, LockResult, Once, OnceLock, PoisonError, TryLockError, TryLockResult,
+        Weak,
+    };
+
+    pub mod atomic {
+        pub use super::super::prim::{AtomicBool, AtomicU64, AtomicUsize};
+        pub use std::sync::atomic::Ordering;
+    }
+}
+
+/// Model-aware `std::thread` stand-in. `spawn`/`JoinHandle`/`yield_now`
+/// are modeled; the rest passes through to std.
+pub mod thread {
+    use super::*;
+
+    pub use std::thread::{current, sleep};
+
+    /// Index of the current model thread, or `None` outside a model.
+    #[inline]
+    pub fn model_tid() -> Option<usize> {
+        cur_tid()
+    }
+
+    /// Inside a model: a schedule point. Outside: `std::thread::yield_now`.
+    pub fn yield_now() {
+        match cur_tid() {
+            None => std::thread::yield_now(),
+            Some(tid) => yield_op(tid),
+        }
+    }
+
+    enum Inner<T> {
+        Os(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            cell: std::sync::Arc<StdMutex<Option<T>>>,
+        },
+    }
+
+    /// Drop-in `std::thread::JoinHandle` for model-spawned threads.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Os(h) => h.join(),
+                Inner::Model { tid, cell } => {
+                    let me = cur_tid().expect("model JoinHandle joined outside its model run");
+                    join_model(me, tid);
+                    Ok(cell
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .expect("joined model thread produced no result"))
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Inner::Os(h) => h.is_finished(),
+                Inner::Model { tid, .. } => {
+                    let g = GLOBAL.state.lock().unwrap_or_else(|p| p.into_inner());
+                    g.as_ref()
+                        .is_none_or(|ex| matches!(ex.threads[*tid].state, RunState::Finished))
+                }
+            }
+        }
+    }
+
+    /// Inside a model: register and schedule a new model thread.
+    /// Outside: `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match cur_tid() {
+            None => JoinHandle(Inner::Os(std::thread::spawn(f))),
+            Some(parent) => {
+                let cell = std::sync::Arc::new(StdMutex::new(None));
+                let c2 = std::sync::Arc::clone(&cell);
+                let tid = spawn_model(
+                    parent,
+                    Box::new(move || {
+                        let r = f();
+                        *c2.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                    }),
+                );
+                JoinHandle(Inner::Model { tid, cell })
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The drop-in contract: outside a model run (and in normal builds,
+//! always) the wrappers behave exactly like `std::sync`. These tests
+//! compile and pass under BOTH cfgs — under `--cfg interleave` they
+//! exercise the direct-mode fallback of the modeled types.
+
+use interleave::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use interleave::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+#[test]
+fn atomics_behave_like_std() {
+    let u = AtomicU64::new(5);
+    assert_eq!(u.fetch_add(2, Ordering::Relaxed), 5);
+    assert_eq!(u.fetch_sub(1, Ordering::Relaxed), 7);
+    assert_eq!(u.swap(100, Ordering::SeqCst), 6);
+    assert_eq!(u.fetch_max(50, Ordering::Relaxed), 100);
+    assert_eq!(u.load(Ordering::Acquire), 100);
+    assert_eq!(
+        u.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(40)),
+        Ok(100)
+    );
+    assert_eq!(u.load(Ordering::Relaxed), 60);
+
+    let s = AtomicUsize::new(1);
+    s.store(9, Ordering::Release);
+    assert_eq!(s.load(Ordering::Relaxed), 9);
+
+    let b = AtomicBool::new(false);
+    assert!(!b.swap(true, Ordering::Relaxed));
+    assert!(b.load(Ordering::Relaxed));
+}
+
+#[test]
+fn locks_behave_like_std() {
+    let m = Mutex::new(1u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 2);
+
+    let rw = RwLock::new(vec![1, 2]);
+    assert_eq!(rw.read().unwrap().len(), 2);
+    rw.write().unwrap().push(3);
+    assert_eq!(rw.read().unwrap().len(), 3);
+}
+
+#[test]
+fn condvar_timeout_and_notify_work() {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+
+    // Timeout path.
+    {
+        let (lock, cvar) = &*pair;
+        let g = lock.lock().unwrap();
+        let (_g, t) = cvar.wait_timeout(g, Duration::from_millis(5)).unwrap();
+        assert!(t.timed_out());
+    }
+
+    // Notify path across a real thread.
+    let p2 = Arc::clone(&pair);
+    let h = std::thread::spawn(move || {
+        let (lock, cvar) = &*p2;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    });
+    let (lock, cvar) = &*pair;
+    let mut done = lock.lock().unwrap();
+    while !*done {
+        let (g, _t) = cvar.wait_timeout(done, Duration::from_millis(50)).unwrap();
+        done = g;
+    }
+    drop(done);
+    h.join().unwrap();
+}
+
+#[test]
+fn model_runs_closure_and_spawn_joins() {
+    // In normal builds `model` runs once; under --cfg interleave it
+    // explores. Either way the invariant must hold.
+    interleave::model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let h = interleave::thread::spawn(move || c2.fetch_add(1, Ordering::Relaxed));
+        h.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    });
+    assert!(interleave::thread::model_tid().is_none());
+}

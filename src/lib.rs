@@ -60,6 +60,10 @@
 //! See `README.md` for an architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+/// The `freezeml lint` workspace concurrency gate (see
+/// [`lint::PLAN`] for the scanned trees and rules).
+pub mod lint;
+
 pub use freezeml_conformance as conformance;
 pub use freezeml_core as core;
 pub use freezeml_corpus as corpus;

@@ -1,0 +1,533 @@
+//! `freezeml lint` — the workspace concurrency lint gate.
+//!
+//! A deliberately small, dependency-free, token-level scanner (no
+//! `syn`, no rustc invocation — it must run in the offline CI image in
+//! milliseconds) that enforces the conventions the concurrency
+//! correctness tooling relies on:
+//!
+//! * **`std-sync`** — wrapped crates (`obs`, `engine`, `service`) must
+//!   not name `std::sync` in code: every lock/atomic goes through the
+//!   crate's `sync` alias module, so `RUSTFLAGS='--cfg interleave'`
+//!   model builds actually instrument them. A bare import silently
+//!   opts that call site out of the model checker.
+//! * **`ord`** — every `Ordering::` use site carries a `// ord:`
+//!   justification comment (same line or within the six lines above).
+//!   Orderings are load-bearing and invisible to review without a
+//!   stated reason; the comment is the reason.
+//! * **`seqcst`** — `SeqCst` needs an explicit waiver. Every SeqCst in
+//!   this codebase so far was either a stand-in for release/acquire or
+//!   pure superstition; a new one must say why two independent
+//!   locations need a single total order.
+//! * **`unwrap`** — no `.unwrap()` / `.expect(` in
+//!   `crates/service/src` non-test code. The serving stack's contract
+//!   is that one request can never take down the process; a panic
+//!   shortcut in the service layer is a denial-of-service bug unless
+//!   argued otherwise.
+//!
+//! Waivers: a line comment `// lint: allow(<rule>) — reason` on the
+//! violating line or within the three lines above it. The reason is
+//! not optional in spirit — the waiver exists to make reviewers read
+//! one.
+//!
+//! `#[cfg(test)]` modules are skipped entirely (tests panic on
+//! purpose), as are string literals, comments, and doc examples (the
+//! scanner strips them before matching).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One finding: file, 1-based line, rule, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules to run over a directory tree.
+#[derive(Clone, Copy, Debug)]
+pub struct Rules {
+    /// Forbid `std::sync` in code (wrapped crates only).
+    pub std_sync: bool,
+    /// Require `// ord:` justifications on `Ordering::` sites.
+    pub ord: bool,
+    /// Require a waiver on any `SeqCst`.
+    pub seqcst: bool,
+    /// Forbid `.unwrap()` / `.expect(` outside tests.
+    pub unwrap: bool,
+}
+
+/// The scan plan: workspace-relative source roots and their rules.
+/// The interleave shim itself is deliberately NOT scanned — it is the
+/// implementation of the wrappers and necessarily full of `std::sync`.
+pub const PLAN: &[(&str, Rules)] = &[
+    (
+        "crates/obs/src",
+        Rules {
+            std_sync: true,
+            ord: true,
+            seqcst: true,
+            unwrap: false,
+        },
+    ),
+    (
+        "crates/engine/src",
+        Rules {
+            std_sync: true,
+            ord: true,
+            seqcst: true,
+            unwrap: false,
+        },
+    ),
+    (
+        "crates/service/src",
+        Rules {
+            std_sync: true,
+            ord: true,
+            seqcst: true,
+            unwrap: true,
+        },
+    ),
+    (
+        // The binary keeps plain `std::sync` (it is not model-checked)
+        // but its orderings are held to the same justification bar.
+        "src",
+        Rules {
+            std_sync: false,
+            ord: true,
+            seqcst: true,
+            unwrap: false,
+        },
+    ),
+];
+
+// ------------------------------------------------------------ stripper
+
+/// Lexer state carried across lines (block comments and string
+/// literals span them).
+enum State {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside a `"…"` string.
+    Str,
+    /// Inside an `r##"…"##` raw string with this many hashes.
+    RawStr(u32),
+}
+
+/// Strip one line to `(code, line_comment)` given the carried state.
+/// Code characters inside strings/comments are blanked; the comment
+/// part is the text of a `//` comment on the line, if any.
+fn strip_line(state: &mut State, line: &str) -> (String, String) {
+    let b = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::Block(depth) => {
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    *depth -= 1;
+                    i += 2;
+                    if *depth == 0 {
+                        *state = State::Code;
+                    }
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    *depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // escape: skip the escaped byte (incl. `\"`)
+                } else if b[i] == b'"' {
+                    *state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == b'"' {
+                    let n = *hashes as usize;
+                    if b.len() >= i + 1 + n && b[i + 1..i + 1 + n].iter().all(|&c| c == b'#') {
+                        i += 1 + n;
+                        *state = State::Code;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Code => {
+                let c = b[i];
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    comment.push_str(&line[i..]);
+                    break;
+                }
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    *state = State::Block(1);
+                    i += 2;
+                    continue;
+                }
+                if c == b'"' {
+                    *state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == b'r' {
+                    // Raw string: `r"` or `r#…#"`. Only if preceded by a
+                    // non-identifier byte (else it is part of a name).
+                    let prev_ident =
+                        i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+                    if !prev_ident {
+                        let mut j = i + 1;
+                        while j < b.len() && b[j] == b'#' {
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            *state = State::RawStr((j - i - 1) as u32);
+                            i = j + 1;
+                            code.push(' ');
+                            continue;
+                        }
+                    }
+                }
+                if c == b'\'' {
+                    // Char literal vs lifetime. An escape (`'\n'`,
+                    // `'\''`, `'\u{…}'`) or a single byte followed by a
+                    // closing quote is a char literal; a lifetime
+                    // (`'a`, `'static`) has no matching close.
+                    let rest = &b[i + 1..];
+                    let close = if rest.first() == Some(&b'\\') {
+                        // Skip `\x` then find the terminating quote
+                        // (handles `'\''` and `'\u{1F600}'`).
+                        rest.iter()
+                            .enumerate()
+                            .skip(2)
+                            .take(12)
+                            .find(|&(_, &x)| x == b'\'')
+                            .map(|(p, _)| p)
+                    } else if rest.get(1) == Some(&b'\'') {
+                        Some(1)
+                    } else {
+                        None
+                    };
+                    if let Some(p) = close {
+                        i += 1 + p + 1;
+                        code.push(' ');
+                        continue;
+                    }
+                    // Lifetime: emit the quote as code and move on.
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+// ---------------------------------------------------------------- scan
+
+/// Scan one file's source text under `rules`. `label` is the path
+/// reported in findings.
+pub fn scan_source(label: &str, text: &str, rules: Rules) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    let raw: Vec<&str> = text.lines().collect();
+    let mut stripped: Vec<(String, String)> = Vec::with_capacity(raw.len());
+    for line in &raw {
+        stripped.push(strip_line(&mut state, line));
+    }
+
+    // Mark test-module lines: a `#[cfg(test)]` attribute starts a skip
+    // region at the next `{` in code, ending when its brace closes.
+    let mut in_test = vec![false; raw.len()];
+    let mut i = 0;
+    while i < raw.len() {
+        if stripped[i].0.contains("#[cfg(test)]") {
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < raw.len() {
+                in_test[j] = true;
+                for ch in stripped[j].0.bytes() {
+                    match ch {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    let comment_window = |idx: usize, back: usize, needle: &str| -> bool {
+        let lo = idx.saturating_sub(back);
+        stripped[lo..=idx].iter().any(|(_, c)| c.contains(needle))
+    };
+    let waived = |idx: usize, rule: &str| -> bool {
+        let tag = format!("lint: allow({rule})");
+        comment_window(idx, 3, &tag)
+    };
+
+    for (idx, (code, _)) in stripped.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let tight: String = code.split_whitespace().collect::<Vec<_>>().join("");
+        let is_use = code.trim_start().starts_with("use ");
+
+        if rules.std_sync && tight.contains("std::sync") && !waived(idx, "std-sync") {
+            out.push(Finding {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "std-sync",
+                message: "bare `std::sync` in a wrapped crate — import from the crate's \
+                          `sync` alias module so model builds instrument it"
+                    .to_string(),
+            });
+        }
+        if rules.ord
+            && code.contains("Ordering::")
+            && !is_use
+            && !comment_window(idx, 6, "ord:")
+            && !waived(idx, "ord")
+        {
+            out.push(Finding {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "ord",
+                message: "atomic ordering without a `// ord:` justification".to_string(),
+            });
+        }
+        if rules.seqcst && code.contains("SeqCst") && !is_use && !waived(idx, "seqcst") {
+            out.push(Finding {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "seqcst",
+                message: "`SeqCst` without a `// lint: allow(seqcst)` waiver — say why a \
+                          total order over independent locations is needed"
+                    .to_string(),
+            });
+        }
+        if rules.unwrap
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !waived(idx, "unwrap")
+        {
+            out.push(Finding {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "unwrap",
+                message: "`.unwrap()`/`.expect()` in service non-test code — handle the \
+                          error or waive with a stated invariant"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively scan every `.rs` file under `dir` (workspace-relative
+/// against `root`). Returns the number of files scanned.
+fn scan_dir(
+    root: &Path,
+    dir: &str,
+    rules: Rules,
+    out: &mut Vec<Finding>,
+) -> std::io::Result<usize> {
+    let mut files_seen = 0;
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(_) => continue, // absent tree (partial checkout): skip
+        };
+        let mut files: Vec<_> = entries.filter_map(Result::ok).collect();
+        files.sort_by_key(|e| e.path());
+        for e in files {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let text = std::fs::read_to_string(&p)?;
+                let label = p.strip_prefix(root).unwrap_or(&p).display().to_string();
+                out.extend(scan_source(&label, &text, rules));
+                files_seen += 1;
+            }
+        }
+    }
+    Ok(files_seen)
+}
+
+/// A completed workspace scan: the findings plus how many files were
+/// actually read, so "clean" is distinguishable from "scanned nothing"
+/// (an empty checkout must not pass silently).
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Run the full workspace plan against `root`.
+///
+/// # Errors
+///
+/// I/O failure reading a source file.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0;
+    for (dir, rules) in PLAN {
+        files_scanned += scan_dir(root, dir, *rules, &mut findings)?;
+    }
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+/// The `freezeml lint` entry point. `rest` may name a workspace root
+/// (default: the current directory).
+pub fn cmd_lint(rest: &[String]) -> ExitCode {
+    let root = rest.first().map(String::as_str).unwrap_or(".");
+    match run(Path::new(root)) {
+        Err(e) => {
+            eprintln!("freezeml lint: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(report) if report.files_scanned == 0 => {
+            eprintln!("freezeml lint: no source files under {root} — wrong root?");
+            ExitCode::FAILURE
+        }
+        Ok(report) if report.findings.is_empty() => {
+            println!(
+                "freezeml lint: clean ({} files scanned)",
+                report.files_scanned
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "freezeml lint: {} finding(s) across {} files",
+                report.findings.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: Rules = Rules {
+        std_sync: true,
+        ord: true,
+        seqcst: true,
+        unwrap: true,
+    };
+
+    #[test]
+    fn flags_bare_std_sync_but_not_in_comments_or_strings() {
+        let f = scan_source("x.rs", "use std::sync::Arc;\n", R);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "std-sync");
+        assert_eq!(f[0].line, 1);
+
+        assert!(scan_source("x.rs", "// use std::sync::Arc;\n", R).is_empty());
+        assert!(scan_source("x.rs", "let s = \"std::sync\";\n", R).is_empty());
+        assert!(scan_source("x.rs", "/* std::sync */ let x = 1;\n", R).is_empty());
+        assert!(scan_source("x.rs", "let s = r#\"std::sync\"#;\n", R).is_empty());
+    }
+
+    #[test]
+    fn ord_rule_accepts_justified_sites_and_use_lines() {
+        let bad = "x.load(Ordering::Relaxed);\n";
+        let f = scan_source("x.rs", bad, R);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ord");
+
+        let good = "// ord: Relaxed — statistic\nx.load(Ordering::Relaxed);\n";
+        assert!(scan_source("x.rs", good, R).is_empty());
+
+        let import = "use crate::sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(scan_source("x.rs", import, R).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_a_waiver_even_when_ord_commented() {
+        let bad = "// ord: SeqCst — because\nx.load(Ordering::SeqCst);\n";
+        let f = scan_source("x.rs", bad, R);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "seqcst");
+
+        let good =
+            "// ord: SeqCst — two flags, one order\n// lint: allow(seqcst) — cross-variable \
+             ordering with the stop flag\nx.load(Ordering::SeqCst);\n";
+        assert!(scan_source("x.rs", good, R).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_skips_tests_and_honors_waivers() {
+        let bad = "let x = y.unwrap();\n";
+        assert_eq!(scan_source("x.rs", bad, R)[0].rule, "unwrap");
+
+        let waived = "// lint: allow(unwrap) — invariant\nlet x = y.unwrap();\n";
+        assert!(scan_source("x.rs", waived, R).is_empty());
+
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        assert!(scan_source("x.rs", test_mod, R).is_empty());
+
+        let after =
+            "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn f() { z.unwrap(); }\n";
+        let f = scan_source("x.rs", after, R);
+        assert_eq!(f.len(), 1, "code after the test mod is scanned again");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn multiline_strings_and_nested_block_comments_stay_opaque() {
+        let s = "let s = \"line one\nstd::sync line two\";\nlet t = 1;\n";
+        assert!(scan_source("x.rs", s, R).is_empty());
+        let c = "/* outer /* inner std::sync */ still out */\nlet t = 1;\n";
+        assert!(scan_source("x.rs", c, R).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_stripper() {
+        let s = "let q = '\"'; use std::sync::Arc;\n";
+        let f = scan_source("x.rs", s, R);
+        assert_eq!(f.len(), 1, "the char-literal quote must not open a string");
+        let lt = "fn f<'a>(x: &'a str) -> &'a str { x }\nuse std::sync::Arc;\n";
+        assert_eq!(scan_source("x.rs", lt, R).len(), 1);
+    }
+}

@@ -23,6 +23,13 @@
 //!                               telemetry sink and write BENCH_engine.json
 //!                               / BENCH_service.json (budget MS per
 //!                               benchmark, default 2000)
+//! freezeml lint [DIR]           workspace concurrency lint: scan crate
+//!                               sources for bare `std::sync` imports in
+//!                               wrapped crates, unjustified atomic
+//!                               orderings (no `// ord:` comment), unwaived
+//!                               `SeqCst`, and `unwrap()`/`expect()` in
+//!                               service non-test code; non-zero exit on
+//!                               any finding (CI gate)
 //! freezeml stats --connect ADDR query a running server's metrics registry:
 //!                               send {"cmd":"stats"} and pretty-print the
 //!                               JSON snapshot; with --metrics, send
@@ -71,6 +78,8 @@
 //!
 //! The protocol itself is documented in `freezeml_service::protocol`.
 
+use freezeml::lint;
+
 use freezeml_conformance::program as golden;
 use freezeml_obs::Tracer;
 use freezeml_service::sock::Admission;
@@ -113,7 +122,12 @@ struct Args {
 static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_drain_signal(_sig: std::os::raw::c_int) {
-    DRAIN_SIGNAL.store(true, Ordering::SeqCst);
+    // ord: Release — pairs with the Acquire load in the watcher
+    // thread. One flag, one watcher: release/acquire is the whole
+    // contract; SeqCst bought nothing extra. (Strictly even Relaxed
+    // would do — the flag carries no dependent data — but a signal
+    // handler is exactly where conservative publication is cheap.)
+    DRAIN_SIGNAL.store(true, Ordering::Release);
 }
 
 /// Route SIGTERM and SIGINT to the drain flag. `std` exposes no signal
@@ -356,7 +370,9 @@ fn cmd_serve_socket(args: &Args, addr: &str, tracer: Option<Tracer>) -> ExitCode
     {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || loop {
-            if DRAIN_SIGNAL.load(Ordering::SeqCst) {
+            // ord: Acquire — pairs with the Release store in the
+            // signal handler.
+            if DRAIN_SIGNAL.load(Ordering::Acquire) {
                 eprintln!("freezeml: drain requested by signal");
                 shared.request_drain();
                 return;
@@ -765,6 +781,7 @@ fn main() -> ExitCode {
         "elaborate" => cmd_elaborate(args.cfg, &args.rest),
         "replay" => cmd_replay(args.cfg, &args.rest),
         "gen" => cmd_gen(&args.rest),
+        "lint" => lint::cmd_lint(&args.rest),
         "bench-json" => cmd_bench_json(&args.rest),
         "stats" => cmd_stats(&args.rest),
         _ => usage(),

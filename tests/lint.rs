@@ -1,0 +1,73 @@
+//! The lint gate, gated: the workspace must scan clean, and the
+//! violation fixture must trip every rule at the pinned lines. Together
+//! these keep `freezeml lint` honest in both directions — a scanner
+//! that finds nothing anywhere would still pass a "workspace is clean"
+//! test, so the fixture proves the rules actually fire.
+
+use freezeml::lint::{self, Rules};
+use std::path::Path;
+
+const ALL: Rules = Rules {
+    std_sync: true,
+    ord: true,
+    seqcst: true,
+    unwrap: true,
+};
+
+/// The gate itself: the shipped workspace has zero findings. If this
+/// fails, either a concurrency convention was broken (fix the code) or
+/// a new site needs a justification/waiver comment (write one — that
+/// is the point).
+#[test]
+fn workspace_scans_clean() {
+    let report = lint::run(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint scan");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "freezeml lint found violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned >= 30,
+        "suspiciously few files scanned ({}) — did a PLAN tree move?",
+        report.files_scanned
+    );
+}
+
+/// Every rule fires on the fixture, at exactly the lines the fixture
+/// pins, and nothing else trips (the waived twins and the string/
+/// comment/test-mod decoys all stay quiet).
+#[test]
+fn fixture_trips_each_rule_once() {
+    let text = include_str!("lint_fixtures/violations.rs");
+    let findings = lint::scan_source("violations.rs", text, ALL);
+
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![("std-sync", 5), ("ord", 11), ("seqcst", 21), ("unwrap", 31),],
+        "full findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Rules are independently switchable — a tree scanned without the
+/// unwrap rule (engine, obs) must not report unwrap findings.
+#[test]
+fn rules_toggle_independently() {
+    let text = include_str!("lint_fixtures/violations.rs");
+    let no_unwrap = Rules {
+        unwrap: false,
+        ..ALL
+    };
+    let findings = lint::scan_source("violations.rs", text, no_unwrap);
+    assert!(
+        findings.iter().all(|f| f.rule != "unwrap"),
+        "unwrap rule fired while disabled"
+    );
+    assert_eq!(findings.len(), 3, "the other three rules still fire");
+}

@@ -1,0 +1,53 @@
+//! Lint fixture: one violation of every `freezeml lint` rule, plus the
+//! waived/justified twin of each so the test pins both directions.
+//! This file is data for `tests/lint.rs` — it is never compiled.
+
+use std::sync::Arc; // line 5: std-sync violation
+
+// lint: allow(std-sync) — fixture: the waived twin of line 5
+use std::sync::Mutex;
+
+fn bare_ordering(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed) // line 11: ord violation
+}
+
+fn justified_ordering(x: &AtomicU64) -> u64 {
+    // ord: Relaxed — fixture: statistic, no ordering needed
+    x.load(Ordering::Relaxed)
+}
+
+fn total_order(x: &AtomicU64) -> u64 {
+    // ord: SeqCst — fixture: justified but unwaived
+    x.load(Ordering::SeqCst) // line 21: seqcst violation (ord comment alone is not enough)
+}
+
+fn waived_total_order(x: &AtomicU64) -> u64 {
+    // ord: SeqCst — fixture
+    // lint: allow(seqcst) — fixture: pretend two flags need one order
+    x.load(Ordering::SeqCst)
+}
+
+fn panicky(v: Option<u32>) -> u32 {
+    v.unwrap() // line 31: unwrap violation
+}
+
+fn argued(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) — fixture: populated three lines above
+    v.expect("fixture")
+}
+
+// These must NOT trip: the tokens live in strings and comments.
+fn opaque() -> &'static str {
+    // std::sync in a comment is fine, as is Ordering::SeqCst
+    "use std::sync::Arc; Ordering::SeqCst; x.unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        v.unwrap(); // fine: inside #[cfg(test)]
+        v.expect("fine too");
+    }
+}
